@@ -1,0 +1,38 @@
+// Ablation: flush-back interval continuum (§6.2).  Write-through is the
+// 0-second limit and delayed-write the infinite limit; the sweep shows how
+// quickly intermediate intervals harvest the short write lifetimes of Fig. 4.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("ablation — flush-back interval sweep", "§6.2 write policies");
+  const GenerationResult a5 = GenerateA5();
+
+  CacheConfig c;
+  c.size_bytes = 4u << 20;
+  TextTable table({"Policy", "Disk writes", "Miss ratio"});
+  c.policy = WritePolicy::kWriteThrough;
+  CacheMetrics wt = SimulateCache(a5.trace, c);
+  table.AddRow({"write-through", Cell(static_cast<int64_t>(wt.disk_writes)),
+                FormatPercent(wt.MissRatio())});
+  for (double seconds : {5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0}) {
+    c.policy = WritePolicy::kFlushBack;
+    c.flush_interval = Duration::Seconds(seconds);
+    const CacheMetrics m = SimulateCache(a5.trace, c);
+    table.AddRow({"flush-back " + Duration::Seconds(seconds).ToString(),
+                  Cell(static_cast<int64_t>(m.disk_writes)), FormatPercent(m.MissRatio())});
+  }
+  c.policy = WritePolicy::kDelayedWrite;
+  const CacheMetrics dw = SimulateCache(a5.trace, c);
+  table.AddRow({"delayed-write", Cell(static_cast<int64_t>(dw.disk_writes)),
+                FormatPercent(dw.MissRatio())});
+  std::printf("%s\n", table.Render("Flush interval continuum (4 MB cache, 4 KB blocks, A5 "
+                                   "trace).").c_str());
+  std::printf("Disk writes fall monotonically with the interval: each extra second lets\n"
+              "more newly-written blocks die in the cache (Fig. 4's lifetime CDF).\n");
+  return 0;
+}

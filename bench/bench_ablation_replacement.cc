@@ -1,0 +1,41 @@
+// Ablation: replacement policy.  The paper (and 4.2 BSD) used LRU; this bench
+// quantifies how much LRU buys over FIFO and clock (second chance) on the
+// same trace — a design-choice ablation for the cache simulator.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("ablation — cache replacement policy", "§6.1 design choice (LRU)");
+  const GenerationResult a5 = GenerateA5();
+
+  const uint64_t kMb = 1ull << 20;
+  std::vector<CacheConfig> configs;
+  for (uint64_t size : {390ull * 1024, 1ull * kMb, 2ull * kMb, 4ull * kMb, 8ull * kMb, 16ull * kMb}) {
+    for (ReplacementPolicy rp :
+         {ReplacementPolicy::kLru, ReplacementPolicy::kClock, ReplacementPolicy::kFifo}) {
+      CacheConfig c;
+      c.size_bytes = size;
+      c.policy = WritePolicy::kDelayedWrite;
+      c.replacement = rp;
+      configs.push_back(c);
+    }
+  }
+  const auto points = RunCacheSweep(a5.trace, configs);
+
+  TextTable table({"Cache Size", "LRU", "Clock", "FIFO"});
+  for (size_t i = 0; i < points.size(); i += 3) {
+    table.AddRow({FormatBytes(static_cast<double>(points[i].config.size_bytes)),
+                  FormatPercent(points[i].metrics.MissRatio()),
+                  FormatPercent(points[i + 1].metrics.MissRatio()),
+                  FormatPercent(points[i + 2].metrics.MissRatio())});
+  }
+  std::printf("%s\n", table.Render("Miss ratio by replacement policy (delayed write, 4 KB "
+                                   "blocks, A5 trace).").c_str());
+  std::printf("Expected: LRU <= clock <= FIFO at every size; the gap shrinks as the cache\n"
+              "grows (replacement matters less when little is evicted).\n");
+  return 0;
+}

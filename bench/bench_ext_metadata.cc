@@ -1,0 +1,50 @@
+// Extension (paper §8): I/O for things other than file data.  The paper
+// closes by estimating that i-node and directory accesses could account for
+// more than half of all disk block references.  This bench injects
+// synthetic i-node/directory block accesses (see CacheSimulator docs) and
+// measures their share of block accesses and of disk I/O across cache sizes.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("extension — i-node and directory overhead", "§8 closing estimate");
+  const GenerationResult a5 = GenerateA5();
+
+  TextTable table({"Cache Size", "File-data I/Os", "With metadata", "Metadata access share",
+                   "Extra disk I/O"});
+  const uint64_t kMb = 1ull << 20;
+  for (uint64_t size : {390ull * 1024, 1ull * kMb, 2ull * kMb, 4ull * kMb, 8ull * kMb, 16ull * kMb}) {
+    CacheConfig base;
+    base.size_bytes = size;
+    base.policy = WritePolicy::kFlushBack;
+    base.flush_interval = Duration::Seconds(30);
+    CacheConfig with = base;
+    with.simulate_metadata = true;
+    const CacheMetrics m0 = SimulateCache(a5.trace, base);
+    const CacheMetrics m1 = SimulateCache(a5.trace, with);
+    const double meta_share = m1.logical_accesses > 0
+                                  ? static_cast<double>(m1.metadata_accesses) /
+                                        static_cast<double>(m1.logical_accesses)
+                                  : 0;
+    const double extra = m0.DiskIos() > 0 ? static_cast<double>(m1.DiskIos()) /
+                                                static_cast<double>(m0.DiskIos()) -
+                                                1.0
+                                          : 0;
+    table.AddRow({FormatBytes(static_cast<double>(size)),
+                  Cell(static_cast<int64_t>(m0.DiskIos())),
+                  Cell(static_cast<int64_t>(m1.DiskIos())), FormatPercent(meta_share, 0),
+                  FormatPercent(extra, 0)});
+  }
+  std::printf("%s\n",
+              table.Render("Effect of simulated i-node/directory accesses (30 s flush-back, "
+                           "4 KB blocks, A5 trace).").c_str());
+  std::printf("Paper §8: \"more than half of all disk block references could come from these\n"
+              "other accesses\", but \"there are indications that the other accesses can also\n"
+              "be handled efficiently by caching\" — visible here as a metadata access share\n"
+              "near 50%% whose extra disk I/O shrinks rapidly with cache size.\n");
+  return 0;
+}

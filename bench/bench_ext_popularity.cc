@@ -1,0 +1,42 @@
+// Extension: file popularity.  Quantifies the access concentration implied by
+// Fig. 2's note that a few large administrative files draw ~20% of accesses —
+// the skew that makes shared-block caching effective.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/analysis/popularity.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("extension — file popularity", "Fig. 2 discussion (§5.2)");
+  const BenchTraces traces = GenerateAllTraces();
+
+  TextTable table({"Measure", "A5", "E3", "C4"});
+  const PopularityStats stats[3] = {AnalyzePopularity(traces.a5.trace),
+                                    AnalyzePopularity(traces.e3.trace),
+                                    AnalyzePopularity(traces.c4.trace)};
+  auto row = [&](const std::string& label, auto&& fn) {
+    table.AddRow({label, fn(stats[0]), fn(stats[1]), fn(stats[2])});
+  };
+  row("Distinct files accessed",
+      [](const PopularityStats& s) { return Cell(static_cast<int64_t>(s.distinct_files)); });
+  row("Total accesses (opens + execs)",
+      [](const PopularityStats& s) { return Cell(static_cast<int64_t>(s.total_accesses)); });
+  row("Top 10 files' share of accesses",
+      [](const PopularityStats& s) { return FormatPercent(s.TopAccessShare(10), 0); });
+  row("Top 100 files' share of accesses",
+      [](const PopularityStats& s) { return FormatPercent(s.TopAccessShare(100), 0); });
+  row("Top 10 files' share of bytes",
+      [](const PopularityStats& s) { return FormatPercent(s.TopByteShare(10), 0); });
+  row("Files covering 50% of accesses",
+      [](const PopularityStats& s) { return Cell(static_cast<int64_t>(s.FilesForAccessFraction(0.5))); });
+  row("Files covering 90% of accesses",
+      [](const PopularityStats& s) { return Cell(static_cast<int64_t>(s.FilesForAccessFraction(0.9))); });
+  std::printf("%s\n", table.Render("Access concentration across the three traces.").c_str());
+  std::printf("A small core of shared files (status tables, configuration, administrative\n"
+              "databases, popular programs) dominates accesses — the locality behind the\n"
+              "cache results of §6.\n");
+  return 0;
+}

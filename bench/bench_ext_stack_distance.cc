@@ -1,0 +1,46 @@
+// Extension: one-pass LRU stack-distance analysis.  Regenerates the delayed-
+// write *fetch* miss curve of Figure 5 for every cache size from a single
+// pass (Mattson et al. 1970), and cross-checks a few points against the full
+// simulator.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/cache/stack_distance.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("extension — one-pass stack-distance analysis", "Fig. 5 read-miss curve");
+  const GenerationResult a5 = GenerateA5();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const StackDistanceProfile profile = ComputeStackDistances(a5.trace, 4096);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  TextTable table({"Cache Size", "Stack-distance misses", "Miss ratio", "Simulator disk reads"});
+  const uint64_t kMb = 1ull << 20;
+  for (uint64_t size : {390ull * 1024, 1ull * kMb, 2ull * kMb, 4ull * kMb, 8ull * kMb, 16ull * kMb}) {
+    const uint64_t blocks = size / 4096;
+    CacheConfig c;
+    c.size_bytes = size;
+    c.policy = WritePolicy::kDelayedWrite;
+    const CacheMetrics m = SimulateCache(a5.trace, c);
+    table.AddRow({FormatBytes(static_cast<double>(size)),
+                  Cell(static_cast<int64_t>(profile.MissesAt(blocks))),
+                  FormatPercent(profile.MissRatioAt(blocks)),
+                  Cell(static_cast<int64_t>(m.disk_reads))});
+  }
+  std::printf("%s\n", table.Render("Fetch misses: one-pass analysis vs. full simulation "
+                                   "(4 KB blocks, A5 trace).").c_str());
+  std::printf("one pass analyzed %lu block accesses (%lu cold) in %.0f ms; every cache size\n"
+              "falls out of the same pass.  The simulator column is lower because write\n"
+              "misses that overwrite whole blocks (or write new data) install without a\n"
+              "fetch; the one-pass analysis counts every miss.  On read-only streams the\n"
+              "two agree exactly (see cache_tests).\n",
+              static_cast<unsigned long>(profile.total_accesses()),
+              static_cast<unsigned long>(profile.cold_misses()),
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+  return 0;
+}

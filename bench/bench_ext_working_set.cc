@@ -1,0 +1,32 @@
+// Extension: working-set sizes (Denning).  How much distinct file data the
+// machine touches within a window — the quantity §6.4's "total working set
+// of file information" argument turns on, and the natural yardstick for the
+// cache sizes of Figure 5.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/analysis/working_set.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("extension — working-set sizes", "§6.4 working-set argument");
+  const GenerationResult a5 = GenerateA5();
+
+  const std::vector<Duration> windows = {Duration::Seconds(10), Duration::Minutes(1),
+                                         Duration::Minutes(10), Duration::Hours(1),
+                                         Duration::Hours(6)};
+  const WorkingSetStats stats = AnalyzeWorkingSets(a5.trace, windows, 4096);
+
+  TextTable table({"Window", "Avg working set", "Peak working set"});
+  for (const WorkingSetPoint& p : stats.points) {
+    table.AddRow({p.window.ToString(), FormatBytes(p.average_blocks * 4096),
+                  FormatBytes(static_cast<double>(p.peak_blocks) * 4096)});
+  }
+  std::printf("%s\n", table.Render("File-data working sets (4 KB blocks, A5 trace).").c_str());
+  std::printf("Reading the table against Figure 5: a cache comparable to the 10-minute\n"
+              "working set already captures most reuse, which is why miss ratios flatten\n"
+              "in the multi-megabyte range.\n");
+  return 0;
+}

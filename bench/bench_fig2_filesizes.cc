@@ -1,0 +1,17 @@
+// Regenerates Figure 2 (dynamic file size distributions at close).
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("Figure 2 — dynamic file sizes", "Figure 2 (§5.2)");
+  const BenchTraces traces = GenerateAllTraces();
+  std::printf("%s\n", RenderFigure2(traces.Named()).c_str());
+  std::printf(
+      "Paper bands: ~80%% of accesses to files under 10 KB, but those carry only\n"
+      "~30%% of the bytes; a few ~1 MB administrative files account for ~20%% of\n"
+      "accesses via position-and-read.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Regenerates Figure 3 (distribution of times files stay open).
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("Figure 3 — open durations", "Figure 3 (§5.2)");
+  const BenchTraces traces = GenerateAllTraces();
+  std::printf("%s\n", RenderFigure3(traces.Named()).c_str());
+  return 0;
+}

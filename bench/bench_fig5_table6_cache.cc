@@ -1,0 +1,17 @@
+// Regenerates Figure 5 / Table VI (cache miss ratio vs. cache size and write
+// policy, 4 KB blocks, A5 trace) plus the §6.2 write-lifetime sidebar.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("Figure 5 / Table VI — cache size and write policy", "Fig. 5, Table VI (§6.2)");
+  const GenerationResult a5 = GenerateA5();
+  const auto points = RunCacheSweep(a5.trace, Fig5Configs());
+  std::printf("%s\n", RenderFigure5Table6(points).c_str());
+  std::printf("%s\n", RenderWriteLifetimeSidebar(points).c_str());
+  MaybeExportSweep("fig5_table6", points);
+  return 0;
+}

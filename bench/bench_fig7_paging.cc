@@ -1,0 +1,16 @@
+// Regenerates Figure 7 (miss ratios with program page-in approximated by a
+// whole-file read at each execve, A5 trace).
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("Figure 7 — simulated program page-in", "Fig. 7 (§6.4)");
+  const GenerationResult a5 = GenerateA5();
+  const auto points = RunCacheSweep(a5.trace, Fig7Configs());
+  std::printf("%s\n", RenderFigure7(points).c_str());
+  MaybeExportSweep("fig7_paging", points);
+  return 0;
+}

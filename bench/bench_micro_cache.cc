@@ -1,0 +1,86 @@
+// Micro-benchmarks (google-benchmark) for the cache simulator and its LRU
+// store: throughput of the simulation engine itself, independent of any
+// paper result.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cache/simulator.h"
+#include "src/cache/sweep.h"
+#include "src/util/rng.h"
+#include "src/workload/generator.h"
+
+namespace bsdtrace {
+namespace {
+
+const Trace& SharedTrace() {
+  static const Trace* trace = [] {
+    GeneratorOptions options;
+    options.duration = Duration::Hours(1);
+    options.seed = 4242;
+    return new Trace(GenerateTraceOnly(ProfileA5(), options));
+  }();
+  return *trace;
+}
+
+void BM_BlockCacheTouchHit(benchmark::State& state) {
+  BlockCache cache(static_cast<uint64_t>(state.range(0)));
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    cache.Insert(BlockKey{.file = 1, .index = static_cast<uint64_t>(i)}, SimTime::Origin(),
+                 [](const CacheEntry&) {});
+  }
+  Rng rng(1);
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    const BlockKey key{.file = 1,
+                       .index = static_cast<uint64_t>(rng.UniformInt(0, state.range(0) - 1))};
+    hits += cache.Touch(key) != nullptr ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BlockCacheTouchHit)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_BlockCacheInsertEvict(benchmark::State& state) {
+  BlockCache cache(1024);
+  uint64_t index = 0;
+  for (auto _ : state) {
+    cache.Insert(BlockKey{.file = 2, .index = index++}, SimTime::Origin(),
+                 [](const CacheEntry&) {});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BlockCacheInsertEvict);
+
+void BM_CacheSimulatorReplay(benchmark::State& state) {
+  const Trace& trace = SharedTrace();
+  CacheConfig config;
+  config.size_bytes = static_cast<uint64_t>(state.range(0));
+  config.policy = WritePolicy::kDelayedWrite;
+  for (auto _ : state) {
+    const CacheMetrics m = SimulateCache(trace, config);
+    benchmark::DoNotOptimize(m.DiskIos());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_CacheSimulatorReplay)->Arg(400 << 10)->Arg(4 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_CacheSimulatorFlushBack(benchmark::State& state) {
+  const Trace& trace = SharedTrace();
+  CacheConfig config;
+  config.size_bytes = 4u << 20;
+  config.policy = WritePolicy::kFlushBack;
+  config.flush_interval = Duration::Seconds(30);
+  for (auto _ : state) {
+    const CacheMetrics m = SimulateCache(trace, config);
+    benchmark::DoNotOptimize(m.DiskIos());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_CacheSimulatorFlushBack)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bsdtrace
+
+BENCHMARK_MAIN();

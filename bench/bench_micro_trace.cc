@@ -1,0 +1,80 @@
+// Micro-benchmarks (google-benchmark) for trace generation, codec, and
+// analysis throughput.
+
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/analyzer.h"
+#include "src/trace/trace_io.h"
+#include "src/workload/generator.h"
+
+namespace bsdtrace {
+namespace {
+
+const Trace& SharedTrace() {
+  static const Trace* trace = [] {
+    GeneratorOptions options;
+    options.duration = Duration::Hours(1);
+    options.seed = 77;
+    return new Trace(GenerateTraceOnly(ProfileA5(), options));
+  }();
+  return *trace;
+}
+
+void BM_GenerateTrace(benchmark::State& state) {
+  GeneratorOptions options;
+  options.duration = Duration::Minutes(static_cast<double>(state.range(0)));
+  options.seed = 5;
+  uint64_t records = 0;
+  for (auto _ : state) {
+    const Trace t = GenerateTraceOnly(ProfileA5(), options);
+    records = t.size();
+    benchmark::DoNotOptimize(records);
+  }
+  state.counters["records"] = static_cast<double>(records);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * records));
+}
+BENCHMARK(BM_GenerateTrace)->Arg(10)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryEncode(benchmark::State& state) {
+  const Trace& trace = SharedTrace();
+  for (auto _ : state) {
+    std::ostringstream out;
+    WriteBinaryTrace(out, trace);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_BinaryEncode)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryDecode(benchmark::State& state) {
+  std::ostringstream encoded;
+  WriteBinaryTrace(encoded, SharedTrace());
+  const std::string data = encoded.str();
+  for (auto _ : state) {
+    std::istringstream in(data);
+    auto t = ReadBinaryTrace(in);
+    benchmark::DoNotOptimize(t.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(SharedTrace().size()));
+}
+BENCHMARK(BM_BinaryDecode)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeTrace(benchmark::State& state) {
+  const Trace& trace = SharedTrace();
+  for (auto _ : state) {
+    const TraceAnalysis a = AnalyzeTrace(trace);
+    benchmark::DoNotOptimize(a.overall.total_records);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_AnalyzeTrace)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bsdtrace
+
+BENCHMARK_MAIN();

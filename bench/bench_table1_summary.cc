@@ -1,0 +1,17 @@
+// Regenerates Table I (the paper's selected-results summary), deriving every
+// headline number from the A5 trace and both cache sweeps.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("Table I — selected results", "Table I");
+  const GenerationResult a5 = GenerateA5();
+  const TraceAnalysis analysis = AnalyzeTrace(a5.trace);
+  const auto fig5 = RunCacheSweep(a5.trace, Fig5Configs());
+  const auto fig6 = RunCacheSweep(a5.trace, Fig6Configs());
+  std::printf("%s\n", RenderTable1(analysis, fig5, fig6).c_str());
+  return 0;
+}

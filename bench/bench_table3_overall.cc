@@ -1,0 +1,15 @@
+// Regenerates Table III (overall trace statistics) and the §3.1 inter-event
+// interval measurement for all three traces.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace bsdtrace;
+  PrintBanner("Table III — overall statistics", "Table III and §3.1");
+  const BenchTraces traces = GenerateAllTraces();
+  std::printf("%s\n", RenderTable3(traces.Named()).c_str());
+  std::printf("%s\n", RenderEventIntervals(traces.Named()).c_str());
+  return 0;
+}

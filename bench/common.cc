@@ -1,0 +1,63 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bsdtrace {
+
+void PrintBanner(const std::string& what, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("bsdtrace bench: %s\n", what.c_str());
+  std::printf("reproduces: %s of Ousterhout et al., SOSP 1985\n", paper_ref.c_str());
+  std::printf("synthetic traces, %.1f simulated hours each (set BSDTRACE_HOURS to change)\n",
+              StandardDuration().hours());
+  std::printf("================================================================\n\n");
+}
+
+BenchTraces GenerateAllTraces() {
+  BenchTraces t;
+  t.a5 = GenerateStandardTrace("A5");
+  t.e3 = GenerateStandardTrace("E3");
+  t.c4 = GenerateStandardTrace("C4");
+  std::printf("generated %zu (A5) / %zu (E3) / %zu (C4) trace records\n\n",
+              t.a5.trace.size(), t.e3.trace.size(), t.c4.trace.size());
+  t.a5_analysis = AnalyzeTrace(t.a5.trace);
+  t.e3_analysis = AnalyzeTrace(t.e3.trace);
+  t.c4_analysis = AnalyzeTrace(t.c4.trace);
+  return t;
+}
+
+void MaybeExportFigures(const BenchTraces& traces) {
+  const char* dir = std::getenv("BSDTRACE_CSV_DIR");
+  if (dir == nullptr) {
+    return;
+  }
+  const Status st = ExportFigureCsvs(dir, traces.Named());
+  if (st.ok()) {
+    std::printf("exported figure CSVs to %s\n", dir);
+  } else {
+    std::fprintf(stderr, "CSV export failed: %s\n", st.message().c_str());
+  }
+}
+
+void MaybeExportSweep(const std::string& name, const std::vector<SweepPoint>& points) {
+  const char* dir = std::getenv("BSDTRACE_CSV_DIR");
+  if (dir == nullptr) {
+    return;
+  }
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  const Status st = ExportSweepCsv(path, points);
+  if (st.ok()) {
+    std::printf("exported %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "CSV export failed: %s\n", st.message().c_str());
+  }
+}
+
+GenerationResult GenerateA5() {
+  GenerationResult r = GenerateStandardTrace("A5");
+  std::printf("generated %zu A5 trace records\n\n", r.trace.size());
+  return r;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,39 @@
+// Shared setup for the table/figure bench binaries: generate and analyze the
+// three standard traces once per run.
+
+#ifndef BSDTRACE_BENCH_COMMON_H_
+#define BSDTRACE_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiments.h"
+
+namespace bsdtrace {
+
+struct BenchTraces {
+  GenerationResult a5, e3, c4;
+  TraceAnalysis a5_analysis, e3_analysis, c4_analysis;
+
+  std::vector<NamedAnalysis> Named() const {
+    return {{"A5", &a5_analysis}, {"E3", &e3_analysis}, {"C4", &c4_analysis}};
+  }
+};
+
+// Generates and analyzes all three standard traces (duration from
+// BSDTRACE_HOURS, default 24 simulated hours) and prints a provenance line.
+BenchTraces GenerateAllTraces();
+
+// Generates only the A5 trace (the paper reports cache results for A5 only).
+GenerationResult GenerateA5();
+
+// Prints the standard bench banner.
+void PrintBanner(const std::string& what, const std::string& paper_ref);
+
+// If BSDTRACE_CSV_DIR is set, exports figure series / sweep data there.
+void MaybeExportFigures(const BenchTraces& traces);
+void MaybeExportSweep(const std::string& name, const std::vector<SweepPoint>& points);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_BENCH_COMMON_H_

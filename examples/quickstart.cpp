@@ -1,0 +1,65 @@
+// Quickstart: generate a synthetic trace, analyze it, and run one cache
+// simulation — the whole pipeline in one page of code.
+//
+//   ./quickstart [hours] [trace-name]
+//
+// Defaults: 4 simulated hours of the A5 (ucbarpa) workload.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/analysis/analyzer.h"
+#include "src/cache/sweep.h"
+#include "src/core/experiments.h"
+#include "src/trace/validate.h"
+#include "src/workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace bsdtrace;
+
+  const double hours = argc > 1 ? std::atof(argv[1]) : 4.0;
+  const std::string name = argc > 2 ? argv[2] : "A5";
+
+  std::cout << "Generating " << hours << " simulated hours of the " << name
+            << " workload...\n";
+  GeneratorOptions options;
+  options.duration = Duration::Hours(hours);
+  const GenerationResult result = GenerateTrace(ProfileByName(name), options);
+  const Trace& trace = result.trace;
+  std::cout << "  " << trace.size() << " trace records, "
+            << result.kernel_counters.opens + result.kernel_counters.creates << " opens, "
+            << FormatBytes(static_cast<double>(result.kernel_counters.bytes_read +
+                                               result.kernel_counters.bytes_written))
+            << " of file data touched\n\n";
+
+  // Always validate before analyzing.
+  const ValidationResult validation = ValidateTrace(trace);
+  if (!validation.ok()) {
+    std::cerr << "Trace failed validation:\n" << validation.Summary();
+    return 1;
+  }
+
+  // Section 5: how the file system is used.
+  const TraceAnalysis analysis = AnalyzeTrace(trace);
+  const std::vector<NamedAnalysis> named = {{name, &analysis}};
+  std::cout << RenderTable3(named) << "\n";
+  std::cout << RenderTable5(named) << "\n";
+
+  // Section 6: what a disk block cache would do with this workload.
+  CacheConfig unix_cache;  // 400 KB, 4 KB blocks
+  unix_cache.policy = WritePolicy::kFlushBack;
+  unix_cache.flush_interval = Duration::Seconds(30);
+  CacheConfig big_cache;
+  big_cache.size_bytes = 4u << 20;
+  big_cache.policy = WritePolicy::kDelayedWrite;
+
+  for (const CacheConfig& config : {unix_cache, big_cache}) {
+    const CacheMetrics m = SimulateCache(trace, config);
+    std::cout << config.ToString() << ": miss ratio " << FormatPercent(m.MissRatio()) << " ("
+              << m.DiskIos() << " disk I/Os for " << m.logical_accesses
+              << " block accesses)\n";
+  }
+  std::cout << "\nThe paper's headline: the 400 KB UNIX cache roughly halves disk traffic;\n"
+               "a multi-megabyte delayed-write cache eliminates 90% or more.\n";
+  return 0;
+}

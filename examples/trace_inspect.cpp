@@ -1,0 +1,230 @@
+// trace_inspect: command-line tool over trace files.
+//
+//   trace_inspect gen <out.trace> [hours] [trace-name] [seed]   generate
+//   trace_inspect summary <file.trace>                          analyze
+//   trace_inspect validate <file.trace>                         check
+//   trace_inspect dump <file.trace> [limit]                     to text
+//   trace_inspect convert <in.txt> <out.trace>                  text->binary
+//   trace_inspect slice <in.trace> <out.trace> <from_s> <to_s>  time window
+//   trace_inspect users <file.trace>                            events/user
+//   trace_inspect top <file.trace> [n]                          hot files
+//
+// Binary traces use the bsdtrace format (see src/trace/trace_io.h); dump
+// emits the line-oriented text format, which convert reads back.
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/popularity.h"
+#include "src/core/experiments.h"
+#include "src/trace/filter.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/validate.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+using namespace bsdtrace;
+
+int Usage() {
+  std::cerr << "usage:\n"
+               "  trace_inspect gen <out.trace> [hours] [A5|E3|C4] [seed]\n"
+               "  trace_inspect summary <file.trace>\n"
+               "  trace_inspect validate <file.trace>\n"
+               "  trace_inspect dump <file.trace> [limit]\n"
+               "  trace_inspect convert <in.txt> <out.trace>\n"
+               "  trace_inspect slice <in.trace> <out.trace> <from_s> <to_s>\n"
+               "  trace_inspect users <file.trace>\n"
+               "  trace_inspect top <file.trace> [n]\n";
+  return 2;
+}
+
+StatusOr<Trace> LoadOrDie(const std::string& path) {
+  auto trace = LoadTrace(path);
+  if (!trace.ok()) {
+    std::cerr << "error: " << trace.status().message() << "\n";
+  }
+  return trace;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string out = argv[2];
+  const double hours = argc > 3 ? std::atof(argv[3]) : 24.0;
+  const std::string name = argc > 4 ? argv[4] : "A5";
+  GeneratorOptions options;
+  options.duration = Duration::Hours(hours);
+  if (argc > 5) {
+    options.seed = std::strtoull(argv[5], nullptr, 10);
+  }
+  const Trace trace = GenerateTraceOnly(ProfileByName(name), options);
+  const Status st = SaveTrace(out, trace);
+  if (!st.ok()) {
+    std::cerr << "error: " << st.message() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << trace.size() << " records (" << name << ", " << hours
+            << " h) to " << out << "\n";
+  return 0;
+}
+
+int CmdSummary(const std::string& path) {
+  auto trace = LoadOrDie(path);
+  if (!trace.ok()) {
+    return 1;
+  }
+  const TraceAnalysis analysis = AnalyzeTrace(trace.value());
+  const std::vector<NamedAnalysis> named = {{trace.value().header().machine, &analysis}};
+  std::cout << RenderTable3(named) << "\n" << RenderTable5(named) << "\n"
+            << RenderEventIntervals(named);
+  return 0;
+}
+
+int CmdValidate(const std::string& path) {
+  auto trace = LoadOrDie(path);
+  if (!trace.ok()) {
+    return 1;
+  }
+  const ValidationResult v = ValidateTrace(trace.value());
+  std::cout << v.records << " records\n" << v.Summary();
+  if (v.ok()) {
+    std::cout << "trace is structurally valid\n";
+    return 0;
+  }
+  std::cout << "trace is INVALID\n";
+  return 1;
+}
+
+int CmdDump(const std::string& path, size_t limit) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return 1;
+  }
+  BinaryTraceReader reader(in);
+  if (!reader.status().ok()) {
+    std::cerr << "error: " << reader.status().message() << "\n";
+    return 1;
+  }
+  std::cout << "# machine " << reader.header().machine << "\n";
+  if (!reader.header().description.empty()) {
+    std::cout << "# description " << reader.header().description << "\n";
+  }
+  TraceRecord r;
+  size_t n = 0;
+  while (reader.Next(&r) && (limit == 0 || n < limit)) {
+    std::cout << r.ToString() << "\n";
+    ++n;
+  }
+  if (!reader.status().ok()) {
+    std::cerr << "error: " << reader.status().message() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int CmdConvert(const std::string& in_path, const std::string& out_path) {
+  std::ifstream in(in_path);
+  if (!in) {
+    std::cerr << "error: cannot open " << in_path << "\n";
+    return 1;
+  }
+  auto trace = ReadTextTrace(in);
+  if (!trace.ok()) {
+    std::cerr << "error: " << trace.status().message() << "\n";
+    return 1;
+  }
+  const Status st = SaveTrace(out_path, trace.value());
+  if (!st.ok()) {
+    std::cerr << "error: " << st.message() << "\n";
+    return 1;
+  }
+  std::cout << "converted " << trace.value().size() << " records\n";
+  return 0;
+}
+
+int CmdSlice(const std::string& in_path, const std::string& out_path, double from_s,
+             double to_s) {
+  auto trace = LoadOrDie(in_path);
+  if (!trace.ok()) {
+    return 1;
+  }
+  const Trace slice = SliceByTime(trace.value(), SimTime::FromSeconds(from_s),
+                                  SimTime::FromSeconds(to_s));
+  const Status st = SaveTrace(out_path, slice);
+  if (!st.ok()) {
+    std::cerr << "error: " << st.message() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << slice.size() << " of " << trace.value().size() << " records\n";
+  return 0;
+}
+
+int CmdUsers(const std::string& path) {
+  auto trace = LoadOrDie(path);
+  if (!trace.ok()) {
+    return 1;
+  }
+  const auto counts = CountEventsByUser(trace.value());
+  std::cout << "user\tevents\n";
+  for (const auto& [user, events] : counts) {
+    std::cout << user << "\t" << events << "\n";
+  }
+  return 0;
+}
+
+int CmdTop(const std::string& path, size_t n) {
+  auto trace = LoadOrDie(path);
+  if (!trace.ok()) {
+    return 1;
+  }
+  const PopularityStats stats = AnalyzePopularity(trace.value());
+  std::cout << stats.distinct_files << " distinct files, " << stats.total_accesses
+            << " accesses\n";
+  std::cout << "top " << n << " files' access share: "
+            << FormatPercent(stats.TopAccessShare(n), 0) << "\n";
+  std::cout << "files covering 50% of accesses: " << stats.FilesForAccessFraction(0.5)
+            << "\n";
+  std::cout << "files covering 90% of accesses: " << stats.FilesForAccessFraction(0.9)
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "gen") {
+    return CmdGen(argc, argv);
+  }
+  if (cmd == "summary" && argc >= 3) {
+    return CmdSummary(argv[2]);
+  }
+  if (cmd == "validate" && argc >= 3) {
+    return CmdValidate(argv[2]);
+  }
+  if (cmd == "dump" && argc >= 3) {
+    return CmdDump(argv[2], argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0);
+  }
+  if (cmd == "convert" && argc >= 4) {
+    return CmdConvert(argv[2], argv[3]);
+  }
+  if (cmd == "slice" && argc >= 6) {
+    return CmdSlice(argv[2], argv[3], std::atof(argv[4]), std::atof(argv[5]));
+  }
+  if (cmd == "users" && argc >= 3) {
+    return CmdUsers(argv[2]);
+  }
+  if (cmd == "top" && argc >= 3) {
+    return CmdTop(argv[2], argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10);
+  }
+  return Usage();
+}

@@ -1,0 +1,87 @@
+// Workload exploration: slice a trace into day/night windows, profile users
+// and hot files, and measure working sets — a tour of the filtering and
+// extension APIs.
+//
+//   ./workload_explorer [hours] [trace-name]
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/popularity.h"
+#include "src/analysis/working_set.h"
+#include "src/trace/filter.h"
+#include "src/util/table.h"
+#include "src/workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace bsdtrace;
+
+  const double hours = argc > 1 ? std::atof(argv[1]) : 24.0;
+  const std::string name = argc > 2 ? argv[2] : "A5";
+  std::cout << "Exploring " << hours << " simulated hours of the " << name
+            << " workload...\n\n";
+
+  GeneratorOptions options;
+  options.duration = Duration::Hours(hours);
+  const Trace trace = GenerateTraceOnly(ProfileByName(name), options);
+
+  // -- Busiest vs. quietest hour ------------------------------------------------
+  // The simulation clock starts at 08:00, so hour index 6 is ~14:00 (the
+  // diurnal peak) and, in a 24 h run, index 18 is ~02:00.
+  struct Window {
+    const char* label;
+    double start_h;
+  };
+  std::vector<Window> windows = {{"afternoon (14:00)", 6.0}};
+  if (hours >= 20) {
+    windows.push_back({"night (02:00)", 18.0});
+  }
+  TextTable when({"Window", "Records", "Bytes", "Active users"});
+  for (const Window& w : windows) {
+    const Trace slice = SliceByTime(trace, SimTime::FromSeconds(w.start_h * 3600),
+                                    SimTime::FromSeconds((w.start_h + 1) * 3600));
+    const TraceAnalysis a = AnalyzeTrace(slice);
+    when.AddRow({w.label, Cell(static_cast<int64_t>(slice.size())),
+                 FormatBytes(static_cast<double>(a.overall.bytes_transferred)),
+                 Cell(static_cast<int64_t>(a.activity.distinct_users))});
+  }
+  std::cout << when.Render("Hour-long slices (the diurnal swing)") << "\n";
+
+  // -- Who does the work ---------------------------------------------------------
+  const auto by_user = CountEventsByUser(trace);
+  std::vector<std::pair<uint64_t, UserId>> ranked;
+  for (const auto& [user, events] : by_user) {
+    ranked.emplace_back(events, user);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  TextTable users({"User", "Events", "Note"});
+  for (size_t i = 0; i < 5 && i < ranked.size(); ++i) {
+    const UserId id = ranked[i].second;
+    const char* note = id == 0 ? "system daemons" : id == 1 ? "printer daemon" : "";
+    users.AddRow({Cell(static_cast<int64_t>(id)), Cell(static_cast<int64_t>(ranked[i].first)),
+                  note});
+  }
+  std::cout << users.Render("Top event producers") << "\n";
+
+  // -- What they touch -------------------------------------------------------------
+  const PopularityStats pop = AnalyzePopularity(trace);
+  std::cout << "Access concentration: " << pop.distinct_files << " files accessed; the top 10"
+            << " take " << FormatPercent(pop.TopAccessShare(10), 0) << " of accesses and "
+            << pop.FilesForAccessFraction(0.5) << " files cover half of them.\n\n";
+
+  // -- How much data is live at once ----------------------------------------------
+  const WorkingSetStats ws = AnalyzeWorkingSets(
+      trace, {Duration::Minutes(1), Duration::Minutes(10), Duration::Hours(1)});
+  TextTable ws_table({"Window", "Avg working set", "Peak"});
+  for (const WorkingSetPoint& p : ws.points) {
+    ws_table.AddRow({p.window.ToString(), FormatBytes(p.average_blocks * 4096),
+                     FormatBytes(static_cast<double>(p.peak_blocks) * 4096)});
+  }
+  std::cout << ws_table.Render("File-data working sets") << "\n";
+  std::cout << "A cache sized near the 10-minute working set captures most reuse —\n"
+               "the knee of the paper's Figure 5.\n";
+  return 0;
+}

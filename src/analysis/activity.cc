@@ -1,0 +1,107 @@
+#include "src/analysis/activity.h"
+
+namespace bsdtrace {
+
+ActivityCollector::ActivityCollector()
+    : ten_minute_(Duration::Minutes(10)), ten_second_(Duration::Seconds(10)) {}
+
+UserId ActivityCollector::UserOf(const TraceRecord& r) {
+  switch (r.type) {
+    case EventType::kOpen:
+    case EventType::kCreate:
+      open_user_[r.open_id] = r.user_id;
+      return r.user_id;
+    case EventType::kSeek: {
+      auto it = open_user_.find(r.open_id);
+      return it != open_user_.end() ? it->second : r.user_id;
+    }
+    case EventType::kClose: {
+      auto it = open_user_.find(r.open_id);
+      if (it == open_user_.end()) {
+        return r.user_id;
+      }
+      const UserId user = it->second;
+      open_user_.erase(it);
+      return user;
+    }
+    default:
+      return r.user_id;
+  }
+}
+
+void ActivityCollector::FlushWindow(Window& w) {
+  if (w.current_index < 0) {
+    return;
+  }
+  w.result.active_users.Add(static_cast<double>(w.active.size()));
+  w.result.max_active_users =
+      std::max(w.result.max_active_users, static_cast<int64_t>(w.active.size()));
+  for (const auto& [user, bytes] : w.bytes) {
+    w.result.throughput_per_user.Add(static_cast<double>(bytes) / w.length.seconds());
+  }
+  // Users active with zero reconstructed bytes (e.g. only an unlink) still
+  // count as active users with zero throughput.
+  for (UserId user : w.active) {
+    if (w.bytes.count(user) == 0) {
+      w.result.throughput_per_user.Add(0.0);
+    }
+  }
+  w.result.intervals += 1;
+  w.active.clear();
+  w.bytes.clear();
+}
+
+void ActivityCollector::Touch(Window& w, SimTime t, UserId user, uint64_t bytes) {
+  const int64_t index = t.micros() / w.length.micros();
+  if (index != w.current_index) {
+    // Flush completed interval(s); empty intervals between events count as
+    // intervals with zero active users.
+    FlushWindow(w);
+    for (int64_t i = w.current_index + 1; i < index; ++i) {
+      w.result.active_users.Add(0.0);
+      w.result.intervals += 1;
+    }
+    w.current_index = index;
+  }
+  w.active.insert(user);
+  if (bytes > 0) {
+    w.bytes[user] += bytes;
+  }
+}
+
+void ActivityCollector::OnRecord(const TraceRecord& r) {
+  const UserId user = UserOf(r);
+  users_seen_.insert(user);
+  Touch(ten_minute_, r.time, user, 0);
+  Touch(ten_second_, r.time, user, 0);
+  if (r.time > last_time_) {
+    last_time_ = r.time;
+  }
+}
+
+void ActivityCollector::OnTransfer(const Transfer& t) {
+  total_bytes_ += t.length;
+  users_seen_.insert(t.user_id);
+  Touch(ten_minute_, t.time, t.user_id, t.length);
+  Touch(ten_second_, t.time, t.user_id, t.length);
+}
+
+ActivityStats ActivityCollector::Take() {
+  FlushWindow(ten_minute_);
+  FlushWindow(ten_second_);
+  ActivityStats stats;
+  stats.duration = last_time_ - SimTime::Origin();
+  stats.total_bytes = total_bytes_;
+  stats.average_throughput =
+      stats.duration > Duration::Zero()
+          ? static_cast<double>(total_bytes_) / stats.duration.seconds()
+          : 0.0;
+  stats.distinct_users = users_seen_.size();
+  ten_minute_.result.interval_length = ten_minute_.length;
+  ten_second_.result.interval_length = ten_second_.length;
+  stats.ten_minute = ten_minute_.result;
+  stats.ten_second = ten_second_.result;
+  return stats;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,56 @@
+#include "src/analysis/analyzer.h"
+
+#include <array>
+
+namespace bsdtrace {
+namespace {
+
+// Fans reconstruction callbacks out to every collector.
+class MuxSink : public ReconstructionSink {
+ public:
+  explicit MuxSink(std::array<ReconstructionSink*, 5> sinks) : sinks_(sinks) {}
+
+  void OnTransfer(const Transfer& t) override {
+    for (ReconstructionSink* s : sinks_) {
+      s->OnTransfer(t);
+    }
+  }
+  void OnAccess(const AccessSummary& a) override {
+    for (ReconstructionSink* s : sinks_) {
+      s->OnAccess(a);
+    }
+  }
+  void OnRecord(const TraceRecord& r) override {
+    for (ReconstructionSink* s : sinks_) {
+      s->OnRecord(r);
+    }
+  }
+
+ private:
+  std::array<ReconstructionSink*, 5> sinks_;
+};
+
+}  // namespace
+
+TraceAnalysis AnalyzeTrace(const Trace& trace) {
+  OverallStatsCollector overall;
+  ActivityCollector activity;
+  SequentialityCollector sequentiality;
+  PatternsCollector patterns;
+  LifetimeCollector lifetimes;
+
+  MuxSink mux({&overall, &activity, &sequentiality, &patterns, &lifetimes});
+  Reconstruct(trace, &mux);
+
+  TraceAnalysis analysis;
+  analysis.overall = overall.Take();
+  analysis.activity = activity.Take();
+  analysis.sequentiality = sequentiality.Take();
+  analysis.runs = patterns.TakeRuns();
+  analysis.file_sizes = patterns.TakeFileSizes();
+  analysis.open_times = patterns.TakeOpenTimes();
+  analysis.lifetimes = lifetimes.Take();
+  return analysis;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,32 @@
+// One-pass trace analysis facade: runs every Section-5 collector over a
+// trace via the access reconstructor.
+
+#ifndef BSDTRACE_SRC_ANALYSIS_ANALYZER_H_
+#define BSDTRACE_SRC_ANALYSIS_ANALYZER_H_
+
+#include "src/analysis/activity.h"
+#include "src/analysis/lifetimes.h"
+#include "src/analysis/overall.h"
+#include "src/analysis/patterns.h"
+#include "src/analysis/sequentiality.h"
+#include "src/trace/trace.h"
+
+namespace bsdtrace {
+
+// Everything Section 5 of the paper reports about a trace.
+struct TraceAnalysis {
+  OverallStats overall;            // Table III + §3.1 intervals
+  ActivityStats activity;          // Table IV
+  SequentialityStats sequentiality;  // Table V
+  RunLengthStats runs;             // Figure 1
+  FileSizeStats file_sizes;        // Figure 2
+  OpenTimeStats open_times;        // Figure 3
+  LifetimeStats lifetimes;         // Figure 4
+};
+
+// Runs all collectors in a single pass over the trace.
+TraceAnalysis AnalyzeTrace(const Trace& trace);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,57 @@
+#include "src/analysis/lifetimes.h"
+
+namespace bsdtrace {
+
+double LifetimeStats::FileFractionIn(double lo_seconds, double hi_seconds) const {
+  if (by_files.total_weight() <= 0) {
+    return 0.0;
+  }
+  return by_files.FractionAtOrBelow(hi_seconds) - by_files.FractionAtOrBelow(lo_seconds);
+}
+
+void LifetimeCollector::Kill(FileId file, SimTime when) {
+  auto it = live_.find(file);
+  if (it == live_.end()) {
+    return;
+  }
+  const double lifetime = (when - it->second.birth).seconds();
+  stats_.by_files.Add(lifetime);
+  if (it->second.bytes_written > 0) {
+    stats_.by_bytes.Add(lifetime, static_cast<double>(it->second.bytes_written));
+  }
+  stats_.observed_deaths += 1;
+  live_.erase(it);
+}
+
+void LifetimeCollector::OnRecord(const TraceRecord& r) {
+  switch (r.type) {
+    case EventType::kCreate:
+      // Re-creation completely overwrites the previous incarnation.
+      Kill(r.file_id, r.time);
+      live_[r.file_id] = Incarnation{.birth = r.time, .bytes_written = 0};
+      stats_.new_files += 1;
+      break;
+    case EventType::kUnlink:
+      Kill(r.file_id, r.time);
+      break;
+    case EventType::kTruncate:
+      if (r.size == 0) {
+        Kill(r.file_id, r.time);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void LifetimeCollector::OnTransfer(const Transfer& t) {
+  if (t.direction != TransferDirection::kWrite) {
+    return;
+  }
+  auto it = live_.find(t.file_id);
+  if (it != live_.end()) {
+    it->second.bytes_written += t.length;
+  }
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,57 @@
+// File lifetime measurement (paper Fig. 4 and §5.3).
+//
+// A "new file" is one created during the trace or truncated to zero length —
+// the paper's definition of newly-written information.  The lifetime of that
+// information runs from creation until the file is deleted (unlink), emptied
+// (truncate to 0), or completely overwritten (re-created).  Only deaths
+// observed within the trace are counted; data still live at the end of the
+// trace is right-censored and excluded, as in the paper.
+//
+// Two weightings are reported: by number of files (Fig. 4a) and by bytes
+// written to the new file during its life (Fig. 4b).
+
+#ifndef BSDTRACE_SRC_ANALYSIS_LIFETIMES_H_
+#define BSDTRACE_SRC_ANALYSIS_LIFETIMES_H_
+
+#include <unordered_map>
+
+#include "src/trace/reconstruct.h"
+#include "src/util/stats.h"
+
+namespace bsdtrace {
+
+struct LifetimeStats {
+  // Lifetimes in seconds, weighted by file count (Fig. 4a).
+  WeightedCdf by_files;
+  // Lifetimes in seconds, weighted by bytes written (Fig. 4b).
+  WeightedCdf by_bytes;
+  uint64_t new_files = 0;       // incarnations born during the trace
+  uint64_t observed_deaths = 0; // deaths observed before the trace ended
+
+  // Fraction of new files whose lifetime falls in [lo, hi) seconds — used to
+  // spot the 180-second daemon spike.
+  double FileFractionIn(double lo_seconds, double hi_seconds) const;
+};
+
+class LifetimeCollector : public ReconstructionSink {
+ public:
+  void OnRecord(const TraceRecord& record) override;
+  void OnTransfer(const Transfer& transfer) override;
+
+  LifetimeStats Take() { return std::move(stats_); }
+
+ private:
+  struct Incarnation {
+    SimTime birth;
+    uint64_t bytes_written = 0;
+  };
+
+  void Kill(FileId file, SimTime when);
+
+  std::unordered_map<FileId, Incarnation> live_;
+  LifetimeStats stats_;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_ANALYSIS_LIFETIMES_H_

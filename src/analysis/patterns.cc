@@ -1,0 +1,20 @@
+#include "src/analysis/patterns.h"
+
+namespace bsdtrace {
+
+void PatternsCollector::OnTransfer(const Transfer& t) {
+  const auto len = static_cast<double>(t.length);
+  runs_.by_runs.Add(len);
+  runs_.by_bytes.Add(len, len);
+}
+
+void PatternsCollector::OnAccess(const AccessSummary& a) {
+  const auto size = static_cast<double>(a.size_at_close);
+  sizes_.by_accesses.Add(size);
+  if (a.bytes_transferred > 0) {
+    sizes_.by_bytes.Add(size, static_cast<double>(a.bytes_transferred));
+  }
+  open_times_.seconds.Add(a.open_duration().seconds());
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,71 @@
+#include "src/analysis/working_set.h"
+
+#include <algorithm>
+
+#include "src/trace/trace.h"
+
+namespace bsdtrace {
+
+WorkingSetTracker::WorkingSetTracker(Duration window, uint32_t block_size)
+    : window_(window), block_size_(block_size) {}
+
+void WorkingSetTracker::Expire(SimTime now) {
+  const SimTime cutoff = now - window_;
+  while (!queue_.empty() && queue_.front().second < cutoff) {
+    const auto& [key, when] = queue_.front();
+    auto it = in_window_.find(key);
+    // Only expire if this queue entry is the block's latest access.
+    if (it != in_window_.end() && it->second == when) {
+      in_window_.erase(it);
+    }
+    queue_.pop_front();
+  }
+}
+
+void WorkingSetTracker::AccountInterval(SimTime now) {
+  if (started_ && now > last_sample_) {
+    const double dt = (now - last_sample_).seconds();
+    weighted_sum_ += dt * static_cast<double>(in_window_.size());
+    total_time_ += dt;
+  }
+  last_sample_ = now;
+  started_ = true;
+}
+
+void WorkingSetTracker::OnTransfer(const Transfer& t) {
+  if (t.length == 0) {
+    return;
+  }
+  AccountInterval(t.time);
+  Expire(t.time);
+  const uint64_t first = t.offset / block_size_;
+  const uint64_t last = (t.offset + t.length - 1) / block_size_;
+  for (uint64_t b = first; b <= last; ++b) {
+    const BlockKey key{.file = t.file_id, .index = b};
+    in_window_[key] = t.time;
+    queue_.emplace_back(key, t.time);
+  }
+  peak_ = std::max<uint64_t>(peak_, in_window_.size());
+}
+
+WorkingSetPoint WorkingSetTracker::Take() {
+  WorkingSetPoint point;
+  point.window = window_;
+  point.average_blocks = total_time_ > 0 ? weighted_sum_ / total_time_ : 0.0;
+  point.peak_blocks = peak_;
+  return point;
+}
+
+WorkingSetStats AnalyzeWorkingSets(const Trace& trace, const std::vector<Duration>& windows,
+                                   uint32_t block_size) {
+  WorkingSetStats stats;
+  stats.block_size = block_size;
+  for (Duration window : windows) {
+    WorkingSetTracker tracker(window, block_size);
+    Reconstruct(trace, &tracker);
+    stats.points.push_back(tracker.Take());
+  }
+  return stats;
+}
+
+}  // namespace bsdtrace

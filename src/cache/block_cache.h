@@ -1,0 +1,115 @@
+// An LRU cache of fixed-size disk blocks (paper §6.1).
+//
+// Keys are (file id, block index) pairs: the trace is logical, so the cache
+// is indexed by file blocks rather than physical disk addresses (the paper's
+// simulator worked the same way).  The cache tracks dirtiness and load time
+// per block; the policy decisions (when to write back, when a fetch is
+// needed) live in CacheSimulator.
+
+#ifndef BSDTRACE_SRC_CACHE_BLOCK_CACHE_H_
+#define BSDTRACE_SRC_CACHE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "src/trace/types.h"
+#include "src/util/sim_time.h"
+
+namespace bsdtrace {
+
+struct BlockKey {
+  FileId file = kInvalidFileId;
+  uint64_t index = 0;
+
+  bool operator==(const BlockKey&) const = default;
+};
+
+struct BlockKeyHash {
+  size_t operator()(const BlockKey& k) const {
+    // Mix the two words; files are dense small integers, indices small.
+    uint64_t h = k.file * 0x9E3779B97F4A7C15ull;
+    h ^= k.index + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+// Which block to evict when the cache is full.  The paper's simulator (and
+// 4.2 BSD itself) used LRU; the alternatives support the replacement-policy
+// ablation bench.
+enum class ReplacementPolicy : uint8_t {
+  kLru,    // evict least-recently-used (the paper's policy)
+  kFifo,   // evict oldest-loaded, ignoring reuse
+  kClock,  // second chance: skip recently-referenced blocks once
+};
+
+const char* ReplacementPolicyName(ReplacementPolicy policy);
+
+// One cached block.
+struct CacheEntry {
+  BlockKey key;
+  bool dirty = false;
+  bool referenced = false;  // clock policy's second-chance bit
+  SimTime loaded;       // when the block entered the cache
+  SimTime dirtied;      // last transition clean->dirty (valid if dirty)
+};
+
+// Fixed-capacity block store with a pluggable replacement policy.  Not a
+// write policy: callers decide what eviction and dirtiness mean in disk I/Os.
+class BlockCache {
+ public:
+  explicit BlockCache(uint64_t capacity_blocks,
+                      ReplacementPolicy policy = ReplacementPolicy::kLru);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  // Looks up a block and, if present, makes it most-recently-used.
+  // Returns the entry or nullptr.
+  CacheEntry* Touch(const BlockKey& key);
+
+  // Inserts a block as most-recently-used.  The block must not be present.
+  // If the cache is full, the least-recently-used entry is evicted first and
+  // passed to `on_evict` (e.g. to count a write-back if dirty).
+  void Insert(const BlockKey& key, SimTime now,
+              const std::function<void(const CacheEntry&)>& on_evict);
+
+  // Removes a specific block if present; `on_drop` sees it first (dirty
+  // blocks of deleted files are dropped without a disk write).
+  void Remove(const BlockKey& key, const std::function<void(const CacheEntry&)>& on_drop);
+
+  // Removes every block of `file` with index >= first_index.
+  void RemoveFileBlocks(FileId file, uint64_t first_index,
+                        const std::function<void(const CacheEntry&)>& on_drop);
+
+  // Invokes `fn` on every entry (flush-back scans); entries may be mutated
+  // but not added/removed.
+  void ForEach(const std::function<void(CacheEntry&)>& fn);
+
+  uint64_t size() const { return map_.size(); }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t dirty_count() const { return dirty_count_; }
+
+  // Dirty bookkeeping used by CacheSimulator so flush scans can early-out.
+  void NoteDirtied() { ++dirty_count_; }
+  void NoteCleaned() { --dirty_count_; }
+
+ private:
+  using LruList = std::list<CacheEntry>;
+
+  // Selects and removes the replacement victim per the policy.
+  CacheEntry PopVictim();
+
+  uint64_t capacity_;
+  ReplacementPolicy policy_;
+  LruList lru_;  // front = most recently used / newest-loaded
+  std::unordered_map<BlockKey, LruList::iterator, BlockKeyHash> map_;
+  // Secondary index: blocks per file, for O(blocks-of-file) invalidation.
+  std::unordered_map<FileId, std::unordered_map<uint64_t, LruList::iterator>> per_file_;
+  uint64_t dirty_count_ = 0;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_CACHE_BLOCK_CACHE_H_

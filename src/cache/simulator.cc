@@ -1,0 +1,260 @@
+#include "src/cache/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/stats.h"
+
+namespace bsdtrace {
+
+const char* WritePolicyName(WritePolicy policy) {
+  switch (policy) {
+    case WritePolicy::kWriteThrough:
+      return "write-through";
+    case WritePolicy::kFlushBack:
+      return "flush-back";
+    case WritePolicy::kDelayedWrite:
+      return "delayed-write";
+  }
+  return "?";
+}
+
+std::string CacheConfig::ToString() const {
+  std::string out = FormatBytes(static_cast<double>(size_bytes)) + " cache, " +
+                    FormatBytes(block_size) + " blocks, " + WritePolicyName(policy);
+  if (policy == WritePolicy::kFlushBack) {
+    out += "(" + flush_interval.ToString() + ")";
+  }
+  if (replacement != ReplacementPolicy::kLru) {
+    out += std::string(", ") + ReplacementPolicyName(replacement);
+  }
+  if (simulate_execve_pagein) {
+    out += ", +page-in";
+  }
+  return out;
+}
+
+CacheSimulator::CacheSimulator(const CacheConfig& config)
+    : config_(config), cache_(config.block_count(), config.replacement) {
+  next_flush_ = SimTime::Origin() + config_.flush_interval;
+}
+
+void CacheSimulator::RecordResidency(SimTime now, const CacheEntry& entry) {
+  const double seconds = (now - entry.loaded).seconds();
+  metrics_.residency_seconds.Add(seconds);
+  metrics_.residency_samples += 1;
+  if (seconds > 20.0 * 60.0) {
+    metrics_.residency_over_20min += 1;
+  }
+}
+
+void CacheSimulator::AdvanceClock(SimTime now) {
+  if (now > now_) {
+    now_ = now;
+  }
+  if (config_.policy != WritePolicy::kFlushBack) {
+    return;
+  }
+  while (now_ >= next_flush_) {
+    FlushScan();
+    next_flush_ += config_.flush_interval;
+  }
+}
+
+void CacheSimulator::FlushScan() {
+  if (cache_.dirty_count() == 0) {
+    return;
+  }
+  cache_.ForEach([this](CacheEntry& entry) {
+    if (entry.dirty) {
+      entry.dirty = false;
+      cache_.NoteCleaned();
+      metrics_.disk_writes += 1;
+    }
+  });
+}
+
+void CacheSimulator::AccessBlock(SimTime now, const BlockKey& key, bool is_write,
+                                 bool whole_block) {
+  metrics_.logical_accesses += 1;
+  if (is_write) {
+    metrics_.write_accesses += 1;
+  } else {
+    metrics_.read_accesses += 1;
+  }
+
+  CacheEntry* entry = cache_.Touch(key);
+  if (entry == nullptr) {
+    // Miss.  A disk read is needed unless this access overwrites the whole
+    // block, or the block lies beyond any data the file is known to have.
+    const uint64_t block_start = key.index * config_.block_size;
+    auto ext = known_extent_.find(key.file);
+    const bool beyond_known_data = (ext == known_extent_.end() || block_start >= ext->second);
+    if (!(is_write && (whole_block || beyond_known_data))) {
+      metrics_.disk_reads += 1;
+    }
+    cache_.Insert(key, now, [this, now](const CacheEntry& victim) {
+      metrics_.evictions += 1;
+      RecordResidency(now, victim);
+      if (victim.dirty) {
+        metrics_.disk_writes += 1;  // delayed/flush-back eviction write-back
+      }
+    });
+    entry = cache_.Touch(key);
+    assert(entry != nullptr);
+  }
+
+  if (is_write) {
+    if (config_.policy == WritePolicy::kWriteThrough) {
+      metrics_.disk_writes += 1;  // every modification goes to disk
+      // The cached copy stays clean: disk is up to date.
+      if (entry->dirty) {
+        entry->dirty = false;
+        cache_.NoteCleaned();
+      }
+    } else if (!entry->dirty) {
+      entry->dirty = true;
+      entry->dirtied = now;
+      cache_.NoteDirtied();
+    }
+  }
+}
+
+void CacheSimulator::Access(SimTime now, FileId file, uint64_t offset, uint64_t length,
+                            bool is_write) {
+  if (length == 0) {
+    return;
+  }
+  AdvanceClock(now);
+  const uint32_t bs = config_.block_size;
+  const uint64_t first = offset / bs;
+  const uint64_t last = (offset + length - 1) / bs;
+  for (uint64_t b = first; b <= last; ++b) {
+    const uint64_t block_start = b * bs;
+    const uint64_t block_end = block_start + bs;
+    const bool whole_block = is_write && offset <= block_start && offset + length >= block_end;
+    AccessBlock(now, BlockKey{.file = file, .index = b}, is_write, whole_block);
+  }
+  if (is_write) {
+    auto& extent = known_extent_[file];
+    extent = std::max(extent, offset + length);
+  } else {
+    // A successful read proves the data existed.
+    auto& extent = known_extent_[file];
+    extent = std::max(extent, offset + length);
+  }
+}
+
+void CacheSimulator::OnTransfer(const Transfer& t) {
+  const bool is_write = t.direction == TransferDirection::kWrite;
+  Access(t.time, t.file_id, t.offset, t.length, is_write);
+  if (config_.simulate_metadata && is_write) {
+    meta_dirty_.insert(t.file_id);
+  }
+}
+
+// Metadata approximation (§8 extension).  The trace carries no pathnames, so
+// locality is modelled through file ids: i-nodes pack 16 per block of a
+// reserved "i-node table" file, and files with nearby ids (created together,
+// usually in the same directory) share a directory content block of 32
+// entries.  Each open costs an i-node read plus a directory read; each close
+// after writing costs an i-node write; unlinks write both.
+namespace {
+constexpr FileId kInodeTableFile = 1ull << 62;
+constexpr FileId kDirectoryFile = (1ull << 62) + 1;
+constexpr uint64_t kInodesPerBlock = 16;
+constexpr uint64_t kDirEntriesPerBlock = 32;
+}  // namespace
+
+void CacheSimulator::MetadataAccess(SimTime now, FileId file, bool is_write) {
+  AdvanceClock(now);
+  // Metadata blocks always exist on disk: mark the reserved files as fully
+  // populated so partial writes to them fetch first (read-modify-write).
+  known_extent_[kInodeTableFile] = UINT64_MAX / 2;
+  known_extent_[kDirectoryFile] = UINT64_MAX / 2;
+  metrics_.metadata_accesses += 2;
+  AccessBlock(now, BlockKey{.file = kInodeTableFile, .index = file / kInodesPerBlock},
+              is_write, false);
+  AccessBlock(now, BlockKey{.file = kDirectoryFile, .index = file / kDirEntriesPerBlock},
+              is_write, false);
+}
+
+void CacheSimulator::InvalidateFrom(SimTime now, FileId file, uint64_t first_byte) {
+  AdvanceClock(now);
+  const uint64_t first_block =
+      (first_byte + config_.block_size - 1) / config_.block_size;  // whole blocks only
+  cache_.RemoveFileBlocks(file, first_block, [this, now](const CacheEntry& dropped) {
+    RecordResidency(now, dropped);
+    if (dropped.dirty) {
+      metrics_.dirty_discarded += 1;  // never reaches disk
+    }
+  });
+  if (first_byte == 0) {
+    known_extent_.erase(file);
+  } else {
+    auto it = known_extent_.find(file);
+    if (it != known_extent_.end()) {
+      it->second = std::min(it->second, first_byte);
+    }
+  }
+}
+
+void CacheSimulator::OnRecord(const TraceRecord& r) {
+  if (config_.simulate_metadata) {
+    switch (r.type) {
+      case EventType::kOpen:
+        MetadataAccess(r.time, r.file_id, /*is_write=*/false);
+        break;
+      case EventType::kCreate:
+        MetadataAccess(r.time, r.file_id, /*is_write=*/true);
+        break;
+      case EventType::kClose:
+        if (meta_dirty_.erase(r.file_id) > 0) {
+          // The i-node's size/mtime must reach disk eventually.
+          metrics_.metadata_accesses += 1;
+          AccessBlock(r.time, BlockKey{.file = kInodeTableFile,
+                                       .index = r.file_id / kInodesPerBlock},
+                      /*is_write=*/true, false);
+        }
+        break;
+      case EventType::kUnlink:
+        MetadataAccess(r.time, r.file_id, /*is_write=*/true);
+        break;
+      default:
+        break;
+    }
+  }
+  switch (r.type) {
+    case EventType::kCreate:
+      // The open created or zero-truncated the file: cached data is void.
+      InvalidateFrom(r.time, r.file_id, 0);
+      break;
+    case EventType::kUnlink:
+      InvalidateFrom(r.time, r.file_id, 0);
+      break;
+    case EventType::kTruncate:
+      InvalidateFrom(r.time, r.file_id, r.size);
+      break;
+    case EventType::kExecve:
+      if (config_.simulate_execve_pagein && r.size > 0) {
+        // Fig. 7: demand page-in approximated as a whole-file read.
+        Access(r.time, r.file_id, 0, r.size, /*is_write=*/false);
+      }
+      break;
+    default:
+      AdvanceClock(r.time);
+      break;
+  }
+}
+
+void CacheSimulator::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  // Blocks still resident contribute right-censored residency samples; dirty
+  // ones are not charged as disk writes (see header comment).
+  cache_.ForEach([this](CacheEntry& entry) { RecordResidency(now_, entry); });
+}
+
+}  // namespace bsdtrace

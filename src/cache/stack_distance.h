@@ -1,0 +1,93 @@
+// One-pass LRU stack-distance analysis (Mattson et al., 1970).
+//
+// Replaying a trace once per candidate cache size (as the paper's simulator
+// and CacheSimulator do) costs a full pass per point on the Figure 5 curve.
+// Because LRU has the stack-inclusion property, a single pass that records
+// each access's *stack distance* — the number of distinct blocks touched
+// since the previous access to the same block — yields the fetch miss count
+// for every cache size simultaneously: an access hits in a cache of C blocks
+// iff its stack distance is at most C.
+//
+// Scope: this predicts *fetch* (read) misses under LRU replacement, exactly
+// matching CacheSimulator on streams without invalidations (property-tested).
+// Invalidations (unlink/truncate/overwrite) remove blocks from the stack;
+// because removal breaks the LRU inclusion property, predictions on traces
+// with invalidations are slightly optimistic (a few percent low).  Write-
+// policy disk writes are out of scope — pair with CacheSimulator when write
+// traffic matters.
+//
+// Implementation: Fenwick tree over access timestamps; O(log n) per access.
+
+#ifndef BSDTRACE_SRC_CACHE_STACK_DISTANCE_H_
+#define BSDTRACE_SRC_CACHE_STACK_DISTANCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/block_cache.h"
+#include "src/trace/reconstruct.h"
+
+namespace bsdtrace {
+
+// The distance profile produced by a pass.
+class StackDistanceProfile {
+ public:
+  // Misses a cache of `capacity_blocks` would take on the analyzed stream
+  // (cold + capacity misses; invalidation-induced re-fetches included).
+  uint64_t MissesAt(uint64_t capacity_blocks) const;
+  // Fetch miss ratio at the given capacity.
+  double MissRatioAt(uint64_t capacity_blocks) const;
+
+  uint64_t total_accesses() const { return total_accesses_; }
+  uint64_t cold_misses() const { return cold_misses_; }
+  // Histogram: counts[d] = accesses with stack distance exactly d (1-based;
+  // index 0 unused).
+  const std::vector<uint64_t>& distance_counts() const { return distance_counts_; }
+
+ private:
+  friend class StackDistanceAnalyzer;
+  void EnsureCumulative() const;
+
+  std::vector<uint64_t> distance_counts_{0};
+  uint64_t total_accesses_ = 0;
+  uint64_t cold_misses_ = 0;
+  // Lazily-built prefix sums of distance_counts_.
+  mutable std::vector<uint64_t> cumulative_;
+  mutable bool cumulative_valid_ = false;
+};
+
+// Streaming analyzer; feed via Reconstruct() like CacheSimulator.
+class StackDistanceAnalyzer : public ReconstructionSink {
+ public:
+  explicit StackDistanceAnalyzer(uint32_t block_size);
+
+  void OnTransfer(const Transfer& transfer) override;
+  void OnRecord(const TraceRecord& record) override;
+
+  StackDistanceProfile Take();
+
+ private:
+  // Fenwick tree over access slots.
+  void BitAdd(size_t i, int delta);
+  uint64_t BitPrefix(size_t i) const;  // sum of [1..i]
+
+  void AccessBlock(const BlockKey& key);
+  void InvalidateFrom(FileId file, uint64_t first_byte);
+
+  uint32_t block_size_;
+  StackDistanceProfile profile_;
+  // Block -> slot of its most recent access (1-based Fenwick indices).
+  std::unordered_map<BlockKey, size_t, BlockKeyHash> last_access_;
+  // Per-file index of cached block slots, for invalidation.
+  std::unordered_map<FileId, std::unordered_map<uint64_t, size_t>> per_file_;
+  std::vector<uint64_t> tree_;  // Fenwick tree of slot occupancy
+  size_t next_slot_ = 1;
+};
+
+// Convenience: analyze a whole trace.
+StackDistanceProfile ComputeStackDistances(const Trace& trace, uint32_t block_size);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_CACHE_STACK_DISTANCE_H_

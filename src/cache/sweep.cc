@@ -1,0 +1,122 @@
+#include "src/cache/sweep.h"
+
+#include <atomic>
+#include <thread>
+
+namespace bsdtrace {
+
+CacheMetrics SimulateCache(const Trace& trace, const CacheConfig& config,
+                           BillingPolicy billing) {
+  CacheSimulator sim(config);
+  Reconstruct(trace, &sim, billing);
+  sim.Finish();
+  return sim.metrics();
+}
+
+std::vector<SweepPoint> RunCacheSweep(const Trace& trace, const std::vector<CacheConfig>& configs,
+                                      unsigned threads) {
+  std::vector<SweepPoint> points(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    points[i].config = configs[i];
+  }
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(configs.size()));
+
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= points.size()) {
+        return;
+      }
+      points[i].metrics = SimulateCache(trace, points[i].config);
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  return points;
+}
+
+namespace {
+
+constexpr uint64_t kKb = 1024;
+constexpr uint64_t kMb = 1024 * 1024;
+
+}  // namespace
+
+std::vector<CacheConfig> Fig5Configs() {
+  // 390 KB is the paper's "UNIX" point (about 10% of a 4 MB machine).
+  const uint64_t sizes[] = {390 * kKb, 1 * kMb, 2 * kMb, 4 * kMb, 8 * kMb, 16 * kMb};
+  std::vector<CacheConfig> configs;
+  for (uint64_t size : sizes) {
+    for (int p = 0; p < 4; ++p) {
+      CacheConfig c;
+      c.size_bytes = size;
+      c.block_size = 4096;
+      switch (p) {
+        case 0:
+          c.policy = WritePolicy::kWriteThrough;
+          break;
+        case 1:
+          c.policy = WritePolicy::kFlushBack;
+          c.flush_interval = Duration::Seconds(30);
+          break;
+        case 2:
+          c.policy = WritePolicy::kFlushBack;
+          c.flush_interval = Duration::Minutes(5);
+          break;
+        default:
+          c.policy = WritePolicy::kDelayedWrite;
+          break;
+      }
+      configs.push_back(c);
+    }
+  }
+  return configs;
+}
+
+std::vector<CacheConfig> Fig6Configs() {
+  const uint32_t block_sizes[] = {1 * kKb, 2 * kKb, 4 * kKb, 8 * kKb, 16 * kKb, 32 * kKb};
+  const uint64_t cache_sizes[] = {400 * kKb, 2 * kMb, 4 * kMb, 8 * kMb};
+  std::vector<CacheConfig> configs;
+  for (uint64_t cache : cache_sizes) {
+    for (uint32_t block : block_sizes) {
+      CacheConfig c;
+      c.size_bytes = cache;
+      c.block_size = block;
+      c.policy = WritePolicy::kDelayedWrite;
+      configs.push_back(c);
+    }
+  }
+  return configs;
+}
+
+std::vector<CacheConfig> Fig7Configs() {
+  const uint64_t sizes[] = {390 * kKb, 1 * kMb, 2 * kMb, 4 * kMb, 8 * kMb, 16 * kMb};
+  std::vector<CacheConfig> configs;
+  for (bool pagein : {false, true}) {
+    for (uint64_t size : sizes) {
+      CacheConfig c;
+      c.size_bytes = size;
+      c.block_size = 4096;
+      c.policy = WritePolicy::kDelayedWrite;
+      c.simulate_execve_pagein = pagein;
+      configs.push_back(c);
+    }
+  }
+  return configs;
+}
+
+}  // namespace bsdtrace

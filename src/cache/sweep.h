@@ -1,0 +1,41 @@
+// Parameter sweeps over cache configurations (the axes of Figs. 5-7 and
+// Tables VI-VII).  Each configuration replays the same trace independently;
+// points run in parallel across hardware threads.
+
+#ifndef BSDTRACE_SRC_CACHE_SWEEP_H_
+#define BSDTRACE_SRC_CACHE_SWEEP_H_
+
+#include <vector>
+
+#include "src/cache/simulator.h"
+#include "src/trace/trace.h"
+
+namespace bsdtrace {
+
+struct SweepPoint {
+  CacheConfig config;
+  CacheMetrics metrics;
+};
+
+// Replays `trace` through one simulator.  `billing` selects which bound of
+// the transfer-time window is used (§3.1 timing-imprecision ablation).
+CacheMetrics SimulateCache(const Trace& trace, const CacheConfig& config,
+                           BillingPolicy billing = BillingPolicy::kAtNextEvent);
+
+// Replays `trace` through every configuration, in parallel.
+// `threads` = 0 uses the hardware concurrency.
+std::vector<SweepPoint> RunCacheSweep(const Trace& trace, const std::vector<CacheConfig>& configs,
+                                      unsigned threads = 0);
+
+// Convenience builders for the paper's sweeps.
+//
+// Fig. 5 / Table VI: cache size x write policy at 4 KB blocks.
+std::vector<CacheConfig> Fig5Configs();
+// Fig. 6 / Table VII: block size x cache size, delayed write.
+std::vector<CacheConfig> Fig6Configs();
+// Fig. 7: cache size sweep with and without execve page-in.
+std::vector<CacheConfig> Fig7Configs();
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_CACHE_SWEEP_H_

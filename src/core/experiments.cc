@@ -1,0 +1,722 @@
+#include "src/core/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/util/csv.h"
+#include "src/util/plot.h"
+#include "src/util/table.h"
+
+namespace bsdtrace {
+namespace {
+
+constexpr double kKb = 1024.0;
+constexpr double kMb = 1024.0 * 1024.0;
+
+std::string Mbytes(double bytes, int decimals = 1) {
+  return Cell(bytes / kMb, decimals);
+}
+
+std::string PlusMinus(const RunningStats& s, int decimals = 1) {
+  return Cell(s.mean(), decimals) + " (±" + Cell(s.stddev(), decimals) + ")";
+}
+
+// Policy axis of Fig. 5 / Table VI, in the paper's column order.
+struct PolicyKey {
+  WritePolicy policy;
+  int64_t flush_seconds;  // 0 unless flush-back
+
+  bool operator<(const PolicyKey& o) const {
+    if (policy != o.policy) {
+      return static_cast<int>(policy) < static_cast<int>(o.policy);
+    }
+    return flush_seconds < o.flush_seconds;
+  }
+};
+
+PolicyKey KeyOf(const CacheConfig& c) {
+  return PolicyKey{c.policy,
+                   c.policy == WritePolicy::kFlushBack
+                       ? static_cast<int64_t>(c.flush_interval.seconds())
+                       : 0};
+}
+
+std::string PolicyLabel(const PolicyKey& k) {
+  switch (k.policy) {
+    case WritePolicy::kWriteThrough:
+      return "Write-Through";
+    case WritePolicy::kFlushBack:
+      return k.flush_seconds >= 300 ? "5 Min Flush" : "30 Sec Flush";
+    case WritePolicy::kDelayedWrite:
+      return "Delayed Write";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Duration StandardDuration() {
+  if (const char* hours = std::getenv("BSDTRACE_HOURS"); hours != nullptr) {
+    const double h = std::atof(hours);
+    if (h > 0) {
+      return Duration::Hours(h);
+    }
+  }
+  return Duration::Hours(24);
+}
+
+GenerationResult GenerateStandardTrace(const std::string& name, Duration duration,
+                                       uint64_t seed) {
+  GeneratorOptions options;
+  options.duration = duration;
+  options.seed = seed;
+  MachineProfile profile = ProfileByName(name);
+  // BSDTRACE_INTENSITY scales machine busyness (1.0 default; ~2 approximates
+  // the original machines' event rates).
+  if (const char* intensity = std::getenv("BSDTRACE_INTENSITY"); intensity != nullptr) {
+    const double v = std::atof(intensity);
+    if (v > 0) {
+      profile.intensity = v;
+    }
+  }
+  return GenerateTrace(profile, options);
+}
+
+GenerationResult GenerateStandardTrace(const std::string& name) {
+  uint64_t seed = 19851201;
+  if (name == "E3") {
+    seed = 19851202;
+  } else if (name == "C4") {
+    seed = 19851203;
+  }
+  return GenerateStandardTrace(name, StandardDuration(), seed);
+}
+
+std::string RenderTable3(const std::vector<NamedAnalysis>& traces) {
+  std::vector<std::string> header = {"Trace"};
+  for (const auto& [name, analysis] : traces) {
+    header.push_back(name);
+  }
+  TextTable table(header);
+
+  auto row = [&](const std::string& label, auto&& fn) {
+    std::vector<std::string> cells = {label};
+    for (const auto& [name, analysis] : traces) {
+      cells.push_back(fn(*analysis));
+    }
+    table.AddRow(std::move(cells));
+  };
+
+  row("Duration (hours)",
+      [](const TraceAnalysis& a) { return Cell(a.overall.duration.hours(), 1); });
+  row("Number of trace records",
+      [](const TraceAnalysis& a) { return Cell(static_cast<int64_t>(a.overall.total_records)); });
+  row("Total data transferred to/from files (Mbytes)",
+      [](const TraceAnalysis& a) { return Mbytes(static_cast<double>(a.overall.bytes_transferred)); });
+  table.AddSeparator();
+  const EventType kOrder[] = {EventType::kCreate, EventType::kOpen,     EventType::kClose,
+                              EventType::kSeek,   EventType::kUnlink,   EventType::kTruncate,
+                              EventType::kExecve};
+  for (EventType type : kOrder) {
+    row(std::string(EventTypeName(type)) + " events", [type](const TraceAnalysis& a) {
+      return Cell(static_cast<int64_t>(a.overall.Count(type))) + " (" +
+             FormatPercent(a.overall.Fraction(type)) + ")";
+    });
+  }
+  return table.Render("Table III. Overall statistics for the traces.");
+}
+
+std::string RenderEventIntervals(const std::vector<NamedAnalysis>& traces) {
+  TextTable table({"Trace", "< 0.5 s", "< 10 s", "< 30 s", "samples"});
+  for (const auto& [name, analysis] : traces) {
+    const WeightedCdf& cdf = analysis->overall.inter_event_interval_seconds;
+    table.AddRow({name, FormatPercent(cdf.FractionAtOrBelow(0.5)),
+                  FormatPercent(cdf.FractionAtOrBelow(10.0)),
+                  FormatPercent(cdf.FractionAtOrBelow(30.0)),
+                  Cell(cdf.sample_count())});
+  }
+  std::string out = table.Render(
+      "Intervals between successive trace events for the same open file (paper §3.1).");
+  out += "Paper: 75% < 0.5 s, 90% < 10 s, 99% < 30 s.\n";
+  return out;
+}
+
+std::string RenderTable4(const std::vector<NamedAnalysis>& traces) {
+  std::vector<std::string> header = {"Measure"};
+  for (const auto& [name, analysis] : traces) {
+    header.push_back(name);
+  }
+  TextTable table(header);
+  auto row = [&](const std::string& label, auto&& fn) {
+    std::vector<std::string> cells = {label};
+    for (const auto& [name, analysis] : traces) {
+      cells.push_back(fn(*analysis));
+    }
+    table.AddRow(std::move(cells));
+  };
+
+  row("Average throughput (bytes/sec over life of trace)",
+      [](const TraceAnalysis& a) { return Cell(a.activity.average_throughput, 0); });
+  row("Total number of different users",
+      [](const TraceAnalysis& a) { return Cell(static_cast<int64_t>(a.activity.distinct_users)); });
+  row("Greatest number of active users in a 10 minute interval",
+      [](const TraceAnalysis& a) { return Cell(a.activity.ten_minute.max_active_users); });
+  row("Average number of active users (10 minute intervals)",
+      [](const TraceAnalysis& a) { return PlusMinus(a.activity.ten_minute.active_users); });
+  row("Average throughput per active user (bytes/sec, 10 min)",
+      [](const TraceAnalysis& a) { return PlusMinus(a.activity.ten_minute.throughput_per_user, 0); });
+  row("Average number of active users (10 second intervals)",
+      [](const TraceAnalysis& a) { return PlusMinus(a.activity.ten_second.active_users); });
+  row("Average throughput per active user (bytes/sec, 10 sec)",
+      [](const TraceAnalysis& a) { return PlusMinus(a.activity.ten_second.throughput_per_user, 0); });
+  return table.Render("Table IV. System activity (a user is active in an interval if any "
+                      "trace event for that user falls in it).");
+}
+
+std::string RenderTable5(const std::vector<NamedAnalysis>& traces) {
+  std::vector<std::string> header = {"Measure"};
+  for (const auto& [name, analysis] : traces) {
+    header.push_back(name);
+  }
+  TextTable table(header);
+  auto row = [&](const std::string& label, auto&& fn) {
+    std::vector<std::string> cells = {label};
+    for (const auto& [name, analysis] : traces) {
+      cells.push_back(fn(analysis->sequentiality));
+    }
+    table.AddRow(std::move(cells));
+  };
+
+  row("Whole-file read transfers (% of read-only accesses)", [](const SequentialityStats& s) {
+    const ModeSequentiality& m = s.Mode(AccessMode::kReadOnly);
+    return Cell(static_cast<int64_t>(m.whole_file)) + " (" +
+           FormatPercent(m.WholeFileFraction(), 0) + ")";
+  });
+  row("Whole-file write transfers (% of write-only accesses)", [](const SequentialityStats& s) {
+    const ModeSequentiality& m = s.Mode(AccessMode::kWriteOnly);
+    return Cell(static_cast<int64_t>(m.whole_file)) + " (" +
+           FormatPercent(m.WholeFileFraction(), 0) + ")";
+  });
+  row("Data transferred in whole-file transfers (Mbytes)", [](const SequentialityStats& s) {
+    const ModeSequentiality total = s.Total();
+    return Mbytes(static_cast<double>(total.whole_file_bytes)) + " (" +
+           FormatPercent(s.WholeFileByteFraction(), 0) + ")";
+  });
+  table.AddSeparator();
+  row("Sequential read-only accesses", [](const SequentialityStats& s) {
+    const ModeSequentiality& m = s.Mode(AccessMode::kReadOnly);
+    return Cell(static_cast<int64_t>(m.sequential)) + " (" +
+           FormatPercent(m.SequentialFraction(), 0) + ")";
+  });
+  row("Sequential write-only accesses", [](const SequentialityStats& s) {
+    const ModeSequentiality& m = s.Mode(AccessMode::kWriteOnly);
+    return Cell(static_cast<int64_t>(m.sequential)) + " (" +
+           FormatPercent(m.SequentialFraction(), 0) + ")";
+  });
+  row("Sequential read-write accesses", [](const SequentialityStats& s) {
+    const ModeSequentiality& m = s.Mode(AccessMode::kReadWrite);
+    return Cell(static_cast<int64_t>(m.sequential)) + " (" +
+           FormatPercent(m.SequentialFraction(), 0) + ")";
+  });
+  row("Data transferred sequentially (Mbytes)", [](const SequentialityStats& s) {
+    const ModeSequentiality total = s.Total();
+    return Mbytes(static_cast<double>(total.sequential_bytes)) + " (" +
+           FormatPercent(s.SequentialByteFraction(), 0) + ")";
+  });
+  return table.Render("Table V. Sequentiality of access.");
+}
+
+namespace {
+
+// Renders a pair of CDF panels (count-weighted and byte-weighted) shared by
+// Figures 1, 2, and 4.
+// `x_scale` converts display x values into the CDF's sample units (e.g. KB
+// labels over byte-valued samples use 1024).
+std::string RenderCdfPanels(const std::string& title, const std::string& x_label,
+                            const std::vector<double>& xs, double x_scale,
+                            const std::vector<NamedAnalysis>& traces,
+                            const std::function<const WeightedCdf&(const TraceAnalysis&)>& panel_a,
+                            const std::string& a_label,
+                            const std::function<const WeightedCdf&(const TraceAnalysis&)>& panel_b,
+                            const std::string& b_label, bool log_x) {
+  std::ostringstream out;
+  out << title << "\n";
+
+  std::vector<std::string> header = {x_label};
+  for (const auto& [name, a] : traces) {
+    header.push_back(name + " (" + a_label + ")");
+  }
+  for (const auto& [name, a] : traces) {
+    header.push_back(name + " (" + b_label + ")");
+  }
+  TextTable table(header);
+  for (double x : xs) {
+    std::vector<std::string> cells = {Cell(x, x < 10 ? 1 : 0)};
+    for (const auto& [name, a] : traces) {
+      cells.push_back(FormatPercent(panel_a(*a).FractionAtOrBelow(x * x_scale), 0));
+    }
+    for (const auto& [name, a] : traces) {
+      cells.push_back(FormatPercent(panel_b(*a).FractionAtOrBelow(x * x_scale), 0));
+    }
+    table.AddRow(std::move(cells));
+  }
+  out << table.Render();
+
+  const char markers[] = {'A', 'E', 'C', 'X', 'Y', 'Z'};
+  for (int panel = 0; panel < 2; ++panel) {
+    AsciiPlot plot(panel == 0 ? "(a) " + a_label : "(b) " + b_label, x_label,
+                   "cumulative %");
+    plot.SetYRange(0, 100);
+    plot.SetXLog2(log_x);
+    int m = 0;
+    for (const auto& [name, a] : traces) {
+      const WeightedCdf& cdf = panel == 0 ? panel_a(*a) : panel_b(*a);
+      PlotSeries series;
+      series.name = name;
+      series.marker = markers[m++ % 6];
+      for (double x : xs) {
+        series.xs.push_back(x);
+        series.ys.push_back(100.0 * cdf.FractionAtOrBelow(x * x_scale));
+      }
+      plot.AddSeries(std::move(series));
+    }
+    out << plot.Render();
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderFigure1(const std::vector<NamedAnalysis>& traces) {
+  const std::vector<double> xs = {0.25, 0.5, 1, 2, 4, 8, 16, 25, 50, 75, 100};
+  std::string out = RenderCdfPanels(
+      "Figure 1. Cumulative distributions of sequential run lengths.", "run length (KB)", xs,
+      kKb, traces,
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.runs.by_runs; },
+      "% of runs",
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.runs.by_bytes; },
+      "% of bytes", true);
+  return out;
+}
+
+std::string RenderFigure2(const std::vector<NamedAnalysis>& traces) {
+  const std::vector<double> xs = {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1024, 2048};
+  return RenderCdfPanels(
+      "Figure 2. Dynamic distribution of file sizes at close.", "file size (KB)", xs, kKb,
+      traces,
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.file_sizes.by_accesses; },
+      "% of files",
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.file_sizes.by_bytes; },
+      "% of bytes", true);
+}
+
+std::string RenderFigure3(const std::vector<NamedAnalysis>& traces) {
+  const std::vector<double> xs = {0.1, 0.2, 0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600};
+  std::ostringstream out;
+  out << "Figure 3. Distribution of times that files were open.\n";
+  std::vector<std::string> header = {"open time (s)"};
+  for (const auto& [name, a] : traces) {
+    header.push_back(name);
+  }
+  TextTable table(header);
+  for (double x : xs) {
+    std::vector<std::string> cells = {Cell(x, x < 1 ? 1 : 0)};
+    for (const auto& [name, a] : traces) {
+      cells.push_back(FormatPercent(a->open_times.seconds.FractionAtOrBelow(x), 0));
+    }
+    table.AddRow(std::move(cells));
+  }
+  out << table.Render();
+  AsciiPlot plot("Open-time CDF", "open time (s)", "cumulative % of files");
+  plot.SetYRange(0, 100);
+  plot.SetXLog2(true);
+  const char markers[] = {'A', 'E', 'C'};
+  int m = 0;
+  for (const auto& [name, a] : traces) {
+    PlotSeries series;
+    series.name = name;
+    series.marker = markers[m++ % 3];
+    for (double x : xs) {
+      series.xs.push_back(x);
+      series.ys.push_back(100.0 * a->open_times.seconds.FractionAtOrBelow(x));
+    }
+    plot.AddSeries(std::move(series));
+  }
+  out << plot.Render();
+  out << "Paper: 70-80% of files open < 0.5 s; ~90% < 10 s.\n";
+  return out.str();
+}
+
+std::string RenderFigure4(const std::vector<NamedAnalysis>& traces) {
+  const std::vector<double> xs = {1, 5, 10, 30, 60, 120, 179, 181, 240, 300, 450};
+  std::string out = RenderCdfPanels(
+      "Figure 4. Cumulative distributions of file lifetimes.", "lifetime (s)", xs, 1.0,
+      traces,
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.lifetimes.by_files; },
+      "% of files",
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.lifetimes.by_bytes; },
+      "% of bytes created", false);
+  std::ostringstream extra;
+  extra << out;
+  TextTable spike({"Trace", "new files", "observed deaths", "lifetime in [179s,181s]"});
+  for (const auto& [name, a] : traces) {
+    spike.AddRow({name, Cell(static_cast<int64_t>(a->lifetimes.new_files)),
+                  Cell(static_cast<int64_t>(a->lifetimes.observed_deaths)),
+                  FormatPercent(a->lifetimes.FileFractionIn(179.0, 181.0), 0)});
+  }
+  extra << spike.Render("The 180-second network-daemon spike (paper: 30-40% of new files).");
+  return extra.str();
+}
+
+std::string RenderFigure5Table6(const std::vector<SweepPoint>& points) {
+  // Organize: rows = cache size, columns = policy.
+  std::map<uint64_t, std::map<PolicyKey, const SweepPoint*>> grid;
+  std::map<PolicyKey, bool> policies;
+  for (const SweepPoint& p : points) {
+    grid[p.config.size_bytes][KeyOf(p.config)] = &p;
+    policies[KeyOf(p.config)] = true;
+  }
+
+  std::vector<std::string> header = {"Cache Size"};
+  for (const auto& [key, unused] : policies) {
+    header.push_back(PolicyLabel(key));
+  }
+  TextTable table(header);
+  for (const auto& [size, row] : grid) {
+    std::vector<std::string> cells = {FormatBytes(static_cast<double>(size))};
+    for (const auto& [key, unused] : policies) {
+      auto it = row.find(key);
+      cells.push_back(it != row.end() ? FormatPercent(it->second->metrics.MissRatio()) : "-");
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::ostringstream out;
+  out << table.Render(
+      "Table VI / Figure 5. Miss ratio vs. cache size and write policy (4 KB blocks).");
+
+  AsciiPlot plot("Figure 5. Miss ratio vs. cache size", "cache size (MB)", "miss ratio (%)");
+  plot.SetXLog2(true);
+  plot.SetYRange(0, 70);
+  const char markers[] = {'T', '3', '5', 'D'};
+  int m = 0;
+  for (const auto& [key, unused] : policies) {
+    PlotSeries series;
+    series.name = PolicyLabel(key);
+    series.marker = markers[m++ % 4];
+    for (const auto& [size, row] : grid) {
+      auto it = row.find(key);
+      if (it != row.end()) {
+        series.xs.push_back(static_cast<double>(size) / kMb);
+        series.ys.push_back(100.0 * it->second->metrics.MissRatio());
+      }
+    }
+    plot.AddSeries(std::move(series));
+  }
+  out << plot.Render();
+  out << "Paper (A5): 390KB/WT 57.6% ... 16MB/DW 9.6%; ordering DW < FB(5m) < FB(30s) < WT.\n";
+  return out.str();
+}
+
+std::string RenderFigure6Table7(const std::vector<SweepPoint>& points) {
+  // Rows = block size; columns = "no cache" logical accesses, then one disk
+  // I/O column per cache size.
+  std::map<uint32_t, std::map<uint64_t, const SweepPoint*>> grid;
+  std::map<uint64_t, bool> caches;
+  for (const SweepPoint& p : points) {
+    grid[p.config.block_size][p.config.size_bytes] = &p;
+    caches[p.config.size_bytes] = true;
+  }
+
+  std::vector<std::string> header = {"Block Size", "Block Accesses"};
+  for (const auto& [size, unused] : caches) {
+    header.push_back(FormatBytes(static_cast<double>(size)) + " Cache");
+  }
+  TextTable table(header);
+  for (const auto& [block, row] : grid) {
+    std::vector<std::string> cells = {FormatBytes(block)};
+    cells.push_back(Cell(static_cast<int64_t>(row.begin()->second->metrics.logical_accesses)));
+    for (const auto& [size, unused] : caches) {
+      auto it = row.find(size);
+      cells.push_back(it != row.end()
+                          ? Cell(static_cast<int64_t>(it->second->metrics.DiskIos()))
+                          : "-");
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::ostringstream out;
+  out << table.Render(
+      "Table VII / Figure 6. Disk I/Os vs. block size and cache size (delayed write).");
+
+  AsciiPlot plot("Figure 6. Disk traffic vs. block size", "block size (KB)", "disk I/Os");
+  plot.SetXLog2(true);
+  const char markers[] = {'4', '2', 'M', '8'};
+  int m = 0;
+  for (const auto& [size, unused] : caches) {
+    PlotSeries series;
+    series.name = FormatBytes(static_cast<double>(size)) + " cache";
+    series.marker = markers[m++ % 4];
+    for (const auto& [block, row] : grid) {
+      auto it = row.find(size);
+      if (it != row.end()) {
+        series.xs.push_back(static_cast<double>(block) / kKb);
+        series.ys.push_back(static_cast<double>(it->second->metrics.DiskIos()));
+      }
+    }
+    plot.AddSeries(std::move(series));
+  }
+  out << plot.Render();
+
+  // Optimal block size per cache (the paper's 8 KB @ 400 KB / 16 KB @ 4 MB
+  // headline).
+  TextTable best({"Cache Size", "Best Block Size", "Disk I/Os"});
+  for (const auto& [size, unused] : caches) {
+    const SweepPoint* best_point = nullptr;
+    for (const auto& [block, row] : grid) {
+      auto it = row.find(size);
+      if (it != row.end() &&
+          (best_point == nullptr || it->second->metrics.DiskIos() < best_point->metrics.DiskIos())) {
+        best_point = it->second;
+      }
+    }
+    if (best_point != nullptr) {
+      best.AddRow({FormatBytes(static_cast<double>(size)),
+                   FormatBytes(best_point->config.block_size),
+                   Cell(static_cast<int64_t>(best_point->metrics.DiskIos()))});
+    }
+  }
+  out << best.Render("Optimal block size per cache size (paper: 8 KB at 400 KB, 16 KB at 4 MB).");
+  return out.str();
+}
+
+std::string RenderFigure7(const std::vector<SweepPoint>& points) {
+  std::map<uint64_t, const SweepPoint*> without, with;
+  for (const SweepPoint& p : points) {
+    (p.config.simulate_execve_pagein ? with : without)[p.config.size_bytes] = &p;
+  }
+  TextTable table({"Cache Size", "Page-in ignored", "Page-in simulated"});
+  for (const auto& [size, p] : without) {
+    auto it = with.find(size);
+    table.AddRow({FormatBytes(static_cast<double>(size)), FormatPercent(p->metrics.MissRatio()),
+                  it != with.end() ? FormatPercent(it->second->metrics.MissRatio()) : "-"});
+  }
+  std::ostringstream out;
+  out << table.Render(
+      "Figure 7. Miss ratio with program page-in approximated by whole-file reads at execve "
+      "(4 KB blocks, delayed write).");
+
+  AsciiPlot plot("Figure 7", "cache size (MB)", "miss ratio (%)");
+  plot.SetXLog2(true);
+  plot.SetYRange(0, 70);
+  for (int which = 0; which < 2; ++which) {
+    const auto& series_map = which == 0 ? without : with;
+    PlotSeries series;
+    series.name = which == 0 ? "page-in ignored" : "page-in simulated";
+    series.marker = which == 0 ? 'o' : 'p';
+    for (const auto& [size, p] : series_map) {
+      series.xs.push_back(static_cast<double>(size) / kMb);
+      series.ys.push_back(100.0 * p->metrics.MissRatio());
+    }
+    plot.AddSeries(std::move(series));
+  }
+  out << plot.Render();
+  out << "Paper: simulated paging degrades small caches but improves large ones (crossover).\n";
+  return out.str();
+}
+
+std::string RenderWriteLifetimeSidebar(const std::vector<SweepPoint>& fig5_points) {
+  std::ostringstream out;
+  TextTable table({"Cache", "Policy", "Dirty blocks discarded", "Write-backs",
+                   "Discarded fraction", "Resident > 20 min"});
+  for (const SweepPoint& p : fig5_points) {
+    if (p.config.policy != WritePolicy::kDelayedWrite) {
+      continue;
+    }
+    const CacheMetrics& m = p.metrics;
+    const uint64_t write_events = m.dirty_discarded + m.disk_writes;
+    const double discarded_fraction =
+        write_events > 0 ? static_cast<double>(m.dirty_discarded) /
+                               static_cast<double>(write_events)
+                         : 0.0;
+    const double over20 =
+        m.residency_samples > 0 ? static_cast<double>(m.residency_over_20min) /
+                                      static_cast<double>(m.residency_samples)
+                                : 0.0;
+    table.AddRow({FormatBytes(static_cast<double>(p.config.size_bytes)), "delayed-write",
+                  Cell(static_cast<int64_t>(m.dirty_discarded)),
+                  Cell(static_cast<int64_t>(m.disk_writes)), FormatPercent(discarded_fraction, 0),
+                  FormatPercent(over20, 0)});
+  }
+  out << table.Render(
+      "§6.2. Delayed write: dirty blocks that died in the cache and block residency.");
+  out << "Paper: ~75% of newly-written blocks never reach disk with large caches; ~20% of\n"
+         "blocks stay in a 4 MB cache longer than 20 minutes.\n";
+  return out.str();
+}
+
+std::string RenderTable1(const TraceAnalysis& analysis, const std::vector<SweepPoint>& fig5_points,
+                         const std::vector<SweepPoint>& fig6_points) {
+  std::ostringstream out;
+  out << "Table I. Selected results (measured on this reproduction vs. the paper).\n\n";
+
+  const double tpu = analysis.activity.ten_minute.throughput_per_user.mean();
+  out << "* Bytes/second per active user (10-min intervals): " << Cell(tpu, 0)
+      << "   [paper: ~300-600]\n";
+
+  const ModeSequentiality total = analysis.sequentiality.Total();
+  const double whole_frac =
+      total.accesses > 0
+          ? static_cast<double>(total.whole_file) / static_cast<double>(total.accesses)
+          : 0.0;
+  out << "* Whole-file transfers: " << FormatPercent(whole_frac, 0) << " of accesses, "
+      << FormatPercent(analysis.sequentiality.WholeFileByteFraction(), 0)
+      << " of bytes   [paper: ~70% / ~50%]\n";
+
+  out << "* Files open < 0.5 s: "
+      << FormatPercent(analysis.open_times.seconds.FractionAtOrBelow(0.5), 0)
+      << "; < 10 s: " << FormatPercent(analysis.open_times.seconds.FractionAtOrBelow(10.0), 0)
+      << "   [paper: 75% / 90%]\n";
+
+  out << "* New bytes dead within 30 s: "
+      << FormatPercent(analysis.lifetimes.by_bytes.FractionAtOrBelow(30.0), 0)
+      << "; within 5 min: "
+      << FormatPercent(analysis.lifetimes.by_bytes.FractionAtOrBelow(300.0), 0)
+      << "   [paper: 20-30% / ~50%]\n";
+
+  // 4 MB cache elimination band across policies.
+  double best = 0.0, worst = 1.0;
+  for (const SweepPoint& p : fig5_points) {
+    if (p.config.size_bytes == (4u << 20)) {
+      const double eliminated = 1.0 - p.metrics.MissRatio();
+      best = std::max(best, eliminated);
+      worst = std::min(worst, eliminated);
+    }
+  }
+  out << "* 4 MB cache eliminates " << FormatPercent(worst, 0) << " to " << FormatPercent(best, 0)
+      << " of disk accesses, depending on write policy   [paper: 65-90%]\n";
+
+  // Optimal block sizes.
+  auto best_block = [&](uint64_t cache_size) -> uint32_t {
+    uint32_t block = 0;
+    uint64_t ios = UINT64_MAX;
+    for (const SweepPoint& p : fig6_points) {
+      if (p.config.size_bytes == cache_size && p.metrics.DiskIos() < ios) {
+        ios = p.metrics.DiskIos();
+        block = p.config.block_size;
+      }
+    }
+    return block;
+  };
+  out << "* Best block size: " << FormatBytes(best_block(400u << 10)) << " at 400 KB cache, "
+      << FormatBytes(best_block(4u << 20)) << " at 4 MB cache   [paper: 8 KB / 16 KB]\n";
+  return out.str();
+}
+
+namespace {
+
+// One CSV: column 0 is x; per trace two columns (count-weighted, byte-ish
+// weighted fraction) unless `panel_b` is null.
+Status WriteCdfCsv(const std::string& path, const std::vector<double>& xs, double x_scale,
+                   const std::string& x_name, const std::vector<NamedAnalysis>& traces,
+                   const std::function<const WeightedCdf&(const TraceAnalysis&)>& panel_a,
+                   const std::string& a_suffix,
+                   const std::function<const WeightedCdf&(const TraceAnalysis&)>& panel_b,
+                   const std::string& b_suffix) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  CsvWriter csv(out);
+  std::vector<std::string> header = {x_name};
+  for (const auto& [name, a] : traces) {
+    header.push_back(name + a_suffix);
+  }
+  if (panel_b) {
+    for (const auto& [name, a] : traces) {
+      header.push_back(name + b_suffix);
+    }
+  }
+  csv.WriteRow(header);
+  for (double x : xs) {
+    std::vector<std::string> row = {Cell(x, 3)};
+    for (const auto& [name, a] : traces) {
+      row.push_back(Cell(panel_a(*a).FractionAtOrBelow(x * x_scale), 4));
+    }
+    if (panel_b) {
+      for (const auto& [name, a] : traces) {
+        row.push_back(Cell(panel_b(*a).FractionAtOrBelow(x * x_scale), 4));
+      }
+    }
+    csv.WriteRow(row);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ExportFigureCsvs(const std::string& dir, const std::vector<NamedAnalysis>& traces) {
+  const std::vector<double> run_xs = {0.25, 0.5, 1, 2, 4, 8, 16, 25, 50, 75, 100};
+  Status st = WriteCdfCsv(
+      dir + "/fig1_runs.csv", run_xs, kKb, "run_length_kb", traces,
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.runs.by_runs; }, "_runs",
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.runs.by_bytes; }, "_bytes");
+  if (!st.ok()) {
+    return st;
+  }
+  const std::vector<double> size_xs = {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1024, 2048};
+  st = WriteCdfCsv(
+      dir + "/fig2_filesizes.csv", size_xs, kKb, "file_size_kb", traces,
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.file_sizes.by_accesses; },
+      "_files",
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.file_sizes.by_bytes; },
+      "_bytes");
+  if (!st.ok()) {
+    return st;
+  }
+  const std::vector<double> open_xs = {0.1, 0.2, 0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600};
+  st = WriteCdfCsv(
+      dir + "/fig3_opentimes.csv", open_xs, 1.0, "open_time_s", traces,
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.open_times.seconds; },
+      "_files", nullptr, "");
+  if (!st.ok()) {
+    return st;
+  }
+  const std::vector<double> life_xs = {1, 5, 10, 30, 60, 120, 179, 181, 240, 300, 450};
+  return WriteCdfCsv(
+      dir + "/fig4_lifetimes.csv", life_xs, 1.0, "lifetime_s", traces,
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.lifetimes.by_files; },
+      "_files",
+      [](const TraceAnalysis& a) -> const WeightedCdf& { return a.lifetimes.by_bytes; },
+      "_bytes");
+}
+
+Status ExportSweepCsv(const std::string& path, const std::vector<SweepPoint>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  CsvWriter csv(out);
+  csv.WriteRow({"cache_bytes", "block_bytes", "policy", "flush_s", "pagein", "metadata",
+                "logical_accesses", "disk_reads", "disk_writes", "miss_ratio"});
+  for (const SweepPoint& p : points) {
+    csv.WriteRow({Cell(static_cast<int64_t>(p.config.size_bytes)),
+                  Cell(static_cast<int64_t>(p.config.block_size)),
+                  WritePolicyName(p.config.policy),
+                  Cell(p.config.policy == WritePolicy::kFlushBack
+                           ? p.config.flush_interval.seconds()
+                           : 0.0,
+                       0),
+                  p.config.simulate_execve_pagein ? "1" : "0",
+                  p.config.simulate_metadata ? "1" : "0",
+                  Cell(static_cast<int64_t>(p.metrics.logical_accesses)),
+                  Cell(static_cast<int64_t>(p.metrics.disk_reads)),
+                  Cell(static_cast<int64_t>(p.metrics.disk_writes)),
+                  Cell(p.metrics.MissRatio(), 5)});
+  }
+  return Status::Ok();
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,85 @@
+// High-level experiment API: generate the standard traces, analyze them, run
+// the cache sweeps, and render every table and figure of the paper in a
+// terminal-friendly form.
+//
+// This is the library's front door: each bench binary under bench/ is a thin
+// wrapper over one Render* function, and the examples compose these calls.
+
+#ifndef BSDTRACE_SRC_CORE_EXPERIMENTS_H_
+#define BSDTRACE_SRC_CORE_EXPERIMENTS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/cache/sweep.h"
+#include "src/workload/generator.h"
+#include "src/util/status.h"
+#include "src/workload/profile.h"
+
+namespace bsdtrace {
+
+// (label, analysis) pairs: most tables compare the three traces side by side.
+using NamedAnalysis = std::pair<std::string, const TraceAnalysis*>;
+
+// Standard generation length for experiments.  Overridable via the
+// BSDTRACE_HOURS environment variable (benchmark runtime knob).
+Duration StandardDuration();
+
+// Generates the named standard trace ("A5", "E3", "C4") at the standard
+// duration.  Deterministic per (name, duration).
+GenerationResult GenerateStandardTrace(const std::string& name);
+GenerationResult GenerateStandardTrace(const std::string& name, Duration duration,
+                                       uint64_t seed);
+
+// -- Section 5 renderings -----------------------------------------------------
+
+// Table III: overall statistics for each trace.
+std::string RenderTable3(const std::vector<NamedAnalysis>& traces);
+// Section 3.1 sidebar: inter-event interval bounds.
+std::string RenderEventIntervals(const std::vector<NamedAnalysis>& traces);
+// Table IV: system activity.
+std::string RenderTable4(const std::vector<NamedAnalysis>& traces);
+// Table V: sequentiality.
+std::string RenderTable5(const std::vector<NamedAnalysis>& traces);
+// Figure 1: sequential run lengths (CDF table + ASCII plot).
+std::string RenderFigure1(const std::vector<NamedAnalysis>& traces);
+// Figure 2: dynamic file sizes.
+std::string RenderFigure2(const std::vector<NamedAnalysis>& traces);
+// Figure 3: open durations.
+std::string RenderFigure3(const std::vector<NamedAnalysis>& traces);
+// Figure 4: file lifetimes.
+std::string RenderFigure4(const std::vector<NamedAnalysis>& traces);
+
+// -- Section 6 renderings -----------------------------------------------------
+
+// Figure 5 / Table VI: miss ratio vs. cache size and write policy
+// (points from Fig5Configs()).
+std::string RenderFigure5Table6(const std::vector<SweepPoint>& points);
+// Figure 6 / Table VII: disk I/Os vs. block size and cache size
+// (points from Fig6Configs()).
+std::string RenderFigure6Table7(const std::vector<SweepPoint>& points);
+// Figure 7: effect of simulated program page-in (points from Fig7Configs()).
+std::string RenderFigure7(const std::vector<SweepPoint>& points);
+// §6.2 sidebar: cache residency and discarded-write statistics.
+std::string RenderWriteLifetimeSidebar(const std::vector<SweepPoint>& fig5_points);
+
+// Table I: the headline summary, derived from an analysis plus both sweeps.
+std::string RenderTable1(const TraceAnalysis& analysis,
+                         const std::vector<SweepPoint>& fig5_points,
+                         const std::vector<SweepPoint>& fig6_points);
+
+// -- Machine-readable export --------------------------------------------------
+
+// Writes every figure's data series as CSV files under `dir`
+// (fig1_runs.csv, fig2_filesizes.csv, fig3_opentimes.csv, fig4_lifetimes.csv),
+// one row per x value with one column pair per trace.  The directory must
+// exist.  Benches call this when BSDTRACE_CSV_DIR is set.
+Status ExportFigureCsvs(const std::string& dir, const std::vector<NamedAnalysis>& traces);
+// Writes a cache sweep as CSV (config axes + metrics), e.g. fig5.csv.
+Status ExportSweepCsv(const std::string& path, const std::vector<SweepPoint>& points);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_CORE_EXPERIMENTS_H_

@@ -1,0 +1,109 @@
+#include "src/fs/block_allocator.h"
+
+#include <cassert>
+
+namespace bsdtrace {
+
+BlockAllocator::BlockAllocator(uint64_t total_blocks, uint32_t frags_per_block)
+    : free_map_(total_blocks * frags_per_block, true),
+      frags_per_block_(frags_per_block),
+      free_frags_(total_blocks * frags_per_block) {
+  assert(frags_per_block >= 1);
+  assert(total_blocks >= 1);
+}
+
+bool BlockAllocator::BlockIsFree(uint64_t block_index) const {
+  const uint64_t base = block_index * frags_per_block_;
+  for (uint32_t i = 0; i < frags_per_block_; ++i) {
+    if (!free_map_[base + i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<FragExtent> BlockAllocator::AllocateBlock() {
+  const uint64_t blocks = free_map_.size() / frags_per_block_;
+  if (free_frags_ < frags_per_block_) {
+    return std::nullopt;
+  }
+  for (uint64_t step = 0; step < blocks; ++step) {
+    const uint64_t b = (block_rotor_ + step) % blocks;
+    if (BlockIsFree(b)) {
+      const uint64_t base = b * frags_per_block_;
+      for (uint32_t i = 0; i < frags_per_block_; ++i) {
+        free_map_[base + i] = false;
+      }
+      free_frags_ -= frags_per_block_;
+      block_rotor_ = (b + 1) % blocks;
+      return FragExtent{.start_frag = base, .frag_count = frags_per_block_};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FragExtent> BlockAllocator::AllocateFragments(uint32_t frag_count) {
+  assert(frag_count >= 1 && frag_count < frags_per_block_);
+  if (free_frags_ < frag_count) {
+    return std::nullopt;
+  }
+  const uint64_t blocks = free_map_.size() / frags_per_block_;
+  // Two passes: prefer a partially-used block (leave full blocks intact for
+  // block allocations, as FFS does), then fall back to any block.  The first
+  // pass is bounded: scanning the whole disk for a partial block would cost
+  // O(disk) per small-file allocation on a mostly-empty disk.
+  constexpr uint64_t kPartialScanWindow = 512;
+  for (int pass = 0; pass < 2; ++pass) {
+    const uint64_t steps = pass == 0 ? std::min(blocks, kPartialScanWindow) : blocks;
+    for (uint64_t step = 0; step < steps; ++step) {
+      const uint64_t b = (frag_rotor_ + step) % blocks;
+      if (pass == 0 && BlockIsFree(b)) {
+        continue;
+      }
+      const uint64_t base = b * frags_per_block_;
+      uint32_t run = 0;
+      for (uint32_t i = 0; i < frags_per_block_; ++i) {
+        if (free_map_[base + i]) {
+          ++run;
+          if (run == frag_count) {
+            const uint64_t start = base + i + 1 - frag_count;
+            for (uint32_t k = 0; k < frag_count; ++k) {
+              free_map_[start + k] = false;
+            }
+            free_frags_ -= frag_count;
+            frag_rotor_ = b;
+            return FragExtent{.start_frag = start, .frag_count = frag_count};
+          }
+        } else {
+          run = 0;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void BlockAllocator::Free(const FragExtent& extent) {
+  assert(extent.start_frag + extent.frag_count <= free_map_.size());
+  for (uint32_t i = 0; i < extent.frag_count; ++i) {
+    assert(!free_map_[extent.start_frag + i] && "double free of fragment");
+    free_map_[extent.start_frag + i] = true;
+  }
+  free_frags_ += extent.frag_count;
+}
+
+double BlockAllocator::BlockFragmentation() const {
+  if (free_frags_ == 0) {
+    return 0.0;
+  }
+  const uint64_t blocks = free_map_.size() / frags_per_block_;
+  uint64_t frags_in_free_blocks = 0;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    if (BlockIsFree(b)) {
+      frags_in_free_blocks += frags_per_block_;
+    }
+  }
+  return 1.0 - static_cast<double>(frags_in_free_blocks) / static_cast<double>(free_frags_);
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,462 @@
+#include "src/fs/file_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bsdtrace {
+
+const char* FsErrorName(FsError error) {
+  switch (error) {
+    case FsError::kNotFound:
+      return "not found";
+    case FsError::kExists:
+      return "already exists";
+    case FsError::kNotDirectory:
+      return "not a directory";
+    case FsError::kIsDirectory:
+      return "is a directory";
+    case FsError::kNoSpace:
+      return "no space on device";
+    case FsError::kNotEmpty:
+      return "directory not empty";
+    case FsError::kInvalidArgument:
+      return "invalid argument";
+  }
+  return "?";
+}
+
+FileSystem::FileSystem(const FsOptions& options)
+    : options_(options), allocator_(options.total_blocks, options.frags_per_block()) {
+  assert(options.block_size % options.frag_size == 0);
+  // Create the root directory.
+  const InodeNum root = NewInode(FileType::kDirectory, SimTime::Origin());
+  assert(root == kRootInode);
+  MutableInode(root).nlink = 1;
+  UpdateDirectorySize(root);
+}
+
+InodeNum FileSystem::NewInode(FileType type, SimTime now) {
+  Inode inode;
+  inode.ino = next_inode_++;
+  inode.file_id = next_file_id_++;
+  inode.type = type;
+  inode.ctime = inode.mtime = inode.atime = now;
+  const InodeNum ino = inode.ino;
+  inodes_.emplace(ino, std::move(inode));
+  return ino;
+}
+
+Inode& FileSystem::MutableInode(InodeNum ino) {
+  auto it = inodes_.find(ino);
+  assert(it != inodes_.end());
+  return it->second;
+}
+
+void FileSystem::UpdateDirectorySize(InodeNum dir_ino) {
+  Inode& dir = MutableInode(dir_ino);
+  assert(dir.type == FileType::kDirectory);
+  // Old-UNIX directories: 16 bytes per entry (plus "." and ".."), rounded up
+  // to 512-byte directory blocks, at least one block.
+  const uint64_t raw = (dir.entries.size() + 2) * 16;
+  const uint64_t size = std::max<uint64_t>(512, (raw + 511) / 512 * 512);
+  if (size != dir.size) {
+    // Best effort: a full disk leaves the recorded size stale, which is
+    // harmless for directories.
+    Reallocate(dir, size);
+  }
+}
+
+const Inode* FileSystem::GetInode(InodeNum ino) const {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+FsResult<InodeNum> FileSystem::LookupPath(const std::string& path) const {
+  if (!IsValidAbsolutePath(path)) {
+    return FsError::kInvalidArgument;
+  }
+  InodeNum cur = kRootInode;
+  for (const std::string& comp : SplitPath(path)) {
+    const Inode* inode = GetInode(cur);
+    assert(inode != nullptr);
+    if (inode->type != FileType::kDirectory) {
+      return FsError::kNotDirectory;
+    }
+    auto it = inode->entries.find(comp);
+    if (it == inode->entries.end()) {
+      return FsError::kNotFound;
+    }
+    cur = it->second;
+  }
+  return cur;
+}
+
+FsResult<InodeNum> FileSystem::ResolveParent(const std::string& path, std::string* leaf) const {
+  if (!IsValidAbsolutePath(path)) {
+    return FsError::kInvalidArgument;
+  }
+  *leaf = Basename(path);
+  if (leaf->empty()) {
+    return FsError::kInvalidArgument;
+  }
+  auto parent = LookupPath(Dirname(path));
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  const Inode* p = GetInode(parent.value());
+  if (p->type != FileType::kDirectory) {
+    return FsError::kNotDirectory;
+  }
+  return parent.value();
+}
+
+FsResult<InodeNum> FileSystem::Mkdir(const std::string& path, SimTime now) {
+  std::string leaf;
+  auto parent = ResolveParent(path, &leaf);
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  Inode& p = MutableInode(parent.value());
+  if (p.entries.count(leaf) != 0) {
+    return FsError::kExists;
+  }
+  const InodeNum ino = NewInode(FileType::kDirectory, now);
+  MutableInode(ino).nlink = 1;
+  UpdateDirectorySize(ino);
+  MutableInode(parent.value()).entries.emplace(leaf, ino);
+  UpdateDirectorySize(parent.value());
+  return ino;
+}
+
+FsResult<InodeNum> FileSystem::MkdirAll(const std::string& path, SimTime now) {
+  if (!IsValidAbsolutePath(path)) {
+    return FsError::kInvalidArgument;
+  }
+  InodeNum cur = kRootInode;
+  for (const std::string& comp : SplitPath(path)) {
+    Inode& dir = MutableInode(cur);
+    if (dir.type != FileType::kDirectory) {
+      return FsError::kNotDirectory;
+    }
+    auto it = dir.entries.find(comp);
+    if (it != dir.entries.end()) {
+      cur = it->second;
+      continue;
+    }
+    const InodeNum ino = NewInode(FileType::kDirectory, now);
+    MutableInode(ino).nlink = 1;
+    UpdateDirectorySize(ino);
+    MutableInode(cur).entries.emplace(comp, ino);
+    UpdateDirectorySize(cur);
+    cur = ino;
+  }
+  if (GetInode(cur)->type != FileType::kDirectory) {
+    return FsError::kNotDirectory;
+  }
+  return cur;
+}
+
+FsResult<InodeNum> FileSystem::CreateFile(const std::string& path, SimTime now) {
+  std::string leaf;
+  auto parent = ResolveParent(path, &leaf);
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  if (MutableInode(parent.value()).entries.count(leaf) != 0) {
+    return FsError::kExists;
+  }
+  const InodeNum ino = NewInode(FileType::kRegular, now);
+  MutableInode(ino).nlink = 1;
+  MutableInode(parent.value()).entries.emplace(leaf, ino);
+  UpdateDirectorySize(parent.value());
+  return ino;
+}
+
+FsStatus FileSystem::Link(const std::string& existing_path, const std::string& new_path,
+                          SimTime now) {
+  auto target = LookupPath(existing_path);
+  if (!target.ok()) {
+    return target.error();
+  }
+  Inode& t = MutableInode(target.value());
+  if (t.type == FileType::kDirectory) {
+    return FsError::kIsDirectory;
+  }
+  std::string leaf;
+  auto parent = ResolveParent(new_path, &leaf);
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  Inode& p = MutableInode(parent.value());
+  if (p.entries.count(leaf) != 0) {
+    return FsError::kExists;
+  }
+  p.entries.emplace(leaf, target.value());
+  UpdateDirectorySize(parent.value());
+  t.nlink += 1;
+  t.ctime = now;
+  return FsStatus::Ok();
+}
+
+FsStatus FileSystem::Unlink(const std::string& path, SimTime now) {
+  std::string leaf;
+  auto parent = ResolveParent(path, &leaf);
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  Inode& p = MutableInode(parent.value());
+  auto it = p.entries.find(leaf);
+  if (it == p.entries.end()) {
+    return FsError::kNotFound;
+  }
+  Inode& target = MutableInode(it->second);
+  if (target.type == FileType::kDirectory) {
+    return FsError::kIsDirectory;
+  }
+  assert(target.nlink > 0);
+  target.nlink -= 1;
+  target.ctime = now;
+  p.entries.erase(it);
+  UpdateDirectorySize(parent.value());
+  return FsStatus::Ok();
+}
+
+FsStatus FileSystem::Rmdir(const std::string& path) {
+  std::string leaf;
+  auto parent = ResolveParent(path, &leaf);
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  Inode& p = MutableInode(parent.value());
+  auto it = p.entries.find(leaf);
+  if (it == p.entries.end()) {
+    return FsError::kNotFound;
+  }
+  Inode& target = MutableInode(it->second);
+  if (target.type != FileType::kDirectory) {
+    return FsError::kNotDirectory;
+  }
+  if (!target.entries.empty()) {
+    return FsError::kNotEmpty;
+  }
+  const InodeNum ino = it->second;
+  p.entries.erase(it);
+  FreeStorage(MutableInode(ino));
+  inodes_.erase(ino);
+  UpdateDirectorySize(parent.value());
+  return FsStatus::Ok();
+}
+
+FsStatus FileSystem::Rename(const std::string& from, const std::string& to, SimTime now) {
+  auto src = LookupPath(from);
+  if (!src.ok()) {
+    return src.error();
+  }
+  if (GetInode(src.value())->type == FileType::kDirectory) {
+    // Directory rename is not needed by the workload models; keep the
+    // substrate simple and explicit about it.
+    return FsError::kInvalidArgument;
+  }
+  std::string to_leaf;
+  auto to_parent = ResolveParent(to, &to_leaf);
+  if (!to_parent.ok()) {
+    return to_parent.error();
+  }
+  // Replace semantics: unlink any existing regular file at the destination.
+  Inode& dest_dir = MutableInode(to_parent.value());
+  auto existing = dest_dir.entries.find(to_leaf);
+  if (existing != dest_dir.entries.end()) {
+    Inode& old = MutableInode(existing->second);
+    if (old.type == FileType::kDirectory) {
+      return FsError::kIsDirectory;
+    }
+    if (existing->second == src.value()) {
+      return FsStatus::Ok();  // rename onto itself
+    }
+    assert(old.nlink > 0);
+    old.nlink -= 1;
+    const InodeNum old_ino = existing->second;
+    dest_dir.entries.erase(existing);
+    if (MutableInode(old_ino).nlink == 0) {
+      ReleaseInode(old_ino);
+    }
+  }
+  // Remove the source entry.
+  std::string from_leaf;
+  auto from_parent = ResolveParent(from, &from_leaf);
+  assert(from_parent.ok());
+  MutableInode(from_parent.value()).entries.erase(from_leaf);
+  UpdateDirectorySize(from_parent.value());
+  MutableInode(to_parent.value()).entries.emplace(to_leaf, src.value());
+  UpdateDirectorySize(to_parent.value());
+  MutableInode(src.value()).ctime = now;
+  return FsStatus::Ok();
+}
+
+bool FileSystem::Reallocate(Inode& inode, uint64_t new_size) {
+  const uint32_t bs = options_.block_size;
+  const uint32_t fs = options_.frag_size;
+
+  const uint64_t want_full_blocks = new_size / bs;
+  const uint32_t tail_bytes = static_cast<uint32_t>(new_size % bs);
+  const uint32_t want_tail_frags = (tail_bytes + fs - 1) / fs;
+
+  // Track what we allocate so a mid-way failure can be rolled back.
+  std::vector<FragExtent> newly_allocated;
+  auto rollback = [&]() {
+    for (const FragExtent& e : newly_allocated) {
+      allocator_.Free(e);
+    }
+  };
+
+  // Grow full blocks.  If the tail must become a full block (file grew past
+  // a block boundary), the old tail is released and replaced.
+  std::optional<FragExtent> new_tail = inode.tail;
+  std::vector<FragExtent> blocks = inode.blocks;
+
+  if (want_full_blocks > blocks.size()) {
+    // Old tail fragments are copied into a full block (FFS tail promotion).
+    if (new_tail.has_value()) {
+      allocator_.Free(*new_tail);
+      new_tail.reset();
+    }
+    while (blocks.size() < want_full_blocks) {
+      auto b = allocator_.AllocateBlock();
+      if (!b.has_value()) {
+        rollback();
+        return false;
+      }
+      newly_allocated.push_back(*b);
+      blocks.push_back(*b);
+    }
+  } else if (want_full_blocks < blocks.size()) {
+    while (blocks.size() > want_full_blocks) {
+      allocator_.Free(blocks.back());
+      blocks.pop_back();
+    }
+  }
+
+  // Adjust the tail.
+  const uint32_t have_tail_frags = new_tail.has_value() ? new_tail->frag_count : 0;
+  if (want_tail_frags != have_tail_frags) {
+    if (new_tail.has_value()) {
+      allocator_.Free(*new_tail);
+      new_tail.reset();
+    }
+    if (want_tail_frags > 0) {
+      auto t = allocator_.AllocateFragments(want_tail_frags);
+      if (!t.has_value()) {
+        // Fall back to a full block if contiguous fragments are unavailable.
+        t = allocator_.AllocateBlock();
+      }
+      if (!t.has_value()) {
+        rollback();
+        return false;
+      }
+      newly_allocated.push_back(*t);
+      new_tail = *t;
+    }
+  }
+
+  inode.blocks = std::move(blocks);
+  inode.tail = new_tail;
+  inode.size = new_size;
+  return true;
+}
+
+FsStatus FileSystem::SetFileSize(InodeNum ino, uint64_t new_size, SimTime now) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) {
+    return FsError::kNotFound;
+  }
+  Inode& inode = it->second;
+  if (inode.type != FileType::kRegular) {
+    return FsError::kIsDirectory;
+  }
+  if (!Reallocate(inode, new_size)) {
+    return FsError::kNoSpace;
+  }
+  inode.mtime = now;
+  return FsStatus::Ok();
+}
+
+void FileSystem::TouchAccess(InodeNum ino, SimTime now) {
+  auto it = inodes_.find(ino);
+  if (it != inodes_.end()) {
+    it->second.atime = now;
+  }
+}
+
+void FileSystem::FreeStorage(Inode& inode) {
+  for (const FragExtent& e : inode.blocks) {
+    allocator_.Free(e);
+  }
+  inode.blocks.clear();
+  if (inode.tail.has_value()) {
+    allocator_.Free(*inode.tail);
+    inode.tail.reset();
+  }
+  inode.size = 0;
+}
+
+void FileSystem::ReleaseInode(InodeNum ino) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) {
+    return;
+  }
+  if (it->second.nlink > 0) {
+    return;  // still referenced by the namespace
+  }
+  FreeStorage(it->second);
+  inodes_.erase(it);
+}
+
+bool FileSystem::IsOrphan(InodeNum ino) const {
+  const Inode* inode = GetInode(ino);
+  return inode != nullptr && inode->nlink == 0;
+}
+
+FsResult<std::vector<std::string>> FileSystem::ListDirectory(const std::string& path) const {
+  auto ino = LookupPath(path);
+  if (!ino.ok()) {
+    return ino.error();
+  }
+  const Inode* dir = GetInode(ino.value());
+  if (dir->type != FileType::kDirectory) {
+    return FsError::kNotDirectory;
+  }
+  std::vector<std::string> names;
+  names.reserve(dir->entries.size());
+  for (const auto& [name, child] : dir->entries) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void FileSystem::ForEachInode(const std::function<void(const Inode&)>& fn) const {
+  for (const auto& [ino, inode] : inodes_) {
+    fn(inode);
+  }
+}
+
+FsStatistics FileSystem::Statistics() const {
+  FsStatistics stats;
+  for (const auto& [ino, inode] : inodes_) {
+    if (inode.type == FileType::kDirectory) {
+      ++stats.directories;
+    } else {
+      ++stats.files;
+      stats.live_bytes += inode.size;
+    }
+  }
+  stats.allocated_bytes = allocator_.allocated_frags() * options_.frag_size;
+  stats.free_bytes = allocator_.free_frags() * options_.frag_size;
+  stats.internal_fragmentation =
+      stats.allocated_bytes > 0
+          ? 1.0 - static_cast<double>(stats.live_bytes) /
+                      static_cast<double>(stats.allocated_bytes)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace bsdtrace

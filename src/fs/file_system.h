@@ -1,0 +1,197 @@
+// An in-memory 4.2 BSD-style file system substrate.
+//
+// This is the structure underneath the traced kernel: hierarchical
+// directories, inodes with link counts, and block/fragment disk allocation.
+// File *contents* are not stored — none of the paper's analyses depend on
+// data bytes, only on sizes, byte ranges, and identities — but every size
+// change performs a real allocation against a fixed-size disk, so space
+// accounting and ENOSPC behaviour are faithful.
+//
+// Deleted-but-open files follow UNIX semantics: Unlink removes the directory
+// entry immediately, while the inode (and its disk space) persists until the
+// caller — the kernel layer, which tracks open descriptors — releases it.
+
+#ifndef BSDTRACE_SRC_FS_FILE_SYSTEM_H_
+#define BSDTRACE_SRC_FS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "src/fs/block_allocator.h"
+#include "src/fs/path.h"
+#include "src/trace/types.h"
+#include "src/util/sim_time.h"
+
+namespace bsdtrace {
+
+enum class FsError : uint8_t {
+  kNotFound,
+  kExists,
+  kNotDirectory,
+  kIsDirectory,
+  kNoSpace,
+  kNotEmpty,
+  kInvalidArgument,
+};
+
+const char* FsErrorName(FsError error);
+
+// Expected-style result for file-system operations.
+template <typename T>
+class FsResult {
+ public:
+  FsResult(T value) : v_(std::move(value)) {}      // NOLINT(runtime/explicit)
+  FsResult(FsError error) : v_(error) {}           // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const T& value() const {
+    return std::get<T>(v_);
+  }
+  FsError error() const { return std::get<FsError>(v_); }
+
+ private:
+  std::variant<T, FsError> v_;
+};
+
+// Result of a value-less operation.
+class FsStatus {
+ public:
+  static FsStatus Ok() { return FsStatus(); }
+  FsStatus(FsError error) : error_(error) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return !error_.has_value(); }
+  FsError error() const { return *error_; }
+
+ private:
+  FsStatus() = default;
+  std::optional<FsError> error_;
+};
+
+using InodeNum = uint64_t;
+inline constexpr InodeNum kRootInode = 1;
+
+enum class FileType : uint8_t { kRegular, kDirectory };
+
+struct Inode {
+  InodeNum ino = 0;
+  // Trace file identity: unique forever, never reused (unlike real inode
+  // numbers), so trace analyses can track lifetimes across creation cycles.
+  FileId file_id = kInvalidFileId;
+  FileType type = FileType::kRegular;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  SimTime ctime, mtime, atime;
+
+  // Disk layout: full blocks plus an optional fragment tail (FFS-style).
+  std::vector<FragExtent> blocks;
+  std::optional<FragExtent> tail;
+
+  // Directory entries (directories only); ordered for determinism.
+  std::map<std::string, InodeNum> entries;
+};
+
+struct FsOptions {
+  uint32_t block_size = 4096;    // bytes per full block
+  uint32_t frag_size = 1024;     // bytes per fragment
+  uint64_t total_blocks = 262144;  // 1 GB at 4 KB blocks
+
+  uint32_t frags_per_block() const { return block_size / frag_size; }
+};
+
+struct FsStatistics {
+  uint64_t files = 0;
+  uint64_t directories = 0;
+  uint64_t live_bytes = 0;       // sum of file sizes
+  uint64_t allocated_bytes = 0;  // fragments in use * frag size
+  uint64_t free_bytes = 0;
+  double internal_fragmentation = 0.0;  // allocated - live, as a fraction
+};
+
+class FileSystem {
+ public:
+  explicit FileSystem(const FsOptions& options = FsOptions());
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  // -- Namespace operations ------------------------------------------------
+
+  // Creates a directory; the parent must already exist.
+  FsResult<InodeNum> Mkdir(const std::string& path, SimTime now = SimTime::Origin());
+  // Creates all missing directories along the path.
+  FsResult<InodeNum> MkdirAll(const std::string& path, SimTime now = SimTime::Origin());
+  // Creates an empty regular file; fails with kExists if the name is taken.
+  FsResult<InodeNum> CreateFile(const std::string& path, SimTime now = SimTime::Origin());
+  // Resolves a path to an inode.
+  FsResult<InodeNum> LookupPath(const std::string& path) const;
+  // Adds a hard link `new_path` to the file at `existing_path`.
+  FsStatus Link(const std::string& existing_path, const std::string& new_path, SimTime now);
+  // Removes a directory entry.  If the link count drops to zero the inode is
+  // orphaned; storage is reclaimed when ReleaseInode is called (the kernel
+  // calls it once no descriptor references the file).
+  FsStatus Unlink(const std::string& path, SimTime now = SimTime::Origin());
+  // Removes an empty directory.
+  FsStatus Rmdir(const std::string& path);
+  // Classic rename: atomically repoints the name, replacing any existing
+  // regular file at `to` (which is unlinked).
+  FsStatus Rename(const std::string& from, const std::string& to, SimTime now);
+
+  // -- Inode operations ----------------------------------------------------
+
+  const Inode* GetInode(InodeNum ino) const;
+  // Changes a regular file's size, allocating or freeing disk space.
+  // Returns kNoSpace (leaving the size unchanged) if the disk is full.
+  FsStatus SetFileSize(InodeNum ino, uint64_t new_size, SimTime now);
+  FsStatus Truncate(InodeNum ino, uint64_t new_size, SimTime now) {
+    return SetFileSize(ino, new_size, now);
+  }
+  // Marks an access time update.
+  void TouchAccess(InodeNum ino, SimTime now);
+
+  // Frees an orphaned inode's storage; no-op if the inode still has links.
+  // Called by the kernel when the last open descriptor goes away.
+  void ReleaseInode(InodeNum ino);
+
+  // Whether the inode exists and has no directory entry pointing at it.
+  bool IsOrphan(InodeNum ino) const;
+
+  // -- Introspection ---------------------------------------------------------
+
+  // Lists entry names of a directory.
+  FsResult<std::vector<std::string>> ListDirectory(const std::string& path) const;
+  FsStatistics Statistics() const;
+  const FsOptions& options() const { return options_; }
+  // Visits every live inode (consistency checking, reporting).
+  void ForEachInode(const std::function<void(const Inode&)>& fn) const;
+  const BlockAllocator& allocator() const { return allocator_; }
+
+ private:
+  FsResult<InodeNum> ResolveParent(const std::string& path, std::string* leaf) const;
+  Inode& MutableInode(InodeNum ino);
+  InodeNum NewInode(FileType type, SimTime now);
+  // Releases all disk extents of an inode.
+  void FreeStorage(Inode& inode);
+  // Adjusts the extent list to cover `new_size` bytes; returns false on
+  // ENOSPC with the inode unchanged.
+  bool Reallocate(Inode& inode, uint64_t new_size);
+
+  // Recomputes a directory's size from its entry count (old-UNIX style:
+  // 512-byte directory blocks; directories are readable as files).
+  void UpdateDirectorySize(InodeNum dir_ino);
+
+  FsOptions options_;
+  BlockAllocator allocator_;
+  std::unordered_map<InodeNum, Inode> inodes_;
+  InodeNum next_inode_ = kRootInode;
+  FileId next_file_id_ = 1;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_FS_FILE_SYSTEM_H_

@@ -1,0 +1,142 @@
+#include "src/fs/fsck.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace bsdtrace {
+
+std::string FsckReport::Summary() const {
+  std::string out;
+  for (const std::string& e : errors) {
+    out += "fsck: " + e + "\n";
+  }
+  out += "fsck: " + std::to_string(inodes_checked) + " inodes, " +
+         std::to_string(reachable_inodes) + " reachable, " + std::to_string(orphan_inodes) +
+         " orphaned" + (ok() ? ", clean\n" : ", ERRORS FOUND\n");
+  return out;
+}
+
+FsckReport CheckFileSystem(const FileSystem& fs) {
+  FsckReport report;
+  auto error = [&report](const std::string& msg) {
+    if (report.errors.size() < 50) {
+      report.errors.push_back(msg);
+    }
+  };
+
+  // Pass 1: inventory inodes, count directory references, and verify the
+  // extents of each inode against the disk geometry.
+  std::unordered_map<InodeNum, uint32_t> ref_counts;
+  std::unordered_map<InodeNum, const Inode*> inodes;
+  const uint64_t total_frags = fs.allocator().total_frags();
+  const uint32_t frag_size = fs.options().frag_size;
+  std::unordered_set<uint64_t> claimed_frags;
+  uint64_t claimed_total = 0;
+
+  fs.ForEachInode([&](const Inode& inode) {
+    report.inodes_checked += 1;
+    inodes[inode.ino] = &inode;
+
+    std::vector<FragExtent> extents = inode.blocks;
+    if (inode.tail.has_value()) {
+      extents.push_back(*inode.tail);
+    }
+    uint64_t allocated = 0;
+    for (const FragExtent& e : extents) {
+      if (e.start_frag + e.frag_count > total_frags) {
+        error("inode " + std::to_string(inode.ino) + ": extent beyond end of disk");
+        continue;
+      }
+      allocated += static_cast<uint64_t>(e.frag_count) * frag_size;
+      for (uint32_t k = 0; k < e.frag_count; ++k) {
+        if (!claimed_frags.insert(e.start_frag + k).second) {
+          error("fragment " + std::to_string(e.start_frag + k) +
+                " claimed by multiple inodes (dup at inode " + std::to_string(inode.ino) + ")");
+        } else {
+          ++claimed_total;
+        }
+      }
+    }
+    if (inode.size > allocated) {
+      error("inode " + std::to_string(inode.ino) + ": size " + std::to_string(inode.size) +
+            " exceeds allocated " + std::to_string(allocated));
+    }
+    if (inode.type == FileType::kDirectory) {
+      for (const auto& [name, child] : inode.entries) {
+        ref_counts[child] += 1;
+        if (name.empty() || name.find('/') != std::string::npos) {
+          error("directory " + std::to_string(inode.ino) + ": invalid entry name '" + name +
+                "'");
+        }
+      }
+    }
+  });
+
+  // Pass 2: allocator agreement.
+  const uint64_t allocator_used = fs.allocator().allocated_frags();
+  if (allocator_used != claimed_total) {
+    error("allocator reports " + std::to_string(allocator_used) + " fragments in use but " +
+          std::to_string(claimed_total) + " are claimed by inodes (leak or corruption)");
+  }
+
+  // Pass 3: reachability from the root, cycle detection.
+  std::unordered_set<InodeNum> reachable;
+  std::vector<InodeNum> stack;
+  if (inodes.count(kRootInode) == 0) {
+    error("root inode missing");
+  } else {
+    stack.push_back(kRootInode);
+    reachable.insert(kRootInode);
+    while (!stack.empty()) {
+      const InodeNum ino = stack.back();
+      stack.pop_back();
+      const Inode* inode = inodes[ino];
+      if (inode->type != FileType::kDirectory) {
+        continue;
+      }
+      for (const auto& [name, child] : inode->entries) {
+        auto it = inodes.find(child);
+        if (it == inodes.end()) {
+          error("directory " + std::to_string(ino) + ": entry '" + name +
+                "' points at missing inode " + std::to_string(child));
+          continue;
+        }
+        if (it->second->type == FileType::kDirectory && !reachable.insert(child).second) {
+          error("directory " + std::to_string(child) +
+                " reachable by multiple paths (cycle or illegal hard link)");
+          continue;
+        }
+        if (it->second->type != FileType::kDirectory) {
+          reachable.insert(child);
+        }
+        stack.push_back(child);
+      }
+    }
+  }
+  report.reachable_inodes = reachable.size();
+
+  // Pass 4: link counts and orphans.
+  for (const auto& [ino, inode] : inodes) {
+    uint32_t expected = ref_counts.count(ino) != 0 ? ref_counts[ino] : 0;
+    if (ino == kRootInode) {
+      expected += 1;  // the root exists without a parent entry
+    }
+    if (inode->nlink != expected) {
+      error("inode " + std::to_string(ino) + ": nlink " + std::to_string(inode->nlink) +
+            " but " + std::to_string(expected) + " references");
+    }
+    if (inode->nlink == 0) {
+      report.orphan_inodes += 1;
+      if (reachable.count(ino) != 0) {
+        error("inode " + std::to_string(ino) + " has nlink 0 but is reachable");
+      }
+    } else if (reachable.count(ino) == 0) {
+      error("inode " + std::to_string(ino) + " linked but unreachable from root");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,40 @@
+// fsck-style consistency checking for the simulated file system.
+//
+// Long simulations exercise millions of namespace and allocation operations;
+// this checker verifies the global invariants after (or during) a run, in
+// the spirit of fsck(8):
+//
+//   * every inode reachable from the root, or orphaned with nlink == 0;
+//   * nlink counts equal the number of directory entries referencing each
+//     inode (plus 1 for a directory's own existence);
+//   * no directory entry points at a missing inode; the tree is acyclic;
+//   * every inode's extents are within the disk and mutually disjoint;
+//   * the allocator's free count matches the space not covered by extents;
+//   * recorded sizes fit within the allocated extents.
+
+#ifndef BSDTRACE_SRC_FS_FSCK_H_
+#define BSDTRACE_SRC_FS_FSCK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fs/file_system.h"
+
+namespace bsdtrace {
+
+struct FsckReport {
+  std::vector<std::string> errors;
+  uint64_t inodes_checked = 0;
+  uint64_t reachable_inodes = 0;
+  uint64_t orphan_inodes = 0;  // nlink == 0, awaiting ReleaseInode
+
+  bool ok() const { return errors.empty(); }
+  std::string Summary() const;
+};
+
+// Full consistency check.  Read-only; O(inodes + allocated fragments).
+FsckReport CheckFileSystem(const FileSystem& fs);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_FS_FSCK_H_

@@ -1,0 +1,70 @@
+#include "src/fs/path.h"
+
+namespace bsdtrace {
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t j = i;
+    while (j < path.size() && path[j] != '/') {
+      ++j;
+    }
+    if (j > i) {
+      std::string_view comp = path.substr(i, j - i);
+      if (comp == ".") {
+        // skip
+      } else if (comp == "..") {
+        if (!parts.empty()) {
+          parts.pop_back();
+        }
+      } else {
+        parts.emplace_back(comp);
+      }
+    }
+    i = j;
+  }
+  return parts;
+}
+
+bool IsValidAbsolutePath(std::string_view path) {
+  return !path.empty() && path.front() == '/';
+}
+
+std::string Dirname(std::string_view path) {
+  auto parts = SplitPath(path);
+  if (parts.empty()) {
+    return "/";
+  }
+  parts.pop_back();
+  std::string out = "/";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += '/';
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Basename(std::string_view path) {
+  auto parts = SplitPath(path);
+  if (parts.empty()) {
+    return "";
+  }
+  return parts.back();
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') {
+    out += '/';
+  }
+  out += name;
+  return out;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,32 @@
+// Path manipulation for the simulated file system (absolute, '/'-separated).
+
+#ifndef BSDTRACE_SRC_FS_PATH_H_
+#define BSDTRACE_SRC_FS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsdtrace {
+
+// Splits an absolute path into components: "/a/b/c" -> {"a","b","c"}.
+// Empty components (from "//") are dropped; "." components are dropped;
+// ".." is resolved lexically.  "/" yields {}.
+std::vector<std::string> SplitPath(std::string_view path);
+
+// True if the path is absolute and contains no empty component after
+// normalization pitfalls ("", relative paths) — i.e. usable with SplitPath.
+bool IsValidAbsolutePath(std::string_view path);
+
+// "/a/b/c" -> "/a/b"; "/a" -> "/"; "/" -> "/".
+std::string Dirname(std::string_view path);
+
+// "/a/b/c" -> "c"; "/" -> "".
+std::string Basename(std::string_view path);
+
+// Joins a directory and a name: ("/a", "b") -> "/a/b".
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_FS_PATH_H_

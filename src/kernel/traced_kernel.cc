@@ -1,0 +1,332 @@
+#include "src/kernel/traced_kernel.h"
+
+#include <cassert>
+
+#include "src/trace/record.h"
+
+namespace bsdtrace {
+namespace {
+
+KernelError MapFsError(FsError error) {
+  switch (error) {
+    case FsError::kNotFound:
+      return KernelError::kNoEnt;
+    case FsError::kExists:
+      return KernelError::kExist;
+    case FsError::kNotDirectory:
+      return KernelError::kNotDir;
+    case FsError::kIsDirectory:
+      return KernelError::kIsDir;
+    case FsError::kNoSpace:
+      return KernelError::kNoSpc;
+    case FsError::kNotEmpty:
+      return KernelError::kInval;
+    case FsError::kInvalidArgument:
+      return KernelError::kInval;
+  }
+  return KernelError::kInval;
+}
+
+}  // namespace
+
+const char* KernelErrorName(KernelError error) {
+  switch (error) {
+    case KernelError::kNoEnt:
+      return "ENOENT";
+    case KernelError::kExist:
+      return "EEXIST";
+    case KernelError::kBadF:
+      return "EBADF";
+    case KernelError::kMFile:
+      return "EMFILE";
+    case KernelError::kNoSpc:
+      return "ENOSPC";
+    case KernelError::kIsDir:
+      return "EISDIR";
+    case KernelError::kNotDir:
+      return "ENOTDIR";
+    case KernelError::kInval:
+      return "EINVAL";
+  }
+  return "?";
+}
+
+TracedKernel::TracedKernel(FileSystem* fs, TraceSink* sink, KernelOptions options)
+    : fs_(fs), sink_(sink), options_(options) {
+  assert(fs != nullptr && sink != nullptr);
+}
+
+AccessMode TracedKernel::ModeOf(OpenFlags flags) const {
+  if (flags.read && flags.write) {
+    return AccessMode::kReadWrite;
+  }
+  if (flags.write) {
+    return AccessMode::kWriteOnly;
+  }
+  return AccessMode::kReadOnly;
+}
+
+KResult<Fd> TracedKernel::Open(const std::string& path, OpenFlags flags, UserId user) {
+  if (!flags.read && !flags.write) {
+    ++counters_.errors;
+    return KernelError::kInval;
+  }
+  if (fds_.size() >= options_.max_open_files) {
+    ++counters_.errors;
+    return KernelError::kMFile;
+  }
+
+  auto lookup = fs_->LookupPath(path);
+  bool created = false;
+  InodeNum ino = 0;
+
+  if (lookup.ok()) {
+    if (flags.create && flags.exclusive) {
+      ++counters_.errors;
+      return KernelError::kExist;
+    }
+    ino = lookup.value();
+    const Inode* inode = fs_->GetInode(ino);
+    if (inode->type == FileType::kDirectory && flags.write) {
+      ++counters_.errors;
+      return KernelError::kIsDir;
+    }
+    if (flags.truncate && flags.write && inode->size > 0) {
+      // O_TRUNC: discard contents.  The paper counts this as creating new
+      // information, so the trace records a `create`.
+      const FsStatus st = fs_->SetFileSize(ino, 0, now_);
+      if (!st.ok()) {
+        ++counters_.errors;
+        return MapFsError(st.error());
+      }
+      created = true;
+    } else if (flags.truncate && flags.write) {
+      created = true;  // truncating an already-empty file still logs create
+    }
+  } else if (lookup.error() == FsError::kNotFound && flags.create) {
+    auto mk = fs_->CreateFile(path, now_);
+    if (!mk.ok()) {
+      ++counters_.errors;
+      return MapFsError(mk.error());
+    }
+    ino = mk.value();
+    created = true;
+  } else {
+    ++counters_.errors;
+    return MapFsError(lookup.error());
+  }
+
+  const Inode* inode = fs_->GetInode(ino);
+  OpenFile of;
+  of.open_id = next_open_id_++;
+  of.ino = ino;
+  of.file_id = inode->file_id;
+  of.flags = flags;
+  of.position = flags.append ? inode->size : 0;
+
+  const Fd fd = next_fd_++;
+  fds_.emplace(fd, of);
+  open_refs_[ino] += 1;
+  fs_->TouchAccess(ino, now_);
+
+  if (created) {
+    ++counters_.creates;
+    sink_->Append(MakeCreate(TraceNow(), of.open_id, of.file_id, user, ModeOf(flags)));
+  } else {
+    ++counters_.opens;
+    sink_->Append(MakeOpen(TraceNow(), of.open_id, of.file_id, user, ModeOf(flags), inode->size,
+                           of.position));
+  }
+  return fd;
+}
+
+KResult<uint64_t> TracedKernel::Read(Fd fd, uint64_t nbytes) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    ++counters_.errors;
+    return KernelError::kBadF;
+  }
+  OpenFile& of = it->second;
+  if (!of.flags.read) {
+    ++counters_.errors;
+    return KernelError::kBadF;
+  }
+  const Inode* inode = fs_->GetInode(of.ino);
+  assert(inode != nullptr);
+  const uint64_t available = inode->size > of.position ? inode->size - of.position : 0;
+  const uint64_t n = std::min(nbytes, available);
+  of.position += n;
+  ++counters_.reads;
+  counters_.bytes_read += n;
+  return n;
+}
+
+KResult<uint64_t> TracedKernel::Write(Fd fd, uint64_t nbytes) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    ++counters_.errors;
+    return KernelError::kBadF;
+  }
+  OpenFile& of = it->second;
+  if (!of.flags.write) {
+    ++counters_.errors;
+    return KernelError::kBadF;
+  }
+  const Inode* inode = fs_->GetInode(of.ino);
+  assert(inode != nullptr);
+  const uint64_t end = of.position + nbytes;
+  if (end > inode->size) {
+    const FsStatus st = fs_->SetFileSize(of.ino, end, now_);
+    if (!st.ok()) {
+      ++counters_.errors;
+      return MapFsError(st.error());
+    }
+  } else if (nbytes > 0) {
+    fs_->SetFileSize(of.ino, inode->size, now_);  // overwrite in place: mtime only
+  }
+  of.position = end;
+  ++counters_.writes;
+  counters_.bytes_written += nbytes;
+  return nbytes;
+}
+
+KStatus TracedKernel::Seek(Fd fd, uint64_t position) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    ++counters_.errors;
+    return KernelError::kBadF;
+  }
+  OpenFile& of = it->second;
+  ++counters_.seeks;
+  sink_->Append(MakeSeek(TraceNow(), of.open_id, of.file_id, of.position, position));
+  of.position = position;
+  return KStatus::Ok();
+}
+
+void TracedKernel::ReleaseOpenRef(InodeNum ino) {
+  auto ref = open_refs_.find(ino);
+  assert(ref != open_refs_.end() && ref->second > 0);
+  if (--ref->second == 0) {
+    open_refs_.erase(ref);
+    fs_->ReleaseInode(ino);  // no-op unless orphaned
+  }
+}
+
+KStatus TracedKernel::Close(Fd fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    ++counters_.errors;
+    return KernelError::kBadF;
+  }
+  OpenFile of = it->second;
+  fds_.erase(it);
+  const Inode* inode = fs_->GetInode(of.ino);
+  assert(inode != nullptr);
+  ++counters_.closes;
+  sink_->Append(MakeClose(TraceNow(), of.open_id, of.file_id, of.position, inode->size));
+  ReleaseOpenRef(of.ino);
+  return KStatus::Ok();
+}
+
+KStatus TracedKernel::Unlink(const std::string& path, UserId user) {
+  auto lookup = fs_->LookupPath(path);
+  if (!lookup.ok()) {
+    ++counters_.errors;
+    return MapFsError(lookup.error());
+  }
+  const InodeNum ino = lookup.value();
+  const Inode* inode = fs_->GetInode(ino);
+  if (inode->type == FileType::kDirectory) {
+    ++counters_.errors;
+    return KernelError::kIsDir;
+  }
+  const FileId file_id = inode->file_id;
+  const FsStatus st = fs_->Unlink(path, now_);
+  if (!st.ok()) {
+    ++counters_.errors;
+    return MapFsError(st.error());
+  }
+  ++counters_.unlinks;
+  sink_->Append(MakeUnlink(TraceNow(), file_id, user));
+  if (open_refs_.count(ino) == 0) {
+    fs_->ReleaseInode(ino);
+  }
+  return KStatus::Ok();
+}
+
+KStatus TracedKernel::Truncate(const std::string& path, uint64_t new_length, UserId user) {
+  auto lookup = fs_->LookupPath(path);
+  if (!lookup.ok()) {
+    ++counters_.errors;
+    return MapFsError(lookup.error());
+  }
+  const Inode* inode = fs_->GetInode(lookup.value());
+  if (inode->type == FileType::kDirectory) {
+    ++counters_.errors;
+    return KernelError::kIsDir;
+  }
+  const FileId file_id = inode->file_id;
+  const FsStatus st = fs_->SetFileSize(lookup.value(), new_length, now_);
+  if (!st.ok()) {
+    ++counters_.errors;
+    return MapFsError(st.error());
+  }
+  ++counters_.truncates;
+  sink_->Append(MakeTruncate(TraceNow(), file_id, user, new_length));
+  return KStatus::Ok();
+}
+
+KStatus TracedKernel::Execve(const std::string& path, UserId user) {
+  auto lookup = fs_->LookupPath(path);
+  if (!lookup.ok()) {
+    ++counters_.errors;
+    return MapFsError(lookup.error());
+  }
+  const Inode* inode = fs_->GetInode(lookup.value());
+  if (inode->type == FileType::kDirectory) {
+    ++counters_.errors;
+    return KernelError::kIsDir;
+  }
+  fs_->TouchAccess(lookup.value(), now_);
+  ++counters_.execves;
+  sink_->Append(MakeExecve(TraceNow(), inode->file_id, user, inode->size));
+  return KStatus::Ok();
+}
+
+KStatus TracedKernel::Mkdir(const std::string& path) {
+  auto r = fs_->Mkdir(path, now_);
+  if (!r.ok()) {
+    return MapFsError(r.error());
+  }
+  return KStatus::Ok();
+}
+
+KStatus TracedKernel::MkdirAll(const std::string& path) {
+  auto r = fs_->MkdirAll(path, now_);
+  if (!r.ok()) {
+    return MapFsError(r.error());
+  }
+  return KStatus::Ok();
+}
+
+KResult<uint64_t> TracedKernel::FileSize(const std::string& path) const {
+  auto lookup = fs_->LookupPath(path);
+  if (!lookup.ok()) {
+    return MapFsError(lookup.error());
+  }
+  return fs_->GetInode(lookup.value())->size;
+}
+
+bool TracedKernel::Exists(const std::string& path) const {
+  return fs_->LookupPath(path).ok();
+}
+
+KResult<uint64_t> TracedKernel::Position(Fd fd) const {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return KernelError::kBadF;
+  }
+  return it->second.position;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,145 @@
+#include "src/trace/filter.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bsdtrace {
+namespace {
+
+// Copies the header and stamps the description with the derivation.
+Trace Derive(const Trace& source, const std::string& note) {
+  TraceHeader header = source.header();
+  if (!header.description.empty()) {
+    header.description += "; ";
+  }
+  header.description += note;
+  return Trace(header);
+}
+
+// Generic keep-by-open-id filter: two passes.  `keep_record` decides for
+// records that carry their own identity (open/create decide for their whole
+// open id; unlink/truncate/execve decide individually).
+Trace FilterByOpens(const Trace& source, const std::string& note,
+                    const std::function<bool(const TraceRecord&)>& keep_record) {
+  // Pass 1: decide which open ids survive.
+  std::unordered_set<OpenId> kept_opens;
+  for (const TraceRecord& r : source.records()) {
+    if ((r.type == EventType::kOpen || r.type == EventType::kCreate) && keep_record(r)) {
+      kept_opens.insert(r.open_id);
+    }
+  }
+  // Pass 2: copy.
+  Trace out = Derive(source, note);
+  for (const TraceRecord& r : source.records()) {
+    switch (r.type) {
+      case EventType::kOpen:
+      case EventType::kCreate:
+      case EventType::kClose:
+      case EventType::kSeek:
+        if (kept_opens.count(r.open_id) != 0) {
+          out.Append(r);
+        }
+        break;
+      default:
+        if (keep_record(r)) {
+          out.Append(r);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace SliceByTime(const Trace& source, SimTime start, SimTime end, bool rebase) {
+  // Opens whose whole lifetime lies inside the window.
+  std::unordered_set<OpenId> inside;
+  std::unordered_set<OpenId> spoiled;
+  for (const TraceRecord& r : source.records()) {
+    const bool in_window = r.time >= start && r.time < end;
+    switch (r.type) {
+      case EventType::kOpen:
+      case EventType::kCreate:
+        if (in_window) {
+          inside.insert(r.open_id);
+        } else {
+          spoiled.insert(r.open_id);
+        }
+        break;
+      case EventType::kSeek:
+      case EventType::kClose:
+        if (!in_window) {
+          spoiled.insert(r.open_id);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  Trace out = Derive(source, "slice [" + start.ToString() + ", " + end.ToString() + ")");
+  const Duration shift = start - SimTime::Origin();
+  for (const TraceRecord& r : source.records()) {
+    if (r.time < start || r.time >= end) {
+      continue;
+    }
+    switch (r.type) {
+      case EventType::kOpen:
+      case EventType::kCreate:
+      case EventType::kClose:
+      case EventType::kSeek:
+        if (inside.count(r.open_id) == 0 || spoiled.count(r.open_id) != 0) {
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+    TraceRecord copy = r;
+    if (rebase) {
+      copy.time = copy.time - shift;
+    }
+    out.Append(copy);
+  }
+  return out;
+}
+
+Trace FilterByUser(const Trace& source, const std::function<bool(UserId)>& keep) {
+  return FilterByOpens(source, "user filter",
+                       [&keep](const TraceRecord& r) { return keep(r.user_id); });
+}
+
+Trace FilterByFile(const Trace& source, const std::function<bool(FileId)>& keep) {
+  return FilterByOpens(source, "file filter",
+                       [&keep](const TraceRecord& r) { return keep(r.file_id); });
+}
+
+std::map<UserId, uint64_t> CountEventsByUser(const Trace& trace) {
+  std::map<UserId, uint64_t> counts;
+  std::unordered_map<OpenId, UserId> open_user;
+  for (const TraceRecord& r : trace.records()) {
+    switch (r.type) {
+      case EventType::kOpen:
+      case EventType::kCreate:
+        open_user[r.open_id] = r.user_id;
+        counts[r.user_id] += 1;
+        break;
+      case EventType::kSeek:
+      case EventType::kClose: {
+        auto it = open_user.find(r.open_id);
+        counts[it != open_user.end() ? it->second : r.user_id] += 1;
+        if (r.type == EventType::kClose && it != open_user.end()) {
+          open_user.erase(it);
+        }
+        break;
+      }
+      default:
+        counts[r.user_id] += 1;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,159 @@
+#include "src/trace/record.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bsdtrace {
+
+const char* AccessModeName(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kReadOnly:
+      return "r";
+    case AccessMode::kWriteOnly:
+      return "w";
+    case AccessMode::kReadWrite:
+      return "rw";
+  }
+  return "?";
+}
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kOpen:
+      return "open";
+    case EventType::kCreate:
+      return "create";
+    case EventType::kClose:
+      return "close";
+    case EventType::kSeek:
+      return "seek";
+    case EventType::kUnlink:
+      return "unlink";
+    case EventType::kTruncate:
+      return "truncate";
+    case EventType::kExecve:
+      return "execve";
+  }
+  return "?";
+}
+
+std::string TraceRecord::ToString() const {
+  char buf[256];
+  switch (type) {
+    case EventType::kOpen:
+    case EventType::kCreate:
+      std::snprintf(buf, sizeof(buf),
+                    "%.6f\t%s\toid=%" PRIu64 "\tfile=%" PRIu64 "\tuser=%u\tmode=%s\tsize=%" PRIu64
+                    "\tpos=%" PRIu64,
+                    time.seconds(), EventTypeName(type), open_id, file_id, user_id,
+                    AccessModeName(mode), size, position);
+      break;
+    case EventType::kClose:
+      std::snprintf(buf, sizeof(buf),
+                    "%.6f\tclose\toid=%" PRIu64 "\tfile=%" PRIu64 "\tpos=%" PRIu64
+                    "\tsize=%" PRIu64,
+                    time.seconds(), open_id, file_id, position, size);
+      break;
+    case EventType::kSeek:
+      std::snprintf(buf, sizeof(buf),
+                    "%.6f\tseek\toid=%" PRIu64 "\tfile=%" PRIu64 "\tfrom=%" PRIu64
+                    "\tto=%" PRIu64,
+                    time.seconds(), open_id, file_id, seek_from, seek_to);
+      break;
+    case EventType::kUnlink:
+      std::snprintf(buf, sizeof(buf), "%.6f\tunlink\tfile=%" PRIu64 "\tuser=%u", time.seconds(),
+                    file_id, user_id);
+      break;
+    case EventType::kTruncate:
+      std::snprintf(buf, sizeof(buf),
+                    "%.6f\ttruncate\tfile=%" PRIu64 "\tuser=%u\tlen=%" PRIu64, time.seconds(),
+                    file_id, user_id, size);
+      break;
+    case EventType::kExecve:
+      std::snprintf(buf, sizeof(buf), "%.6f\texecve\tfile=%" PRIu64 "\tuser=%u\tsize=%" PRIu64,
+                    time.seconds(), file_id, user_id, size);
+      break;
+  }
+  return buf;
+}
+
+TraceRecord MakeOpen(SimTime t, OpenId open_id, FileId file, UserId user, AccessMode mode,
+                     uint64_t size_at_open, uint64_t initial_position) {
+  TraceRecord r;
+  r.type = EventType::kOpen;
+  r.time = t;
+  r.open_id = open_id;
+  r.file_id = file;
+  r.user_id = user;
+  r.mode = mode;
+  r.size = size_at_open;
+  r.position = initial_position;
+  return r;
+}
+
+TraceRecord MakeCreate(SimTime t, OpenId open_id, FileId file, UserId user, AccessMode mode) {
+  TraceRecord r;
+  r.type = EventType::kCreate;
+  r.time = t;
+  r.open_id = open_id;
+  r.file_id = file;
+  r.user_id = user;
+  r.mode = mode;
+  r.size = 0;
+  r.position = 0;
+  return r;
+}
+
+TraceRecord MakeClose(SimTime t, OpenId open_id, FileId file, uint64_t final_position,
+                      uint64_t size_at_close) {
+  TraceRecord r;
+  r.type = EventType::kClose;
+  r.time = t;
+  r.open_id = open_id;
+  r.file_id = file;
+  r.position = final_position;
+  r.size = size_at_close;
+  return r;
+}
+
+TraceRecord MakeSeek(SimTime t, OpenId open_id, FileId file, uint64_t from, uint64_t to) {
+  TraceRecord r;
+  r.type = EventType::kSeek;
+  r.time = t;
+  r.open_id = open_id;
+  r.file_id = file;
+  r.seek_from = from;
+  r.seek_to = to;
+  return r;
+}
+
+TraceRecord MakeUnlink(SimTime t, FileId file, UserId user) {
+  TraceRecord r;
+  r.type = EventType::kUnlink;
+  r.time = t;
+  r.file_id = file;
+  r.user_id = user;
+  return r;
+}
+
+TraceRecord MakeTruncate(SimTime t, FileId file, UserId user, uint64_t new_length) {
+  TraceRecord r;
+  r.type = EventType::kTruncate;
+  r.time = t;
+  r.file_id = file;
+  r.user_id = user;
+  r.size = new_length;
+  return r;
+}
+
+TraceRecord MakeExecve(SimTime t, FileId file, UserId user, uint64_t file_size) {
+  TraceRecord r;
+  r.type = EventType::kExecve;
+  r.time = t;
+  r.file_id = file;
+  r.user_id = user;
+  r.size = file_size;
+  return r;
+}
+
+}  // namespace bsdtrace

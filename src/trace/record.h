@@ -1,0 +1,89 @@
+// The trace record schema: the events of paper Table II.
+//
+// The tracer deliberately does NOT record individual read and write system
+// calls.  Because UNIX I/O is implicitly sequential, recording the access
+// position at open, close, and around each explicit reposition (seek) is
+// enough to reconstruct exactly which byte ranges were transferred; only the
+// transfer *times* are approximate (bounded by the surrounding events).
+//
+// Schema notes relative to Table II:
+//   * `kCreate` is an open() that created the file or truncated it to zero
+//     length; the paper's Table III counts creates separately from opens.
+//   * Open/create records carry the access mode (read-only / write-only /
+//     read-write); Table V is grouped by it.
+//   * Close records carry the file size at close in addition to the final
+//     position; Figure 2 ("file sizes measured when files were closed")
+//     requires it.
+
+#ifndef BSDTRACE_SRC_TRACE_RECORD_H_
+#define BSDTRACE_SRC_TRACE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/types.h"
+#include "src/util/sim_time.h"
+
+namespace bsdtrace {
+
+// Discriminator for TraceRecord.  Values are part of the binary format; do
+// not renumber.
+enum class EventType : uint8_t {
+  kOpen = 1,      // open of an existing file
+  kCreate = 2,    // open that created or zero-truncated the file
+  kClose = 3,
+  kSeek = 4,      // explicit reposition within an open file
+  kUnlink = 5,    // file deletion
+  kTruncate = 6,  // shorten file (not via open)
+  kExecve = 7,    // program load
+};
+
+const char* EventTypeName(EventType type);
+
+// One trace event.  A flat struct rather than a variant: every field is
+// meaningful for at least one event type (see the per-type factory functions
+// below for which), and flatness keeps the codec and analyzers simple.
+struct TraceRecord {
+  EventType type = EventType::kOpen;
+  SimTime time;
+
+  OpenId open_id = kInvalidOpenId;  // open/create/close/seek
+  FileId file_id = kInvalidFileId;  // all events
+  UserId user_id = 0;               // open/create/unlink/truncate/execve
+
+  AccessMode mode = AccessMode::kReadOnly;  // open/create
+
+  // open/create: file size at open (0 for create).
+  // close: file size at close.
+  // truncate: new length.
+  // execve: size of the program file.
+  uint64_t size = 0;
+
+  // open/create: initial access position (non-zero for append opens).
+  // close: final access position.
+  uint64_t position = 0;
+
+  // seek only: access position before and after the reposition.
+  uint64_t seek_from = 0;
+  uint64_t seek_to = 0;
+
+  bool operator==(const TraceRecord&) const = default;
+
+  // One-line human-readable rendering (the text trace format).
+  std::string ToString() const;
+};
+
+// Factory helpers enforcing per-type field conventions.
+TraceRecord MakeOpen(SimTime t, OpenId open_id, FileId file, UserId user, AccessMode mode,
+                     uint64_t size_at_open, uint64_t initial_position);
+TraceRecord MakeCreate(SimTime t, OpenId open_id, FileId file, UserId user, AccessMode mode);
+TraceRecord MakeClose(SimTime t, OpenId open_id, FileId file, uint64_t final_position,
+                      uint64_t size_at_close);
+TraceRecord MakeSeek(SimTime t, OpenId open_id, FileId file, uint64_t from, uint64_t to);
+TraceRecord MakeUnlink(SimTime t, FileId file, UserId user);
+TraceRecord MakeTruncate(SimTime t, FileId file, UserId user, uint64_t new_length);
+TraceRecord MakeExecve(SimTime t, FileId file, UserId user, uint64_t file_size);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_RECORD_H_

@@ -1,0 +1,67 @@
+// In-memory trace container and the sink interface trace producers write to.
+
+#ifndef BSDTRACE_SRC_TRACE_TRACE_H_
+#define BSDTRACE_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/record.h"
+
+namespace bsdtrace {
+
+// Metadata carried at the front of every trace (file or in-memory).
+struct TraceHeader {
+  // The traced machine, e.g. "ucbarpa" (the paper's trace names A5/E3/C4
+  // correspond to machines).
+  std::string machine = "unknown";
+  // Free-form description (generator parameters, seed, ...).
+  std::string description;
+
+  bool operator==(const TraceHeader&) const = default;
+};
+
+// Consumer interface for a stream of trace records.  The traced kernel emits
+// records through this; implementations include the in-memory Trace, the
+// binary file writer, and analyzer pipelines.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Append(const TraceRecord& record) = 0;
+};
+
+// A complete trace held in memory.  Records are expected to be in
+// non-decreasing time order (validated by TraceValidator).
+class Trace : public TraceSink {
+ public:
+  Trace() = default;
+  explicit Trace(TraceHeader header) : header_(std::move(header)) {}
+
+  void Append(const TraceRecord& record) override { records_.push_back(record); }
+
+  const TraceHeader& header() const { return header_; }
+  TraceHeader& header() { return header_; }
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::vector<TraceRecord>& records() { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  // Time of the last record (the trace duration, since traces start at 0).
+  Duration duration() const {
+    return records_.empty() ? Duration::Zero()
+                            : records_.back().time - SimTime::Origin();
+  }
+
+  bool operator==(const Trace& o) const {
+    return header_ == o.header_ && records_ == o.records_;
+  }
+
+ private:
+  TraceHeader header_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_TRACE_H_

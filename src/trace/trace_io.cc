@@ -1,0 +1,421 @@
+#include "src/trace/trace_io.h"
+
+#include <cassert>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace bsdtrace {
+namespace {
+
+constexpr char kMagic[8] = {'B', 'S', 'D', 'T', 'R', 'C', '1', '\n'};
+constexpr uint8_t kEndSentinel = 0;
+
+void PutVarint(std::ostream& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.put(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.put(static_cast<char>(v));
+}
+
+bool GetVarint(std::istream& in, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    const int c = in.get();
+    if (c == EOF) {
+      return false;
+    }
+    result |= static_cast<uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+    if (shift >= 64) {
+      return false;  // overlong varint
+    }
+  }
+  *v = result;
+  return true;
+}
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void PutString(std::ostream& out, const std::string& s) {
+  PutVarint(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetString(std::istream& in, std::string* s) {
+  uint64_t len = 0;
+  if (!GetVarint(in, &len)) {
+    return false;
+  }
+  if (len > (64u << 20)) {  // sanity cap: 64 MB strings mean corruption
+    return false;
+  }
+  s->resize(len);
+  in.read(s->data(), static_cast<std::streamsize>(len));
+  return static_cast<uint64_t>(in.gcount()) == len;
+}
+
+}  // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& out, const TraceHeader& header) : out_(out) {
+  out_.write(kMagic, sizeof(kMagic));
+  PutString(out_, header.machine);
+  PutString(out_, header.description);
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() { Finish(); }
+
+void BinaryTraceWriter::Append(const TraceRecord& r) {
+  assert(!finished_);
+  out_.put(static_cast<char>(r.type));
+  PutVarint(out_, ZigZagEncode(r.time.micros() - prev_time_us_));
+  prev_time_us_ = r.time.micros();
+  switch (r.type) {
+    case EventType::kOpen:
+    case EventType::kCreate:
+      PutVarint(out_, r.open_id);
+      PutVarint(out_, r.file_id);
+      PutVarint(out_, r.user_id);
+      out_.put(static_cast<char>(r.mode));
+      PutVarint(out_, r.size);
+      PutVarint(out_, r.position);
+      break;
+    case EventType::kClose:
+      PutVarint(out_, r.open_id);
+      PutVarint(out_, r.file_id);
+      PutVarint(out_, r.position);
+      PutVarint(out_, r.size);
+      break;
+    case EventType::kSeek:
+      PutVarint(out_, r.open_id);
+      PutVarint(out_, r.file_id);
+      PutVarint(out_, r.seek_from);
+      PutVarint(out_, r.seek_to);
+      break;
+    case EventType::kUnlink:
+      PutVarint(out_, r.file_id);
+      PutVarint(out_, r.user_id);
+      break;
+    case EventType::kTruncate:
+      PutVarint(out_, r.file_id);
+      PutVarint(out_, r.user_id);
+      PutVarint(out_, r.size);
+      break;
+    case EventType::kExecve:
+      PutVarint(out_, r.file_id);
+      PutVarint(out_, r.user_id);
+      PutVarint(out_, r.size);
+      break;
+  }
+  ++records_written_;
+}
+
+void BinaryTraceWriter::Finish() {
+  if (finished_) {
+    return;
+  }
+  out_.put(static_cast<char>(kEndSentinel));
+  out_.flush();
+  finished_ = true;
+}
+
+BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
+  char magic[sizeof(kMagic)];
+  in_.read(magic, sizeof(magic));
+  if (in_.gcount() != sizeof(magic) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    status_ = Status::Error("bad magic: not a bsdtrace binary trace");
+    done_ = true;
+    return;
+  }
+  if (!GetString(in_, &header_.machine) || !GetString(in_, &header_.description)) {
+    status_ = Status::Error("truncated trace header");
+    done_ = true;
+  }
+}
+
+bool BinaryTraceReader::Next(TraceRecord* record) {
+  if (done_) {
+    return false;
+  }
+  const int type_byte = in_.get();
+  if (type_byte == EOF) {
+    status_ = Status::Error("unexpected end of stream (missing end sentinel)");
+    done_ = true;
+    return false;
+  }
+  if (type_byte == kEndSentinel) {
+    done_ = true;
+    return false;
+  }
+  if (type_byte < 1 || type_byte > 7) {
+    status_ = Status::Error("corrupt record: unknown event type " + std::to_string(type_byte));
+    done_ = true;
+    return false;
+  }
+
+  TraceRecord r;
+  r.type = static_cast<EventType>(type_byte);
+  uint64_t v = 0;
+  auto fail = [&]() {
+    status_ = Status::Error("truncated record body");
+    done_ = true;
+    return false;
+  };
+  if (!GetVarint(in_, &v)) {
+    return fail();
+  }
+  prev_time_us_ += ZigZagDecode(v);
+  r.time = SimTime::FromMicros(prev_time_us_);
+
+  auto get = [&](uint64_t* out) { return GetVarint(in_, out); };
+  switch (r.type) {
+    case EventType::kOpen:
+    case EventType::kCreate: {
+      uint64_t user = 0, mode = 0;
+      if (!get(&r.open_id) || !get(&r.file_id) || !get(&user)) {
+        return fail();
+      }
+      const int mode_byte = in_.get();
+      if (mode_byte == EOF || mode_byte > 2) {
+        return fail();
+      }
+      mode = static_cast<uint64_t>(mode_byte);
+      if (!get(&r.size) || !get(&r.position)) {
+        return fail();
+      }
+      r.user_id = static_cast<UserId>(user);
+      r.mode = static_cast<AccessMode>(mode);
+      break;
+    }
+    case EventType::kClose:
+      if (!get(&r.open_id) || !get(&r.file_id) || !get(&r.position) || !get(&r.size)) {
+        return fail();
+      }
+      break;
+    case EventType::kSeek:
+      if (!get(&r.open_id) || !get(&r.file_id) || !get(&r.seek_from) || !get(&r.seek_to)) {
+        return fail();
+      }
+      break;
+    case EventType::kUnlink: {
+      uint64_t user = 0;
+      if (!get(&r.file_id) || !get(&user)) {
+        return fail();
+      }
+      r.user_id = static_cast<UserId>(user);
+      break;
+    }
+    case EventType::kTruncate:
+    case EventType::kExecve: {
+      uint64_t user = 0;
+      if (!get(&r.file_id) || !get(&user) || !get(&r.size)) {
+        return fail();
+      }
+      r.user_id = static_cast<UserId>(user);
+      break;
+    }
+  }
+  *record = r;
+  return true;
+}
+
+void WriteTextTrace(std::ostream& out, const Trace& trace) {
+  out << "# machine " << trace.header().machine << "\n";
+  if (!trace.header().description.empty()) {
+    out << "# description " << trace.header().description << "\n";
+  }
+  for (const TraceRecord& r : trace.records()) {
+    out << r.ToString() << "\n";
+  }
+}
+
+namespace {
+
+// Parses "key=value" tokens from a text trace line after time and type.
+bool ParseField(const std::string& token, const char* key, uint64_t* out) {
+  const size_t klen = std::strlen(key);
+  if (token.size() <= klen + 1 || token.compare(0, klen, key) != 0 || token[klen] != '=') {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(token.c_str() + klen + 1, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseModeField(const std::string& token, AccessMode* out) {
+  if (token == "mode=r") {
+    *out = AccessMode::kReadOnly;
+    return true;
+  }
+  if (token == "mode=w") {
+    *out = AccessMode::kWriteOnly;
+    return true;
+  }
+  if (token == "mode=rw") {
+    *out = AccessMode::kReadWrite;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<Trace> ReadTextTrace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      std::istringstream hdr(line.substr(1));
+      std::string key;
+      hdr >> key;
+      if (key == "machine") {
+        hdr >> trace.header().machine;
+      } else if (key == "description") {
+        std::string rest;
+        std::getline(hdr, rest);
+        if (!rest.empty() && rest[0] == ' ') {
+          rest.erase(0, 1);
+        }
+        trace.header().description = rest;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tok;
+    std::vector<std::string> tokens;
+    while (std::getline(ls, tok, '\t')) {
+      tokens.push_back(tok);
+    }
+    auto err = [&](const char* what) {
+      return Status::Error("line " + std::to_string(line_no) + ": " + what);
+    };
+    if (tokens.size() < 2) {
+      return err("too few fields");
+    }
+    char* end = nullptr;
+    const double t = std::strtod(tokens[0].c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return err("bad timestamp");
+    }
+    TraceRecord r;
+    r.time = SimTime::FromSeconds(t);
+    const std::string& type = tokens[1];
+    uint64_t u64 = 0;
+    auto field = [&](size_t i, const char* key, uint64_t* out) {
+      return i < tokens.size() && ParseField(tokens[i], key, out);
+    };
+    if (type == "open" || type == "create") {
+      r.type = (type == "open") ? EventType::kOpen : EventType::kCreate;
+      if (!field(2, "oid", &r.open_id) || !field(3, "file", &r.file_id) ||
+          !field(4, "user", &u64)) {
+        return err("bad open fields");
+      }
+      r.user_id = static_cast<UserId>(u64);
+      if (tokens.size() < 8 || !ParseModeField(tokens[5], &r.mode) ||
+          !ParseField(tokens[6], "size", &r.size) || !ParseField(tokens[7], "pos", &r.position)) {
+        return err("bad open mode/size/pos");
+      }
+    } else if (type == "close") {
+      r.type = EventType::kClose;
+      if (!field(2, "oid", &r.open_id) || !field(3, "file", &r.file_id) ||
+          !field(4, "pos", &r.position) || !field(5, "size", &r.size)) {
+        return err("bad close fields");
+      }
+    } else if (type == "seek") {
+      r.type = EventType::kSeek;
+      if (!field(2, "oid", &r.open_id) || !field(3, "file", &r.file_id) ||
+          !field(4, "from", &r.seek_from) || !field(5, "to", &r.seek_to)) {
+        return err("bad seek fields");
+      }
+    } else if (type == "unlink") {
+      r.type = EventType::kUnlink;
+      if (!field(2, "file", &r.file_id) || !field(3, "user", &u64)) {
+        return err("bad unlink fields");
+      }
+      r.user_id = static_cast<UserId>(u64);
+    } else if (type == "truncate") {
+      r.type = EventType::kTruncate;
+      if (!field(2, "file", &r.file_id) || !field(3, "user", &u64) ||
+          !field(4, "len", &r.size)) {
+        return err("bad truncate fields");
+      }
+      r.user_id = static_cast<UserId>(u64);
+    } else if (type == "execve") {
+      r.type = EventType::kExecve;
+      if (!field(2, "file", &r.file_id) || !field(3, "user", &u64) ||
+          !field(4, "size", &r.size)) {
+        return err("bad execve fields");
+      }
+      r.user_id = static_cast<UserId>(u64);
+    } else {
+      return err("unknown event type");
+    }
+    trace.Append(r);
+  }
+  return trace;
+}
+
+void WriteBinaryTrace(std::ostream& out, const Trace& trace) {
+  BinaryTraceWriter writer(out, trace.header());
+  for (const TraceRecord& r : trace.records()) {
+    writer.Append(r);
+  }
+  writer.Finish();
+}
+
+StatusOr<Trace> ReadBinaryTrace(std::istream& in) {
+  BinaryTraceReader reader(in);
+  if (!reader.status().ok()) {
+    return reader.status();
+  }
+  Trace trace(reader.header());
+  TraceRecord r;
+  while (reader.Next(&r)) {
+    trace.Append(r);
+  }
+  if (!reader.status().ok()) {
+    return reader.status();
+  }
+  return trace;
+}
+
+Status SaveTrace(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  WriteBinaryTrace(out, trace);
+  out.close();
+  if (!out) {
+    return Status::Error("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Trace> LoadTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Error("cannot open for reading: " + path);
+  }
+  return ReadBinaryTrace(in);
+}
+
+}  // namespace bsdtrace

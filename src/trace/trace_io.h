@@ -1,0 +1,86 @@
+// Trace serialization: a compact binary format and a line-oriented text
+// format, plus whole-file convenience helpers.
+//
+// Binary format (version 1):
+//   magic   "BSDTRC1\n" (8 bytes)
+//   header  varint-length-prefixed machine string, then description string
+//   records sequence of:
+//             u8      event type (EventType, 1..7)
+//             varint  time delta vs. previous record, microseconds (zigzag)
+//             varints per-type payload fields (see trace_io.cc)
+//   end     u8 0 sentinel
+//
+// Varints are LEB128; times are delta-encoded because trace records are in
+// time order, which keeps the common case to 1-3 bytes.  The paper logged
+// ~500-600 bytes/minute of trace data; this format is in the same spirit.
+
+#ifndef BSDTRACE_SRC_TRACE_TRACE_IO_H_
+#define BSDTRACE_SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/util/status.h"
+
+namespace bsdtrace {
+
+// Streaming binary writer.  Writes the header on construction; call Finish()
+// (or let the destructor do it) to emit the end-of-stream sentinel.
+class BinaryTraceWriter : public TraceSink {
+ public:
+  BinaryTraceWriter(std::ostream& out, const TraceHeader& header);
+  ~BinaryTraceWriter() override;
+
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  void Append(const TraceRecord& record) override;
+  void Finish();
+
+  uint64_t records_written() const { return records_written_; }
+
+ private:
+  std::ostream& out_;
+  int64_t prev_time_us_ = 0;
+  uint64_t records_written_ = 0;
+  bool finished_ = false;
+};
+
+// Streaming binary reader.
+class BinaryTraceReader {
+ public:
+  // Parses the header; check status() before reading records.
+  explicit BinaryTraceReader(std::istream& in);
+
+  Status status() const { return status_; }
+  const TraceHeader& header() const { return header_; }
+
+  // Reads the next record into *record.  Returns false at end of stream or on
+  // error (distinguish via status()).
+  bool Next(TraceRecord* record);
+
+ private:
+  std::istream& in_;
+  TraceHeader header_;
+  Status status_ = Status::Ok();
+  int64_t prev_time_us_ = 0;
+  bool done_ = false;
+};
+
+// Text format: "# machine <name>" / "# description <text>" comment header,
+// then one TraceRecord::ToString() line per record.
+void WriteTextTrace(std::ostream& out, const Trace& trace);
+StatusOr<Trace> ReadTextTrace(std::istream& in);
+
+// Whole-trace binary helpers.
+void WriteBinaryTrace(std::ostream& out, const Trace& trace);
+StatusOr<Trace> ReadBinaryTrace(std::istream& in);
+
+// File-path helpers (binary format).
+Status SaveTrace(const std::string& path, const Trace& trace);
+StatusOr<Trace> LoadTrace(const std::string& path);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,36 @@
+// Shared identifier types for the trace schema (paper Table II).
+
+#ifndef BSDTRACE_SRC_TRACE_TYPES_H_
+#define BSDTRACE_SRC_TRACE_TYPES_H_
+
+#include <cstdint>
+
+namespace bsdtrace {
+
+// Unique identifier assigned to each open() call; disambiguates concurrent
+// accesses to the same file (Table II).
+using OpenId = uint64_t;
+
+// Unique per file (the paper's "file id"; analogous to an i-number that is
+// never reused).
+using FileId = uint64_t;
+
+// The account under which an operation was invoked.
+using UserId = uint32_t;
+
+inline constexpr OpenId kInvalidOpenId = 0;
+inline constexpr FileId kInvalidFileId = 0;
+
+// How a file was opened.  Needed to classify accesses into the read-only /
+// write-only / read-write rows of Table V.
+enum class AccessMode : uint8_t {
+  kReadOnly = 0,
+  kWriteOnly = 1,
+  kReadWrite = 2,
+};
+
+const char* AccessModeName(AccessMode mode);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_TYPES_H_

@@ -1,0 +1,119 @@
+#include "src/trace/validate.h"
+
+#include <unordered_map>
+
+namespace bsdtrace {
+namespace {
+
+struct OpenState {
+  FileId file_id = kInvalidFileId;
+  uint64_t position = 0;  // position after the most recent event
+};
+
+}  // namespace
+
+std::string ValidationResult::Summary() const {
+  std::string out;
+  for (const auto& e : errors) {
+    out += "error: " + e + "\n";
+  }
+  for (const auto& w : warnings) {
+    out += "warning: " + w + "\n";
+  }
+  return out;
+}
+
+ValidationResult ValidateTrace(const Trace& trace, size_t max_issues) {
+  ValidationResult result;
+  result.records = trace.size();
+
+  std::unordered_map<OpenId, OpenState> open_files;
+  SimTime prev_time = SimTime::Origin();
+  uint64_t index = 0;
+
+  auto error = [&](const std::string& msg) {
+    if (result.errors.size() < max_issues) {
+      result.errors.push_back("record " + std::to_string(index) + ": " + msg);
+    }
+  };
+
+  for (const TraceRecord& r : trace.records()) {
+    if (r.time < prev_time) {
+      error("time moves backwards");
+    }
+    prev_time = r.time;
+
+    switch (r.type) {
+      case EventType::kOpen:
+      case EventType::kCreate: {
+        if (r.open_id == kInvalidOpenId) {
+          error("open with invalid open id 0");
+          break;
+        }
+        auto [it, inserted] = open_files.try_emplace(r.open_id);
+        if (!inserted) {
+          error("open id " + std::to_string(r.open_id) + " reused while still open");
+          break;
+        }
+        it->second.file_id = r.file_id;
+        it->second.position = r.position;
+        if (r.type == EventType::kCreate && (r.size != 0 || r.position != 0)) {
+          error("create record must have size 0 and position 0");
+        }
+        if (r.type == EventType::kOpen && r.position > r.size) {
+          error("open initial position beyond file size");
+        }
+        break;
+      }
+      case EventType::kSeek: {
+        auto it = open_files.find(r.open_id);
+        if (it == open_files.end()) {
+          error("seek on open id " + std::to_string(r.open_id) + " that is not open");
+          break;
+        }
+        if (it->second.file_id != r.file_id) {
+          error("seek file id does not match the open");
+        }
+        if (r.seek_from < it->second.position) {
+          error("seek 'from' position behind the last known position (non-sequential gap)");
+        }
+        it->second.position = r.seek_to;
+        break;
+      }
+      case EventType::kClose: {
+        auto it = open_files.find(r.open_id);
+        if (it == open_files.end()) {
+          error("close on open id " + std::to_string(r.open_id) + " that is not open");
+          break;
+        }
+        if (it->second.file_id != r.file_id) {
+          error("close file id does not match the open");
+        }
+        if (r.position < it->second.position) {
+          error("close final position behind the last known position");
+        }
+        if (r.size < r.position) {
+          error("close size smaller than final position");
+        }
+        open_files.erase(it);
+        break;
+      }
+      case EventType::kUnlink:
+        break;
+      case EventType::kTruncate:
+        break;
+      case EventType::kExecve:
+        break;
+    }
+    ++index;
+  }
+
+  result.opens_pending_at_end = open_files.size();
+  if (!open_files.empty()) {
+    result.warnings.push_back(std::to_string(open_files.size()) +
+                              " file(s) still open when the trace ends");
+  }
+  return result;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,45 @@
+// Trace well-formedness checking.
+//
+// The analyses assume structurally valid traces (every close matches an open,
+// positions only advance between repositions, time is monotone).  The
+// validator checks those assumptions and reports precise diagnostics, so that
+// corrupted or hand-edited traces fail loudly instead of skewing results.
+
+#ifndef BSDTRACE_SRC_TRACE_VALIDATE_H_
+#define BSDTRACE_SRC_TRACE_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace bsdtrace {
+
+struct ValidationResult {
+  // Hard violations: the trace must not be analyzed.
+  std::vector<std::string> errors;
+  // Soft issues: analysis is possible but should be noted (e.g. opens still
+  // pending when the trace ends — expected, since real traces are clipped).
+  std::vector<std::string> warnings;
+
+  uint64_t records = 0;
+  uint64_t opens_pending_at_end = 0;
+
+  bool ok() const { return errors.empty(); }
+  // All errors and warnings joined, for logging.
+  std::string Summary() const;
+};
+
+// Validates structural invariants:
+//  * record times are non-decreasing;
+//  * open ids are unique and referenced only while open;
+//  * seek/close carry the file id of the matching open;
+//  * access positions never move backward except via an explicit seek;
+//  * close size is at least the final position;
+//  * field conventions hold (e.g. create has size 0 and position 0).
+// Caps the number of reported issues to keep output bounded.
+ValidationResult ValidateTrace(const Trace& trace, size_t max_issues = 20);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_VALIDATE_H_

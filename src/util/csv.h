@@ -1,0 +1,27 @@
+// Minimal CSV emission for exporting bench series to files.
+
+#ifndef BSDTRACE_SRC_UTIL_CSV_H_
+#define BSDTRACE_SRC_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bsdtrace {
+
+// Streams rows of cells as RFC-4180-ish CSV (quotes cells containing
+// comma/quote/newline).  Does not own the output stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  static std::string Escape(const std::string& cell);
+  std::ostream& out_;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_UTIL_CSV_H_

@@ -1,0 +1,67 @@
+#include "src/util/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bsdtrace {
+
+LogNormalDist::LogNormalDist(double median, double sigma, double cap)
+    : mu_(std::log(median)), sigma_(sigma), cap_(cap) {
+  assert(median > 0.0 && sigma >= 0.0);
+}
+
+double LogNormalDist::Sample(Rng& rng) const {
+  double v = rng.LogNormal(mu_, sigma_);
+  if (cap_ > 0.0 && v > cap_) {
+    v = cap_;
+  }
+  return v;
+}
+
+BoundedParetoDist::BoundedParetoDist(double lo, double hi, double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  assert(lo > 0.0 && hi > lo && alpha > 0.0);
+}
+
+double BoundedParetoDist::Sample(Rng& rng) const {
+  // Inverse-CDF sampling of the bounded Pareto.
+  const double u = rng.NextDouble();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  return std::clamp(x, lo_, hi_);
+}
+
+void MixtureDist::Add(double weight, std::unique_ptr<Distribution> component) {
+  assert(weight > 0.0);
+  weights_.push_back(weight);
+  components_.push_back(std::move(component));
+}
+
+double MixtureDist::Sample(Rng& rng) const {
+  assert(!components_.empty());
+  const size_t i = rng.WeightedIndex(weights_);
+  return components_[i]->Sample(rng);
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  cumulative_.resize(n);
+  double running = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    running += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cumulative_[k] = running;
+  }
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double x = rng.NextDouble() * cumulative_.back();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), x);
+  if (it == cumulative_.end()) {
+    return cumulative_.size() - 1;
+  }
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+}  // namespace bsdtrace

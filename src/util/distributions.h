@@ -1,0 +1,107 @@
+// Composable sampling distributions used by the workload generator.
+//
+// The paper's measured distributions (file sizes, lifetimes, think times) are
+// heavy-tailed mixtures: lots of tiny files plus a few very large
+// administrative files; lots of sub-second opens plus long-lived editor
+// temporaries.  These classes express such shapes directly.
+
+#ifndef BSDTRACE_SRC_UTIL_DISTRIBUTIONS_H_
+#define BSDTRACE_SRC_UTIL_DISTRIBUTIONS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bsdtrace {
+
+// A sampleable non-negative real distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  virtual double Sample(Rng& rng) const = 0;
+};
+
+// All values equal to `value`.
+class ConstantDist : public Distribution {
+ public:
+  explicit ConstantDist(double value) : value_(value) {}
+  double Sample(Rng&) const override { return value_; }
+
+ private:
+  double value_;
+};
+
+// Uniform on [lo, hi).
+class UniformDist : public Distribution {
+ public:
+  UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {}
+  double Sample(Rng& rng) const override { return rng.Uniform(lo_, hi_); }
+
+ private:
+  double lo_, hi_;
+};
+
+// Exponential with the given mean.
+class ExponentialDist : public Distribution {
+ public:
+  explicit ExponentialDist(double mean) : mean_(mean) {}
+  double Sample(Rng& rng) const override { return rng.Exponential(mean_); }
+
+ private:
+  double mean_;
+};
+
+// Lognormal parameterized by the *median* and the sigma of log-space, with an
+// optional cap.  Median parameterization is easier to calibrate against the
+// paper's CDFs than (mu, sigma).
+class LogNormalDist : public Distribution {
+ public:
+  LogNormalDist(double median, double sigma, double cap = 0.0);
+  double Sample(Rng& rng) const override;
+
+ private:
+  double mu_;
+  double sigma_;
+  double cap_;  // 0 = uncapped
+};
+
+// Bounded Pareto: heavy tail between [lo, hi] with shape alpha.
+class BoundedParetoDist : public Distribution {
+ public:
+  BoundedParetoDist(double lo, double hi, double alpha);
+  double Sample(Rng& rng) const override;
+
+ private:
+  double lo_, hi_, alpha_;
+};
+
+// A weighted mixture of component distributions.
+class MixtureDist : public Distribution {
+ public:
+  void Add(double weight, std::unique_ptr<Distribution> component);
+  double Sample(Rng& rng) const override;
+  bool empty() const { return components_.empty(); }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::unique_ptr<Distribution>> components_;
+};
+
+// Zipf-like popularity over `n` items: item k (0-based) has weight
+// 1 / (k+1)^s.  Used for file-popularity skew (a few files get most opens).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+  // Returns an index in [0, n).
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_UTIL_DISTRIBUTIONS_H_

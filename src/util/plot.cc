@@ -1,0 +1,135 @@
+#include "src/util/plot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace bsdtrace {
+
+AsciiPlot::AsciiPlot(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void AsciiPlot::AddSeries(PlotSeries series) {
+  assert(series.xs.size() == series.ys.size());
+  series_.push_back(std::move(series));
+}
+
+void AsciiPlot::SetXRange(double lo, double hi) {
+  has_x_range_ = true;
+  x_lo_ = lo;
+  x_hi_ = hi;
+}
+
+void AsciiPlot::SetYRange(double lo, double hi) {
+  has_y_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string AsciiPlot::Render(size_t width, size_t height) const {
+  double x_lo = x_lo_, x_hi = x_hi_, y_lo = y_lo_, y_hi = y_hi_;
+  if (!has_x_range_ || !has_y_range_) {
+    bool first = true;
+    for (const auto& s : series_) {
+      for (size_t i = 0; i < s.xs.size(); ++i) {
+        if (first) {
+          if (!has_x_range_) {
+            x_lo = x_hi = s.xs[i];
+          }
+          if (!has_y_range_) {
+            y_lo = y_hi = s.ys[i];
+          }
+          first = false;
+        }
+        if (!has_x_range_) {
+          x_lo = std::min(x_lo, s.xs[i]);
+          x_hi = std::max(x_hi, s.xs[i]);
+        }
+        if (!has_y_range_) {
+          y_lo = std::min(y_lo, s.ys[i]);
+          y_hi = std::max(y_hi, s.ys[i]);
+        }
+      }
+    }
+  }
+  if (x_hi <= x_lo) {
+    x_hi = x_lo + 1;
+  }
+  if (y_hi <= y_lo) {
+    y_hi = y_lo + 1;
+  }
+
+  auto x_transform = [&](double x) { return x_log2_ ? std::log2(std::max(x, 1e-12)) : x; };
+  const double tx_lo = x_transform(x_lo);
+  const double tx_hi = x_transform(x_hi);
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (const auto& s : series_) {
+    // Plot each point; linearly interpolate between consecutive points so
+    // curves read as lines rather than scatter.
+    auto to_col = [&](double x) {
+      const double f = (x_transform(x) - tx_lo) / (tx_hi - tx_lo);
+      return static_cast<long>(std::lround(f * static_cast<double>(width - 1)));
+    };
+    auto to_row = [&](double y) {
+      const double f = (y - y_lo) / (y_hi - y_lo);
+      const long r =
+          static_cast<long>(height - 1) - static_cast<long>(std::lround(f * (height - 1)));
+      return r;
+    };
+    for (size_t i = 0; i < s.xs.size(); ++i) {
+      const long c0 = to_col(s.xs[i]);
+      const long r0 = to_row(s.ys[i]);
+      auto put = [&](long r, long c) {
+        if (r >= 0 && r < static_cast<long>(height) && c >= 0 && c < static_cast<long>(width)) {
+          grid[static_cast<size_t>(r)][static_cast<size_t>(c)] = s.marker;
+        }
+      };
+      put(r0, c0);
+      if (i + 1 < s.xs.size()) {
+        const long c1 = to_col(s.xs[i + 1]);
+        const long r1 = to_row(s.ys[i + 1]);
+        const long steps = std::max(std::labs(c1 - c0), std::labs(r1 - r0));
+        for (long k = 1; k < steps; ++k) {
+          const long c = c0 + (c1 - c0) * k / steps;
+          const long r = r0 + (r1 - r0) * k / steps;
+          put(r, c);
+        }
+      }
+    }
+  }
+
+  std::ostringstream out;
+  if (!title_.empty()) {
+    out << title_ << "\n";
+  }
+  char buf[64];
+  for (size_t r = 0; r < height; ++r) {
+    const double y = y_hi - (y_hi - y_lo) * static_cast<double>(r) / (height - 1);
+    if (r == 0 || r == height - 1 || r == height / 2) {
+      std::snprintf(buf, sizeof(buf), "%8.3g |", y);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%8s |", "");
+    }
+    out << buf << grid[r] << "\n";
+  }
+  out << std::string(9, ' ') << '+' << std::string(width, '-') << "\n";
+  std::snprintf(buf, sizeof(buf), "%10.3g", x_lo);
+  std::string x_axis = buf;
+  std::snprintf(buf, sizeof(buf), "%.3g", x_hi);
+  std::string hi_label = buf;
+  const size_t pad =
+      width + 10 > x_axis.size() + hi_label.size() ? width + 10 - x_axis.size() - hi_label.size()
+                                                   : 1;
+  out << x_axis << std::string(pad, ' ') << hi_label << "\n";
+  out << std::string(10, ' ') << x_label_ << (x_log2_ ? " (log2 scale)" : "") << "   [y: "
+      << y_label_ << "]\n";
+  for (const auto& s : series_) {
+    out << "    " << s.marker << " = " << s.name << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,52 @@
+// ASCII line plots for reproducing the paper's figures in a terminal.
+//
+// Each figure bench renders its curves with this plotter in addition to
+// printing the underlying series as a table, so the *shape* comparison with
+// the paper (crossovers, knees, spikes) is visible directly in bench output.
+
+#ifndef BSDTRACE_SRC_UTIL_PLOT_H_
+#define BSDTRACE_SRC_UTIL_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace bsdtrace {
+
+// A named series of (x, y) points.  Points are connected by nearest-column
+// rendering; x values need not be evenly spaced.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char marker = '*';
+};
+
+// Renders one or more series on a shared pair of axes.
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string x_label, std::string y_label);
+
+  void AddSeries(PlotSeries series);
+
+  // Optional fixed axis ranges; otherwise auto-scaled to the data.
+  void SetXRange(double lo, double hi);
+  void SetYRange(double lo, double hi);
+  // Log-scale the x axis (base 2); all x values must be positive.
+  void SetXLog2(bool on) { x_log2_ = on; }
+
+  // Renders to a string, `width` x `height` plot area plus axes and legend.
+  std::string Render(size_t width = 72, size_t height = 20) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<PlotSeries> series_;
+  bool has_x_range_ = false, has_y_range_ = false;
+  double x_lo_ = 0, x_hi_ = 1, y_lo_ = 0, y_hi_ = 1;
+  bool x_log2_ = false;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_UTIL_PLOT_H_

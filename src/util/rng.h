@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// A thin wrapper over a fixed, documented generator (xoshiro256**) so that
+// traces are reproducible across platforms and standard-library versions.
+// std::mt19937 distributions are implementation-defined; everything here is
+// implemented from first principles on top of raw 64-bit draws.
+
+#ifndef BSDTRACE_SRC_UTIL_RNG_H_
+#define BSDTRACE_SRC_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bsdtrace {
+
+// xoshiro256** 1.0 (Blackman & Vigna, public domain algorithm), seeded via
+// splitmix64.  Deterministic for a given seed on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Raw 64 uniform bits.
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Exponential with the given mean (mean > 0).
+  double Exponential(double mean);
+
+  // Standard normal via Box-Muller (spare value cached).
+  double Normal(double mean, double stddev);
+
+  // Lognormal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  // Pareto with scale xm > 0 and shape alpha > 0: xm / U^{1/alpha}.
+  double Pareto(double xm, double alpha);
+
+  // Index in [0, weights.size()) chosen proportionally to weights.
+  // Requires at least one strictly positive weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Derives an independent child generator; used to give each simulated
+  // user/application its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_UTIL_RNG_H_

@@ -1,0 +1,122 @@
+// Streaming statistics, histograms, and weighted empirical CDFs.
+//
+// These are the measurement primitives behind every table and figure in the
+// paper: Table IV needs means and standard deviations over intervals, and
+// Figures 1-4 are cumulative distributions weighted either by count ("percent
+// of files") or by a secondary weight ("percent of bytes").
+
+#ifndef BSDTRACE_SRC_UTIL_STATS_H_
+#define BSDTRACE_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsdtrace {
+
+// Single-pass mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  // Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// An empirical distribution built from weighted samples.  Supports the two
+// query directions the paper uses: "what fraction of weight lies at or below
+// x" (reading a CDF curve) and "what x bounds a given fraction" (quantiles).
+//
+// Samples are buffered and sorted lazily on first query.
+class WeightedCdf {
+ public:
+  // Adds a sample with weight 1.
+  void Add(double value) { Add(value, 1.0); }
+  // Adds a sample with the given non-negative weight.
+  void Add(double value, double weight);
+
+  int64_t sample_count() const { return static_cast<int64_t>(samples_.size()); }
+  double total_weight() const { return total_weight_; }
+  bool empty() const { return samples_.empty(); }
+
+  // Fraction of total weight with value <= x, in [0, 1].
+  double FractionAtOrBelow(double x) const;
+
+  // Smallest sample value v such that FractionAtOrBelow(v) >= q.
+  // q must be in [0, 1]; returns the max sample for q = 1.
+  double Quantile(double q) const;
+
+  double MinValue() const;
+  double MaxValue() const;
+  // Weighted mean of the samples.
+  double Mean() const;
+
+  // Evaluates the CDF at each of the given x positions (for plotting).
+  std::vector<double> Evaluate(const std::vector<double>& xs) const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<std::pair<double, double>> samples_;  // (value, weight)
+  mutable std::vector<double> cumulative_;                  // prefix sums of weight
+  mutable bool sorted_ = false;
+  double total_weight_ = 0.0;
+};
+
+// Fixed-boundary histogram.  Bucket i covers [bounds[i-1], bounds[i]); an
+// underflow bucket covers (-inf, bounds[0]) and an overflow bucket
+// [bounds.back(), +inf).  Used for interval-based measurements and reporting.
+class Histogram {
+ public:
+  // Bounds must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  // Convenience factories.
+  static Histogram Linear(double lo, double hi, size_t buckets);
+  static Histogram Exponential(double first_bound, double factor, size_t buckets);
+
+  void Add(double x) { Add(x, 1.0); }
+  void Add(double x, double weight);
+
+  size_t bucket_count() const { return counts_.size(); }  // includes under/overflow
+  double bucket_weight(size_t i) const { return counts_[i]; }
+  double total_weight() const { return total_; }
+  // Bucket label like "[4096, 8192)"; index as for bucket_weight.
+  std::string BucketLabel(size_t i) const;
+
+  // Fraction of weight at or below x (linear interpolation within buckets).
+  double CumulativeFraction(double x) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<double> counts_;  // size bounds_.size() + 1
+  double total_ = 0.0;
+};
+
+// Formats a byte count with binary units, e.g. "384 KB", "4.0 MB".
+std::string FormatBytes(double bytes);
+
+// Formats a fraction as a percentage with the given precision, e.g. "57.6%".
+std::string FormatPercent(double fraction, int decimals = 1);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_UTIL_STATS_H_

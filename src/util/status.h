@@ -1,0 +1,68 @@
+// Lightweight error propagation without exceptions.
+//
+// I/O-facing APIs (trace codecs, file loading) return Status / StatusOr so
+// corrupted inputs surface as diagnosable errors rather than aborts.
+
+#ifndef BSDTRACE_SRC_UTIL_STATUS_H_
+#define BSDTRACE_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bsdtrace {
+
+// Success or an error message.
+class Status {
+ public:
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return message_.empty(); }
+  const std::string& message() const { return message_; }
+
+ private:
+  Status() = default;
+  explicit Status(std::string message) : message_(std::move(message)) {
+    assert(!message_.empty());
+  }
+  std::string message_;
+};
+
+// A value or an error message.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : v_(std::move(value)) {}                      // NOLINT(runtime/explicit)
+  StatusOr(Status status) : v_(std::move(status)) {                // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_UTIL_STATUS_H_

@@ -1,0 +1,86 @@
+#include "src/util/table.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace bsdtrace {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(Row{.separator = false, .cells = std::move(row)});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{.separator = true, .cells = {}}); }
+
+std::string TextTable::Render(const std::string& title) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) {
+        line += "  ";
+      }
+      const std::string& cell = cells[c];
+      const size_t pad = widths[c] - std::min(widths[c], cell.size());
+      if (c == 0) {
+        line += cell + std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ') + cell;
+      }
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    return line;
+  };
+
+  size_t total_width = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total_width += widths[c] + (c > 0 ? 2 : 0);
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) {
+    out << title << "\n";
+  }
+  out << render_line(header_) << "\n";
+  out << std::string(total_width, '-') << "\n";
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out << std::string(total_width, '-') << "\n";
+    } else {
+      out << render_line(row.cells) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string Cell(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string Cell(double v, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,46 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every paper table is reprinted by a bench binary in the same row/column
+// layout; this renderer handles alignment and separators.
+
+#ifndef BSDTRACE_SRC_UTIL_TABLE_H_
+#define BSDTRACE_SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace bsdtrace {
+
+// A simple text table: a header row plus data rows, rendered with column
+// auto-sizing.  The first column is left-aligned; the rest right-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends a data row.  Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+  // Appends a horizontal separator line.
+  void AddSeparator();
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Renders the table, including a title line if non-empty.
+  std::string Render(const std::string& title = "") const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+// Convenience numeric cell formatting.
+std::string Cell(int64_t v);
+std::string Cell(double v, int decimals = 1);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_UTIL_TABLE_H_

@@ -1,0 +1,81 @@
+// Application workload models.
+//
+// Each task reproduces one of the usage patterns the paper names as the
+// cause of a measured distribution feature:
+//
+//   * RunCompileTask — the edit/compile/link cycle: compiler temporaries are
+//     "deleted as soon as [they have] been translated" (short lifetimes,
+//     Fig. 4), sources are small whole-file reads (Figs. 1-2), the linker
+//     repositions within libraries (seeks).
+//   * RunEditTask — editor sessions keep a temporary file open for the whole
+//     session (the long tail of open durations, Fig. 3).
+//   * RunMailTask — appending "new messages onto existing mailbox files" is
+//     the paper's canonical single-reposition sequential access (Table V).
+//   * RunShellTask — bursts of small program executions reading small files
+//     and directories whole (the short-file mass of Fig. 2a) and peeking
+//     first blocks (the 1 KB / 4 KB jumps of Fig. 1a).
+//   * RunFormatTask — document formatting with print-spool files that are
+//     printed and deleted (short lifetimes by bytes).
+//   * RunAdminTask — the ~1 MB administrative files "accessed by positioning
+//     within the file and then reading or writing a small amount of data"
+//     (the file-size tail of Fig. 2, a large share of seeks).
+//   * RunCadTask — circuit simulation: big decks read whole, big listing
+//     files written, examined, and deleted before the next run (C4's larger
+//     transfers and extra repositioning).
+//   * RunLoginActivity — dotfiles/motd reads and the wtmp login log append.
+//   * RunDaemonTick — the 4.2 BSD network status daemon rewriting ~20 host
+//     files every three minutes (the 180-second lifetime spike, Fig. 4).
+
+#ifndef BSDTRACE_SRC_WORKLOAD_APPS_H_
+#define BSDTRACE_SRC_WORKLOAD_APPS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/context.h"
+#include "src/workload/system_image.h"
+
+namespace bsdtrace {
+
+// Mutable per-user state threaded through tasks.
+struct UserState {
+  UserId id = 0;
+  std::string home;
+  std::string mailbox;
+  Rng rng{0};
+
+  std::vector<std::string> sources;  // .c files in the home directory
+  std::vector<std::string> docs;
+  std::vector<std::string> decks;    // CAD input decks
+  int tmp_seq = 0;                   // unique temp-file suffix counter
+
+  // Picks a random element; the vector must be non-empty.
+  const std::string& Pick(const std::vector<std::string>& v);
+  // Fresh unique temp path under /tmp.
+  std::string TempPath();
+};
+
+void RunCompileTask(WorkloadContext& ctx, UserState& user, const SystemImage& image);
+void RunEditTask(WorkloadContext& ctx, UserState& user, const SystemImage& image);
+void RunMailTask(WorkloadContext& ctx, UserState& user, const SystemImage& image);
+void RunShellTask(WorkloadContext& ctx, UserState& user, const SystemImage& image);
+void RunFormatTask(WorkloadContext& ctx, UserState& user, const SystemImage& image);
+void RunAdminTask(WorkloadContext& ctx, UserState& user, const SystemImage& image);
+void RunCadTask(WorkloadContext& ctx, UserState& user, const SystemImage& image);
+void RunLoginActivity(WorkloadContext& ctx, UserState& user, const SystemImage& image);
+
+// One rewrite of one host status file.  `host` indexes the daemon's files.
+void RunDaemonTick(WorkloadContext& ctx, const SystemImage& image, int host);
+
+// Background system activity (cron, syslog, getty, ...): runs around the
+// clock and supplies the steady drizzle of small accesses real machines
+// show even at night.
+void RunSystemTick(WorkloadContext& ctx, const SystemImage& image);
+
+// Incoming mail delivery (sendmail): lock, append to a mailbox, unlock.
+void DeliverMail(WorkloadContext& ctx, const SystemImage& image, size_t recipient);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_WORKLOAD_APPS_H_

@@ -1,0 +1,59 @@
+// CAD task model (the ucbcad/C4 machine): circuit simulation runs.
+//
+// A run reads a large input deck, probes a technology library
+// non-sequentially, writes a large output listing, examines it, and deletes
+// it before the next run — big transfers, extra repositioning (C4 shows 26%
+// seek events in Table III), and large short-lived files (Fig. 4b).
+
+#include "src/workload/apps.h"
+
+#include "src/util/distributions.h"
+
+namespace bsdtrace {
+
+void RunCadTask(WorkloadContext& ctx, UserState& user, const SystemImage& image) {
+  Rng& rng = user.rng;
+  if (user.decks.empty()) {
+    return;
+  }
+  const MachineProfile& prof = ctx.profile();
+
+  ctx.Exec(image.cad_path, user.id);
+  const std::string deck = user.Pick(user.decks);
+  const uint64_t n = ctx.ReadWholeFile(deck, user.id, prof.compile_rate);
+  if (n == 0) {
+    return;
+  }
+  // Technology parameters: scattered lookups in a shared library file.
+  ctx.RandomReads(image.macros_path, user.id, 2 + static_cast<int>(rng.UniformInt(0, 4)),
+                  2048);
+
+  // Simulation output listing.
+  LogNormalDist listing_dist(prof.cad_listing_median, prof.cad_listing_sigma, 3e6);
+  const auto listing_size = static_cast<uint64_t>(listing_dist.Sample(rng)) + 1024;
+  const std::string listing = user.home + "/sim" + std::to_string(user.tmp_seq++ % 4) + ".out";
+  ctx.AdvanceExp(Duration::Seconds(30));  // the simulation itself (CPU)
+  ctx.WriteNewFile(listing, user.id, listing_size);
+
+  // Examine the listing...
+  ctx.AdvanceExp(Duration::Seconds(45));
+  if (rng.Bernoulli(0.35)) {
+    ctx.ReadWholeFile(listing, user.id);
+  } else {
+    // ...or page around in it looking at the interesting signals.
+    ctx.RandomReads(listing, user.id, 3 + static_cast<int>(rng.UniformInt(0, 5)), 16384);
+  }
+
+  // ...and delete it before the next run.
+  ctx.AdvanceExp(Duration::Seconds(40));
+  ctx.Unlink(listing, user.id);
+
+  if (rng.Bernoulli(0.35)) {
+    // Tweak the deck for the next run.
+    const double factor = rng.Uniform(0.9, 1.15);
+    ctx.WriteNewFile(deck, user.id,
+                     static_cast<uint64_t>(static_cast<double>(n) * factor) + 128);
+  }
+}
+
+}  // namespace bsdtrace

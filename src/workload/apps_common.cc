@@ -1,0 +1,16 @@
+#include "src/workload/apps.h"
+
+#include <cassert>
+
+namespace bsdtrace {
+
+const std::string& UserState::Pick(const std::vector<std::string>& v) {
+  assert(!v.empty());
+  return v[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+}
+
+std::string UserState::TempPath() {
+  return "/tmp/t" + std::to_string(id) + "_" + std::to_string(tmp_seq++);
+}
+
+}  // namespace bsdtrace

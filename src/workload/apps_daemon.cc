@@ -1,0 +1,21 @@
+// The 4.2 BSD network status daemon (rwhod-style).
+//
+// Each of ~20 host status files is rewritten every three minutes, so the
+// previous contents live almost exactly 180 seconds — the paper's striking
+// lifetime spike ("3-4% [30-40%] of all new files have lifetimes between 179
+// and 181 seconds", Fig. 4), which it calls out as peculiar to 4.2 BSD.
+
+#include "src/workload/apps.h"
+
+namespace bsdtrace {
+
+void RunDaemonTick(WorkloadContext& ctx, const SystemImage& image, int host) {
+  constexpr UserId kDaemonUser = 0;
+  const double median = ctx.profile().daemon_file_median;
+  // Status packets vary a little with the remote host's load.
+  const uint64_t size =
+      static_cast<uint64_t>(median * ctx.rng().Uniform(0.8, 1.25));
+  ctx.WriteNewFile(image.DaemonFile(host), kDaemonUser, size);
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,142 @@
+// Program-development task models: the compile/link/run cycle and editor
+// sessions.
+
+#include <algorithm>
+
+#include "src/workload/apps.h"
+
+namespace bsdtrace {
+namespace {
+
+// Perturbs a file size the way an edit does: mostly small growth.
+uint64_t MutateSize(Rng& rng, uint64_t size) {
+  const double factor = 1.0 + rng.Normal(0.02, 0.08);
+  const auto out = static_cast<uint64_t>(static_cast<double>(std::max<uint64_t>(size, 64)) *
+                                         std::clamp(factor, 0.5, 1.8));
+  return std::max<uint64_t>(out, 64);
+}
+
+// "<path>.c" -> "<path>.o"; anything else gets ".o" appended.
+std::string ObjectPathFor(const std::string& source) {
+  if (source.size() > 2 && source.compare(source.size() - 2, 2, ".c") == 0) {
+    return source.substr(0, source.size() - 2) + ".o";
+  }
+  return source + ".o";
+}
+
+}  // namespace
+
+void RunCompileTask(WorkloadContext& ctx, UserState& user, const SystemImage& image) {
+  Rng& rng = user.rng;
+  const MachineProfile& prof = ctx.profile();
+  const std::string src = user.Pick(user.sources);
+
+  // Optionally touch up the source first (a quick ed-style edit).
+  if (rng.Bernoulli(0.45)) {
+    const uint64_t n = ctx.ReadWholeFile(src, user.id);
+    ctx.AdvanceExp(Duration::Seconds(40));  // typing
+    ctx.WriteNewFile(src, user.id, MutateSize(rng, n));
+  }
+
+  // cc: read the source at compiler speed, pulling in a handful of shared
+  // headers, and emit assembler into /tmp.
+  ctx.Exec(image.cc_path, user.id);
+  uint64_t n = ctx.ReadWholeFile(src, user.id, prof.compile_rate);
+  if (n == 0) {
+    return;  // source vanished (raced with another task); give up
+  }
+  const int headers = 2 + static_cast<int>(rng.UniformInt(0, 4));
+  for (int i = 0; i < headers && !image.headers.empty(); ++i) {
+    const std::string& hdr = image.headers[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(image.headers.size()) - 1))];
+    ctx.ReadWholeFile(hdr, user.id, prof.compile_rate * 2);
+  }
+  const std::string asm_path = user.TempPath();
+  ctx.WriteNewFile(asm_path, user.id, static_cast<uint64_t>(static_cast<double>(n) * 2.1),
+                   prof.compile_rate * 3);
+
+  // as: translate and delete the temporary — the paper's canonical
+  // short-lifetime file ("deleted as soon as it has been translated").
+  ctx.Exec(image.as_path, user.id);
+  ctx.ReadWholeFile(asm_path, user.id, prof.compile_rate * 2);
+  const std::string obj_path = ObjectPathFor(src);
+  ctx.WriteNewFile(obj_path, user.id,
+                   static_cast<uint64_t>(static_cast<double>(n) * 0.85) + 512);
+  ctx.Unlink(asm_path, user.id);
+
+  if (!rng.Bernoulli(0.45)) {
+    return;
+  }
+
+  // ld: read the objects whole and reposition within libc (archives are
+  // accessed non-sequentially), then write the executable.
+  ctx.Exec(image.ld_path, user.id);
+  uint64_t total = ctx.ReadWholeFile(obj_path, user.id);
+  const int extra_objs = static_cast<int>(rng.UniformInt(0, 2));
+  for (int i = 0; i < extra_objs; ++i) {
+    const std::string other = ObjectPathFor(user.Pick(user.sources));
+    total += ctx.ReadWholeFile(other, user.id);
+  }
+  ctx.RandomReads(image.libc_path, user.id, 2 + static_cast<int>(rng.UniformInt(0, 2)), 2048);
+  const std::string aout = user.home + "/a.out";
+  const uint64_t exe_size = static_cast<uint64_t>(static_cast<double>(total) * 0.9) + 6144;
+  ctx.WriteNewFile(aout, user.id, exe_size);
+
+  if (!rng.Bernoulli(0.6)) {
+    return;
+  }
+
+  // Run the program: it reads an input and produces an output listing that
+  // is examined and then deleted a little later.
+  ctx.AdvanceExp(Duration::Seconds(8));
+  ctx.Exec(aout, user.id);
+  ctx.ReadWholeFile(user.Pick(user.sources), user.id);
+  const std::string out_path = user.home + "/test.out";
+  ctx.WriteNewFile(out_path, user.id, 200 + static_cast<uint64_t>(rng.UniformInt(0, 8000)));
+  const UserId uid = user.id;
+  ctx.Defer(Duration::Seconds(rng.Exponential(45.0)), [out_path, uid](WorkloadContext& c) {
+    c.ReadWholeFile(out_path, uid);
+    c.Unlink(out_path, uid);
+  });
+}
+
+void RunEditTask(WorkloadContext& ctx, UserState& user, const SystemImage& image) {
+  Rng& rng = user.rng;
+  ctx.Exec(image.vi_path, user.id);
+  const bool edit_doc = !user.docs.empty() && rng.Bernoulli(0.4);
+  const std::string target = edit_doc ? user.Pick(user.docs) : user.Pick(user.sources);
+
+  const uint64_t n = ctx.ReadWholeFile(target, user.id);
+
+  // vi keeps its recovery/temp file open for the whole session — the long
+  // tail of Figure 3's open-time distribution.
+  const std::string tmp = "/tmp/Ex" + std::to_string(user.id) + "_" +
+                          std::to_string(user.tmp_seq++);
+  const Fd tmp_fd = ctx.OpenRaw(tmp, OpenFlags::WriteCreate(), user.id);
+
+  const int rounds = 2 + static_cast<int>(rng.UniformInt(0, 8));
+  uint64_t tmp_size = 0;
+  for (int i = 0; i < rounds; ++i) {
+    ctx.AdvanceExp(Duration::Seconds(40));  // typing/thinking
+    if (tmp_fd < 0) {
+      continue;
+    }
+    if (tmp_size > 4096 && rng.Bernoulli(0.5)) {
+      // vi rewrites an earlier block of its temp file in place.
+      const uint64_t offset =
+          static_cast<uint64_t>(rng.UniformInt(0, static_cast<int64_t>(tmp_size - 1024)));
+      ctx.RawSeek(tmp_fd, offset);
+      ctx.RawWrite(tmp_fd, 1024);
+      ctx.RawSeek(tmp_fd, tmp_size);  // back to the end
+    } else {
+      tmp_size += ctx.RawWrite(tmp_fd, 512 + static_cast<uint64_t>(rng.UniformInt(0, 4096)));
+    }
+  }
+
+  // Save: rewrite the target, close and remove the temp.
+  ctx.WriteNewFile(target, user.id, MutateSize(rng, n));
+  ctx.CloseRaw(tmp_fd);
+  ctx.Unlink(tmp, user.id);
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,174 @@
+// Office task models: mail, document formatting, administrative databases,
+// and login-time activity.
+
+#include <algorithm>
+
+#include "src/workload/apps.h"
+
+namespace bsdtrace {
+
+void RunMailTask(WorkloadContext& ctx, UserState& user, const SystemImage& image) {
+  Rng& rng = user.rng;
+  ctx.Exec(image.mail_path, user.id);
+  // Usually only the new messages at the end of the mailbox are read
+  // (reposition + read to EOF); occasionally the whole box is rescanned.
+  // The mailbox stays open while the user reads messages interactively —
+  // one of the slower opens behind Figure 3's tail.
+  auto size = ctx.kernel().FileSize(user.mailbox);
+  const uint64_t mbox_size = size.ok() ? size.value() : 0;
+  const uint64_t n = mbox_size;
+  {
+    const Fd fd = ctx.OpenRaw(user.mailbox, OpenFlags::ReadOnly(), user.id);
+    if (fd >= 0) {
+      if (mbox_size > 2048 && rng.Bernoulli(0.7)) {
+        // Skip straight to the new messages at the end.
+        ctx.RawSeek(fd, static_cast<uint64_t>(static_cast<double>(mbox_size) *
+                                              rng.Uniform(0.6, 0.95)));
+      }
+      ctx.RawRead(fd, mbox_size);
+      ctx.AdvanceExp(Duration::Seconds(25));  // reading
+      ctx.CloseRaw(fd);
+    }
+  }
+
+  if (rng.Bernoulli(0.6)) {
+    // Send a message: lock-file dance plus an append onto the recipient's
+    // mailbox — the paper's canonical single-reposition sequential access.
+    const size_t other = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(image.home_dirs.size()) - 1));
+    const std::string mbox = image.mail_dir + "/user" + std::to_string(other);
+    const std::string lock = mbox + ".lock";
+    ctx.AdvanceExp(Duration::Seconds(60));  // composing
+    ctx.WriteNewFile(lock, user.id, 0);
+    ctx.AppendFile(mbox, user.id, 300 + static_cast<uint64_t>(rng.UniformInt(0, 2700)));
+    ctx.Unlink(lock, user.id);
+  }
+
+  if (n > 30000 && rng.Bernoulli(0.4)) {
+    // Delete messages: the mailbox is trimmed (truncated) — mostly emptied.
+    const double keep = rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(0.1, 0.5);
+    ctx.Truncate(user.mailbox, user.id,
+                 static_cast<uint64_t>(static_cast<double>(n) * keep));
+  }
+}
+
+void RunFormatTask(WorkloadContext& ctx, UserState& user, const SystemImage& image) {
+  Rng& rng = user.rng;
+  if (user.docs.empty()) {
+    return;
+  }
+  ctx.Exec(image.troff_path, user.id);
+  const std::string doc = user.Pick(user.docs);
+  const uint64_t n = ctx.ReadWholeFile(doc, user.id, ctx.profile().format_rate);
+  if (n == 0) {
+    return;
+  }
+  // Only the needed macro definitions are pulled in (scattered probes).
+  ctx.RandomReads(image.macros_path, user.id, 2, 1536);
+
+  // Spool the formatted output; the printer daemon consumes and deletes it
+  // shortly after — short-lifetime data, weighted by bytes (Fig. 4b).
+  const std::string spool =
+      image.spool_dir + "/df" + std::to_string(user.id) + "_" + std::to_string(user.tmp_seq++);
+  ctx.WriteNewFile(spool, user.id,
+                   static_cast<uint64_t>(static_cast<double>(n) * 1.25) + 2048);
+  ctx.Defer(Duration::Seconds(20.0 + rng.Exponential(70.0)), [spool](WorkloadContext& c) {
+    constexpr UserId kPrinterDaemon = 1;
+    c.ReadWholeFile(spool, kPrinterDaemon);
+    c.Unlink(spool, kPrinterDaemon);
+  });
+}
+
+void RunAdminTask(WorkloadContext& ctx, UserState& user, const SystemImage& image) {
+  Rng& rng = user.rng;
+  if (image.admin_files.empty()) {
+    return;
+  }
+  const std::string& db = image.admin_files[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(image.admin_files.size()) - 1))];
+
+  const double r = rng.NextDouble();
+  if (r < 0.55) {
+    // The canonical administrative pattern: open, position once, read a
+    // small amount, close — repeated a couple of times (Fig. 1a's 1 KB jump).
+    auto size = ctx.kernel().FileSize(db);
+    const uint64_t limit = size.ok() ? size.value() : 0;
+    const int lookups = 2 + static_cast<int>(rng.UniformInt(0, 2));
+    for (int i = 0; i < lookups; ++i) {
+      // Most lookups pull one 1 KB record; some slurp a whole section.
+      const uint64_t amount =
+          rng.Bernoulli(0.65) ? 1024
+                              : 2048 * static_cast<uint64_t>(1 + rng.UniformInt(0, 7));
+      const uint64_t offset = limit > amount
+                                  ? static_cast<uint64_t>(rng.UniformInt(
+                                        0, static_cast<int64_t>(limit - amount)))
+                                  : 0;
+      ctx.SeekRead(db, user.id, offset, amount);
+    }
+  } else if (r < 0.80) {
+    // Append a log record at end of file via an explicit reposition, with a
+    // lock-file dance around it.
+    const bool locked = rng.Bernoulli(0.3);
+    const std::string lock = "/tmp/adm" + std::to_string(user.id) + ".lock";
+    if (locked) {
+      ctx.WriteNewFile(lock, user.id, 0);
+    }
+    ctx.AppendFile(db, user.id, 64 + static_cast<uint64_t>(rng.UniformInt(0, 448)));
+    if (locked) {
+      ctx.Unlink(lock, user.id);
+    }
+  } else if (r < 0.965) {
+    // dbm-style scattered read/update — the non-sequential read-write class
+    // of Table V.
+    ctx.RandomUpdate(db, user.id, 4 + static_cast<int>(rng.UniformInt(0, 4)),
+                     1024 * static_cast<uint64_t>(1 + rng.UniformInt(0, 5)));
+  } else if (rng.Bernoulli(0.5)) {
+    // Full table scan: a long sequential run (Fig. 1b's byte mass).
+    ctx.ReadWholeFile(db, user.id);
+  } else {
+    // Scan until the sought entry is found: a long sequential partial read.
+    auto size = ctx.kernel().FileSize(db);
+    const uint64_t limit = size.ok() ? size.value() : 0;
+    const Fd fd = ctx.OpenRaw(db, OpenFlags::ReadOnly(), user.id);
+    if (fd >= 0) {
+      ctx.RawRead(fd, static_cast<uint64_t>(static_cast<double>(limit) *
+                                            rng.Uniform(0.05, 0.7)));
+      ctx.CloseRaw(fd);
+    }
+  }
+
+  if (rng.Bernoulli(0.003)) {
+    // Rare log rotation: the log is trimmed (old records dropped), keeping
+    // the administrative files at their characteristic ~1 MB size.
+    auto size = ctx.kernel().FileSize(db);
+    if (size.ok() && size.value() > (1u << 20)) {
+      ctx.Truncate(db, user.id, size.value() - (size.value() >> 3));
+    }
+  }
+}
+
+void RunLoginActivity(WorkloadContext& ctx, UserState& user, const SystemImage& image) {
+  Rng& rng = user.rng;
+  // login(1): check the password file, print the motd, record the login.
+  ctx.ReadWholeFile("/etc/passwd", user.id);
+  ctx.ReadWholeFile("/etc/motd", user.id);
+  if (!image.admin_files.empty()) {
+    // wtmp login record appended at end of file.
+    ctx.AppendFile(image.admin_files.front(), user.id, 36);
+  }
+  // utmp slot update: reposition to this user's slot and rewrite it.
+  ctx.SeekWrite(image.utmp_path, user.id,
+                (static_cast<uint64_t>(user.id) * 36) % 2048, 36);
+  // csh startup: dotfiles, termcap peek.
+  ctx.ReadWholeFile(user.home + "/.cshrc", user.id);
+  ctx.ReadWholeFile(user.home + "/.login", user.id);
+  if (rng.Bernoulli(0.5)) {
+    ctx.PeekFile("/etc/termcap", user.id, 4096);
+  }
+  if (rng.Bernoulli(0.4)) {
+    // Check mail at login.
+    ctx.PeekFile(user.mailbox, user.id, 1024);
+  }
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,125 @@
+// Shell task model: bursts of small command executions.
+//
+// This supplies the bulk of the trace's short events: program loads
+// (execve), whole reads of short files and directories, first-block peeks,
+// and small temporary files piped between commands.
+
+#include "src/workload/apps.h"
+
+namespace bsdtrace {
+
+void RunShellTask(WorkloadContext& ctx, UserState& user, const SystemImage& image) {
+  Rng& rng = user.rng;
+  const int commands = 3 + static_cast<int>(rng.UniformInt(0, 8));
+
+  for (int c = 0; c < commands; ++c) {
+    ctx.AdvanceExp(Duration::Seconds(6));  // typing the next command
+    if (rng.Bernoulli(0.35)) {
+      // Glob expansion: the shell reads the working directory first.
+      ctx.ReadWholeFile(rng.Bernoulli(0.75) ? user.home : std::string("/tmp"), user.id);
+    }
+    if (rng.Bernoulli(0.55)) {
+      // Shell builtins (cd, echo, ...) load no program.
+      ctx.Exec(image.SampleProgram(rng), user.id);
+    }
+
+    const double r = rng.NextDouble();
+    if (r < 0.24) {
+      // cat/grep/awk-style: read one or two small files whole.  Script
+      // interpreters consume their input slowly (VAX-era processing).
+      const double rate = rng.Bernoulli(0.35) ? 5e3 : 0;
+      const Duration hold = rng.Bernoulli(0.35)
+                                ? Duration::Seconds(rng.Exponential(1.3))
+                                : Duration::Zero();
+      const int files = 1 + static_cast<int>(rng.UniformInt(0, 1));
+      for (int i = 0; i < files; ++i) {
+        if (rng.Bernoulli(0.35) && !image.config_files.empty()) {
+          const std::string& cfg = image.config_files[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(image.config_files.size()) - 1))];
+          if (cfg == "/etc/termcap") {
+            // tset-style: scan the prefix until the entry is found.
+            ctx.PeekFile(cfg, user.id,
+                         1024 * static_cast<uint64_t>(1 + rng.UniformInt(0, 15)));
+          } else {
+            ctx.ReadWholeFile(cfg, user.id, 0, hold);
+          }
+        } else {
+          ctx.ReadWholeFile(user.Pick(user.sources), user.id, rate, hold);
+        }
+      }
+    } else if (r < 0.32) {
+      // more(1): page through a file at human speed; often quit early.
+      const std::string target = rng.Bernoulli(0.5) && !user.docs.empty()
+                                     ? user.Pick(user.docs)
+                                     : user.Pick(user.sources);
+      const Fd fd = ctx.OpenRaw(target, OpenFlags::ReadOnly(), user.id);
+      if (fd >= 0) {
+        const int pages = 1 + static_cast<int>(rng.UniformInt(0, 4));
+        for (int pg = 0; pg < pages; ++pg) {
+          if (ctx.RawRead(fd, 2048) == 0) {
+            break;
+          }
+          ctx.AdvanceExp(Duration::Seconds(9));  // reading the page
+        }
+        ctx.CloseRaw(fd);
+      }
+    } else if (r < 0.44) {
+      // file/head-style: look at the first block only.
+      const uint64_t peek = rng.Bernoulli(0.55) ? 1024 : 4096;
+      ctx.PeekFile(user.Pick(user.sources), user.id, peek);
+    } else if (r < 0.47) {
+      // ar/ranlib-style: pull several members out of an archive at offsets —
+      // substantial bytes moved non-sequentially (Table V's byte rows).
+      ctx.RandomReads(image.libc_path, user.id, 3 + static_cast<int>(rng.UniformInt(0, 3)),
+                      4096 * static_cast<uint64_t>(1 + rng.UniformInt(0, 3)));
+    } else if (r < 0.485) {
+      // nm/size/strip-style: scan a binary whole (the 4-25 KB run band).
+      const std::string target = rng.Bernoulli(0.4) && ctx.kernel().Exists(user.home + "/a.out")
+                                     ? user.home + "/a.out"
+                                     : image.SampleProgram(rng);
+      ctx.ReadWholeFile(target, user.id, 60e3);
+    } else if (r < 0.60) {
+      // ls-style: read a directory as a file (old-UNIX directories).
+      const char* dirs[] = {"", "/tmp", "/bin", "/etc"};
+      const size_t pick = static_cast<size_t>(rng.UniformInt(0, 3));
+      const std::string dir = pick == 0 ? user.home : dirs[pick];
+      ctx.ReadWholeFile(dir, user.id);
+    } else if (r < 0.72) {
+      // Redirect output to a small new file in the home directory.
+      const std::string out = user.home + "/note" + std::to_string(user.tmp_seq++ % 8);
+      ctx.WriteNewFile(out, user.id, 200 + static_cast<uint64_t>(rng.UniformInt(0, 2800)));
+    } else if (r < 0.86) {
+      // Pipeline via a temporary: write, read back, delete (seconds-long
+      // lifetime, Fig. 4's left edge).
+      const std::string tmp = user.TempPath();
+      ctx.WriteNewFile(tmp, user.id, 512 + static_cast<uint64_t>(rng.UniformInt(0, 6656)));
+      ctx.AdvanceExp(Duration::Seconds(3));
+      ctx.ReadWholeFile(tmp, user.id);
+      ctx.Unlink(tmp, user.id);
+    } else if (r < 0.93) {
+      // tail-style: reposition near the end of a log and read the tail.
+      if (!image.admin_files.empty()) {
+        const std::string& log = image.admin_files[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(image.admin_files.size()) - 1))];
+        auto size = ctx.kernel().FileSize(log);
+        const uint64_t end = size.ok() ? size.value() : 0;
+        ctx.SeekRead(log, user.id, end > 2048 ? end - 2048 : 0, 4096);
+      }
+    } else if (r < 0.97) {
+      // rwho/ruptime: scan a few of the daemon's host status files.
+      const int hosts = 2 + static_cast<int>(rng.UniformInt(0, 4));
+      for (int h = 0; h < hosts; ++h) {
+        const int idx = static_cast<int>(
+            rng.UniformInt(0, ctx.profile().daemon_host_count - 1));
+        ctx.ReadWholeFile(image.DaemonFile(idx), user.id);
+      }
+    }
+    // else: a command with no file I/O beyond its own load (e.g. echo).
+  }
+
+  // csh history is appended when the burst ends.
+  ctx.AppendFile(user.home + "/.history", user.id,
+                 20 + static_cast<uint64_t>(rng.UniformInt(0, 20)) * commands);
+}
+
+}  // namespace bsdtrace

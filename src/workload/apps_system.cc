@@ -1,0 +1,75 @@
+// Background system activity: cron-style periodic jobs, syslog appends, and
+// mail delivery.  These run around the clock and account for a large share
+// of the trace's small events — plus the night-time baseline activity the
+// traced machines showed.
+
+#include "src/workload/apps.h"
+
+namespace bsdtrace {
+
+namespace {
+constexpr UserId kSystemUser = 0;
+}  // namespace
+
+void RunSystemTick(WorkloadContext& ctx, const SystemImage& image) {
+  Rng& rng = ctx.rng();
+  const double r = rng.NextDouble();
+  if (r < 0.40) {
+    // syslog/accounting: reposition to end of a log and append a record.
+    if (!image.admin_files.empty()) {
+      const std::string& log = image.admin_files[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(image.admin_files.size()) - 1))];
+      ctx.AppendFile(log, kSystemUser, 60 + static_cast<uint64_t>(rng.UniformInt(0, 340)));
+    }
+  } else if (r < 0.62) {
+    // Status checks: the logged-in table plus a config file or two.
+    if (rng.Bernoulli(0.5)) {
+      ctx.ReadWholeFile(image.utmp_path, kSystemUser);
+    }
+    const int files = 1 + static_cast<int>(rng.UniformInt(0, 1));
+    for (int i = 0; i < files && !image.config_files.empty(); ++i) {
+      const std::string& cfg = image.config_files[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(image.config_files.size()) - 1))];
+      if (cfg == "/etc/termcap") {
+        ctx.PeekFile(cfg, kSystemUser, 2048);
+      } else {
+        ctx.ReadWholeFile(cfg, kSystemUser);
+      }
+    }
+  } else if (r < 0.78) {
+    // Accounting lookup: probe records scattered through a big admin file.
+    if (!image.admin_files.empty()) {
+      const std::string& db = image.admin_files[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(image.admin_files.size()) - 1))];
+      ctx.RandomReads(db, kSystemUser, 2 + static_cast<int>(rng.UniformInt(0, 1)), 1024);
+    }
+  } else if (r < 0.88) {
+    // cron job: run a script that pipes through a short-lived temp file.
+    ctx.Exec(image.SampleProgram(rng), kSystemUser);
+    const std::string tmp = "/tmp/cron" + std::to_string(rng.UniformInt(0, 999));
+    ctx.WriteNewFile(tmp, kSystemUser, 200 + static_cast<uint64_t>(rng.UniformInt(0, 4000)));
+    ctx.AdvanceExp(Duration::Seconds(2));
+    ctx.ReadWholeFile(tmp, kSystemUser);
+    ctx.Unlink(tmp, kSystemUser);
+  } else if (r < 0.96) {
+    // getty respawn: terminal configuration lookups.
+    ctx.ReadWholeFile("/etc/ttys", kSystemUser);
+    ctx.PeekFile("/etc/termcap", kSystemUser, 1024);
+  } else {
+    // Spool directory sweep: read it like a file (old-UNIX readdir).
+    ctx.ReadWholeFile(image.spool_dir, kSystemUser);
+    ctx.ReadWholeFile("/tmp", kSystemUser);
+  }
+}
+
+void DeliverMail(WorkloadContext& ctx, const SystemImage& image, size_t recipient) {
+  Rng& rng = ctx.rng();
+  ctx.Exec(image.SampleProgram(rng), kSystemUser);  // sendmail-ish
+  const std::string mbox = image.mail_dir + "/user" + std::to_string(recipient);
+  const std::string lock = mbox + ".lock";
+  ctx.WriteNewFile(lock, kSystemUser, 0);
+  ctx.AppendFile(mbox, kSystemUser, 250 + static_cast<uint64_t>(rng.UniformInt(0, 3750)));
+  ctx.Unlink(lock, kSystemUser);
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,284 @@
+#include "src/workload/context.h"
+
+#include <algorithm>
+
+namespace bsdtrace {
+namespace {
+
+// Per-syscall base latency: VAX syscall + name lookup, a handful of ms.
+constexpr double kSyscallLatencyMeanSec = 0.004;
+
+}  // namespace
+
+WorkloadContext::WorkloadContext(TracedKernel* kernel, const MachineProfile* profile, Rng* rng,
+                                 SimTime start, EventScheduler* scheduler)
+    : kernel_(kernel), profile_(profile), rng_(rng), now_(start), scheduler_(scheduler) {}
+
+void WorkloadContext::Defer(Duration delay, std::function<void(WorkloadContext&)> fn) {
+  if (scheduler_ == nullptr) {
+    // No scheduler (unit tests): run inline on a copy of the clock.
+    WorkloadContext child(kernel_, profile_, rng_, now_ + delay, nullptr);
+    fn(child);
+    return;
+  }
+  TracedKernel* kernel = kernel_;
+  const MachineProfile* profile = profile_;
+  EventScheduler* scheduler = scheduler_;
+  Rng child_rng = rng_->Fork();
+  scheduler_->At(now_ + delay,
+                 [kernel, profile, scheduler, child_rng, fn = std::move(fn)](SimTime start) {
+                   Rng local = child_rng;
+                   WorkloadContext child(kernel, profile, &local, start, scheduler);
+                   fn(child);
+                 });
+}
+
+void WorkloadContext::Advance(Duration d) {
+  if (d > Duration::Zero()) {
+    now_ += d;
+  }
+}
+
+void WorkloadContext::AdvanceExp(Duration mean) {
+  Advance(Duration::Seconds(rng_->Exponential(mean.seconds())));
+}
+
+void WorkloadContext::PreSyscall() {
+  Advance(Duration::Seconds(rng_->Exponential(kSyscallLatencyMeanSec)));
+  kernel_->SetTime(now_);
+}
+
+Duration WorkloadContext::TransferTime(uint64_t bytes, double rate) const {
+  const double r = rate > 0 ? rate : profile_->fast_rate;
+  return Duration::Seconds(static_cast<double>(bytes) / r);
+}
+
+uint64_t WorkloadContext::ReadWholeFile(const std::string& path, UserId user, double rate,
+                                        Duration hold) {
+  PreSyscall();
+  auto fd = kernel_->Open(path, OpenFlags::ReadOnly(), user);
+  if (!fd.ok()) {
+    return 0;
+  }
+  uint64_t total = 0;
+  // Read to EOF; chunking does not affect the trace (reads are unlogged),
+  // so a single large read is used for speed.
+  auto n = kernel_->Read(fd.value(), UINT64_MAX / 2);
+  if (n.ok()) {
+    total = n.value();
+  }
+  Advance(TransferTime(total, rate));
+  Advance(hold);
+  PreSyscall();
+  kernel_->Close(fd.value());
+  return total;
+}
+
+bool WorkloadContext::WriteNewFile(const std::string& path, UserId user, uint64_t size,
+                                   double rate) {
+  PreSyscall();
+  auto fd = kernel_->Open(path, OpenFlags::WriteCreate(), user);
+  if (!fd.ok()) {
+    return false;
+  }
+  const bool ok = kernel_->Write(fd.value(), size).ok();
+  Advance(TransferTime(size, rate));
+  PreSyscall();
+  kernel_->Close(fd.value());
+  return ok;
+}
+
+uint64_t WorkloadContext::PeekFile(const std::string& path, UserId user, uint64_t nbytes) {
+  PreSyscall();
+  auto fd = kernel_->Open(path, OpenFlags::ReadOnly(), user);
+  if (!fd.ok()) {
+    return 0;
+  }
+  uint64_t total = 0;
+  auto n = kernel_->Read(fd.value(), nbytes);
+  if (n.ok()) {
+    total = n.value();
+  }
+  Advance(TransferTime(total, 0));
+  PreSyscall();
+  kernel_->Close(fd.value());
+  return total;
+}
+
+bool WorkloadContext::AppendFile(const std::string& path, UserId user, uint64_t nbytes) {
+  // Pre-O_APPEND style: open for writing, reposition explicitly to end of
+  // file, then write — the paper's mailbox-append pattern (one seek before
+  // any transfer, hence "sequential" but not "whole-file" in Table V).
+  PreSyscall();
+  auto fd = kernel_->Open(path, OpenFlags{.write = true, .create = true}, user);
+  if (!fd.ok()) {
+    return false;
+  }
+  auto size = kernel_->FileSize(path);
+  const uint64_t end = size.ok() ? size.value() : 0;
+  if (end > 0) {
+    PreSyscall();
+    kernel_->Seek(fd.value(), end);
+  }
+  const bool ok = kernel_->Write(fd.value(), nbytes).ok();
+  Advance(TransferTime(nbytes, 0));
+  PreSyscall();
+  kernel_->Close(fd.value());
+  return ok;
+}
+
+uint64_t WorkloadContext::SeekRead(const std::string& path, UserId user, uint64_t offset,
+                                   uint64_t nbytes) {
+  PreSyscall();
+  auto fd = kernel_->Open(path, OpenFlags::ReadOnly(), user);
+  if (!fd.ok()) {
+    return 0;
+  }
+  auto size = kernel_->FileSize(path);
+  const uint64_t limit = size.ok() ? size.value() : 0;
+  kernel_->Seek(fd.value(), std::min(offset, limit));
+  uint64_t total = 0;
+  auto n = kernel_->Read(fd.value(), nbytes);
+  if (n.ok()) {
+    total = n.value();
+  }
+  Advance(TransferTime(total, 0));
+  PreSyscall();
+  kernel_->Close(fd.value());
+  return total;
+}
+
+bool WorkloadContext::SeekWrite(const std::string& path, UserId user, uint64_t offset,
+                                uint64_t nbytes) {
+  PreSyscall();
+  auto fd = kernel_->Open(path, OpenFlags::ReadWrite(), user);
+  if (!fd.ok()) {
+    return false;
+  }
+  auto size = kernel_->FileSize(path);
+  const uint64_t limit = size.ok() ? size.value() : 0;
+  kernel_->Seek(fd.value(), std::min(offset, limit));
+  const bool ok = kernel_->Write(fd.value(), nbytes).ok();
+  Advance(TransferTime(nbytes, 0));
+  PreSyscall();
+  kernel_->Close(fd.value());
+  return ok;
+}
+
+int WorkloadContext::RandomReads(const std::string& path, UserId user, int count,
+                                 uint64_t nbytes) {
+  PreSyscall();
+  auto fd = kernel_->Open(path, OpenFlags::ReadOnly(), user);
+  if (!fd.ok()) {
+    return 0;
+  }
+  auto size = kernel_->FileSize(path);
+  const uint64_t limit = size.ok() ? size.value() : 0;
+  int done = 0;
+  for (int i = 0; i < count; ++i) {
+    const uint64_t offset =
+        limit > nbytes ? static_cast<uint64_t>(rng_->UniformInt(0, static_cast<int64_t>(limit - nbytes)))
+                       : 0;
+    PreSyscall();
+    kernel_->Seek(fd.value(), offset);
+    auto n = kernel_->Read(fd.value(), nbytes);
+    if (n.ok() && n.value() > 0) {
+      ++done;
+      Advance(TransferTime(n.value(), 0));
+    }
+  }
+  PreSyscall();
+  kernel_->Close(fd.value());
+  return done;
+}
+
+int WorkloadContext::RandomUpdate(const std::string& path, UserId user, int count,
+                                  uint64_t nbytes) {
+  PreSyscall();
+  auto fd = kernel_->Open(path, OpenFlags::ReadWrite(), user);
+  if (!fd.ok()) {
+    return 0;
+  }
+  auto size = kernel_->FileSize(path);
+  const uint64_t limit = size.ok() ? size.value() : 0;
+  int done = 0;
+  for (int i = 0; i < count; ++i) {
+    const uint64_t offset =
+        limit > nbytes ? static_cast<uint64_t>(rng_->UniformInt(0, static_cast<int64_t>(limit - nbytes)))
+                       : 0;
+    PreSyscall();
+    kernel_->Seek(fd.value(), offset);
+    // Half the probes read, half rewrite in place.
+    const bool write = rng_->Bernoulli(0.5);
+    bool ok;
+    if (write) {
+      ok = kernel_->Write(fd.value(), nbytes).ok();
+    } else {
+      auto n = kernel_->Read(fd.value(), nbytes);
+      ok = n.ok() && n.value() > 0;
+    }
+    if (ok) {
+      ++done;
+      Advance(TransferTime(nbytes, 0));
+    }
+  }
+  PreSyscall();
+  kernel_->Close(fd.value());
+  return done;
+}
+
+bool WorkloadContext::Exec(const std::string& path, UserId user) {
+  PreSyscall();
+  return kernel_->Execve(path, user).ok();
+}
+
+bool WorkloadContext::Unlink(const std::string& path, UserId user) {
+  PreSyscall();
+  return kernel_->Unlink(path, user).ok();
+}
+
+bool WorkloadContext::Truncate(const std::string& path, UserId user, uint64_t new_length) {
+  PreSyscall();
+  return kernel_->Truncate(path, new_length, user).ok();
+}
+
+Fd WorkloadContext::OpenRaw(const std::string& path, OpenFlags flags, UserId user) {
+  PreSyscall();
+  auto fd = kernel_->Open(path, flags, user);
+  return fd.ok() ? fd.value() : -1;
+}
+
+void WorkloadContext::CloseRaw(Fd fd) {
+  if (fd < 0) {
+    return;
+  }
+  PreSyscall();
+  kernel_->Close(fd);
+}
+
+uint64_t WorkloadContext::RawRead(Fd fd, uint64_t nbytes) {
+  PreSyscall();
+  auto n = kernel_->Read(fd, nbytes);
+  if (!n.ok()) {
+    return 0;
+  }
+  Advance(TransferTime(n.value(), 0));
+  return n.value();
+}
+
+uint64_t WorkloadContext::RawWrite(Fd fd, uint64_t nbytes) {
+  PreSyscall();
+  auto n = kernel_->Write(fd, nbytes);
+  if (!n.ok()) {
+    return 0;
+  }
+  Advance(TransferTime(n.value(), 0));
+  return n.value();
+}
+
+void WorkloadContext::RawSeek(Fd fd, uint64_t position) {
+  PreSyscall();
+  kernel_->Seek(fd, position);
+}
+
+}  // namespace bsdtrace

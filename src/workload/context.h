@@ -1,0 +1,115 @@
+// Per-task workload context: traced-syscall helpers with realistic timing.
+//
+// Every helper advances the task-local clock (open latency, transfer time at
+// a configurable processing rate, close latency) and drives the traced
+// kernel, so the emitted records carry plausible VAX-era timings.  Helpers
+// tolerate kernel errors — workload models race with each other exactly like
+// real programs did (a file may vanish between tasks) — and simply return
+// failure, which the models treat as "nothing to do".
+
+#ifndef BSDTRACE_SRC_WORKLOAD_CONTEXT_H_
+#define BSDTRACE_SRC_WORKLOAD_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/kernel/traced_kernel.h"
+#include "src/util/rng.h"
+#include "src/workload/profile.h"
+#include "src/workload/scheduler.h"
+
+namespace bsdtrace {
+
+class WorkloadContext {
+ public:
+  // All pointers must outlive the context.  `start` is the task start time.
+  // `scheduler` may be null, in which case Defer() runs its work inline.
+  WorkloadContext(TracedKernel* kernel, const MachineProfile* profile, Rng* rng, SimTime start,
+                  EventScheduler* scheduler = nullptr);
+
+  // Schedules `fn` to run as an independent task after `delay` (e.g. the
+  // line printer daemon consuming a spool file).  The deferred task gets its
+  // own forked RNG and a fresh context.
+  void Defer(Duration delay, std::function<void(WorkloadContext&)> fn);
+
+  SimTime now() const { return now_; }
+  TracedKernel& kernel() { return *kernel_; }
+  const MachineProfile& profile() const { return *profile_; }
+  Rng& rng() { return *rng_; }
+
+  // Advances the task clock (think time, CPU time, ...).
+  void Advance(Duration d);
+  // Advances by an exponentially-distributed duration with the given mean.
+  void AdvanceExp(Duration mean);
+
+  // -- Whole-file operations --------------------------------------------------
+
+  // Opens for reading, reads sequentially to EOF, closes.  `rate` is the
+  // consumption rate in bytes/second (0 = profile fast_rate); `hold` is an
+  // extra delay before the close (program startup / interactive pauses).
+  // Returns bytes read, or 0 if the file could not be opened.
+  uint64_t ReadWholeFile(const std::string& path, UserId user, double rate = 0,
+                         Duration hold = Duration::Zero());
+
+  // Opens with create+truncate, writes `size` bytes sequentially, closes.
+  bool WriteNewFile(const std::string& path, UserId user, uint64_t size, double rate = 0);
+
+  // Reads only the first min(nbytes, file size) bytes, then closes — the
+  // "look at the first block" pattern behind Figure 1's 1 KB / 4 KB jumps.
+  uint64_t PeekFile(const std::string& path, UserId user, uint64_t nbytes);
+
+  // -- Partial / repositioned operations ---------------------------------------
+
+  // Opens for writing in append mode and writes `nbytes` at end of file
+  // (mailbox-style; sequential but not whole-file).
+  bool AppendFile(const std::string& path, UserId user, uint64_t nbytes);
+
+  // Opens read-only, seeks to `offset` (clamped to EOF), reads `nbytes`,
+  // closes.  The paper's "position then read a small amount" administrative
+  // pattern.  Returns bytes read.
+  uint64_t SeekRead(const std::string& path, UserId user, uint64_t offset, uint64_t nbytes);
+
+  // Opens read-write, seeks to `offset` (clamped to EOF), writes `nbytes`,
+  // closes.  Produces the read-write access class of Table V.
+  bool SeekWrite(const std::string& path, UserId user, uint64_t offset, uint64_t nbytes);
+
+  // Opens read-only and performs `count` random seek+read(nbytes) probes
+  // (non-sequential read access).  Returns the number of successful probes.
+  int RandomReads(const std::string& path, UserId user, int count, uint64_t nbytes);
+
+  // Opens read-write and performs `count` random seek + read/write probes
+  // (non-sequential read-write access, e.g. dbm-style files).
+  int RandomUpdate(const std::string& path, UserId user, int count, uint64_t nbytes);
+
+  // -- Other traced operations -------------------------------------------------
+
+  bool Exec(const std::string& path, UserId user);
+  bool Unlink(const std::string& path, UserId user);
+  bool Truncate(const std::string& path, UserId user, uint64_t new_length);
+
+  // -- Raw descriptor access (for long-lived opens, e.g. editor temp files) ----
+
+  // Opens and returns the fd, or -1.  The caller must CloseRaw() it.
+  Fd OpenRaw(const std::string& path, OpenFlags flags, UserId user);
+  void CloseRaw(Fd fd);
+  // Clock-synced wrappers for operations on a raw fd.
+  uint64_t RawRead(Fd fd, uint64_t nbytes);
+  uint64_t RawWrite(Fd fd, uint64_t nbytes);
+  void RawSeek(Fd fd, uint64_t position);
+
+ private:
+  // Syncs the kernel clock, applies a small per-syscall latency.
+  void PreSyscall();
+  Duration TransferTime(uint64_t bytes, double rate) const;
+
+  TracedKernel* kernel_;
+  const MachineProfile* profile_;
+  Rng* rng_;
+  SimTime now_;
+  EventScheduler* scheduler_;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_WORKLOAD_CONTEXT_H_

@@ -1,0 +1,53 @@
+// Top-level synthetic trace generation.
+//
+// Wires together the substrates: builds a file-system image, runs a
+// population of simulated users (plus the network status daemon) against the
+// traced kernel under a discrete-event scheduler, and returns the merged,
+// time-sorted trace.
+
+#ifndef BSDTRACE_SRC_WORKLOAD_GENERATOR_H_
+#define BSDTRACE_SRC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/fs/file_system.h"
+#include "src/fs/fsck.h"
+#include "src/kernel/traced_kernel.h"
+#include "src/trace/trace.h"
+#include "src/workload/profile.h"
+
+namespace bsdtrace {
+
+struct GeneratorOptions {
+  // Simulated trace length.  The paper's traces cover 2-3 busy days; the
+  // simulation clock starts at 08:00 on day one so a multi-day run spans
+  // full diurnal cycles.
+  Duration duration = Duration::Hours(24);
+  uint64_t seed = 19850101;
+  // Disk geometry for the simulated machine.
+  FsOptions fs_options = FsOptions{.block_size = 4096, .frag_size = 1024,
+                                   .total_blocks = 524288};  // 2 GB
+};
+
+struct GenerationResult {
+  Trace trace;
+  KernelCounters kernel_counters;
+  FsStatistics fs_stats;
+  // Consistency check of the substrate file system after generation; a
+  // non-clean report indicates a simulator bug.
+  FsckReport fsck;
+  uint64_t tasks_executed = 0;
+};
+
+// Generates a trace for the given machine profile.  Deterministic for a
+// given (profile, options) pair.
+GenerationResult GenerateTrace(const MachineProfile& profile,
+                               const GeneratorOptions& options = GeneratorOptions());
+
+// Convenience: the trace alone.
+Trace GenerateTraceOnly(const MachineProfile& profile,
+                        const GeneratorOptions& options = GeneratorOptions());
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_WORKLOAD_GENERATOR_H_

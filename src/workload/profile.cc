@@ -1,0 +1,69 @@
+#include "src/workload/profile.h"
+
+namespace bsdtrace {
+
+MachineProfile ProfileA5() {
+  MachineProfile p;
+  p.machine = "ucbarpa";
+  p.trace_name = "A5";
+  p.user_population = 90;
+  p.day_login_rate = 3.0;
+  p.mean_session_length = Duration::Minutes(50);
+  p.mean_think_time = Duration::Seconds(15);
+  p.night_activity = 0.10;
+  // Program development and document formatting (paper §4).
+  p.mix = TaskMix{.compile = 7, .edit = 5, .mail = 13, .shell = 39, .format = 6,
+                  .admin = 30, .cad = 0};
+  p.source_median = 2400;
+  p.doc_median = 6000;
+  p.system_tick_mean = Duration::Seconds(9);
+  return p;
+}
+
+MachineProfile ProfileE3() {
+  MachineProfile p;
+  p.machine = "ucbernie";
+  p.trace_name = "E3";
+  p.user_population = 140;
+  p.day_login_rate = 2.6;
+  p.mean_session_length = Duration::Minutes(45);
+  p.mean_think_time = Duration::Seconds(16);
+  p.night_activity = 0.09;
+  // Development plus substantial secretarial/administrative work.
+  p.mix = TaskMix{.compile = 7, .edit = 7, .mail = 16, .shell = 38, .format = 9,
+                  .admin = 23, .cad = 0};
+  p.doc_median = 4500;
+  p.system_tick_mean = Duration::Seconds(10);
+  p.mail_delivery_mean = Duration::Seconds(110);
+  return p;
+}
+
+MachineProfile ProfileC4() {
+  MachineProfile p;
+  p.machine = "ucbcad";
+  p.trace_name = "C4";
+  p.user_population = 40;
+  p.day_login_rate = 2.8;
+  p.mean_session_length = Duration::Minutes(60);
+  p.mean_think_time = Duration::Seconds(16);
+  p.night_activity = 0.13;
+  // CAD: circuit simulators, layout editors, design-rule checkers.  More
+  // repositioning (26% seeks in Table III) and larger files.
+  p.mix = TaskMix{.compile = 5, .edit = 5, .mail = 8, .shell = 34, .format = 3, .admin = 20,
+                  .cad = 25};
+  p.mail_delivery_mean = Duration::Seconds(300);
+  p.system_tick_mean = Duration::Seconds(16);
+  return p;
+}
+
+MachineProfile ProfileByName(const std::string& name) {
+  if (name == "E3" || name == "e3" || name == "ucbernie") {
+    return ProfileE3();
+  }
+  if (name == "C4" || name == "c4" || name == "ucbcad") {
+    return ProfileC4();
+  }
+  return ProfileA5();
+}
+
+}  // namespace bsdtrace

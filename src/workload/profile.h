@@ -1,0 +1,86 @@
+// Machine profiles: the calibration knobs that make a synthetic trace look
+// like the paper's A5 (ucbarpa), E3 (ucbernie), or C4 (ucbcad) traces.
+//
+// The three machines differed in community and workload (paper §4):
+//   * ucbarpa — graduate students/staff, program development & formatting;
+//   * ucbernie — the same plus substantial secretarial/administrative work,
+//     the most users;
+//   * ucbcad — VLSI CAD tools (simulators, layout editors, extractors),
+//     fewer users, bigger files, more repositioning (26% seeks in Table III).
+
+#ifndef BSDTRACE_SRC_WORKLOAD_PROFILE_H_
+#define BSDTRACE_SRC_WORKLOAD_PROFILE_H_
+
+#include <string>
+
+#include "src/util/sim_time.h"
+
+namespace bsdtrace {
+
+struct TaskMix {
+  double compile = 0;  // edit/compile/link/run development cycle
+  double edit = 0;     // long editor session (keeps a temp file open)
+  double mail = 0;     // read/append mailbox
+  double shell = 0;    // command execution, rc files, peeks
+  double format = 0;   // document formatting + print spool
+  double admin = 0;    // large administrative database access
+  double cad = 0;      // CAD simulate/inspect cycle
+};
+
+struct MachineProfile {
+  std::string machine;     // e.g. "ucbarpa"
+  std::string trace_name;  // e.g. "A5"
+
+  // -- Population and activity ------------------------------------------------
+  int user_population = 90;           // distinct users over the whole trace
+  double day_login_rate = 1.0;        // mean logins per user per working day
+  Duration mean_session_length = Duration::Minutes(45);
+  Duration mean_think_time = Duration::Seconds(40);  // between tasks in a session
+  // Diurnal modulation: activity multiplier at night relative to the
+  // afternoon peak (the traces cover busy weekdays; nights are quiet).
+  double night_activity = 0.1;
+
+  TaskMix mix;
+
+  // -- Background system activity ----------------------------------------------
+  Duration system_tick_mean = Duration::Seconds(40);   // cron/syslog/getty cadence
+  Duration mail_delivery_mean = Duration::Seconds(150);  // incoming mail (daytime)
+
+  // -- Network status daemon (the 180-second lifetime spike, Fig. 4) ----------
+  int daemon_host_count = 20;
+  Duration daemon_period = Duration::Minutes(3);
+  double daemon_file_median = 1100;  // bytes per host status file
+
+  // -- File-size scales (bytes; lognormal medians and log-space sigmas) -------
+  double source_median = 2400, source_sigma = 0.95;
+  double doc_median = 4000, doc_sigma = 1.3;
+  double cad_deck_median = 24000, cad_deck_sigma = 1.4;
+  double cad_listing_median = 90000, cad_listing_sigma = 1.1;
+
+  // -- Administrative databases (the ~1 MB network tables / login logs) -------
+  int admin_file_count = 5;
+  double admin_file_size = 1 << 20;
+
+  // -- Processing rates (bytes/second; VAX-11/780 era) -------------------------
+  double fast_rate = 400e3;     // streaming copy / cat
+  double compile_rate = 4e3;    // compiler consuming source (token by token)
+  double format_rate = 5e3;     // troff-style formatter (slow, CPU-bound)
+
+  // Global activity multiplier: scales login rate and background cadences up
+  // and think times down.  2.0 approximates a machine twice as busy; useful
+  // for stress runs and for matching the original machines' ~480K
+  // records/day without retuning every task model.
+  double intensity = 1.0;
+};
+
+// The three traced machines (paper Table III/IV calibration).
+MachineProfile ProfileA5();
+MachineProfile ProfileE3();
+MachineProfile ProfileC4();
+
+// Looks up a profile by trace name ("A5", "E3", "C4"); A5 for unknown names.
+MachineProfile ProfileByName(const std::string& name);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_WORKLOAD_PROFILE_H_

@@ -1,0 +1,22 @@
+#include "src/workload/scheduler.h"
+
+namespace bsdtrace {
+
+void EventScheduler::At(SimTime when, Task task) {
+  queue_.push(Entry{.when = when, .seq = next_seq_++, .task = std::move(task)});
+}
+
+uint64_t EventScheduler::Run(SimTime end) {
+  uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().when < end) {
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the closure is wasteful, so pop into a local.
+    Entry entry = queue_.top();
+    queue_.pop();
+    entry.task(entry.when);
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,58 @@
+// Discrete-event scheduler for the workload generator.
+//
+// Tasks are closures scheduled at absolute simulated times and processed in
+// start-time order.  A task runs "atomically": it performs traced syscalls
+// while advancing its own local clock, and may schedule follow-up tasks.
+// Because concurrent users advance independent local clocks, the merged
+// record stream is sorted by timestamp after generation (see generator.cc).
+
+#ifndef BSDTRACE_SRC_WORKLOAD_SCHEDULER_H_
+#define BSDTRACE_SRC_WORKLOAD_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace bsdtrace {
+
+// A unit of workload activity.  Receives the scheduled start time.
+using Task = std::function<void(SimTime start)>;
+
+class EventScheduler {
+ public:
+  // Schedules `task` to run at time `when`.  Tasks scheduled for the same
+  // instant run in scheduling order (FIFO).
+  void At(SimTime when, Task task);
+
+  // Runs tasks in time order until the queue is empty or the next task would
+  // start at or after `end`.  Returns the number of tasks executed.
+  uint64_t Run(SimTime end);
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    Task task;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_WORKLOAD_SCHEDULER_H_

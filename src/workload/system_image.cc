@@ -1,0 +1,180 @@
+#include "src/workload/system_image.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bsdtrace {
+namespace {
+
+// Creates a regular file of the given size; the image must fit, so failures
+// are asserted rather than tolerated.
+void MakeFile(FileSystem& fs, const std::string& path, uint64_t size) {
+  auto ino = fs.CreateFile(path);
+  assert(ino.ok());
+  const FsStatus st = fs.SetFileSize(ino.value(), size, SimTime::Origin());
+  assert(st.ok());
+  (void)st;
+}
+
+}  // namespace
+
+const std::string& SystemImage::SampleProgram(Rng& rng) const {
+  assert(!programs.empty());
+  const size_t i = rng.WeightedIndex(program_popularity_);
+  return programs[i];
+}
+
+SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng& rng) {
+  SystemImage image;
+
+  for (const char* dir :
+       {"/bin", "/usr/bin", "/usr/ucb", "/etc", "/lib", "/tmp", "/usr/tmp", "/usr/adm",
+        "/usr/spool/mail", "/usr/spool/lpd", "/usr/spool/rwho", "/usr/lib", "/u"}) {
+    auto st = fs.MkdirAll(dir);
+    assert(st.ok());
+    (void)st;
+  }
+
+  // -- Programs ---------------------------------------------------------------
+  // Popularity follows a Zipf-ish law; the most-executed programs on a
+  // 4.2 BSD system were small utilities and shell scripts (which keeps total
+  // execve bytes within the paper's 1.2-2x of logical file I/O).
+  struct ProgSpec {
+    const char* dir;
+    int count;
+    double median;  // size median (bytes)
+    double sigma;
+  };
+  const ProgSpec specs[] = {
+      {"/bin", 28, 9000, 0.9},       // core utilities: ls, cat, cp, sed, ...
+      {"/usr/bin", 26, 16000, 1.0},  // larger tools: cc pieces, troff, ...
+      {"/usr/ucb", 16, 22000, 1.0},  // BSD additions: vi, more, mail, ...
+      {"/lib", 8, 60000, 0.8},       // compiler passes: ccom, c2, ld, as
+  };
+  int prog_index = 0;
+  for (const ProgSpec& spec : specs) {
+    for (int i = 0; i < spec.count; ++i) {
+      LogNormalDist size_dist(spec.median, spec.sigma, 1.5e6);
+      const auto size = static_cast<uint64_t>(size_dist.Sample(rng)) + 512;
+      const std::string path = std::string(spec.dir) + "/prog" + std::to_string(prog_index++);
+      MakeFile(fs, path, size);
+      image.programs.push_back(path);
+    }
+  }
+  // Shell scripts: small, very frequently executed.
+  for (int i = 0; i < 18; ++i) {
+    LogNormalDist size_dist(1200, 0.8, 20000);
+    const std::string path = "/usr/bin/script" + std::to_string(i);
+    MakeFile(fs, path, static_cast<uint64_t>(size_dist.Sample(rng)) + 64);
+    image.programs.push_back(path);
+  }
+  // Zipf popularity over the combined list: /bin utilities and scripts are
+  // the most frequently executed; /lib compiler passes are reached via the
+  // compile model rather than via this sampler.
+  image.program_popularity_.resize(image.programs.size());
+  for (size_t k = 0; k < image.programs.size(); ++k) {
+    image.program_popularity_[k] = 1.0 / std::pow(static_cast<double>(k + 1), 0.85);
+  }
+
+  // Well-known programs for the task models.
+  image.cc_path = "/bin/cc";
+  MakeFile(fs, image.cc_path, 21504);
+  image.as_path = "/bin/as";
+  MakeFile(fs, image.as_path, 46080);
+  image.ld_path = "/bin/ld";
+  MakeFile(fs, image.ld_path, 38912);
+  image.vi_path = "/usr/ucb/vi";
+  MakeFile(fs, image.vi_path, 141312);
+  image.mail_path = "/usr/ucb/Mail";
+  MakeFile(fs, image.mail_path, 92160);
+  image.troff_path = "/usr/bin/troff";
+  MakeFile(fs, image.troff_path, 108544);
+  image.cad_path = "/usr/bin/cadsim";
+  MakeFile(fs, image.cad_path, 487424);
+  image.libc_path = "/lib/libc.a";
+  MakeFile(fs, image.libc_path, 330000);
+  image.macros_path = "/usr/lib/tmac.s";
+  MakeFile(fs, image.macros_path, 28000);
+
+  // -- Configuration files ------------------------------------------------------
+  const char* config_names[] = {"/etc/passwd", "/etc/group",   "/etc/hosts",
+                                "/etc/ttys",   "/etc/termcap", "/etc/motd",
+                                "/etc/fstab",  "/etc/gettytab"};
+  for (const char* name : config_names) {
+    const uint64_t size = 150 + static_cast<uint64_t>(rng.UniformInt(0, 2350));
+    MakeFile(fs, name, name == std::string("/etc/termcap") ? 110000 : size);
+    image.config_files.push_back(name);
+  }
+
+  // utmp: the logged-in-users table, read by who/finger-style tools all day.
+  image.utmp_path = "/etc/utmp";
+  MakeFile(fs, image.utmp_path, 2048);
+
+  // -- Header files (read by every compile) -------------------------------------
+  {
+    auto st = fs.MkdirAll("/usr/include");
+    assert(st.ok());
+    (void)st;
+    for (int i = 0; i < 40; ++i) {
+      LogNormalDist size_dist(2200, 0.9, 30000);
+      const std::string path = "/usr/include/hdr" + std::to_string(i) + ".h";
+      MakeFile(fs, path, static_cast<uint64_t>(size_dist.Sample(rng)) + 128);
+      image.headers.push_back(path);
+    }
+  }
+
+  // -- Administrative databases (the ~1 MB files of Fig. 2's tail) -------------
+  const char* admin_names[] = {"/usr/adm/wtmp", "/usr/adm/acct", "/usr/lib/nettable",
+                               "/usr/adm/messages", "/usr/lib/hostdb", "/usr/adm/lpacct"};
+  for (int i = 0; i < profile.admin_file_count && i < 6; ++i) {
+    const auto size = static_cast<uint64_t>(profile.admin_file_size * (0.7 + 0.08 * i));
+    MakeFile(fs, admin_names[i], size);
+    image.admin_files.push_back(admin_names[i]);
+  }
+
+  // -- Network daemon status files ---------------------------------------------
+  // Created before tracing begins so the first traced rewrite overwrites an
+  // existing file, as on the real machines.
+  for (int h = 0; h < profile.daemon_host_count; ++h) {
+    const std::string path = image.rwho_dir + "/whod.host" + std::to_string(h);
+    MakeFile(fs, path, static_cast<uint64_t>(profile.daemon_file_median));
+  }
+
+  // -- User homes ----------------------------------------------------------------
+  image.home_dirs.reserve(profile.user_population);
+  for (int u = 0; u < profile.user_population; ++u) {
+    const std::string home = "/u/user" + std::to_string(u);
+    auto st = fs.MkdirAll(home);
+    assert(st.ok());
+    (void)st;
+    // Dotfiles read at login.
+    MakeFile(fs, home + "/.cshrc", 300 + static_cast<uint64_t>(rng.UniformInt(0, 1200)));
+    MakeFile(fs, home + "/.login", 150 + static_cast<uint64_t>(rng.UniformInt(0, 700)));
+    // Seed work files; the task models grow these sets over time.
+    LogNormalDist src_dist(profile.source_median, profile.source_sigma, 120000);
+    for (int i = 0; i < 6; ++i) {
+      MakeFile(fs, home + "/src" + std::to_string(i) + ".c",
+               static_cast<uint64_t>(src_dist.Sample(rng)) + 32);
+    }
+    LogNormalDist doc_dist(profile.doc_median, profile.doc_sigma, 250000);
+    for (int i = 0; i < 3; ++i) {
+      MakeFile(fs, home + "/doc" + std::to_string(i),
+               static_cast<uint64_t>(doc_dist.Sample(rng)) + 32);
+    }
+    if (profile.mix.cad > 0) {
+      LogNormalDist deck_dist(profile.cad_deck_median, profile.cad_deck_sigma, 2.5e6);
+      for (int i = 0; i < 3; ++i) {
+        MakeFile(fs, home + "/deck" + std::to_string(i),
+                 static_cast<uint64_t>(deck_dist.Sample(rng)) + 128);
+      }
+    }
+    // Mailbox (may start non-empty).
+    MakeFile(fs, "/usr/spool/mail/user" + std::to_string(u),
+             static_cast<uint64_t>(rng.UniformInt(0, 20000)));
+    image.home_dirs.push_back(home);
+  }
+
+  return image;
+}
+
+}  // namespace bsdtrace

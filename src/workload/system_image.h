@@ -1,0 +1,74 @@
+// Initial file-system population for a traced machine.
+//
+// Before tracing starts, the machine already has a full file tree: system
+// binaries under /bin and /usr/bin, configuration files under /etc, the
+// administrative databases the paper describes (~1 MB network tables and
+// login logs), spool directories, and user home directories seeded with
+// source files, documents, and CAD decks.  The image is built directly
+// against the FileSystem — creating pre-existing state is not traced.
+
+#ifndef BSDTRACE_SRC_WORKLOAD_SYSTEM_IMAGE_H_
+#define BSDTRACE_SRC_WORKLOAD_SYSTEM_IMAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fs/file_system.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+#include "src/workload/profile.h"
+
+namespace bsdtrace {
+
+struct SystemImage {
+  // Executable programs, ordered by popularity (index 0 most popular), and
+  // the Zipf sampler over them.  Mix of small scripts and larger binaries.
+  std::vector<std::string> programs;
+  // Small configuration files read during logins and shell startup.
+  std::vector<std::string> config_files;
+  // C header files under /usr/include, read by compiles (small, shared, and
+  // popular — good cache locality).
+  std::vector<std::string> headers;
+  // The large administrative databases (network tables, login log, ...).
+  std::vector<std::string> admin_files;
+
+  std::string rwho_dir = "/usr/spool/rwho";  // network status daemon files
+  std::string tmp_dir = "/tmp";
+  std::string spool_dir = "/usr/spool/lpd";
+  std::string mail_dir = "/usr/spool/mail";
+
+  // Home directory of each user (index = user id - 1).
+  std::vector<std::string> home_dirs;
+
+  // Well-known programs used by specific task models.
+  std::string cc_path;     // compiler driver
+  std::string as_path;     // assembler
+  std::string ld_path;     // linker
+  std::string vi_path;     // editor
+  std::string mail_path;   // mail reader
+  std::string troff_path;  // document formatter
+  std::string cad_path;    // circuit simulator (large binary)
+  std::string libc_path;   // /lib/libc.a — repositioned within by the linker
+  std::string macros_path; // formatter macro package
+  std::string utmp_path;   // logged-in user table
+
+  // Status file for host `h` of the network daemon.
+  std::string DaemonFile(int host) const {
+    return rwho_dir + "/whod.host" + std::to_string(host);
+  }
+
+  // Samples a program to execute (Zipf-popular).
+  const std::string& SampleProgram(Rng& rng) const;
+
+ private:
+  friend SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng& rng);
+  std::vector<double> program_popularity_;
+};
+
+// Builds the initial tree for `profile.user_population` users and returns the
+// catalog of interesting paths.
+SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng& rng);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_WORKLOAD_SYSTEM_IMAGE_H_

@@ -1,0 +1,53 @@
+#include "src/analysis/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+TEST(AnalyzeTrace, SinglePassPopulatesAllSections) {
+  TraceBuilder b;
+  b.WholeRead(1, 2, 1, 10, 4096, 5);
+  b.WholeWrite(3, 4, 2, 11, 2048, 6);
+  b.Unlink(30, 11, 6);
+  b.Execve(31, 12, 10000, 5);
+  const TraceAnalysis a = AnalyzeTrace(b.Build());
+
+  EXPECT_EQ(a.overall.total_records, 6u);
+  EXPECT_EQ(a.overall.bytes_transferred, 6144u);
+  EXPECT_EQ(a.activity.distinct_users, 2u);
+  EXPECT_EQ(a.sequentiality.Total().accesses, 2u);
+  EXPECT_EQ(a.runs.by_runs.sample_count(), 2);
+  EXPECT_EQ(a.file_sizes.by_accesses.sample_count(), 2);
+  EXPECT_EQ(a.open_times.seconds.sample_count(), 2);
+  EXPECT_EQ(a.lifetimes.new_files, 1u);
+  EXPECT_EQ(a.lifetimes.observed_deaths, 1u);
+}
+
+TEST(AnalyzeTrace, EmptyTraceSafe) {
+  const TraceAnalysis a = AnalyzeTrace(Trace{});
+  EXPECT_EQ(a.overall.total_records, 0u);
+  EXPECT_EQ(a.activity.distinct_users, 0u);
+  EXPECT_TRUE(a.open_times.seconds.empty());
+}
+
+TEST(AnalyzeTrace, ConsistencyBetweenCollectors) {
+  TraceBuilder b;
+  double t = 1;
+  for (OpenId oid = 1; oid <= 20; ++oid) {
+    b.WholeRead(t, t + 0.5, oid, 10 + oid, 1000 * oid);
+    t += 1;
+  }
+  const TraceAnalysis a = AnalyzeTrace(b.Build());
+  // Bytes seen by overall == bytes classified by sequentiality.
+  EXPECT_EQ(a.overall.bytes_transferred, a.sequentiality.Total().bytes);
+  // Every access produced a run (whole-file reads are single runs).
+  EXPECT_EQ(a.runs.by_runs.sample_count(), 20);
+  EXPECT_EQ(static_cast<uint64_t>(a.runs.by_bytes.total_weight()),
+            a.overall.bytes_transferred);
+}
+
+}  // namespace
+}  // namespace bsdtrace

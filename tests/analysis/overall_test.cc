@@ -1,0 +1,82 @@
+#include "src/analysis/overall.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+OverallStats Analyze(const Trace& t) {
+  OverallStatsCollector collector;
+  Reconstruct(t, &collector);
+  return collector.Take();
+}
+
+TEST(OverallStats, CountsByType) {
+  const Trace t = TraceBuilder()
+                      .WholeRead(1, 2, 1, 10, 100)
+                      .WholeWrite(3, 4, 2, 11, 200)
+                      .Unlink(5, 11)
+                      .Execve(6, 12, 300)
+                      .Build();
+  const OverallStats s = Analyze(t);
+  EXPECT_EQ(s.total_records, 6u);
+  EXPECT_EQ(s.Count(EventType::kOpen), 1u);
+  EXPECT_EQ(s.Count(EventType::kCreate), 1u);
+  EXPECT_EQ(s.Count(EventType::kClose), 2u);
+  EXPECT_EQ(s.Count(EventType::kUnlink), 1u);
+  EXPECT_EQ(s.Count(EventType::kExecve), 1u);
+  EXPECT_DOUBLE_EQ(s.Fraction(EventType::kClose), 2.0 / 6.0);
+}
+
+TEST(OverallStats, DurationIsLastRecordTime) {
+  const Trace t = TraceBuilder().Unlink(1, 5).Unlink(9.5, 6).Build();
+  EXPECT_DOUBLE_EQ(Analyze(t).duration.seconds(), 9.5);
+}
+
+TEST(OverallStats, BytesSplitByDirection) {
+  const Trace t = TraceBuilder()
+                      .WholeRead(1, 2, 1, 10, 1000)
+                      .WholeWrite(3, 4, 2, 11, 500)
+                      .Build();
+  const OverallStats s = Analyze(t);
+  EXPECT_EQ(s.bytes_transferred, 1500u);
+  EXPECT_EQ(s.bytes_read, 1000u);
+  EXPECT_EQ(s.bytes_written, 500u);
+}
+
+TEST(OverallStats, InterEventIntervalsPerOpen) {
+  // open at 1, seek at 2.5, close at 3: intervals 1.5 and 0.5.
+  const Trace t = TraceBuilder()
+                      .Open(1, 1, 10, 10000)
+                      .Seek(2.5, 1, 10, 100, 5000)
+                      .Close(3, 1, 10, 6000, 10000)
+                      .Build();
+  const OverallStats s = Analyze(t);
+  EXPECT_EQ(s.inter_event_interval_seconds.sample_count(), 2);
+  EXPECT_DOUBLE_EQ(s.inter_event_interval_seconds.FractionAtOrBelow(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.inter_event_interval_seconds.FractionAtOrBelow(1.5), 1.0);
+}
+
+TEST(OverallStats, IntervalsIgnoreOtherOpens) {
+  // Two interleaved opens: intervals are tracked per open id.
+  const Trace t = TraceBuilder()
+                      .Open(1, 1, 10, 100)
+                      .Open(1.1, 2, 11, 100)
+                      .Close(1.2, 1, 10, 100, 100)    // 0.2 for open 1
+                      .Close(5.1, 2, 11, 100, 100)    // 4.0 for open 2
+                      .Build();
+  const OverallStats s = Analyze(t);
+  EXPECT_EQ(s.inter_event_interval_seconds.sample_count(), 2);
+  EXPECT_NEAR(s.inter_event_interval_seconds.Quantile(1.0), 4.0, 1e-9);
+}
+
+TEST(OverallStats, EmptyTrace) {
+  const OverallStats s = Analyze(Trace{});
+  EXPECT_EQ(s.total_records, 0u);
+  EXPECT_EQ(s.Fraction(EventType::kOpen), 0.0);
+}
+
+}  // namespace
+}  // namespace bsdtrace

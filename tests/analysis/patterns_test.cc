@@ -1,0 +1,94 @@
+#include "src/analysis/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+struct Results {
+  RunLengthStats runs;
+  FileSizeStats sizes;
+  OpenTimeStats opens;
+};
+
+Results Analyze(const Trace& t) {
+  PatternsCollector collector;
+  Reconstruct(t, &collector);
+  return {collector.TakeRuns(), collector.TakeFileSizes(), collector.TakeOpenTimes()};
+}
+
+TEST(RunLengths, CountAndByteWeighting) {
+  TraceBuilder b;
+  b.WholeRead(1, 2, 1, 10, 1000);    // run of 1000
+  b.WholeRead(3, 4, 2, 11, 9000);    // run of 9000
+  const Results r = Analyze(b.Build());
+  // By runs: half the runs are <= 1000.
+  EXPECT_DOUBLE_EQ(r.runs.by_runs.FractionAtOrBelow(1000), 0.5);
+  // By bytes: only 10% of bytes are in runs <= 1000.
+  EXPECT_DOUBLE_EQ(r.runs.by_bytes.FractionAtOrBelow(1000), 0.1);
+}
+
+TEST(RunLengths, SeeksSplitRuns) {
+  TraceBuilder b;
+  b.Open(1, 1, 10, 10000);
+  b.Seek(2, 1, 10, 2000, 8000);  // run 1: 2000 bytes
+  b.Close(3, 1, 10, 9000, 10000);  // run 2: 1000 bytes
+  const Results r = Analyze(b.Build());
+  EXPECT_EQ(r.runs.by_runs.sample_count(), 2);
+  EXPECT_DOUBLE_EQ(r.runs.by_runs.FractionAtOrBelow(1000), 0.5);
+}
+
+TEST(FileSizes, MeasuredAtClose) {
+  TraceBuilder b;
+  // The file grows during the access; Fig. 2 uses the size at close.
+  b.Create(1, 1, 10);
+  b.Close(2, 1, 10, 5000, 5000);
+  const Results r = Analyze(b.Build());
+  EXPECT_DOUBLE_EQ(r.sizes.by_accesses.FractionAtOrBelow(4999), 0.0);
+  EXPECT_DOUBLE_EQ(r.sizes.by_accesses.FractionAtOrBelow(5000), 1.0);
+}
+
+TEST(FileSizes, ByteWeightingUsesTransferredBytes) {
+  TraceBuilder b;
+  // A 1 MB file accessed with a tiny read, plus a small file read whole.
+  b.Open(1, 1, 10, 1 << 20);
+  b.Seek(2, 1, 10, 0, 500000);
+  b.Close(3, 1, 10, 501024, 1 << 20);  // 1024 bytes from the big file
+  b.WholeRead(4, 5, 2, 11, 1024);      // 1024 bytes from the small file
+  const Results r = Analyze(b.Build());
+  // Accesses: half to small files...
+  EXPECT_DOUBLE_EQ(r.sizes.by_accesses.FractionAtOrBelow(10000), 0.5);
+  // ...and the byte split is also 50/50 despite the size difference.
+  EXPECT_DOUBLE_EQ(r.sizes.by_bytes.FractionAtOrBelow(10000), 0.5);
+}
+
+TEST(FileSizes, ZeroByteAccessExcludedFromByteWeighting) {
+  TraceBuilder b;
+  b.Open(1, 1, 10, 100);
+  b.Close(2, 1, 10, 0, 100);  // nothing transferred
+  const Results r = Analyze(b.Build());
+  EXPECT_EQ(r.sizes.by_accesses.sample_count(), 1);
+  EXPECT_EQ(r.sizes.by_bytes.sample_count(), 0);
+}
+
+TEST(OpenTimes, DurationDistribution) {
+  TraceBuilder b;
+  b.WholeRead(1, 1.2, 1, 10, 100);   // 0.2 s
+  b.WholeRead(2, 12, 2, 11, 100);    // 10 s
+  const Results r = Analyze(b.Build());
+  EXPECT_DOUBLE_EQ(r.opens.seconds.FractionAtOrBelow(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(r.opens.seconds.FractionAtOrBelow(10.0), 1.0);
+}
+
+TEST(OpenTimes, InstantOpenClose) {
+  TraceBuilder b;
+  b.Open(1, 1, 10, 100);
+  b.Close(1, 1, 10, 100, 100);  // same timestamp
+  const Results r = Analyze(b.Build());
+  EXPECT_DOUBLE_EQ(r.opens.seconds.FractionAtOrBelow(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,65 @@
+#include "src/analysis/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+TEST(Popularity, CountsAccessesPerFile) {
+  TraceBuilder b;
+  b.WholeRead(1, 1.1, 1, 10, 100);
+  b.WholeRead(2, 2.1, 2, 10, 100);
+  b.WholeRead(3, 3.1, 3, 11, 500);
+  const PopularityStats s = AnalyzePopularity(b.Build());
+  EXPECT_EQ(s.distinct_files, 2u);
+  EXPECT_EQ(s.total_accesses, 3u);
+  EXPECT_EQ(s.access_counts_sorted[0], 2u);
+  EXPECT_EQ(s.access_counts_sorted[1], 1u);
+}
+
+TEST(Popularity, ExecvesCountAsAccesses) {
+  TraceBuilder b;
+  b.Execve(1, 20, 1000);
+  b.Execve(2, 20, 1000);
+  const PopularityStats s = AnalyzePopularity(b.Build());
+  EXPECT_EQ(s.distinct_files, 1u);
+  EXPECT_EQ(s.total_accesses, 2u);
+}
+
+TEST(Popularity, TopShares) {
+  TraceBuilder b;
+  double t = 1;
+  OpenId oid = 1;
+  for (int i = 0; i < 8; ++i) {
+    b.WholeRead(t, t + 0.1, oid++, 50, 100);  // hot file: 8 accesses
+    t += 1;
+  }
+  b.WholeRead(t, t + 0.1, oid++, 51, 100);
+  b.WholeRead(t + 1, t + 1.1, oid++, 52, 100);
+  const PopularityStats s = AnalyzePopularity(b.Build());
+  EXPECT_DOUBLE_EQ(s.TopAccessShare(1), 0.8);
+  EXPECT_DOUBLE_EQ(s.TopAccessShare(3), 1.0);
+  EXPECT_EQ(s.FilesForAccessFraction(0.5), 1u);
+  EXPECT_EQ(s.FilesForAccessFraction(1.0), 3u);
+}
+
+TEST(Popularity, ByteSharesUseTransferredBytes) {
+  TraceBuilder b;
+  b.WholeRead(1, 1.1, 1, 60, 10000);
+  b.WholeRead(2, 2.1, 2, 61, 100);
+  const PopularityStats s = AnalyzePopularity(b.Build());
+  EXPECT_EQ(s.total_bytes, 10100u);
+  EXPECT_NEAR(s.TopByteShare(1), 10000.0 / 10100.0, 1e-12);
+}
+
+TEST(Popularity, EmptyTrace) {
+  const PopularityStats s = AnalyzePopularity(Trace{});
+  EXPECT_EQ(s.distinct_files, 0u);
+  EXPECT_EQ(s.TopAccessShare(5), 0.0);
+  EXPECT_EQ(s.FilesForAccessFraction(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,84 @@
+#include "src/analysis/sequentiality.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+SequentialityStats Analyze(const Trace& t) {
+  SequentialityCollector collector;
+  Reconstruct(t, &collector);
+  return collector.Take();
+}
+
+TEST(Sequentiality, WholeFileReadCounted) {
+  const SequentialityStats s = Analyze(TraceBuilder().WholeRead(1, 2, 1, 10, 4096).Build());
+  const ModeSequentiality& ro = s.Mode(AccessMode::kReadOnly);
+  EXPECT_EQ(ro.accesses, 1u);
+  EXPECT_EQ(ro.whole_file, 1u);
+  EXPECT_EQ(ro.sequential, 1u);
+  EXPECT_EQ(ro.bytes, 4096u);
+  EXPECT_DOUBLE_EQ(ro.WholeFileFraction(), 1.0);
+}
+
+TEST(Sequentiality, ModesSeparated) {
+  TraceBuilder b;
+  b.WholeRead(1, 2, 1, 10, 100);
+  b.WholeWrite(3, 4, 2, 11, 200);
+  b.Open(5, 3, 12, 1000, AccessMode::kReadWrite);
+  b.Close(6, 3, 12, 500, 1000);
+  const SequentialityStats s = Analyze(b.Build());
+  EXPECT_EQ(s.Mode(AccessMode::kReadOnly).accesses, 1u);
+  EXPECT_EQ(s.Mode(AccessMode::kWriteOnly).accesses, 1u);
+  EXPECT_EQ(s.Mode(AccessMode::kReadWrite).accesses, 1u);
+  EXPECT_EQ(s.Total().accesses, 3u);
+}
+
+TEST(Sequentiality, AppendIsSequentialNotWhole) {
+  TraceBuilder b;
+  b.Open(1, 1, 10, 1000, AccessMode::kWriteOnly);
+  b.Seek(2, 1, 10, 0, 1000);
+  b.Close(3, 1, 10, 1500, 1500);
+  const SequentialityStats s = Analyze(b.Build());
+  const ModeSequentiality& wo = s.Mode(AccessMode::kWriteOnly);
+  EXPECT_EQ(wo.sequential, 1u);
+  EXPECT_EQ(wo.whole_file, 0u);
+  EXPECT_EQ(wo.sequential_bytes, 500u);
+  EXPECT_EQ(wo.whole_file_bytes, 0u);
+}
+
+TEST(Sequentiality, NonSequentialMultiSeek) {
+  TraceBuilder b;
+  b.Open(1, 1, 10, 100000, AccessMode::kReadOnly);
+  b.Seek(2, 1, 10, 1000, 50000);
+  b.Seek(3, 1, 10, 51000, 90000);
+  b.Close(4, 1, 10, 91000, 100000);
+  const SequentialityStats s = Analyze(b.Build());
+  const ModeSequentiality& ro = s.Mode(AccessMode::kReadOnly);
+  EXPECT_EQ(ro.sequential, 0u);
+  EXPECT_EQ(ro.bytes, 3000u);
+}
+
+TEST(Sequentiality, ByteFractions) {
+  TraceBuilder b;
+  b.WholeRead(1, 2, 1, 10, 750);  // whole & sequential
+  b.Open(3, 2, 11, 1000, AccessMode::kReadOnly);
+  b.Seek(4, 2, 11, 100, 500);  // transferred before seek: non-sequential
+  b.Close(5, 2, 11, 650, 1000);
+  const SequentialityStats s = Analyze(b.Build());
+  // Total bytes 750 + (100 + 150) = 1000; whole-file bytes 750.
+  EXPECT_DOUBLE_EQ(s.WholeFileByteFraction(), 0.75);
+  EXPECT_DOUBLE_EQ(s.SequentialByteFraction(), 0.75);
+}
+
+TEST(Sequentiality, EmptyStats) {
+  const SequentialityStats s = Analyze(Trace{});
+  EXPECT_EQ(s.Total().accesses, 0u);
+  EXPECT_EQ(s.WholeFileByteFraction(), 0.0);
+  EXPECT_EQ(s.Mode(AccessMode::kReadOnly).SequentialFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,83 @@
+#include "src/analysis/working_set.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+// Reads one 4 KB block of `file` at time t.
+void Touch(TraceBuilder& b, OpenId oid, double t, FileId file) {
+  b.WholeRead(t, t, oid, file, 4096);
+}
+
+TEST(WorkingSet, SingleBlockForever) {
+  TraceBuilder b;
+  for (int i = 0; i < 10; ++i) {
+    Touch(b, static_cast<OpenId>(i + 1), i * 1.0, 7);
+  }
+  const WorkingSetStats stats =
+      AnalyzeWorkingSets(b.Build(), {Duration::Seconds(5), Duration::Seconds(100)});
+  for (const WorkingSetPoint& p : stats.points) {
+    EXPECT_EQ(p.peak_blocks, 1u);
+    EXPECT_NEAR(p.average_blocks, 1.0, 0.01);
+  }
+}
+
+TEST(WorkingSet, WindowBoundsTheSet) {
+  // A new block every second: a 3 s window holds ~3-4 blocks, a 100 s window
+  // holds them all.
+  TraceBuilder b;
+  for (int i = 0; i < 50; ++i) {
+    Touch(b, static_cast<OpenId>(i + 1), i * 1.0, static_cast<FileId>(100 + i));
+  }
+  const WorkingSetStats stats =
+      AnalyzeWorkingSets(b.Build(), {Duration::Seconds(3), Duration::Seconds(100)});
+  EXPECT_LE(stats.points[0].peak_blocks, 5u);
+  EXPECT_GE(stats.points[0].peak_blocks, 3u);
+  EXPECT_EQ(stats.points[1].peak_blocks, 50u);
+}
+
+TEST(WorkingSet, AverageGrowsWithWindow) {
+  TraceBuilder b;
+  for (int i = 0; i < 200; ++i) {
+    Touch(b, static_cast<OpenId>(i + 1), i * 0.5, static_cast<FileId>(100 + i % 30));
+  }
+  const WorkingSetStats stats = AnalyzeWorkingSets(
+      b.Build(), {Duration::Seconds(1), Duration::Seconds(10), Duration::Seconds(60)});
+  EXPECT_LT(stats.points[0].average_blocks, stats.points[1].average_blocks);
+  EXPECT_LE(stats.points[1].average_blocks, stats.points[2].average_blocks);
+  // The 30-file loop bounds every window's working set.
+  EXPECT_LE(stats.points[2].peak_blocks, 30u);
+}
+
+TEST(WorkingSet, ReaccessKeepsBlockAlive) {
+  // Block A touched every second; block B only once at t=0.  In a 2 s window
+  // B expires but A persists.
+  TraceBuilder b;
+  Touch(b, 1, 0.0, 500);  // B
+  for (int i = 0; i < 20; ++i) {
+    Touch(b, static_cast<OpenId>(i + 2), i * 1.0, 7);  // A
+  }
+  const WorkingSetStats stats = AnalyzeWorkingSets(b.Build(), {Duration::Seconds(2)});
+  EXPECT_EQ(stats.points[0].peak_blocks, 2u);
+  // Long-run average near 1 (B leaves quickly).
+  EXPECT_LT(stats.points[0].average_blocks, 1.5);
+}
+
+TEST(WorkingSet, MultiBlockTransfersCounted) {
+  TraceBuilder b;
+  b.WholeRead(1, 1, 1, 9, 4096 * 6);  // six blocks at once
+  const WorkingSetStats stats = AnalyzeWorkingSets(b.Build(), {Duration::Seconds(10)});
+  EXPECT_EQ(stats.points[0].peak_blocks, 6u);
+}
+
+TEST(WorkingSet, EmptyTrace) {
+  const WorkingSetStats stats = AnalyzeWorkingSets(Trace{}, {Duration::Seconds(10)});
+  EXPECT_EQ(stats.points[0].peak_blocks, 0u);
+  EXPECT_EQ(stats.points[0].average_blocks, 0.0);
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,138 @@
+#include "src/cache/block_cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+BlockKey Key(FileId f, uint64_t i) { return BlockKey{.file = f, .index = i}; }
+
+auto NoEvict() {
+  return [](const CacheEntry&) { FAIL() << "unexpected eviction"; };
+}
+
+TEST(BlockCache, MissOnEmpty) {
+  BlockCache cache(4);
+  EXPECT_EQ(cache.Touch(Key(1, 0)), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BlockCache, InsertThenHit) {
+  BlockCache cache(4);
+  cache.Insert(Key(1, 0), SimTime::FromSeconds(1), NoEvict());
+  CacheEntry* e = cache.Touch(Key(1, 0));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->key, Key(1, 0));
+  EXPECT_FALSE(e->dirty);
+  EXPECT_EQ(e->loaded, SimTime::FromSeconds(1));
+}
+
+TEST(BlockCache, EvictsLeastRecentlyUsed) {
+  BlockCache cache(2);
+  cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
+  cache.Insert(Key(1, 1), SimTime::Origin(), NoEvict());
+  ASSERT_NE(cache.Touch(Key(1, 0)), nullptr);  // 0 becomes MRU; 1 is LRU
+  std::vector<BlockKey> evicted;
+  cache.Insert(Key(1, 2), SimTime::Origin(),
+               [&](const CacheEntry& victim) { evicted.push_back(victim.key); });
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], Key(1, 1));
+  EXPECT_NE(cache.Touch(Key(1, 0)), nullptr);
+  EXPECT_EQ(cache.Touch(Key(1, 1)), nullptr);
+}
+
+TEST(BlockCache, EvictionSeesDirtyFlag) {
+  BlockCache cache(1);
+  cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
+  CacheEntry* e = cache.Touch(Key(1, 0));
+  e->dirty = true;
+  cache.NoteDirtied();
+  bool saw_dirty = false;
+  cache.Insert(Key(2, 0), SimTime::Origin(),
+               [&](const CacheEntry& victim) { saw_dirty = victim.dirty; });
+  EXPECT_TRUE(saw_dirty);
+  EXPECT_EQ(cache.dirty_count(), 0u);  // dirty count adjusted on eviction
+}
+
+TEST(BlockCache, RemoveSpecificBlock) {
+  BlockCache cache(4);
+  cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
+  cache.Insert(Key(1, 1), SimTime::Origin(), NoEvict());
+  int dropped = 0;
+  cache.Remove(Key(1, 0), [&](const CacheEntry&) { ++dropped; });
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(cache.Touch(Key(1, 0)), nullptr);
+  EXPECT_NE(cache.Touch(Key(1, 1)), nullptr);
+  // Removing a missing block is a no-op.
+  cache.Remove(Key(9, 9), [&](const CacheEntry&) { ++dropped; });
+  EXPECT_EQ(dropped, 1);
+}
+
+TEST(BlockCache, RemoveFileBlocksFromIndex) {
+  BlockCache cache(8);
+  for (uint64_t i = 0; i < 4; ++i) {
+    cache.Insert(Key(1, i), SimTime::Origin(), NoEvict());
+  }
+  cache.Insert(Key(2, 0), SimTime::Origin(), NoEvict());
+  int dropped = 0;
+  cache.RemoveFileBlocks(1, 2, [&](const CacheEntry&) { ++dropped; });
+  EXPECT_EQ(dropped, 2);  // blocks 2 and 3
+  EXPECT_NE(cache.Touch(Key(1, 0)), nullptr);
+  EXPECT_NE(cache.Touch(Key(1, 1)), nullptr);
+  EXPECT_EQ(cache.Touch(Key(1, 2)), nullptr);
+  EXPECT_NE(cache.Touch(Key(2, 0)), nullptr);
+}
+
+TEST(BlockCache, RemoveAllFileBlocks) {
+  BlockCache cache(8);
+  for (uint64_t i = 0; i < 3; ++i) {
+    cache.Insert(Key(5, i), SimTime::Origin(), NoEvict());
+  }
+  int dropped = 0;
+  cache.RemoveFileBlocks(5, 0, [&](const CacheEntry&) { ++dropped; });
+  EXPECT_EQ(dropped, 3);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BlockCache, ForEachVisitsAll) {
+  BlockCache cache(8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    cache.Insert(Key(1, i), SimTime::Origin(), NoEvict());
+  }
+  int visited = 0;
+  cache.ForEach([&](CacheEntry&) { ++visited; });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(BlockCache, DirtyCountBookkeeping) {
+  BlockCache cache(4);
+  cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  cache.Touch(Key(1, 0))->dirty = true;
+  cache.NoteDirtied();
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  cache.Remove(Key(1, 0), [](const CacheEntry&) {});
+  EXPECT_EQ(cache.dirty_count(), 0u);
+}
+
+TEST(BlockCache, CapacityOne) {
+  BlockCache cache(1);
+  cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
+  int evictions = 0;
+  for (uint64_t i = 1; i < 10; ++i) {
+    cache.Insert(Key(1, i), SimTime::Origin(), [&](const CacheEntry&) { ++evictions; });
+  }
+  EXPECT_EQ(evictions, 9);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BlockCacheKey, HashDistinguishesFileAndIndex) {
+  BlockKeyHash h;
+  EXPECT_NE(h(Key(1, 2)), h(Key(2, 1)));
+  EXPECT_EQ(h(Key(3, 4)), h(Key(3, 4)));
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,206 @@
+// Tests for simulator extensions: replacement policies, metadata injection,
+// and billing-bound ablation.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/sweep.h"
+#include "src/util/rng.h"
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+BlockKey Key(FileId f, uint64_t i) { return BlockKey{.file = f, .index = i}; }
+
+TEST(ReplacementPolicy, FifoIgnoresReuse) {
+  BlockCache cache(2, ReplacementPolicy::kFifo);
+  auto no_evict = [](const CacheEntry&) {};
+  cache.Insert(Key(1, 0), SimTime::Origin(), no_evict);
+  cache.Insert(Key(1, 1), SimTime::Origin(), no_evict);
+  ASSERT_NE(cache.Touch(Key(1, 0)), nullptr);  // reuse must NOT protect block 0
+  std::vector<BlockKey> evicted;
+  cache.Insert(Key(1, 2), SimTime::Origin(),
+               [&](const CacheEntry& v) { evicted.push_back(v.key); });
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], Key(1, 0));  // oldest-loaded goes, despite the touch
+}
+
+TEST(ReplacementPolicy, ClockGivesSecondChance) {
+  BlockCache cache(2, ReplacementPolicy::kClock);
+  auto no_evict = [](const CacheEntry&) {};
+  cache.Insert(Key(1, 0), SimTime::Origin(), no_evict);
+  cache.Insert(Key(1, 1), SimTime::Origin(), no_evict);
+  ASSERT_NE(cache.Touch(Key(1, 0)), nullptr);  // referenced bit set on 0
+  std::vector<BlockKey> evicted;
+  cache.Insert(Key(1, 2), SimTime::Origin(),
+               [&](const CacheEntry& v) { evicted.push_back(v.key); });
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], Key(1, 1));  // 0 was spared; unreferenced 1 evicted
+}
+
+TEST(ReplacementPolicy, ClockTerminatesWhenAllReferenced) {
+  BlockCache cache(2, ReplacementPolicy::kClock);
+  auto no_evict = [](const CacheEntry&) {};
+  cache.Insert(Key(1, 0), SimTime::Origin(), no_evict);
+  cache.Insert(Key(1, 1), SimTime::Origin(), no_evict);
+  cache.Touch(Key(1, 0));
+  cache.Touch(Key(1, 1));
+  int evictions = 0;
+  cache.Insert(Key(1, 2), SimTime::Origin(), [&](const CacheEntry&) { ++evictions; });
+  EXPECT_EQ(evictions, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ReplacementPolicy, Names) {
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kLru), "LRU");
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kFifo), "FIFO");
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kClock), "clock");
+}
+
+Trace RandomReadTrace(uint64_t seed, int n) {
+  Rng rng(seed);
+  TraceBuilder b;
+  double t = 1;
+  OpenId oid = 1;
+  for (int i = 0; i < n; ++i) {
+    b.WholeRead(t, t + 0.1, oid++, static_cast<FileId>(rng.UniformInt(1, 25)),
+                static_cast<uint64_t>(rng.UniformInt(1, 30000)));
+    t += 0.5;
+  }
+  return b.Build();
+}
+
+// LRU should not lose to FIFO on workloads with reuse, and clock should land
+// between them (or tie) — checked on random read traces.
+class ReplacementOrdering : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplacementOrdering, LruBeatsFifo) {
+  const Trace trace = RandomReadTrace(GetParam(), 800);
+  auto misses = [&](ReplacementPolicy rp) {
+    CacheConfig c;
+    c.size_bytes = 24 * 4096;
+    c.replacement = rp;
+    return SimulateCache(trace, c).disk_reads;
+  };
+  const uint64_t lru = misses(ReplacementPolicy::kLru);
+  const uint64_t clock = misses(ReplacementPolicy::kClock);
+  const uint64_t fifo = misses(ReplacementPolicy::kFifo);
+  // LRU is not *universally* better than FIFO (looping patterns can tie or
+  // invert it), so allow a small tolerance; on reuse-heavy traces it wins.
+  EXPECT_LE(lru, fifo + fifo / 50);
+  EXPECT_LE(lru, clock + clock / 10);  // clock approximates LRU
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplacementOrdering, ::testing::Values(3, 13, 23));
+
+TEST(MetadataSimulation, OpensInjectMetadataAccesses) {
+  TraceBuilder b;
+  b.WholeRead(1, 2, 1, 10, 4096);
+  CacheConfig c;
+  c.size_bytes = 1 << 20;
+  c.simulate_metadata = true;
+  const CacheMetrics m = SimulateCache(b.Build(), c);
+  // 1 data access + i-node read + directory read.
+  EXPECT_EQ(m.logical_accesses, 3u);
+  EXPECT_EQ(m.metadata_accesses, 2u);
+}
+
+TEST(MetadataSimulation, WriteCloseRewritesInode) {
+  TraceBuilder b;
+  b.WholeWrite(1, 2, 1, 10, 4096);
+  CacheConfig c;
+  c.size_bytes = 1 << 20;
+  c.policy = WritePolicy::kWriteThrough;
+  c.simulate_metadata = true;
+  const CacheMetrics m = SimulateCache(b.Build(), c);
+  // create: inode+dir writes; close: inode write; data: 1 write.
+  EXPECT_EQ(m.metadata_accesses, 3u);
+  EXPECT_EQ(m.write_accesses, 4u);
+}
+
+TEST(MetadataSimulation, ReadOnlyCloseDoesNotRewriteInode) {
+  TraceBuilder b;
+  b.WholeRead(1, 2, 1, 10, 4096);
+  CacheConfig c;
+  c.size_bytes = 1 << 20;
+  c.simulate_metadata = true;
+  const CacheMetrics m = SimulateCache(b.Build(), c);
+  EXPECT_EQ(m.metadata_accesses, 2u);  // no close-time i-node write
+}
+
+TEST(MetadataSimulation, NearbyFilesShareMetadataBlocks) {
+  // Files 10 and 11 share an i-node block (16 per block) and a directory
+  // block (32 per block): the second open's metadata hits the cache.
+  TraceBuilder b;
+  b.WholeRead(1, 2, 1, 16, 4096);
+  b.WholeRead(3, 4, 2, 17, 4096);
+  CacheConfig c;
+  c.size_bytes = 1 << 20;
+  c.simulate_metadata = true;
+  const CacheMetrics m = SimulateCache(b.Build(), c);
+  // Disk reads: 2 data blocks + 1 inode block + 1 directory block.
+  EXPECT_EQ(m.disk_reads, 4u);
+}
+
+TEST(MetadataSimulation, OffByDefault) {
+  TraceBuilder b;
+  b.WholeRead(1, 2, 1, 10, 4096);
+  const CacheMetrics m = SimulateCache(b.Build(), CacheConfig{});
+  EXPECT_EQ(m.metadata_accesses, 0u);
+}
+
+TEST(BillingPolicy, PreviousEventBillsRunsEarly) {
+  struct Sink : ReconstructionSink {
+    std::vector<SimTime> times;
+    void OnTransfer(const Transfer& t) override { times.push_back(t.time); }
+  };
+  const Trace trace = TraceBuilder().WholeRead(1, 9, 1, 10, 4096).Build();
+  Sink upper, lower;
+  Reconstruct(trace, &upper, BillingPolicy::kAtNextEvent);
+  Reconstruct(trace, &lower, BillingPolicy::kAtPreviousEvent);
+  ASSERT_EQ(upper.times.size(), 1u);
+  ASSERT_EQ(lower.times.size(), 1u);
+  EXPECT_EQ(upper.times[0], SimTime::FromSeconds(9));  // at the close (paper)
+  EXPECT_EQ(lower.times[0], SimTime::FromSeconds(1));  // at the open
+}
+
+TEST(BillingPolicy, SeekDelimitedRunsUseRunBounds) {
+  struct Sink : ReconstructionSink {
+    std::vector<SimTime> times;
+    void OnTransfer(const Transfer& t) override { times.push_back(t.time); }
+  };
+  TraceBuilder b;
+  b.Open(1, 1, 10, 100000);
+  b.Seek(5, 1, 10, 4096, 50000);
+  b.Close(9, 1, 10, 54096, 100000);
+  const Trace trace = b.Build();
+  Sink lower;
+  Reconstruct(trace, &lower, BillingPolicy::kAtPreviousEvent);
+  ASSERT_EQ(lower.times.size(), 2u);
+  EXPECT_EQ(lower.times[0], SimTime::FromSeconds(1));  // run began at the open
+  EXPECT_EQ(lower.times[1], SimTime::FromSeconds(5));  // run began at the seek
+}
+
+TEST(BillingPolicy, MetricsIdenticalExceptTiming) {
+  // Same byte ranges either way: byte totals must match.
+  Rng rng(9);
+  TraceBuilder b;
+  double t = 1;
+  for (OpenId oid = 1; oid <= 100; ++oid) {
+    b.WholeRead(t, t + rng.Uniform(0.1, 20.0), oid, 1 + oid % 9,
+                static_cast<uint64_t>(rng.UniformInt(1, 50000)));
+    t += 1;
+  }
+  const Trace trace = b.Build();
+  CacheConfig c;
+  c.size_bytes = 64 * 4096;
+  const CacheMetrics upper = SimulateCache(trace, c, BillingPolicy::kAtNextEvent);
+  const CacheMetrics lower = SimulateCache(trace, c, BillingPolicy::kAtPreviousEvent);
+  EXPECT_EQ(upper.logical_accesses, lower.logical_accesses);
+  // Pure LRU on the same reference order: identical misses; only flush
+  // timing could differ.
+  EXPECT_EQ(upper.disk_reads, lower.disk_reads);
+}
+
+}  // namespace
+}  // namespace bsdtrace

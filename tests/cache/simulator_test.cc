@@ -1,0 +1,285 @@
+#include "src/cache/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cache/sweep.h"
+#include "src/util/rng.h"
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+CacheConfig Config(uint64_t size_bytes, WritePolicy policy,
+                   Duration flush = Duration::Seconds(30), uint32_t block = 4096) {
+  CacheConfig c;
+  c.size_bytes = size_bytes;
+  c.block_size = block;
+  c.policy = policy;
+  c.flush_interval = flush;
+  return c;
+}
+
+// A trace that reads the same 4 KB block of file 10 `n` times.
+Trace RepeatedReads(int n) {
+  TraceBuilder b;
+  for (int i = 0; i < n; ++i) {
+    b.WholeRead(i + 1, i + 1.5, static_cast<OpenId>(i + 1), 10, 4096);
+  }
+  return b.Build();
+}
+
+TEST(CacheSimulator, FirstReadMissesThenHits) {
+  const CacheMetrics m = SimulateCache(RepeatedReads(5), Config(1 << 20, WritePolicy::kDelayedWrite));
+  EXPECT_EQ(m.logical_accesses, 5u);
+  EXPECT_EQ(m.disk_reads, 1u);  // only the cold miss
+  EXPECT_EQ(m.disk_writes, 0u);
+  EXPECT_DOUBLE_EQ(m.MissRatio(), 0.2);
+}
+
+TEST(CacheSimulator, TransferSplitsIntoBlocks) {
+  // 10000 bytes with 4 KB blocks = 3 block accesses.
+  const Trace t = TraceBuilder().WholeRead(1, 2, 1, 10, 10000).Build();
+  const CacheMetrics m = SimulateCache(t, Config(1 << 20, WritePolicy::kDelayedWrite));
+  EXPECT_EQ(m.logical_accesses, 3u);
+  EXPECT_EQ(m.disk_reads, 3u);
+}
+
+TEST(CacheSimulator, BlockSizeChangesAccessCount) {
+  const Trace t = TraceBuilder().WholeRead(1, 2, 1, 10, 16384).Build();
+  const CacheMetrics m1k =
+      SimulateCache(t, Config(1 << 20, WritePolicy::kDelayedWrite, Duration::Seconds(30), 1024));
+  const CacheMetrics m16k =
+      SimulateCache(t, Config(1 << 20, WritePolicy::kDelayedWrite, Duration::Seconds(30), 16384));
+  EXPECT_EQ(m1k.logical_accesses, 16u);
+  EXPECT_EQ(m16k.logical_accesses, 1u);
+}
+
+TEST(CacheSimulator, WriteThroughChargesEveryWrite) {
+  // Create a file and write 3 blocks, twice.
+  TraceBuilder b;
+  b.WholeWrite(1, 2, 1, 10, 12288);
+  b.Create(3, 2, 10);
+  b.Close(4, 2, 10, 12288, 12288);
+  const CacheMetrics m = SimulateCache(b.Build(), Config(1 << 20, WritePolicy::kWriteThrough));
+  EXPECT_EQ(m.write_accesses, 6u);
+  EXPECT_EQ(m.disk_writes, 6u);
+  EXPECT_EQ(m.disk_reads, 0u);  // whole-block writes never fetch
+}
+
+TEST(CacheSimulator, DelayedWriteCoalescesRewrites) {
+  TraceBuilder b;
+  b.WholeWrite(1, 2, 1, 10, 4096);
+  b.Create(3, 2, 10);
+  b.Close(4, 2, 10, 4096, 4096);
+  const CacheMetrics m = SimulateCache(b.Build(), Config(1 << 20, WritePolicy::kDelayedWrite));
+  EXPECT_EQ(m.disk_writes, 0u);  // never evicted, never flushed
+}
+
+TEST(CacheSimulator, NewFileWriteNeedsNoFetch) {
+  // Partial-block write (2000 < 4096) to a brand new file: nothing on disk
+  // to fetch.
+  const Trace t = TraceBuilder().WholeWrite(1, 2, 1, 10, 2000).Build();
+  const CacheMetrics m = SimulateCache(t, Config(1 << 20, WritePolicy::kDelayedWrite));
+  EXPECT_EQ(m.disk_reads, 0u);
+}
+
+TEST(CacheSimulator, PartialOverwriteOfExistingDataFetches) {
+  TraceBuilder b;
+  // Somebody reads 8 KB of file 10 (so the data demonstrably exists)...
+  b.WholeRead(1, 2, 1, 10, 8192);
+  // ...then block 0 is partially rewritten in place via a read-write open
+  // that writes bytes 0..2000 out of the existing 8 KB.
+  b.Open(3, 2, 10, 8192, AccessMode::kWriteOnly);
+  b.Close(4, 2, 10, 2000, 8192);
+  CacheConfig tiny = Config(4096, WritePolicy::kDelayedWrite);  // 1 block: forces re-fetch
+  const CacheMetrics m = SimulateCache(b.Build(), tiny);
+  // Reads: 2 cold misses; the partial write misses and must fetch block 0.
+  EXPECT_EQ(m.disk_reads, 3u);
+}
+
+TEST(CacheSimulator, UnlinkDiscardsDirtyBlocksWithoutDiskWrites) {
+  TraceBuilder b;
+  b.WholeWrite(1, 2, 1, 10, 8192);
+  b.Unlink(3, 10);
+  const CacheMetrics m = SimulateCache(b.Build(), Config(1 << 20, WritePolicy::kDelayedWrite));
+  EXPECT_EQ(m.disk_writes, 0u);
+  EXPECT_EQ(m.dirty_discarded, 2u);
+}
+
+TEST(CacheSimulator, RecreateDiscardsOldBlocks) {
+  TraceBuilder b;
+  b.WholeWrite(1, 2, 1, 10, 4096);
+  b.WholeWrite(10, 11, 2, 10, 4096);  // O_TRUNC rewrite of the same file id
+  const CacheMetrics m = SimulateCache(b.Build(), Config(1 << 20, WritePolicy::kDelayedWrite));
+  EXPECT_EQ(m.dirty_discarded, 1u);
+  EXPECT_EQ(m.disk_writes, 0u);
+}
+
+TEST(CacheSimulator, TruncateInvalidatesTailOnly) {
+  TraceBuilder b;
+  b.WholeWrite(1, 2, 1, 10, 16384);  // blocks 0..3 dirty
+  b.Truncate(3, 10, 4096);           // drop blocks 1..3
+  const CacheMetrics m = SimulateCache(b.Build(), Config(1 << 20, WritePolicy::kDelayedWrite));
+  EXPECT_EQ(m.dirty_discarded, 3u);
+}
+
+TEST(CacheSimulator, FlushBackWritesDirtyAtInterval) {
+  TraceBuilder b;
+  b.WholeWrite(1, 2, 1, 10, 4096);
+  // A later read advances the clock past the flush interval.
+  b.WholeRead(40, 41, 2, 20, 4096);
+  const CacheMetrics m =
+      SimulateCache(b.Build(), Config(1 << 20, WritePolicy::kFlushBack, Duration::Seconds(30)));
+  EXPECT_EQ(m.disk_writes, 1u);  // the dirty block was flushed at t=30
+}
+
+TEST(CacheSimulator, FlushBackBeforeIntervalKeepsDirty) {
+  TraceBuilder b;
+  b.WholeWrite(1, 2, 1, 10, 4096);
+  b.WholeRead(10, 11, 2, 20, 4096);  // clock still below 30 s
+  const CacheMetrics m =
+      SimulateCache(b.Build(), Config(1 << 20, WritePolicy::kFlushBack, Duration::Seconds(30)));
+  EXPECT_EQ(m.disk_writes, 0u);
+}
+
+TEST(CacheSimulator, FlushBackWriteDeadBeforeFlushNeverHitsDisk) {
+  TraceBuilder b;
+  b.WholeWrite(1, 2, 1, 10, 4096);
+  b.Unlink(5, 10);                    // dies at t=5, before the 30 s flush
+  b.WholeRead(60, 61, 2, 20, 4096);   // advance past a flush boundary
+  const CacheMetrics m =
+      SimulateCache(b.Build(), Config(1 << 20, WritePolicy::kFlushBack, Duration::Seconds(30)));
+  EXPECT_EQ(m.disk_writes, 0u);
+  EXPECT_EQ(m.dirty_discarded, 1u);
+}
+
+TEST(CacheSimulator, EvictionWritesBackDirty) {
+  // 1-block cache: writing one block then touching another evicts the dirty one.
+  TraceBuilder b;
+  b.WholeWrite(1, 2, 1, 10, 4096);
+  b.WholeRead(3, 4, 2, 20, 4096);
+  const CacheMetrics m = SimulateCache(b.Build(), Config(4096, WritePolicy::kDelayedWrite));
+  EXPECT_EQ(m.disk_writes, 1u);
+  EXPECT_EQ(m.evictions, 1u);
+}
+
+TEST(CacheSimulator, DirtyBlocksAtEndOfTraceNotCharged) {
+  const Trace t = TraceBuilder().WholeWrite(1, 2, 1, 10, 4096).Build();
+  CacheSimulator sim(Config(1 << 20, WritePolicy::kDelayedWrite));
+  Reconstruct(t, &sim);
+  sim.Finish();
+  EXPECT_EQ(sim.metrics().disk_writes, 0u);
+  EXPECT_EQ(sim.metrics().residency_samples, 1u);  // censored residency
+}
+
+TEST(CacheSimulator, ExecvePageinOnlyWhenEnabled) {
+  TraceBuilder b;
+  b.Execve(1, 77, 16384);
+  const Trace trace = b.Build();
+  CacheConfig off = Config(1 << 20, WritePolicy::kDelayedWrite);
+  CacheConfig on = off;
+  on.simulate_execve_pagein = true;
+  EXPECT_EQ(SimulateCache(trace, off).logical_accesses, 0u);
+  const CacheMetrics m = SimulateCache(trace, on);
+  EXPECT_EQ(m.logical_accesses, 4u);  // 16 KB / 4 KB
+  EXPECT_EQ(m.disk_reads, 4u);
+}
+
+TEST(CacheSimulator, RepeatedExecveHitsCache) {
+  TraceBuilder b;
+  b.Execve(1, 77, 8192);
+  b.Execve(2, 77, 8192);
+  CacheConfig on = Config(1 << 20, WritePolicy::kDelayedWrite);
+  on.simulate_execve_pagein = true;
+  const CacheMetrics m = SimulateCache(b.Build(), on);
+  EXPECT_EQ(m.disk_reads, 2u);  // second exec is all hits
+}
+
+TEST(CacheSimulator, ResidencyOver20MinutesTracked) {
+  TraceBuilder b;
+  b.WholeRead(1, 2, 1, 10, 4096);
+  b.Unlink(60 * 25, 10);  // invalidated 25 minutes later
+  const CacheMetrics m = SimulateCache(b.Build(), Config(1 << 20, WritePolicy::kDelayedWrite));
+  EXPECT_EQ(m.residency_over_20min, 1u);
+}
+
+TEST(CacheSimulator, ConfigToStringDescribes) {
+  EXPECT_NE(Config(4u << 20, WritePolicy::kDelayedWrite).ToString().find("delayed-write"),
+            std::string::npos);
+  EXPECT_NE(Config(1 << 20, WritePolicy::kFlushBack).ToString().find("flush-back"),
+            std::string::npos);
+  EXPECT_STREQ(WritePolicyName(WritePolicy::kWriteThrough), "write-through");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps over a randomized workload.
+
+Trace RandomWorkloadTrace(uint64_t seed) {
+  Rng rng(seed);
+  TraceBuilder b;
+  double t = 1.0;
+  OpenId oid = 1;
+  for (int i = 0; i < 400; ++i) {
+    const FileId file = static_cast<FileId>(rng.UniformInt(1, 30));
+    const uint64_t size = static_cast<uint64_t>(rng.UniformInt(1, 60000));
+    if (rng.Bernoulli(0.5)) {
+      b.WholeRead(t, t + 0.2, oid++, file, size);
+    } else if (rng.Bernoulli(0.85)) {
+      b.WholeWrite(t, t + 0.2, oid++, file, size);
+    } else {
+      b.Unlink(t, file);
+    }
+    t += rng.Uniform(0.5, 20.0);
+  }
+  return b.Build();
+}
+
+struct PolicyCase {
+  uint64_t seed;
+};
+
+class CacheSimulatorProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// The LRU inclusion property: a bigger cache never does more disk I/O (same
+// policy, same block size).
+TEST_P(CacheSimulatorProperty, MissesMonotoneInCacheSize) {
+  const Trace t = RandomWorkloadTrace(GetParam());
+  uint64_t prev = UINT64_MAX;
+  for (uint64_t size : {64u << 10, 256u << 10, 1u << 20, 4u << 20}) {
+    const CacheMetrics m = SimulateCache(t, Config(size, WritePolicy::kDelayedWrite));
+    EXPECT_LE(m.DiskIos(), prev) << "cache " << size;
+    prev = m.DiskIos();
+  }
+}
+
+// Write-policy ordering: delayed-write <= flush-back(5m) <= flush-back(30s)
+// <= write-through in disk writes; reads are identical across policies.
+TEST_P(CacheSimulatorProperty, PolicyOrdering) {
+  const Trace t = RandomWorkloadTrace(GetParam() + 1000);
+  const CacheMetrics wt = SimulateCache(t, Config(1 << 20, WritePolicy::kWriteThrough));
+  const CacheMetrics fb30 =
+      SimulateCache(t, Config(1 << 20, WritePolicy::kFlushBack, Duration::Seconds(30)));
+  const CacheMetrics fb5m =
+      SimulateCache(t, Config(1 << 20, WritePolicy::kFlushBack, Duration::Minutes(5)));
+  const CacheMetrics dw = SimulateCache(t, Config(1 << 20, WritePolicy::kDelayedWrite));
+  EXPECT_LE(dw.disk_writes, fb5m.disk_writes);
+  EXPECT_LE(fb5m.disk_writes, fb30.disk_writes);
+  EXPECT_LE(fb30.disk_writes, wt.disk_writes);
+  EXPECT_EQ(dw.disk_reads, wt.disk_reads);
+  EXPECT_EQ(dw.logical_accesses, wt.logical_accesses);
+}
+
+// Accounting identities that must hold for any input.
+TEST_P(CacheSimulatorProperty, AccountingIdentities) {
+  const Trace t = RandomWorkloadTrace(GetParam() + 2000);
+  const CacheMetrics m = SimulateCache(t, Config(256 << 10, WritePolicy::kDelayedWrite));
+  EXPECT_EQ(m.logical_accesses, m.read_accesses + m.write_accesses);
+  EXPECT_LE(m.disk_reads, m.logical_accesses);
+  EXPECT_GE(m.MissRatio(), 0.0);
+  EXPECT_GT(m.residency_samples, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheSimulatorProperty, ::testing::Values(1, 7, 19, 31, 57));
+
+}  // namespace
+}  // namespace bsdtrace

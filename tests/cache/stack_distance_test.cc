@@ -1,0 +1,161 @@
+#include "src/cache/stack_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cache/sweep.h"
+#include "src/util/rng.h"
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+// Builds a read-only trace that touches the given 4 KB blocks of file 1 in
+// order (one open per touch).
+Trace BlockTouches(const std::vector<uint64_t>& blocks) {
+  TraceBuilder b;
+  double t = 1;
+  OpenId oid = 1;
+  for (uint64_t block : blocks) {
+    b.Open(t, oid, 1, (block + 1) * 4096);
+    if (block > 0) {
+      b.Seek(t + 0.1, oid, 1, 0, block * 4096);
+    }
+    b.Close(t + 0.2, oid, 1, (block + 1) * 4096, (block + 1) * 4096);
+    ++oid;
+    t += 1;
+  }
+  return b.Build();
+}
+
+TEST(StackDistance, ColdMissesOnly) {
+  const StackDistanceProfile p = ComputeStackDistances(BlockTouches({0, 1, 2, 3}), 4096);
+  EXPECT_EQ(p.total_accesses(), 4u);
+  EXPECT_EQ(p.cold_misses(), 4u);
+  EXPECT_EQ(p.MissesAt(1), 4u);
+  EXPECT_EQ(p.MissesAt(100), 4u);
+}
+
+TEST(StackDistance, ImmediateReuseIsDistanceOne) {
+  const StackDistanceProfile p = ComputeStackDistances(BlockTouches({0, 0, 0}), 4096);
+  EXPECT_EQ(p.total_accesses(), 3u);
+  EXPECT_EQ(p.cold_misses(), 1u);
+  // Distance-1 hits fit in a single-block cache.
+  EXPECT_EQ(p.MissesAt(1), 1u);
+}
+
+TEST(StackDistance, ClassicSequence) {
+  // Touch order: a b c a.  The re-access of `a` has stack distance 3.
+  const StackDistanceProfile p = ComputeStackDistances(BlockTouches({0, 1, 2, 0}), 4096);
+  EXPECT_EQ(p.cold_misses(), 3u);
+  EXPECT_EQ(p.MissesAt(2), 4u);  // distance 3 misses in a 2-block cache
+  EXPECT_EQ(p.MissesAt(3), 3u);  // ...but hits with 3 blocks
+}
+
+TEST(StackDistance, DistanceShrinksWithReReference) {
+  // a b a b: each re-access at distance 2.
+  const StackDistanceProfile p = ComputeStackDistances(BlockTouches({0, 1, 0, 1}), 4096);
+  EXPECT_EQ(p.MissesAt(1), 4u);
+  EXPECT_EQ(p.MissesAt(2), 2u);
+  ASSERT_GT(p.distance_counts().size(), 2u);
+  EXPECT_EQ(p.distance_counts()[2], 2u);
+}
+
+TEST(StackDistance, InvalidationForcesColdMiss) {
+  TraceBuilder b;
+  b.WholeRead(1, 1.1, 1, 7, 4096);
+  b.Unlink(2, 7);
+  b.WholeRead(3, 3.1, 2, 7, 4096);  // same file id, data re-created
+  const StackDistanceProfile p = ComputeStackDistances(b.Build(), 4096);
+  EXPECT_EQ(p.total_accesses(), 2u);
+  EXPECT_EQ(p.cold_misses(), 2u);  // the unlink voided the first block
+}
+
+TEST(StackDistance, TruncateInvalidatesTailOnly) {
+  TraceBuilder b;
+  b.WholeRead(1, 1.1, 1, 7, 8192);   // blocks 0,1
+  b.Truncate(2, 7, 4096);            // invalidates block 1
+  b.WholeRead(3, 3.1, 2, 7, 8192);   // block 0 re-access, block 1 cold again
+  const StackDistanceProfile p = ComputeStackDistances(b.Build(), 4096);
+  EXPECT_EQ(p.total_accesses(), 4u);
+  EXPECT_EQ(p.cold_misses(), 3u);
+}
+
+TEST(StackDistance, EmptyTrace) {
+  const StackDistanceProfile p = ComputeStackDistances(Trace{}, 4096);
+  EXPECT_EQ(p.total_accesses(), 0u);
+  EXPECT_EQ(p.MissRatioAt(100), 0.0);
+}
+
+TEST(StackDistance, MissRatioMonotoneInCapacity) {
+  Rng rng(3);
+  std::vector<uint64_t> blocks;
+  for (int i = 0; i < 2000; ++i) {
+    blocks.push_back(static_cast<uint64_t>(rng.UniformInt(0, 50)));
+  }
+  const StackDistanceProfile p = ComputeStackDistances(BlockTouches(blocks), 4096);
+  uint64_t prev = UINT64_MAX;
+  for (uint64_t c = 1; c <= 64; ++c) {
+    EXPECT_LE(p.MissesAt(c), prev);
+    prev = p.MissesAt(c);
+  }
+  // Beyond the working set every non-cold access hits.
+  EXPECT_EQ(p.MissesAt(64), p.cold_misses());
+}
+
+// Property: on read-only traces without invalidations, the one-pass analysis
+// must match the full LRU simulator's disk reads at every capacity exactly.
+class StackDistanceEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+Trace ReadTrace(uint64_t seed, double unlink_probability) {
+  Rng rng(seed);
+  TraceBuilder b;
+  double t = 1;
+  OpenId oid = 1;
+  for (int i = 0; i < 600; ++i) {
+    const FileId file = static_cast<FileId>(rng.UniformInt(1, 20));
+    if (rng.Bernoulli(unlink_probability)) {
+      b.Unlink(t, file);
+    } else {
+      const uint64_t size = static_cast<uint64_t>(rng.UniformInt(1, 40000));
+      b.WholeRead(t, t + 0.1, oid++, file, size);
+    }
+    t += 0.5;
+  }
+  return b.Build();
+}
+
+TEST_P(StackDistanceEquivalence, MatchesSimulatorExactlyWithoutInvalidation) {
+  const Trace trace = ReadTrace(GetParam(), 0.0);
+  const StackDistanceProfile p = ComputeStackDistances(trace, 4096);
+  for (uint64_t capacity : {1u, 4u, 16u, 64u, 256u}) {
+    CacheConfig c;
+    c.size_bytes = capacity * 4096;
+    c.block_size = 4096;
+    c.policy = WritePolicy::kDelayedWrite;
+    const CacheMetrics m = SimulateCache(trace, c);
+    EXPECT_EQ(p.MissesAt(capacity), m.disk_reads) << "capacity " << capacity;
+  }
+}
+
+TEST_P(StackDistanceEquivalence, SlightlyOptimisticUnderInvalidation) {
+  // Invalidations break the LRU inclusion property: removing blocks can
+  // shorten the stack distance of a block a small cache already evicted, so
+  // the one-pass analysis under-counts misses by a small margin (it never
+  // over-counts, and agrees at capacities covering the working set).
+  const Trace trace = ReadTrace(GetParam() + 100, 0.06);
+  const StackDistanceProfile p = ComputeStackDistances(trace, 4096);
+  for (uint64_t capacity : {4u, 16u, 64u, 256u}) {
+    CacheConfig c;
+    c.size_bytes = capacity * 4096;
+    c.block_size = 4096;
+    c.policy = WritePolicy::kDelayedWrite;
+    const CacheMetrics m = SimulateCache(trace, c);
+    EXPECT_LE(p.MissesAt(capacity), m.disk_reads) << "capacity " << capacity;
+    EXPECT_GE(p.MissesAt(capacity) * 100, m.disk_reads * 97) << "capacity " << capacity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackDistanceEquivalence, ::testing::Values(5, 17, 29, 43));
+
+}  // namespace
+}  // namespace bsdtrace

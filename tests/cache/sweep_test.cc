@@ -1,0 +1,82 @@
+#include "src/cache/sweep.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+Trace SmallTrace() {
+  TraceBuilder b;
+  double t = 1;
+  for (OpenId oid = 1; oid <= 100; ++oid) {
+    b.WholeRead(t, t + 0.1, oid, 1 + oid % 10, 8192);
+    t += 1;
+  }
+  return b.Build();
+}
+
+TEST(RunCacheSweep, AllPointsComputed) {
+  const auto points = RunCacheSweep(SmallTrace(), Fig5Configs());
+  EXPECT_EQ(points.size(), 24u);  // 6 sizes x 4 policies
+  for (const SweepPoint& p : points) {
+    EXPECT_GT(p.metrics.logical_accesses, 0u);
+  }
+}
+
+TEST(RunCacheSweep, SingleThreadMatchesParallel) {
+  const Trace t = SmallTrace();
+  const auto seq = RunCacheSweep(t, Fig5Configs(), 1);
+  const auto par = RunCacheSweep(t, Fig5Configs(), 8);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].metrics.DiskIos(), par[i].metrics.DiskIos()) << i;
+    EXPECT_EQ(seq[i].metrics.logical_accesses, par[i].metrics.logical_accesses) << i;
+  }
+}
+
+TEST(Fig5Configs, CoversPaperAxes) {
+  const auto configs = Fig5Configs();
+  std::set<uint64_t> sizes;
+  std::set<int> policies;
+  for (const CacheConfig& c : configs) {
+    sizes.insert(c.size_bytes);
+    policies.insert(static_cast<int>(c.policy) * 1000 +
+                    (c.policy == WritePolicy::kFlushBack
+                         ? static_cast<int>(c.flush_interval.seconds())
+                         : 0));
+    EXPECT_EQ(c.block_size, 4096u);
+  }
+  EXPECT_EQ(sizes.size(), 6u);
+  EXPECT_EQ(policies.size(), 4u);
+  EXPECT_EQ(*sizes.begin(), 390u << 10);  // the "UNIX" point
+  EXPECT_EQ(*sizes.rbegin(), 16u << 20);
+}
+
+TEST(Fig6Configs, CoversPaperAxes) {
+  const auto configs = Fig6Configs();
+  EXPECT_EQ(configs.size(), 24u);  // 6 block sizes x 4 cache sizes
+  for (const CacheConfig& c : configs) {
+    EXPECT_EQ(c.policy, WritePolicy::kDelayedWrite);
+  }
+}
+
+TEST(Fig7Configs, PairsPageinOnOff) {
+  const auto configs = Fig7Configs();
+  EXPECT_EQ(configs.size(), 12u);
+  size_t with = 0;
+  for (const CacheConfig& c : configs) {
+    with += c.simulate_execve_pagein ? 1 : 0;
+  }
+  EXPECT_EQ(with, 6u);
+}
+
+TEST(RunCacheSweep, EmptyConfigList) {
+  EXPECT_TRUE(RunCacheSweep(SmallTrace(), {}).empty());
+}
+
+}  // namespace
+}  // namespace bsdtrace

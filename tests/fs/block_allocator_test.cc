@@ -1,0 +1,145 @@
+#include "src/fs/block_allocator.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace bsdtrace {
+namespace {
+
+TEST(BlockAllocator, FreshDiskFullyFree) {
+  BlockAllocator a(100, 4);
+  EXPECT_EQ(a.total_frags(), 400u);
+  EXPECT_EQ(a.free_frags(), 400u);
+  EXPECT_TRUE(a.AllFree());
+  EXPECT_EQ(a.frags_per_block(), 4u);
+}
+
+TEST(BlockAllocator, AllocateBlockIsAligned) {
+  BlockAllocator a(10, 4);
+  auto b = a.AllocateBlock();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->frag_count, 4u);
+  EXPECT_EQ(b->start_frag % 4, 0u);
+  EXPECT_EQ(a.allocated_frags(), 4u);
+}
+
+TEST(BlockAllocator, AllocateAllBlocksThenFail) {
+  BlockAllocator a(3, 4);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(a.AllocateBlock().has_value());
+  }
+  EXPECT_FALSE(a.AllocateBlock().has_value());
+  EXPECT_EQ(a.free_frags(), 0u);
+}
+
+TEST(BlockAllocator, FragmentsDoNotCrossBlockBoundary) {
+  BlockAllocator a(10, 4);
+  // Ten 3-fragment tails fit (one per block); an eleventh cannot, because
+  // the leftover single fragments are never combined across blocks.
+  for (int i = 0; i < 10; ++i) {
+    auto f = a.AllocateFragments(3);
+    ASSERT_TRUE(f.has_value()) << i;
+    EXPECT_EQ(f->start_frag / 4, (f->start_frag + f->frag_count - 1) / 4);
+  }
+  EXPECT_FALSE(a.AllocateFragments(3).has_value());
+  EXPECT_EQ(a.free_frags(), 10u);
+}
+
+TEST(BlockAllocator, FragmentsPreferPartialBlocks) {
+  BlockAllocator a(10, 4);
+  auto f1 = a.AllocateFragments(2);
+  ASSERT_TRUE(f1.has_value());
+  auto f2 = a.AllocateFragments(2);
+  ASSERT_TRUE(f2.has_value());
+  // Second tail allocation should fill the same block's remaining half.
+  EXPECT_EQ(f1->start_frag / 4, f2->start_frag / 4);
+}
+
+TEST(BlockAllocator, FreeMakesSpaceReusable) {
+  BlockAllocator a(1, 4);
+  auto b = a.AllocateBlock();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(a.AllocateBlock().has_value());
+  a.Free(*b);
+  EXPECT_TRUE(a.AllFree());
+  EXPECT_TRUE(a.AllocateBlock().has_value());
+}
+
+TEST(BlockAllocator, BlockNeverAssembledFromScatteredFrags) {
+  BlockAllocator a(2, 4);
+  // Occupy one fragment in each block: no full block remains.
+  auto f1 = a.AllocateFragments(1);
+  ASSERT_TRUE(f1.has_value());
+  auto b1 = a.AllocateBlock();  // takes the remaining free block
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_FALSE(a.AllocateBlock().has_value());
+  EXPECT_EQ(a.free_frags(), 3u);  // scattered inside the partial block
+}
+
+TEST(BlockAllocator, FragmentationMetric) {
+  BlockAllocator a(2, 4);
+  EXPECT_EQ(a.BlockFragmentation(), 0.0);
+  auto f = a.AllocateFragments(1);
+  ASSERT_TRUE(f.has_value());
+  // 7 free frags, 4 of them in a fully-free block: fragmentation = 3/7.
+  EXPECT_NEAR(a.BlockFragmentation(), 3.0 / 7.0, 1e-12);
+}
+
+TEST(BlockAllocator, ExhaustedFragmentsFail) {
+  BlockAllocator a(1, 4);
+  ASSERT_TRUE(a.AllocateFragments(3).has_value());
+  EXPECT_FALSE(a.AllocateFragments(2).has_value());
+  EXPECT_TRUE(a.AllocateFragments(1).has_value());
+}
+
+// Property: random alloc/free interleavings never double-allocate and always
+// balance back to a fully-free disk.
+class AllocatorProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocatorProperty, NoOverlapAndFullRecovery) {
+  Rng rng(GetParam());
+  BlockAllocator a(64, 8);
+  std::vector<FragExtent> live;
+  std::set<uint64_t> owned;
+
+  for (int step = 0; step < 2000; ++step) {
+    if (!live.empty() && rng.Bernoulli(0.45)) {
+      const size_t i = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      for (uint32_t k = 0; k < live[i].frag_count; ++k) {
+        owned.erase(live[i].start_frag + k);
+      }
+      a.Free(live[i]);
+      live.erase(live.begin() + static_cast<long>(i));
+      continue;
+    }
+    std::optional<FragExtent> got;
+    if (rng.Bernoulli(0.5)) {
+      got = a.AllocateBlock();
+    } else {
+      got = a.AllocateFragments(static_cast<uint32_t>(rng.UniformInt(1, 7)));
+    }
+    if (!got.has_value()) {
+      continue;
+    }
+    for (uint32_t k = 0; k < got->frag_count; ++k) {
+      // Overlap with an existing allocation would be a corruption bug.
+      EXPECT_TRUE(owned.insert(got->start_frag + k).second);
+    }
+    live.push_back(*got);
+  }
+  EXPECT_EQ(a.allocated_frags(), owned.size());
+  for (const FragExtent& e : live) {
+    a.Free(e);
+  }
+  EXPECT_TRUE(a.AllFree());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty, ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace bsdtrace

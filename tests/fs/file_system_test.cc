@@ -1,0 +1,248 @@
+#include "src/fs/file_system.h"
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+FsOptions SmallDisk() {
+  return FsOptions{.block_size = 4096, .frag_size = 1024, .total_blocks = 64};
+}
+
+TEST(FileSystem, RootExists) {
+  FileSystem fs(SmallDisk());
+  auto root = fs.LookupPath("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), kRootInode);
+  EXPECT_EQ(fs.GetInode(kRootInode)->type, FileType::kDirectory);
+}
+
+TEST(FileSystem, MkdirAndLookup) {
+  FileSystem fs(SmallDisk());
+  auto d = fs.Mkdir("/home");
+  ASSERT_TRUE(d.ok());
+  auto found = fs.LookupPath("/home");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), d.value());
+}
+
+TEST(FileSystem, MkdirRequiresParent) {
+  FileSystem fs(SmallDisk());
+  EXPECT_FALSE(fs.Mkdir("/a/b").ok());
+  EXPECT_EQ(fs.Mkdir("/a/b").error(), FsError::kNotFound);
+}
+
+TEST(FileSystem, MkdirAllCreatesChain) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.MkdirAll("/a/b/c").ok());
+  EXPECT_TRUE(fs.LookupPath("/a/b/c").ok());
+  // Idempotent.
+  EXPECT_TRUE(fs.MkdirAll("/a/b/c").ok());
+}
+
+TEST(FileSystem, MkdirDuplicateFails) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  EXPECT_EQ(fs.Mkdir("/d").error(), FsError::kExists);
+}
+
+TEST(FileSystem, CreateFileAndSize) {
+  FileSystem fs(SmallDisk());
+  auto f = fs.CreateFile("/file.txt");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(fs.GetInode(f.value())->size, 0u);
+  ASSERT_TRUE(fs.SetFileSize(f.value(), 10000, SimTime::FromSeconds(1)).ok());
+  EXPECT_EQ(fs.GetInode(f.value())->size, 10000u);
+  EXPECT_EQ(fs.GetInode(f.value())->mtime, SimTime::FromSeconds(1));
+}
+
+TEST(FileSystem, CreateFileDuplicateFails) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.CreateFile("/x").ok());
+  EXPECT_EQ(fs.CreateFile("/x").error(), FsError::kExists);
+}
+
+TEST(FileSystem, FileIdsAreUniqueForever) {
+  FileSystem fs(SmallDisk());
+  auto a = fs.CreateFile("/a");
+  ASSERT_TRUE(a.ok());
+  const FileId id_a = fs.GetInode(a.value())->file_id;
+  ASSERT_TRUE(fs.Unlink("/a").ok());
+  fs.ReleaseInode(a.value());
+  auto b = fs.CreateFile("/a");
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(fs.GetInode(b.value())->file_id, id_a);
+}
+
+TEST(FileSystem, SizeAllocationUsesBlocksAndTail) {
+  FileSystem fs(SmallDisk());
+  auto f = fs.CreateFile("/f");
+  ASSERT_TRUE(f.ok());
+  // 4096 + 4096 + 1500 -> 2 blocks plus a 2-fragment tail.
+  ASSERT_TRUE(fs.SetFileSize(f.value(), 9692, SimTime::Origin()).ok());
+  const Inode* inode = fs.GetInode(f.value());
+  EXPECT_EQ(inode->blocks.size(), 2u);
+  ASSERT_TRUE(inode->tail.has_value());
+  EXPECT_EQ(inode->tail->frag_count, 2u);
+}
+
+TEST(FileSystem, ShrinkReleasesSpace) {
+  FileSystem fs(SmallDisk());
+  auto f = fs.CreateFile("/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.SetFileSize(f.value(), 100000, SimTime::Origin()).ok());
+  const uint64_t allocated = fs.Statistics().allocated_bytes;
+  ASSERT_TRUE(fs.SetFileSize(f.value(), 1000, SimTime::Origin()).ok());
+  EXPECT_LT(fs.Statistics().allocated_bytes, allocated);
+}
+
+TEST(FileSystem, NoSpaceLeavesFileUnchanged) {
+  FileSystem fs(FsOptions{.block_size = 4096, .frag_size = 1024, .total_blocks = 4});
+  auto f = fs.CreateFile("/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.SetFileSize(f.value(), 4096, SimTime::Origin()).ok());
+  const FsStatus st = fs.SetFileSize(f.value(), 1 << 20, SimTime::Origin());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error(), FsError::kNoSpace);
+  EXPECT_EQ(fs.GetInode(f.value())->size, 4096u);
+}
+
+TEST(FileSystem, UnlinkRemovesName) {
+  FileSystem fs(SmallDisk());
+  auto f = fs.CreateFile("/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.Unlink("/f").ok());
+  EXPECT_FALSE(fs.LookupPath("/f").ok());
+}
+
+TEST(FileSystem, UnlinkedInodePersistsUntilRelease) {
+  FileSystem fs(SmallDisk());
+  auto f = fs.CreateFile("/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.SetFileSize(f.value(), 8192, SimTime::Origin()).ok());
+  ASSERT_TRUE(fs.Unlink("/f").ok());
+  EXPECT_TRUE(fs.IsOrphan(f.value()));
+  EXPECT_NE(fs.GetInode(f.value()), nullptr);  // kernel may still read it
+  const uint64_t before = fs.Statistics().allocated_bytes;
+  fs.ReleaseInode(f.value());
+  EXPECT_EQ(fs.GetInode(f.value()), nullptr);
+  EXPECT_LT(fs.Statistics().allocated_bytes, before);
+}
+
+TEST(FileSystem, ReleaseLinkedInodeIsNoOp) {
+  FileSystem fs(SmallDisk());
+  auto f = fs.CreateFile("/f");
+  ASSERT_TRUE(f.ok());
+  fs.ReleaseInode(f.value());
+  EXPECT_NE(fs.GetInode(f.value()), nullptr);
+}
+
+TEST(FileSystem, HardLinksShareInode) {
+  FileSystem fs(SmallDisk());
+  auto f = fs.CreateFile("/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.Link("/f", "/g", SimTime::Origin()).ok());
+  EXPECT_EQ(fs.LookupPath("/g").value(), f.value());
+  EXPECT_EQ(fs.GetInode(f.value())->nlink, 2u);
+  ASSERT_TRUE(fs.Unlink("/f").ok());
+  EXPECT_FALSE(fs.IsOrphan(f.value()));  // still reachable via /g
+  EXPECT_TRUE(fs.LookupPath("/g").ok());
+}
+
+TEST(FileSystem, UnlinkDirectoryRejected) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  EXPECT_EQ(fs.Unlink("/d").error(), FsError::kIsDirectory);
+}
+
+TEST(FileSystem, RmdirOnlyEmpty) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.CreateFile("/d/f").ok());
+  EXPECT_EQ(fs.Rmdir("/d").error(), FsError::kNotEmpty);
+  ASSERT_TRUE(fs.Unlink("/d/f").ok());
+  EXPECT_TRUE(fs.Rmdir("/d").ok());
+  EXPECT_FALSE(fs.LookupPath("/d").ok());
+}
+
+TEST(FileSystem, RenameMovesFile) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.Mkdir("/a").ok());
+  ASSERT_TRUE(fs.Mkdir("/b").ok());
+  auto f = fs.CreateFile("/a/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.Rename("/a/f", "/b/g", SimTime::Origin()).ok());
+  EXPECT_FALSE(fs.LookupPath("/a/f").ok());
+  EXPECT_EQ(fs.LookupPath("/b/g").value(), f.value());
+}
+
+TEST(FileSystem, RenameReplacesTarget) {
+  FileSystem fs(SmallDisk());
+  auto f = fs.CreateFile("/f");
+  auto g = fs.CreateFile("/g");
+  ASSERT_TRUE(f.ok() && g.ok());
+  ASSERT_TRUE(fs.Rename("/f", "/g", SimTime::Origin()).ok());
+  EXPECT_EQ(fs.LookupPath("/g").value(), f.value());
+  EXPECT_EQ(fs.GetInode(g.value()), nullptr);  // old target released
+}
+
+TEST(FileSystem, ListDirectorySorted) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.CreateFile("/b").ok());
+  ASSERT_TRUE(fs.CreateFile("/a").ok());
+  auto names = fs.ListDirectory("/");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FileSystem, DirectoriesHaveSizes) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  const Inode* root = fs.GetInode(kRootInode);
+  EXPECT_GE(root->size, 512u);  // old-UNIX directory block
+  // Adding many entries grows the directory.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(fs.CreateFile("/f" + std::to_string(i)).ok());
+  }
+  EXPECT_GT(fs.GetInode(kRootInode)->size, 512u);
+}
+
+TEST(FileSystem, StatisticsTrackLiveBytes) {
+  FileSystem fs(SmallDisk());
+  auto f = fs.CreateFile("/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.SetFileSize(f.value(), 5000, SimTime::Origin()).ok());
+  const FsStatistics stats = fs.Statistics();
+  EXPECT_EQ(stats.files, 1u);
+  EXPECT_GE(stats.directories, 1u);
+  EXPECT_EQ(stats.live_bytes, 5000u);
+  EXPECT_GE(stats.allocated_bytes, 5000u);
+  EXPECT_GE(stats.internal_fragmentation, 0.0);
+}
+
+TEST(FileSystem, TruncateDirectoryRejected) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  auto d = fs.LookupPath("/d");
+  EXPECT_EQ(fs.SetFileSize(d.value(), 100, SimTime::Origin()).error(), FsError::kIsDirectory);
+}
+
+TEST(FileSystem, LookupThroughFileFails) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.CreateFile("/f").ok());
+  EXPECT_EQ(fs.LookupPath("/f/sub").error(), FsError::kNotDirectory);
+}
+
+TEST(FileSystem, InvalidPathsRejected) {
+  FileSystem fs(SmallDisk());
+  EXPECT_EQ(fs.CreateFile("relative").error(), FsError::kInvalidArgument);
+  EXPECT_EQ(fs.LookupPath("").error(), FsError::kInvalidArgument);
+}
+
+TEST(FsErrorName, AllNamed) {
+  EXPECT_STREQ(FsErrorName(FsError::kNotFound), "not found");
+  EXPECT_STREQ(FsErrorName(FsError::kNoSpace), "no space on device");
+}
+
+}  // namespace
+}  // namespace bsdtrace

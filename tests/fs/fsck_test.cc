@@ -1,0 +1,97 @@
+#include "src/fs/fsck.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generator.h"
+
+namespace bsdtrace {
+namespace {
+
+FsOptions SmallDisk() {
+  return FsOptions{.block_size = 4096, .frag_size = 1024, .total_blocks = 128};
+}
+
+TEST(Fsck, FreshFileSystemIsClean) {
+  FileSystem fs(SmallDisk());
+  const FsckReport report = CheckFileSystem(fs);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.inodes_checked, 1u);  // root
+  EXPECT_EQ(report.reachable_inodes, 1u);
+}
+
+TEST(Fsck, PopulatedTreeIsClean) {
+  FileSystem fs(SmallDisk());
+  ASSERT_TRUE(fs.MkdirAll("/a/b/c").ok());
+  auto f = fs.CreateFile("/a/b/c/file");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.SetFileSize(f.value(), 10000, SimTime::Origin()).ok());
+  ASSERT_TRUE(fs.Link("/a/b/c/file", "/a/link", SimTime::Origin()).ok());
+  const FsckReport report = CheckFileSystem(fs);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.inodes_checked, 5u);
+  EXPECT_EQ(report.orphan_inodes, 0u);
+}
+
+TEST(Fsck, UnreleasedOrphanIsCountedNotAnError) {
+  FileSystem fs(SmallDisk());
+  auto f = fs.CreateFile("/f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(fs.SetFileSize(f.value(), 4096, SimTime::Origin()).ok());
+  ASSERT_TRUE(fs.Unlink("/f").ok());
+  // Simulates unlink-while-open: storage still held.
+  const FsckReport report = CheckFileSystem(fs);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.orphan_inodes, 1u);
+  fs.ReleaseInode(f.value());
+  EXPECT_EQ(CheckFileSystem(fs).orphan_inodes, 0u);
+}
+
+TEST(Fsck, CleanAfterHeavyChurn) {
+  FileSystem fs(SmallDisk());
+  for (int round = 0; round < 20; ++round) {
+    std::vector<InodeNum> created;
+    for (int i = 0; i < 8; ++i) {
+      const std::string path = "/f" + std::to_string(i);
+      auto f = fs.CreateFile(path);
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE(fs.SetFileSize(f.value(), static_cast<uint64_t>(1000 * (i + round)),
+                                 SimTime::Origin()).ok());
+      created.push_back(f.value());
+    }
+    // Mid-round consistency.
+    ASSERT_TRUE(CheckFileSystem(fs).ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(fs.Unlink("/f" + std::to_string(i)).ok());
+      // ReleaseInode is what the kernel does once no fd remains.
+      fs.ReleaseInode(created[static_cast<size_t>(i)]);
+    }
+  }
+  const FsckReport report = CheckFileSystem(fs);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.orphan_inodes, 0u);
+}
+
+TEST(Fsck, CleanAfterFullWorkloadGeneration) {
+  // The strongest integration check: hours of simulated multi-user churn
+  // leave the substrate file system fully consistent.
+  GeneratorOptions options;
+  options.duration = Duration::Hours(1);
+  options.seed = 77;
+  const GenerationResult result = GenerateTrace(ProfileA5(), options);
+  EXPECT_TRUE(result.fsck.ok()) << result.fsck.Summary();
+  // Open descriptors are all closed by the end of generation... except those
+  // belonging to tasks clipped at the horizon, whose files may linger as
+  // orphans; they must be few.
+  EXPECT_LT(result.fsck.orphan_inodes, 50u);
+  EXPECT_GT(result.fs_stats.allocated_bytes, result.fs_stats.live_bytes);
+}
+
+TEST(FsckReport, SummaryFormatsCounts) {
+  FileSystem fs(SmallDisk());
+  const std::string summary = CheckFileSystem(fs).Summary();
+  EXPECT_NE(summary.find("1 inodes"), std::string::npos);
+  EXPECT_NE(summary.find("clean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,58 @@
+#include "src/fs/path.h"
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+TEST(SplitPath, Basic) {
+  EXPECT_EQ(SplitPath("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitPath("/"), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitPath(""), (std::vector<std::string>{}));
+}
+
+TEST(SplitPath, CollapsesRepeatedSlashes) {
+  EXPECT_EQ(SplitPath("//a///b/"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitPath, ResolvesDotAndDotDot) {
+  EXPECT_EQ(SplitPath("/a/./b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitPath("/a/b/../c"), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(SplitPath("/../a"), (std::vector<std::string>{"a"}));
+}
+
+TEST(IsValidAbsolutePath, Checks) {
+  EXPECT_TRUE(IsValidAbsolutePath("/a"));
+  EXPECT_TRUE(IsValidAbsolutePath("/"));
+  EXPECT_FALSE(IsValidAbsolutePath("a/b"));
+  EXPECT_FALSE(IsValidAbsolutePath(""));
+}
+
+TEST(Dirname, Cases) {
+  EXPECT_EQ(Dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(Dirname("/a"), "/");
+  EXPECT_EQ(Dirname("/"), "/");
+  EXPECT_EQ(Dirname("/a/b/"), "/a");
+}
+
+TEST(Basename, Cases) {
+  EXPECT_EQ(Basename("/a/b/c"), "c");
+  EXPECT_EQ(Basename("/a"), "a");
+  EXPECT_EQ(Basename("/"), "");
+  EXPECT_EQ(Basename("/a/b/"), "b");
+}
+
+TEST(JoinPath, Cases) {
+  EXPECT_EQ(JoinPath("/a", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/a/", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/", "b"), "/b");
+}
+
+TEST(PathRoundTrip, DirnameBasenameRecompose) {
+  for (const char* p : {"/a/b/c", "/x", "/usr/spool/mail/user3"}) {
+    EXPECT_EQ(JoinPath(Dirname(p), Basename(p)), p);
+  }
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,281 @@
+#include "src/kernel/traced_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace.h"
+
+namespace bsdtrace {
+namespace {
+
+class TracedKernelTest : public ::testing::Test {
+ protected:
+  TracedKernelTest()
+      : fs_(FsOptions{.block_size = 4096, .frag_size = 1024, .total_blocks = 256}),
+        kernel_(&fs_, &trace_) {}
+
+  // Creates a file of `size` bytes directly in the FS (untraced setup).
+  void Seed(const std::string& path, uint64_t size) {
+    auto ino = fs_.CreateFile(path);
+    ASSERT_TRUE(ino.ok());
+    ASSERT_TRUE(fs_.SetFileSize(ino.value(), size, SimTime::Origin()).ok());
+  }
+
+  const TraceRecord& LastRecord() { return trace_.records().back(); }
+
+  FileSystem fs_;
+  Trace trace_;
+  TracedKernel kernel_;
+};
+
+TEST_F(TracedKernelTest, OpenMissingFileFails) {
+  auto fd = kernel_.Open("/nope", OpenFlags::ReadOnly(), 1);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.error(), KernelError::kNoEnt);
+  EXPECT_TRUE(trace_.empty());  // failed syscalls are not traced
+}
+
+TEST_F(TracedKernelTest, OpenExistingLogsOpenRecord) {
+  Seed("/f", 1000);
+  kernel_.SetTime(SimTime::FromSeconds(1));
+  auto fd = kernel_.Open("/f", OpenFlags::ReadOnly(), 42);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_EQ(trace_.size(), 1u);
+  const TraceRecord& r = LastRecord();
+  EXPECT_EQ(r.type, EventType::kOpen);
+  EXPECT_EQ(r.user_id, 42u);
+  EXPECT_EQ(r.size, 1000u);
+  EXPECT_EQ(r.position, 0u);
+  EXPECT_EQ(r.mode, AccessMode::kReadOnly);
+}
+
+TEST_F(TracedKernelTest, CreateLogsCreateRecord) {
+  auto fd = kernel_.Open("/new", OpenFlags::WriteCreate(), 1);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(LastRecord().type, EventType::kCreate);
+  EXPECT_EQ(kernel_.counters().creates, 1u);
+  EXPECT_EQ(kernel_.counters().opens, 0u);
+}
+
+TEST_F(TracedKernelTest, TruncatingOpenLogsCreate) {
+  Seed("/f", 500);
+  auto fd = kernel_.Open("/f", OpenFlags::WriteCreate(), 1);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(LastRecord().type, EventType::kCreate);
+  // The file was zeroed.
+  auto size = kernel_.FileSize("/f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 0u);
+}
+
+TEST_F(TracedKernelTest, ReadsAndWritesAreNotLogged) {
+  Seed("/f", 10000);
+  auto fd = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.Read(fd.value(), 4096).ok());
+  ASSERT_TRUE(kernel_.Read(fd.value(), 4096).ok());
+  EXPECT_EQ(trace_.size(), 1u);  // only the open
+  EXPECT_EQ(kernel_.counters().reads, 2u);
+}
+
+TEST_F(TracedKernelTest, ReadClampsAtEof) {
+  Seed("/f", 1000);
+  auto fd = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  ASSERT_TRUE(fd.ok());
+  auto n = kernel_.Read(fd.value(), 5000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1000u);
+  auto n2 = kernel_.Read(fd.value(), 5000);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(n2.value(), 0u);  // at EOF
+}
+
+TEST_F(TracedKernelTest, WriteExtendsFile) {
+  auto fd = kernel_.Open("/f", OpenFlags::WriteCreate(), 1);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.Write(fd.value(), 6000).ok());
+  auto size = kernel_.FileSize("/f");
+  EXPECT_EQ(size.value(), 6000u);
+}
+
+TEST_F(TracedKernelTest, CloseRecordsFinalPositionAndSize) {
+  Seed("/f", 3000);
+  kernel_.SetTime(SimTime::FromSeconds(2));
+  auto fd = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.Read(fd.value(), 1200).ok());
+  kernel_.SetTime(SimTime::FromSeconds(3));
+  ASSERT_TRUE(kernel_.Close(fd.value()).ok());
+  const TraceRecord& r = LastRecord();
+  EXPECT_EQ(r.type, EventType::kClose);
+  EXPECT_EQ(r.position, 1200u);
+  EXPECT_EQ(r.size, 3000u);
+}
+
+TEST_F(TracedKernelTest, SeekLogsFromAndTo) {
+  Seed("/f", 10000);
+  auto fd = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.Read(fd.value(), 100).ok());
+  ASSERT_TRUE(kernel_.Seek(fd.value(), 5000).ok());
+  const TraceRecord& r = LastRecord();
+  EXPECT_EQ(r.type, EventType::kSeek);
+  EXPECT_EQ(r.seek_from, 100u);
+  EXPECT_EQ(r.seek_to, 5000u);
+}
+
+TEST_F(TracedKernelTest, AppendOpenStartsAtEnd) {
+  Seed("/f", 700);
+  auto fd = kernel_.Open("/f", OpenFlags::Append(), 1);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(LastRecord().position, 700u);
+  auto pos = kernel_.Position(fd.value());
+  EXPECT_EQ(pos.value(), 700u);
+}
+
+TEST_F(TracedKernelTest, ExclusiveCreateFailsIfExists) {
+  Seed("/f", 10);
+  OpenFlags flags = OpenFlags::WriteCreate();
+  flags.exclusive = true;
+  auto fd = kernel_.Open("/f", flags, 1);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.error(), KernelError::kExist);
+}
+
+TEST_F(TracedKernelTest, BadFdErrors) {
+  EXPECT_EQ(kernel_.Read(99, 10).error(), KernelError::kBadF);
+  EXPECT_EQ(kernel_.Write(99, 10).error(), KernelError::kBadF);
+  EXPECT_EQ(kernel_.Seek(99, 0).error(), KernelError::kBadF);
+  EXPECT_EQ(kernel_.Close(99).error(), KernelError::kBadF);
+}
+
+TEST_F(TracedKernelTest, ModeEnforcement) {
+  Seed("/f", 100);
+  auto ro = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(kernel_.Write(ro.value(), 10).error(), KernelError::kBadF);
+  auto wo = kernel_.Open("/f", OpenFlags{.write = true}, 1);
+  ASSERT_TRUE(wo.ok());
+  EXPECT_EQ(kernel_.Read(wo.value(), 10).error(), KernelError::kBadF);
+}
+
+TEST_F(TracedKernelTest, OpenFileLimit) {
+  KernelOptions options;
+  options.max_open_files = 2;
+  Trace trace;
+  TracedKernel small(&fs_, &trace, options);
+  Seed("/f", 10);
+  ASSERT_TRUE(small.Open("/f", OpenFlags::ReadOnly(), 1).ok());
+  ASSERT_TRUE(small.Open("/f", OpenFlags::ReadOnly(), 1).ok());
+  EXPECT_EQ(small.Open("/f", OpenFlags::ReadOnly(), 1).error(), KernelError::kMFile);
+}
+
+TEST_F(TracedKernelTest, UnlinkLogsAndRemoves) {
+  Seed("/f", 10);
+  ASSERT_TRUE(kernel_.Unlink("/f", 7).ok());
+  EXPECT_EQ(LastRecord().type, EventType::kUnlink);
+  EXPECT_EQ(LastRecord().user_id, 7u);
+  EXPECT_FALSE(kernel_.Exists("/f"));
+}
+
+TEST_F(TracedKernelTest, UnlinkWhileOpenKeepsDataUntilClose) {
+  Seed("/f", 5000);
+  auto fd = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.Unlink("/f", 1).ok());
+  // Classic UNIX: reads keep working on the unlinked file.
+  auto n = kernel_.Read(fd.value(), 5000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 5000u);
+  const uint64_t allocated_before = fs_.Statistics().allocated_bytes;
+  ASSERT_TRUE(kernel_.Close(fd.value()).ok());
+  EXPECT_LT(fs_.Statistics().allocated_bytes, allocated_before);  // storage reclaimed
+}
+
+TEST_F(TracedKernelTest, TwoOpensOneUnlinkReclaimOnLastClose) {
+  Seed("/f", 4096);
+  auto fd1 = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  auto fd2 = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  ASSERT_TRUE(fd1.ok() && fd2.ok());
+  ASSERT_TRUE(kernel_.Unlink("/f", 1).ok());
+  ASSERT_TRUE(kernel_.Close(fd1.value()).ok());
+  // Still readable through fd2.
+  EXPECT_TRUE(kernel_.Read(fd2.value(), 1).ok());
+  ASSERT_TRUE(kernel_.Close(fd2.value()).ok());
+}
+
+TEST_F(TracedKernelTest, TruncateLogsNewLength) {
+  Seed("/f", 9000);
+  ASSERT_TRUE(kernel_.Truncate("/f", 1000, 3).ok());
+  EXPECT_EQ(LastRecord().type, EventType::kTruncate);
+  EXPECT_EQ(LastRecord().size, 1000u);
+  EXPECT_EQ(kernel_.FileSize("/f").value(), 1000u);
+}
+
+TEST_F(TracedKernelTest, ExecveLogsProgramSize) {
+  Seed("/bin_prog", 24576);
+  ASSERT_TRUE(kernel_.Execve("/bin_prog", 9).ok());
+  EXPECT_EQ(LastRecord().type, EventType::kExecve);
+  EXPECT_EQ(LastRecord().size, 24576u);
+  EXPECT_EQ(LastRecord().user_id, 9u);
+}
+
+TEST_F(TracedKernelTest, ExecveMissingProgramFails) {
+  EXPECT_EQ(kernel_.Execve("/missing", 1).error(), KernelError::kNoEnt);
+}
+
+TEST_F(TracedKernelTest, TimestampsQuantizedToTracerClock) {
+  Seed("/f", 10);
+  kernel_.SetTime(SimTime::FromMicros(1'234'567));
+  auto fd = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(LastRecord().time.micros(), 1'230'000);
+}
+
+TEST_F(TracedKernelTest, QuantizationCanBeDisabled) {
+  KernelOptions options;
+  options.quantize_timestamps = false;
+  Trace trace;
+  TracedKernel exact(&fs_, &trace, options);
+  Seed("/f", 10);
+  exact.SetTime(SimTime::FromMicros(1'234'567));
+  ASSERT_TRUE(exact.Open("/f", OpenFlags::ReadOnly(), 1).ok());
+  EXPECT_EQ(trace.records().back().time.micros(), 1'234'567);
+}
+
+TEST_F(TracedKernelTest, OpenIdsAreUnique) {
+  Seed("/f", 10);
+  auto fd1 = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  auto fd2 = kernel_.Open("/f", OpenFlags::ReadOnly(), 1);
+  ASSERT_TRUE(fd1.ok() && fd2.ok());
+  EXPECT_NE(trace_.records()[0].open_id, trace_.records()[1].open_id);
+  // Same file id for both opens.
+  EXPECT_EQ(trace_.records()[0].file_id, trace_.records()[1].file_id);
+}
+
+TEST_F(TracedKernelTest, DirectoriesReadableAsFiles) {
+  ASSERT_TRUE(kernel_.MkdirAll("/home/u").ok());
+  ASSERT_TRUE(kernel_.Open("/home", OpenFlags::ReadOnly(), 1).ok());
+  // But not writable.
+  EXPECT_EQ(kernel_.Open("/home", OpenFlags{.write = true}, 1).error(), KernelError::kIsDir);
+}
+
+TEST_F(TracedKernelTest, CountersTrackBytes) {
+  auto fd = kernel_.Open("/f", OpenFlags::WriteCreate(), 1);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.Write(fd.value(), 1234).ok());
+  ASSERT_TRUE(kernel_.Close(fd.value()).ok());
+  EXPECT_EQ(kernel_.counters().bytes_written, 1234u);
+  EXPECT_EQ(kernel_.counters().closes, 1u);
+}
+
+TEST_F(TracedKernelTest, OpenWithNoDirectionRejected) {
+  EXPECT_EQ(kernel_.Open("/f", OpenFlags{}, 1).error(), KernelError::kInval);
+}
+
+TEST(KernelErrorName, Named) {
+  EXPECT_STREQ(KernelErrorName(KernelError::kNoEnt), "ENOENT");
+  EXPECT_STREQ(KernelErrorName(KernelError::kMFile), "EMFILE");
+}
+
+}  // namespace
+}  // namespace bsdtrace

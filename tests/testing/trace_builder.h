@@ -1,0 +1,70 @@
+// Test helper: fluent construction of hand-crafted traces.
+
+#ifndef BSDTRACE_TESTS_TESTING_TRACE_BUILDER_H_
+#define BSDTRACE_TESTS_TESTING_TRACE_BUILDER_H_
+
+#include "src/trace/record.h"
+#include "src/trace/trace.h"
+
+namespace bsdtrace {
+
+class TraceBuilder {
+ public:
+  TraceBuilder& Open(double t, OpenId oid, FileId file, uint64_t size,
+                     AccessMode mode = AccessMode::kReadOnly, UserId user = 1,
+                     uint64_t initial_position = 0) {
+    trace_.Append(MakeOpen(SimTime::FromSeconds(t), oid, file, user, mode, size,
+                           initial_position));
+    return *this;
+  }
+  TraceBuilder& Create(double t, OpenId oid, FileId file,
+                       AccessMode mode = AccessMode::kWriteOnly, UserId user = 1) {
+    trace_.Append(MakeCreate(SimTime::FromSeconds(t), oid, file, user, mode));
+    return *this;
+  }
+  TraceBuilder& Close(double t, OpenId oid, FileId file, uint64_t final_position,
+                      uint64_t size_at_close) {
+    trace_.Append(MakeClose(SimTime::FromSeconds(t), oid, file, final_position, size_at_close));
+    return *this;
+  }
+  TraceBuilder& Seek(double t, OpenId oid, FileId file, uint64_t from, uint64_t to) {
+    trace_.Append(MakeSeek(SimTime::FromSeconds(t), oid, file, from, to));
+    return *this;
+  }
+  TraceBuilder& Unlink(double t, FileId file, UserId user = 1) {
+    trace_.Append(MakeUnlink(SimTime::FromSeconds(t), file, user));
+    return *this;
+  }
+  TraceBuilder& Truncate(double t, FileId file, uint64_t new_length, UserId user = 1) {
+    trace_.Append(MakeTruncate(SimTime::FromSeconds(t), file, user, new_length));
+    return *this;
+  }
+  TraceBuilder& Execve(double t, FileId file, uint64_t size, UserId user = 1) {
+    trace_.Append(MakeExecve(SimTime::FromSeconds(t), file, user, size));
+    return *this;
+  }
+
+  // Convenience: a whole-file read access (open at 0, close at size).
+  TraceBuilder& WholeRead(double t_open, double t_close, OpenId oid, FileId file,
+                          uint64_t size, UserId user = 1) {
+    Open(t_open, oid, file, size, AccessMode::kReadOnly, user);
+    Close(t_close, oid, file, size, size);
+    return *this;
+  }
+  // Convenience: create + whole write of `size` bytes.
+  TraceBuilder& WholeWrite(double t_open, double t_close, OpenId oid, FileId file,
+                           uint64_t size, UserId user = 1) {
+    Create(t_open, oid, file, AccessMode::kWriteOnly, user);
+    Close(t_close, oid, file, size, size);
+    return *this;
+  }
+
+  Trace Build() { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_TESTS_TESTING_TRACE_BUILDER_H_

@@ -1,0 +1,94 @@
+#include "src/trace/record.h"
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+TEST(EventTypeName, AllTypesNamed) {
+  EXPECT_STREQ(EventTypeName(EventType::kOpen), "open");
+  EXPECT_STREQ(EventTypeName(EventType::kCreate), "create");
+  EXPECT_STREQ(EventTypeName(EventType::kClose), "close");
+  EXPECT_STREQ(EventTypeName(EventType::kSeek), "seek");
+  EXPECT_STREQ(EventTypeName(EventType::kUnlink), "unlink");
+  EXPECT_STREQ(EventTypeName(EventType::kTruncate), "truncate");
+  EXPECT_STREQ(EventTypeName(EventType::kExecve), "execve");
+}
+
+TEST(AccessModeName, AllModesNamed) {
+  EXPECT_STREQ(AccessModeName(AccessMode::kReadOnly), "r");
+  EXPECT_STREQ(AccessModeName(AccessMode::kWriteOnly), "w");
+  EXPECT_STREQ(AccessModeName(AccessMode::kReadWrite), "rw");
+}
+
+TEST(MakeOpen, FieldsSet) {
+  const TraceRecord r = MakeOpen(SimTime::FromSeconds(1.5), 10, 20, 30,
+                                 AccessMode::kReadWrite, 4096, 100);
+  EXPECT_EQ(r.type, EventType::kOpen);
+  EXPECT_EQ(r.time.seconds(), 1.5);
+  EXPECT_EQ(r.open_id, 10u);
+  EXPECT_EQ(r.file_id, 20u);
+  EXPECT_EQ(r.user_id, 30u);
+  EXPECT_EQ(r.mode, AccessMode::kReadWrite);
+  EXPECT_EQ(r.size, 4096u);
+  EXPECT_EQ(r.position, 100u);
+}
+
+TEST(MakeCreate, SizeAndPositionZero) {
+  const TraceRecord r = MakeCreate(SimTime::FromSeconds(2), 1, 2, 3, AccessMode::kWriteOnly);
+  EXPECT_EQ(r.type, EventType::kCreate);
+  EXPECT_EQ(r.size, 0u);
+  EXPECT_EQ(r.position, 0u);
+}
+
+TEST(MakeClose, FinalPositionAndSize) {
+  const TraceRecord r = MakeClose(SimTime::FromSeconds(3), 1, 2, 512, 1024);
+  EXPECT_EQ(r.type, EventType::kClose);
+  EXPECT_EQ(r.position, 512u);
+  EXPECT_EQ(r.size, 1024u);
+}
+
+TEST(MakeSeek, FromAndTo) {
+  const TraceRecord r = MakeSeek(SimTime::FromSeconds(4), 1, 2, 100, 900);
+  EXPECT_EQ(r.type, EventType::kSeek);
+  EXPECT_EQ(r.seek_from, 100u);
+  EXPECT_EQ(r.seek_to, 900u);
+}
+
+TEST(MakeUnlinkTruncateExecve, Fields) {
+  EXPECT_EQ(MakeUnlink(SimTime::FromSeconds(1), 7, 9).file_id, 7u);
+  EXPECT_EQ(MakeTruncate(SimTime::FromSeconds(1), 7, 9, 128).size, 128u);
+  EXPECT_EQ(MakeExecve(SimTime::FromSeconds(1), 7, 9, 4096).size, 4096u);
+}
+
+TEST(TraceRecord, EqualityIsFieldwise) {
+  const TraceRecord a = MakeSeek(SimTime::FromSeconds(1), 2, 3, 4, 5);
+  TraceRecord b = a;
+  EXPECT_EQ(a, b);
+  b.seek_to = 6;
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceRecord, ToStringIncludesTypeAndIds) {
+  const std::string s = MakeOpen(SimTime::FromSeconds(1), 2, 3, 4,
+                                 AccessMode::kReadOnly, 10, 0).ToString();
+  EXPECT_NE(s.find("open"), std::string::npos);
+  EXPECT_NE(s.find("oid=2"), std::string::npos);
+  EXPECT_NE(s.find("file=3"), std::string::npos);
+  EXPECT_NE(s.find("mode=r"), std::string::npos);
+}
+
+TEST(TraceRecord, ToStringForEveryType) {
+  for (const TraceRecord& r :
+       {MakeOpen(SimTime::Origin(), 1, 2, 3, AccessMode::kReadOnly, 10, 0),
+        MakeCreate(SimTime::Origin(), 1, 2, 3, AccessMode::kWriteOnly),
+        MakeClose(SimTime::Origin(), 1, 2, 10, 10), MakeSeek(SimTime::Origin(), 1, 2, 0, 5),
+        MakeUnlink(SimTime::Origin(), 2, 3), MakeTruncate(SimTime::Origin(), 2, 3, 0),
+        MakeExecve(SimTime::Origin(), 2, 3, 100)}) {
+    EXPECT_FALSE(r.ToString().empty());
+    EXPECT_NE(r.ToString().find(EventTypeName(r.type)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,136 @@
+#include "src/trace/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+TEST(ValidateTrace, EmptyTraceIsValid) {
+  const ValidationResult r = ValidateTrace(Trace{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.records, 0u);
+}
+
+TEST(ValidateTrace, WellFormedAccess) {
+  const Trace t = TraceBuilder()
+                      .Open(1, 1, 10, 4096)
+                      .Seek(2, 1, 10, 1024, 2048)
+                      .Close(3, 1, 10, 4096, 4096)
+                      .Build();
+  const ValidationResult r = ValidateTrace(t);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+  EXPECT_EQ(r.opens_pending_at_end, 0u);
+}
+
+TEST(ValidateTrace, DetectsTimeGoingBackwards) {
+  const Trace t = TraceBuilder().Unlink(5, 1).Unlink(4, 2).Build();
+  const ValidationResult r = ValidateTrace(t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("backwards"), std::string::npos);
+}
+
+TEST(ValidateTrace, DetectsReusedOpenId) {
+  const Trace t =
+      TraceBuilder().Open(1, 7, 10, 100).Open(2, 7, 11, 100).Build();
+  const ValidationResult r = ValidateTrace(t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("reused"), std::string::npos);
+}
+
+TEST(ValidateTrace, DetectsCloseWithoutOpen) {
+  const Trace t = TraceBuilder().Close(1, 9, 10, 0, 0).Build();
+  const ValidationResult r = ValidateTrace(t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("not open"), std::string::npos);
+}
+
+TEST(ValidateTrace, DetectsSeekWithoutOpen) {
+  const Trace t = TraceBuilder().Seek(1, 9, 10, 0, 5).Build();
+  EXPECT_FALSE(ValidateTrace(t).ok());
+}
+
+TEST(ValidateTrace, DetectsFileIdMismatch) {
+  const Trace t =
+      TraceBuilder().Open(1, 1, 10, 100).Close(2, 1, 99, 0, 0).Build();
+  const ValidationResult r = ValidateTrace(t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("file id"), std::string::npos);
+}
+
+TEST(ValidateTrace, DetectsBackwardPositionWithoutSeek) {
+  // Position after open is 50, but the seek claims it was at 20.
+  const Trace t = TraceBuilder()
+                      .Open(1, 1, 10, 100, AccessMode::kReadOnly, 1, 50)
+                      .Seek(2, 1, 10, 20, 60)
+                      .Close(3, 1, 10, 60, 100)
+                      .Build();
+  const ValidationResult r = ValidateTrace(t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("behind"), std::string::npos);
+}
+
+TEST(ValidateTrace, DetectsClosePositionRegression) {
+  const Trace t = TraceBuilder()
+                      .Open(1, 1, 10, 100, AccessMode::kReadOnly, 1, 50)
+                      .Close(2, 1, 10, 10, 100)
+                      .Build();
+  EXPECT_FALSE(ValidateTrace(t).ok());
+}
+
+TEST(ValidateTrace, DetectsSizeSmallerThanFinalPosition) {
+  const Trace t =
+      TraceBuilder().Open(1, 1, 10, 100).Close(2, 1, 10, 200, 100).Build();
+  const ValidationResult r = ValidateTrace(t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("size smaller"), std::string::npos);
+}
+
+TEST(ValidateTrace, DetectsOpenPositionBeyondSize) {
+  const Trace t =
+      TraceBuilder().Open(1, 1, 10, 100, AccessMode::kReadOnly, 1, 200).Build();
+  EXPECT_FALSE(ValidateTrace(t).ok());
+}
+
+TEST(ValidateTrace, DetectsInvalidOpenId) {
+  Trace t;
+  t.Append(MakeOpen(SimTime::FromSeconds(1), kInvalidOpenId, 10, 1, AccessMode::kReadOnly, 0,
+                    0));
+  EXPECT_FALSE(ValidateTrace(t).ok());
+}
+
+TEST(ValidateTrace, PendingOpensAreWarningsNotErrors) {
+  const Trace t = TraceBuilder().Open(1, 1, 10, 100).Build();
+  const ValidationResult r = ValidateTrace(t);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.opens_pending_at_end, 1u);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_NE(r.warnings[0].find("still open"), std::string::npos);
+}
+
+TEST(ValidateTrace, IssueCountIsCapped) {
+  TraceBuilder b;
+  for (int i = 0; i < 100; ++i) {
+    b.Close(i + 1, 1000 + i, 10, 0, 0);  // 100 orphan closes
+  }
+  const ValidationResult r = ValidateTrace(b.Build(), 5);
+  EXPECT_EQ(r.errors.size(), 5u);
+}
+
+TEST(ValidateTrace, SummaryListsIssues) {
+  const Trace t = TraceBuilder().Close(1, 9, 10, 0, 0).Build();
+  const ValidationResult r = ValidateTrace(t);
+  EXPECT_NE(r.Summary().find("error:"), std::string::npos);
+}
+
+TEST(ValidateTrace, CreateWithNonzeroSizeRejected) {
+  Trace t;
+  TraceRecord r = MakeCreate(SimTime::FromSeconds(1), 1, 2, 3, AccessMode::kWriteOnly);
+  r.size = 10;
+  t.Append(r);
+  EXPECT_FALSE(ValidateTrace(t).ok());
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,47 @@
+#include "src/util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"x,y", "z"});
+  EXPECT_EQ(out.str(), "\"x,y\",z\n");
+}
+
+TEST(CsvWriter, EscapesQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"line1\nline2"});
+  EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, EmptyRowAndCells) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({});
+  csv.WriteRow({"", ""});
+  EXPECT_EQ(out.str(), "\n,\n");
+}
+
+}  // namespace
+}  // namespace bsdtrace

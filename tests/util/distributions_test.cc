@@ -1,0 +1,141 @@
+#include "src/util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+TEST(ConstantDist, AlwaysSameValue) {
+  Rng rng(1);
+  ConstantDist d(7.5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.Sample(rng), 7.5);
+  }
+}
+
+TEST(UniformDist, WithinBounds) {
+  Rng rng(2);
+  UniformDist d(10, 20);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.Sample(rng);
+    EXPECT_GE(x, 10);
+    EXPECT_LT(x, 20);
+  }
+}
+
+TEST(ExponentialDist, MeanConverges) {
+  Rng rng(3);
+  ExponentialDist d(4.0);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += d.Sample(rng);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(LogNormalDist, MedianParameterization) {
+  Rng rng(4);
+  LogNormalDist d(1000.0, 0.8);
+  std::vector<double> xs;
+  for (int i = 0; i < 40001; ++i) {
+    xs.push_back(d.Sample(rng));
+  }
+  std::nth_element(xs.begin(), xs.begin() + 20000, xs.end());
+  EXPECT_NEAR(xs[20000], 1000.0, 50.0);
+}
+
+TEST(LogNormalDist, CapIsRespected) {
+  Rng rng(5);
+  LogNormalDist d(1000.0, 2.0, 5000.0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(d.Sample(rng), 5000.0);
+  }
+}
+
+TEST(BoundedParetoDist, WithinBounds) {
+  Rng rng(6);
+  BoundedParetoDist d(100, 10000, 1.1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.Sample(rng);
+    EXPECT_GE(x, 100);
+    EXPECT_LE(x, 10000);
+  }
+}
+
+TEST(BoundedParetoDist, HeavyTailSkew) {
+  Rng rng(7);
+  BoundedParetoDist d(1, 1000, 1.0);
+  int below_10 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    below_10 += d.Sample(rng) < 10 ? 1 : 0;
+  }
+  // With alpha=1 over [1,1000], most mass is near the low end.
+  EXPECT_GT(static_cast<double>(below_10) / n, 0.7);
+}
+
+TEST(MixtureDist, SamplesFromComponents) {
+  Rng rng(8);
+  MixtureDist mix;
+  mix.Add(1.0, std::make_unique<ConstantDist>(1.0));
+  mix.Add(3.0, std::make_unique<ConstantDist>(2.0));
+  int twos = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double x = mix.Sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0);
+    twos += x == 2.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(twos) / n, 0.75, 0.02);
+}
+
+TEST(ZipfSampler, FirstItemDominates) {
+  Rng rng(9);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[zipf.Sample(rng)] += 1;
+  }
+  EXPECT_GT(counts[0], counts[9] * 5);   // 1/1 vs 1/10: ratio 10 expected
+  EXPECT_GT(counts[0], counts[50] * 20);
+}
+
+TEST(ZipfSampler, AllIndicesValid) {
+  Rng rng(10);
+  ZipfSampler zipf(5, 0.5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 5u);
+  }
+}
+
+// Property sweep: every distribution yields non-negative, finite samples.
+class DistributionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributionProperty, SamplesAreFiniteAndNonNegative) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  std::vector<std::unique_ptr<Distribution>> dists;
+  dists.push_back(std::make_unique<ConstantDist>(3.0));
+  dists.push_back(std::make_unique<UniformDist>(0, 100));
+  dists.push_back(std::make_unique<ExponentialDist>(10));
+  dists.push_back(std::make_unique<LogNormalDist>(500, 1.2));
+  dists.push_back(std::make_unique<BoundedParetoDist>(1, 1e6, 1.3));
+  for (const auto& d : dists) {
+    for (int i = 0; i < 200; ++i) {
+      const double x = d->Sample(rng);
+      EXPECT_TRUE(std::isfinite(x));
+      EXPECT_GE(x, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributionProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,59 @@
+#include "src/util/plot.h"
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+TEST(AsciiPlot, RendersTitleAxesAndLegend) {
+  AsciiPlot plot("My Plot", "x things", "y things");
+  plot.AddSeries({.name = "series-one", .xs = {0, 1, 2}, .ys = {0, 1, 4}, .marker = 's'});
+  const std::string out = plot.Render(40, 10);
+  EXPECT_NE(out.find("My Plot"), std::string::npos);
+  EXPECT_NE(out.find("x things"), std::string::npos);
+  EXPECT_NE(out.find("y things"), std::string::npos);
+  EXPECT_NE(out.find("series-one"), std::string::npos);
+  EXPECT_NE(out.find('s'), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesMarkers) {
+  AsciiPlot plot("", "x", "y");
+  plot.AddSeries({.name = "a", .xs = {0, 1}, .ys = {0, 1}, .marker = 'a'});
+  plot.AddSeries({.name = "b", .xs = {0, 1}, .ys = {1, 0}, .marker = 'b'});
+  const std::string out = plot.Render(30, 8);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiPlot, FixedRangesClipOutOfRangePoints) {
+  AsciiPlot plot("", "x", "y");
+  plot.SetXRange(0, 1);
+  plot.SetYRange(0, 1);
+  plot.AddSeries({.name = "wild", .xs = {0.5, 50.0}, .ys = {0.5, 50.0}, .marker = 'w'});
+  // Must not crash; the in-range point still renders.
+  const std::string out = plot.Render(20, 6);
+  EXPECT_NE(out.find('w'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleHandlesWideRange) {
+  AsciiPlot plot("", "size", "pct");
+  plot.SetXLog2(true);
+  plot.AddSeries({.name = "curve", .xs = {1, 1024, 1048576}, .ys = {0, 50, 100}, .marker = 'c'});
+  const std::string out = plot.Render(40, 10);
+  EXPECT_NE(out.find("log2"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesListStillRenders) {
+  AsciiPlot plot("empty", "x", "y");
+  const std::string out = plot.Render(10, 4);
+  EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+TEST(AsciiPlot, SinglePointSeries) {
+  AsciiPlot plot("", "x", "y");
+  plot.AddSeries({.name = "dot", .xs = {5.0}, .ys = {5.0}, .marker = '.'});
+  EXPECT_FALSE(plot.Render(10, 4).empty());
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,95 @@
+#include "src/util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+TEST(Duration, FactoryConversions) {
+  EXPECT_EQ(Duration::Micros(1500).micros(), 1500);
+  EXPECT_EQ(Duration::Millis(3).micros(), 3000);
+  EXPECT_EQ(Duration::Seconds(2.5).micros(), 2'500'000);
+  EXPECT_EQ(Duration::Minutes(2).micros(), 120'000'000);
+  EXPECT_EQ(Duration::Hours(1).micros(), 3'600'000'000);
+}
+
+TEST(Duration, Accessors) {
+  const Duration d = Duration::Seconds(90);
+  EXPECT_DOUBLE_EQ(d.seconds(), 90.0);
+  EXPECT_DOUBLE_EQ(d.minutes(), 1.5);
+  EXPECT_DOUBLE_EQ(d.hours(), 0.025);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::Seconds(10);
+  const Duration b = Duration::Seconds(4);
+  EXPECT_EQ((a + b).seconds(), 14.0);
+  EXPECT_EQ((a - b).seconds(), 6.0);
+  EXPECT_EQ((a * 2.5).seconds(), 25.0);
+  EXPECT_EQ((a / 2).seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::Seconds(1);
+  d += Duration::Seconds(2);
+  EXPECT_EQ(d.seconds(), 3.0);
+  d -= Duration::Seconds(1);
+  EXPECT_EQ(d.seconds(), 2.0);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::Seconds(1), Duration::Seconds(2));
+  EXPECT_EQ(Duration::Millis(1000), Duration::Seconds(1));
+  EXPECT_GT(Duration::Hours(1), Duration::Minutes(59));
+}
+
+TEST(Duration, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::Micros(500).ToString(), "500us");
+  EXPECT_EQ(Duration::Millis(250).ToString(), "250ms");
+  EXPECT_EQ(Duration::Seconds(1.5).ToString(), "1.5s");
+  EXPECT_EQ(Duration::Minutes(3).ToString(), "3m0s");
+  EXPECT_EQ(Duration::Hours(2).ToString(), "2h0m");
+}
+
+TEST(Duration, ToStringNegative) {
+  EXPECT_EQ((Duration::Zero() - Duration::Seconds(2)).ToString(), "-2s");
+}
+
+TEST(SimTime, OriginAndArithmetic) {
+  const SimTime t0 = SimTime::Origin();
+  EXPECT_EQ(t0.micros(), 0);
+  const SimTime t1 = t0 + Duration::Seconds(5);
+  EXPECT_EQ(t1.seconds(), 5.0);
+  EXPECT_EQ((t1 - t0).seconds(), 5.0);
+  EXPECT_EQ((t1 - Duration::Seconds(1)).seconds(), 4.0);
+}
+
+TEST(SimTime, Comparisons) {
+  const SimTime a = SimTime::FromSeconds(1);
+  const SimTime b = SimTime::FromSeconds(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, SimTime::FromMicros(1'000'000));
+}
+
+TEST(SimTime, QuantizeToTracerResolution) {
+  // 10 ms tracer clock (paper Table II).
+  EXPECT_EQ(SimTime::FromMicros(123'456'789).QuantizeToTracerResolution().micros(),
+            123'450'000);
+  EXPECT_EQ(SimTime::FromMicros(10'000).QuantizeToTracerResolution().micros(), 10'000);
+  EXPECT_EQ(SimTime::FromMicros(9'999).QuantizeToTracerResolution().micros(), 0);
+}
+
+TEST(SimTime, QuantizationIsIdempotent) {
+  const SimTime t = SimTime::FromMicros(987'654'321).QuantizeToTracerResolution();
+  EXPECT_EQ(t, t.QuantizeToTracerResolution());
+}
+
+TEST(SimTime, CompoundAdd) {
+  SimTime t = SimTime::Origin();
+  t += Duration::Minutes(1);
+  EXPECT_EQ(t.seconds(), 60.0);
+}
+
+}  // namespace
+}  // namespace bsdtrace

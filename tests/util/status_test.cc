@@ -1,0 +1,46 @@
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+TEST(Status, OkHasNoMessage) {
+  const Status s = Status::Ok();
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  const Status s = Status::Error("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status::Error("bad"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().message(), "bad");
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StatusOr, MutableValue) {
+  StatusOr<std::string> v(std::string("a"));
+  v.value() += "b";
+  EXPECT_EQ(v.value(), "ab");
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,73 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Name", "Value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, TitleIncluded) {
+  TextTable t({"A"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.Render("My Title").find("My Title"), 0u);
+}
+
+TEST(TextTable, RightAlignsNumericColumns) {
+  TextTable t({"K", "Num"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"b", "100"});
+  const std::string out = t.Render();
+  // The short value "1" should be padded to align right with "100".
+  EXPECT_NE(out.find("  1\n"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"only"});
+  EXPECT_NE(t.Render().find("only"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorProducesRule) {
+  TextTable t({"A"});
+  t.AddRow({"x"});
+  t.AddSeparator();
+  t.AddRow({"y"});
+  const std::string out = t.Render();
+  // Header rule plus explicit separator: at least two dashed lines.
+  size_t dashes = 0, pos = 0;
+  while ((pos = out.find("\n-", pos)) != std::string::npos) {
+    ++dashes;
+    ++pos;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"A"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"x"});
+  t.AddSeparator();
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Cell, IntegerFormatting) {
+  EXPECT_EQ(Cell(static_cast<int64_t>(12345)), "12345");
+  EXPECT_EQ(Cell(static_cast<int64_t>(-7)), "-7");
+}
+
+TEST(Cell, DoubleFormatting) {
+  EXPECT_EQ(Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Cell(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,232 @@
+// Unit tests for the application task models: each task must emit the trace
+// pattern the paper attributes to its real-world counterpart.
+
+#include "src/workload/apps.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/analyzer.h"
+#include "src/trace/validate.h"
+#include "src/workload/generator.h"
+#include "src/workload/system_image.h"
+
+namespace bsdtrace {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest()
+      : profile_(ProfileA5()),
+        fs_(FsOptions{.total_blocks = 524288}),
+        kernel_(&fs_, &trace_),
+        rng_(99) {
+    image_ = BuildSystemImage(fs_, profile_, rng_);
+    user_.id = 2;
+    user_.home = image_.home_dirs[0];
+    user_.mailbox = image_.mail_dir + "/user0";
+    user_.rng = Rng(1234);
+    for (int i = 0; i < 6; ++i) {
+      user_.sources.push_back(user_.home + "/src" + std::to_string(i) + ".c");
+    }
+    for (int i = 0; i < 3; ++i) {
+      user_.docs.push_back(user_.home + "/doc" + std::to_string(i));
+    }
+  }
+
+  WorkloadContext Ctx() {
+    return WorkloadContext(&kernel_, &profile_, &user_.rng, SimTime::FromSeconds(100));
+  }
+
+  // Sorts records (tasks may emit deferred work out of order) and analyzes.
+  TraceAnalysis Analyze() {
+    std::stable_sort(
+        trace_.records().begin(), trace_.records().end(),
+        [](const TraceRecord& a, const TraceRecord& b) { return a.time < b.time; });
+    return AnalyzeTrace(trace_);
+  }
+
+  uint64_t Count(EventType type) {
+    uint64_t n = 0;
+    for (const TraceRecord& r : trace_.records()) {
+      n += r.type == type ? 1 : 0;
+    }
+    return n;
+  }
+
+  MachineProfile profile_;
+  FileSystem fs_;
+  Trace trace_;
+  TracedKernel kernel_;
+  Rng rng_;
+  SystemImage image_;
+  UserState user_;
+};
+
+TEST_F(AppsTest, CompileTaskCreatesAndDeletesTemporaries) {
+  // Run several compiles; at least one must produce the canonical pattern:
+  // execs of cc/as, a /tmp temporary created then unlinked.
+  for (int i = 0; i < 10; ++i) {
+    WorkloadContext ctx = Ctx();
+    RunCompileTask(ctx, user_, image_);
+  }
+  EXPECT_GT(Count(EventType::kExecve), 10u);  // cc + as at least
+  EXPECT_GT(Count(EventType::kCreate), 10u);  // asm temps + objects
+  EXPECT_GT(Count(EventType::kUnlink), 5u);   // asm temps deleted
+  const TraceAnalysis a = Analyze();
+  // Compiler temporaries die within the task: short lifetimes observed.
+  EXPECT_GT(a.lifetimes.observed_deaths, 0u);
+  EXPECT_GT(a.lifetimes.by_files.FractionAtOrBelow(120.0), 0.3);
+}
+
+TEST_F(AppsTest, CompileTasksLeaveValidTrace) {
+  for (int i = 0; i < 5; ++i) {
+    WorkloadContext ctx = Ctx();
+    RunCompileTask(ctx, user_, image_);
+  }
+  std::stable_sort(trace_.records().begin(), trace_.records().end(),
+                   [](const TraceRecord& a, const TraceRecord& b) { return a.time < b.time; });
+  const ValidationResult v = ValidateTrace(trace_);
+  EXPECT_TRUE(v.ok()) << v.Summary();
+}
+
+TEST_F(AppsTest, EditTaskHoldsTempOpenLong) {
+  WorkloadContext ctx = Ctx();
+  RunEditTask(ctx, user_, image_);
+  const TraceAnalysis a = Analyze();
+  // The vi temp stays open for the whole session: a multi-minute open.
+  EXPECT_GT(a.open_times.seconds.MaxValue(), 60.0);
+  EXPECT_EQ(Count(EventType::kUnlink), 1u);  // the temp is removed at the end
+}
+
+TEST_F(AppsTest, MailTaskTouchesMailbox) {
+  WorkloadContext ctx = Ctx();
+  RunMailTask(ctx, user_, image_);
+  EXPECT_GT(Count(EventType::kExecve), 0u);  // the Mail program
+  EXPECT_GT(Count(EventType::kOpen) + Count(EventType::kCreate), 0u);
+}
+
+TEST_F(AppsTest, ShellTaskProducesExecsAndSmallAccesses) {
+  for (int i = 0; i < 5; ++i) {
+    WorkloadContext ctx = Ctx();
+    RunShellTask(ctx, user_, image_);
+  }
+  EXPECT_GT(Count(EventType::kExecve), 5u);
+  const TraceAnalysis a = Analyze();
+  // Shell bursts read small things: the access-size CDF is short-file heavy.
+  EXPECT_GT(a.file_sizes.by_accesses.FractionAtOrBelow(16 * 1024), 0.5);
+  // History appends reposition to end of file.
+  EXPECT_GT(Count(EventType::kSeek), 0u);
+}
+
+TEST_F(AppsTest, FormatTaskSpoolsAndPrintDeletesLater) {
+  WorkloadContext ctx = Ctx();
+  RunFormatTask(ctx, user_, image_);
+  // Defer runs inline without a scheduler, so the spool is already printed
+  // and unlinked.
+  EXPECT_GE(Count(EventType::kCreate), 1u);  // the spool file
+  EXPECT_GE(Count(EventType::kUnlink), 1u);  // ...deleted after printing
+  const TraceAnalysis a = Analyze();
+  EXPECT_GT(a.lifetimes.observed_deaths, 0u);
+}
+
+TEST_F(AppsTest, AdminTaskRepositionsInBigFiles) {
+  for (int i = 0; i < 20; ++i) {
+    WorkloadContext ctx = Ctx();
+    RunAdminTask(ctx, user_, image_);
+  }
+  EXPECT_GT(Count(EventType::kSeek), 10u);
+  const TraceAnalysis a = Analyze();
+  // Accesses hit the ~1 MB administrative files: the size CDF has big-file
+  // mass.
+  EXPECT_LT(a.file_sizes.by_accesses.FractionAtOrBelow(500 * 1024), 1.0);
+}
+
+TEST_F(AppsTest, CadTaskNeedsDecks) {
+  // A5 users have no decks: the task is a no-op.
+  WorkloadContext ctx = Ctx();
+  RunCadTask(ctx, user_, image_);
+  EXPECT_TRUE(trace_.empty());
+}
+
+TEST_F(AppsTest, CadTaskWithDecksWritesAndDeletesListing) {
+  FileSystem fs(FsOptions{.total_blocks = 524288});
+  Trace trace;
+  TracedKernel kernel(&fs, &trace);
+  Rng rng(5);
+  MachineProfile profile = ProfileC4();
+  const SystemImage image = BuildSystemImage(fs, profile, rng);
+  UserState user;
+  user.id = 2;
+  user.home = image.home_dirs[0];
+  user.mailbox = image.mail_dir + "/user0";
+  user.rng = Rng(77);
+  for (int i = 0; i < 3; ++i) {
+    user.decks.push_back(user.home + "/deck" + std::to_string(i));
+  }
+  user.sources.push_back(user.home + "/src0.c");
+  WorkloadContext ctx(&kernel, &profile, &user.rng, SimTime::FromSeconds(100));
+  RunCadTask(ctx, user, image);
+  uint64_t creates = 0, unlinks = 0, execs = 0;
+  for (const TraceRecord& r : trace.records()) {
+    creates += r.type == EventType::kCreate ? 1 : 0;
+    unlinks += r.type == EventType::kUnlink ? 1 : 0;
+    execs += r.type == EventType::kExecve ? 1 : 0;
+  }
+  EXPECT_GE(execs, 1u);   // the simulator binary
+  EXPECT_GE(creates, 1u); // the listing
+  EXPECT_GE(unlinks, 1u); // ...deleted before the next run
+}
+
+TEST_F(AppsTest, LoginActivityReadsDotfilesAndRecordsLogin) {
+  WorkloadContext ctx = Ctx();
+  RunLoginActivity(ctx, user_, image_);
+  EXPECT_GE(Count(EventType::kOpen), 4u);  // passwd, motd, .cshrc, .login
+  EXPECT_GE(Count(EventType::kSeek), 1u);  // wtmp/utmp repositioning
+}
+
+TEST_F(AppsTest, DaemonTickRewritesHostFile) {
+  WorkloadContext ctx = Ctx();
+  RunDaemonTick(ctx, image_, 3);
+  ASSERT_EQ(Count(EventType::kCreate), 1u);
+  ASSERT_EQ(Count(EventType::kClose), 1u);
+  // The rewrite targets the host-3 status file (its pre-built file id).
+  auto ino = fs_.LookupPath(image_.DaemonFile(3));
+  ASSERT_TRUE(ino.ok());
+  EXPECT_EQ(trace_.records()[0].file_id, fs_.GetInode(ino.value())->file_id);
+}
+
+TEST_F(AppsTest, SystemTickAlwaysValid) {
+  for (int i = 0; i < 40; ++i) {
+    WorkloadContext ctx = Ctx();
+    RunSystemTick(ctx, image_);
+  }
+  std::stable_sort(trace_.records().begin(), trace_.records().end(),
+                   [](const TraceRecord& a, const TraceRecord& b) { return a.time < b.time; });
+  const ValidationResult v = ValidateTrace(trace_);
+  EXPECT_TRUE(v.ok()) << v.Summary();
+  EXPECT_GT(trace_.size(), 40u);
+}
+
+TEST_F(AppsTest, DeliverMailAppendsWithLockDance) {
+  WorkloadContext ctx = Ctx();
+  DeliverMail(ctx, image_, 4);
+  // Lock create + unlock unlink around the append.
+  EXPECT_GE(Count(EventType::kCreate), 1u);
+  EXPECT_GE(Count(EventType::kUnlink), 1u);
+  EXPECT_GE(Count(EventType::kSeek), 1u);  // reposition to end of mailbox
+  auto size = kernel_.FileSize(image_.mail_dir + "/user4");
+  ASSERT_TRUE(size.ok());
+  EXPECT_GT(size.value(), 0u);
+}
+
+TEST_F(AppsTest, UserStateHelpers) {
+  EXPECT_FALSE(user_.TempPath().empty());
+  const std::string t1 = user_.TempPath();
+  const std::string t2 = user_.TempPath();
+  EXPECT_NE(t1, t2);  // unique temp names
+  const std::string& pick = user_.Pick(user_.sources);
+  EXPECT_NE(std::find(user_.sources.begin(), user_.sources.end(), pick), user_.sources.end());
+}
+
+}  // namespace
+}  // namespace bsdtrace

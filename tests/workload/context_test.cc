@@ -1,0 +1,185 @@
+#include "src/workload/context.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace.h"
+
+namespace bsdtrace {
+namespace {
+
+class ContextTest : public ::testing::Test {
+ protected:
+  ContextTest()
+      : fs_(FsOptions{.block_size = 4096, .frag_size = 1024, .total_blocks = 512}),
+        kernel_(&fs_, &trace_),
+        rng_(7),
+        ctx_(&kernel_, &profile_, &rng_, SimTime::FromSeconds(10)) {}
+
+  void Seed(const std::string& path, uint64_t size) {
+    auto ino = fs_.CreateFile(path);
+    ASSERT_TRUE(ino.ok());
+    ASSERT_TRUE(fs_.SetFileSize(ino.value(), size, SimTime::Origin()).ok());
+  }
+
+  size_t CountType(EventType type) {
+    size_t n = 0;
+    for (const auto& r : trace_.records()) {
+      n += r.type == type ? 1 : 0;
+    }
+    return n;
+  }
+
+  FileSystem fs_;
+  Trace trace_;
+  TracedKernel kernel_;
+  MachineProfile profile_ = ProfileA5();
+  Rng rng_;
+  WorkloadContext ctx_;
+};
+
+TEST_F(ContextTest, AdvanceMovesClockForwardOnly) {
+  const SimTime before = ctx_.now();
+  ctx_.Advance(Duration::Seconds(-5));
+  EXPECT_EQ(ctx_.now(), before);
+  ctx_.Advance(Duration::Seconds(5));
+  EXPECT_EQ(ctx_.now(), before + Duration::Seconds(5));
+}
+
+TEST_F(ContextTest, ReadWholeFileReadsAllBytesAndAdvances) {
+  Seed("/f", 40000);
+  const SimTime before = ctx_.now();
+  EXPECT_EQ(ctx_.ReadWholeFile("/f", 1), 40000u);
+  EXPECT_GT(ctx_.now(), before);
+  EXPECT_EQ(CountType(EventType::kOpen), 1u);
+  EXPECT_EQ(CountType(EventType::kClose), 1u);
+}
+
+TEST_F(ContextTest, ReadWholeFileMissingReturnsZero) {
+  EXPECT_EQ(ctx_.ReadWholeFile("/missing", 1), 0u);
+  EXPECT_TRUE(trace_.empty());
+}
+
+TEST_F(ContextTest, SlowRateTakesLonger) {
+  Seed("/f", 40000);
+  const SimTime t0 = ctx_.now();
+  ctx_.ReadWholeFile("/f", 1, 400e3);
+  const Duration fast = ctx_.now() - t0;
+  const SimTime t1 = ctx_.now();
+  ctx_.ReadWholeFile("/f", 1, 4e3);
+  const Duration slow = ctx_.now() - t1;
+  EXPECT_GT(slow, fast);
+}
+
+TEST_F(ContextTest, HoldExtendsOpenDuration) {
+  Seed("/f", 100);
+  const SimTime t0 = ctx_.now();
+  ctx_.ReadWholeFile("/f", 1, 0, Duration::Seconds(30));
+  EXPECT_GE((ctx_.now() - t0).seconds(), 30.0);
+}
+
+TEST_F(ContextTest, WriteNewFileCreates) {
+  EXPECT_TRUE(ctx_.WriteNewFile("/out", 1, 5000));
+  EXPECT_EQ(kernel_.FileSize("/out").value(), 5000u);
+  EXPECT_EQ(CountType(EventType::kCreate), 1u);
+}
+
+TEST_F(ContextTest, PeekReadsPrefixOnly) {
+  Seed("/f", 10000);
+  EXPECT_EQ(ctx_.PeekFile("/f", 1, 1024), 1024u);
+  // Close position should be 1024.
+  EXPECT_EQ(trace_.records().back().position, 1024u);
+}
+
+TEST_F(ContextTest, PeekClampsToFileSize) {
+  Seed("/small", 300);
+  EXPECT_EQ(ctx_.PeekFile("/small", 1, 4096), 300u);
+}
+
+TEST_F(ContextTest, AppendSeeksToEndThenWrites) {
+  Seed("/log", 2000);
+  EXPECT_TRUE(ctx_.AppendFile("/log", 1, 500));
+  EXPECT_EQ(kernel_.FileSize("/log").value(), 2500u);
+  EXPECT_EQ(CountType(EventType::kSeek), 1u);
+  // The seek repositions from 0 to the old end.
+  for (const auto& r : trace_.records()) {
+    if (r.type == EventType::kSeek) {
+      EXPECT_EQ(r.seek_from, 0u);
+      EXPECT_EQ(r.seek_to, 2000u);
+    }
+  }
+}
+
+TEST_F(ContextTest, AppendToMissingFileCreatesIt) {
+  EXPECT_TRUE(ctx_.AppendFile("/fresh", 1, 100));
+  EXPECT_EQ(kernel_.FileSize("/fresh").value(), 100u);
+}
+
+TEST_F(ContextTest, SeekReadStaysInBounds) {
+  Seed("/db", 100000);
+  EXPECT_EQ(ctx_.SeekRead("/db", 1, 50000, 1024), 1024u);
+  EXPECT_EQ(ctx_.SeekRead("/db", 1, 99999999, 1024), 0u);  // clamped to EOF
+}
+
+TEST_F(ContextTest, RandomReadsPerformsProbes) {
+  Seed("/db", 100000);
+  EXPECT_EQ(ctx_.RandomReads("/db", 1, 4, 1024), 4);
+  EXPECT_EQ(CountType(EventType::kSeek), 4u);
+  EXPECT_EQ(CountType(EventType::kOpen), 1u);
+}
+
+TEST_F(ContextTest, RandomUpdateOpensReadWrite) {
+  Seed("/db", 100000);
+  EXPECT_GT(ctx_.RandomUpdate("/db", 1, 3, 1024), 0);
+  EXPECT_EQ(trace_.records()[0].mode, AccessMode::kReadWrite);
+}
+
+TEST_F(ContextTest, ExecAndUnlinkAndTruncate) {
+  Seed("/prog", 30000);
+  EXPECT_TRUE(ctx_.Exec("/prog", 1));
+  EXPECT_TRUE(ctx_.Truncate("/prog", 1, 100));
+  EXPECT_TRUE(ctx_.Unlink("/prog", 1));
+  EXPECT_FALSE(ctx_.Exec("/prog", 1));
+  EXPECT_EQ(CountType(EventType::kExecve), 1u);
+  EXPECT_EQ(CountType(EventType::kTruncate), 1u);
+  EXPECT_EQ(CountType(EventType::kUnlink), 1u);
+}
+
+TEST_F(ContextTest, RawDescriptorLifecycle) {
+  const Fd fd = ctx_.OpenRaw("/raw", OpenFlags::WriteCreate(), 1);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(ctx_.RawWrite(fd, 1000), 1000u);
+  ctx_.RawSeek(fd, 0);
+  ctx_.CloseRaw(fd);
+  EXPECT_EQ(kernel_.FileSize("/raw").value(), 1000u);
+  EXPECT_EQ(CountType(EventType::kClose), 1u);
+}
+
+TEST_F(ContextTest, CloseRawIgnoresInvalidFd) {
+  ctx_.CloseRaw(-1);  // must not crash or log
+  EXPECT_TRUE(trace_.empty());
+}
+
+TEST_F(ContextTest, DeferWithoutSchedulerRunsInline) {
+  bool ran = false;
+  ctx_.Defer(Duration::Seconds(5), [&](WorkloadContext& c) {
+    ran = true;
+    EXPECT_GE(c.now(), SimTime::FromSeconds(15));
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(ContextTest, DeferWithSchedulerRunsLater) {
+  EventScheduler scheduler;
+  WorkloadContext ctx(&kernel_, &profile_, &rng_, SimTime::FromSeconds(1), &scheduler);
+  bool ran = false;
+  ctx.Defer(Duration::Seconds(10), [&](WorkloadContext& c) {
+    ran = true;
+    EXPECT_EQ(c.now(), SimTime::FromSeconds(11));
+  });
+  EXPECT_FALSE(ran);
+  scheduler.Run(SimTime::FromSeconds(100));
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace bsdtrace

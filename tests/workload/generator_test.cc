@@ -1,0 +1,129 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/validate.h"
+
+namespace bsdtrace {
+namespace {
+
+GeneratorOptions ShortRun(double hours = 2.0, uint64_t seed = 42) {
+  GeneratorOptions options;
+  options.duration = Duration::Hours(hours);
+  options.seed = seed;
+  return options;
+}
+
+TEST(Generator, ProducesNonEmptyValidTrace) {
+  const GenerationResult result = GenerateTrace(ProfileA5(), ShortRun());
+  EXPECT_GT(result.trace.size(), 1000u);
+  EXPECT_GT(result.tasks_executed, 50u);
+  const ValidationResult v = ValidateTrace(result.trace);
+  EXPECT_TRUE(v.ok()) << v.Summary();
+}
+
+TEST(Generator, RecordsAreTimeSortedAndClipped) {
+  const GeneratorOptions options = ShortRun();
+  const Trace trace = GenerateTraceOnly(ProfileA5(), options);
+  SimTime prev = SimTime::Origin();
+  for (const TraceRecord& r : trace.records()) {
+    EXPECT_GE(r.time, prev);
+    prev = r.time;
+  }
+  EXPECT_LE(trace.duration(), options.duration);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const Trace a = GenerateTraceOnly(ProfileA5(), ShortRun(1.0, 7));
+  const Trace b = GenerateTraceOnly(ProfileA5(), ShortRun(1.0, 7));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Trace a = GenerateTraceOnly(ProfileA5(), ShortRun(1.0, 7));
+  const Trace b = GenerateTraceOnly(ProfileA5(), ShortRun(1.0, 8));
+  EXPECT_NE(a, b);
+}
+
+TEST(Generator, AllEventTypesPresent) {
+  const Trace trace = GenerateTraceOnly(ProfileA5(), ShortRun(4.0));
+  uint64_t counts[8] = {};
+  for (const TraceRecord& r : trace.records()) {
+    counts[static_cast<size_t>(r.type)] += 1;
+  }
+  for (EventType type : {EventType::kOpen, EventType::kCreate, EventType::kClose,
+                         EventType::kSeek, EventType::kUnlink, EventType::kExecve}) {
+    EXPECT_GT(counts[static_cast<size_t>(type)], 0u) << EventTypeName(type);
+  }
+}
+
+TEST(Generator, DaemonRewritesEveryPeriod) {
+  // In 30 simulated minutes each host file is rewritten ~10 times.
+  MachineProfile profile = ProfileA5();
+  const GenerationResult result = GenerateTrace(profile, ShortRun(0.5));
+  // Count creates by the daemon user (user id 0).
+  uint64_t daemon_creates = 0;
+  for (const TraceRecord& r : result.trace.records()) {
+    if (r.type == EventType::kCreate && r.user_id == 0) {
+      ++daemon_creates;
+    }
+  }
+  const double expected = profile.daemon_host_count * 10.0;
+  EXPECT_GT(daemon_creates, expected * 0.6);
+  EXPECT_LT(daemon_creates, expected * 1.6);
+}
+
+TEST(Generator, HeaderDescribesTrace) {
+  const Trace trace = GenerateTraceOnly(ProfileE3(), ShortRun(0.2));
+  EXPECT_EQ(trace.header().machine, "ucbernie");
+  EXPECT_NE(trace.header().description.find("E3"), std::string::npos);
+}
+
+TEST(Generator, KernelCountersConsistentWithTrace) {
+  const GenerationResult result = GenerateTrace(ProfileA5(), ShortRun(1.0));
+  uint64_t execves = 0;
+  for (const TraceRecord& r : result.trace.records()) {
+    execves += r.type == EventType::kExecve ? 1 : 0;
+  }
+  // Counters include events clipped from the trace tail, so >=.
+  EXPECT_GE(result.kernel_counters.execves, execves);
+  EXPECT_GT(result.kernel_counters.bytes_read, 0u);
+  EXPECT_GT(result.kernel_counters.bytes_written, 0u);
+}
+
+TEST(Generator, AllThreeProfilesGenerate) {
+  for (const MachineProfile& profile : {ProfileA5(), ProfileE3(), ProfileC4()}) {
+    const GenerationResult result = GenerateTrace(profile, ShortRun(0.5));
+    EXPECT_GT(result.trace.size(), 100u) << profile.trace_name;
+    const ValidationResult v = ValidateTrace(result.trace);
+    EXPECT_TRUE(v.ok()) << profile.trace_name << "\n" << v.Summary();
+  }
+}
+
+TEST(Generator, FsSurvivesWithoutExhaustion) {
+  const GenerationResult result = GenerateTrace(ProfileA5(), ShortRun(2.0));
+  EXPECT_GT(result.fs_stats.free_bytes, result.fs_stats.allocated_bytes);
+}
+
+TEST(Generator, IntensityScalesActivity) {
+  MachineProfile calm = ProfileA5();
+  MachineProfile busy = ProfileA5();
+  busy.intensity = 2.5;
+  const Trace a = GenerateTraceOnly(calm, ShortRun(2.0, 3));
+  const Trace b = GenerateTraceOnly(busy, ShortRun(2.0, 3));
+  // Busier machine: clearly more records (not necessarily exactly 2.5x —
+  // sessions saturate), and still a valid trace.
+  EXPECT_GT(b.size(), a.size() * 3 / 2);
+  EXPECT_TRUE(ValidateTrace(b).ok());
+}
+
+TEST(ProfileByName, ResolvesAllNames) {
+  EXPECT_EQ(ProfileByName("A5").machine, "ucbarpa");
+  EXPECT_EQ(ProfileByName("E3").machine, "ucbernie");
+  EXPECT_EQ(ProfileByName("C4").machine, "ucbcad");
+  EXPECT_EQ(ProfileByName("ucbcad").machine, "ucbcad");
+  EXPECT_EQ(ProfileByName("unknown").machine, "ucbarpa");
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,82 @@
+#include "src/workload/scheduler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+TEST(EventScheduler, RunsInTimeOrder) {
+  EventScheduler s;
+  std::vector<int> order;
+  s.At(SimTime::FromSeconds(3), [&](SimTime) { order.push_back(3); });
+  s.At(SimTime::FromSeconds(1), [&](SimTime) { order.push_back(1); });
+  s.At(SimTime::FromSeconds(2), [&](SimTime) { order.push_back(2); });
+  EXPECT_EQ(s.Run(SimTime::FromSeconds(100)), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventScheduler, FifoForEqualTimes) {
+  EventScheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.At(SimTime::FromSeconds(1), [&order, i](SimTime) { order.push_back(i); });
+  }
+  s.Run(SimTime::FromSeconds(2));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventScheduler, HorizonIsExclusive) {
+  EventScheduler s;
+  int ran = 0;
+  s.At(SimTime::FromSeconds(5), [&](SimTime) { ++ran; });
+  EXPECT_EQ(s.Run(SimTime::FromSeconds(5)), 0u);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.Run(SimTime::FromSeconds(5.1)), 1u);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventScheduler, TasksMayScheduleMoreTasks) {
+  EventScheduler s;
+  int count = 0;
+  std::function<void(SimTime)> chain = [&](SimTime t) {
+    ++count;
+    if (count < 10) {
+      s.At(t + Duration::Seconds(1), chain);
+    }
+  };
+  s.At(SimTime::FromSeconds(0), chain);
+  s.Run(SimTime::FromSeconds(100));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventScheduler, ChainStopsAtHorizon) {
+  EventScheduler s;
+  int count = 0;
+  std::function<void(SimTime)> chain = [&](SimTime t) {
+    ++count;
+    s.At(t + Duration::Seconds(1), chain);
+  };
+  s.At(SimTime::FromSeconds(0), chain);
+  s.Run(SimTime::FromSeconds(5));
+  EXPECT_EQ(count, 5);  // t = 0..4
+}
+
+TEST(EventScheduler, TaskReceivesScheduledTime) {
+  EventScheduler s;
+  SimTime seen;
+  s.At(SimTime::FromSeconds(7), [&](SimTime t) { seen = t; });
+  s.Run(SimTime::FromSeconds(10));
+  EXPECT_EQ(seen, SimTime::FromSeconds(7));
+}
+
+TEST(EventScheduler, EmptyQueue) {
+  EventScheduler s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Run(SimTime::FromSeconds(1)), 0u);
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,93 @@
+#include "src/workload/system_image.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+class SystemImageTest : public ::testing::Test {
+ protected:
+  SystemImageTest() : fs_(FsOptions{.total_blocks = 524288}), rng_(1) {
+    image_ = BuildSystemImage(fs_, ProfileA5(), rng_);
+  }
+
+  FileSystem fs_;
+  Rng rng_;
+  SystemImage image_;
+};
+
+TEST_F(SystemImageTest, ProgramsExistWithSizes) {
+  EXPECT_GT(image_.programs.size(), 50u);
+  for (const std::string& p : image_.programs) {
+    auto ino = fs_.LookupPath(p);
+    ASSERT_TRUE(ino.ok()) << p;
+    EXPECT_GT(fs_.GetInode(ino.value())->size, 0u) << p;
+  }
+}
+
+TEST_F(SystemImageTest, WellKnownProgramsExist) {
+  for (const std::string& p : {image_.cc_path, image_.as_path, image_.ld_path, image_.vi_path,
+                               image_.mail_path, image_.troff_path, image_.libc_path,
+                               image_.macros_path, image_.utmp_path}) {
+    EXPECT_TRUE(fs_.LookupPath(p).ok()) << p;
+  }
+}
+
+TEST_F(SystemImageTest, AdminFilesAreLarge) {
+  ASSERT_FALSE(image_.admin_files.empty());
+  for (const std::string& p : image_.admin_files) {
+    auto ino = fs_.LookupPath(p);
+    ASSERT_TRUE(ino.ok());
+    EXPECT_GT(fs_.GetInode(ino.value())->size, 500'000u) << p;  // ~1 MB files
+  }
+}
+
+TEST_F(SystemImageTest, DaemonFilesPreExist) {
+  const MachineProfile profile = ProfileA5();
+  for (int h = 0; h < profile.daemon_host_count; ++h) {
+    EXPECT_TRUE(fs_.LookupPath(image_.DaemonFile(h)).ok()) << h;
+  }
+}
+
+TEST_F(SystemImageTest, HomesSeededWithWorkFiles) {
+  const MachineProfile profile = ProfileA5();
+  ASSERT_EQ(image_.home_dirs.size(), static_cast<size_t>(profile.user_population));
+  EXPECT_TRUE(fs_.LookupPath(image_.home_dirs[0] + "/src0.c").ok());
+  EXPECT_TRUE(fs_.LookupPath(image_.home_dirs[0] + "/.cshrc").ok());
+  EXPECT_TRUE(fs_.LookupPath("/usr/spool/mail/user0").ok());
+}
+
+TEST_F(SystemImageTest, CadDecksOnlyForCadProfiles) {
+  EXPECT_FALSE(fs_.LookupPath(image_.home_dirs[0] + "/deck0").ok());
+
+  FileSystem cad_fs(FsOptions{.total_blocks = 524288});
+  Rng rng(2);
+  const SystemImage cad = BuildSystemImage(cad_fs, ProfileC4(), rng);
+  EXPECT_TRUE(cad_fs.LookupPath(cad.home_dirs[0] + "/deck0").ok());
+}
+
+TEST_F(SystemImageTest, SampleProgramIsZipfSkewed) {
+  Rng rng(3);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    counts[image_.SampleProgram(rng)] += 1;
+  }
+  // The most popular program should be sampled far more than a mid-list one.
+  EXPECT_GT(counts[image_.programs[0]], counts[image_.programs[40]] * 5);
+}
+
+TEST_F(SystemImageTest, DeterministicForSeed) {
+  FileSystem fs2(FsOptions{.total_blocks = 524288});
+  Rng rng2(1);
+  const SystemImage again = BuildSystemImage(fs2, ProfileA5(), rng2);
+  EXPECT_EQ(again.programs, image_.programs);
+  const FsStatistics a = fs_.Statistics();
+  const FsStatistics b = fs2.Statistics();
+  EXPECT_EQ(a.live_bytes, b.live_bytes);
+  EXPECT_EQ(a.files, b.files);
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,76 @@
+// Developer calibration tool: per-file byte accounting + headline stats.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/trace/reconstruct.h"
+#include "src/workload/generator.h"
+
+using namespace bsdtrace;
+
+namespace {
+struct ByteSink : ReconstructionSink {
+  std::map<FileId, uint64_t> bytes;
+  std::map<FileId, uint64_t> size_at_close;
+  std::map<FileId, uint64_t> accesses;
+  void OnTransfer(const Transfer& t) override { bytes[t.file_id] += t.length; }
+  void OnAccess(const AccessSummary& a) override {
+    size_at_close[a.file_id] = a.size_at_close;
+    accesses[a.file_id] += 1;
+  }
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double hours = argc > 1 ? atof(argv[1]) : 24;
+  const char* name = argc > 2 ? argv[2] : "A5";
+  GeneratorOptions opt;
+  opt.duration = Duration::Hours(hours);
+  auto result = GenerateTrace(ProfileByName(name), opt);
+  ByteSink sink;
+  Reconstruct(result.trace, &sink);
+  std::vector<std::pair<uint64_t, FileId>> top;
+  uint64_t total = 0;
+  for (auto& [f, b] : sink.bytes) { top.push_back({b, f}); total += b; }
+  std::sort(top.rbegin(), top.rend());
+  printf("total bytes: %.1f MB over %zu files\n", total / 1048576.0, top.size());
+  for (size_t i = 0; i < 15 && i < top.size(); ++i) {
+    printf("  file %6lu: %8.2f MB (size ~%lu, %lu accesses)\n", top[i].second,
+           top[i].first / 1048576.0, sink.size_at_close[top[i].second],
+           sink.accesses[top[i].second]);
+  }
+  auto a = AnalyzeTrace(result.trace);
+  printf("\nrecords=%lu opens=%lu\n", a.overall.total_records, a.overall.Count(EventType::kOpen));
+  printf("mix: create %.1f%% open %.1f%% seek %.1f%% unlink %.1f%% exec %.1f%%\n",
+         100*a.overall.Fraction(EventType::kCreate), 100*a.overall.Fraction(EventType::kOpen),
+         100*a.overall.Fraction(EventType::kSeek), 100*a.overall.Fraction(EventType::kUnlink),
+         100*a.overall.Fraction(EventType::kExecve));
+  printf("whole-file RO %.0f%% WO %.0f%% | wf bytes %.0f%% seq bytes %.0f%%\n",
+         100*a.sequentiality.Mode(AccessMode::kReadOnly).WholeFileFraction(),
+         100*a.sequentiality.Mode(AccessMode::kWriteOnly).WholeFileFraction(),
+         100*a.sequentiality.WholeFileByteFraction(), 100*a.sequentiality.SequentialByteFraction());
+  printf("runs<4KB %.0f%% | bytes in runs>=25KB %.0f%%\n",
+         100*a.runs.by_runs.FractionAtOrBelow(4096),
+         100*(1-a.runs.by_bytes.FractionAtOrBelow(25*1024)));
+  printf("accesses to files<10KB %.0f%% | bytes via files<10KB %.0f%%\n",
+         100*a.file_sizes.by_accesses.FractionAtOrBelow(10240),
+         100*a.file_sizes.by_bytes.FractionAtOrBelow(10240));
+  printf("open<0.5s %.0f%% <10s %.0f%%\n", 100*a.open_times.seconds.FractionAtOrBelow(0.5),
+         100*a.open_times.seconds.FractionAtOrBelow(10));
+  printf("lifetime: files<30s %.0f%% <180s %.0f%% spike[179,181] %.0f%% | bytes<30s %.0f%% <300s %.0f%%\n",
+         100*a.lifetimes.by_files.FractionAtOrBelow(30),
+         100*a.lifetimes.by_files.FractionAtOrBelow(180.5),
+         100*a.lifetimes.FileFractionIn(179,181),
+         100*a.lifetimes.by_bytes.FractionAtOrBelow(30),
+         100*a.lifetimes.by_bytes.FractionAtOrBelow(300));
+  printf("active users 10min: avg %.1f max %ld | tput/user 10min %.0f B/s 10s %.0f B/s\n",
+         a.activity.ten_minute.active_users.mean(), a.activity.ten_minute.max_active_users,
+         a.activity.ten_minute.throughput_per_user.mean(),
+         a.activity.ten_second.throughput_per_user.mean());
+  printf("intervals: <0.5s %.0f%% <10s %.0f%%\n",
+         100*a.overall.inter_event_interval_seconds.FractionAtOrBelow(0.5),
+         100*a.overall.inter_event_interval_seconds.FractionAtOrBelow(10));
+  return 0;
+}
