@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_billing"
+  "../bench/bench_ablation_billing.pdb"
+  "CMakeFiles/bench_ablation_billing.dir/bench_ablation_billing.cc.o"
+  "CMakeFiles/bench_ablation_billing.dir/bench_ablation_billing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_replacement"
+  "../bench/bench_ablation_replacement.pdb"
+  "CMakeFiles/bench_ablation_replacement.dir/bench_ablation_replacement.cc.o"
+  "CMakeFiles/bench_ablation_replacement.dir/bench_ablation_replacement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

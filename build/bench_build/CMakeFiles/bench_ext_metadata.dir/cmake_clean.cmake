@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_metadata"
+  "../bench/bench_ext_metadata.pdb"
+  "CMakeFiles/bench_ext_metadata.dir/bench_ext_metadata.cc.o"
+  "CMakeFiles/bench_ext_metadata.dir/bench_ext_metadata.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_popularity"
+  "../bench/bench_ext_popularity.pdb"
+  "CMakeFiles/bench_ext_popularity.dir/bench_ext_popularity.cc.o"
+  "CMakeFiles/bench_ext_popularity.dir/bench_ext_popularity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_stack_distance"
+  "../bench/bench_ext_stack_distance.pdb"
+  "CMakeFiles/bench_ext_stack_distance.dir/bench_ext_stack_distance.cc.o"
+  "CMakeFiles/bench_ext_stack_distance.dir/bench_ext_stack_distance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_stack_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

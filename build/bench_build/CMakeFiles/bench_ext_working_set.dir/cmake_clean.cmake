@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_working_set"
+  "../bench/bench_ext_working_set.pdb"
+  "CMakeFiles/bench_ext_working_set.dir/bench_ext_working_set.cc.o"
+  "CMakeFiles/bench_ext_working_set.dir/bench_ext_working_set.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

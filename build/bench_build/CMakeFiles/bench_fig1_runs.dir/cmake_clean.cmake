@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_runs"
+  "../bench/bench_fig1_runs.pdb"
+  "CMakeFiles/bench_fig1_runs.dir/bench_fig1_runs.cc.o"
+  "CMakeFiles/bench_fig1_runs.dir/bench_fig1_runs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_filesizes"
+  "../bench/bench_fig2_filesizes.pdb"
+  "CMakeFiles/bench_fig2_filesizes.dir/bench_fig2_filesizes.cc.o"
+  "CMakeFiles/bench_fig2_filesizes.dir/bench_fig2_filesizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_filesizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_opentimes"
+  "../bench/bench_fig3_opentimes.pdb"
+  "CMakeFiles/bench_fig3_opentimes.dir/bench_fig3_opentimes.cc.o"
+  "CMakeFiles/bench_fig3_opentimes.dir/bench_fig3_opentimes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_opentimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_lifetimes"
+  "../bench/bench_fig4_lifetimes.pdb"
+  "CMakeFiles/bench_fig4_lifetimes.dir/bench_fig4_lifetimes.cc.o"
+  "CMakeFiles/bench_fig4_lifetimes.dir/bench_fig4_lifetimes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_table7_blocksize"
+  "../bench/bench_fig6_table7_blocksize.pdb"
+  "CMakeFiles/bench_fig6_table7_blocksize.dir/bench_fig6_table7_blocksize.cc.o"
+  "CMakeFiles/bench_fig6_table7_blocksize.dir/bench_fig6_table7_blocksize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_table7_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

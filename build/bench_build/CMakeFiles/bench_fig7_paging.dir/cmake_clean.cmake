@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_paging"
+  "../bench/bench_fig7_paging.pdb"
+  "CMakeFiles/bench_fig7_paging.dir/bench_fig7_paging.cc.o"
+  "CMakeFiles/bench_fig7_paging.dir/bench_fig7_paging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_summary"
+  "../bench/bench_table1_summary.pdb"
+  "CMakeFiles/bench_table1_summary.dir/bench_table1_summary.cc.o"
+  "CMakeFiles/bench_table1_summary.dir/bench_table1_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_activity"
+  "../bench/bench_table4_activity.pdb"
+  "CMakeFiles/bench_table4_activity.dir/bench_table4_activity.cc.o"
+  "CMakeFiles/bench_table4_activity.dir/bench_table4_activity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

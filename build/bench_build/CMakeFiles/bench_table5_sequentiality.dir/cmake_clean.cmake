@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_sequentiality"
+  "../bench/bench_table5_sequentiality.pdb"
+  "CMakeFiles/bench_table5_sequentiality.dir/bench_table5_sequentiality.cc.o"
+  "CMakeFiles/bench_table5_sequentiality.dir/bench_table5_sequentiality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_sequentiality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

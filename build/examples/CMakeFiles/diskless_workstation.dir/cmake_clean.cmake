@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diskless_workstation.dir/diskless_workstation.cpp.o"
+  "CMakeFiles/diskless_workstation.dir/diskless_workstation.cpp.o.d"
+  "diskless_workstation"
+  "diskless_workstation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diskless_workstation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

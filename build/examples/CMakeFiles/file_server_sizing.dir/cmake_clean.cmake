@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_server_sizing.dir/file_server_sizing.cpp.o"
+  "CMakeFiles/file_server_sizing.dir/file_server_sizing.cpp.o.d"
+  "file_server_sizing"
+  "file_server_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_server_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/activity.cc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/activity.cc.o" "gcc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/activity.cc.o.d"
+  "/root/repo/src/analysis/analyzer.cc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/analyzer.cc.o" "gcc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/analyzer.cc.o.d"
+  "/root/repo/src/analysis/lifetimes.cc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/lifetimes.cc.o" "gcc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/lifetimes.cc.o.d"
+  "/root/repo/src/analysis/overall.cc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/overall.cc.o" "gcc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/overall.cc.o.d"
+  "/root/repo/src/analysis/patterns.cc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/patterns.cc.o" "gcc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/patterns.cc.o.d"
+  "/root/repo/src/analysis/popularity.cc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/popularity.cc.o" "gcc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/popularity.cc.o.d"
+  "/root/repo/src/analysis/sequentiality.cc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/sequentiality.cc.o" "gcc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/sequentiality.cc.o.d"
+  "/root/repo/src/analysis/working_set.cc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/working_set.cc.o" "gcc" "src/analysis/CMakeFiles/bsdtrace_analysis.dir/working_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/bsdtrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bsdtrace_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bsdtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

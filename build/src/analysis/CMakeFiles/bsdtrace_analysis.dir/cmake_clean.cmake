@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsdtrace_analysis.dir/activity.cc.o"
+  "CMakeFiles/bsdtrace_analysis.dir/activity.cc.o.d"
+  "CMakeFiles/bsdtrace_analysis.dir/analyzer.cc.o"
+  "CMakeFiles/bsdtrace_analysis.dir/analyzer.cc.o.d"
+  "CMakeFiles/bsdtrace_analysis.dir/lifetimes.cc.o"
+  "CMakeFiles/bsdtrace_analysis.dir/lifetimes.cc.o.d"
+  "CMakeFiles/bsdtrace_analysis.dir/overall.cc.o"
+  "CMakeFiles/bsdtrace_analysis.dir/overall.cc.o.d"
+  "CMakeFiles/bsdtrace_analysis.dir/patterns.cc.o"
+  "CMakeFiles/bsdtrace_analysis.dir/patterns.cc.o.d"
+  "CMakeFiles/bsdtrace_analysis.dir/popularity.cc.o"
+  "CMakeFiles/bsdtrace_analysis.dir/popularity.cc.o.d"
+  "CMakeFiles/bsdtrace_analysis.dir/sequentiality.cc.o"
+  "CMakeFiles/bsdtrace_analysis.dir/sequentiality.cc.o.d"
+  "CMakeFiles/bsdtrace_analysis.dir/working_set.cc.o"
+  "CMakeFiles/bsdtrace_analysis.dir/working_set.cc.o.d"
+  "libbsdtrace_analysis.a"
+  "libbsdtrace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsdtrace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

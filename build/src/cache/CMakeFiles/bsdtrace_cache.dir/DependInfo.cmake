@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/block_cache.cc" "src/cache/CMakeFiles/bsdtrace_cache.dir/block_cache.cc.o" "gcc" "src/cache/CMakeFiles/bsdtrace_cache.dir/block_cache.cc.o.d"
+  "/root/repo/src/cache/simulator.cc" "src/cache/CMakeFiles/bsdtrace_cache.dir/simulator.cc.o" "gcc" "src/cache/CMakeFiles/bsdtrace_cache.dir/simulator.cc.o.d"
+  "/root/repo/src/cache/stack_distance.cc" "src/cache/CMakeFiles/bsdtrace_cache.dir/stack_distance.cc.o" "gcc" "src/cache/CMakeFiles/bsdtrace_cache.dir/stack_distance.cc.o.d"
+  "/root/repo/src/cache/sweep.cc" "src/cache/CMakeFiles/bsdtrace_cache.dir/sweep.cc.o" "gcc" "src/cache/CMakeFiles/bsdtrace_cache.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/bsdtrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bsdtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

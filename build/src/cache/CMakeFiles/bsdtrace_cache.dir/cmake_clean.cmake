@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsdtrace_cache.dir/block_cache.cc.o"
+  "CMakeFiles/bsdtrace_cache.dir/block_cache.cc.o.d"
+  "CMakeFiles/bsdtrace_cache.dir/simulator.cc.o"
+  "CMakeFiles/bsdtrace_cache.dir/simulator.cc.o.d"
+  "CMakeFiles/bsdtrace_cache.dir/stack_distance.cc.o"
+  "CMakeFiles/bsdtrace_cache.dir/stack_distance.cc.o.d"
+  "CMakeFiles/bsdtrace_cache.dir/sweep.cc.o"
+  "CMakeFiles/bsdtrace_cache.dir/sweep.cc.o.d"
+  "libbsdtrace_cache.a"
+  "libbsdtrace_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsdtrace_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

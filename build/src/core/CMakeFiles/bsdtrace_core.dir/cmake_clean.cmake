@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsdtrace_core.dir/experiments.cc.o"
+  "CMakeFiles/bsdtrace_core.dir/experiments.cc.o.d"
+  "libbsdtrace_core.a"
+  "libbsdtrace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsdtrace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsdtrace_fs.dir/block_allocator.cc.o"
+  "CMakeFiles/bsdtrace_fs.dir/block_allocator.cc.o.d"
+  "CMakeFiles/bsdtrace_fs.dir/file_system.cc.o"
+  "CMakeFiles/bsdtrace_fs.dir/file_system.cc.o.d"
+  "CMakeFiles/bsdtrace_fs.dir/fsck.cc.o"
+  "CMakeFiles/bsdtrace_fs.dir/fsck.cc.o.d"
+  "CMakeFiles/bsdtrace_fs.dir/path.cc.o"
+  "CMakeFiles/bsdtrace_fs.dir/path.cc.o.d"
+  "libbsdtrace_fs.a"
+  "libbsdtrace_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsdtrace_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

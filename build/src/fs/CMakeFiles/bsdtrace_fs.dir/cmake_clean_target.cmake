@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsdtrace_fs.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsdtrace_kernel.dir/traced_kernel.cc.o"
+  "CMakeFiles/bsdtrace_kernel.dir/traced_kernel.cc.o.d"
+  "libbsdtrace_kernel.a"
+  "libbsdtrace_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsdtrace_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/filter.cc" "src/trace/CMakeFiles/bsdtrace_trace.dir/filter.cc.o" "gcc" "src/trace/CMakeFiles/bsdtrace_trace.dir/filter.cc.o.d"
+  "/root/repo/src/trace/reconstruct.cc" "src/trace/CMakeFiles/bsdtrace_trace.dir/reconstruct.cc.o" "gcc" "src/trace/CMakeFiles/bsdtrace_trace.dir/reconstruct.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/bsdtrace_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/bsdtrace_trace.dir/record.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/bsdtrace_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/bsdtrace_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/validate.cc" "src/trace/CMakeFiles/bsdtrace_trace.dir/validate.cc.o" "gcc" "src/trace/CMakeFiles/bsdtrace_trace.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bsdtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

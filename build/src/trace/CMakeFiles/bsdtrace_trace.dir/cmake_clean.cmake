@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsdtrace_trace.dir/filter.cc.o"
+  "CMakeFiles/bsdtrace_trace.dir/filter.cc.o.d"
+  "CMakeFiles/bsdtrace_trace.dir/reconstruct.cc.o"
+  "CMakeFiles/bsdtrace_trace.dir/reconstruct.cc.o.d"
+  "CMakeFiles/bsdtrace_trace.dir/record.cc.o"
+  "CMakeFiles/bsdtrace_trace.dir/record.cc.o.d"
+  "CMakeFiles/bsdtrace_trace.dir/trace_io.cc.o"
+  "CMakeFiles/bsdtrace_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/bsdtrace_trace.dir/validate.cc.o"
+  "CMakeFiles/bsdtrace_trace.dir/validate.cc.o.d"
+  "libbsdtrace_trace.a"
+  "libbsdtrace_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsdtrace_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

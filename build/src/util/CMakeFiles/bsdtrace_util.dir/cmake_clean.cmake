@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsdtrace_util.dir/csv.cc.o"
+  "CMakeFiles/bsdtrace_util.dir/csv.cc.o.d"
+  "CMakeFiles/bsdtrace_util.dir/distributions.cc.o"
+  "CMakeFiles/bsdtrace_util.dir/distributions.cc.o.d"
+  "CMakeFiles/bsdtrace_util.dir/plot.cc.o"
+  "CMakeFiles/bsdtrace_util.dir/plot.cc.o.d"
+  "CMakeFiles/bsdtrace_util.dir/rng.cc.o"
+  "CMakeFiles/bsdtrace_util.dir/rng.cc.o.d"
+  "CMakeFiles/bsdtrace_util.dir/sim_time.cc.o"
+  "CMakeFiles/bsdtrace_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/bsdtrace_util.dir/stats.cc.o"
+  "CMakeFiles/bsdtrace_util.dir/stats.cc.o.d"
+  "CMakeFiles/bsdtrace_util.dir/table.cc.o"
+  "CMakeFiles/bsdtrace_util.dir/table.cc.o.d"
+  "libbsdtrace_util.a"
+  "libbsdtrace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsdtrace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

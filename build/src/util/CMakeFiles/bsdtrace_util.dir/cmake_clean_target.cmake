@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsdtrace_util.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps_cad.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_cad.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_cad.cc.o.d"
+  "/root/repo/src/workload/apps_common.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_common.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_common.cc.o.d"
+  "/root/repo/src/workload/apps_daemon.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_daemon.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_daemon.cc.o.d"
+  "/root/repo/src/workload/apps_develop.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_develop.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_develop.cc.o.d"
+  "/root/repo/src/workload/apps_office.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_office.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_office.cc.o.d"
+  "/root/repo/src/workload/apps_shell.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_shell.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_shell.cc.o.d"
+  "/root/repo/src/workload/apps_system.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_system.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/apps_system.cc.o.d"
+  "/root/repo/src/workload/context.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/context.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/context.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/profile.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/profile.cc.o.d"
+  "/root/repo/src/workload/scheduler.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/scheduler.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/scheduler.cc.o.d"
+  "/root/repo/src/workload/system_image.cc" "src/workload/CMakeFiles/bsdtrace_workload.dir/system_image.cc.o" "gcc" "src/workload/CMakeFiles/bsdtrace_workload.dir/system_image.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/bsdtrace_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bsdtrace_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bsdtrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bsdtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

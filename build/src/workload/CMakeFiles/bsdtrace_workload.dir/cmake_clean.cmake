@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsdtrace_workload.dir/apps_cad.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/apps_cad.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/apps_common.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/apps_common.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/apps_daemon.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/apps_daemon.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/apps_develop.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/apps_develop.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/apps_office.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/apps_office.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/apps_shell.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/apps_shell.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/apps_system.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/apps_system.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/context.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/context.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/generator.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/generator.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/profile.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/profile.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/scheduler.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/scheduler.cc.o.d"
+  "CMakeFiles/bsdtrace_workload.dir/system_image.cc.o"
+  "CMakeFiles/bsdtrace_workload.dir/system_image.cc.o.d"
+  "libbsdtrace_workload.a"
+  "libbsdtrace_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsdtrace_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

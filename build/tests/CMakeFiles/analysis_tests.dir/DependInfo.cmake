@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/activity_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/activity_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/activity_test.cc.o.d"
+  "/root/repo/tests/analysis/analyzer_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/analyzer_test.cc.o.d"
+  "/root/repo/tests/analysis/lifetimes_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/lifetimes_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/lifetimes_test.cc.o.d"
+  "/root/repo/tests/analysis/overall_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/overall_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/overall_test.cc.o.d"
+  "/root/repo/tests/analysis/patterns_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/patterns_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/patterns_test.cc.o.d"
+  "/root/repo/tests/analysis/popularity_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/popularity_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/popularity_test.cc.o.d"
+  "/root/repo/tests/analysis/sequentiality_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/sequentiality_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/sequentiality_test.cc.o.d"
+  "/root/repo/tests/analysis/working_set_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/working_set_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/working_set_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsdtrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bsdtrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bsdtrace_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsdtrace_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/bsdtrace_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bsdtrace_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bsdtrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bsdtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

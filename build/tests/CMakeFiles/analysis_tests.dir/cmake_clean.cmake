@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/activity_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/activity_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/analyzer_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/analyzer_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/lifetimes_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/lifetimes_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/overall_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/overall_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/patterns_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/patterns_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/popularity_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/popularity_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/sequentiality_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/sequentiality_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/working_set_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/working_set_test.cc.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/block_cache_test.cc" "tests/CMakeFiles/cache_tests.dir/cache/block_cache_test.cc.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache/block_cache_test.cc.o.d"
+  "/root/repo/tests/cache/extensions_test.cc" "tests/CMakeFiles/cache_tests.dir/cache/extensions_test.cc.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache/extensions_test.cc.o.d"
+  "/root/repo/tests/cache/simulator_test.cc" "tests/CMakeFiles/cache_tests.dir/cache/simulator_test.cc.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache/simulator_test.cc.o.d"
+  "/root/repo/tests/cache/stack_distance_test.cc" "tests/CMakeFiles/cache_tests.dir/cache/stack_distance_test.cc.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache/stack_distance_test.cc.o.d"
+  "/root/repo/tests/cache/sweep_test.cc" "tests/CMakeFiles/cache_tests.dir/cache/sweep_test.cc.o" "gcc" "tests/CMakeFiles/cache_tests.dir/cache/sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsdtrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bsdtrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bsdtrace_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsdtrace_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/bsdtrace_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bsdtrace_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bsdtrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bsdtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fs/block_allocator_test.cc" "tests/CMakeFiles/fs_tests.dir/fs/block_allocator_test.cc.o" "gcc" "tests/CMakeFiles/fs_tests.dir/fs/block_allocator_test.cc.o.d"
+  "/root/repo/tests/fs/file_system_test.cc" "tests/CMakeFiles/fs_tests.dir/fs/file_system_test.cc.o" "gcc" "tests/CMakeFiles/fs_tests.dir/fs/file_system_test.cc.o.d"
+  "/root/repo/tests/fs/fsck_test.cc" "tests/CMakeFiles/fs_tests.dir/fs/fsck_test.cc.o" "gcc" "tests/CMakeFiles/fs_tests.dir/fs/fsck_test.cc.o.d"
+  "/root/repo/tests/fs/path_test.cc" "tests/CMakeFiles/fs_tests.dir/fs/path_test.cc.o" "gcc" "tests/CMakeFiles/fs_tests.dir/fs/path_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsdtrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bsdtrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bsdtrace_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsdtrace_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/bsdtrace_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bsdtrace_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bsdtrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bsdtrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

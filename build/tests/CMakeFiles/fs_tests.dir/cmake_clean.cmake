@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_tests.dir/fs/block_allocator_test.cc.o"
+  "CMakeFiles/fs_tests.dir/fs/block_allocator_test.cc.o.d"
+  "CMakeFiles/fs_tests.dir/fs/file_system_test.cc.o"
+  "CMakeFiles/fs_tests.dir/fs/file_system_test.cc.o.d"
+  "CMakeFiles/fs_tests.dir/fs/fsck_test.cc.o"
+  "CMakeFiles/fs_tests.dir/fs/fsck_test.cc.o.d"
+  "CMakeFiles/fs_tests.dir/fs/path_test.cc.o"
+  "CMakeFiles/fs_tests.dir/fs/path_test.cc.o.d"
+  "fs_tests"
+  "fs_tests.pdb"
+  "fs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
