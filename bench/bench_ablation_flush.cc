@@ -11,23 +11,25 @@ int main() {
   using namespace bsdtrace;
   PrintBanner("ablation — flush-back interval sweep", "§6.2 write policies");
   const GenerationResult a5 = GenerateA5();
+  // Reconstruct once; every interval point replays the shared log.
+  const ReplayLog log = ReplayLog::Build(a5.trace);
 
   CacheConfig c;
   c.size_bytes = 4u << 20;
   TextTable table({"Policy", "Disk writes", "Miss ratio"});
   c.policy = WritePolicy::kWriteThrough;
-  CacheMetrics wt = SimulateCache(a5.trace, c);
+  CacheMetrics wt = SimulateCache(log, c);
   table.AddRow({"write-through", Cell(static_cast<int64_t>(wt.disk_writes)),
                 FormatPercent(wt.MissRatio())});
   for (double seconds : {5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0}) {
     c.policy = WritePolicy::kFlushBack;
     c.flush_interval = Duration::Seconds(seconds);
-    const CacheMetrics m = SimulateCache(a5.trace, c);
+    const CacheMetrics m = SimulateCache(log, c);
     table.AddRow({"flush-back " + Duration::Seconds(seconds).ToString(),
                   Cell(static_cast<int64_t>(m.disk_writes)), FormatPercent(m.MissRatio())});
   }
   c.policy = WritePolicy::kDelayedWrite;
-  const CacheMetrics dw = SimulateCache(a5.trace, c);
+  const CacheMetrics dw = SimulateCache(log, c);
   table.AddRow({"delayed-write", Cell(static_cast<int64_t>(dw.disk_writes)),
                 FormatPercent(dw.MissRatio())});
   std::printf("%s\n", table.Render("Flush interval continuum (4 MB cache, 4 KB blocks, A5 "

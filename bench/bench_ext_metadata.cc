@@ -13,6 +13,7 @@ int main() {
   using namespace bsdtrace;
   PrintBanner("extension — i-node and directory overhead", "§8 closing estimate");
   const GenerationResult a5 = GenerateA5();
+  const ReplayLog log = ReplayLog::Build(a5.trace);
 
   TextTable table({"Cache Size", "File-data I/Os", "With metadata", "Metadata access share",
                    "Extra disk I/O"});
@@ -24,8 +25,8 @@ int main() {
     base.flush_interval = Duration::Seconds(30);
     CacheConfig with = base;
     with.simulate_metadata = true;
-    const CacheMetrics m0 = SimulateCache(a5.trace, base);
-    const CacheMetrics m1 = SimulateCache(a5.trace, with);
+    const CacheMetrics m0 = SimulateCache(log, base);
+    const CacheMetrics m1 = SimulateCache(log, with);
     const double meta_share = m1.logical_accesses > 0
                                   ? static_cast<double>(m1.metadata_accesses) /
                                         static_cast<double>(m1.logical_accesses)

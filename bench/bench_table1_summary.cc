@@ -10,8 +10,8 @@ int main() {
   PrintBanner("Table I — selected results", "Table I");
   const GenerationResult a5 = GenerateA5();
   const TraceAnalysis analysis = AnalyzeTrace(a5.trace);
-  const auto fig5 = RunCacheSweep(a5.trace, Fig5Configs());
-  const auto fig6 = RunCacheSweep(a5.trace, Fig6Configs());
-  std::printf("%s\n", RenderTable1(analysis, fig5, fig6).c_str());
+  // One reconstruction shared by both sweeps (two-phase engine).
+  const StandardSweeps sweeps = RunStandardSweeps(a5.trace);
+  std::printf("%s\n", RenderTable1(analysis, sweeps.fig5, sweeps.fig6).c_str());
   return 0;
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure, build, run the full test suite, then re-run the
+# replay-parity tests explicitly (the bit-identical guarantee the two-phase
+# sweep engine depends on).  Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+"$BUILD_DIR"/tests/cache_tests --gtest_filter='ReplayParity.*:ReplayLogStats.*'
+
+echo "check.sh: all tests passed"

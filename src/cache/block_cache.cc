@@ -1,8 +1,5 @@
 #include "src/cache/block_cache.h"
 
-#include <cassert>
-#include <iterator>
-
 namespace bsdtrace {
 
 const char* ReplacementPolicyName(ReplacementPolicy policy) {
@@ -18,109 +15,14 @@ const char* ReplacementPolicyName(ReplacementPolicy policy) {
 }
 
 BlockCache::BlockCache(uint64_t capacity_blocks, ReplacementPolicy policy)
-    : capacity_(capacity_blocks), policy_(policy) {
+    : capacity_(capacity_blocks),
+      policy_(policy),
+      map_(BlockKey{}, capacity_blocks * 2),
+      file_head_(kInvalidFileId, capacity_blocks / 2 + 16) {
   assert(capacity_blocks >= 1);
-  map_.reserve(capacity_blocks * 2);
-}
-
-CacheEntry* BlockCache::Touch(const BlockKey& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    return nullptr;
-  }
-  switch (policy_) {
-    case ReplacementPolicy::kLru:
-      lru_.splice(lru_.begin(), lru_, it->second);
-      break;
-    case ReplacementPolicy::kFifo:
-      break;  // reuse does not affect replacement order
-    case ReplacementPolicy::kClock:
-      it->second->referenced = true;
-      break;
-  }
-  return &*it->second;
-}
-
-CacheEntry BlockCache::PopVictim() {
-  if (policy_ == ReplacementPolicy::kClock) {
-    // Second chance: sweep from the tail, sparing referenced blocks once.
-    while (lru_.back().referenced) {
-      lru_.back().referenced = false;
-      lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
-    }
-  }
-  CacheEntry victim = lru_.back();
-  lru_.pop_back();
-  return victim;
-}
-
-void BlockCache::Insert(const BlockKey& key, SimTime now,
-                        const std::function<void(const CacheEntry&)>& on_evict) {
-  assert(map_.find(key) == map_.end());
-  if (map_.size() >= capacity_) {
-    const CacheEntry victim = PopVictim();
-    if (victim.dirty) {
-      NoteCleaned();
-    }
-    on_evict(victim);
-    auto pf = per_file_.find(victim.key.file);
-    assert(pf != per_file_.end());
-    pf->second.erase(victim.key.index);
-    if (pf->second.empty()) {
-      per_file_.erase(pf);
-    }
-    map_.erase(victim.key);
-  }
-  lru_.push_front(CacheEntry{.key = key, .dirty = false, .referenced = false, .loaded = now,
-                             .dirtied = now});
-  map_[key] = lru_.begin();
-  per_file_[key.file][key.index] = lru_.begin();
-}
-
-void BlockCache::Remove(const BlockKey& key,
-                        const std::function<void(const CacheEntry&)>& on_drop) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    return;
-  }
-  if (it->second->dirty) {
-    NoteCleaned();
-  }
-  on_drop(*it->second);
-  auto pf = per_file_.find(key.file);
-  if (pf != per_file_.end()) {
-    pf->second.erase(key.index);
-    if (pf->second.empty()) {
-      per_file_.erase(pf);
-    }
-  }
-  lru_.erase(it->second);
-  map_.erase(it);
-}
-
-void BlockCache::RemoveFileBlocks(FileId file, uint64_t first_index,
-                                  const std::function<void(const CacheEntry&)>& on_drop) {
-  auto pf = per_file_.find(file);
-  if (pf == per_file_.end()) {
-    return;
-  }
-  // Collect first: Remove() mutates the per-file index.
-  std::vector<BlockKey> doomed;
-  doomed.reserve(pf->second.size());
-  for (const auto& [index, iter] : pf->second) {
-    if (index >= first_index) {
-      doomed.push_back(BlockKey{.file = file, .index = index});
-    }
-  }
-  for (const BlockKey& key : doomed) {
-    Remove(key, on_drop);
-  }
-}
-
-void BlockCache::ForEach(const std::function<void(CacheEntry&)>& fn) {
-  for (CacheEntry& entry : lru_) {
-    fn(entry);
-  }
+  // The slab never holds more than capacity_ entries, and both flat maps are
+  // sized for that bound up front, so the steady state is allocation-free.
+  slab_.reserve(capacity_blocks);
 }
 
 }  // namespace bsdtrace

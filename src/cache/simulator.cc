@@ -39,6 +39,15 @@ CacheSimulator::CacheSimulator(const CacheConfig& config)
   next_flush_ = SimTime::Origin() + config_.flush_interval;
 }
 
+void CacheSimulator::ReserveFiles(size_t file_count) {
+  if (transfer_extent_feed_ == nullptr) {
+    known_extent_.Reserve(file_count);
+  }
+  if (config_.simulate_metadata) {
+    meta_dirty_.reserve(file_count);
+  }
+}
+
 void CacheSimulator::RecordResidency(SimTime now, const CacheEntry& entry) {
   const double seconds = (now - entry.loaded).seconds();
   metrics_.residency_seconds.Add(seconds);
@@ -48,34 +57,14 @@ void CacheSimulator::RecordResidency(SimTime now, const CacheEntry& entry) {
   }
 }
 
-void CacheSimulator::AdvanceClock(SimTime now) {
-  if (now > now_) {
-    now_ = now;
-  }
-  if (config_.policy != WritePolicy::kFlushBack) {
-    return;
-  }
-  while (now_ >= next_flush_) {
-    FlushScan();
-    next_flush_ += config_.flush_interval;
-  }
-}
-
 void CacheSimulator::FlushScan() {
-  if (cache_.dirty_count() == 0) {
-    return;
-  }
-  cache_.ForEach([this](CacheEntry& entry) {
-    if (entry.dirty) {
-      entry.dirty = false;
-      cache_.NoteCleaned();
-      metrics_.disk_writes += 1;
-    }
-  });
+  // O(dirty blocks): walks the cache's intrusive dirty chain, not the whole
+  // cache.
+  cache_.DrainDirty([this](CacheEntry&) { metrics_.disk_writes += 1; });
 }
 
 void CacheSimulator::AccessBlock(SimTime now, const BlockKey& key, bool is_write,
-                                 bool whole_block) {
+                                 bool whole_block, uint64_t known_extent) {
   metrics_.logical_accesses += 1;
   if (is_write) {
     metrics_.write_accesses += 1;
@@ -88,20 +77,18 @@ void CacheSimulator::AccessBlock(SimTime now, const BlockKey& key, bool is_write
     // Miss.  A disk read is needed unless this access overwrites the whole
     // block, or the block lies beyond any data the file is known to have.
     const uint64_t block_start = key.index * config_.block_size;
-    auto ext = known_extent_.find(key.file);
-    const bool beyond_known_data = (ext == known_extent_.end() || block_start >= ext->second);
+    const bool beyond_known_data = block_start >= known_extent;
     if (!(is_write && (whole_block || beyond_known_data))) {
       metrics_.disk_reads += 1;
     }
-    cache_.Insert(key, now, [this, now](const CacheEntry& victim) {
+    entry = cache_.Insert(key, now, [this, now](const CacheEntry& victim) {
       metrics_.evictions += 1;
       RecordResidency(now, victim);
       if (victim.dirty) {
         metrics_.disk_writes += 1;  // delayed/flush-back eviction write-back
       }
     });
-    entry = cache_.Touch(key);
-    assert(entry != nullptr);
+    cache_.Retouch(entry);  // same policy action the hit path's Touch applies
   }
 
   if (is_write) {
@@ -109,13 +96,11 @@ void CacheSimulator::AccessBlock(SimTime now, const BlockKey& key, bool is_write
       metrics_.disk_writes += 1;  // every modification goes to disk
       // The cached copy stays clean: disk is up to date.
       if (entry->dirty) {
-        entry->dirty = false;
-        cache_.NoteCleaned();
+        cache_.MarkClean(entry);
       }
     } else if (!entry->dirty) {
-      entry->dirty = true;
+      cache_.MarkDirty(entry);
       entry->dirtied = now;
-      cache_.NoteDirtied();
     }
   }
 }
@@ -125,6 +110,22 @@ void CacheSimulator::Access(SimTime now, FileId file, uint64_t offset, uint64_t 
   if (length == 0) {
     return;
   }
+  // One extent lookup per transfer, not per block: within the transfer the
+  // table is untouched, so every block sees the same value ("no entry" reads
+  // as extent 0 — every block is then beyond known data, as before).
+  uint64_t* ext = known_extent_.Find(file);
+  AccessBlocks(now, file, offset, length, is_write, ext != nullptr ? *ext : 0);
+  // Reads prove the data existed; writes create it: either way the file now
+  // extends at least this far.
+  if (ext != nullptr) {
+    *ext = std::max(*ext, offset + length);
+  } else {
+    known_extent_[file] = offset + length;
+  }
+}
+
+void CacheSimulator::AccessBlocks(SimTime now, FileId file, uint64_t offset,
+                                  uint64_t length, bool is_write, uint64_t extent) {
   AdvanceClock(now);
   const uint32_t bs = config_.block_size;
   const uint64_t first = offset / bs;
@@ -133,23 +134,7 @@ void CacheSimulator::Access(SimTime now, FileId file, uint64_t offset, uint64_t 
     const uint64_t block_start = b * bs;
     const uint64_t block_end = block_start + bs;
     const bool whole_block = is_write && offset <= block_start && offset + length >= block_end;
-    AccessBlock(now, BlockKey{.file = file, .index = b}, is_write, whole_block);
-  }
-  if (is_write) {
-    auto& extent = known_extent_[file];
-    extent = std::max(extent, offset + length);
-  } else {
-    // A successful read proves the data existed.
-    auto& extent = known_extent_[file];
-    extent = std::max(extent, offset + length);
-  }
-}
-
-void CacheSimulator::OnTransfer(const Transfer& t) {
-  const bool is_write = t.direction == TransferDirection::kWrite;
-  Access(t.time, t.file_id, t.offset, t.length, is_write);
-  if (config_.simulate_metadata && is_write) {
-    meta_dirty_.insert(t.file_id);
+    AccessBlock(now, BlockKey{.file = file, .index = b}, is_write, whole_block, extent);
   }
 }
 
@@ -164,19 +149,20 @@ constexpr FileId kInodeTableFile = 1ull << 62;
 constexpr FileId kDirectoryFile = (1ull << 62) + 1;
 constexpr uint64_t kInodesPerBlock = 16;
 constexpr uint64_t kDirEntriesPerBlock = 32;
+// Metadata blocks always exist on disk: the reserved files behave as fully
+// populated, so partial writes to them fetch first (read-modify-write).
+// Passed straight to AccessBlock — the reserved ids never appear in
+// transfers or invalidations, so they need no known_extent_ entries.
+constexpr uint64_t kMetadataExtent = UINT64_MAX / 2;
 }  // namespace
 
 void CacheSimulator::MetadataAccess(SimTime now, FileId file, bool is_write) {
   AdvanceClock(now);
-  // Metadata blocks always exist on disk: mark the reserved files as fully
-  // populated so partial writes to them fetch first (read-modify-write).
-  known_extent_[kInodeTableFile] = UINT64_MAX / 2;
-  known_extent_[kDirectoryFile] = UINT64_MAX / 2;
   metrics_.metadata_accesses += 2;
   AccessBlock(now, BlockKey{.file = kInodeTableFile, .index = file / kInodesPerBlock},
-              is_write, false);
+              is_write, false, kMetadataExtent);
   AccessBlock(now, BlockKey{.file = kDirectoryFile, .index = file / kDirEntriesPerBlock},
-              is_write, false);
+              is_write, false, kMetadataExtent);
 }
 
 void CacheSimulator::InvalidateFrom(SimTime now, FileId file, uint64_t first_byte) {
@@ -189,12 +175,14 @@ void CacheSimulator::InvalidateFrom(SimTime now, FileId file, uint64_t first_byt
       metrics_.dirty_discarded += 1;  // never reaches disk
     }
   });
+  if (transfer_extent_feed_ != nullptr) {
+    return;  // extent trajectory is precomputed in the feeds
+  }
   if (first_byte == 0) {
-    known_extent_.erase(file);
+    known_extent_.Erase(file);
   } else {
-    auto it = known_extent_.find(file);
-    if (it != known_extent_.end()) {
-      it->second = std::min(it->second, first_byte);
+    if (uint64_t* extent = known_extent_.Find(file)) {
+      *extent = std::min(*extent, first_byte);
     }
   }
 }
@@ -214,7 +202,7 @@ void CacheSimulator::OnRecord(const TraceRecord& r) {
           metrics_.metadata_accesses += 1;
           AccessBlock(r.time, BlockKey{.file = kInodeTableFile,
                                        .index = r.file_id / kInodesPerBlock},
-                      /*is_write=*/true, false);
+                      /*is_write=*/true, false, kMetadataExtent);
         }
         break;
       case EventType::kUnlink:
@@ -236,8 +224,17 @@ void CacheSimulator::OnRecord(const TraceRecord& r) {
       InvalidateFrom(r.time, r.file_id, r.size);
       break;
     case EventType::kExecve:
-      if (config_.simulate_execve_pagein && r.size > 0) {
-        // Fig. 7: demand page-in approximated as a whole-file read.
+      // Fig. 7: demand page-in approximated as a whole-file read.  The feed
+      // holds one slot per nonempty execve regardless of whether page-in is
+      // simulated, so consume it either way to stay in sync.
+      if (execve_extent_feed_ != nullptr) {
+        if (r.size > 0) {
+          const uint64_t extent = execve_extent_feed_[execve_feed_pos_++];
+          if (config_.simulate_execve_pagein) {
+            AccessBlocks(r.time, r.file_id, 0, r.size, /*is_write=*/false, extent);
+          }
+        }
+      } else if (config_.simulate_execve_pagein && r.size > 0) {
         Access(r.time, r.file_id, 0, r.size, /*is_write=*/false);
       }
       break;

@@ -21,10 +21,10 @@
 #define BSDTRACE_SRC_CACHE_SIMULATOR_H_
 
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "src/cache/block_cache.h"
+#include "src/util/flat_map.h"
 #include "src/trace/reconstruct.h"
 #include "src/util/stats.h"
 
@@ -83,13 +83,46 @@ struct CacheMetrics {
   }
 };
 
-class CacheSimulator : public ReconstructionSink {
+// `final` so that statically-typed drivers (ReplayLog::ReplayInto) call the
+// sink methods without virtual dispatch.
+class CacheSimulator final : public ReconstructionSink {
  public:
   explicit CacheSimulator(const CacheConfig& config);
 
+  // Pre-sizes the per-file hash tables for a trace touching `file_count`
+  // distinct files (e.g. ReplayLog::distinct_files()).  Purely an allocation
+  // hint: metrics are identical with or without it.
+  void ReserveFiles(size_t file_count);
+
+  // Replay fast path (ReplayLog): known extents precomputed per transfer and
+  // per nonempty execve, consumed sequentially instead of maintained in the
+  // known_extent_ table.  Call before streaming any events (and before
+  // ReserveFiles); the arrays must outlive the simulator.  Metrics are
+  // bit-identical — the feeds carry the exact values the table would hold.
+  void SetExtentFeeds(const uint64_t* transfer_feed, const uint64_t* execve_feed) {
+    transfer_extent_feed_ = transfer_feed;
+    execve_extent_feed_ = execve_feed;
+  }
+
   // ReconstructionSink: transfers drive block accesses; create/unlink/
   // truncate records invalidate; execve optionally injects page-in reads.
-  void OnTransfer(const Transfer& transfer) override;
+  // OnTransfer is inline — it runs once per reconstructed transfer.
+  void OnTransfer(const Transfer& t) override {
+    const bool is_write = t.direction == TransferDirection::kWrite;
+    if (transfer_extent_feed_ != nullptr) {
+      // The feed holds one slot per transfer, so consume it even for the
+      // zero-length transfers Access() would ignore.
+      const uint64_t extent = transfer_extent_feed_[transfer_feed_pos_++];
+      if (t.length > 0) {
+        AccessBlocks(t.time, t.file_id, t.offset, t.length, is_write, extent);
+      }
+    } else {
+      Access(t.time, t.file_id, t.offset, t.length, is_write);
+    }
+    if (config_.simulate_metadata && is_write) {
+      meta_dirty_.insert(t.file_id);
+    }
+  }
   void OnRecord(const TraceRecord& record) override;
 
   // Finalizes residency statistics for blocks still cached.  Dirty blocks
@@ -101,12 +134,33 @@ class CacheSimulator : public ReconstructionSink {
   const CacheConfig& config() const { return config_; }
 
  private:
+  // Extent-table-maintaining path (direct simulation).
   void Access(SimTime now, FileId file, uint64_t offset, uint64_t length, bool is_write);
+  // The block-splitting loop shared by both paths; `extent` is the file's
+  // known extent however obtained.  Requires length > 0.
+  void AccessBlocks(SimTime now, FileId file, uint64_t offset, uint64_t length,
+                    bool is_write, uint64_t extent);
   // Injects the i-node/directory accesses implied by a namespace operation.
   void MetadataAccess(SimTime now, FileId file, bool is_write);
-  void AccessBlock(SimTime now, const BlockKey& key, bool is_write, bool whole_block);
-  void AdvanceClock(SimTime now);
+  // `known_extent` is the caller's one-per-transfer read of known_extent_
+  // (0 when the file has none; metadata blocks pass a huge constant).
+  void AccessBlock(SimTime now, const BlockKey& key, bool is_write, bool whole_block,
+                   uint64_t known_extent);
   void FlushScan();
+  // Inline: runs on every access/record, and is almost always just the
+  // two compares.
+  void AdvanceClock(SimTime now) {
+    if (now > now_) {
+      now_ = now;
+    }
+    if (config_.policy != WritePolicy::kFlushBack) {
+      return;
+    }
+    while (now_ >= next_flush_) {
+      FlushScan();
+      next_flush_ += config_.flush_interval;
+    }
+  }
   void InvalidateFrom(SimTime now, FileId file, uint64_t first_byte);
   void RecordResidency(SimTime now, const CacheEntry& entry);
 
@@ -116,7 +170,12 @@ class CacheSimulator : public ReconstructionSink {
   SimTime now_;
   SimTime next_flush_;
   // Highest data offset seen per file: writes beyond it fetch nothing.
-  std::unordered_map<FileId, uint64_t> known_extent_;
+  // Unused (empty) when extent feeds are set.
+  FlatMap<FileId, uint64_t, IdHash> known_extent_{kInvalidFileId};
+  const uint64_t* transfer_extent_feed_ = nullptr;
+  const uint64_t* execve_extent_feed_ = nullptr;
+  size_t transfer_feed_pos_ = 0;
+  size_t execve_feed_pos_ = 0;
   // Files with writes since their last close (i-node must be rewritten).
   std::unordered_set<FileId> meta_dirty_;
   bool finished_ = false;

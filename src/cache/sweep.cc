@@ -13,7 +13,29 @@ CacheMetrics SimulateCache(const Trace& trace, const CacheConfig& config,
   return sim.metrics();
 }
 
-std::vector<SweepPoint> RunCacheSweep(const Trace& trace, const std::vector<CacheConfig>& configs,
+CacheMetrics SimulateCache(const ReplayLog& log, const CacheConfig& config) {
+  CacheSimulator sim(config);
+  // The log carries the precomputed known-extent trajectory; pick the
+  // transfer feed matching whether execve page-ins extend extents.
+  sim.SetExtentFeeds(config.simulate_execve_pagein
+                         ? log.transfer_extents_pagein().data()
+                         : log.transfer_extents().data(),
+                     log.execve_extents().data());
+  sim.ReserveFiles(log.distinct_files());
+  // Both paths devirtualize (CacheSimulator is final).  Metadata simulation
+  // reads open/close records; everything else only clock-advances on them,
+  // so the compact stream skips them (bit-identical — see replay_log.h).
+  if (config.simulate_metadata) {
+    log.ReplayInto(sim);
+  } else {
+    log.ReplayDataEventsInto(sim);
+  }
+  sim.Finish();
+  return sim.metrics();
+}
+
+std::vector<SweepPoint> RunCacheSweep(const ReplayLog& log,
+                                      const std::vector<CacheConfig>& configs,
                                       unsigned threads) {
   std::vector<SweepPoint> points(configs.size());
   for (size_t i = 0; i < configs.size(); ++i) {
@@ -24,14 +46,17 @@ std::vector<SweepPoint> RunCacheSweep(const Trace& trace, const std::vector<Cach
   }
   threads = std::min<unsigned>(threads, static_cast<unsigned>(configs.size()));
 
+  // Work-stealing counter: workers only need atomicity of the claim itself,
+  // not ordering against each other's writes (each point is written by
+  // exactly one worker, and thread join supplies the final synchronization).
   std::atomic<size_t> next{0};
   auto worker = [&]() {
     while (true) {
-      const size_t i = next.fetch_add(1);
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= points.size()) {
         return;
       }
-      points[i].metrics = SimulateCache(trace, points[i].config);
+      points[i].metrics = SimulateCache(log, points[i].config);
     }
   };
   if (threads <= 1) {
@@ -47,6 +72,14 @@ std::vector<SweepPoint> RunCacheSweep(const Trace& trace, const std::vector<Cach
     }
   }
   return points;
+}
+
+std::vector<SweepPoint> RunCacheSweep(const Trace& trace, const std::vector<CacheConfig>& configs,
+                                      unsigned threads) {
+  if (configs.empty()) {
+    return {};
+  }
+  return RunCacheSweep(ReplayLog::Build(trace), configs, threads);
 }
 
 namespace {

@@ -1,6 +1,8 @@
 // Parameter sweeps over cache configurations (the axes of Figs. 5-7 and
-// Tables VI-VII).  Each configuration replays the same trace independently;
-// points run in parallel across hardware threads.
+// Tables VI-VII), run as a two-phase engine: phase 1 reconstructs the trace
+// exactly once into a ReplayLog; phase 2 replays that log through every
+// configuration, in parallel across hardware threads.  Reconstruction cost
+// is thus paid once per sweep instead of once per point.
 
 #ifndef BSDTRACE_SRC_CACHE_SWEEP_H_
 #define BSDTRACE_SRC_CACHE_SWEEP_H_
@@ -8,6 +10,7 @@
 #include <vector>
 
 #include "src/cache/simulator.h"
+#include "src/trace/replay_log.h"
 #include "src/trace/trace.h"
 
 namespace bsdtrace {
@@ -17,13 +20,26 @@ struct SweepPoint {
   CacheMetrics metrics;
 };
 
-// Replays `trace` through one simulator.  `billing` selects which bound of
-// the transfer-time window is used (§3.1 timing-imprecision ablation).
+// Reconstructs `trace` and replays it through one simulator (compatibility
+// wrapper; also the reference path the replay-parity test checks the log
+// engine against).  `billing` selects which bound of the transfer-time
+// window is used (§3.1 timing-imprecision ablation).
 CacheMetrics SimulateCache(const Trace& trace, const CacheConfig& config,
                            BillingPolicy billing = BillingPolicy::kAtNextEvent);
 
-// Replays `trace` through every configuration, in parallel.
-// `threads` = 0 uses the hardware concurrency.
+// Phase-2 primitive: replays a prebuilt log through one simulator.  Metrics
+// are bit-identical to SimulateCache(trace, config, log.billing()).
+CacheMetrics SimulateCache(const ReplayLog& log, const CacheConfig& config);
+
+// Replays a prebuilt log through every configuration, in parallel; all
+// workers share the (read-only) log.  `threads` = 0 uses the hardware
+// concurrency.
+std::vector<SweepPoint> RunCacheSweep(const ReplayLog& log,
+                                      const std::vector<CacheConfig>& configs,
+                                      unsigned threads = 0);
+
+// Convenience: builds the ReplayLog (billed at next event, the paper's
+// convention) and sweeps it.
 std::vector<SweepPoint> RunCacheSweep(const Trace& trace, const std::vector<CacheConfig>& configs,
                                       unsigned threads = 0);
 

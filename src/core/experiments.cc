@@ -96,6 +96,15 @@ GenerationResult GenerateStandardTrace(const std::string& name) {
   return GenerateStandardTrace(name, StandardDuration(), seed);
 }
 
+StandardSweeps RunStandardSweeps(const Trace& trace, unsigned threads) {
+  const ReplayLog log = ReplayLog::Build(trace);
+  StandardSweeps sweeps;
+  sweeps.fig5 = RunCacheSweep(log, Fig5Configs(), threads);
+  sweeps.fig6 = RunCacheSweep(log, Fig6Configs(), threads);
+  sweeps.fig7 = RunCacheSweep(log, Fig7Configs(), threads);
+  return sweeps;
+}
+
 std::string RenderTable3(const std::vector<NamedAnalysis>& traces) {
   std::vector<std::string> header = {"Trace"};
   for (const auto& [name, analysis] : traces) {

@@ -52,6 +52,18 @@ std::string RenderFigure3(const std::vector<NamedAnalysis>& traces);
 // Figure 4: file lifetimes.
 std::string RenderFigure4(const std::vector<NamedAnalysis>& traces);
 
+// -- Section 6 sweeps ---------------------------------------------------------
+
+// All three §6 sweeps (Figs. 5-7) computed from ONE reconstruction of the
+// trace: the replay log is built once and shared by every configuration and
+// every figure (the two-phase engine; see DESIGN.md).
+struct StandardSweeps {
+  std::vector<SweepPoint> fig5;  // Fig. 5 / Table VI points
+  std::vector<SweepPoint> fig6;  // Fig. 6 / Table VII points
+  std::vector<SweepPoint> fig7;  // Fig. 7 points
+};
+StandardSweeps RunStandardSweeps(const Trace& trace, unsigned threads = 0);
+
 // -- Section 6 renderings -----------------------------------------------------
 
 // Figure 5 / Table VI: miss ratio vs. cache size and write policy

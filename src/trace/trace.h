@@ -40,6 +40,9 @@ class Trace : public TraceSink {
 
   void Append(const TraceRecord& record) override { records_.push_back(record); }
 
+  // Pre-sizes the record vector (e.g. from a binary header's record count).
+  void Reserve(size_t record_count) { records_.reserve(record_count); }
+
   const TraceHeader& header() const { return header_; }
   TraceHeader& header() { return header_; }
   const std::vector<TraceRecord>& records() const { return records_; }

@@ -10,7 +10,8 @@
 namespace bsdtrace {
 namespace {
 
-constexpr char kMagic[8] = {'B', 'S', 'D', 'T', 'R', 'C', '1', '\n'};
+constexpr char kMagicV1[8] = {'B', 'S', 'D', 'T', 'R', 'C', '1', '\n'};
+constexpr char kMagicV2[8] = {'B', 'S', 'D', 'T', 'R', 'C', '2', '\n'};
 constexpr uint8_t kEndSentinel = 0;
 
 void PutVarint(std::ostream& out, uint64_t v) {
@@ -70,10 +71,14 @@ bool GetString(std::istream& in, std::string* s) {
 
 }  // namespace
 
-BinaryTraceWriter::BinaryTraceWriter(std::ostream& out, const TraceHeader& header) : out_(out) {
-  out_.write(kMagic, sizeof(kMagic));
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& out, const TraceHeader& header,
+                                     int64_t expected_records)
+    : out_(out) {
+  out_.write(kMagicV2, sizeof(kMagicV2));
   PutString(out_, header.machine);
   PutString(out_, header.description);
+  // N+1 so that 0 can mean "count unknown" (streamed traces).
+  PutVarint(out_, expected_records >= 0 ? static_cast<uint64_t>(expected_records) + 1 : 0);
 }
 
 BinaryTraceWriter::~BinaryTraceWriter() { Finish(); }
@@ -133,9 +138,13 @@ void BinaryTraceWriter::Finish() {
 }
 
 BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
-  char magic[sizeof(kMagic)];
+  char magic[sizeof(kMagicV2)];
   in_.read(magic, sizeof(magic));
-  if (in_.gcount() != sizeof(magic) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  const bool v1 = in_.gcount() == sizeof(magic) &&
+                  std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  const bool v2 = in_.gcount() == sizeof(magic) &&
+                  std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v1 && !v2) {
     status_ = Status::Error("bad magic: not a bsdtrace binary trace");
     done_ = true;
     return;
@@ -143,6 +152,18 @@ BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
   if (!GetString(in_, &header_.machine) || !GetString(in_, &header_.description)) {
     status_ = Status::Error("truncated trace header");
     done_ = true;
+    return;
+  }
+  if (v2) {
+    uint64_t count_plus_one = 0;
+    if (!GetVarint(in_, &count_plus_one)) {
+      status_ = Status::Error("truncated trace header");
+      done_ = true;
+      return;
+    }
+    if (count_plus_one > 0) {
+      declared_record_count_ = static_cast<int64_t>(count_plus_one - 1);
+    }
   }
 }
 
@@ -374,7 +395,7 @@ StatusOr<Trace> ReadTextTrace(std::istream& in) {
 }
 
 void WriteBinaryTrace(std::ostream& out, const Trace& trace) {
-  BinaryTraceWriter writer(out, trace.header());
+  BinaryTraceWriter writer(out, trace.header(), static_cast<int64_t>(trace.size()));
   for (const TraceRecord& r : trace.records()) {
     writer.Append(r);
   }
@@ -387,6 +408,10 @@ StatusOr<Trace> ReadBinaryTrace(std::istream& in) {
     return reader.status();
   }
   Trace trace(reader.header());
+  if (reader.declared_record_count() > 0) {
+    // One up-front allocation instead of log2(N) doublings on large traces.
+    trace.Reserve(static_cast<size_t>(reader.declared_record_count()));
+  }
   TraceRecord r;
   while (reader.Next(&r)) {
     trace.Append(r);

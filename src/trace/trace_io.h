@@ -1,14 +1,19 @@
 // Trace serialization: a compact binary format and a line-oriented text
 // format, plus whole-file convenience helpers.
 //
-// Binary format (version 1):
-//   magic   "BSDTRC1\n" (8 bytes)
-//   header  varint-length-prefixed machine string, then description string
+// Binary format (version 2):
+//   magic   "BSDTRC2\n" (8 bytes)
+//   header  varint-length-prefixed machine string, then description string,
+//           then a varint record count: 0 = unknown (streamed), else N+1 for
+//           a trace of N records (lets loaders reserve() the record vector
+//           instead of reallocating while reading large traces)
 //   records sequence of:
 //             u8      event type (EventType, 1..7)
 //             varint  time delta vs. previous record, microseconds (zigzag)
 //             varints per-type payload fields (see trace_io.cc)
 //   end     u8 0 sentinel
+//
+// Version 1 ("BSDTRC1\n", no record count) is still read transparently.
 //
 // Varints are LEB128; times are delta-encoded because trace records are in
 // time order, which keeps the common case to 1-3 bytes.  The paper logged
@@ -27,9 +32,13 @@ namespace bsdtrace {
 
 // Streaming binary writer.  Writes the header on construction; call Finish()
 // (or let the destructor do it) to emit the end-of-stream sentinel.
+// `expected_records` is written into the header when non-negative so readers
+// can pre-size their buffers; pass -1 (the default) when streaming a record
+// count that is not known up front.
 class BinaryTraceWriter : public TraceSink {
  public:
-  BinaryTraceWriter(std::ostream& out, const TraceHeader& header);
+  BinaryTraceWriter(std::ostream& out, const TraceHeader& header,
+                    int64_t expected_records = -1);
   ~BinaryTraceWriter() override;
 
   BinaryTraceWriter(const BinaryTraceWriter&) = delete;
@@ -56,6 +65,11 @@ class BinaryTraceReader {
   Status status() const { return status_; }
   const TraceHeader& header() const { return header_; }
 
+  // Record count declared in the header, or -1 if the stream did not carry
+  // one (v1 files, or a writer that streamed an unknown count).  Advisory:
+  // reading always continues to the end sentinel regardless.
+  int64_t declared_record_count() const { return declared_record_count_; }
+
   // Reads the next record into *record.  Returns false at end of stream or on
   // error (distinguish via status()).
   bool Next(TraceRecord* record);
@@ -65,6 +79,7 @@ class BinaryTraceReader {
   TraceHeader header_;
   Status status_ = Status::Ok();
   int64_t prev_time_us_ = 0;
+  int64_t declared_record_count_ = -1;
   bool done_ = false;
 };
 

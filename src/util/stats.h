@@ -18,7 +18,20 @@ namespace bsdtrace {
 // Single-pass mean / variance / extrema (Welford's algorithm).
 class RunningStats {
  public:
-  void Add(double x);
+  // Inline: the cache simulator calls this once per eviction.
+  void Add(double x) {
+    if (count_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = x < min_ ? x : min_;
+      max_ = x > max_ ? x : max_;
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
 
   int64_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }

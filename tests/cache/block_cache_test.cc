@@ -46,9 +46,7 @@ TEST(BlockCache, EvictsLeastRecentlyUsed) {
 TEST(BlockCache, EvictionSeesDirtyFlag) {
   BlockCache cache(1);
   cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
-  CacheEntry* e = cache.Touch(Key(1, 0));
-  e->dirty = true;
-  cache.NoteDirtied();
+  cache.MarkDirty(cache.Touch(Key(1, 0)));
   bool saw_dirty = false;
   cache.Insert(Key(2, 0), SimTime::Origin(),
                [&](const CacheEntry& victim) { saw_dirty = victim.dirty; });
@@ -110,11 +108,46 @@ TEST(BlockCache, DirtyCountBookkeeping) {
   BlockCache cache(4);
   cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
   EXPECT_EQ(cache.dirty_count(), 0u);
-  cache.Touch(Key(1, 0))->dirty = true;
-  cache.NoteDirtied();
+  cache.MarkDirty(cache.Touch(Key(1, 0)));
   EXPECT_EQ(cache.dirty_count(), 1u);
+  cache.MarkClean(cache.Touch(Key(1, 0)));
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  cache.MarkDirty(cache.Touch(Key(1, 0)));
   cache.Remove(Key(1, 0), [](const CacheEntry&) {});
   EXPECT_EQ(cache.dirty_count(), 0u);
+}
+
+// DrainDirty must visit exactly the dirty blocks, clear them, and survive
+// interleaved evictions that recycle dirty slots.
+TEST(BlockCache, DrainDirtyWalksOnlyDirtyChain) {
+  BlockCache cache(4);
+  CacheEntry* a = cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
+  cache.Insert(Key(1, 1), SimTime::Origin(), NoEvict());
+  CacheEntry* c = cache.Insert(Key(1, 2), SimTime::Origin(), NoEvict());
+  cache.Insert(Key(1, 3), SimTime::Origin(), NoEvict());
+  cache.MarkDirty(a);
+  cache.MarkDirty(c);
+  std::vector<BlockKey> cleaned;
+  cache.DrainDirty([&](CacheEntry& e) { cleaned.push_back(e.key); });
+  ASSERT_EQ(cleaned.size(), 2u);
+  EXPECT_EQ(cache.dirty_count(), 0u);
+  EXPECT_FALSE(cache.Touch(Key(1, 0))->dirty);
+  EXPECT_FALSE(cache.Touch(Key(1, 2))->dirty);
+  // Dirty again, then evict one dirty block: the chain must stay consistent.
+  cache.MarkDirty(cache.Touch(Key(1, 1)));
+  cache.MarkDirty(cache.Touch(Key(1, 3)));
+  ASSERT_NE(cache.Touch(Key(1, 3)), nullptr);  // make 1 the LRU victim
+  ASSERT_NE(cache.Touch(Key(1, 0)), nullptr);
+  ASSERT_NE(cache.Touch(Key(1, 2)), nullptr);
+  bool evicted_dirty = false;
+  cache.Insert(Key(2, 0), SimTime::Origin(),
+               [&](const CacheEntry& victim) { evicted_dirty = victim.dirty; });
+  EXPECT_TRUE(evicted_dirty);
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  cleaned.clear();
+  cache.DrainDirty([&](CacheEntry& e) { cleaned.push_back(e.key); });
+  ASSERT_EQ(cleaned.size(), 1u);
+  EXPECT_EQ(cleaned[0], Key(1, 3));
 }
 
 TEST(BlockCache, CapacityOne) {
@@ -126,6 +159,105 @@ TEST(BlockCache, CapacityOne) {
   }
   EXPECT_EQ(evictions, 9);
   EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BlockCache, FifoIgnoresReuse) {
+  BlockCache cache(2, ReplacementPolicy::kFifo);
+  cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
+  cache.Insert(Key(1, 1), SimTime::Origin(), NoEvict());
+  ASSERT_NE(cache.Touch(Key(1, 0)), nullptr);  // reuse must NOT protect 0
+  std::vector<BlockKey> evicted;
+  cache.Insert(Key(1, 2), SimTime::Origin(),
+               [&](const CacheEntry& victim) { evicted.push_back(victim.key); });
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], Key(1, 0));  // oldest-loaded goes first
+}
+
+TEST(BlockCache, ClockGivesSecondChance) {
+  BlockCache cache(3, ReplacementPolicy::kClock);
+  cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
+  cache.Insert(Key(1, 1), SimTime::Origin(), NoEvict());
+  cache.Insert(Key(1, 2), SimTime::Origin(), NoEvict());
+  // Reference 0 and 1; 2 is the only unreferenced block, so the sweep spares
+  // the referenced ones once and evicts 2 despite it being newest.
+  ASSERT_NE(cache.Touch(Key(1, 0)), nullptr);
+  ASSERT_NE(cache.Touch(Key(1, 1)), nullptr);
+  std::vector<BlockKey> evicted;
+  cache.Insert(Key(1, 3), SimTime::Origin(),
+               [&](const CacheEntry& victim) { evicted.push_back(victim.key); });
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], Key(1, 2));
+  // The sweep consumed 0's and 1's reference bits: next eviction takes the
+  // tail without protection.
+  cache.Insert(Key(1, 4), SimTime::Origin(),
+               [&](const CacheEntry& victim) { evicted.push_back(victim.key); });
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_NE(cache.Touch(Key(1, 3)), nullptr);  // the newly-inserted survive
+  EXPECT_NE(cache.Touch(Key(1, 4)), nullptr);
+}
+
+TEST(BlockCache, ClockAllReferencedFallsBackToFullSweep) {
+  BlockCache cache(2, ReplacementPolicy::kClock);
+  cache.Insert(Key(1, 0), SimTime::Origin(), NoEvict());
+  cache.Insert(Key(1, 1), SimTime::Origin(), NoEvict());
+  ASSERT_NE(cache.Touch(Key(1, 0)), nullptr);
+  ASSERT_NE(cache.Touch(Key(1, 1)), nullptr);
+  int evictions = 0;
+  cache.Insert(Key(1, 2), SimTime::Origin(), [&](const CacheEntry&) { ++evictions; });
+  EXPECT_EQ(evictions, 1);  // sweep clears every bit, then evicts
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// Per-file invalidation must stay consistent while slab slots are recycled
+// through evictions (the intrusive chain is rebuilt per slot reuse).
+TEST(BlockCache, PerFileChainSurvivesSlotReuse) {
+  BlockCache cache(4);
+  int evictions = 0;
+  auto count_evict = [&](const CacheEntry&) { ++evictions; };
+  // Three rounds of churn across two files through the same four slots.
+  for (uint64_t round = 0; round < 3; ++round) {
+    cache.Insert(Key(1, 10 * round + 0), SimTime::Origin(), count_evict);
+    cache.Insert(Key(2, 10 * round + 1), SimTime::Origin(), count_evict);
+    cache.Insert(Key(1, 10 * round + 2), SimTime::Origin(), count_evict);
+    cache.Insert(Key(2, 10 * round + 3), SimTime::Origin(), count_evict);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(evictions, 8);
+  // Last round resident: file 1 blocks {20, 22}, file 2 blocks {21, 23}.
+  std::vector<BlockKey> dropped;
+  cache.RemoveFileBlocks(1, 0, [&](const CacheEntry& e) { dropped.push_back(e.key); });
+  EXPECT_EQ(dropped.size(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Touch(Key(1, 20)), nullptr);
+  EXPECT_EQ(cache.Touch(Key(1, 22)), nullptr);
+  EXPECT_NE(cache.Touch(Key(2, 21)), nullptr);
+  EXPECT_NE(cache.Touch(Key(2, 23)), nullptr);
+  // Partial invalidation of file 2 from index 23 upward.
+  dropped.clear();
+  cache.RemoveFileBlocks(2, 23, [&](const CacheEntry& e) { dropped.push_back(e.key); });
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], Key(2, 23));
+  EXPECT_NE(cache.Touch(Key(2, 21)), nullptr);
+}
+
+TEST(BlockCache, EvictionOrderUnderChurn) {
+  // Insert 1..6 into a 4-slot LRU, touching 1 and 2 mid-stream: the eviction
+  // order must follow recency exactly (3, 4, then 1 ...).
+  BlockCache cache(4);
+  std::vector<BlockKey> evicted;
+  auto log_evict = [&](const CacheEntry& e) { evicted.push_back(e.key); };
+  for (uint64_t i = 1; i <= 4; ++i) {
+    cache.Insert(Key(1, i), SimTime::Origin(), log_evict);
+  }
+  ASSERT_NE(cache.Touch(Key(1, 1)), nullptr);
+  ASSERT_NE(cache.Touch(Key(1, 2)), nullptr);
+  cache.Insert(Key(1, 5), SimTime::Origin(), log_evict);
+  cache.Insert(Key(1, 6), SimTime::Origin(), log_evict);
+  cache.Insert(Key(1, 7), SimTime::Origin(), log_evict);
+  ASSERT_EQ(evicted.size(), 3u);
+  EXPECT_EQ(evicted[0], Key(1, 3));
+  EXPECT_EQ(evicted[1], Key(1, 4));
+  EXPECT_EQ(evicted[2], Key(1, 1));
 }
 
 TEST(BlockCacheKey, HashDistinguishesFileAndIndex) {

@@ -1,0 +1,104 @@
+#include "src/util/flat_map.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace bsdtrace {
+namespace {
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<uint64_t, int, IdHash> map(0);
+  EXPECT_EQ(map.Find(7), nullptr);
+  map[7] = 42;
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(7), 42);
+  EXPECT_EQ(map.size(), 1u);
+  map[7] = 43;  // overwrite, not duplicate
+  EXPECT_EQ(*map.Find(7), 43);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_FALSE(map.Erase(7));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(FlatMap, FindOrInsertKeepsExisting) {
+  FlatMap<uint64_t, int, IdHash> map(0);
+  EXPECT_EQ(map.FindOrInsert(5, 10), 10);
+  EXPECT_EQ(map.FindOrInsert(5, 99), 10);
+}
+
+TEST(FlatMap, GrowsPastReserveAndRetainsEntries) {
+  FlatMap<uint64_t, uint64_t, IdHash> map(0, 16);
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    map[k] = k * 3;
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_NE(map.Find(k), nullptr) << k;
+    EXPECT_EQ(*map.Find(k), k * 3);
+  }
+}
+
+// Degenerate hash forcing every key into one probe chain: exercises the
+// backward-shift deletion across wrapped, maximally-colliding chains.
+struct CollideHash {
+  size_t operator()(uint64_t) const { return 3; }
+};
+
+TEST(FlatMap, BackwardShiftEraseUnderFullCollision) {
+  FlatMap<uint64_t, uint64_t, CollideHash> map(0, 64);
+  for (uint64_t k = 1; k <= 20; ++k) {
+    map[k] = k;
+  }
+  // Erase from the middle, the front, and the back of the chain.
+  for (uint64_t k : {10ull, 1ull, 20ull, 15ull, 2ull}) {
+    ASSERT_TRUE(map.Erase(k));
+  }
+  for (uint64_t k = 1; k <= 20; ++k) {
+    const bool erased = k == 10 || k == 1 || k == 20 || k == 15 || k == 2;
+    if (erased) {
+      EXPECT_EQ(map.Find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(map.Find(k), nullptr) << k;
+      EXPECT_EQ(*map.Find(k), k);
+    }
+  }
+  EXPECT_EQ(map.size(), 15u);
+}
+
+// Randomized differential test against std::unordered_map.
+TEST(FlatMap, MatchesUnorderedMapUnderRandomChurn) {
+  FlatMap<uint64_t, uint64_t, IdHash> map(0, 16);
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(2026);
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t key = static_cast<uint64_t>(rng.UniformInt(1, 500));
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        map[key] = static_cast<uint64_t>(step);
+        ref[key] = static_cast<uint64_t>(step);
+        break;
+      case 1:
+        EXPECT_EQ(map.Erase(key), ref.erase(key) > 0);
+        break;
+      default: {
+        const uint64_t* found = map.Find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end()) << key;
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), ref.size());
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,141 @@
+// Parity between the two-phase sweep engine and the direct path: replaying a
+// ReplayLog through the simulator must give bit-identical CacheMetrics to
+// running AccessReconstructor straight into it, for every Fig. 5/6/7
+// configuration and both billing policies.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/sweep.h"
+#include "src/trace/replay_log.h"
+#include "src/workload/generator.h"
+#include "src/workload/profile.h"
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+// Exact (bit-level) equality of every metric, including the floating-point
+// residency statistics: both paths must perform the identical Add() sequence.
+void ExpectIdentical(const CacheMetrics& a, const CacheMetrics& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.logical_accesses, b.logical_accesses) << label;
+  EXPECT_EQ(a.read_accesses, b.read_accesses) << label;
+  EXPECT_EQ(a.write_accesses, b.write_accesses) << label;
+  EXPECT_EQ(a.metadata_accesses, b.metadata_accesses) << label;
+  EXPECT_EQ(a.disk_reads, b.disk_reads) << label;
+  EXPECT_EQ(a.disk_writes, b.disk_writes) << label;
+  EXPECT_EQ(a.dirty_discarded, b.dirty_discarded) << label;
+  EXPECT_EQ(a.evictions, b.evictions) << label;
+  EXPECT_EQ(a.residency_over_20min, b.residency_over_20min) << label;
+  EXPECT_EQ(a.residency_samples, b.residency_samples) << label;
+  EXPECT_EQ(a.residency_seconds.count(), b.residency_seconds.count()) << label;
+  EXPECT_EQ(a.residency_seconds.sum(), b.residency_seconds.sum()) << label;
+  EXPECT_EQ(a.residency_seconds.mean(), b.residency_seconds.mean()) << label;
+  EXPECT_EQ(a.residency_seconds.variance(), b.residency_seconds.variance()) << label;
+  EXPECT_EQ(a.residency_seconds.min(), b.residency_seconds.min()) << label;
+  EXPECT_EQ(a.residency_seconds.max(), b.residency_seconds.max()) << label;
+}
+
+void CheckAllConfigs(const Trace& trace) {
+  std::vector<CacheConfig> configs = Fig5Configs();
+  for (const CacheConfig& c : Fig6Configs()) {
+    configs.push_back(c);
+  }
+  for (const CacheConfig& c : Fig7Configs()) {
+    configs.push_back(c);
+  }
+  for (BillingPolicy billing : {BillingPolicy::kAtNextEvent, BillingPolicy::kAtPreviousEvent}) {
+    const ReplayLog log = ReplayLog::Build(trace, billing);
+    for (const CacheConfig& c : configs) {
+      const CacheMetrics direct = SimulateCache(trace, c, billing);
+      const CacheMetrics replayed = SimulateCache(log, c);
+      ExpectIdentical(direct, replayed,
+                      c.ToString() + (billing == BillingPolicy::kAtNextEvent
+                                          ? " / billed-at-next"
+                                          : " / billed-at-previous"));
+    }
+  }
+}
+
+TEST(ReplayParity, GeneratedA5Trace) {
+  GeneratorOptions options;
+  options.duration = Duration::Minutes(20);
+  options.seed = 8551;
+  CheckAllConfigs(GenerateTraceOnly(ProfileA5(), options));
+}
+
+// Hand-built trace exercising the invalidation and page-in paths: seeks,
+// truncates, unlinks, execve, read-write opens, and an orphan close.
+TEST(ReplayParity, HandBuiltEdgeCases) {
+  TraceBuilder b;
+  b.WholeWrite(1.0, 2.0, 1, 10, 64 << 10);
+  b.Open(3.0, 2, 10, 64 << 10, AccessMode::kReadWrite);
+  b.Seek(4.0, 2, 10, 4096, 32 << 10);
+  b.Seek(5.0, 2, 10, 48 << 10, 0);
+  b.Close(6.0, 2, 10, 80 << 10, 80 << 10);  // extends the file: write runs
+  b.Truncate(7.0, 10, 8 << 10);
+  b.WholeRead(8.0, 9.0, 3, 11, 24 << 10);
+  b.Execve(10.0, 11, 24 << 10);
+  b.Unlink(11.0, 10);
+  b.Close(12.0, 99, 50, 100, 100);  // orphan close (never opened)
+  b.WholeWrite(13.0, 14.0, 4, 12, 4 << 10);
+  // Long idle gap so flush-back intervals elapse, then more traffic.
+  b.WholeRead(700.0, 701.0, 5, 11, 24 << 10);
+  CheckAllConfigs(b.Build());
+}
+
+// With metadata simulation on, replay must also reproduce the i-node and
+// directory accesses keyed off open/close/unlink records.
+TEST(ReplayParity, MetadataSimulation) {
+  GeneratorOptions options;
+  options.duration = Duration::Minutes(10);
+  options.seed = 8552;
+  const Trace trace = GenerateTraceOnly(ProfileA5(), options);
+  const ReplayLog log = ReplayLog::Build(trace);
+  for (uint64_t size : {400ull << 10, 4ull << 20}) {
+    CacheConfig c;
+    c.size_bytes = size;
+    c.policy = WritePolicy::kFlushBack;
+    c.flush_interval = Duration::Seconds(30);
+    c.simulate_metadata = true;
+    ExpectIdentical(SimulateCache(trace, c), SimulateCache(log, c), c.ToString());
+  }
+}
+
+// The sweep built from a trace and the sweep over a prebuilt log agree, and
+// parallel workers sharing one log match the sequential result.
+TEST(ReplayParity, SweepOverSharedLog) {
+  GeneratorOptions options;
+  options.duration = Duration::Minutes(10);
+  options.seed = 8553;
+  const Trace trace = GenerateTraceOnly(ProfileA5(), options);
+  const ReplayLog log = ReplayLog::Build(trace);
+  const auto from_trace = RunCacheSweep(trace, Fig5Configs(), 1);
+  const auto from_log = RunCacheSweep(log, Fig5Configs(), 8);
+  ASSERT_EQ(from_trace.size(), from_log.size());
+  for (size_t i = 0; i < from_trace.size(); ++i) {
+    ExpectIdentical(from_trace[i].metrics, from_log[i].metrics,
+                    from_trace[i].config.ToString());
+  }
+}
+
+TEST(ReplayLogStats, CountsAndBilling) {
+  TraceBuilder b;
+  b.WholeRead(1.0, 2.0, 1, 7, 8192);
+  b.WholeWrite(3.0, 4.0, 2, 8, 4096);
+  const Trace trace = b.Build();
+  const ReplayLog log = ReplayLog::Build(trace, BillingPolicy::kAtPreviousEvent);
+  EXPECT_EQ(log.billing(), BillingPolicy::kAtPreviousEvent);
+  EXPECT_EQ(log.record_count(), trace.size());
+  EXPECT_EQ(log.transfer_count(), 2u);
+  EXPECT_EQ(log.event_count(), trace.size() + 2);
+  EXPECT_EQ(log.distinct_files(), 2u);
+  EXPECT_EQ(log.dangling_opens(), 0u);
+  EXPECT_EQ(log.orphan_events(), 0u);
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -113,6 +113,42 @@ TEST(BinaryTraceIo, StreamingReaderDeliversInOrder) {
   EXPECT_EQ(i, original.size());
 }
 
+TEST(BinaryTraceIo, HeaderDeclaresRecordCount) {
+  const Trace original = SampleTrace();
+  std::stringstream buf;
+  WriteBinaryTrace(buf, original);
+  BinaryTraceReader reader(buf);
+  ASSERT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.declared_record_count(), static_cast<int64_t>(original.size()));
+}
+
+TEST(BinaryTraceIo, StreamingWriterDeclaresUnknownCount) {
+  std::stringstream buf;
+  {
+    BinaryTraceWriter writer(buf, TraceHeader{});  // count not known up front
+    writer.Append(MakeUnlink(SimTime::FromSeconds(1), 1, 1));
+    writer.Finish();
+  }
+  BinaryTraceReader reader(buf);
+  ASSERT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.declared_record_count(), -1);
+  TraceRecord r;
+  EXPECT_TRUE(reader.Next(&r));
+  EXPECT_FALSE(reader.Next(&r));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(BinaryTraceIo, ReadsVersion1FilesWithoutCount) {
+  // Hand-encoded v1 stream: old magic, machine "m", empty description, end
+  // sentinel — no record-count varint.
+  const std::string v1 = std::string("BSDTRC1\n") + '\x01' + 'm' + '\x00' + '\x00';
+  std::stringstream buf(v1);
+  auto loaded = ReadBinaryTrace(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().header().machine, "m");
+  EXPECT_EQ(loaded.value().size(), 0u);
+}
+
 TEST(BinaryTraceIo, RejectsBadMagic) {
   std::stringstream buf("not a trace at all");
   auto loaded = ReadBinaryTrace(buf);
@@ -147,7 +183,8 @@ TEST(BinaryTraceIo, RejectsCorruptEventType) {
   WriteBinaryTrace(buf, original);
   std::string data = buf.str();
   // The first record's type byte follows the header; smash it.
-  const size_t header_size = 8 + 1 + 7 + 1 + 6;  // magic + len+machine + len+desc
+  // magic + len+machine + len+desc + record count varint
+  const size_t header_size = 8 + 1 + 7 + 1 + 6 + 1;
   data[header_size] = static_cast<char>(0x7E);
   std::stringstream bad(data);
   auto loaded = ReadBinaryTrace(bad);
