@@ -1,0 +1,118 @@
+// Microbench for the sharded generation engine: times serial GenerateTrace
+// against GenerateTraceSharded for the same profile/seed/duration, verifies
+// the shards=1 path is byte-identical to the serial one, and emits one
+// machine-readable JSON line plus a BENCH_micro_generate.json file.
+//
+// Defaults: the paper's Ucbarpa-class profile (A5) over 24 simulated hours,
+// 8 shards, one worker thread per hardware thread.  Override with
+// BSDTRACE_HOURS / BSDTRACE_SHARDS / BSDTRACE_THREADS.  The speedup is only
+// meaningful on multi-core hardware, so `threads` and `hw_threads` are part
+// of the JSON record.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/trace/trace_io.h"
+#include "src/workload/generator.h"
+#include "src/workload/profile.h"
+#include "src/workload/sharded_generator.h"
+
+namespace bsdtrace {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::string Serialize(const Trace& trace) {
+  std::ostringstream out;
+  WriteBinaryTrace(out, trace);
+  return std::move(out).str();
+}
+
+}  // namespace
+}  // namespace bsdtrace
+
+int main() {
+  using namespace bsdtrace;
+  double hours = 24.0;
+  int shards = 8;
+  int threads = 0;  // hardware concurrency
+  if (const char* env = std::getenv("BSDTRACE_HOURS")) {
+    hours = std::max(0.01, std::atof(env));
+  }
+  if (const char* env = std::getenv("BSDTRACE_SHARDS")) {
+    shards = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("BSDTRACE_THREADS")) {
+    threads = std::atoi(env);
+  }
+  const int hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+
+  const MachineProfile profile = ProfileA5();
+  GeneratorOptions options;
+  options.duration = Duration::Hours(hours);
+  options.seed = 19851201;
+
+  ShardedGeneratorOptions sharded_options;
+  sharded_options.base = options;
+  sharded_options.shard_count = shards;
+  sharded_options.threads = threads;
+
+  std::printf("bench_micro_generate: %s, %.2f simulated hours, %d shards, %d threads (hw %d)\n",
+              profile.trace_name.c_str(), hours, shards, threads, hw_threads);
+
+  // Min-of-N timing with an untimed warmup iteration.
+  constexpr int kReps = 3;
+  double serial_s = 1e300;
+  double sharded_s = 1e300;
+  size_t serial_records = 0;
+  size_t sharded_records = 0;
+  for (int rep = -1; rep < kReps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    const GenerationResult serial = GenerateTrace(profile, options);
+    if (rep >= 0) {
+      serial_s = std::min(serial_s, SecondsSince(t0));
+    }
+    serial_records = serial.trace.size();
+
+    t0 = std::chrono::steady_clock::now();
+    const GenerationResult sharded = GenerateTraceSharded(profile, sharded_options);
+    if (rep >= 0) {
+      sharded_s = std::min(sharded_s, SecondsSince(t0));
+    }
+    sharded_records = sharded.trace.size();
+  }
+
+  // Parity gate: shards = 1 must reproduce the serial trace byte for byte.
+  ShardedGeneratorOptions one_shard = sharded_options;
+  one_shard.shard_count = 1;
+  const bool shard1_identical =
+      Serialize(GenerateTraceSharded(profile, one_shard).trace) ==
+      Serialize(GenerateTrace(profile, options).trace);
+
+  const double speedup = sharded_s > 0 ? serial_s / sharded_s : 0;
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"micro_generate\",\"hours\":%.2f,\"records\":%zu,"
+                "\"sharded_records\":%zu,\"shards\":%d,\"threads\":%d,\"hw_threads\":%d,"
+                "\"serial_s\":%.4f,\"sharded_s\":%.4f,\"speedup\":%.2f,"
+                "\"shard1_identical\":%s}",
+                hours, serial_records, sharded_records, shards, threads, hw_threads, serial_s,
+                sharded_s, speedup, shard1_identical ? "true" : "false");
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen("BENCH_micro_generate.json", "w")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+  if (!shard1_identical) {
+    std::fprintf(stderr, "FAIL: shards=1 trace differs from the serial reference\n");
+    return 1;
+  }
+  return 0;
+}

@@ -5,7 +5,9 @@
 // BENCH_micro_replay.json file so the perf trajectory can be tracked.
 //
 // Both paths run single-threaded so the ratio isolates the engine change.
-// Default trace length is 2 simulated hours (set BSDTRACE_HOURS to change).
+// Default trace length is 6 simulated hours — a representative multi-hour
+// working day, long enough that the sweep dominates setup noise (set
+// BSDTRACE_HOURS to change).
 
 #include <algorithm>
 #include <chrono>
@@ -42,7 +44,7 @@ bool MetricsEqual(const CacheMetrics& a, const CacheMetrics& b) {
 
 int main() {
   using namespace bsdtrace;
-  double hours = 2.0;
+  double hours = 6.0;
   if (const char* env = std::getenv("BSDTRACE_HOURS")) {
     hours = std::max(0.01, std::atof(env));
   }
@@ -95,11 +97,12 @@ int main() {
 
   char json[512];
   std::snprintf(json, sizeof(json),
-                "{\"bench\":\"micro_replay\",\"records\":%zu,\"configs\":%zu,"
+                "{\"bench\":\"micro_replay\",\"records\":%zu,\"hours\":%.2f,"
+                "\"trace_duration_s\":%.1f,\"configs\":%zu,"
                 "\"reconstruct_per_config_s\":%.4f,\"replay_log_s\":%.4f,"
                 "\"log_build_s\":%.4f,\"speedup\":%.2f,\"identical\":%s}",
-                trace.size(), configs.size(), reconstruct_s, replay_s, build_s, speedup,
-                identical ? "true" : "false");
+                trace.size(), hours, trace.duration().seconds(), configs.size(), reconstruct_s,
+                replay_s, build_s, speedup, identical ? "true" : "false");
   std::printf("%s\n", json);
   if (std::FILE* f = std::fopen("BENCH_micro_replay.json", "w")) {
     std::fprintf(f, "%s\n", json);

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 check: configure, build, run the full test suite, then re-run the
-# replay-parity tests explicitly (the bit-identical guarantee the two-phase
-# sweep engine depends on).  Usage: scripts/check.sh [build-dir]
+# bit-identical guarantees explicitly — replay parity (the two-phase sweep
+# engine) and sharded-generation determinism (the parallel generator).
+# Usage: scripts/check.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,5 +12,6 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 "$BUILD_DIR"/tests/cache_tests --gtest_filter='ReplayParity.*:ReplayLogStats.*'
+"$BUILD_DIR"/tests/workload_tests --gtest_filter='ShardedGenerator.*'
 
 echo "check.sh: all tests passed"

@@ -43,7 +43,7 @@ std::optional<FragExtent> BlockAllocator::AllocateBlock() {
 }
 
 std::optional<FragExtent> BlockAllocator::AllocateFragments(uint32_t frag_count) {
-  assert(frag_count >= 1 && frag_count < frags_per_block_);
+  assert(frag_count >= 1 && frag_count <= frags_per_block_);
   if (free_frags_ < frag_count) {
     return std::nullopt;
   }

@@ -41,7 +41,9 @@ class BlockAllocator {
 
   // Allocates `frag_count` contiguous fragments that do not cross a block
   // boundary (a tail allocation).  frag_count must be in
-  // [1, frags_per_block - 1].
+  // [1, frags_per_block]: a tail of `new_size % block_size` bytes rounds up
+  // to a full block of fragments when it lands in the last fragment, so the
+  // upper bound is inclusive (the scan then finds a fully free block).
   std::optional<FragExtent> AllocateFragments(uint32_t frag_count);
 
   // Frees a previously-allocated extent.  Double frees are detected by

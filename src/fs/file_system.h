@@ -167,6 +167,10 @@ class FileSystem {
   FsResult<std::vector<std::string>> ListDirectory(const std::string& path) const;
   FsStatistics Statistics() const;
   const FsOptions& options() const { return options_; }
+  // Highest FileId assigned so far (ids are sequential and never reused).
+  // Lets image builders record watermarks separating deterministic shared
+  // state from later per-shard allocations.
+  FileId LastAssignedFileId() const { return next_file_id_ - 1; }
   // Visits every live inode (consistency checking, reporting).
   void ForEachInode(const std::function<void(const Inode&)>& fn) const;
   const BlockAllocator& allocator() const { return allocator_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/trace/trace_io.h"
 #include "src/util/flat_map.h"
 
 namespace bsdtrace {
@@ -53,6 +54,37 @@ ReplayLog ReplayLog::Build(const Trace& trace, BillingPolicy billing) {
   AccessReconstructor reconstructor(&sink, billing);
   for (const TraceRecord& r : trace.records()) {
     reconstructor.Process(r);
+  }
+  reconstructor.Finish();
+  log.events_.shrink_to_fit();
+  log.transfer_count_ = sink.transfer_count;
+  log.dangling_opens_ = reconstructor.dangling_opens();
+  log.orphan_events_ = reconstructor.orphan_events();
+  log.BuildDerivedStreams();
+  return log;
+}
+
+StatusOr<ReplayLog> ReplayLog::BuildFromFile(const std::string& path, BillingPolicy billing) {
+  TraceFileReader reader(path);
+  if (!reader.status().ok()) {
+    return reader.status();
+  }
+  ReplayLog log;
+  log.billing_ = billing;
+  if (reader.declared_record_count() > 0) {
+    log.events_.reserve(static_cast<size_t>(reader.declared_record_count()) * 2);
+  }
+  RecordingSink sink(&log.events_);
+  AccessReconstructor reconstructor(&sink, billing);
+  // Records stream from the block-buffered reader straight into the
+  // reconstructor — the full Trace is never materialized, so building a log
+  // from an on-disk trace peaks at the size of the log, not trace + log.
+  TraceRecord r;
+  while (reader.Next(&r)) {
+    reconstructor.Process(r);
+  }
+  if (!reader.status().ok()) {
+    return reader.status();
   }
   reconstructor.Finish();
   log.events_.shrink_to_fit();

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/trace/io_buffer.h"
+
 namespace bsdtrace {
 namespace {
 
@@ -14,20 +16,81 @@ constexpr char kMagicV1[8] = {'B', 'S', 'D', 'T', 'R', 'C', '1', '\n'};
 constexpr char kMagicV2[8] = {'B', 'S', 'D', 'T', 'R', 'C', '2', '\n'};
 constexpr uint8_t kEndSentinel = 0;
 
-void PutVarint(std::ostream& out, uint64_t v) {
+// The codec is templated over byte sinks/sources so the legacy iostream path
+// and the block-buffered path share one encoding (and stay byte-identical).
+//
+// Sink concept:   void put(uint8_t);  void write(const void*, size_t);
+// Source concept: int get();          bool read(void*, size_t);
+
+struct OstreamSink {
+  std::ostream& out;
+  void put(uint8_t b) { out.put(static_cast<char>(b)); }
+  void write(const void* p, size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  }
+};
+
+struct BufferedSink {
+  BufferedWriter& out;
+  void put(uint8_t b) { out.PutByte(b); }
+  void write(const void* p, size_t n) { out.Write(p, n); }
+};
+
+// Unchecked raw-memory sink for the record fast path: the caller reserves
+// kMaxRecordEncoding bytes up front.
+struct PtrSink {
+  uint8_t* p;
+  void put(uint8_t b) { *p++ = b; }
+  void write(const void* src, size_t n) {
+    std::memcpy(p, src, n);
+    p += n;
+  }
+};
+
+struct IstreamSource {
+  std::istream& in;
+  int get() { return in.get(); }
+  bool read(void* p, size_t n) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    return static_cast<size_t>(in.gcount()) == n;
+  }
+};
+
+struct BufferedSource {
+  BufferedReader& in;
+  int get() { return in.GetByte(); }
+  bool read(void* p, size_t n) { return in.Read(p, n); }
+};
+
+// Unchecked raw-memory source for the record fast path: the caller verifies
+// kMaxRecordEncoding contiguous bytes up front, and the decoder consumes at
+// most that many even on corrupt input (varints are capped at 10 bytes).
+struct PtrSource {
+  const uint8_t* p;
+  int get() { return *p++; }
+  bool read(void* out, size_t n) {
+    std::memcpy(out, p, n);
+    p += n;
+    return true;
+  }
+};
+
+template <typename Sink>
+void PutVarint(Sink& out, uint64_t v) {
   while (v >= 0x80) {
-    out.put(static_cast<char>((v & 0x7F) | 0x80));
+    out.put(static_cast<uint8_t>((v & 0x7F) | 0x80));
     v >>= 7;
   }
-  out.put(static_cast<char>(v));
+  out.put(static_cast<uint8_t>(v));
 }
 
-bool GetVarint(std::istream& in, uint64_t* v) {
+template <typename Source>
+bool GetVarint(Source& in, uint64_t* v) {
   uint64_t result = 0;
   int shift = 0;
   while (true) {
     const int c = in.get();
-    if (c == EOF) {
+    if (c < 0) {
       return false;
     }
     result |= static_cast<uint64_t>(c & 0x7F) << shift;
@@ -51,12 +114,14 @@ int64_t ZigZagDecode(uint64_t v) {
   return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
 }
 
-void PutString(std::ostream& out, const std::string& s) {
+template <typename Sink>
+void PutString(Sink& out, const std::string& s) {
   PutVarint(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  out.write(s.data(), s.size());
 }
 
-bool GetString(std::istream& in, std::string* s) {
+template <typename Source>
+bool GetString(Source& in, std::string* s) {
   uint64_t len = 0;
   if (!GetVarint(in, &len)) {
     return false;
@@ -65,160 +130,107 @@ bool GetString(std::istream& in, std::string* s) {
     return false;
   }
   s->resize(len);
-  in.read(s->data(), static_cast<std::streamsize>(len));
-  return static_cast<uint64_t>(in.gcount()) == len;
+  return in.read(s->data(), len);
 }
 
-}  // namespace
-
-BinaryTraceWriter::BinaryTraceWriter(std::ostream& out, const TraceHeader& header,
-                                     int64_t expected_records)
-    : out_(out) {
-  out_.write(kMagicV2, sizeof(kMagicV2));
-  PutString(out_, header.machine);
-  PutString(out_, header.description);
-  // N+1 so that 0 can mean "count unknown" (streamed traces).
-  PutVarint(out_, expected_records >= 0 ? static_cast<uint64_t>(expected_records) + 1 : 0);
-}
-
-BinaryTraceWriter::~BinaryTraceWriter() { Finish(); }
-
-void BinaryTraceWriter::Append(const TraceRecord& r) {
-  assert(!finished_);
-  out_.put(static_cast<char>(r.type));
-  PutVarint(out_, ZigZagEncode(r.time.micros() - prev_time_us_));
-  prev_time_us_ = r.time.micros();
+// One record: type byte, zigzag time delta, then the per-type payload.
+template <typename Sink>
+void EncodeRecord(Sink& out, const TraceRecord& r, int64_t* prev_time_us) {
+  out.put(static_cast<uint8_t>(r.type));
+  PutVarint(out, ZigZagEncode(r.time.micros() - *prev_time_us));
+  *prev_time_us = r.time.micros();
   switch (r.type) {
     case EventType::kOpen:
     case EventType::kCreate:
-      PutVarint(out_, r.open_id);
-      PutVarint(out_, r.file_id);
-      PutVarint(out_, r.user_id);
-      out_.put(static_cast<char>(r.mode));
-      PutVarint(out_, r.size);
-      PutVarint(out_, r.position);
+      PutVarint(out, r.open_id);
+      PutVarint(out, r.file_id);
+      PutVarint(out, r.user_id);
+      out.put(static_cast<uint8_t>(r.mode));
+      PutVarint(out, r.size);
+      PutVarint(out, r.position);
       break;
     case EventType::kClose:
-      PutVarint(out_, r.open_id);
-      PutVarint(out_, r.file_id);
-      PutVarint(out_, r.position);
-      PutVarint(out_, r.size);
+      PutVarint(out, r.open_id);
+      PutVarint(out, r.file_id);
+      PutVarint(out, r.position);
+      PutVarint(out, r.size);
       break;
     case EventType::kSeek:
-      PutVarint(out_, r.open_id);
-      PutVarint(out_, r.file_id);
-      PutVarint(out_, r.seek_from);
-      PutVarint(out_, r.seek_to);
+      PutVarint(out, r.open_id);
+      PutVarint(out, r.file_id);
+      PutVarint(out, r.seek_from);
+      PutVarint(out, r.seek_to);
       break;
     case EventType::kUnlink:
-      PutVarint(out_, r.file_id);
-      PutVarint(out_, r.user_id);
+      PutVarint(out, r.file_id);
+      PutVarint(out, r.user_id);
       break;
     case EventType::kTruncate:
-      PutVarint(out_, r.file_id);
-      PutVarint(out_, r.user_id);
-      PutVarint(out_, r.size);
+      PutVarint(out, r.file_id);
+      PutVarint(out, r.user_id);
+      PutVarint(out, r.size);
       break;
     case EventType::kExecve:
-      PutVarint(out_, r.file_id);
-      PutVarint(out_, r.user_id);
-      PutVarint(out_, r.size);
+      PutVarint(out, r.file_id);
+      PutVarint(out, r.user_id);
+      PutVarint(out, r.size);
       break;
   }
-  ++records_written_;
 }
 
-void BinaryTraceWriter::Finish() {
-  if (finished_) {
-    return;
-  }
-  out_.put(static_cast<char>(kEndSentinel));
-  out_.flush();
-  finished_ = true;
-}
+enum class DecodeResult : uint8_t { kRecord, kEnd, kError };
 
-BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
-  char magic[sizeof(kMagicV2)];
-  in_.read(magic, sizeof(magic));
-  const bool v1 = in_.gcount() == sizeof(magic) &&
-                  std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
-  const bool v2 = in_.gcount() == sizeof(magic) &&
-                  std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
-  if (!v1 && !v2) {
-    status_ = Status::Error("bad magic: not a bsdtrace binary trace");
-    done_ = true;
-    return;
-  }
-  if (!GetString(in_, &header_.machine) || !GetString(in_, &header_.description)) {
-    status_ = Status::Error("truncated trace header");
-    done_ = true;
-    return;
-  }
-  if (v2) {
-    uint64_t count_plus_one = 0;
-    if (!GetVarint(in_, &count_plus_one)) {
-      status_ = Status::Error("truncated trace header");
-      done_ = true;
-      return;
-    }
-    if (count_plus_one > 0) {
-      declared_record_count_ = static_cast<int64_t>(count_plus_one - 1);
-    }
-  }
-}
-
-bool BinaryTraceReader::Next(TraceRecord* record) {
-  if (done_) {
-    return false;
-  }
-  const int type_byte = in_.get();
-  if (type_byte == EOF) {
-    status_ = Status::Error("unexpected end of stream (missing end sentinel)");
-    done_ = true;
-    return false;
+// Decodes one record (after the caller consumed nothing).  On kError the
+// stream position is unspecified; *error names the cause.
+template <typename Source>
+DecodeResult DecodeRecord(Source& in, TraceRecord* record, int64_t* prev_time_us,
+                          const char** error) {
+  const int type_byte = in.get();
+  if (type_byte < 0) {
+    *error = "unexpected end of stream (missing end sentinel)";
+    return DecodeResult::kError;
   }
   if (type_byte == kEndSentinel) {
-    done_ = true;
-    return false;
+    return DecodeResult::kEnd;
   }
   if (type_byte < 1 || type_byte > 7) {
-    status_ = Status::Error("corrupt record: unknown event type " + std::to_string(type_byte));
-    done_ = true;
-    return false;
+    *error = "corrupt record: unknown event type";
+    return DecodeResult::kError;
   }
 
-  TraceRecord r;
+  // Decode in place (no local + copy-out); on kError the record's contents
+  // are unspecified, per the contract above.
+  *record = TraceRecord{};
+  TraceRecord& r = *record;
   r.type = static_cast<EventType>(type_byte);
   uint64_t v = 0;
   auto fail = [&]() {
-    status_ = Status::Error("truncated record body");
-    done_ = true;
-    return false;
+    *error = "truncated record body";
+    return DecodeResult::kError;
   };
-  if (!GetVarint(in_, &v)) {
+  if (!GetVarint(in, &v)) {
     return fail();
   }
-  prev_time_us_ += ZigZagDecode(v);
-  r.time = SimTime::FromMicros(prev_time_us_);
+  *prev_time_us += ZigZagDecode(v);
+  r.time = SimTime::FromMicros(*prev_time_us);
 
-  auto get = [&](uint64_t* out) { return GetVarint(in_, out); };
+  auto get = [&](uint64_t* out) { return GetVarint(in, out); };
   switch (r.type) {
     case EventType::kOpen:
     case EventType::kCreate: {
-      uint64_t user = 0, mode = 0;
+      uint64_t user = 0;
       if (!get(&r.open_id) || !get(&r.file_id) || !get(&user)) {
         return fail();
       }
-      const int mode_byte = in_.get();
-      if (mode_byte == EOF || mode_byte > 2) {
+      const int mode_byte = in.get();
+      if (mode_byte < 0 || mode_byte > 2) {
         return fail();
       }
-      mode = static_cast<uint64_t>(mode_byte);
       if (!get(&r.size) || !get(&r.position)) {
         return fail();
       }
       r.user_id = static_cast<UserId>(user);
-      r.mode = static_cast<AccessMode>(mode);
+      r.mode = static_cast<AccessMode>(mode_byte);
       break;
     }
     case EventType::kClose:
@@ -249,8 +261,197 @@ bool BinaryTraceReader::Next(TraceRecord* record) {
       break;
     }
   }
-  *record = r;
+  return DecodeResult::kRecord;
+}
+
+template <typename Sink>
+void EncodeHeader(Sink& out, const TraceHeader& header, int64_t expected_records) {
+  out.write(kMagicV2, sizeof(kMagicV2));
+  PutString(out, header.machine);
+  PutString(out, header.description);
+  // N+1 so that 0 can mean "count unknown" (streamed traces).
+  PutVarint(out, expected_records >= 0 ? static_cast<uint64_t>(expected_records) + 1 : 0);
+}
+
+// Parses the magic + header; returns false with *error set on failure.
+// *declared stays -1 for v1 files or unknown counts.
+template <typename Source>
+bool DecodeHeader(Source& in, TraceHeader* header, int64_t* declared, const char** error) {
+  char magic[sizeof(kMagicV2)];
+  const bool got_magic = in.read(magic, sizeof(magic));
+  const bool v1 = got_magic && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  const bool v2 = got_magic && std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v1 && !v2) {
+    *error = "bad magic: not a bsdtrace binary trace";
+    return false;
+  }
+  if (!GetString(in, &header->machine) || !GetString(in, &header->description)) {
+    *error = "truncated trace header";
+    return false;
+  }
+  if (v2) {
+    uint64_t count_plus_one = 0;
+    if (!GetVarint(in, &count_plus_one)) {
+      *error = "truncated trace header";
+      return false;
+    }
+    if (count_plus_one > 0) {
+      *declared = static_cast<int64_t>(count_plus_one - 1);
+    }
+  }
   return true;
+}
+
+}  // namespace
+
+// -- Legacy iostream path -----------------------------------------------------
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& out, const TraceHeader& header,
+                                     int64_t expected_records)
+    : out_(out) {
+  OstreamSink sink{out_};
+  EncodeHeader(sink, header, expected_records);
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() { Finish(); }
+
+void BinaryTraceWriter::Append(const TraceRecord& r) {
+  assert(!finished_);
+  OstreamSink sink{out_};
+  EncodeRecord(sink, r, &prev_time_us_);
+  ++records_written_;
+}
+
+void BinaryTraceWriter::Finish() {
+  if (finished_) {
+    return;
+  }
+  out_.put(static_cast<char>(kEndSentinel));
+  out_.flush();
+  finished_ = true;
+}
+
+BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
+  IstreamSource source{in_};
+  const char* error = nullptr;
+  if (!DecodeHeader(source, &header_, &declared_record_count_, &error)) {
+    status_ = Status::Error(error);
+    done_ = true;
+  }
+}
+
+bool BinaryTraceReader::Next(TraceRecord* record) {
+  if (done_) {
+    return false;
+  }
+  IstreamSource source{in_};
+  const char* error = nullptr;
+  switch (DecodeRecord(source, record, &prev_time_us_, &error)) {
+    case DecodeResult::kRecord:
+      return true;
+    case DecodeResult::kEnd:
+      done_ = true;
+      return false;
+    case DecodeResult::kError:
+      status_ = Status::Error(error);
+      done_ = true;
+      return false;
+  }
+  return false;
+}
+
+// -- Block-buffered file path -------------------------------------------------
+
+TraceFileWriter::TraceFileWriter(const std::string& path, const TraceHeader& header,
+                                 int64_t expected_records)
+    : out_(path) {
+  if (!out_.ok()) {
+    return;
+  }
+  BufferedSink sink{out_};
+  EncodeHeader(sink, header, expected_records);
+}
+
+TraceFileWriter::~TraceFileWriter() { Finish(); }
+
+void TraceFileWriter::Append(const TraceRecord& r) {
+  assert(!finished_);
+  uint8_t* base = out_.Reserve(kMaxRecordEncoding);
+  PtrSink sink{base};
+  EncodeRecord(sink, r, &prev_time_us_);
+  assert(static_cast<size_t>(sink.p - base) <= kMaxRecordEncoding);
+  out_.Advance(static_cast<size_t>(sink.p - base));
+  ++records_written_;
+}
+
+Status TraceFileWriter::Finish() {
+  if (!finished_) {
+    out_.PutByte(kEndSentinel);
+    finished_ = true;
+  }
+  return out_.Close();
+}
+
+TraceFileReader::TraceFileReader(const std::string& path, bool prefer_mmap)
+    : in_(path, prefer_mmap) {
+  if (!in_.ok()) {
+    status_ = in_.status();
+    done_ = true;
+    return;
+  }
+  BufferedSource source{in_};
+  const char* error = nullptr;
+  if (!DecodeHeader(source, &header_, &declared_record_count_, &error)) {
+    status_ = Status::Error(error);
+    done_ = true;
+  }
+}
+
+bool TraceFileReader::Next(TraceRecord* record) {
+  if (done_) {
+    return false;
+  }
+  // Fast path: when a full worst-case record is available contiguously
+  // (essentially always — the mmap window is the whole file), decode straight
+  // from memory with no per-byte end-of-stream checks.
+  size_t available = 0;
+  const uint8_t* window = in_.Contiguous(kMaxRecordEncoding, &available);
+  if (available >= kMaxRecordEncoding) {
+    PtrSource source{window};
+    const char* error = nullptr;
+    switch (DecodeRecord(source, record, &prev_time_us_, &error)) {
+      case DecodeResult::kRecord:
+        in_.Advance(static_cast<size_t>(source.p - window));
+        return true;
+      case DecodeResult::kEnd:
+        in_.Advance(1);
+        done_ = true;
+        return false;
+      case DecodeResult::kError:
+        status_ = Status::Error(error);
+        done_ = true;
+        return false;
+    }
+  }
+  // Slow path: near the end of the file, where a record may be truncated.
+  BufferedSource source{in_};
+  const char* error = nullptr;
+  switch (DecodeRecord(source, record, &prev_time_us_, &error)) {
+    case DecodeResult::kRecord:
+      return true;
+    case DecodeResult::kEnd:
+      done_ = true;
+      return false;
+    case DecodeResult::kError:
+      if (!in_.status().ok()) {
+        status_ = in_.status();  // underlying I/O error beats "truncated"
+      } else {
+        status_ = Status::Error(error);
+      }
+      done_ = true;
+      return false;
+  }
+  return false;
 }
 
 void WriteTextTrace(std::ostream& out, const Trace& trace) {
@@ -423,24 +624,42 @@ StatusOr<Trace> ReadBinaryTrace(std::istream& in) {
 }
 
 Status SaveTrace(const std::string& path, const Trace& trace) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::Error("cannot open for writing: " + path);
+  TraceFileWriter writer(path, trace.header(), static_cast<int64_t>(trace.size()));
+  if (!writer.status().ok()) {
+    return writer.status();
   }
-  WriteBinaryTrace(out, trace);
-  out.close();
-  if (!out) {
-    return Status::Error("write failed: " + path);
+  for (const TraceRecord& r : trace.records()) {
+    writer.Append(r);
   }
-  return Status::Ok();
+  return writer.Finish();
 }
 
 StatusOr<Trace> LoadTrace(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::Error("cannot open for reading: " + path);
+  TraceFileReader reader(path);
+  if (!reader.status().ok()) {
+    return reader.status();
   }
-  return ReadBinaryTrace(in);
+  Trace trace(reader.header());
+  std::vector<TraceRecord>& records = trace.records();
+  if (reader.declared_record_count() > 0) {
+    // Decode straight into pre-sized vector slots — one allocation and no
+    // per-record copy.  The declared count is advisory, so tolerate both a
+    // short stream (shrink) and extra records (append).
+    records.resize(static_cast<size_t>(reader.declared_record_count()));
+    size_t n = 0;
+    while (n < records.size() && reader.Next(&records[n])) {
+      ++n;
+    }
+    records.resize(n);
+  }
+  TraceRecord r;
+  while (reader.Next(&r)) {
+    records.push_back(r);
+  }
+  if (!reader.status().ok()) {
+    return reader.status();
+  }
+  return trace;
 }
 
 }  // namespace bsdtrace

@@ -25,10 +25,16 @@
 #include <iosfwd>
 #include <string>
 
+#include "src/trace/io_buffer.h"
 #include "src/trace/trace.h"
 #include "src/util/status.h"
 
 namespace bsdtrace {
+
+// Worst-case encoded size of one record: type byte + 10-byte time varint +
+// up to five 10-byte varints + the mode byte.  The buffered writer reserves
+// this much contiguous space per record so encoding never bounds-checks.
+inline constexpr size_t kMaxRecordEncoding = 64;
 
 // Streaming binary writer.  Writes the header on construction; call Finish()
 // (or let the destructor do it) to emit the end-of-stream sentinel.
@@ -83,6 +89,59 @@ class BinaryTraceReader {
   bool done_ = false;
 };
 
+// Block-buffered binary writer to a file path.  Same format (and bytes) as
+// BinaryTraceWriter over an std::ofstream, several times faster: records are
+// encoded straight into 64 KB blocks instead of per-byte ostream virtual
+// calls.  Call Finish() for the end sentinel and the final write status; the
+// destructor finishes but swallows the status.
+class TraceFileWriter : public TraceSink {
+ public:
+  TraceFileWriter(const std::string& path, const TraceHeader& header,
+                  int64_t expected_records = -1);
+  ~TraceFileWriter() override;
+
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  void Append(const TraceRecord& record) override;
+  Status Finish();
+
+  const Status& status() const { return out_.status(); }
+  uint64_t records_written() const { return records_written_; }
+
+ private:
+  BufferedWriter out_;
+  int64_t prev_time_us_ = 0;
+  uint64_t records_written_ = 0;
+  bool finished_ = false;
+};
+
+// Block-buffered binary reader from a file path (mmap when available, 64 KB
+// blocks otherwise).  Reads both v1 and v2 files, like BinaryTraceReader.
+class TraceFileReader {
+ public:
+  explicit TraceFileReader(const std::string& path, bool prefer_mmap = true);
+
+  Status status() const { return status_; }
+  const TraceHeader& header() const { return header_; }
+
+  // Record count declared in the header, or -1 if absent (see
+  // BinaryTraceReader::declared_record_count).
+  int64_t declared_record_count() const { return declared_record_count_; }
+
+  // Reads the next record into *record.  Returns false at end of stream or on
+  // error (distinguish via status()).
+  bool Next(TraceRecord* record);
+
+ private:
+  BufferedReader in_;
+  TraceHeader header_;
+  Status status_ = Status::Ok();
+  int64_t prev_time_us_ = 0;
+  int64_t declared_record_count_ = -1;
+  bool done_ = false;
+};
+
 // Text format: "# machine <name>" / "# description <text>" comment header,
 // then one TraceRecord::ToString() line per record.
 void WriteTextTrace(std::ostream& out, const Trace& trace);
@@ -92,7 +151,8 @@ StatusOr<Trace> ReadTextTrace(std::istream& in);
 void WriteBinaryTrace(std::ostream& out, const Trace& trace);
 StatusOr<Trace> ReadBinaryTrace(std::istream& in);
 
-// File-path helpers (binary format).
+// File-path helpers (binary format).  Routed through the block-buffered
+// TraceFileWriter/TraceFileReader path.
 Status SaveTrace(const std::string& path, const Trace& trace);
 StatusOr<Trace> LoadTrace(const std::string& path);
 

@@ -25,6 +25,16 @@ Rng::Rng(uint64_t seed) {
   }
 }
 
+Rng Rng::Stream(uint64_t seed, uint64_t stream_id) {
+  if (stream_id == 0) {
+    return Rng(seed);  // the reference stream
+  }
+  // One SplitMix64 step decorrelates consecutive stream ids; XOR keeps the
+  // map (seed, id) -> derived seed collision-free for a fixed id.
+  uint64_t ctr = stream_id;
+  return Rng(seed ^ SplitMix64(ctr));
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

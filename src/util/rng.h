@@ -20,6 +20,15 @@ class Rng {
  public:
   explicit Rng(uint64_t seed);
 
+  // Stream-split: derives the generator for stream `stream_id` of the family
+  // keyed by `seed`.  Counter-based — the stream index is mixed through
+  // SplitMix64 into the seed, so any stream can be constructed directly
+  // without generating its predecessors (what a sharded producer needs:
+  // shard s seeds Stream(seed, s) with no cross-shard coordination).
+  // Stream 0 is bit-identical to Rng(seed), which keeps a single-stream
+  // consumer byte-compatible with pre-stream-API output.
+  static Rng Stream(uint64_t seed, uint64_t stream_id);
+
   // Raw 64 uniform bits.
   uint64_t NextU64();
 

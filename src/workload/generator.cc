@@ -35,6 +35,10 @@ struct GenState {
   EventScheduler* scheduler = nullptr;
   SimTime end;
   std::vector<UserState> users;
+  // Global user indices incoming mail may target (the shard's own users) and
+  // the inter-arrival mean multiplier compensating for the narrowed set.
+  const std::vector<int>* mail_recipients = nullptr;
+  double mail_scale = 1.0;
 };
 
 WorkloadContext MakeContext(GenState& gs, Rng* rng, SimTime start) {
@@ -156,7 +160,9 @@ void ScheduleSystemTick(GenState& gs, SimTime when, uint64_t rng_seed) {
 }
 
 // Self-rescheduling incoming-mail delivery, thinned by the diurnal curve
-// (people send mail during the day).
+// (people send mail during the day).  Recipients are drawn from the shard's
+// own users; the full plan draws over the whole population, and its draw is
+// bit-identical to the historical uniform-over-home_dirs draw.
 void ScheduleMailDelivery(GenState& gs, SimTime when, uint64_t rng_seed) {
   if (when >= gs.end) {
     return;
@@ -165,10 +171,11 @@ void ScheduleMailDelivery(GenState& gs, SimTime when, uint64_t rng_seed) {
   gs.scheduler->At(when, [gsp, rng_seed](SimTime start) {
     Rng rng(rng_seed);
     WorkloadContext ctx = MakeContext(*gsp, &rng, start);
-    const size_t recipient = static_cast<size_t>(
-        rng.UniformInt(0, static_cast<int64_t>(gsp->image->home_dirs.size()) - 1));
-    DeliverMail(ctx, *gsp->image, recipient);
-    const double mean = gsp->profile->mail_delivery_mean.seconds();
+    const std::vector<int>& recipients = *gsp->mail_recipients;
+    const size_t pick = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(recipients.size()) - 1));
+    DeliverMail(ctx, *gsp->image, static_cast<size_t>(recipients[pick]));
+    const double mean = gsp->profile->mail_delivery_mean.seconds() * gsp->mail_scale;
     const double intensity =
         std::max(0.25, DiurnalIntensity(start, gsp->profile->night_activity));
     ScheduleMailDelivery(*gsp, start + Duration::Seconds(rng.Exponential(mean / intensity)),
@@ -178,7 +185,23 @@ void ScheduleMailDelivery(GenState& gs, SimTime when, uint64_t rng_seed) {
 
 }  // namespace
 
-GenerationResult GenerateTrace(const MachineProfile& profile, const GeneratorOptions& options) {
+namespace internal {
+
+ShardPlan FullPlan(const MachineProfile& profile) {
+  ShardPlan plan;
+  plan.users.reserve(static_cast<size_t>(profile.user_population));
+  for (int u = 0; u < profile.user_population; ++u) {
+    plan.users.push_back(u);
+  }
+  plan.daemon_hosts.reserve(static_cast<size_t>(profile.daemon_host_count));
+  for (int h = 0; h < profile.daemon_host_count; ++h) {
+    plan.daemon_hosts.push_back(h);
+  }
+  return plan;
+}
+
+GenerationResult RunShard(const MachineProfile& profile, const GeneratorOptions& options,
+                          const ShardPlan& plan) {
   auto fs = std::make_unique<FileSystem>(options.fs_options);
   Trace trace(TraceHeader{
       .machine = profile.machine,
@@ -186,8 +209,20 @@ GenerationResult GenerateTrace(const MachineProfile& profile, const GeneratorOpt
                      options.duration.ToString() + ", seed " + std::to_string(options.seed)});
   TracedKernel kernel(fs.get(), &trace);
 
+  // Every shard builds the shared system tree from the same root stream, so
+  // shared FileIds agree across replicas; only owned homes are materialized.
   Rng root(options.seed);
-  const SystemImage image = BuildSystemImage(*fs, profile, root);
+  std::vector<bool> owned(static_cast<size_t>(profile.user_population), false);
+  for (int u : plan.users) {
+    owned[static_cast<size_t>(u)] = true;
+  }
+  const SystemImage image = BuildSystemImage(*fs, profile, root, &owned);
+
+  // Activity randomness: shard 0 continues the root stream (so the full plan
+  // reproduces the serial path draw-for-draw); other shards switch to an
+  // independent counter-derived stream of the same seed family.
+  Rng activity = plan.shard_index == 0 ? std::move(root)
+                                       : Rng::Stream(options.seed, static_cast<uint64_t>(plan.shard_index));
 
   EventScheduler scheduler;
   GenState gs;
@@ -196,15 +231,18 @@ GenerationResult GenerateTrace(const MachineProfile& profile, const GeneratorOpt
   gs.kernel = &kernel;
   gs.scheduler = &scheduler;
   gs.end = SimTime::Origin() + options.duration;
+  gs.mail_recipients = &plan.users;
+  gs.mail_scale = plan.mail_scale;
 
-  // Users.  Ids start at 2 (0 = network daemon, 1 = printer daemon).
-  gs.users.reserve(static_cast<size_t>(profile.user_population));
-  for (int u = 0; u < profile.user_population; ++u) {
+  // Users.  Ids start at 2 (0 = network daemon, 1 = printer daemon) and are
+  // global, so /tmp scratch names never collide across shards.
+  gs.users.reserve(plan.users.size());
+  for (int u : plan.users) {
     UserState user;
     user.id = static_cast<UserId>(u + 2);
     user.home = image.home_dirs[static_cast<size_t>(u)];
     user.mailbox = image.mail_dir + "/user" + std::to_string(u);
-    user.rng = root.Fork();
+    user.rng = activity.Fork();
     for (int i = 0; i < 6; ++i) {
       user.sources.push_back(user.home + "/src" + std::to_string(i) + ".c");
     }
@@ -219,15 +257,20 @@ GenerationResult GenerateTrace(const MachineProfile& profile, const GeneratorOpt
     gs.users.push_back(std::move(user));
   }
 
-  // Kick off the daemon (staggered) and every user's first login.
-  for (int h = 0; h < profile.daemon_host_count; ++h) {
+  // Kick off the shard's daemon hosts (staggered by global host index) and
+  // machine-wide background activity where the plan assigns it.
+  for (int h : plan.daemon_hosts) {
     const Duration stagger =
         profile.daemon_period * (static_cast<double>(h) /
                                  std::max(profile.daemon_host_count, 1));
-    ScheduleDaemon(gs, h, SimTime::Origin() + stagger, root.NextU64());
+    ScheduleDaemon(gs, h, SimTime::Origin() + stagger, activity.NextU64());
   }
-  ScheduleSystemTick(gs, SimTime::Origin() + Duration::Seconds(5), root.NextU64());
-  ScheduleMailDelivery(gs, SimTime::Origin() + Duration::Seconds(30), root.NextU64());
+  if (plan.run_system_tick) {
+    ScheduleSystemTick(gs, SimTime::Origin() + Duration::Seconds(5), activity.NextU64());
+  }
+  if (plan.run_mail && !plan.users.empty()) {
+    ScheduleMailDelivery(gs, SimTime::Origin() + Duration::Seconds(30), activity.NextU64());
+  }
   for (size_t u = 0; u < gs.users.size(); ++u) {
     ScheduleNextLogin(gs, u, SimTime::Origin());
   }
@@ -247,8 +290,15 @@ GenerationResult GenerateTrace(const MachineProfile& profile, const GeneratorOpt
   result.kernel_counters = kernel.counters();
   result.fs_stats = fs->Statistics();
   result.fsck = CheckFileSystem(*fs);
+  result.shared_image_watermark = image.shared_tree_watermark;
   result.trace = std::move(trace);
   return result;
+}
+
+}  // namespace internal
+
+GenerationResult GenerateTrace(const MachineProfile& profile, const GeneratorOptions& options) {
+  return internal::RunShard(profile, options, internal::FullPlan(profile));
 }
 
 Trace GenerateTraceOnly(const MachineProfile& profile, const GeneratorOptions& options) {

@@ -9,11 +9,13 @@
 #define BSDTRACE_SRC_WORKLOAD_GENERATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/fs/file_system.h"
 #include "src/fs/fsck.h"
 #include "src/kernel/traced_kernel.h"
 #include "src/trace/trace.h"
+#include "src/trace/types.h"
 #include "src/workload/profile.h"
 
 namespace bsdtrace {
@@ -34,19 +36,57 @@ struct GenerationResult {
   KernelCounters kernel_counters;
   FsStatistics fs_stats;
   // Consistency check of the substrate file system after generation; a
-  // non-clean report indicates a simulator bug.
+  // non-clean report indicates a simulator bug.  For sharded runs the
+  // reports of all shard images are folded together.
   FsckReport fsck;
   uint64_t tasks_executed = 0;
+  // File-id watermark of the image's shared system tree (see
+  // SystemImage::shared_tree_watermark); the sharded merge remaps ids above
+  // it into disjoint per-shard ranges.
+  FileId shared_image_watermark = 0;
 };
 
 // Generates a trace for the given machine profile.  Deterministic for a
-// given (profile, options) pair.
+// given (profile, options) pair.  This is the serial reference path: the
+// sharded engine (sharded_generator.h) must produce bit-identical output at
+// shards = 1.
 GenerationResult GenerateTrace(const MachineProfile& profile,
                                const GeneratorOptions& options = GeneratorOptions());
 
 // Convenience: the trace alone.
 Trace GenerateTraceOnly(const MachineProfile& profile,
                         const GeneratorOptions& options = GeneratorOptions());
+
+namespace internal {
+
+// One shard's slice of the simulated population.  GenerateTrace runs the
+// full plan; GenerateTraceSharded runs one plan per shard and merges.
+struct ShardPlan {
+  int shard_index = 0;
+  int shard_count = 1;
+  // Owned user indices, ascending.  Only these users log in, and only their
+  // home directories are materialized in the shard's file-system replica.
+  std::vector<int> users;
+  // Owned network-daemon host indices, ascending.
+  std::vector<int> daemon_hosts;
+  // Machine-wide background activity runs on exactly one shard.
+  bool run_system_tick = true;
+  // Incoming mail: each shard delivers to its own users only, with the
+  // inter-arrival mean scaled by population/owned so the per-user rate
+  // matches the serial path.
+  bool run_mail = true;
+  double mail_scale = 1.0;
+};
+
+// The plan that reproduces the serial path: everything on one shard.
+ShardPlan FullPlan(const MachineProfile& profile);
+
+// Runs one shard's simulation against a private file-system replica.
+// Record ids are shard-local (see ShardPlan / sharded_generator.cc).
+GenerationResult RunShard(const MachineProfile& profile, const GeneratorOptions& options,
+                          const ShardPlan& plan);
+
+}  // namespace internal
 
 }  // namespace bsdtrace
 

@@ -1,5 +1,7 @@
 #include "src/workload/scheduler.h"
 
+#include <utility>
+
 namespace bsdtrace {
 
 void EventScheduler::At(SimTime when, Task task) {
@@ -9,9 +11,10 @@ void EventScheduler::At(SimTime when, Task task) {
 uint64_t EventScheduler::Run(SimTime end) {
   uint64_t executed = 0;
   while (!queue_.empty() && queue_.top().when < end) {
-    // priority_queue::top() is const; move out via const_cast-free copy of
-    // the closure is wasteful, so pop into a local.
-    Entry entry = queue_.top();
+    // priority_queue::top() is const; the entry is about to be popped, so
+    // moving the closure out from under it is safe and avoids copying the
+    // captured task state on every dispatch.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
     entry.task(entry.when);
     ++executed;

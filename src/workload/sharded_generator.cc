@@ -1,0 +1,222 @@
+#include "src/workload/sharded_generator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <queue>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bsdtrace {
+namespace {
+
+using internal::RunShard;
+using internal::ShardPlan;
+
+// Round-robin partition: shard s owns users {u : u % S == s} and daemon
+// hosts {h : h % S == s}.  Machine-wide background activity (cron/syslog)
+// runs on shard 0 only; mail runs on every shard against its own users with
+// the inter-arrival mean stretched so the per-user delivery rate matches the
+// serial path.
+std::vector<ShardPlan> MakePlans(const MachineProfile& profile, int shard_count) {
+  std::vector<ShardPlan> plans(static_cast<size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s) {
+    ShardPlan& plan = plans[static_cast<size_t>(s)];
+    plan.shard_index = s;
+    plan.shard_count = shard_count;
+    for (int u = s; u < profile.user_population; u += shard_count) {
+      plan.users.push_back(u);
+    }
+    // Keep ascending order: the stride loop above yields s, s+S, s+2S, ...
+    std::sort(plan.users.begin(), plan.users.end());
+    for (int h = s; h < profile.daemon_host_count; h += shard_count) {
+      plan.daemon_hosts.push_back(h);
+    }
+    std::sort(plan.daemon_hosts.begin(), plan.daemon_hosts.end());
+    plan.run_system_tick = (s == 0);
+    plan.run_mail = !plan.users.empty();
+    plan.mail_scale = plan.users.empty()
+                          ? 1.0
+                          : static_cast<double>(profile.user_population) /
+                                static_cast<double>(plan.users.size());
+  }
+  return plans;
+}
+
+// Rewrites shard-local ids into globally unique interleaved ranges.  FileIds
+// at or below the shared-image watermark name the shared system tree and
+// agree across replicas, so they pass through; ids above it map to
+// watermark + (id - watermark - 1) * S + s + 1, and OpenIds (always
+// shard-local, starting at 1) map to (id - 1) * S + s + 1.  Both maps are
+// the identity when S == 1.
+void RemapShardIds(std::vector<TraceRecord>& records, FileId watermark, int shard_index,
+                   int shard_count) {
+  const uint64_t s = static_cast<uint64_t>(shard_index);
+  const uint64_t stride = static_cast<uint64_t>(shard_count);
+  for (TraceRecord& r : records) {
+    if (r.file_id > watermark) {
+      r.file_id = watermark + (r.file_id - watermark - 1) * stride + s + 1;
+    }
+    if (r.open_id != kInvalidOpenId) {
+      r.open_id = (r.open_id - 1) * stride + s + 1;
+    }
+  }
+}
+
+// K-way merge of per-shard record streams, each already sorted by time.
+// Ties break by shard index, then by within-shard order — a stable merge, so
+// the output is independent of thread scheduling.
+std::vector<TraceRecord> MergeShardRecords(std::vector<GenerationResult>& shards) {
+  size_t total = 0;
+  for (const GenerationResult& shard : shards) {
+    total += shard.trace.size();
+  }
+  std::vector<TraceRecord> merged;
+  merged.reserve(total);
+
+  struct Cursor {
+    SimTime time;
+    size_t shard;
+  };
+  const auto later = [](const Cursor& a, const Cursor& b) {
+    if (a.time != b.time) {
+      return b.time < a.time;
+    }
+    return a.shard > b.shard;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
+  std::vector<size_t> next(shards.size(), 0);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (!shards[s].trace.empty()) {
+      heap.push(Cursor{shards[s].trace.records()[0].time, s});
+    }
+  }
+  while (!heap.empty()) {
+    const size_t s = heap.top().shard;
+    heap.pop();
+    const std::vector<TraceRecord>& records = shards[s].trace.records();
+    merged.push_back(records[next[s]]);
+    if (++next[s] < records.size()) {
+      heap.push(Cursor{records[next[s]].time, s});
+    }
+  }
+  return merged;
+}
+
+void FoldInto(GenerationResult& total, GenerationResult& shard, size_t shard_index) {
+  KernelCounters& t = total.kernel_counters;
+  const KernelCounters& k = shard.kernel_counters;
+  t.opens += k.opens;
+  t.creates += k.creates;
+  t.closes += k.closes;
+  t.seeks += k.seeks;
+  t.reads += k.reads;
+  t.writes += k.writes;
+  t.unlinks += k.unlinks;
+  t.truncates += k.truncates;
+  t.execves += k.execves;
+  t.errors += k.errors;
+  t.bytes_read += k.bytes_read;
+  t.bytes_written += k.bytes_written;
+
+  // Statistics are summed over the replicas; note that each replica carries
+  // its own copy of the shared system tree, so `files`/`live_bytes` count it
+  // shard_count times (the merged trace's *activity* has no such double
+  // counting — only ids at or below the watermark are shared).
+  FsStatistics& fst = total.fs_stats;
+  const FsStatistics& fss = shard.fs_stats;
+  fst.files += fss.files;
+  fst.directories += fss.directories;
+  fst.live_bytes += fss.live_bytes;
+  fst.allocated_bytes += fss.allocated_bytes;
+  fst.free_bytes += fss.free_bytes;
+
+  for (const std::string& error : shard.fsck.errors) {
+    total.fsck.errors.push_back("shard " + std::to_string(shard_index) + ": " + error);
+  }
+  total.fsck.inodes_checked += shard.fsck.inodes_checked;
+  total.fsck.reachable_inodes += shard.fsck.reachable_inodes;
+  total.fsck.orphan_inodes += shard.fsck.orphan_inodes;
+
+  total.tasks_executed += shard.tasks_executed;
+}
+
+}  // namespace
+
+GenerationResult GenerateTraceSharded(const MachineProfile& profile,
+                                      const ShardedGeneratorOptions& options) {
+  const int population = std::max(profile.user_population, 1);
+  const int shard_count = std::clamp(options.shard_count, 1, population);
+  if (shard_count == 1) {
+    // The serial reference path, bit-identical to GenerateTrace().
+    return GenerateTrace(profile, options.base);
+  }
+
+  const std::vector<ShardPlan> plans = MakePlans(profile, shard_count);
+
+  // Run the shards.  Workers claim shard indices from an atomic counter and
+  // write into indexed slots, so the results — and therefore the merge — are
+  // independent of thread scheduling.
+  std::vector<GenerationResult> shards(static_cast<size_t>(shard_count));
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::clamp(threads, 1, shard_count);
+
+  std::atomic<int> next_shard{0};
+  const auto worker = [&]() {
+    for (int s = next_shard.fetch_add(1, std::memory_order_relaxed); s < shard_count;
+         s = next_shard.fetch_add(1, std::memory_order_relaxed)) {
+      shards[static_cast<size_t>(s)] =
+          RunShard(profile, options.base, plans[static_cast<size_t>(s)]);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  // Every replica builds the shared tree from the same (profile, seed), so
+  // the watermarks must agree.
+  const FileId watermark = shards[0].shared_image_watermark;
+  for (const GenerationResult& shard : shards) {
+    assert(shard.shared_image_watermark == watermark);
+    (void)shard;
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    RemapShardIds(shards[s].trace.records(), watermark, static_cast<int>(s), shard_count);
+  }
+
+  GenerationResult result;
+  result.shared_image_watermark = watermark;
+  Trace merged(TraceHeader{
+      .machine = profile.machine,
+      .description = "synthetic " + profile.trace_name + " trace, " +
+                     options.base.duration.ToString() + ", seed " +
+                     std::to_string(options.base.seed) + ", " +
+                     std::to_string(shard_count) + " shards"});
+  merged.records() = MergeShardRecords(shards);
+  result.trace = std::move(merged);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    FoldInto(result, shards[s], s);
+  }
+  const FsStatistics& fs = result.fs_stats;
+  result.fs_stats.internal_fragmentation =
+      fs.allocated_bytes > 0 ? 1.0 - static_cast<double>(fs.live_bytes) /
+                                         static_cast<double>(fs.allocated_bytes)
+                             : 0.0;
+  return result;
+}
+
+}  // namespace bsdtrace

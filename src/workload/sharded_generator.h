@@ -1,0 +1,51 @@
+// Sharded parallel trace generation.
+//
+// Partitions the simulated population into deterministic shards — each with
+// its own FileSystem replica, TracedKernel, event scheduler, and an
+// independent counter-derived RNG stream of (seed, shard) — runs the shards
+// concurrently on a small thread pool, and k-way merges the per-shard traces
+// by timestamp with a stable shard-index tie-break.
+//
+// Determinism contract:
+//   * For a fixed (profile, options) — including shard_count — the merged
+//     output is byte-identical across runs and across `threads` values; the
+//     thread pool only changes wall-clock, never content.
+//   * With shard_count = 1 the result is bit-identical to GenerateTrace(),
+//     the serial reference path.
+//   * shard_count is a semantic parameter: different shard counts partition
+//     the users differently (users on different shards cannot share mail or
+//     file-system state), so traces for different shard counts are
+//     statistically equivalent, not byte-identical.
+//
+// Record identity across shards: FileIds at or below the shared-image
+// watermark refer to the shared system tree and agree in every replica;
+// FileIds above it and all OpenIds are shard-local and are remapped into
+// disjoint interleaved ranges before the merge, so the merged trace has the
+// same unique-id invariants as a serial one.
+
+#ifndef BSDTRACE_SRC_WORKLOAD_SHARDED_GENERATOR_H_
+#define BSDTRACE_SRC_WORKLOAD_SHARDED_GENERATOR_H_
+
+#include "src/workload/generator.h"
+#include "src/workload/profile.h"
+
+namespace bsdtrace {
+
+struct ShardedGeneratorOptions {
+  GeneratorOptions base;
+  // Number of population shards; clamped to [1, user_population].  1 selects
+  // the serial reference path.
+  int shard_count = 1;
+  // Worker threads; <= 0 means hardware concurrency.  Clamped to
+  // [1, shard_count].  Has no effect on output, only on wall-clock.
+  int threads = 0;
+};
+
+// Generates a trace with the population split across shards.  See the
+// determinism contract above.
+GenerationResult GenerateTraceSharded(const MachineProfile& profile,
+                                      const ShardedGeneratorOptions& options);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_WORKLOAD_SHARDED_GENERATOR_H_

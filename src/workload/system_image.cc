@@ -24,8 +24,11 @@ const std::string& SystemImage::SampleProgram(Rng& rng) const {
   return programs[i];
 }
 
-SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng& rng) {
+SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng& rng,
+                             const std::vector<bool>* owned_users) {
   SystemImage image;
+  assert(owned_users == nullptr ||
+         owned_users->size() == static_cast<size_t>(profile.user_population));
 
   for (const char* dir :
        {"/bin", "/usr/bin", "/usr/ucb", "/etc", "/lib", "/tmp", "/usr/tmp", "/usr/adm",
@@ -140,10 +143,18 @@ SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng&
     MakeFile(fs, path, static_cast<uint64_t>(profile.daemon_file_median));
   }
 
+  // Everything above is the shared system tree — identical (same RNG draws,
+  // same file ids) for every replica built from the same (profile, seed).
+  image.shared_tree_watermark = fs.LastAssignedFileId();
+
   // -- User homes ----------------------------------------------------------------
   image.home_dirs.reserve(profile.user_population);
   for (int u = 0; u < profile.user_population; ++u) {
     const std::string home = "/u/user" + std::to_string(u);
+    image.home_dirs.push_back(home);
+    if (owned_users != nullptr && !(*owned_users)[static_cast<size_t>(u)]) {
+      continue;  // non-owned home: path catalogued, nothing materialized
+    }
     auto st = fs.MkdirAll(home);
     assert(st.ok());
     (void)st;
@@ -171,7 +182,6 @@ SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng&
     // Mailbox (may start non-empty).
     MakeFile(fs, "/usr/spool/mail/user" + std::to_string(u),
              static_cast<uint64_t>(rng.UniformInt(0, 20000)));
-    image.home_dirs.push_back(home);
   }
 
   return image;

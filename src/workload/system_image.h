@@ -37,8 +37,18 @@ struct SystemImage {
   std::string spool_dir = "/usr/spool/lpd";
   std::string mail_dir = "/usr/spool/mail";
 
-  // Home directory of each user (index = user id - 1).
+  // Home directory of each user (index = user id - 1).  Always one entry per
+  // user in the profile; when the image was built for a shard, homes of
+  // non-owned users are paths only (no file-system state behind them).
   std::vector<std::string> home_dirs;
+
+  // Highest FileId allocated by the shared system tree (programs, config,
+  // headers, admin databases, daemon files) — everything before the per-user
+  // homes.  The shared tree consumes the RNG identically regardless of which
+  // homes are materialized, so ids at or below the watermark are identical
+  // in every shard replica built from the same (profile, seed); ids above it
+  // are shard-local and must be remapped before shard traces are merged.
+  FileId shared_tree_watermark = 0;
 
   // Well-known programs used by specific task models.
   std::string cc_path;     // compiler driver
@@ -61,13 +71,21 @@ struct SystemImage {
   const std::string& SampleProgram(Rng& rng) const;
 
  private:
-  friend SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng& rng);
+  friend SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng& rng,
+                                      const std::vector<bool>* owned_users);
   std::vector<double> program_popularity_;
 };
 
 // Builds the initial tree for `profile.user_population` users and returns the
 // catalog of interesting paths.
-SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng& rng);
+//
+// `owned_users` (optional, indexed by user) selects which users' home
+// directories and mailboxes are materialized; null means all.  Skipped homes
+// consume no RNG draws, so passing null or an all-true vector is bit-
+// identical to the historical builder — the property the sharded generator's
+// shards=1 parity rests on.
+SystemImage BuildSystemImage(FileSystem& fs, const MachineProfile& profile, Rng& rng,
+                             const std::vector<bool>* owned_users = nullptr);
 
 }  // namespace bsdtrace
 

@@ -49,6 +49,20 @@ TEST(BlockAllocator, FragmentsDoNotCrossBlockBoundary) {
   EXPECT_EQ(a.free_frags(), 10u);
 }
 
+TEST(BlockAllocator, FullBlockTailAllocation) {
+  // A file whose tail occupies every fragment of a block (e.g. a size of
+  // block_size - 1 bytes) requests frag_count == frags_per_block.  The
+  // allocation must succeed on a fully free block and stay block-aligned.
+  BlockAllocator a(4, 4);
+  ASSERT_TRUE(a.AllocateFragments(1).has_value());  // leave a partial block
+  auto f = a.AllocateFragments(4);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->frag_count, 4u);
+  EXPECT_EQ(f->start_frag % 4, 0u);
+  a.Free(*f);
+  EXPECT_EQ(a.free_frags(), 15u);
+}
+
 TEST(BlockAllocator, FragmentsPreferPartialBlocks) {
   BlockAllocator a(10, 4);
   auto f1 = a.AllocateFragments(2);

@@ -165,5 +165,38 @@ TEST(Rng, ForkDeterministic) {
   }
 }
 
+TEST(Rng, StreamZeroIsTheSeedStream) {
+  // Stream 0 is the serial reference stream: bit-identical to Rng(seed).
+  Rng direct(19851201);
+  Rng stream = Rng::Stream(19851201, 0);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(direct.NextU64(), stream.NextU64());
+  }
+}
+
+TEST(Rng, StreamsAreReproducible) {
+  Rng a = Rng::Stream(7, 3);
+  Rng b = Rng::Stream(7, 3);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, StreamsOfOneSeedDiffer) {
+  // Streams of the same family must not mirror each other (shards draw from
+  // sibling streams concurrently).
+  Rng s0 = Rng::Stream(123, 0);
+  Rng s1 = Rng::Stream(123, 1);
+  Rng s2 = Rng::Stream(123, 2);
+  int same01 = 0, same12 = 0;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t v0 = s0.NextU64(), v1 = s1.NextU64(), v2 = s2.NextU64();
+    same01 += v0 == v1;
+    same12 += v1 == v2;
+  }
+  EXPECT_EQ(same01, 0);
+  EXPECT_EQ(same12, 0);
+}
+
 }  // namespace
 }  // namespace bsdtrace

@@ -1,0 +1,104 @@
+#include "src/workload/sharded_generator.h"
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/validate.h"
+#include "src/workload/generator.h"
+#include "src/workload/profile.h"
+
+namespace bsdtrace {
+namespace {
+
+// A small, fast configuration: a short slice of the A5 machine.
+GeneratorOptions ShortOptions() {
+  GeneratorOptions options;
+  options.duration = Duration::Minutes(40);
+  options.seed = 424242;
+  return options;
+}
+
+std::string Serialize(const Trace& trace) {
+  std::ostringstream out;
+  WriteBinaryTrace(out, trace);
+  return std::move(out).str();
+}
+
+GenerationResult Generate(int shards, int threads) {
+  ShardedGeneratorOptions options;
+  options.base = ShortOptions();
+  options.shard_count = shards;
+  options.threads = threads;
+  return GenerateTraceSharded(ProfileA5(), options);
+}
+
+TEST(ShardedGenerator, OneShardIsBitIdenticalToSerial) {
+  const GenerationResult serial = GenerateTrace(ProfileA5(), ShortOptions());
+  const GenerationResult sharded = Generate(/*shards=*/1, /*threads=*/1);
+  EXPECT_EQ(Serialize(serial.trace), Serialize(sharded.trace));
+  EXPECT_EQ(serial.trace.header().description, sharded.trace.header().description);
+  EXPECT_EQ(serial.tasks_executed, sharded.tasks_executed);
+  EXPECT_EQ(serial.kernel_counters.opens, sharded.kernel_counters.opens);
+  EXPECT_EQ(serial.kernel_counters.bytes_read, sharded.kernel_counters.bytes_read);
+}
+
+// The core determinism contract: for a fixed shard count the serialized
+// trace does not depend on the thread count or the run.
+TEST(ShardedGenerator, DeterministicAcrossThreadCountsAndRuns) {
+  const int hw = std::max(2u, std::thread::hardware_concurrency());
+  for (int shards : {1, 2, 8}) {
+    const std::string once = Serialize(Generate(shards, /*threads=*/1).trace);
+    EXPECT_EQ(once, Serialize(Generate(shards, /*threads=*/1).trace))
+        << "rerun differs at shards=" << shards;
+    EXPECT_EQ(once, Serialize(Generate(shards, /*threads=*/hw).trace))
+        << "thread count changes output at shards=" << shards;
+    EXPECT_FALSE(once.empty());
+  }
+}
+
+TEST(ShardedGenerator, MergedTraceIsTimeSortedAndValid) {
+  const GenerationResult result = Generate(/*shards=*/4, /*threads=*/2);
+  ASSERT_FALSE(result.trace.empty());
+  const ValidationResult report = ValidateTrace(result.trace);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Remapped ids: every open gets a globally unique OpenId, and FileIds above
+// the shared-image watermark never collide across shards.
+TEST(ShardedGenerator, RemappedIdsAreUnique) {
+  const GenerationResult result = Generate(/*shards=*/4, /*threads=*/2);
+  std::set<OpenId> opens;
+  for (const TraceRecord& r : result.trace.records()) {
+    if (r.type == EventType::kOpen || r.type == EventType::kCreate) {
+      EXPECT_TRUE(opens.insert(r.open_id).second) << "duplicate open id " << r.open_id;
+    }
+  }
+  EXPECT_GT(opens.size(), 0u);
+}
+
+TEST(ShardedGenerator, ShardImagesStayConsistent) {
+  const GenerationResult result = Generate(/*shards=*/8, /*threads=*/2);
+  EXPECT_TRUE(result.fsck.ok()) << result.fsck.Summary();
+  EXPECT_GT(result.shared_image_watermark, 0u);
+  EXPECT_GT(result.tasks_executed, 0u);
+}
+
+// Sharding partitions the same population, so aggregate activity should be
+// in the same regime as the serial run (not, say, doubled or halved).
+TEST(ShardedGenerator, ActivityComparableToSerial) {
+  const GenerationResult serial = GenerateTrace(ProfileA5(), ShortOptions());
+  const GenerationResult sharded = Generate(/*shards=*/8, /*threads=*/2);
+  ASSERT_GT(serial.trace.size(), 0u);
+  const double ratio = static_cast<double>(sharded.trace.size()) /
+                       static_cast<double>(serial.trace.size());
+  EXPECT_GT(ratio, 0.5) << "sharded trace implausibly small";
+  EXPECT_LT(ratio, 2.0) << "sharded trace implausibly large";
+}
+
+}  // namespace
+}  // namespace bsdtrace
