@@ -22,9 +22,14 @@ struct BenchTraces {
 
 // Generates and analyzes all three standard traces (duration from
 // BSDTRACE_HOURS, default 24 simulated hours) and prints a provenance line.
+// When BSDTRACE_TRACE_FILE is set, traces are loaded from that path instead
+// ("{name}" is replaced by the trace name, or ".<name>" appended) and are
+// generated-and-saved there on first use — the generate-to-file →
+// analyze-from-file recipe in EXPERIMENTS.md.
 BenchTraces GenerateAllTraces();
 
 // Generates only the A5 trace (the paper reports cache results for A5 only).
+// Honors BSDTRACE_TRACE_FILE like GenerateAllTraces().
 GenerationResult GenerateA5();
 
 // Prints the standard bench banner.

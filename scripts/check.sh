@@ -12,6 +12,6 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 "$BUILD_DIR"/tests/cache_tests --gtest_filter='ReplayParity.*:ReplayLogStats.*'
-"$BUILD_DIR"/tests/workload_tests --gtest_filter='ShardedGenerator.*'
+"$BUILD_DIR"/tests/workload_tests --gtest_filter='ShardedGenerator.*:ShardedStream.*'
 
 echo "check.sh: all tests passed"

@@ -30,27 +30,50 @@ class MuxSink : public ReconstructionSink {
   std::array<ReconstructionSink*, 5> sinks_;
 };
 
+// Bundles the five collectors plus their fan-out sink; both entry points
+// drive the same bundle, differing only in how records arrive.
+class CollectorSet {
+ public:
+  CollectorSet() : mux_({&overall_, &activity_, &sequentiality_, &patterns_, &lifetimes_}) {}
+
+  ReconstructionSink* sink() { return &mux_; }
+
+  TraceAnalysis Take() {
+    TraceAnalysis analysis;
+    analysis.overall = overall_.Take();
+    analysis.activity = activity_.Take();
+    analysis.sequentiality = sequentiality_.Take();
+    analysis.runs = patterns_.TakeRuns();
+    analysis.file_sizes = patterns_.TakeFileSizes();
+    analysis.open_times = patterns_.TakeOpenTimes();
+    analysis.lifetimes = lifetimes_.Take();
+    return analysis;
+  }
+
+ private:
+  OverallStatsCollector overall_;
+  ActivityCollector activity_;
+  SequentialityCollector sequentiality_;
+  PatternsCollector patterns_;
+  LifetimeCollector lifetimes_;
+  MuxSink mux_;
+};
+
 }  // namespace
 
 TraceAnalysis AnalyzeTrace(const Trace& trace) {
-  OverallStatsCollector overall;
-  ActivityCollector activity;
-  SequentialityCollector sequentiality;
-  PatternsCollector patterns;
-  LifetimeCollector lifetimes;
+  CollectorSet collectors;
+  Reconstruct(trace, collectors.sink());
+  return collectors.Take();
+}
 
-  MuxSink mux({&overall, &activity, &sequentiality, &patterns, &lifetimes});
-  Reconstruct(trace, &mux);
-
-  TraceAnalysis analysis;
-  analysis.overall = overall.Take();
-  analysis.activity = activity.Take();
-  analysis.sequentiality = sequentiality.Take();
-  analysis.runs = patterns.TakeRuns();
-  analysis.file_sizes = patterns.TakeFileSizes();
-  analysis.open_times = patterns.TakeOpenTimes();
-  analysis.lifetimes = lifetimes.Take();
-  return analysis;
+StatusOr<TraceAnalysis> AnalyzeTrace(TraceSource& source) {
+  CollectorSet collectors;
+  const Status status = Reconstruct(source, collectors.sink());
+  if (!status.ok()) {
+    return status;
+  }
+  return collectors.Take();
 }
 
 }  // namespace bsdtrace

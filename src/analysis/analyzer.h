@@ -10,6 +10,8 @@
 #include "src/analysis/patterns.h"
 #include "src/analysis/sequentiality.h"
 #include "src/trace/trace.h"
+#include "src/trace/trace_source.h"
+#include "src/util/status.h"
 
 namespace bsdtrace {
 
@@ -26,6 +28,13 @@ struct TraceAnalysis {
 
 // Runs all collectors in a single pass over the trace.
 TraceAnalysis AnalyzeTrace(const Trace& trace);
+
+// Streaming variant: one pass over any TraceSource with one record in
+// flight, so an on-disk trace of any length analyzes in memory bounded by
+// the collectors' own state (histograms + per-open tables), not the trace.
+// Identical results to AnalyzeTrace(CollectTrace(source)); source errors
+// (truncated or corrupt files) surface as a Status.
+StatusOr<TraceAnalysis> AnalyzeTrace(TraceSource& source);
 
 }  // namespace bsdtrace
 

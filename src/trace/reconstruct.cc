@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/trace/trace.h"
+#include "src/trace/trace_source.h"
 
 namespace bsdtrace {
 namespace {
@@ -125,6 +126,19 @@ void Reconstruct(const Trace& trace, ReconstructionSink* sink, BillingPolicy bil
     reconstructor.Process(r);
   }
   reconstructor.Finish();
+}
+
+Status Reconstruct(TraceSource& source, ReconstructionSink* sink, BillingPolicy billing) {
+  AccessReconstructor reconstructor(sink, billing);
+  TraceRecord r;
+  while (source.Next(&r)) {
+    reconstructor.Process(r);
+  }
+  if (!source.status().ok()) {
+    return source.status();
+  }
+  reconstructor.Finish();
+  return Status::Ok();
 }
 
 }  // namespace bsdtrace

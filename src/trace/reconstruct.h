@@ -16,6 +16,7 @@
 
 #include "src/trace/record.h"
 #include "src/trace/trace.h"
+#include "src/util/status.h"
 
 namespace bsdtrace {
 
@@ -124,6 +125,15 @@ class AccessReconstructor {
 // Convenience: run a whole trace through the reconstructor.
 void Reconstruct(const Trace& trace, ReconstructionSink* sink,
                  BillingPolicy billing = BillingPolicy::kAtNextEvent);
+
+class TraceSource;  // trace_source.h
+
+// Streams a TraceSource through the reconstructor — one record in flight, so
+// arbitrarily long on-disk traces reconstruct in bounded memory.  Returns the
+// source's error if the stream fails mid-way (the sink will have seen a
+// prefix of the results; discard them on error).
+Status Reconstruct(TraceSource& source, ReconstructionSink* sink,
+                   BillingPolicy billing = BillingPolicy::kAtNextEvent);
 
 }  // namespace bsdtrace
 

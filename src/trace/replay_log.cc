@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/trace/trace_io.h"
+#include "src/trace/trace_source.h"
 #include "src/util/flat_map.h"
 
 namespace bsdtrace {
@@ -64,27 +64,28 @@ ReplayLog ReplayLog::Build(const Trace& trace, BillingPolicy billing) {
   return log;
 }
 
-StatusOr<ReplayLog> ReplayLog::BuildFromFile(const std::string& path, BillingPolicy billing) {
-  TraceFileReader reader(path);
-  if (!reader.status().ok()) {
-    return reader.status();
+StatusOr<ReplayLog> ReplayLog::Build(TraceSource& source, BillingPolicy billing) {
+  if (!source.status().ok()) {
+    return source.status();
   }
   ReplayLog log;
   log.billing_ = billing;
-  if (reader.declared_record_count() > 0) {
-    log.events_.reserve(static_cast<size_t>(reader.declared_record_count()) * 2);
+  if (source.size_hint() > 0) {
+    // The hint is clamped by the source to what its backing store could
+    // plausibly hold, so a lying header cannot drive an unbounded reserve.
+    log.events_.reserve(static_cast<size_t>(source.size_hint()) * 2);
   }
   RecordingSink sink(&log.events_);
   AccessReconstructor reconstructor(&sink, billing);
-  // Records stream from the block-buffered reader straight into the
-  // reconstructor — the full Trace is never materialized, so building a log
-  // from an on-disk trace peaks at the size of the log, not trace + log.
+  // Records stream from the source straight into the reconstructor — the
+  // full Trace is never materialized, so building a log from an on-disk
+  // trace peaks at the size of the log, not trace + log.
   TraceRecord r;
-  while (reader.Next(&r)) {
+  while (source.Next(&r)) {
     reconstructor.Process(r);
   }
-  if (!reader.status().ok()) {
-    return reader.status();
+  if (!source.status().ok()) {
+    return source.status();
   }
   reconstructor.Finish();
   log.events_.shrink_to_fit();
@@ -93,6 +94,11 @@ StatusOr<ReplayLog> ReplayLog::BuildFromFile(const std::string& path, BillingPol
   log.orphan_events_ = reconstructor.orphan_events();
   log.BuildDerivedStreams();
   return log;
+}
+
+StatusOr<ReplayLog> ReplayLog::BuildFromFile(const std::string& path, BillingPolicy billing) {
+  TraceFileSource source(path);
+  return Build(source, billing);
 }
 
 // A clock-only record (open/close/seek) may be elided only when its clock

@@ -63,6 +63,8 @@ struct ReplayEvent {
   }
 };
 
+class TraceSource;  // trace_source.h
+
 // The recorded reconstruction of one trace under one billing policy.
 class ReplayLog {
  public:
@@ -70,9 +72,13 @@ class ReplayLog {
   static ReplayLog Build(const Trace& trace,
                          BillingPolicy billing = BillingPolicy::kAtNextEvent);
 
-  // Streams a binary trace file through the reconstructor via the
-  // block-buffered reader without materializing an in-memory Trace:
-  // equivalent to Build(LoadTrace(path)) with half the peak footprint.
+  // Streams any TraceSource through the reconstructor — one record in
+  // flight, so the peak footprint is the log itself, never trace + log.
+  // Source errors (truncated file, corrupt header) surface as a Status.
+  static StatusOr<ReplayLog> Build(TraceSource& source,
+                                   BillingPolicy billing = BillingPolicy::kAtNextEvent);
+
+  // Convenience: Build over a file-backed source (block-buffered reader).
   static StatusOr<ReplayLog> BuildFromFile(const std::string& path,
                                            BillingPolicy billing = BillingPolicy::kAtNextEvent);
 

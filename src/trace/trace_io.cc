@@ -1,13 +1,16 @@
 #include "src/trace/trace_io.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
 #include "src/trace/io_buffer.h"
+#include "src/trace/trace_source.h"
 
 namespace bsdtrace {
 namespace {
@@ -454,14 +457,28 @@ bool TraceFileReader::Next(TraceRecord* record) {
   return false;
 }
 
-void WriteTextTrace(std::ostream& out, const Trace& trace) {
-  out << "# machine " << trace.header().machine << "\n";
-  if (!trace.header().description.empty()) {
-    out << "# description " << trace.header().description << "\n";
+Status WriteTextTrace(std::ostream& out, TraceSource& source) {
+  out << "# machine " << source.header().machine << "\n";
+  if (!source.header().description.empty()) {
+    out << "# description " << source.header().description << "\n";
   }
-  for (const TraceRecord& r : trace.records()) {
+  TraceRecord r;
+  while (source.Next(&r)) {
     out << r.ToString() << "\n";
   }
+  if (!source.status().ok()) {
+    return source.status();
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::Error("text trace write failed (stream error)");
+  }
+  return Status::Ok();
+}
+
+Status WriteTextTrace(std::ostream& out, const Trace& trace) {
+  TraceVectorSource source(trace);
+  return WriteTextTrace(out, source);
 }
 
 namespace {
@@ -595,12 +612,16 @@ StatusOr<Trace> ReadTextTrace(std::istream& in) {
   return trace;
 }
 
-void WriteBinaryTrace(std::ostream& out, const Trace& trace) {
+Status WriteBinaryTrace(std::ostream& out, const Trace& trace) {
   BinaryTraceWriter writer(out, trace.header(), static_cast<int64_t>(trace.size()));
   for (const TraceRecord& r : trace.records()) {
     writer.Append(r);
   }
   writer.Finish();
+  if (!out.good()) {
+    return Status::Error("binary trace write failed (stream error)");
+  }
+  return Status::Ok();
 }
 
 StatusOr<Trace> ReadBinaryTrace(std::istream& in) {
@@ -611,7 +632,13 @@ StatusOr<Trace> ReadBinaryTrace(std::istream& in) {
   Trace trace(reader.header());
   if (reader.declared_record_count() > 0) {
     // One up-front allocation instead of log2(N) doublings on large traces.
-    trace.Reserve(static_cast<size_t>(reader.declared_record_count()));
+    // The count comes from an untrusted header and an istream's length is
+    // unknowable up front, so cap the act-of-faith allocation; a header
+    // declaring more is either corrupt or a trace large enough that vector
+    // doubling beyond the cap is noise.
+    constexpr int64_t kIstreamReserveCap = int64_t{1} << 20;
+    trace.Reserve(static_cast<size_t>(
+        std::min(reader.declared_record_count(), kIstreamReserveCap)));
   }
   TraceRecord r;
   while (reader.Next(&r)) {
@@ -623,15 +650,25 @@ StatusOr<Trace> ReadBinaryTrace(std::istream& in) {
   return trace;
 }
 
-Status SaveTrace(const std::string& path, const Trace& trace) {
-  TraceFileWriter writer(path, trace.header(), static_cast<int64_t>(trace.size()));
+Status SaveTrace(const std::string& path, TraceSource& source) {
+  TraceFileWriter writer(path, source.header(), source.size_hint());
   if (!writer.status().ok()) {
     return writer.status();
   }
-  for (const TraceRecord& r : trace.records()) {
+  TraceRecord r;
+  while (source.Next(&r)) {
     writer.Append(r);
   }
+  if (!source.status().ok()) {
+    writer.Finish();  // close the partial file; the source error wins
+    return source.status();
+  }
   return writer.Finish();
+}
+
+Status SaveTrace(const std::string& path, const Trace& trace) {
+  TraceVectorSource source(trace);
+  return SaveTrace(path, source);
 }
 
 StatusOr<Trace> LoadTrace(const std::string& path) {
@@ -641,11 +678,22 @@ StatusOr<Trace> LoadTrace(const std::string& path) {
   }
   Trace trace(reader.header());
   std::vector<TraceRecord>& records = trace.records();
-  if (reader.declared_record_count() > 0) {
+  // The declared count is advisory and untrusted: clamp it to the file size
+  // (records encode to >= 4 bytes, so more records than bytes means a corrupt
+  // or hostile header) so the pre-sizing below cannot allocate unboundedly.
+  int64_t declared = reader.declared_record_count();
+  if (declared > 0) {
+    std::error_code ec;
+    const uint64_t bytes = std::filesystem::file_size(path, ec);
+    if (!ec) {
+      declared = std::min(declared, static_cast<int64_t>(bytes));
+    }
+  }
+  if (declared > 0) {
     // Decode straight into pre-sized vector slots — one allocation and no
-    // per-record copy.  The declared count is advisory, so tolerate both a
-    // short stream (shrink) and extra records (append).
-    records.resize(static_cast<size_t>(reader.declared_record_count()));
+    // per-record copy.  Tolerate both a short stream (shrink) and extra
+    // records (append).
+    records.resize(static_cast<size_t>(declared));
     size_t n = 0;
     while (n < records.size() && reader.Next(&records[n])) {
       ++n;

@@ -31,6 +31,8 @@
 
 namespace bsdtrace {
 
+class TraceSource;  // trace_source.h; streaming writers pull from one
+
 // Worst-case encoded size of one record: type byte + 10-byte time varint +
 // up to five 10-byte varints + the mode byte.  The buffered writer reserves
 // this much contiguous space per record so encoding never bounds-checks.
@@ -108,6 +110,8 @@ class TraceFileWriter : public TraceSink {
 
   const Status& status() const { return out_.status(); }
   uint64_t records_written() const { return records_written_; }
+  // Encoded bytes accepted so far (header + records; flushed + buffered).
+  uint64_t bytes_written() const { return out_.bytes_written(); }
 
  private:
   BufferedWriter out_;
@@ -143,16 +147,24 @@ class TraceFileReader {
 };
 
 // Text format: "# machine <name>" / "# description <text>" comment header,
-// then one TraceRecord::ToString() line per record.
-void WriteTextTrace(std::ostream& out, const Trace& trace);
+// then one TraceRecord::ToString() line per record.  The source overload is
+// the implementation; the Trace overload wraps it.  Stream write failures
+// and source errors surface as a non-ok Status.
+Status WriteTextTrace(std::ostream& out, TraceSource& source);
+Status WriteTextTrace(std::ostream& out, const Trace& trace);
 StatusOr<Trace> ReadTextTrace(std::istream& in);
 
-// Whole-trace binary helpers.
-void WriteBinaryTrace(std::ostream& out, const Trace& trace);
+// Whole-trace binary helpers over iostreams (the legacy per-byte path; the
+// file-path helpers below are several times faster).
+Status WriteBinaryTrace(std::ostream& out, const Trace& trace);
 StatusOr<Trace> ReadBinaryTrace(std::istream& in);
 
 // File-path helpers (binary format).  Routed through the block-buffered
-// TraceFileWriter/TraceFileReader path.
+// TraceFileWriter/TraceFileReader path.  The TraceSource overload streams —
+// one record in flight, any trace length in bounded memory — and stamps the
+// source's size hint into the header; it is byte-identical to saving the
+// collected Trace when the hint is exact (sources over files and vectors).
+Status SaveTrace(const std::string& path, TraceSource& source);
 Status SaveTrace(const std::string& path, const Trace& trace);
 StatusOr<Trace> LoadTrace(const std::string& path);
 

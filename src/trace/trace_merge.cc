@@ -1,0 +1,110 @@
+#include "src/trace/trace_merge.h"
+
+namespace bsdtrace {
+
+// Tree layout (standard loser tree, any k >= 2): leaf i sits at conceptual
+// node i + k; internal nodes 1..k-1 play matches, node j's children being
+// nodes 2j and 2j+1; tree_[0] holds the overall winner.  Exhausted leaves
+// lose every match, so they sink to the bottom of the bracket and the merge
+// ends when the champion itself is exhausted.
+
+MergingTraceSource::MergingTraceSource(std::vector<std::unique_ptr<TraceSource>> inputs,
+                                       TraceHeader header, Rewrite rewrite)
+    : header_(std::move(header)), rewrite_(std::move(rewrite)), inputs_(std::move(inputs)) {
+  const size_t k = inputs_.size();
+  leaves_.resize(k);
+  if (k == 0) {
+    done_ = true;
+    return;
+  }
+  size_hint_ = 0;
+  for (const auto& input : inputs_) {
+    const int64_t hint = input->size_hint();
+    if (hint < 0 || size_hint_ < 0) {
+      size_hint_ = -1;
+    } else {
+      size_hint_ += hint;
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    Refill(i);
+  }
+  if (k == 1) {
+    tree_.assign(1, 0);
+    return;
+  }
+  // Bottom-up build: play every match once, storing the loser at the match
+  // node and carrying the winner upward.
+  tree_.resize(k);
+  std::vector<size_t> winner(2 * k);
+  for (size_t m = k; m < 2 * k; ++m) {
+    winner[m] = m - k;
+  }
+  for (size_t j = k - 1; j >= 1; --j) {
+    const size_t a = winner[2 * j];
+    const size_t b = winner[2 * j + 1];
+    const bool a_wins = Beats(a, b);
+    winner[j] = a_wins ? a : b;
+    tree_[j] = a_wins ? b : a;
+  }
+  tree_[0] = winner[1];
+}
+
+bool MergingTraceSource::Beats(size_t a, size_t b) const {
+  const Leaf& la = leaves_[a];
+  const Leaf& lb = leaves_[b];
+  if (la.valid != lb.valid) {
+    return la.valid;  // live records beat exhausted leaves
+  }
+  if (!la.valid) {
+    return a < b;  // both exhausted: arbitrary but total
+  }
+  if (la.record.time != lb.record.time) {
+    return la.record.time < lb.record.time;
+  }
+  return a < b;  // tie: lower input index first (merge stability)
+}
+
+void MergingTraceSource::Refill(size_t i) {
+  Leaf& leaf = leaves_[i];
+  leaf.valid = inputs_[i]->Next(&leaf.record);
+  if (!leaf.valid && status_.ok()) {
+    const Status input_status = inputs_[i]->status();
+    if (!input_status.ok()) {
+      status_ = input_status;
+    }
+  }
+}
+
+void MergingTraceSource::Replay(size_t i) {
+  const size_t k = leaves_.size();
+  size_t cur = i;
+  for (size_t node = (i + k) / 2; node >= 1; node /= 2) {
+    if (Beats(tree_[node], cur)) {
+      std::swap(cur, tree_[node]);
+    }
+  }
+  tree_[0] = cur;
+}
+
+bool MergingTraceSource::Next(TraceRecord* record) {
+  if (done_ || !status_.ok()) {
+    return false;
+  }
+  const size_t winner = tree_[0];
+  if (!leaves_[winner].valid) {
+    done_ = true;  // every input exhausted
+    return false;
+  }
+  *record = leaves_[winner].record;
+  if (rewrite_) {
+    rewrite_(winner, *record);
+  }
+  Refill(winner);
+  if (leaves_.size() > 1) {
+    Replay(winner);
+  }
+  return true;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,82 @@
+// On-disk k-way merge: a TraceSource that interleaves k time-ordered input
+// sources into one time-ordered stream, holding exactly one buffered record
+// per input.
+//
+// The merge is a loser tree (tournament tree of losers): each Next() pops the
+// overall winner, refills that one leaf from its input, and replays only the
+// winner's path to the root — log2(k) comparisons per record instead of the
+// 2·log2(k) a binary heap's sift-down costs, and no per-record allocation.
+//
+// Ordering and determinism: records compare by (time, input index), so ties
+// across inputs break toward the lower input and records from one input are
+// never reordered.  This is exactly the in-memory sharded merge's contract
+// (sharded_generator.h), which is how the spill-to-disk generation path
+// stays byte-identical to the all-in-memory one.
+//
+// A per-record rewrite hook is applied as records are pulled — the sharded
+// generator uses it to remap shard-local FileIds/OpenIds into their global
+// interleaved ranges without a second pass.  Rewrites MUST preserve record
+// times (the merge order is decided on the stored time).
+//
+// Errors: if any input fails (truncated spill file, corrupt header), the
+// merge stops and surfaces that input's Status; a clean end of all inputs
+// leaves status() ok.
+
+#ifndef BSDTRACE_SRC_TRACE_TRACE_MERGE_H_
+#define BSDTRACE_SRC_TRACE_TRACE_MERGE_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/trace/trace_source.h"
+
+namespace bsdtrace {
+
+class MergingTraceSource : public TraceSource {
+ public:
+  // Called on each record as it is pulled, with the index of the input it
+  // came from.  May rewrite ids/payload but not the time.
+  using Rewrite = std::function<void(size_t input_index, TraceRecord& record)>;
+
+  // The merged stream carries `header` (inputs' own headers are ignored).
+  // Inputs may be empty sources; an empty input list yields an empty stream.
+  MergingTraceSource(std::vector<std::unique_ptr<TraceSource>> inputs,
+                     TraceHeader header, Rewrite rewrite = nullptr);
+
+  const TraceHeader& header() const override { return header_; }
+  bool Next(TraceRecord* record) override;
+  Status status() const override { return status_; }
+  // Sum of the input hints, or -1 if any input lacks one.
+  int64_t size_hint() const override { return size_hint_; }
+
+ private:
+  struct Leaf {
+    TraceRecord record;
+    bool valid = false;  // false: input exhausted (or errored)
+  };
+
+  // true when leaf a's current record must come out before leaf b's:
+  // (time, input) lexicographic, exhausted leaves last.
+  bool Beats(size_t a, size_t b) const;
+  // Refills leaf `i` from its input; on input error latches status_.
+  void Refill(size_t i);
+  // Replays leaf i's path to the root after its record changed.
+  void Replay(size_t i);
+
+  TraceHeader header_;
+  Rewrite rewrite_;
+  std::vector<std::unique_ptr<TraceSource>> inputs_;
+  std::vector<Leaf> leaves_;
+  // tree_[0] is the overall winner; tree_[1..k-1] hold the loser of the
+  // match played at that internal node.  Leaf i sits below node (i + k) / 2.
+  std::vector<size_t> tree_;
+  Status status_ = Status::Ok();
+  int64_t size_hint_ = -1;
+  bool done_ = false;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_TRACE_MERGE_H_

@@ -1,0 +1,41 @@
+#include "src/trace/trace_source.h"
+
+#include <filesystem>
+
+namespace bsdtrace {
+
+TraceFileSource::TraceFileSource(const std::string& path) : reader_(path) {
+  if (!reader_.status().ok()) {
+    return;
+  }
+  size_hint_ = reader_.declared_record_count();
+  if (size_hint_ < 0) {
+    return;  // v1 file or streamed-unknown count
+  }
+  // Clamp a lying v2 header: every record encodes to at least 4 bytes, so a
+  // count beyond the file size is impossible.  The count is advisory (readers
+  // always run to the end sentinel), so clamping keeps the stream readable
+  // while making reserve(size_hint()) safe.
+  std::error_code ec;
+  const uint64_t bytes = std::filesystem::file_size(path, ec);
+  if (!ec && size_hint_ > static_cast<int64_t>(bytes)) {
+    size_hint_ = static_cast<int64_t>(bytes);
+  }
+}
+
+StatusOr<Trace> CollectTrace(TraceSource& source) {
+  Trace trace(source.header());
+  if (source.size_hint() > 0) {
+    trace.Reserve(static_cast<size_t>(source.size_hint()));
+  }
+  TraceRecord r;
+  while (source.Next(&r)) {
+    trace.Append(r);
+  }
+  if (!source.status().ok()) {
+    return source.status();
+  }
+  return trace;
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,95 @@
+// Pull-side streaming counterpart of TraceSink: a cursor over an ordered
+// stream of trace records plus the trace header.
+//
+// TraceSource is the I/O front door for every record consumer — the
+// analyzers, the replay-log builder, and SaveTrace all accept one — so a
+// trace can flow from a generator, a file, or a k-way merge of spill files
+// (trace_merge.h) without ever being materialized as an in-memory vector.
+// Whole-`Trace` vectors are just one source among several (TraceVectorSource)
+// and one sink among several (Trace itself).
+//
+// Contract: Next() returns records in non-decreasing time order (the same
+// invariant TraceValidator checks for in-memory traces) and returns false at
+// end of stream or on error; the two are distinguished via status(), which is
+// sticky.  size_hint() is advisory — implementations clamp untrusted header
+// counts to what the backing store could plausibly hold, so consumers may
+// reserve() it without an OOM guard.
+
+#ifndef BSDTRACE_SRC_TRACE_TRACE_SOURCE_H_
+#define BSDTRACE_SRC_TRACE_TRACE_SOURCE_H_
+
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/trace/trace_io.h"
+#include "src/util/status.h"
+
+namespace bsdtrace {
+
+// Producer interface for a stream of trace records (see file comment).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  virtual const TraceHeader& header() const = 0;
+
+  // Reads the next record into *record.  Returns false at end of stream or
+  // on error (distinguish via status()).
+  virtual bool Next(TraceRecord* record) = 0;
+
+  // Ok until the stream fails; sticky once set.
+  virtual Status status() const = 0;
+
+  // Expected number of records, or -1 if unknown.  Advisory (a v1 file or a
+  // lying header may disagree) but safe to reserve(): implementations bound
+  // it by the backing store's size.
+  virtual int64_t size_hint() const { return -1; }
+};
+
+// In-memory source over a Trace the caller keeps alive.  Never fails.
+class TraceVectorSource : public TraceSource {
+ public:
+  explicit TraceVectorSource(const Trace& trace) : trace_(trace) {}
+
+  const TraceHeader& header() const override { return trace_.header(); }
+  bool Next(TraceRecord* record) override {
+    if (next_ >= trace_.records().size()) {
+      return false;
+    }
+    *record = trace_.records()[next_++];
+    return true;
+  }
+  Status status() const override { return Status::Ok(); }
+  int64_t size_hint() const override { return static_cast<int64_t>(trace_.size()); }
+
+ private:
+  const Trace& trace_;
+  size_t next_ = 0;
+};
+
+// File-backed source over the block-buffered binary reader.  A missing file,
+// bad magic, corrupt header, or mid-stream truncation surfaces through
+// status(); the declared record count is clamped to the file size (a four-
+// byte-minimum record encoding means a count beyond that is a corrupt or
+// hostile header, not a reason to over-reserve).
+class TraceFileSource : public TraceSource {
+ public:
+  explicit TraceFileSource(const std::string& path);
+
+  const TraceHeader& header() const override { return reader_.header(); }
+  bool Next(TraceRecord* record) override { return reader_.Next(record); }
+  Status status() const override { return reader_.status(); }
+  int64_t size_hint() const override { return size_hint_; }
+
+ private:
+  TraceFileReader reader_;
+  int64_t size_hint_ = -1;
+};
+
+// Drains a source into an in-memory Trace (header + all records), reserving
+// from the size hint.  Errors from the source are passed through.
+StatusOr<Trace> CollectTrace(TraceSource& source);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_TRACE_SOURCE_H_

@@ -187,6 +187,11 @@ void ScheduleMailDelivery(GenState& gs, SimTime when, uint64_t rng_seed) {
 
 namespace internal {
 
+std::string TraceDescription(const MachineProfile& profile, const GeneratorOptions& options) {
+  return "synthetic " + profile.trace_name + " trace, " + options.duration.ToString() +
+         ", seed " + std::to_string(options.seed);
+}
+
 ShardPlan FullPlan(const MachineProfile& profile) {
   ShardPlan plan;
   plan.users.reserve(static_cast<size_t>(profile.user_population));
@@ -203,10 +208,8 @@ ShardPlan FullPlan(const MachineProfile& profile) {
 GenerationResult RunShard(const MachineProfile& profile, const GeneratorOptions& options,
                           const ShardPlan& plan) {
   auto fs = std::make_unique<FileSystem>(options.fs_options);
-  Trace trace(TraceHeader{
-      .machine = profile.machine,
-      .description = "synthetic " + profile.trace_name + " trace, " +
-                     options.duration.ToString() + ", seed " + std::to_string(options.seed)});
+  Trace trace(TraceHeader{.machine = profile.machine,
+                          .description = TraceDescription(profile, options)});
   TracedKernel kernel(fs.get(), &trace);
 
   // Every shard builds the shared system tree from the same root stream, so

@@ -9,6 +9,7 @@
 #define BSDTRACE_SRC_WORKLOAD_GENERATOR_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/fs/file_system.h"
@@ -58,6 +59,11 @@ Trace GenerateTraceOnly(const MachineProfile& profile,
                         const GeneratorOptions& options = GeneratorOptions());
 
 namespace internal {
+
+// The serial trace header description for a (profile, options) pair; the
+// sharded paths append their shard count to it.  One definition, so the
+// in-memory and spill-to-disk engines cannot drift apart on header bytes.
+std::string TraceDescription(const MachineProfile& profile, const GeneratorOptions& options);
 
 // One shard's slice of the simulated population.  GenerateTrace runs the
 // full plan; GenerateTraceSharded runs one plan per shard and merges.

@@ -3,17 +3,27 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <filesystem>
+#include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_merge.h"
+#include "src/trace/trace_source.h"
+
 namespace bsdtrace {
 namespace {
 
+namespace fs = std::filesystem;
+
 using internal::RunShard;
 using internal::ShardPlan;
+using internal::TraceDescription;
 
 // Round-robin partition: shard s owns users {u : u % S == s} and daemon
 // hosts {h : h % S == s}.  Machine-wide background activity (cron/syslog)
@@ -22,6 +32,12 @@ using internal::ShardPlan;
 // serial path.
 std::vector<ShardPlan> MakePlans(const MachineProfile& profile, int shard_count) {
   std::vector<ShardPlan> plans(static_cast<size_t>(shard_count));
+  if (shard_count == 1) {
+    // Exactly the serial plan, so the streaming engine at one shard spills
+    // the same records GenerateTrace() returns.
+    plans[0] = internal::FullPlan(profile);
+    return plans;
+  }
   for (int s = 0; s < shard_count; ++s) {
     ShardPlan& plan = plans[static_cast<size_t>(s)];
     plan.shard_index = s;
@@ -45,23 +61,64 @@ std::vector<ShardPlan> MakePlans(const MachineProfile& profile, int shard_count)
   return plans;
 }
 
-// Rewrites shard-local ids into globally unique interleaved ranges.  FileIds
-// at or below the shared-image watermark name the shared system tree and
-// agree across replicas, so they pass through; ids above it map to
-// watermark + (id - watermark - 1) * S + s + 1, and OpenIds (always
+// Runs every shard plan on a small worker pool.  Workers claim shard indices
+// from an atomic counter, so which thread runs which shard is scheduling-
+// dependent — but `consume(s, result)` receives the shard index, and callers
+// write into per-shard slots (or files), so the overall output is not.
+// `consume` runs on the worker thread, concurrently for distinct shards.
+void RunShardsOnPool(const MachineProfile& profile, const GeneratorOptions& options,
+                     const std::vector<ShardPlan>& plans, int threads,
+                     const std::function<void(size_t, GenerationResult&&)>& consume) {
+  const int shard_count = static_cast<int>(plans.size());
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::clamp(threads, 1, shard_count);
+
+  std::atomic<int> next_shard{0};
+  const auto worker = [&]() {
+    for (int s = next_shard.fetch_add(1, std::memory_order_relaxed); s < shard_count;
+         s = next_shard.fetch_add(1, std::memory_order_relaxed)) {
+      consume(static_cast<size_t>(s),
+              RunShard(profile, options, plans[static_cast<size_t>(s)]));
+    }
+  };
+  if (threads == 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+// Rewrites one record's shard-local ids into globally unique interleaved
+// ranges.  FileIds at or below the shared-image watermark name the shared
+// system tree and agree across replicas, so they pass through; ids above it
+// map to watermark + (id - watermark - 1) * S + s + 1, and OpenIds (always
 // shard-local, starting at 1) map to (id - 1) * S + s + 1.  Both maps are
 // the identity when S == 1.
+inline void RemapRecordIds(TraceRecord& r, FileId watermark, uint64_t shard,
+                           uint64_t stride) {
+  if (r.file_id > watermark) {
+    r.file_id = watermark + (r.file_id - watermark - 1) * stride + shard + 1;
+  }
+  if (r.open_id != kInvalidOpenId) {
+    r.open_id = (r.open_id - 1) * stride + shard + 1;
+  }
+}
+
 void RemapShardIds(std::vector<TraceRecord>& records, FileId watermark, int shard_index,
                    int shard_count) {
   const uint64_t s = static_cast<uint64_t>(shard_index);
   const uint64_t stride = static_cast<uint64_t>(shard_count);
   for (TraceRecord& r : records) {
-    if (r.file_id > watermark) {
-      r.file_id = watermark + (r.file_id - watermark - 1) * stride + s + 1;
-    }
-    if (r.open_id != kInvalidOpenId) {
-      r.open_id = (r.open_id - 1) * stride + s + 1;
-    }
+    RemapRecordIds(r, watermark, s, stride);
   }
 }
 
@@ -143,6 +200,194 @@ void FoldInto(GenerationResult& total, GenerationResult& shard, size_t shard_ind
   total.tasks_executed += shard.tasks_executed;
 }
 
+void FinishFragmentation(GenerationResult& result) {
+  const FsStatistics& fs_stats = result.fs_stats;
+  result.fs_stats.internal_fragmentation =
+      fs_stats.allocated_bytes > 0
+          ? 1.0 - static_cast<double>(fs_stats.live_bytes) /
+                      static_cast<double>(fs_stats.allocated_bytes)
+          : 0.0;
+}
+
+// The streamed trace's header: the serial description for one shard (so the
+// shards=1 contract against GenerateTrace holds byte-for-byte), the sharded
+// suffix otherwise — matching GenerateTraceSharded exactly.
+TraceHeader MergedHeader(const MachineProfile& profile, const GeneratorOptions& options,
+                         int shard_count) {
+  TraceHeader header{.machine = profile.machine,
+                     .description = TraceDescription(profile, options)};
+  if (shard_count > 1) {
+    header.description += ", " + std::to_string(shard_count) + " shards";
+  }
+  return header;
+}
+
+// Owns the private spill-file subdirectory; removes it (and anything left
+// inside) on destruction, so early error returns never leak spill files.
+class ScopedSpillDir {
+ public:
+  ScopedSpillDir() = default;
+  ~ScopedSpillDir() { Remove(); }
+
+  ScopedSpillDir(ScopedSpillDir&& o) noexcept : dir_(std::move(o.dir_)) { o.dir_.clear(); }
+  ScopedSpillDir& operator=(ScopedSpillDir&& o) noexcept {
+    if (this != &o) {
+      Remove();
+      dir_ = std::move(o.dir_);
+      o.dir_.clear();
+    }
+    return *this;
+  }
+
+  Status Create(const std::string& base) {
+    std::error_code ec;
+    fs::path root = base.empty() ? fs::temp_directory_path(ec) : fs::path(base);
+    if (ec) {
+      return Status::Error("spill: no temp directory: " + ec.message());
+    }
+    static std::atomic<uint64_t> counter{0};
+    const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+    fs::path dir = root / ("bsdtrace-spill-" + std::to_string(n) + "-" +
+                           std::to_string(reinterpret_cast<uintptr_t>(this)));
+    if (!fs::create_directories(dir, ec) || ec) {
+      return Status::Error("spill: cannot create " + dir.string() +
+                           (ec ? ": " + ec.message() : " (already exists)"));
+    }
+    dir_ = dir.string();
+    return Status::Ok();
+  }
+
+  std::string ShardPath(size_t shard) const {
+    return dir_ + "/shard-" + std::to_string(shard) + ".trc";
+  }
+
+ private:
+  void Remove() {
+    if (!dir_.empty()) {
+      std::error_code ec;
+      fs::remove_all(dir_, ec);  // best effort; temp dirs age out regardless
+    }
+  }
+  std::string dir_;
+};
+
+// Phase-1 output: per-shard spill files plus the folded non-trace stats.
+struct SpilledShards {
+  ScopedSpillDir dir;
+  std::vector<uint64_t> shard_records;
+  uint64_t total_records = 0;
+  uint64_t spill_bytes = 0;
+  GenerationResult stats;  // trace empty; counters/fsck/watermark folded
+  TraceHeader header;
+  int shard_count = 1;
+};
+
+// Phase 1 of the streaming engine: simulate all shards on the pool, spilling
+// each shard's sorted records to its own file from inside the worker and
+// freeing them immediately — peak record memory is bounded by the `threads`
+// largest shards, not the whole trace.
+StatusOr<SpilledShards> SpillShards(const MachineProfile& profile,
+                                    const ShardedGeneratorOptions& options) {
+  const int population = std::max(profile.user_population, 1);
+  const int shard_count = std::clamp(options.shard_count, 1, population);
+  const std::vector<ShardPlan> plans = MakePlans(profile, shard_count);
+
+  SpilledShards spilled;
+  spilled.shard_count = shard_count;
+  spilled.header = MergedHeader(profile, options.base, shard_count);
+  if (Status st = spilled.dir.Create(options.spill_dir); !st.ok()) {
+    return st;
+  }
+
+  const size_t n = static_cast<size_t>(shard_count);
+  std::vector<GenerationResult> slim(n);          // per-shard stats, records freed
+  std::vector<Status> shard_status(n, Status::Ok());
+  std::vector<uint64_t> shard_bytes(n, 0);
+  spilled.shard_records.assign(n, 0);
+
+  RunShardsOnPool(profile, options.base, plans, options.threads,
+                  [&](size_t s, GenerationResult&& result) {
+                    TraceFileWriter writer(spilled.dir.ShardPath(s),
+                                           result.trace.header(),
+                                           static_cast<int64_t>(result.trace.size()));
+                    for (const TraceRecord& r : result.trace.records()) {
+                      writer.Append(r);
+                    }
+                    shard_status[s] = writer.Finish();
+                    shard_bytes[s] = writer.bytes_written();
+                    spilled.shard_records[s] = writer.records_written();
+                    result.trace = Trace(result.trace.header());  // free the records now
+                    slim[s] = std::move(result);
+                  });
+
+  for (size_t s = 0; s < n; ++s) {
+    if (!shard_status[s].ok()) {
+      return Status::Error("spill shard " + std::to_string(s) + ": " +
+                           shard_status[s].message());
+    }
+  }
+
+  // Every replica builds the shared tree from the same (profile, seed), so
+  // the watermarks must agree; disagreement is a simulator bug, not an I/O
+  // condition, but the streaming path diagnoses rather than asserts.
+  const FileId watermark = slim[0].shared_image_watermark;
+  for (const GenerationResult& shard : slim) {
+    if (shard.shared_image_watermark != watermark) {
+      return Status::Error("spill: shard watermarks disagree (simulator bug)");
+    }
+  }
+  spilled.stats.shared_image_watermark = watermark;
+  for (size_t s = 0; s < n; ++s) {
+    FoldInto(spilled.stats, slim[s], s);
+    spilled.total_records += spilled.shard_records[s];
+    spilled.spill_bytes += shard_bytes[s];
+  }
+  FinishFragmentation(spilled.stats);
+  return spilled;
+}
+
+// Phase 2: loser-tree merge over the spill-file cursors, remapping ids
+// record-by-record as they are pulled.  One record per shard in memory.
+StatusOr<ShardedStreamStats> MergeSpills(SpilledShards& spilled, TraceSink& sink) {
+  std::vector<std::unique_ptr<TraceSource>> inputs;
+  inputs.reserve(spilled.shard_records.size());
+  for (size_t s = 0; s < spilled.shard_records.size(); ++s) {
+    inputs.push_back(std::make_unique<TraceFileSource>(spilled.dir.ShardPath(s)));
+  }
+  const FileId watermark = spilled.stats.shared_image_watermark;
+  const uint64_t stride = static_cast<uint64_t>(spilled.shard_count);
+  MergingTraceSource merge(
+      std::move(inputs), spilled.header,
+      [watermark, stride](size_t shard, TraceRecord& r) {
+        RemapRecordIds(r, watermark, static_cast<uint64_t>(shard), stride);
+      });
+
+  uint64_t streamed = 0;
+  TraceRecord r;
+  while (merge.Next(&r)) {
+    sink.Append(r);
+    ++streamed;
+  }
+  if (!merge.status().ok()) {
+    return merge.status();
+  }
+  if (streamed != spilled.total_records) {
+    return Status::Error("spill merge produced " + std::to_string(streamed) + " of " +
+                         std::to_string(spilled.total_records) + " expected records");
+  }
+
+  ShardedStreamStats stats;
+  stats.header = spilled.header;
+  stats.kernel_counters = spilled.stats.kernel_counters;
+  stats.fs_stats = spilled.stats.fs_stats;
+  stats.fsck = std::move(spilled.stats.fsck);
+  stats.tasks_executed = spilled.stats.tasks_executed;
+  stats.shared_image_watermark = watermark;
+  stats.records_streamed = streamed;
+  stats.spill_bytes_written = spilled.spill_bytes;
+  return stats;
+}
+
 }  // namespace
 
 GenerationResult GenerateTraceSharded(const MachineProfile& profile,
@@ -155,37 +400,11 @@ GenerationResult GenerateTraceSharded(const MachineProfile& profile,
   }
 
   const std::vector<ShardPlan> plans = MakePlans(profile, shard_count);
-
-  // Run the shards.  Workers claim shard indices from an atomic counter and
-  // write into indexed slots, so the results — and therefore the merge — are
-  // independent of thread scheduling.
   std::vector<GenerationResult> shards(static_cast<size_t>(shard_count));
-  int threads = options.threads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
-  threads = std::clamp(threads, 1, shard_count);
-
-  std::atomic<int> next_shard{0};
-  const auto worker = [&]() {
-    for (int s = next_shard.fetch_add(1, std::memory_order_relaxed); s < shard_count;
-         s = next_shard.fetch_add(1, std::memory_order_relaxed)) {
-      shards[static_cast<size_t>(s)] =
-          RunShard(profile, options.base, plans[static_cast<size_t>(s)]);
-    }
-  };
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back(worker);
-    }
-    for (std::thread& t : pool) {
-      t.join();
-    }
-  }
+  RunShardsOnPool(profile, options.base, plans, options.threads,
+                  [&shards](size_t s, GenerationResult&& result) {
+                    shards[s] = std::move(result);
+                  });
 
   // Every replica builds the shared tree from the same (profile, seed), so
   // the watermarks must agree.
@@ -200,23 +419,50 @@ GenerationResult GenerateTraceSharded(const MachineProfile& profile,
 
   GenerationResult result;
   result.shared_image_watermark = watermark;
-  Trace merged(TraceHeader{
-      .machine = profile.machine,
-      .description = "synthetic " + profile.trace_name + " trace, " +
-                     options.base.duration.ToString() + ", seed " +
-                     std::to_string(options.base.seed) + ", " +
-                     std::to_string(shard_count) + " shards"});
+  Trace merged(MergedHeader(profile, options.base, shard_count));
   merged.records() = MergeShardRecords(shards);
   result.trace = std::move(merged);
   for (size_t s = 0; s < shards.size(); ++s) {
     FoldInto(result, shards[s], s);
   }
-  const FsStatistics& fs = result.fs_stats;
-  result.fs_stats.internal_fragmentation =
-      fs.allocated_bytes > 0 ? 1.0 - static_cast<double>(fs.live_bytes) /
-                                         static_cast<double>(fs.allocated_bytes)
-                             : 0.0;
+  FinishFragmentation(result);
   return result;
+}
+
+StatusOr<ShardedStreamStats> GenerateTraceShardedTo(const MachineProfile& profile,
+                                                    const ShardedGeneratorOptions& options,
+                                                    TraceSink& sink) {
+  StatusOr<SpilledShards> spilled = SpillShards(profile, options);
+  if (!spilled.ok()) {
+    return spilled.status();
+  }
+  return MergeSpills(spilled.value(), sink);
+}
+
+StatusOr<ShardedStreamStats> GenerateTraceShardedToFile(const MachineProfile& profile,
+                                                        const ShardedGeneratorOptions& options,
+                                                        const std::string& path) {
+  StatusOr<SpilledShards> spilled = SpillShards(profile, options);
+  if (!spilled.ok()) {
+    return spilled.status();
+  }
+  // The exact record count is known once the shards have spilled, so the
+  // final file's v2 header declares it — the same bytes SaveTrace writes for
+  // the in-memory path's trace.
+  TraceFileWriter writer(path, spilled.value().header,
+                         static_cast<int64_t>(spilled.value().total_records));
+  if (!writer.status().ok()) {
+    return writer.status();
+  }
+  StatusOr<ShardedStreamStats> stats = MergeSpills(spilled.value(), writer);
+  const Status finish = writer.Finish();
+  if (!stats.ok()) {
+    return stats.status();
+  }
+  if (!finish.ok()) {
+    return finish;
+  }
+  return stats;
 }
 
 }  // namespace bsdtrace

@@ -26,6 +26,10 @@
 #ifndef BSDTRACE_SRC_WORKLOAD_SHARDED_GENERATOR_H_
 #define BSDTRACE_SRC_WORKLOAD_SHARDED_GENERATOR_H_
 
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/util/status.h"
 #include "src/workload/generator.h"
 #include "src/workload/profile.h"
 
@@ -39,12 +43,66 @@ struct ShardedGeneratorOptions {
   // Worker threads; <= 0 means hardware concurrency.  Clamped to
   // [1, shard_count].  Has no effect on output, only on wall-clock.
   int threads = 0;
+  // Spill-to-disk streaming path only: directory for the per-shard spill
+  // files (must exist).  Empty selects the system temp directory.  Spill
+  // files live in a private subdirectory that is removed when generation
+  // finishes, successfully or not.
+  std::string spill_dir;
 };
 
 // Generates a trace with the population split across shards.  See the
 // determinism contract above.
 GenerationResult GenerateTraceSharded(const MachineProfile& profile,
                                       const ShardedGeneratorOptions& options);
+
+// -- Spill-to-disk streaming path ---------------------------------------------
+//
+// The streaming engine runs the same shards, but each worker spills its
+// shard's time-sorted records through a block-buffered trace writer into a
+// temp file as soon as the shard finishes simulating and frees them — so at
+// most `threads` shards' records are ever in memory at once — and then an
+// on-disk k-way merge (a loser tree over per-shard file cursors, with the
+// FileId/OpenId remap applied record-by-record as they are pulled) streams
+// the final trace into a TraceSink holding ONE record per shard.  A
+// 1000-user multi-week trace can be generated, saved, and analyzed without
+// ever fitting in RAM.
+//
+// Determinism: the streamed record sequence — and, for the ToFile variant,
+// the file's bytes — is identical to the in-memory path's output for the
+// same (profile, options):
+//     GenerateTraceShardedToFile(p, o, f)  ==  SaveTrace(f, GenerateTraceSharded(p, o).trace)
+// byte for byte, for every shard_count and threads value (pinned by
+// ShardedStream tests and the bench_micro_generate gate).
+
+// Everything GenerateTraceSharded reports except the record vector, plus
+// streaming bookkeeping.
+struct ShardedStreamStats {
+  // Header of the streamed trace (the sink only sees records).
+  TraceHeader header;
+  KernelCounters kernel_counters;
+  FsStatistics fs_stats;
+  FsckReport fsck;
+  uint64_t tasks_executed = 0;
+  FileId shared_image_watermark = 0;
+  // Records delivered to the sink == records spilled across all shards.
+  uint64_t records_streamed = 0;
+  // Total bytes of per-shard spill files written (and deleted) on the way.
+  uint64_t spill_bytes_written = 0;
+};
+
+// Streams the merged trace into `sink` (which sees Append per record, in
+// time order).  Errors — unwritable spill directory, a spill file truncated
+// or corrupted between write and merge — surface as a clean Status.
+StatusOr<ShardedStreamStats> GenerateTraceShardedTo(const MachineProfile& profile,
+                                                    const ShardedGeneratorOptions& options,
+                                                    TraceSink& sink);
+
+// Streams the merged trace straight into a binary trace file at `path`,
+// with the exact record count stamped in the v2 header.  Byte-identical to
+// saving the in-memory path's trace (see above).
+StatusOr<ShardedStreamStats> GenerateTraceShardedToFile(const MachineProfile& profile,
+                                                        const ShardedGeneratorOptions& options,
+                                                        const std::string& path);
 
 }  // namespace bsdtrace
 

@@ -1,7 +1,13 @@
 #include "src/analysis/analyzer.h"
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_source.h"
 #include "tests/testing/trace_builder.h"
 
 namespace bsdtrace {
@@ -47,6 +53,53 @@ TEST(AnalyzeTrace, ConsistencyBetweenCollectors) {
   EXPECT_EQ(a.runs.by_runs.sample_count(), 20);
   EXPECT_EQ(static_cast<uint64_t>(a.runs.by_bytes.total_weight()),
             a.overall.bytes_transferred);
+}
+
+// The streaming entry point must compute exactly what the in-memory one
+// does — same collectors, records arriving through a TraceSource.
+TEST(AnalyzeTrace, StreamingSourceMatchesInMemory) {
+  TraceBuilder b;
+  double t = 1;
+  for (OpenId oid = 1; oid <= 30; ++oid) {
+    b.WholeRead(t, t + 0.4, oid, 100 + oid, 512 * oid, 1 + oid % 3);
+    t += 1;
+  }
+  b.Unlink(t + 1, 101, 1);
+  const Trace trace = b.Build();
+  const TraceAnalysis direct = AnalyzeTrace(trace);
+
+  // Through an in-memory source...
+  TraceVectorSource vector_source(trace);
+  auto streamed = AnalyzeTrace(vector_source);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().message();
+
+  // ...and through a real file, the full generate-to-file → analyze-from-file
+  // recipe.
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            "bsdtrace-analyzer-stream-test.trc")
+                               .string();
+  ASSERT_TRUE(SaveTrace(path, trace).ok());
+  TraceFileSource file_source(path);
+  auto from_file = AnalyzeTrace(file_source);
+  std::remove(path.c_str());
+  ASSERT_TRUE(from_file.ok()) << from_file.status().message();
+
+  for (const TraceAnalysis* a : {&streamed.value(), &from_file.value()}) {
+    EXPECT_EQ(a->overall.total_records, direct.overall.total_records);
+    EXPECT_EQ(a->overall.bytes_transferred, direct.overall.bytes_transferred);
+    EXPECT_EQ(a->activity.distinct_users, direct.activity.distinct_users);
+    EXPECT_EQ(a->sequentiality.Total().accesses, direct.sequentiality.Total().accesses);
+    EXPECT_EQ(a->runs.by_runs.sample_count(), direct.runs.by_runs.sample_count());
+    EXPECT_EQ(a->open_times.seconds.sample_count(), direct.open_times.seconds.sample_count());
+    EXPECT_EQ(a->lifetimes.new_files, direct.lifetimes.new_files);
+    EXPECT_EQ(a->lifetimes.observed_deaths, direct.lifetimes.observed_deaths);
+  }
+}
+
+TEST(AnalyzeTrace, SourceErrorPropagates) {
+  TraceFileSource missing("/nonexistent/bsdtrace-analyzer-missing.trc");
+  auto analysis = AnalyzeTrace(missing);
+  EXPECT_FALSE(analysis.ok());
 }
 
 }  // namespace

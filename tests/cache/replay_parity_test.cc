@@ -3,6 +3,8 @@
 // running AccessReconstructor straight into it, for every Fig. 5/6/7
 // configuration and both billing policies.
 
+#include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,7 @@
 
 #include "src/cache/sweep.h"
 #include "src/trace/replay_log.h"
+#include "src/trace/trace_io.h"
 #include "src/workload/generator.h"
 #include "src/workload/profile.h"
 #include "tests/testing/trace_builder.h"
@@ -120,6 +123,36 @@ TEST(ReplayParity, SweepOverSharedLog) {
     ExpectIdentical(from_trace[i].metrics, from_log[i].metrics,
                     from_trace[i].config.ToString());
   }
+}
+
+// The streaming builders — Build over a TraceSource and BuildFromFile over a
+// real trace file — must produce a log whose replay is bit-identical to the
+// in-memory build's, and must surface file errors as a clean Status.
+TEST(ReplayParity, StreamingBuildMatchesInMemory) {
+  GeneratorOptions options;
+  options.duration = Duration::Minutes(10);
+  options.seed = 8554;
+  const Trace trace = GenerateTraceOnly(ProfileA5(), options);
+  const ReplayLog direct = ReplayLog::Build(trace);
+
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            "bsdtrace-replay-parity-stream.trc")
+                               .string();
+  ASSERT_TRUE(SaveTrace(path, trace).ok());
+  auto from_file = ReplayLog::BuildFromFile(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(from_file.ok()) << from_file.status().message();
+  EXPECT_EQ(from_file.value().record_count(), direct.record_count());
+  EXPECT_EQ(from_file.value().transfer_count(), direct.transfer_count());
+  EXPECT_EQ(from_file.value().event_count(), direct.event_count());
+
+  for (const CacheConfig& c : Fig5Configs()) {
+    ExpectIdentical(SimulateCache(direct, c), SimulateCache(from_file.value(), c),
+                    c.ToString());
+  }
+
+  auto missing = ReplayLog::BuildFromFile("/nonexistent/bsdtrace-replay.trc");
+  EXPECT_FALSE(missing.ok());
 }
 
 TEST(ReplayLogStats, CountsAndBilling) {

@@ -1,0 +1,126 @@
+// Streaming trace pipeline CLI: generate a trace straight to disk through
+// the spill-and-merge engine, analyze a trace file without loading it into
+// memory, or print a file's header.  The generate-to-file → analyze-from-file
+// recipe in EXPERIMENTS.md; also the CI low-memory smoke test's workhorse.
+//
+//   trace_stream generate <out.trc> [profile] [hours] [shards] [threads] [seed]
+//   trace_stream analyze  <in.trc>
+//   trace_stream info     <in.trc>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/analysis/analyzer.h"
+#include "src/core/experiments.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_source.h"
+#include "src/workload/profile.h"
+#include "src/workload/sharded_generator.h"
+
+using namespace bsdtrace;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_stream generate <out.trc> [profile=A5] [hours=6] "
+               "[shards=8] [threads=0] [seed=19851201]\n"
+               "       trace_stream analyze  <in.trc>\n"
+               "       trace_stream info     <in.trc>\n");
+  return 2;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  const std::string out_path = argv[0];
+  ShardedGeneratorOptions options;
+  options.base.seed = 19851201;
+  options.base.duration = Duration::Hours(argc > 2 ? std::atof(argv[2]) : 6.0);
+  options.shard_count = argc > 3 ? std::atoi(argv[3]) : 8;
+  options.threads = argc > 4 ? std::atoi(argv[4]) : 0;
+  if (argc > 5) {
+    options.base.seed = std::strtoull(argv[5], nullptr, 10);
+  }
+  const MachineProfile profile = ProfileByName(argc > 1 ? argv[1] : "A5");
+
+  auto stats = GenerateTraceShardedToFile(profile, options, out_path);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n", stats.status().message().c_str());
+    return 1;
+  }
+  const ShardedStreamStats& s = stats.value();
+  std::printf("wrote %s: %llu records (%s)\n", out_path.c_str(),
+              static_cast<unsigned long long>(s.records_streamed),
+              s.header.description.c_str());
+  std::printf("spilled %.1f MB across %d shards; fsck %s\n",
+              static_cast<double>(s.spill_bytes_written) / 1048576.0, options.shard_count,
+              s.fsck.ok() ? "clean" : s.fsck.Summary().c_str());
+  return s.fsck.ok() ? 0 : 1;
+}
+
+int Analyze(const char* path) {
+  TraceFileSource source(path);
+  auto analysis = AnalyzeTrace(source);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analyze failed: %s\n", analysis.status().message().c_str());
+    return 1;
+  }
+  const std::vector<NamedAnalysis> named = {{source.header().machine, &analysis.value()}};
+  std::fputs(RenderTable3(named).c_str(), stdout);
+  std::fputs(RenderTable4(named).c_str(), stdout);
+  std::fputs(RenderTable5(named).c_str(), stdout);
+  return 0;
+}
+
+int Info(const char* path) {
+  TraceFileSource source(path);
+  if (!source.status().ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path, source.status().message().c_str());
+    return 1;
+  }
+  std::printf("machine:     %s\n", source.header().machine.c_str());
+  std::printf("description: %s\n", source.header().description.c_str());
+  if (source.size_hint() >= 0) {
+    std::printf("declared:    %lld records\n", static_cast<long long>(source.size_hint()));
+  } else {
+    std::printf("declared:    unknown (v1 or streamed file)\n");
+  }
+  uint64_t n = 0;
+  TraceRecord r{};
+  SimTime last = SimTime::Origin();
+  while (source.Next(&r)) {
+    ++n;
+    last = r.time;
+  }
+  if (!source.status().ok()) {
+    std::fprintf(stderr, "scan failed after %llu records: %s\n",
+                 static_cast<unsigned long long>(n), source.status().message().c_str());
+    return 1;
+  }
+  std::printf("records:     %llu\n", static_cast<unsigned long long>(n));
+  std::printf("span:        %.2f simulated hours\n", (last - SimTime::Origin()).hours());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "generate") == 0) {
+    return Generate(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "analyze") == 0) {
+    return Analyze(argv[2]);
+  }
+  if (std::strcmp(cmd, "info") == 0) {
+    return Info(argv[2]);
+  }
+  return Usage();
+}
