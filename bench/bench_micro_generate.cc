@@ -159,7 +159,14 @@ int main() {
     }
     sharded_records = sharded.trace.size();
     if (rep == kReps - 1) {
-      sharded_bytes = Serialize(sharded.trace);
+      // The streamed file is format v3 (checksummed blocks + footer index);
+      // save the in-memory trace with the same options for the identity gate.
+      const std::string ref_path =
+          (std::filesystem::temp_directory_path() / "bsdtrace-bench-ref.trc").string();
+      if (SaveTrace(ref_path, sharded.trace, TraceWriterOptions{.version = 3}).ok()) {
+        sharded_bytes = ReadFileBytes(ref_path);
+      }
+      std::remove(ref_path.c_str());
     }
   }
   const long peak_rss_inmem_kb = ReadPeakRssKb();
@@ -177,14 +184,16 @@ int main() {
   }
 
   // Parity gates: shards = 1 must reproduce the serial trace byte for byte,
-  // and the streamed file must be byte-identical to saving the in-memory
-  // sharded trace (same format, count-stamped header).
+  // and the streamed v3 file must be byte-identical to saving the in-memory
+  // sharded trace with the same v3 options (count-stamped header, checksummed
+  // blocks, footer index).
   ShardedGeneratorOptions one_shard = sharded_options;
   one_shard.shard_count = 1;
   const bool shard1_identical =
       Serialize(GenerateTraceSharded(profile, one_shard).trace) ==
       Serialize(GenerateTrace(profile, options).trace);
-  const bool stream_identical = stream_ok && ReadFileBytes(stream_path) == sharded_bytes;
+  const bool stream_identical =
+      stream_ok && !sharded_bytes.empty() && ReadFileBytes(stream_path) == sharded_bytes;
   std::remove(stream_path.c_str());
 
   const double speedup = sharded_s > 0 ? serial_s / sharded_s : 0;

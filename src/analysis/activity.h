@@ -6,13 +6,21 @@
 // (interval, active user) pairs — exactly the paper's definition, including
 // the property that 10-second intervals show fewer, burstier users than
 // 10-minute intervals.
+//
+// Two operating modes.  The streaming mode keeps one open window per
+// interval length and folds each interval into Welford accumulators as it
+// completes.  The segment mode (parallel analysis) instead records an
+// order-free summary per touched interval — the active-user set and per-user
+// byte totals, both exact integers — which ActivitySegment::Merge can
+// combine across segments and Finalize replays in ascending interval order,
+// reproducing the streaming mode's accumulator updates bit for bit.
 
 #ifndef BSDTRACE_SRC_ANALYSIS_ACTIVITY_H_
 #define BSDTRACE_SRC_ANALYSIS_ACTIVITY_H_
 
+#include <map>
 #include <set>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "src/trace/reconstruct.h"
 #include "src/util/stats.h"
@@ -39,22 +47,67 @@ struct ActivityStats {
   IntervalActivity ten_second;
 };
 
+// Order-free per-interval summary of one window length: which users were
+// active and how many reconstructed bytes each moved.  Ordered maps keep the
+// replay order deterministic without re-sorting.
+struct ActivityWindowSegment {
+  struct Interval {
+    std::set<UserId> active;
+    std::map<UserId, uint64_t> bytes;  // only users with bytes > 0
+  };
+
+  explicit ActivityWindowSegment(Duration length) : length(length) {}
+
+  Duration length;
+  std::map<int64_t, Interval> intervals;  // interval index -> summary
+
+  void Touch(SimTime t, UserId user, uint64_t bytes);
+  void Merge(const ActivityWindowSegment& other);
+  // Replays the intervals in ascending index order — gaps count as intervals
+  // with zero active users, matching the streaming window — into Welford
+  // accumulators, per-interval users in ascending id order.
+  IntervalActivity Finalize() const;
+};
+
+// Everything one segment contributes to Table IV, mergeable across segments.
+struct ActivitySegment {
+  ActivityWindowSegment ten_minute{Duration::Minutes(10)};
+  ActivityWindowSegment ten_second{Duration::Seconds(10)};
+  std::set<UserId> users_seen;
+  uint64_t total_bytes = 0;
+  SimTime last_time;
+  // Boundary state, not merged: the opening user of each open still pending
+  // at the segment's end (close/seek records do not carry a user id).
+  std::unordered_map<OpenId, UserId> open_user;
+
+  void Touch(SimTime t, UserId user, uint64_t bytes);
+  // Absorbs other's interval summaries, users, bytes, and last-event time.
+  // open_user is boundary state and is deliberately left alone.
+  void Merge(const ActivitySegment& other);
+  ActivityStats Finalize() const;
+};
+
 class ActivityCollector : public ReconstructionSink {
  public:
-  ActivityCollector();
+  // segment_mode: collect an ActivitySegment instead of streaming windows,
+  // and skip close/seek records whose open lies outside this segment (their
+  // user is unknown here; the stitcher replays them with the carried user).
+  explicit ActivityCollector(bool segment_mode = false);
 
   void OnRecord(const TraceRecord& record) override;
   void OnTransfer(const Transfer& transfer) override;
 
   ActivityStats Take();
+  // Segment-mode result (collector may not be reused).
+  ActivitySegment TakeSegment();
 
  private:
   struct Window {
     explicit Window(Duration length) : length(length) {}
     Duration length;
     int64_t current_index = -1;
-    std::unordered_set<UserId> active;
-    std::unordered_map<UserId, uint64_t> bytes;
+    std::set<UserId> active;
+    std::map<UserId, uint64_t> bytes;
     IntervalActivity result;
   };
 
@@ -64,8 +117,10 @@ class ActivityCollector : public ReconstructionSink {
   // no user id; we remember it from the open).
   UserId UserOf(const TraceRecord& record);
 
+  bool segment_mode_;
   Window ten_minute_;
   Window ten_second_;
+  ActivitySegment segment_;
   std::unordered_map<OpenId, UserId> open_user_;
   std::set<UserId> users_seen_;
   uint64_t total_bytes_ = 0;

@@ -1,6 +1,20 @@
 #include "src/analysis/overall.h"
 
+#include <algorithm>
+
 namespace bsdtrace {
+
+void OverallStats::Merge(const OverallStats& other) {
+  duration = std::max(duration, other.duration);
+  total_records += other.total_records;
+  for (size_t i = 0; i < count_by_type.size(); ++i) {
+    count_by_type[i] += other.count_by_type[i];
+  }
+  bytes_transferred += other.bytes_transferred;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  inter_event_interval_seconds.Merge(other.inter_event_interval_seconds);
+}
 
 void OverallStatsCollector::OnRecord(const TraceRecord& r) {
   ++stats_.total_records;

@@ -34,6 +34,10 @@ struct OverallStats {
                ? static_cast<double>(Count(type)) / static_cast<double>(total_records)
                : 0.0;
   }
+
+  // Absorbs another segment's statistics (parallel reduction): counters sum,
+  // duration takes the max, the interval CDF takes the union of samples.
+  void Merge(const OverallStats& other);
 };
 
 // Streaming collector; feed it through AccessReconstructor.
@@ -44,6 +48,14 @@ class OverallStatsCollector : public ReconstructionSink {
 
   // Finalizes and returns the statistics (collector may not be reused).
   OverallStats Take();
+
+  // Segment handoff: the last event time of each open still pending, so the
+  // stitcher can emit the inter-event samples that straddle the boundary.
+  // (Seeks and closes whose open lies in an earlier segment are silently
+  // skipped here — the map miss — and replayed by the stitcher.)
+  std::unordered_map<OpenId, SimTime> TakePendingLastEvents() {
+    return std::move(last_event_for_open_);
+  }
 
  private:
   OverallStats stats_;

@@ -1,0 +1,403 @@
+#include "src/analysis/parallel_analyzer.h"
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/activity.h"
+#include "src/analysis/lifetimes.h"
+#include "src/analysis/overall.h"
+#include "src/analysis/patterns.h"
+#include "src/analysis/sequentiality.h"
+#include "src/trace/reconstruct.h"
+
+namespace bsdtrace {
+namespace {
+
+// Fans reconstruction callbacks out to the worker's collectors (the same
+// shape as the serial analyzer's mux, local to this translation unit).
+class WorkerMux : public ReconstructionSink {
+ public:
+  WorkerMux(std::initializer_list<ReconstructionSink*> sinks) : sinks_(sinks) {}
+
+  void OnTransfer(const Transfer& t) override {
+    for (ReconstructionSink* s : sinks_) {
+      s->OnTransfer(t);
+    }
+  }
+  void OnAccess(const AccessSummary& a) override {
+    for (ReconstructionSink* s : sinks_) {
+      s->OnAccess(a);
+    }
+  }
+  void OnRecord(const TraceRecord& r) override {
+    for (ReconstructionSink* s : sinks_) {
+      s->OnRecord(r);
+    }
+  }
+
+ private:
+  std::vector<ReconstructionSink*> sinks_;
+};
+
+// A record the worker could not interpret (its open lies in an earlier
+// segment), plus the lifetime zone its eventual write transfer lands in.
+struct OrphanRecord {
+  TraceRecord record;
+  LifetimeOrphanTag tag;
+};
+
+// Everything one worker hands to the stitcher.
+struct SegmentResult {
+  Status status = Status::Ok();
+  std::vector<OrphanRecord> orphans;
+  std::unordered_map<OpenId, AccessReconstructor::OpenState> open_states;
+  OverallStats overall;
+  std::unordered_map<OpenId, SimTime> pending_last_events;
+  ActivitySegment activity;
+  SequentialityStats sequentiality;
+  RunLengthStats runs;
+  FileSizeStats file_sizes;
+  OpenTimeStats open_times;
+  LifetimeSegment lifetimes;
+};
+
+// One full collector pass over a single segment.
+SegmentResult RunSegment(TraceSource& cursor) {
+  SegmentResult seg;
+  OverallStatsCollector overall;
+  ActivityCollector activity(/*segment_mode=*/true);
+  SequentialityCollector sequentiality;
+  PatternsCollector patterns;
+  LifetimeCollector lifetimes(/*segment_mode=*/true);
+  WorkerMux mux{&overall, &activity, &sequentiality, &patterns, &lifetimes};
+  AccessReconstructor reconstructor(&mux);
+
+  TraceRecord r;
+  uint64_t orphans_seen = 0;
+  while (cursor.Next(&r)) {
+    reconstructor.Process(r);
+    if (reconstructor.orphan_events() != orphans_seen) {
+      orphans_seen = reconstructor.orphan_events();
+      seg.orphans.push_back(OrphanRecord{r, lifetimes.TagOrphanTransfer(r.file_id)});
+    }
+  }
+  if (!cursor.status().ok()) {
+    seg.status = cursor.status();
+    return seg;
+  }
+  seg.open_states = reconstructor.TakeOpenStates();
+  seg.overall = overall.Take();
+  seg.pending_last_events = overall.TakePendingLastEvents();
+  seg.activity = activity.TakeSegment();
+  seg.sequentiality = sequentiality.Take();
+  seg.runs = patterns.TakeRuns();
+  seg.file_sizes = patterns.TakeFileSizes();
+  seg.open_times = patterns.TakeOpenTimes();
+  seg.lifetimes = lifetimes.TakeSegment();
+  return seg;
+}
+
+// An incarnation alive across a segment boundary.
+struct CarriedIncarnation {
+  SimTime birth;
+  uint64_t bytes = 0;
+};
+
+// Receives the carried reconstructor's output while the stitcher replays
+// orphan records.  Record-level bookkeeping (event counts, activity touches,
+// inter-event samples) is handled by the stitch loop itself — the workers
+// already counted the records — so OnRecord is deliberately a no-op.
+class StitchSink : public ReconstructionSink {
+ public:
+  StitchSink(OverallStats* overall_extra, PatternsCollector* patterns,
+             SequentialityCollector* sequentiality, ActivitySegment* activity,
+             std::unordered_map<FileId, CarriedIncarnation>* carried_live)
+      : overall_extra_(overall_extra),
+        patterns_(patterns),
+        sequentiality_(sequentiality),
+        activity_(activity),
+        carried_live_(carried_live) {}
+
+  void set_segment(LifetimeSegment* lifetimes) { lifetimes_ = lifetimes; }
+  void set_tag(LifetimeOrphanTag tag) { tag_ = tag; }
+
+  void OnTransfer(const Transfer& t) override {
+    overall_extra_->bytes_transferred += t.length;
+    if (t.direction == TransferDirection::kRead) {
+      overall_extra_->bytes_read += t.length;
+    } else {
+      overall_extra_->bytes_written += t.length;
+    }
+    patterns_->OnTransfer(t);
+    activity_->users_seen.insert(t.user_id);
+    activity_->total_bytes += t.length;
+    activity_->Touch(t.time, t.user_id, t.length);
+    if (t.direction == TransferDirection::kWrite) {
+      switch (tag_.zone) {
+        case LifetimeOrphanTag::Zone::kPre: {
+          auto it = carried_live_->find(t.file_id);
+          if (it != carried_live_->end()) {
+            it->second.bytes += t.length;
+          }
+          break;
+        }
+        case LifetimeOrphanTag::Zone::kSlot:
+          lifetimes_->slots[tag_.slot].bytes += t.length;
+          break;
+        case LifetimeOrphanTag::Zone::kDead:
+          break;  // a kill preceded the transfer; the bytes are dropped
+      }
+    }
+  }
+
+  void OnAccess(const AccessSummary& a) override {
+    sequentiality_->OnAccess(a);
+    patterns_->OnAccess(a);
+  }
+
+ private:
+  OverallStats* overall_extra_;
+  PatternsCollector* patterns_;
+  SequentialityCollector* sequentiality_;
+  ActivitySegment* activity_;
+  std::unordered_map<FileId, CarriedIncarnation>* carried_live_;
+  LifetimeSegment* lifetimes_ = nullptr;
+  LifetimeOrphanTag tag_;
+};
+
+void EmitLifetimeSample(LifetimeStats* stats, SimTime birth, SimTime death,
+                        uint64_t bytes) {
+  const double lifetime = (death - birth).seconds();
+  stats->by_files.Add(lifetime);
+  if (bytes > 0) {
+    stats->by_bytes.Add(lifetime, static_cast<double>(bytes));
+  }
+  stats->observed_deaths += 1;
+}
+
+TraceAnalysis Stitch(std::vector<SegmentResult>& segments) {
+  TraceAnalysis result;
+  OverallStats overall_extra;  // stitch-side bytes + inter-event samples
+  PatternsCollector patterns;
+  SequentialityCollector sequentiality;
+  ActivitySegment activity;
+  std::unordered_map<FileId, CarriedIncarnation> carried_live;
+  std::unordered_map<OpenId, SimTime> carried_last_event;
+  LifetimeStats lifetime_extra;
+
+  StitchSink sink(&overall_extra, &patterns, &sequentiality, &activity, &carried_live);
+  AccessReconstructor reconstructor(&sink);
+
+  for (SegmentResult& seg : segments) {
+    sink.set_segment(&seg.lifetimes);
+    // 1. Replay the records whose open lies in an earlier segment.  The
+    // carried reconstructor emits their transfers and access summaries; the
+    // loop itself restores the record-level effects the worker had to skip:
+    // the inter-event interval sample and the activity touch (both need the
+    // opening user / previous event time, known only here).
+    for (const OrphanRecord& orphan : seg.orphans) {
+      const TraceRecord& r = orphan.record;
+      const AccessReconstructor::OpenState* open = reconstructor.FindOpen(r.open_id);
+      const UserId user = open != nullptr ? open->summary.user_id : r.user_id;
+      auto last = carried_last_event.find(r.open_id);
+      if (last != carried_last_event.end()) {
+        overall_extra.inter_event_interval_seconds.Add((r.time - last->second).seconds());
+        if (r.type == EventType::kSeek) {
+          last->second = r.time;
+        } else {
+          carried_last_event.erase(last);
+        }
+      }
+      sink.set_tag(orphan.tag);
+      reconstructor.Process(r);
+      activity.users_seen.insert(user);
+      activity.Touch(r.time, user, 0);
+    }
+
+    // 2. Adopt this segment's boundary state: its pending opens become the
+    // carried opens for later segments.
+    reconstructor.AdoptOpenStates(std::move(seg.open_states));
+    for (const auto& [open_id, time] : seg.pending_last_events) {
+      carried_last_event.insert_or_assign(open_id, time);
+    }
+
+    // 3. Lifetime boundary processing (orphan bytes are already routed).
+    // Pre-event bytes feed the carried incarnation; the segment's first
+    // birth-or-death event kills it; marked completed slots emit now that
+    // their byte counts are final; exit-live slots become carried.
+    for (const LifetimeSegment::FileBoundary& fb : seg.lifetimes.files) {
+      auto it = carried_live.find(fb.file);
+      if (it != carried_live.end()) {
+        it->second.bytes += fb.pre_bytes;
+        if (fb.has_event) {
+          EmitLifetimeSample(&lifetime_extra, it->second.birth, fb.first_event_time,
+                             it->second.bytes);
+          carried_live.erase(it);
+        }
+      }
+      if (fb.exit_slot >= 0) {
+        const LifetimeSegment::Slot& slot =
+            seg.lifetimes.slots[static_cast<size_t>(fb.exit_slot)];
+        carried_live[fb.file] = CarriedIncarnation{slot.birth, slot.bytes};
+      }
+    }
+    for (const LifetimeSegment::Slot& slot : seg.lifetimes.slots) {
+      if (slot.dead && slot.marked) {
+        EmitLifetimeSample(&lifetime_extra, slot.birth, slot.death, slot.bytes);
+      }
+    }
+
+    // 4. Merge the order-free partials.
+    result.overall.Merge(seg.overall);
+    activity.Merge(seg.activity);
+    result.sequentiality.Merge(seg.sequentiality);
+    result.runs.Merge(seg.runs);
+    result.file_sizes.Merge(seg.file_sizes);
+    result.open_times.Merge(seg.open_times);
+    result.lifetimes.Merge(seg.lifetimes.local);
+  }
+
+  // Incarnations still alive at the end of the trace are right-censored and
+  // dropped, exactly as the streaming collector drops its live_ map.
+  result.overall.Merge(overall_extra);
+  result.sequentiality.Merge(sequentiality.Take());
+  result.runs.Merge(patterns.TakeRuns());
+  result.file_sizes.Merge(patterns.TakeFileSizes());
+  result.open_times.Merge(patterns.TakeOpenTimes());
+  result.lifetimes.Merge(lifetime_extra);
+  result.activity = activity.Finalize();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable,
+                                             unsigned threads) {
+  if (!seekable.status().ok()) {
+    return seekable.status();
+  }
+  const std::vector<TraceBlockIndexEntry>& index = seekable.index();
+  if (threads <= 1 || index.size() < 2) {
+    TraceFileSource source(seekable.path());
+    return AnalyzeTrace(source);
+  }
+
+  // Carve the blocks into at most `threads` contiguous ranges, balanced by
+  // record count.
+  const uint64_t total = seekable.indexed_records();
+  std::vector<std::pair<size_t, size_t>> ranges;  // (first_block, block_count)
+  size_t first = 0;
+  uint64_t remaining = total;
+  for (unsigned s = 0; s < threads && first < index.size(); ++s) {
+    const uint64_t want = (remaining + (threads - s) - 1) / (threads - s);
+    size_t last = first;
+    uint64_t got = 0;
+    while (last < index.size() && (got < want || last == first)) {
+      got += index[last].record_count;
+      ++last;
+    }
+    ranges.emplace_back(first, last - first);
+    first = last;
+    remaining -= got < remaining ? got : remaining;
+  }
+  if (first < index.size()) {
+    ranges.back().second += index.size() - first;
+  }
+
+  std::vector<SegmentResult> segments(ranges.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (size_t i = next.fetch_add(1); i < ranges.size(); i = next.fetch_add(1)) {
+      auto cursor = seekable.OpenCursor(ranges[i].first, ranges[i].second);
+      segments[i] = RunSegment(*cursor);
+    }
+  };
+  const size_t pool = std::min<size_t>(threads, ranges.size());
+  std::vector<std::thread> workers;
+  workers.reserve(pool);
+  for (size_t i = 0; i < pool; ++i) {
+    workers.emplace_back(worker);
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  for (const SegmentResult& seg : segments) {
+    if (!seg.status.ok()) {
+      return seg.status;
+    }
+  }
+  return Stitch(segments);
+}
+
+StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const std::string& path, unsigned threads) {
+  SeekableTraceSource seekable(path);
+  return ParallelAnalyzeTrace(seekable, threads);
+}
+
+namespace {
+
+bool CdfIdentical(const WeightedCdf& a, const WeightedCdf& b) {
+  return a.sorted_samples() == b.sorted_samples();
+}
+
+bool StatsIdentical(const RunningStats& a, const RunningStats& b) {
+  return a.count() == b.count() && a.mean() == b.mean() &&
+         a.variance() == b.variance() && a.min() == b.min() && a.max() == b.max() &&
+         a.sum() == b.sum();
+}
+
+bool IntervalIdentical(const IntervalActivity& a, const IntervalActivity& b) {
+  return a.interval_length.micros() == b.interval_length.micros() &&
+         StatsIdentical(a.active_users, b.active_users) &&
+         StatsIdentical(a.throughput_per_user, b.throughput_per_user) &&
+         a.max_active_users == b.max_active_users && a.intervals == b.intervals;
+}
+
+bool ModeIdentical(const ModeSequentiality& a, const ModeSequentiality& b) {
+  return a.accesses == b.accesses && a.whole_file == b.whole_file &&
+         a.sequential == b.sequential && a.bytes == b.bytes &&
+         a.whole_file_bytes == b.whole_file_bytes &&
+         a.sequential_bytes == b.sequential_bytes;
+}
+
+}  // namespace
+
+bool AnalysisBitIdentical(const TraceAnalysis& a, const TraceAnalysis& b) {
+  if (a.overall.duration.micros() != b.overall.duration.micros() ||
+      a.overall.total_records != b.overall.total_records ||
+      a.overall.count_by_type != b.overall.count_by_type ||
+      a.overall.bytes_transferred != b.overall.bytes_transferred ||
+      a.overall.bytes_read != b.overall.bytes_read ||
+      a.overall.bytes_written != b.overall.bytes_written ||
+      !CdfIdentical(a.overall.inter_event_interval_seconds,
+                    b.overall.inter_event_interval_seconds)) {
+    return false;
+  }
+  if (a.activity.duration.micros() != b.activity.duration.micros() ||
+      a.activity.total_bytes != b.activity.total_bytes ||
+      a.activity.average_throughput != b.activity.average_throughput ||
+      a.activity.distinct_users != b.activity.distinct_users ||
+      !IntervalIdentical(a.activity.ten_minute, b.activity.ten_minute) ||
+      !IntervalIdentical(a.activity.ten_second, b.activity.ten_second)) {
+    return false;
+  }
+  for (size_t i = 0; i < a.sequentiality.by_mode.size(); ++i) {
+    if (!ModeIdentical(a.sequentiality.by_mode[i], b.sequentiality.by_mode[i])) {
+      return false;
+    }
+  }
+  return CdfIdentical(a.runs.by_runs, b.runs.by_runs) &&
+         CdfIdentical(a.runs.by_bytes, b.runs.by_bytes) &&
+         CdfIdentical(a.file_sizes.by_accesses, b.file_sizes.by_accesses) &&
+         CdfIdentical(a.file_sizes.by_bytes, b.file_sizes.by_bytes) &&
+         CdfIdentical(a.open_times.seconds, b.open_times.seconds) &&
+         CdfIdentical(a.lifetimes.by_files, b.lifetimes.by_files) &&
+         CdfIdentical(a.lifetimes.by_bytes, b.lifetimes.by_bytes) &&
+         a.lifetimes.new_files == b.lifetimes.new_files &&
+         a.lifetimes.observed_deaths == b.lifetimes.observed_deaths;
+}
+
+}  // namespace bsdtrace

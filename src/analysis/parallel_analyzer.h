@@ -1,0 +1,45 @@
+// Parallel Section-5 analysis over an on-disk v3 trace.
+//
+// The trace is carved at block boundaries (the v3 footer index) into one
+// contiguous segment per worker.  Each worker runs the full collector set
+// over its segment in isolation, exporting (a) order-free partial statistics
+// and (b) boundary state: opens still pending at the segment's end, plus the
+// records it could not interpret because their open lies in an earlier
+// segment ("orphans" — a close or seek whose open straddles the boundary).
+// A serial stitch pass then walks the segments in time order, replaying each
+// segment's orphans against the open state carried from earlier segments,
+// and merges the partials.
+//
+// The result is bit-identical to the serial AnalyzeTrace: every counter is
+// exact integer arithmetic, every CDF is canonicalized over its sample
+// multiset (WeightedCdf), and the one order-sensitive reduction — Table IV's
+// Welford accumulators — is rebuilt by replaying the merged per-interval
+// summaries in exactly the serial visit order (ActivitySegment::Finalize).
+
+#ifndef BSDTRACE_SRC_ANALYSIS_PARALLEL_ANALYZER_H_
+#define BSDTRACE_SRC_ANALYSIS_PARALLEL_ANALYZER_H_
+
+#include <string>
+
+#include "src/analysis/analyzer.h"
+#include "src/trace/trace_source.h"
+#include "src/util/status.h"
+
+namespace bsdtrace {
+
+// Analyzes the trace with up to `threads` workers.  Falls back to the serial
+// streaming pass — same results by construction — when threads <= 1, the
+// file has no block index (v1/v2, or v3 written without one), or the index
+// is too small to split.  I/O or corruption errors surface as a Status.
+StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable,
+                                             unsigned threads);
+StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const std::string& path, unsigned threads);
+
+// Exact (bitwise) equality of two analyses — the parity check used by tests
+// and bench_micro_analyze.  Every scalar, counter, Welford accumulator, and
+// CDF sample multiset must match exactly.
+bool AnalysisBitIdentical(const TraceAnalysis& a, const TraceAnalysis& b);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_ANALYSIS_PARALLEL_ANALYZER_H_

@@ -15,6 +15,11 @@ struct RunLengthStats {
   WeightedCdf by_runs;
   // (b) weighted by bytes transferred in the run.
   WeightedCdf by_bytes;
+
+  void Merge(const RunLengthStats& other) {
+    by_runs.Merge(other.by_runs);
+    by_bytes.Merge(other.by_bytes);
+  }
 };
 
 // Figure 2: dynamic distribution of file sizes, measured at close.
@@ -23,11 +28,18 @@ struct FileSizeStats {
   WeightedCdf by_accesses;
   // (b) weighted by bytes transferred during the access.
   WeightedCdf by_bytes;
+
+  void Merge(const FileSizeStats& other) {
+    by_accesses.Merge(other.by_accesses);
+    by_bytes.Merge(other.by_bytes);
+  }
 };
 
 // Figure 3: distribution of the time files stay open.
 struct OpenTimeStats {
   WeightedCdf seconds;
+
+  void Merge(const OpenTimeStats& other) { seconds.Merge(other.seconds); }
 };
 
 class PatternsCollector : public ReconstructionSink {

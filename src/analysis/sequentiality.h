@@ -24,6 +24,15 @@ struct ModeSequentiality {
   double SequentialFraction() const {
     return accesses > 0 ? static_cast<double>(sequential) / static_cast<double>(accesses) : 0;
   }
+
+  void Merge(const ModeSequentiality& other) {
+    accesses += other.accesses;
+    whole_file += other.whole_file;
+    sequential += other.sequential;
+    bytes += other.bytes;
+    whole_file_bytes += other.whole_file_bytes;
+    sequential_bytes += other.sequential_bytes;
+  }
 };
 
 struct SequentialityStats {
@@ -38,6 +47,13 @@ struct SequentialityStats {
   // Fractions over all bytes transferred (Table V's byte rows).
   double WholeFileByteFraction() const;
   double SequentialByteFraction() const;
+
+  // Absorbs another segment's counters (parallel reduction).
+  void Merge(const SequentialityStats& other) {
+    for (size_t i = 0; i < by_mode.size(); ++i) {
+      by_mode[i].Merge(other.by_mode[i]);
+    }
+  }
 };
 
 class SequentialityCollector : public ReconstructionSink {

@@ -6,7 +6,9 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 
+#include "src/analysis/parallel_analyzer.h"
 #include "src/util/csv.h"
 #include "src/util/plot.h"
 #include "src/util/table.h"
@@ -94,6 +96,18 @@ GenerationResult GenerateStandardTrace(const std::string& name) {
     seed = 19851203;
   }
   return GenerateStandardTrace(name, StandardDuration(), seed);
+}
+
+StatusOr<TraceAnalysis> AnalyzeTraceFile(const std::string& path, unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+  // ParallelAnalyzeTrace falls back to the serial streaming pass on its own
+  // when the file has no usable block index or threads <= 1.
+  return ParallelAnalyzeTrace(path, threads);
 }
 
 StandardSweeps RunStandardSweeps(const Trace& trace, unsigned threads) {

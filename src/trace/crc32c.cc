@@ -1,0 +1,69 @@
+#include "src/trace/crc32c.h"
+
+#include <cstring>
+
+namespace bsdtrace {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli polynomial
+
+// 8 tables of 256 entries: table[0] is the classic byte-at-a-time table,
+// table[k][b] extends a CRC by byte b followed by k zero bytes, which lets
+// the hot loop fold 8 input bytes per iteration.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = tables.t[0][crc & 0xFF] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = BuildTables();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // Byte-at-a-time until the cursor is 8-aligned.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  // Slice-by-8 over the aligned middle (the fold below is little-endian).
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk ^= crc;  // fold the running CRC into the low 4 bytes
+    crc = kTables.t[7][chunk & 0xFF] ^ kTables.t[6][(chunk >> 8) & 0xFF] ^
+          kTables.t[5][(chunk >> 16) & 0xFF] ^ kTables.t[4][(chunk >> 24) & 0xFF] ^
+          kTables.t[3][(chunk >> 32) & 0xFF] ^ kTables.t[2][(chunk >> 40) & 0xFF] ^
+          kTables.t[1][(chunk >> 48) & 0xFF] ^ kTables.t[0][(chunk >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  while (n > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace bsdtrace

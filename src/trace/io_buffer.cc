@@ -199,6 +199,35 @@ bool BufferedReader::Read(void* out, size_t n) {
   return true;
 }
 
+Status BufferedReader::SkipTo(uint64_t offset) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (map_base_ != nullptr) {
+    if (offset > map_size_) {
+      Fail("seek past end of file");
+      return status_;
+    }
+    pos_ = static_cast<size_t>(offset);
+    end_ = map_size_;
+    return Status::Ok();
+  }
+  if (file_ == nullptr) {
+    // Zero-length-file window (or a failed open, already non-ok above).
+    if (offset > 0) {
+      Fail("seek past end of file");
+    }
+    return status_;
+  }
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    Fail("seek failed");
+    return status_;
+  }
+  pos_ = 0;
+  end_ = 0;
+  return Status::Ok();
+}
+
 const uint8_t* BufferedReader::ContiguousSlow(size_t n, size_t* available) {
   assert(n <= kBlockSize);
   Refill();

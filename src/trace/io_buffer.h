@@ -118,6 +118,12 @@ class BufferedReader {
   }
   void Advance(size_t n) { pos_ += n; }
 
+  // Repositions the cursor to an absolute file offset (trace format v3
+  // cursors seek to index entries).  On the mmap path this is a pointer
+  // move; on stdio it discards the buffer and fseeks.  Seeking past the end
+  // of the file fails (sticky status).
+  Status SkipTo(uint64_t offset);
+
  private:
   const uint8_t* ContiguousSlow(size_t n, size_t* available);
   int GetByteSlow();

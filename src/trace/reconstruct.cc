@@ -120,6 +120,24 @@ void AccessReconstructor::Finish() {
   open_files_.clear();
 }
 
+std::unordered_map<OpenId, AccessReconstructor::OpenState>
+AccessReconstructor::TakeOpenStates() {
+  std::unordered_map<OpenId, OpenState> taken;
+  taken.swap(open_files_);
+  return taken;
+}
+
+void AccessReconstructor::AdoptOpenStates(std::unordered_map<OpenId, OpenState> states) {
+  for (auto& [id, state] : states) {
+    open_files_.insert_or_assign(id, std::move(state));
+  }
+}
+
+const AccessReconstructor::OpenState* AccessReconstructor::FindOpen(OpenId id) const {
+  auto it = open_files_.find(id);
+  return it == open_files_.end() ? nullptr : &it->second;
+}
+
 void Reconstruct(const Trace& trace, ReconstructionSink* sink, BillingPolicy billing) {
   AccessReconstructor reconstructor(sink, billing);
   for (const TraceRecord& r : trace.records()) {

@@ -91,6 +91,16 @@ enum class BillingPolicy : uint8_t {
 // to the sink as soon as they are known.
 class AccessReconstructor {
  public:
+  // Mid-episode state for one open.  Public so segmented analysis
+  // (parallel_analyzer.h) can hand opens that straddle a segment boundary
+  // from the worker that saw the open to the stitcher that sees the close.
+  struct OpenState {
+    AccessSummary summary;
+    uint64_t run_start = 0;       // position where the current run began
+    SimTime run_start_time;       // time of the event that began the run
+    bool transferred_before_first_seek = false;
+  };
+
   explicit AccessReconstructor(ReconstructionSink* sink,
                                BillingPolicy billing = BillingPolicy::kAtNextEvent);
 
@@ -105,14 +115,17 @@ class AccessReconstructor {
   // Events referencing open ids that were never opened (corrupt traces).
   uint64_t orphan_events() const { return orphan_events_; }
 
- private:
-  struct OpenState {
-    AccessSummary summary;
-    uint64_t run_start = 0;       // position where the current run began
-    SimTime run_start_time;       // time of the event that began the run
-    bool transferred_before_first_seek = false;
-  };
+  // Segment-boundary handoff.  TakeOpenStates surrenders the pending opens
+  // (the reconstructor forgets them without counting them dangling);
+  // AdoptOpenStates installs opens carried over from an earlier segment, so
+  // their seeks and closes resolve here instead of counting as orphans.
+  std::unordered_map<OpenId, OpenState> TakeOpenStates();
+  void AdoptOpenStates(std::unordered_map<OpenId, OpenState> states);
+  // The pending open for `id`, or nullptr.  Stitching uses this to recover
+  // the opening user/mode for records whose encodings do not carry them.
+  const OpenState* FindOpen(OpenId id) const;
 
+ private:
   void EndRun(OpenState& state, SimTime end_time, uint64_t run_end);
 
   ReconstructionSink* sink_;

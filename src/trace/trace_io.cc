@@ -9,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/trace/crc32c.h"
 #include "src/trace/io_buffer.h"
 #include "src/trace/trace_source.h"
 
@@ -17,7 +18,13 @@ namespace {
 
 constexpr char kMagicV1[8] = {'B', 'S', 'D', 'T', 'R', 'C', '1', '\n'};
 constexpr char kMagicV2[8] = {'B', 'S', 'D', 'T', 'R', 'C', '2', '\n'};
+constexpr char kMagicV3[8] = {'B', 'S', 'D', 'T', 'R', 'C', '3', '\n'};
 constexpr uint8_t kEndSentinel = 0;
+constexpr uint8_t kBlockMarker = 1;
+constexpr int64_t kMicrosPerHour = int64_t{3'600} * 1'000'000;
+// Sanity cap on a declared block payload: anything larger is corruption, not
+// a real block (writers target ~256 KB).
+constexpr uint64_t kMaxBlockPayload = uint64_t{1} << 30;
 
 // The codec is templated over byte sinks/sources so the legacy iostream path
 // and the block-buffered path share one encoding (and stay byte-identical).
@@ -268,8 +275,30 @@ DecodeResult DecodeRecord(Source& in, TraceRecord* record, int64_t* prev_time_us
 }
 
 template <typename Sink>
-void EncodeHeader(Sink& out, const TraceHeader& header, int64_t expected_records) {
-  out.write(kMagicV2, sizeof(kMagicV2));
+void PutFixed32(Sink& out, uint32_t v) {
+  uint8_t b[4] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8),
+                  static_cast<uint8_t>(v >> 16), static_cast<uint8_t>(v >> 24)};
+  out.write(b, sizeof(b));
+}
+
+template <typename Sink>
+void PutFixed64(Sink& out, uint64_t v) {
+  uint8_t b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  out.write(b, sizeof(b));
+}
+
+uint32_t ReadFixed32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+template <typename Sink>
+void EncodeHeader(Sink& out, const TraceHeader& header, int64_t expected_records,
+                  int version = 2) {
+  out.write(version == 3 ? kMagicV3 : kMagicV2, sizeof(kMagicV2));
   PutString(out, header.machine);
   PutString(out, header.description);
   // N+1 so that 0 can mean "count unknown" (streamed traces).
@@ -277,22 +306,25 @@ void EncodeHeader(Sink& out, const TraceHeader& header, int64_t expected_records
 }
 
 // Parses the magic + header; returns false with *error set on failure.
-// *declared stays -1 for v1 files or unknown counts.
+// *declared stays -1 for v1 files or unknown counts; *version gets 1..3.
 template <typename Source>
-bool DecodeHeader(Source& in, TraceHeader* header, int64_t* declared, const char** error) {
+bool DecodeHeader(Source& in, TraceHeader* header, int64_t* declared, int* version,
+                  const char** error) {
   char magic[sizeof(kMagicV2)];
   const bool got_magic = in.read(magic, sizeof(magic));
   const bool v1 = got_magic && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
   const bool v2 = got_magic && std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
-  if (!v1 && !v2) {
+  const bool v3 = got_magic && std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0;
+  if (!v1 && !v2 && !v3) {
     *error = "bad magic: not a bsdtrace binary trace";
     return false;
   }
+  *version = v1 ? 1 : (v2 ? 2 : 3);
   if (!GetString(in, &header->machine) || !GetString(in, &header->description)) {
     *error = "truncated trace header";
     return false;
   }
-  if (v2) {
+  if (!v1) {
     uint64_t count_plus_one = 0;
     if (!GetVarint(in, &count_plus_one)) {
       *error = "truncated trace header";
@@ -337,8 +369,16 @@ void BinaryTraceWriter::Finish() {
 BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
   IstreamSource source{in_};
   const char* error = nullptr;
-  if (!DecodeHeader(source, &header_, &declared_record_count_, &error)) {
+  int version = 2;
+  if (!DecodeHeader(source, &header_, &declared_record_count_, &version, &error)) {
     status_ = Status::Error(error);
+    done_ = true;
+    return;
+  }
+  if (version >= 3) {
+    // The iostream reader has no block/checksum support; v3 files go through
+    // TraceFileReader (LoadTrace and TraceFileSource both do).
+    status_ = Status::Error("v3 trace: use the file reader (checksummed blocks)");
     done_ = true;
   }
 }
@@ -367,18 +407,50 @@ bool BinaryTraceReader::Next(TraceRecord* record) {
 
 TraceFileWriter::TraceFileWriter(const std::string& path, const TraceHeader& header,
                                  int64_t expected_records)
-    : out_(path) {
+    : TraceFileWriter(path, header, expected_records, TraceWriterOptions{}) {}
+
+TraceFileWriter::TraceFileWriter(const std::string& path, const TraceHeader& header,
+                                 int64_t expected_records, const TraceWriterOptions& options)
+    : out_(path), options_(options) {
+  assert(options_.version == 2 || options_.version == 3);
   if (!out_.ok()) {
     return;
   }
   BufferedSink sink{out_};
-  EncodeHeader(sink, header, expected_records);
+  EncodeHeader(sink, header, expected_records, options_.version);
+  if (options_.version == 3) {
+    block_.reserve(options_.block_target_bytes + kMaxRecordEncoding);
+  }
 }
 
 TraceFileWriter::~TraceFileWriter() { Finish(); }
 
 void TraceFileWriter::Append(const TraceRecord& r) {
   assert(!finished_);
+  if (options_.version == 3) {
+    // Close the block at the size target or when the record crosses a
+    // simulated-hour boundary, so the footer doubles as an hour index.  The
+    // break decision is a pure function of the record stream, keeping v3
+    // output byte-deterministic like v2.
+    const int64_t hour = r.time.micros() / kMicrosPerHour;
+    if (block_records_ > 0 &&
+        (block_.size() >= options_.block_target_bytes || hour != block_first_hour_)) {
+      FlushBlock();
+    }
+    if (block_records_ == 0) {
+      block_first_hour_ = hour;
+      block_start_time_us_ = r.time.micros();
+      prev_time_us_ = 0;  // per-block delta base: blocks decode independently
+    }
+    const size_t old_size = block_.size();
+    block_.resize(old_size + kMaxRecordEncoding);
+    PtrSink sink{block_.data() + old_size};
+    EncodeRecord(sink, r, &prev_time_us_);
+    block_.resize(old_size + static_cast<size_t>(sink.p - (block_.data() + old_size)));
+    ++block_records_;
+    ++records_written_;
+    return;
+  }
   uint8_t* base = out_.Reserve(kMaxRecordEncoding);
   PtrSink sink{base};
   EncodeRecord(sink, r, &prev_time_us_);
@@ -387,9 +459,46 @@ void TraceFileWriter::Append(const TraceRecord& r) {
   ++records_written_;
 }
 
+void TraceFileWriter::FlushBlock() {
+  if (block_records_ == 0) {
+    return;
+  }
+  index_.push_back(TraceBlockIndexEntry{
+      .offset = out_.bytes_written(),
+      .record_count = block_records_,
+      .start_time = SimTime::FromMicros(block_start_time_us_)});
+  BufferedSink sink{out_};
+  sink.put(kBlockMarker);
+  PutVarint(sink, block_records_);
+  PutVarint(sink, block_.size());
+  PutFixed32(sink, Crc32c(block_.data(), block_.size()));
+  out_.Write(block_.data(), block_.size());
+  block_.clear();
+  block_records_ = 0;
+}
+
 Status TraceFileWriter::Finish() {
   if (!finished_) {
-    out_.PutByte(kEndSentinel);
+    if (options_.version == 3) {
+      FlushBlock();
+      out_.PutByte(kEndSentinel);
+      if (options_.write_index) {
+        const uint64_t footer_offset = out_.bytes_written();
+        BufferedSink sink{out_};
+        PutVarint(sink, index_.size());
+        uint64_t prev_offset = 0;
+        for (const TraceBlockIndexEntry& e : index_) {
+          PutVarint(sink, e.offset - prev_offset);
+          PutVarint(sink, e.record_count);
+          PutVarint(sink, static_cast<uint64_t>(e.start_time.micros()));
+          prev_offset = e.offset;
+        }
+        PutFixed64(sink, footer_offset);
+        out_.Write(kTraceIndexTailMagic, sizeof(kTraceIndexTailMagic));
+      }
+    } else {
+      out_.PutByte(kEndSentinel);
+    }
     finished_ = true;
   }
   return out_.Close();
@@ -404,15 +513,149 @@ TraceFileReader::TraceFileReader(const std::string& path, bool prefer_mmap)
   }
   BufferedSource source{in_};
   const char* error = nullptr;
-  if (!DecodeHeader(source, &header_, &declared_record_count_, &error)) {
+  if (!DecodeHeader(source, &header_, &declared_record_count_, &version_, &error)) {
     status_ = Status::Error(error);
     done_ = true;
+  }
+}
+
+bool TraceFileReader::FailCorrupt(const char* error) {
+  if (!in_.status().ok()) {
+    status_ = in_.status();  // underlying I/O error beats the decode error
+  } else {
+    status_ = Status::Error(error);
+  }
+  done_ = true;
+  return false;
+}
+
+Status TraceFileReader::SeekToBlock(uint64_t offset, uint64_t block_count) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (version_ != 3) {
+    status_ = Status::Error("SeekToBlock requires a v3 trace");
+    done_ = true;
+    return status_;
+  }
+  const Status s = in_.SkipTo(offset);
+  if (!s.ok()) {
+    status_ = s;
+    done_ = true;
+    return s;
+  }
+  done_ = false;
+  block_remaining_ = 0;
+  scratch_active_ = false;
+  blocks_limited_ = true;
+  blocks_left_ = block_count;
+  return Status::Ok();
+}
+
+// One v3 record: drains the current block, verifying the next block's CRC32C
+// before any of its records are surfaced.
+bool TraceFileReader::NextV3(TraceRecord* record) {
+  while (true) {
+    if (block_remaining_ > 0) {
+      --block_remaining_;
+      const char* error = nullptr;
+      if (scratch_active_) {
+        // Copy-and-verify path (unmapped reads): decode from the scratch
+        // buffer.  The CRC already vouched for the payload, and the buffer
+        // carries kMaxRecordEncoding zero bytes of slack, so the unchecked
+        // PtrSource cannot run past the allocation even on a decoder bug.
+        const uint8_t* base = scratch_.data() + scratch_pos_;
+        PtrSource source{base};
+        if (scratch_pos_ > scratch_len_ ||
+            DecodeRecord(source, record, &prev_time_us_, &error) != DecodeResult::kRecord) {
+          return FailCorrupt("corrupt v3 block: record decode failed after checksum");
+        }
+        scratch_pos_ += static_cast<size_t>(source.p - base);
+        return true;
+      }
+      // Mapped path: decode straight from the file window, as in v2.
+      size_t available = 0;
+      const uint8_t* window = in_.Contiguous(kMaxRecordEncoding, &available);
+      if (available >= kMaxRecordEncoding) {
+        PtrSource source{window};
+        if (DecodeRecord(source, record, &prev_time_us_, &error) != DecodeResult::kRecord) {
+          return FailCorrupt("corrupt v3 block: record decode failed after checksum");
+        }
+        in_.Advance(static_cast<size_t>(source.p - window));
+        return true;
+      }
+      BufferedSource source{in_};
+      if (DecodeRecord(source, record, &prev_time_us_, &error) != DecodeResult::kRecord) {
+        return FailCorrupt("corrupt v3 block: record decode failed after checksum");
+      }
+      return true;
+    }
+    // Between blocks: enforce the cursor budget, then enter the next block.
+    scratch_active_ = false;
+    if (blocks_limited_ && blocks_left_ == 0) {
+      done_ = true;
+      return false;
+    }
+    const int marker = in_.GetByte();
+    if (marker < 0) {
+      return FailCorrupt("unexpected end of file (missing end sentinel)");
+    }
+    if (marker == kEndSentinel) {
+      done_ = true;  // the footer index (if any) is not part of the stream
+      return false;
+    }
+    if (marker != kBlockMarker) {
+      return FailCorrupt("corrupt v3 trace: bad block marker");
+    }
+    if (blocks_limited_) {
+      --blocks_left_;
+    }
+    BufferedSource header_source{in_};
+    uint64_t record_count = 0;
+    uint64_t payload_len = 0;
+    uint8_t crc_bytes[4];
+    if (!GetVarint(header_source, &record_count) || !GetVarint(header_source, &payload_len) ||
+        !in_.Read(crc_bytes, sizeof(crc_bytes))) {
+      return FailCorrupt("truncated v3 block header");
+    }
+    if (record_count == 0 || payload_len == 0 || payload_len > kMaxBlockPayload) {
+      return FailCorrupt("corrupt v3 block header");
+    }
+    const uint32_t expected_crc = ReadFixed32(crc_bytes);
+    if (in_.mapped()) {
+      size_t available = 0;
+      const uint8_t* window = in_.Contiguous(1, &available);  // mapped: whole rest
+      if (window == nullptr || available < payload_len) {
+        return FailCorrupt("truncated v3 block payload");
+      }
+      if (Crc32c(window, payload_len) != expected_crc) {
+        return FailCorrupt("v3 block checksum mismatch (corrupt trace)");
+      }
+    } else {
+      scratch_.resize(payload_len + kMaxRecordEncoding);
+      if (!in_.Read(scratch_.data(), payload_len)) {
+        return FailCorrupt("truncated v3 block payload");
+      }
+      std::memset(scratch_.data() + payload_len, 0, kMaxRecordEncoding);
+      if (Crc32c(scratch_.data(), payload_len) != expected_crc) {
+        return FailCorrupt("v3 block checksum mismatch (corrupt trace)");
+      }
+      scratch_pos_ = 0;
+      scratch_len_ = payload_len;
+      scratch_active_ = true;
+    }
+    ++blocks_verified_;
+    block_remaining_ = record_count;
+    prev_time_us_ = 0;  // per-block time-delta base
   }
 }
 
 bool TraceFileReader::Next(TraceRecord* record) {
   if (done_) {
     return false;
+  }
+  if (version_ == 3) {
+    return NextV3(record);
   }
   // Fast path: when a full worst-case record is available contiguously
   // (essentially always — the mmap window is the whole file), decode straight
@@ -650,8 +893,9 @@ StatusOr<Trace> ReadBinaryTrace(std::istream& in) {
   return trace;
 }
 
-Status SaveTrace(const std::string& path, TraceSource& source) {
-  TraceFileWriter writer(path, source.header(), source.size_hint());
+Status SaveTrace(const std::string& path, TraceSource& source,
+                 const TraceWriterOptions& options) {
+  TraceFileWriter writer(path, source.header(), source.size_hint(), options);
   if (!writer.status().ok()) {
     return writer.status();
   }
@@ -666,9 +910,19 @@ Status SaveTrace(const std::string& path, TraceSource& source) {
   return writer.Finish();
 }
 
+Status SaveTrace(const std::string& path, TraceSource& source) {
+  return SaveTrace(path, source, TraceWriterOptions{});
+}
+
 Status SaveTrace(const std::string& path, const Trace& trace) {
   TraceVectorSource source(trace);
   return SaveTrace(path, source);
+}
+
+Status SaveTrace(const std::string& path, const Trace& trace,
+                 const TraceWriterOptions& options) {
+  TraceVectorSource source(trace);
+  return SaveTrace(path, source, options);
 }
 
 StatusOr<Trace> LoadTrace(const std::string& path) {

@@ -15,6 +15,32 @@
 //
 // Version 1 ("BSDTRC1\n", no record count) is still read transparently.
 //
+// Binary format version 3 ("BSDTRC3\n") keeps the v2 header and record
+// encoding but frames the records into independently decodable blocks for
+// archival integrity and parallel analysis:
+//   blocks  sequence of:
+//             u8      1 (block marker)
+//             varint  record count in the block (>= 1)
+//             varint  payload length in bytes
+//             u32le   CRC32C of the payload
+//             payload records encoded as in v2, except the time-delta base
+//                     resets to 0 at the start of each block (the first
+//                     record's delta is its absolute time in microseconds),
+//                     so a reader can start decoding at any block boundary
+//   end     u8 0 sentinel
+//   footer  varint index entry count, then per block:
+//             varint  offset of the block marker (delta vs. previous entry;
+//                     the first entry is absolute from the file start)
+//             varint  record count
+//             varint  time of the block's first record, microseconds
+//   tail    u64le offset of the footer from the file start,
+//           magic "BSDIDX3\n" (8 bytes)
+// The writer closes a block when its payload reaches the configured target
+// (~256 KB) and always at simulated-hour boundaries, so the footer doubles
+// as an (hour, segment) -> byte offset index.  Sequential readers verify
+// each block's CRC32C and stop at the end sentinel; SeekableTraceSource
+// (trace_source.h) parses the footer and opens cursors at any entry.
+//
 // Varints are LEB128; times are delta-encoded because trace records are in
 // time order, which keeps the common case to 1-3 bytes.  The paper logged
 // ~500-600 bytes/minute of trace data; this format is in the same spirit.
@@ -24,6 +50,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "src/trace/io_buffer.h"
 #include "src/trace/trace.h"
@@ -37,6 +64,32 @@ class TraceSource;  // trace_source.h; streaming writers pull from one
 // up to five 10-byte varints + the mode byte.  The buffered writer reserves
 // this much contiguous space per record so encoding never bounds-checks.
 inline constexpr size_t kMaxRecordEncoding = 64;
+
+// The fixed tail that terminates a v3 file carrying a block index: a u64le
+// footer offset followed by this magic.
+inline constexpr char kTraceIndexTailMagic[8] = {'B', 'S', 'D', 'I', 'D', 'X', '3', '\n'};
+inline constexpr size_t kTraceIndexTailSize = 16;
+
+// How TraceFileWriter frames the record stream.  The default (version 2)
+// byte-matches the legacy flat stream; version 3 adds checksummed blocks and
+// the footer index described in the file comment.
+struct TraceWriterOptions {
+  int version = 2;
+  // v3: close the current block once its payload reaches this size.  Blocks
+  // also close at simulated-hour boundaries regardless of size.
+  size_t block_target_bytes = 256 * 1024;
+  // v3: append the footer index + tail.  Without it the file is still
+  // checksummed and sequentially readable, just not seekable.
+  bool write_index = true;
+};
+
+// One footer index entry: where a block starts, how many records it holds,
+// and the time of its first record.
+struct TraceBlockIndexEntry {
+  uint64_t offset = 0;        // byte offset of the block marker
+  uint64_t record_count = 0;  // records in the block
+  SimTime start_time;         // time of the block's first record
+};
 
 // Streaming binary writer.  Writes the header on construction; call Finish()
 // (or let the destructor do it) to emit the end-of-stream sentinel.
@@ -100,6 +153,9 @@ class TraceFileWriter : public TraceSink {
  public:
   TraceFileWriter(const std::string& path, const TraceHeader& header,
                   int64_t expected_records = -1);
+  // Format-version-aware constructor; TraceWriterOptions{} writes v2.
+  TraceFileWriter(const std::string& path, const TraceHeader& header,
+                  int64_t expected_records, const TraceWriterOptions& options);
   ~TraceFileWriter() override;
 
   TraceFileWriter(const TraceFileWriter&) = delete;
@@ -112,16 +168,31 @@ class TraceFileWriter : public TraceSink {
   uint64_t records_written() const { return records_written_; }
   // Encoded bytes accepted so far (header + records; flushed + buffered).
   uint64_t bytes_written() const { return out_.bytes_written(); }
+  // v3: index entries for the blocks flushed so far.
+  const std::vector<TraceBlockIndexEntry>& index() const { return index_; }
 
  private:
+  void FlushBlock();
+
   BufferedWriter out_;
+  TraceWriterOptions options_;
   int64_t prev_time_us_ = 0;
   uint64_t records_written_ = 0;
   bool finished_ = false;
+
+  // v3 block under construction.
+  std::vector<uint8_t> block_;
+  uint64_t block_records_ = 0;
+  int64_t block_first_hour_ = 0;
+  int64_t block_start_time_us_ = 0;
+  std::vector<TraceBlockIndexEntry> index_;
 };
 
 // Block-buffered binary reader from a file path (mmap when available, 64 KB
-// blocks otherwise).  Reads both v1 and v2 files, like BinaryTraceReader.
+// blocks otherwise).  Reads v1, v2, and v3 files; v3 block checksums are
+// verified as each block is entered, so a flipped byte anywhere in a block
+// surfaces as a clean non-ok status() before any record of that block is
+// returned.
 class TraceFileReader {
  public:
   explicit TraceFileReader(const std::string& path, bool prefer_mmap = true);
@@ -129,21 +200,47 @@ class TraceFileReader {
   Status status() const { return status_; }
   const TraceHeader& header() const { return header_; }
 
+  // Format version parsed from the magic (1, 2, or 3).
+  int version() const { return version_; }
+
   // Record count declared in the header, or -1 if absent (see
   // BinaryTraceReader::declared_record_count).
   int64_t declared_record_count() const { return declared_record_count_; }
+
+  // Blocks whose checksums have been verified so far (v3 only).
+  uint64_t blocks_verified() const { return blocks_verified_; }
 
   // Reads the next record into *record.  Returns false at end of stream or on
   // error (distinguish via status()).
   bool Next(TraceRecord* record);
 
+  // v3 only: repositions to the block starting at `offset` (a footer index
+  // entry) and limits reading to the next `block_count` blocks.  Cursors
+  // opened by SeekableTraceSource are built on this.
+  Status SeekToBlock(uint64_t offset, uint64_t block_count);
+
  private:
+  bool NextV3(TraceRecord* record);
+  bool FailCorrupt(const char* error);
+
   BufferedReader in_;
   TraceHeader header_;
   Status status_ = Status::Ok();
   int64_t prev_time_us_ = 0;
   int64_t declared_record_count_ = -1;
+  int version_ = 2;
   bool done_ = false;
+
+  // v3 state: records left in the current block, the optional block budget
+  // from SeekToBlock, and the copy-and-verify scratch for unmapped reads.
+  uint64_t block_remaining_ = 0;
+  uint64_t blocks_verified_ = 0;
+  bool blocks_limited_ = false;
+  uint64_t blocks_left_ = 0;
+  bool scratch_active_ = false;
+  size_t scratch_pos_ = 0;
+  size_t scratch_len_ = 0;
+  std::vector<uint8_t> scratch_;
 };
 
 // Text format: "# machine <name>" / "# description <text>" comment header,
@@ -166,6 +263,13 @@ StatusOr<Trace> ReadBinaryTrace(std::istream& in);
 // collected Trace when the hint is exact (sources over files and vectors).
 Status SaveTrace(const std::string& path, TraceSource& source);
 Status SaveTrace(const std::string& path, const Trace& trace);
+// Format-version-aware variants (v3 with a block index, custom block sizes).
+// The default SaveTrace stays v2 so existing byte-identity contracts against
+// the iostream writer hold.
+Status SaveTrace(const std::string& path, TraceSource& source,
+                 const TraceWriterOptions& options);
+Status SaveTrace(const std::string& path, const Trace& trace,
+                 const TraceWriterOptions& options);
 StatusOr<Trace> LoadTrace(const std::string& path);
 
 }  // namespace bsdtrace

@@ -1,8 +1,31 @@
 #include "src/trace/trace_source.h"
 
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 namespace bsdtrace {
+
+namespace {
+
+// Minimal LEB128 decoder over an in-memory footer slice (the codec's decoder
+// is wired to its own source types, and the footer is a few dozen bytes).
+bool GetVarint(const uint8_t** p, const uint8_t* end, uint64_t* out) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*p < end && shift < 64) {
+    const uint8_t byte = *(*p)++;
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
 
 TraceFileSource::TraceFileSource(const std::string& path) : reader_(path) {
   if (!reader_.status().ok()) {
@@ -21,6 +44,123 @@ TraceFileSource::TraceFileSource(const std::string& path) : reader_(path) {
   if (!ec && size_hint_ > static_cast<int64_t>(bytes)) {
     size_hint_ = static_cast<int64_t>(bytes);
   }
+}
+
+// -- SeekableTraceSource ------------------------------------------------------
+
+SeekableTraceSource::SeekableTraceSource(const std::string& path) : path_(path) {
+  // Probe the header (and catch missing/corrupt files) with the sequential
+  // reader; the index itself lives at the end of the file.
+  TraceFileReader probe(path);
+  if (!probe.status().ok()) {
+    status_ = probe.status();
+    return;
+  }
+  header_ = probe.header();
+  version_ = probe.version();
+  declared_ = probe.declared_record_count();
+  if (version_ != 3) {
+    return;  // readable, but not seekable
+  }
+
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec || file_size < kTraceIndexTailSize) {
+    return;  // no room for a tail: an index-less v3 file
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    status_ = Status::Error("cannot open for reading: " + path);
+    return;
+  }
+  uint8_t tail[kTraceIndexTailSize];
+  bool tail_ok = std::fseek(f, -static_cast<long>(kTraceIndexTailSize), SEEK_END) == 0 &&
+                 std::fread(tail, 1, kTraceIndexTailSize, f) == kTraceIndexTailSize;
+  if (!tail_ok || std::memcmp(tail + 8, kTraceIndexTailMagic, 8) != 0) {
+    std::fclose(f);
+    return;  // written with write_index = false (or truncated past the tail)
+  }
+  uint64_t footer_offset = 0;
+  for (int i = 7; i >= 0; --i) {
+    footer_offset = (footer_offset << 8) | tail[i];
+  }
+  const uint64_t footer_end = file_size - kTraceIndexTailSize;
+  // From here on the tail magic promised an index, so failures are corruption.
+  if (footer_offset >= footer_end) {
+    std::fclose(f);
+    status_ = Status::Error("corrupt v3 index: footer offset out of range");
+    return;
+  }
+  std::vector<uint8_t> footer(footer_end - footer_offset);
+  const bool footer_ok =
+      std::fseek(f, static_cast<long>(footer_offset), SEEK_SET) == 0 &&
+      std::fread(footer.data(), 1, footer.size(), f) == footer.size();
+  std::fclose(f);
+  if (!footer_ok) {
+    status_ = Status::Error("corrupt v3 index: footer read failed");
+    return;
+  }
+  const uint8_t* p = footer.data();
+  const uint8_t* end = p + footer.size();
+  uint64_t entries = 0;
+  if (!GetVarint(&p, end, &entries) || entries > footer_offset) {
+    status_ = Status::Error("corrupt v3 index: bad entry count");
+    return;
+  }
+  index_.reserve(entries);
+  uint64_t prev_offset = 0;
+  for (uint64_t i = 0; i < entries; ++i) {
+    uint64_t offset_delta = 0, record_count = 0, start_us = 0;
+    if (!GetVarint(&p, end, &offset_delta) || !GetVarint(&p, end, &record_count) ||
+        !GetVarint(&p, end, &start_us)) {
+      index_.clear();
+      status_ = Status::Error("corrupt v3 index: truncated entry");
+      return;
+    }
+    TraceBlockIndexEntry entry;
+    entry.offset = prev_offset + offset_delta;
+    entry.record_count = record_count;
+    entry.start_time = SimTime::FromMicros(static_cast<int64_t>(start_us));
+    prev_offset = entry.offset;
+    if (entry.offset >= footer_offset) {
+      index_.clear();
+      status_ = Status::Error("corrupt v3 index: entry offset out of range");
+      return;
+    }
+    index_.push_back(entry);
+  }
+}
+
+uint64_t SeekableTraceSource::indexed_records() const {
+  uint64_t total = 0;
+  for (const TraceBlockIndexEntry& entry : index_) {
+    total += entry.record_count;
+  }
+  return total;
+}
+
+SeekableTraceSource::Cursor::Cursor(const std::string& path, uint64_t offset,
+                                    uint64_t block_count, int64_t record_count)
+    : reader_(path), record_count_(record_count) {
+  if (reader_.status().ok()) {
+    reader_.SeekToBlock(offset, block_count);
+  }
+}
+
+std::unique_ptr<SeekableTraceSource::Cursor> SeekableTraceSource::OpenCursor(
+    size_t first_block, size_t block_count) const {
+  if (first_block >= index_.size()) {
+    first_block = index_.size();
+    block_count = 0;
+  } else if (block_count > index_.size() - first_block) {
+    block_count = index_.size() - first_block;
+  }
+  const uint64_t offset = block_count > 0 ? index_[first_block].offset : 0;
+  int64_t records = 0;
+  for (size_t i = first_block; i < first_block + block_count; ++i) {
+    records += static_cast<int64_t>(index_[i].record_count);
+  }
+  return std::make_unique<Cursor>(path_, offset, block_count, records);
 }
 
 StatusOr<Trace> CollectTrace(TraceSource& source) {

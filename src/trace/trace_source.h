@@ -18,7 +18,9 @@
 #ifndef BSDTRACE_SRC_TRACE_TRACE_SOURCE_H_
 #define BSDTRACE_SRC_TRACE_TRACE_SOURCE_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/trace/trace.h"
 #include "src/trace/trace_io.h"
@@ -84,6 +86,55 @@ class TraceFileSource : public TraceSource {
  private:
   TraceFileReader reader_;
   int64_t size_hint_ = -1;
+};
+
+// Random-access view of a v3 trace file: parses the footer block index and
+// opens independent cursors (each with its own file handle) over any
+// contiguous run of blocks.  v1/v2 files and index-less v3 files open fine
+// but report has_index() == false — callers fall back to sequential reads.
+// A v3 file whose tail magic is present but whose footer does not decode is
+// reported as corrupt through status().
+class SeekableTraceSource {
+ public:
+  explicit SeekableTraceSource(const std::string& path);
+
+  Status status() const { return status_; }
+  const TraceHeader& header() const { return header_; }
+  int version() const { return version_; }
+  int64_t size_hint() const { return declared_; }
+  bool has_index() const { return !index_.empty(); }
+  const std::vector<TraceBlockIndexEntry>& index() const { return index_; }
+  const std::string& path() const { return path_; }
+  // Total records across the index (the authoritative count for carving).
+  uint64_t indexed_records() const;
+
+  // A TraceSource over blocks [first_block, first_block + block_count) with
+  // its own reader; multiple cursors read the same file concurrently.
+  class Cursor : public TraceSource {
+   public:
+    Cursor(const std::string& path, uint64_t offset, uint64_t block_count,
+           int64_t record_count);
+    const TraceHeader& header() const override { return reader_.header(); }
+    bool Next(TraceRecord* record) override { return reader_.Next(record); }
+    Status status() const override { return reader_.status(); }
+    int64_t size_hint() const override { return record_count_; }
+
+   private:
+    TraceFileReader reader_;
+    int64_t record_count_;
+  };
+
+  // Opens a cursor over the given block range (clamped to the index).
+  // Returns a source whose status() reflects any open/seek failure.
+  std::unique_ptr<Cursor> OpenCursor(size_t first_block, size_t block_count) const;
+
+ private:
+  std::string path_;
+  TraceHeader header_;
+  Status status_ = Status::Ok();
+  int version_ = 0;
+  int64_t declared_ = -1;
+  std::vector<TraceBlockIndexEntry> index_;
 };
 
 // Drains a source into an in-memory Trace (header + all records), reserving

@@ -1,6 +1,10 @@
 #include "src/trace/validate.h"
 
+#include <string>
 #include <unordered_map>
+
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_source.h"
 
 namespace bsdtrace {
 namespace {
@@ -114,6 +118,57 @@ ValidationResult ValidateTrace(const Trace& trace, size_t max_issues) {
                               " file(s) still open when the trace ends");
   }
   return result;
+}
+
+TraceFileCheck CheckTraceFile(const std::string& path) {
+  TraceFileCheck check;
+
+  // The seekable probe parses the footer index (v3) and surfaces a corrupt
+  // footer as a non-ok status; v1/v2 files come back ok with no index.
+  SeekableTraceSource seekable(path);
+  if (!seekable.status().ok()) {
+    check.status = seekable.status();
+    return check;
+  }
+  check.version = seekable.version();
+  check.has_index = seekable.has_index();
+  check.index_entries = seekable.index().size();
+  check.indexed_records = seekable.indexed_records();
+
+  TraceFileReader reader(path);
+  if (!reader.status().ok()) {
+    check.status = reader.status();
+    return check;
+  }
+  TraceRecord record{};
+  while (reader.Next(&record)) {
+    ++check.records;
+    check.last_time = record.time;
+  }
+  check.blocks_verified = reader.blocks_verified();
+  if (!reader.status().ok()) {
+    check.status = reader.status();
+    return check;
+  }
+  if (reader.declared_record_count() >= 0 &&
+      static_cast<uint64_t>(reader.declared_record_count()) != check.records) {
+    check.status = Status::Error(
+        "header declares " + std::to_string(reader.declared_record_count()) +
+        " records but the file holds " + std::to_string(check.records));
+    return check;
+  }
+  if (check.has_index && check.indexed_records != check.records) {
+    check.status = Status::Error(
+        "footer index claims " + std::to_string(check.indexed_records) +
+        " records but the blocks hold " + std::to_string(check.records));
+    return check;
+  }
+  if (check.has_index && check.index_entries != check.blocks_verified) {
+    check.status = Status::Error(
+        "footer index lists " + std::to_string(check.index_entries) +
+        " blocks but the file holds " + std::to_string(check.blocks_verified));
+  }
+  return check;
 }
 
 }  // namespace bsdtrace

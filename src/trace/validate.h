@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/trace/trace.h"
+#include "src/util/status.h"
 
 namespace bsdtrace {
 
@@ -39,6 +40,28 @@ struct ValidationResult {
 //  * field conventions hold (e.g. create has size 0 and position 0).
 // Caps the number of reported issues to keep output bounded.
 ValidationResult ValidateTrace(const Trace& trace, size_t max_issues = 20);
+
+// File-level integrity check over a binary trace file.  Decodes every record
+// through the checksumming reader (v3 block CRC32Cs are verified as each
+// block is entered) and cross-checks the declared header count and, when a
+// footer index is present, the index's block/record totals against what the
+// blocks actually hold.  A flipped byte, truncated file, or index that
+// disagrees with the data all surface in `status`; the counters describe how
+// far the scan got.
+struct TraceFileCheck {
+  Status status = Status::Ok();  // first corruption or I/O error, if any
+  int version = 0;               // format version (1, 2, or 3)
+  uint64_t records = 0;          // records successfully decoded
+  uint64_t blocks_verified = 0;  // v3 blocks whose checksum was verified
+  bool has_index = false;        // v3 footer index present
+  uint64_t index_entries = 0;    // blocks listed in the footer index
+  uint64_t indexed_records = 0;  // record total the footer index claims
+  SimTime last_time;             // time of the last decoded record
+
+  bool ok() const { return status.ok(); }
+};
+
+TraceFileCheck CheckTraceFile(const std::string& path);
 
 }  // namespace bsdtrace
 

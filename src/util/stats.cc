@@ -42,7 +42,14 @@ void WeightedCdf::Add(double value, double weight) {
     return;
   }
   samples_.emplace_back(value, weight);
-  total_weight_ += weight;
+  sorted_ = false;
+}
+
+void WeightedCdf::Merge(const WeightedCdf& other) {
+  if (other.samples_.empty()) {
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
   sorted_ = false;
 }
 
@@ -50,8 +57,9 @@ void WeightedCdf::EnsureSorted() const {
   if (sorted_) {
     return;
   }
-  std::sort(samples_.begin(), samples_.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Ties on value are broken by weight so the prefix sums — and therefore
+  // every query — are a pure function of the sample multiset.
+  std::sort(samples_.begin(), samples_.end());
   cumulative_.resize(samples_.size());
   double running = 0.0;
   for (size_t i = 0; i < samples_.size(); ++i) {
@@ -61,11 +69,28 @@ void WeightedCdf::EnsureSorted() const {
   sorted_ = true;
 }
 
-double WeightedCdf::FractionAtOrBelow(double x) const {
-  if (samples_.empty() || total_weight_ <= 0.0) {
+double WeightedCdf::total_weight() const {
+  if (samples_.empty()) {
     return 0.0;
   }
   EnsureSorted();
+  return cumulative_.back();
+}
+
+const std::vector<std::pair<double, double>>& WeightedCdf::sorted_samples() const {
+  EnsureSorted();
+  return samples_;
+}
+
+double WeightedCdf::FractionAtOrBelow(double x) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const double total = cumulative_.back();
+  if (total <= 0.0) {
+    return 0.0;
+  }
   // Last index with value <= x.
   auto it = std::upper_bound(samples_.begin(), samples_.end(), x,
                              [](double v, const auto& s) { return v < s.first; });
@@ -73,14 +98,14 @@ double WeightedCdf::FractionAtOrBelow(double x) const {
     return 0.0;
   }
   const size_t idx = static_cast<size_t>(it - samples_.begin()) - 1;
-  return cumulative_[idx] / total_weight_;
+  return cumulative_[idx] / total;
 }
 
 double WeightedCdf::Quantile(double q) const {
   assert(!samples_.empty());
   assert(q >= 0.0 && q <= 1.0);
   EnsureSorted();
-  const double target = q * total_weight_;
+  const double target = q * cumulative_.back();
   auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
   if (it == cumulative_.end()) {
     return samples_.back().first;
@@ -101,14 +126,19 @@ double WeightedCdf::MaxValue() const {
 }
 
 double WeightedCdf::Mean() const {
-  if (samples_.empty() || total_weight_ <= 0.0) {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const double total = cumulative_.back();
+  if (total <= 0.0) {
     return 0.0;
   }
   double acc = 0.0;
   for (const auto& [v, w] : samples_) {
     acc += v * w;
   }
-  return acc / total_weight_;
+  return acc / total;
 }
 
 std::vector<double> WeightedCdf::Evaluate(const std::vector<double>& xs) const {

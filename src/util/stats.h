@@ -58,7 +58,12 @@ class RunningStats {
 // query directions the paper uses: "what fraction of weight lies at or below
 // x" (reading a CDF curve) and "what x bounds a given fraction" (quantiles).
 //
-// Samples are buffered and sorted lazily on first query.
+// Samples are buffered and sorted lazily on first query.  Every query —
+// including total_weight() and Mean() — is computed over the canonical
+// (value, weight)-sorted order, so results depend only on the sample
+// multiset, never on insertion order.  That makes Merge() a plain
+// concatenation and lets a parallel analysis pass reproduce the serial
+// pass bit for bit.
 class WeightedCdf {
  public:
   // Adds a sample with weight 1.
@@ -66,8 +71,11 @@ class WeightedCdf {
   // Adds a sample with the given non-negative weight.
   void Add(double value, double weight);
 
+  // Absorbs all of other's samples (parallel reduction).
+  void Merge(const WeightedCdf& other);
+
   int64_t sample_count() const { return static_cast<int64_t>(samples_.size()); }
-  double total_weight() const { return total_weight_; }
+  double total_weight() const;
   bool empty() const { return samples_.empty(); }
 
   // Fraction of total weight with value <= x, in [0, 1].
@@ -85,13 +93,16 @@ class WeightedCdf {
   // Evaluates the CDF at each of the given x positions (for plotting).
   std::vector<double> Evaluate(const std::vector<double>& xs) const;
 
+  // The samples in canonical sorted order — exact-comparison hook for the
+  // parallel/serial parity tests.
+  const std::vector<std::pair<double, double>>& sorted_samples() const;
+
  private:
   void EnsureSorted() const;
 
   mutable std::vector<std::pair<double, double>> samples_;  // (value, weight)
   mutable std::vector<double> cumulative_;                  // prefix sums of weight
   mutable bool sorted_ = false;
-  double total_weight_ = 0.0;
 };
 
 // Fixed-boundary histogram.  Bucket i covers [bounds[i-1], bounds[i]); an

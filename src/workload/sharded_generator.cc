@@ -447,10 +447,15 @@ StatusOr<ShardedStreamStats> GenerateTraceShardedToFile(const MachineProfile& pr
     return spilled.status();
   }
   // The exact record count is known once the shards have spilled, so the
-  // final file's v2 header declares it — the same bytes SaveTrace writes for
-  // the in-memory path's trace.
+  // final file's header declares it.  The file is written as format v3 —
+  // checksummed blocks plus the footer index — so the result is directly
+  // consumable by ParallelAnalyzeTrace; the bytes match SaveTrace of the
+  // in-memory path's trace with the same v3 options.  (The per-shard spill
+  // files above stay v2: they are private intermediates, merged and deleted
+  // before anyone seeks into them.)
   TraceFileWriter writer(path, spilled.value().header,
-                         static_cast<int64_t>(spilled.value().total_records));
+                         static_cast<int64_t>(spilled.value().total_records),
+                         TraceWriterOptions{.version = 3});
   if (!writer.status().ok()) {
     return writer.status();
   }

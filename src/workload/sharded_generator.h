@@ -70,9 +70,13 @@ GenerationResult GenerateTraceSharded(const MachineProfile& profile,
 // Determinism: the streamed record sequence — and, for the ToFile variant,
 // the file's bytes — is identical to the in-memory path's output for the
 // same (profile, options):
-//     GenerateTraceShardedToFile(p, o, f)  ==  SaveTrace(f, GenerateTraceSharded(p, o).trace)
+//     GenerateTraceShardedToFile(p, o, f)  ==  SaveTrace(f, GenerateTraceSharded(p, o).trace,
+//                                                        TraceWriterOptions{.version = 3})
 // byte for byte, for every shard_count and threads value (pinned by
-// ShardedStream tests and the bench_micro_generate gate).
+// ShardedStream tests and the bench_micro_generate gate).  ToFile writes
+// trace format v3 (checksummed blocks + footer index) so the output feeds
+// ParallelAnalyzeTrace directly; the v3 framing is a deterministic function
+// of the record stream, so byte-identity is preserved.
 
 // Everything GenerateTraceSharded reports except the record vector, plus
 // streaming bookkeeping.
@@ -97,9 +101,10 @@ StatusOr<ShardedStreamStats> GenerateTraceShardedTo(const MachineProfile& profil
                                                     const ShardedGeneratorOptions& options,
                                                     TraceSink& sink);
 
-// Streams the merged trace straight into a binary trace file at `path`,
-// with the exact record count stamped in the v2 header.  Byte-identical to
-// saving the in-memory path's trace (see above).
+// Streams the merged trace straight into a binary v3 trace file at `path`
+// (checksummed blocks + block index), with the exact record count stamped in
+// the header.  Byte-identical to saving the in-memory path's trace with the
+// same v3 options (see above).
 StatusOr<ShardedStreamStats> GenerateTraceShardedToFile(const MachineProfile& profile,
                                                         const ShardedGeneratorOptions& options,
                                                         const std::string& path);

@@ -1,0 +1,188 @@
+// Parallel-analysis parity: ParallelAnalyzeTrace must reproduce the serial
+// AnalyzeTrace bit for bit — every counter, CDF sample, and Welford
+// accumulator — for hand-built boundary-straddling traces and for the three
+// standard generated workloads at 1, 2, and 8 threads.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/parallel_analyzer.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_source.h"
+#include "src/workload/generator.h"
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Saves as v3 with tiny blocks (many segment boundaries) and returns the
+// serial streaming analysis of the same file.
+TraceAnalysis SaveAndAnalyzeSerial(const Trace& trace, const std::string& path,
+                                   size_t block_target = 256) {
+  TraceWriterOptions options;
+  options.version = 3;
+  options.block_target_bytes = block_target;
+  EXPECT_TRUE(SaveTrace(path, trace, options).ok());
+  TraceFileSource source(path);
+  auto serial = AnalyzeTrace(source);
+  EXPECT_TRUE(serial.ok()) << serial.status().message();
+  return serial.value();
+}
+
+void ExpectParity(const TraceAnalysis& serial, const std::string& path,
+                  unsigned threads) {
+  auto parallel = ParallelAnalyzeTrace(path, threads);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+  const TraceAnalysis& p = parallel.value();
+  // Spot-check a few fields with readable failure output before the full
+  // bitwise comparison.
+  EXPECT_EQ(serial.overall.total_records, p.overall.total_records);
+  EXPECT_EQ(serial.overall.bytes_transferred, p.overall.bytes_transferred);
+  EXPECT_EQ(serial.overall.inter_event_interval_seconds.sample_count(),
+            p.overall.inter_event_interval_seconds.sample_count());
+  EXPECT_EQ(serial.activity.distinct_users, p.activity.distinct_users);
+  EXPECT_EQ(serial.activity.ten_second.intervals, p.activity.ten_second.intervals);
+  EXPECT_EQ(serial.activity.ten_second.throughput_per_user.mean(),
+            p.activity.ten_second.throughput_per_user.mean());
+  EXPECT_EQ(serial.sequentiality.Total().accesses, p.sequentiality.Total().accesses);
+  EXPECT_EQ(serial.runs.by_runs.sample_count(), p.runs.by_runs.sample_count());
+  EXPECT_EQ(serial.lifetimes.new_files, p.lifetimes.new_files);
+  EXPECT_EQ(serial.lifetimes.observed_deaths, p.lifetimes.observed_deaths);
+  EXPECT_EQ(serial.lifetimes.by_bytes.total_weight(), p.lifetimes.by_bytes.total_weight());
+  EXPECT_TRUE(AnalysisBitIdentical(serial, p)) << "parity broken at " << threads
+                                               << " threads";
+}
+
+// Every boundary hazard in one trace: opens whose seeks/closes land in later
+// blocks, lifetimes straddling blocks (pre-zone bytes, boundary kills,
+// marked slots, exit-live incarnations), open-id reuse after a straddling
+// close, and genuinely orphan records (no open anywhere).
+Trace StraddleTrace() {
+  TraceBuilder b;
+  // Open 1 straddles: transfers bill in later blocks (writes feed file 500's
+  // lifetime, which is created before and unlinked after — pre/slot zones).
+  b.Create(1.0, 10, 500, AccessMode::kWriteOnly, 3);
+  b.Open(2.0, 1, 500, 0, AccessMode::kWriteOnly, 3);
+  for (int i = 0; i < 40; ++i) {
+    // Padding records so tiny blocks split between the interesting events.
+    b.Execve(3.0 + i * 0.5, 900 + i, 4096, 7);
+  }
+  b.Seek(25.0, 1, 500, 8192, 0);       // first run: 8 KB written
+  b.Close(40.0, 2, 501, 1024, 1024);   // orphan close: 501 never opened
+  for (int i = 0; i < 40; ++i) {
+    b.Execve(41.0 + i * 0.5, 900 + i, 4096, 7);
+  }
+  b.Seek(70.0, 1, 500, 4096, 4096);    // second run: 4 KB
+  b.Close(90.0, 1, 500, 12288, 12288); // third run: 8 KB; slot gets 20 KB total
+  b.Unlink(100.0, 500, 3);             // kills file 500: lifetime 99 s, 20 KB
+  // Read-side straddle: whole-file read of 502 across blocks.
+  b.Open(110.0, 2, 502, 65536, AccessMode::kReadOnly, 4);
+  for (int i = 0; i < 40; ++i) {
+    b.Execve(111.0 + i * 0.5, 900 + i, 4096, 7);
+  }
+  b.Close(140.0, 2, 502, 65536, 65536);
+  // Open-id reuse after a straddling close.
+  b.Open(150.0, 1, 503, 4096, AccessMode::kReadOnly, 5);
+  b.Close(160.0, 1, 503, 4096, 4096);
+  // An incarnation that outlives the trace (right-censored) keeps receiving
+  // bytes via a straddling write.
+  b.Create(170.0, 3, 504, AccessMode::kWriteOnly, 6);
+  b.Open(171.0, 4, 504, 0, AccessMode::kWriteOnly, 6);
+  for (int i = 0; i < 40; ++i) {
+    b.Execve(172.0 + i * 0.4, 900 + i, 4096, 7);
+  }
+  b.Close(190.0, 4, 504, 2048, 2048);
+  // A dangling open (never closed) spanning the remaining blocks.
+  b.Open(200.0, 5, 505, 1024, AccessMode::kReadOnly, 8);
+  for (int i = 0; i < 20; ++i) {
+    b.Unlink(201.0 + i, 950 + i, 9);
+  }
+  Trace t = b.Build();
+  t.header().machine = "straddle";
+  return t;
+}
+
+TEST(ParallelAnalyzer, StraddleTraceParity) {
+  const Trace trace = StraddleTrace();
+  const std::string path = TempPath("parallel_straddle.trc");
+  const TraceAnalysis serial = SaveAndAnalyzeSerial(trace, path, /*block_target=*/64);
+  SeekableTraceSource seekable(path);
+  ASSERT_TRUE(seekable.status().ok());
+  ASSERT_GT(seekable.index().size(), 8u) << "trace too small to exercise splitting";
+  for (unsigned threads : {1u, 2u, 3u, 8u, 32u}) {
+    ExpectParity(serial, path, threads);
+  }
+}
+
+class StandardWorkloadParity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StandardWorkloadParity, BitIdenticalAcrossThreadCounts) {
+  const MachineProfile profile = std::string(GetParam()) == "A5"   ? ProfileA5()
+                                 : std::string(GetParam()) == "E3" ? ProfileE3()
+                                                                   : ProfileC4();
+  GeneratorOptions options;
+  options.duration = Duration::Minutes(45);
+  options.seed = 1985;
+  const Trace trace = GenerateTraceOnly(profile, options);
+  const std::string path = TempPath(std::string("parallel_") + GetParam() + ".trc");
+  // 16 KB blocks: plenty of segment boundaries without bloating the file.
+  const TraceAnalysis serial = SaveAndAnalyzeSerial(trace, path, 16 * 1024);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ExpectParity(serial, path, threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, StandardWorkloadParity,
+                         ::testing::Values("A5", "E3", "C4"));
+
+TEST(ParallelAnalyzer, V2FileFallsBackToSerial) {
+  const Trace trace = StraddleTrace();
+  const std::string path = TempPath("parallel_v2.trc");
+  ASSERT_TRUE(SaveTrace(path, trace).ok());
+  TraceFileSource source(path);
+  auto serial = AnalyzeTrace(source);
+  ASSERT_TRUE(serial.ok());
+  auto parallel = ParallelAnalyzeTrace(path, 8);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+  EXPECT_TRUE(AnalysisBitIdentical(serial.value(), parallel.value()));
+}
+
+TEST(ParallelAnalyzer, MissingFileIsAnError) {
+  auto result = ParallelAnalyzeTrace(TempPath("does_not_exist.trc"), 4);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParallelAnalyzer, CorruptBlockSurfacesThroughWorkers) {
+  const Trace trace = StraddleTrace();
+  const std::string path = TempPath("parallel_corrupt.trc");
+  TraceWriterOptions options;
+  options.version = 3;
+  options.block_target_bytes = 64;
+  ASSERT_TRUE(SaveTrace(path, trace, options).ok());
+  // Flip a byte inside some middle block's payload.
+  SeekableTraceSource seekable(path);
+  ASSERT_TRUE(seekable.status().ok());
+  ASSERT_GT(seekable.index().size(), 4u);
+  const uint64_t victim = seekable.index()[seekable.index().size() / 2].offset + 8;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(victim), SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(victim), SEEK_SET), 0);
+    std::fputc(c ^ 0x20, f);
+    std::fclose(f);
+  }
+  auto result = ParallelAnalyzeTrace(path, 8);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace bsdtrace

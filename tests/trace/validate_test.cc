@@ -1,7 +1,11 @@
 #include "src/trace/validate.h"
 
+#include <cstdio>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "src/trace/trace_io.h"
 #include "tests/testing/trace_builder.h"
 
 namespace bsdtrace {
@@ -130,6 +134,80 @@ TEST(ValidateTrace, CreateWithNonzeroSizeRejected) {
   r.size = 10;
   t.Append(r);
   EXPECT_FALSE(ValidateTrace(t).ok());
+}
+
+// -- CheckTraceFile -----------------------------------------------------------
+
+Trace FileCheckTrace() {
+  TraceBuilder b;
+  for (int i = 0; i < 200; ++i) {
+    const double t = 1.0 + i * 30.0;  // spans several simulated hours
+    b.Open(t, i + 1, 100 + i, 4096);
+    b.Close(t + 1.0, i + 1, 100 + i, 4096, 4096);
+  }
+  return b.Build();
+}
+
+TEST(CheckTraceFile, CleanV3FileChecksOut) {
+  const std::string path = ::testing::TempDir() + "/check_v3.trc";
+  TraceWriterOptions options;
+  options.version = 3;
+  options.block_target_bytes = 512;
+  const Trace trace = FileCheckTrace();
+  ASSERT_TRUE(SaveTrace(path, trace, options).ok());
+
+  const TraceFileCheck check = CheckTraceFile(path);
+  EXPECT_TRUE(check.ok()) << check.status.message();
+  EXPECT_EQ(check.version, 3);
+  EXPECT_TRUE(check.has_index);
+  EXPECT_EQ(check.records, trace.size());
+  EXPECT_EQ(check.indexed_records, trace.size());
+  EXPECT_GT(check.index_entries, 1u);
+  EXPECT_EQ(check.blocks_verified, check.index_entries);
+  EXPECT_EQ(check.last_time, trace.records().back().time);
+  std::remove(path.c_str());
+}
+
+TEST(CheckTraceFile, CleanV2FileChecksOut) {
+  const std::string path = ::testing::TempDir() + "/check_v2.trc";
+  const Trace trace = FileCheckTrace();
+  ASSERT_TRUE(SaveTrace(path, trace).ok());
+
+  const TraceFileCheck check = CheckTraceFile(path);
+  EXPECT_TRUE(check.ok()) << check.status.message();
+  EXPECT_EQ(check.version, 2);
+  EXPECT_FALSE(check.has_index);
+  EXPECT_EQ(check.records, trace.size());
+  std::remove(path.c_str());
+}
+
+TEST(CheckTraceFile, FlippedByteIsReported) {
+  const std::string path = ::testing::TempDir() + "/check_flip.trc";
+  TraceWriterOptions options;
+  options.version = 3;
+  options.block_target_bytes = 512;
+  ASSERT_TRUE(SaveTrace(path, FileCheckTrace(), options).ok());
+
+  // Flip a byte in some middle block's payload.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long mid = std::ftell(f) / 2;
+  ASSERT_EQ(std::fseek(f, mid, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, mid, SEEK_SET), 0);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+
+  const TraceFileCheck check = CheckTraceFile(path);
+  EXPECT_FALSE(check.ok());
+  EXPECT_EQ(check.version, 3);
+  std::remove(path.c_str());
+}
+
+TEST(CheckTraceFile, MissingFileIsAnError) {
+  EXPECT_FALSE(CheckTraceFile(::testing::TempDir() + "/no_such_trace.trc").ok());
 }
 
 }  // namespace

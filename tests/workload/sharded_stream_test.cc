@@ -59,14 +59,17 @@ class ScopedPath {
 };
 
 // The headline contract: the streamed file is byte-for-byte the file
-// SaveTrace writes for the in-memory path's trace — for every shard count
-// (including the serial shards=1 path) and independent of the thread count.
+// SaveTrace writes for the in-memory path's trace (with the same v3 options
+// the streamer uses) — for every shard count (including the serial shards=1
+// path) and independent of the thread count.
 TEST(ShardedStream, FileIsByteIdenticalToInMemoryPath) {
   for (int shards : {1, 2, 7}) {
     const GenerationResult in_memory =
         GenerateTraceSharded(ProfileA5(), StreamOptions(shards, /*threads=*/1));
     ScopedPath reference("ref-" + std::to_string(shards));
-    ASSERT_TRUE(SaveTrace(reference.get(), in_memory.trace).ok());
+    ASSERT_TRUE(SaveTrace(reference.get(), in_memory.trace,
+                          TraceWriterOptions{.version = 3})
+                    .ok());
     const std::string expected = ReadFileBytes(reference.get());
     ASSERT_FALSE(expected.empty());
 

@@ -4,8 +4,14 @@
 // recipe in EXPERIMENTS.md; also the CI low-memory smoke test's workhorse.
 //
 //   trace_stream generate <out.trc> [profile] [hours] [shards] [threads] [seed]
-//   trace_stream analyze  <in.trc>
+//   trace_stream analyze  <in.trc> [--threads=N]
 //   trace_stream info     <in.trc>
+//
+// `analyze` runs the segmented parallel analyzer on v3 files with a block
+// index (bit-identical to the serial pass; --threads=1 forces serial, the
+// default 0 uses hardware concurrency).  `info` verifies every block
+// checksum and the footer index on the way through and exits non-zero on
+// corruption.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +22,7 @@
 #include "src/core/experiments.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_source.h"
+#include "src/trace/validate.h"
 #include "src/workload/profile.h"
 #include "src/workload/sharded_generator.h"
 
@@ -27,7 +34,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: trace_stream generate <out.trc> [profile=A5] [hours=6] "
                "[shards=8] [threads=0] [seed=19851201]\n"
-               "       trace_stream analyze  <in.trc>\n"
+               "       trace_stream analyze  <in.trc> [--threads=N]\n"
                "       trace_stream info     <in.trc>\n");
   return 2;
 }
@@ -62,14 +69,24 @@ int Generate(int argc, char** argv) {
   return s.fsck.ok() ? 0 : 1;
 }
 
-int Analyze(const char* path) {
-  TraceFileSource source(path);
-  auto analysis = AnalyzeTrace(source);
+int Analyze(int argc, char** argv) {
+  const char* path = argv[0];
+  unsigned threads = 0;  // hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else {
+      return Usage();
+    }
+  }
+  auto analysis = AnalyzeTraceFile(path, threads);
   if (!analysis.ok()) {
     std::fprintf(stderr, "analyze failed: %s\n", analysis.status().message().c_str());
     return 1;
   }
-  const std::vector<NamedAnalysis> named = {{source.header().machine, &analysis.value()}};
+  TraceFileSource source(path);  // header only, for the table label
+  const std::string label = source.status().ok() ? source.header().machine : path;
+  const std::vector<NamedAnalysis> named = {{label, &analysis.value()}};
   std::fputs(RenderTable3(named).c_str(), stdout);
   std::fputs(RenderTable4(named).c_str(), stdout);
   std::fputs(RenderTable5(named).c_str(), stdout);
@@ -89,20 +106,34 @@ int Info(const char* path) {
   } else {
     std::printf("declared:    unknown (v1 or streamed file)\n");
   }
-  uint64_t n = 0;
-  TraceRecord r{};
-  SimTime last = SimTime::Origin();
-  while (source.Next(&r)) {
-    ++n;
-    last = r.time;
+
+  // Full integrity pass: decodes every record, verifies v3 block checksums,
+  // and cross-checks the footer index against the blocks.
+  const TraceFileCheck check = CheckTraceFile(path);
+  std::printf("format:      v%d\n", check.version);
+  if (check.has_index) {
+    std::printf("index:       %llu blocks, %llu records indexed\n",
+                static_cast<unsigned long long>(check.index_entries),
+                static_cast<unsigned long long>(check.indexed_records));
+  } else if (check.version == 3) {
+    std::printf("index:       none (sequential-only v3 file)\n");
+  } else {
+    std::printf("index:       n/a (v%d has no block index)\n", check.version);
   }
-  if (!source.status().ok()) {
-    std::fprintf(stderr, "scan failed after %llu records: %s\n",
-                 static_cast<unsigned long long>(n), source.status().message().c_str());
+  if (check.version == 3) {
+    std::printf("checksums:   %llu blocks %s\n",
+                static_cast<unsigned long long>(check.blocks_verified),
+                check.ok() ? "verified" : "scanned before failure");
+  }
+  if (!check.ok()) {
+    std::fprintf(stderr, "integrity check failed after %llu records: %s\n",
+                 static_cast<unsigned long long>(check.records),
+                 check.status.message().c_str());
     return 1;
   }
-  std::printf("records:     %llu\n", static_cast<unsigned long long>(n));
-  std::printf("span:        %.2f simulated hours\n", (last - SimTime::Origin()).hours());
+  std::printf("records:     %llu\n", static_cast<unsigned long long>(check.records));
+  std::printf("span:        %.2f simulated hours\n",
+              (check.last_time - SimTime::Origin()).hours());
   return 0;
 }
 
@@ -117,7 +148,7 @@ int main(int argc, char** argv) {
     return Generate(argc - 2, argv + 2);
   }
   if (std::strcmp(cmd, "analyze") == 0) {
-    return Analyze(argv[2]);
+    return Analyze(argc - 2, argv + 2);
   }
   if (std::strcmp(cmd, "info") == 0) {
     return Info(argv[2]);
