@@ -1,0 +1,182 @@
+// Scale bench for the fleet engine: streams a population-scaled fleet trace
+// (default: a single 1000-user A5 machine over 6 simulated hours) to a v3
+// file, then analyzes it in parallel and gates on the Table I per-user
+// activity bands — the end-to-end recipe a multi-machine scale run uses.
+// Emits one machine-readable JSON line plus a BENCH_fleet_generate.json
+// file, including the peak RSS of the generate and analyze phases (the
+// streaming engine's memory must not grow with the population).
+//
+// Overrides: BSDTRACE_FLEET (spec, e.g. "4xA5+2xE3+2xC4"), BSDTRACE_USERS
+// (per-machine population, 0 = calibrated), BSDTRACE_HOURS, BSDTRACE_SHARDS
+// (per machine), BSDTRACE_THREADS.
+//
+// RSS methodology as in bench_micro_generate: the generate phase runs first
+// on the fresh process; before the analyze phase VmHWM is re-armed via
+// malloc_trim(0) + /proc/self/clear_refs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "src/analysis/parallel_analyzer.h"
+#include "src/analysis/per_user_activity.h"
+#include "src/trace/trace_source.h"
+#include "src/workload/fleet.h"
+#include "src/workload/sharded_generator.h"
+
+namespace bsdtrace {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Peak resident set (VmHWM) in kB, or -1 where /proc is unavailable.
+long ReadPeakRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return -1;
+  }
+  long kb = -1;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %ld", &kb) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+void ResetPeakRss() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+    std::fputs("5", f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace
+}  // namespace bsdtrace
+
+int main() {
+  using namespace bsdtrace;
+  std::string spec = "A5";
+  int users = 1000;
+  double hours = 6.0;
+  int shards = 8;
+  int threads = 0;  // hardware concurrency
+  if (const char* env = std::getenv("BSDTRACE_FLEET")) {
+    spec = env;
+  }
+  if (const char* env = std::getenv("BSDTRACE_USERS")) {
+    users = std::max(0, std::atoi(env));
+  }
+  if (const char* env = std::getenv("BSDTRACE_HOURS")) {
+    hours = std::max(0.01, std::atof(env));
+  }
+  if (const char* env = std::getenv("BSDTRACE_SHARDS")) {
+    shards = std::max(1, std::atoi(env));
+  }
+  if (const char* env = std::getenv("BSDTRACE_THREADS")) {
+    threads = std::atoi(env);
+  }
+  const int hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+
+  auto fleet = ParseFleetSpec(spec, users);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "bad fleet spec: %s\n", fleet.status().message().c_str());
+    return 1;
+  }
+  FleetGeneratorOptions options;
+  options.base.duration = Duration::Hours(hours);
+  options.base.seed = 19851201;
+  options.shards_per_machine = shards;
+  options.threads = threads;
+
+  std::printf(
+      "bench_fleet_generate: fleet %s, %d users/machine, %.2f simulated hours, "
+      "%d shards/machine, %d threads (hw %d)\n",
+      fleet.value().spec.c_str(), users, hours, shards, threads, hw_threads);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bsdtrace-bench-fleet.trc").string();
+
+  // Phase 1 — streaming fleet generation, on the fresh process.
+  const auto gen_t0 = std::chrono::steady_clock::now();
+  auto stats = GenerateFleetToFile(fleet.value(), options, path);
+  const double generate_s = SecondsSince(gen_t0);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "fleet generation failed: %s\n", stats.status().message().c_str());
+    return 1;
+  }
+  const long peak_rss_generate_kb = ReadPeakRssKb();
+
+  // Phase 2 — parallel analysis + Table I band gate, peak counter re-armed.
+  ResetPeakRss();
+  const auto an_t0 = std::chrono::steady_clock::now();
+  auto analysis = ParallelAnalyzeTrace(path, threads > 0 ? static_cast<unsigned>(threads)
+                                                         : std::thread::hardware_concurrency());
+  const double analyze_s = SecondsSince(an_t0);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n", analysis.status().message().c_str());
+    std::remove(path.c_str());
+    return 1;
+  }
+  const long peak_rss_analyze_kb = ReadPeakRssKb();
+
+  TraceFileSource header_source(path);
+  std::vector<ActivityBandCheck> checks;
+  if (header_source.status().ok()) {
+    checks = CheckActivityBands(header_source.header(), analysis.value().per_user);
+  }
+  bool bands_ok = !checks.empty();
+  double min_rate = 0.0, max_rate = 0.0;
+  for (const ActivityBandCheck& c : checks) {
+    std::printf("  instance %zu %-3s %5d users  %8.1f records/user/day  %s\n", c.instance,
+                c.trace_name.c_str(), c.user_population, c.records_per_user_day,
+                c.ok ? "ok" : "FAIL");
+    bands_ok = bands_ok && c.ok;
+    min_rate = min_rate == 0.0 ? c.records_per_user_day : std::min(min_rate, c.records_per_user_day);
+    max_rate = std::max(max_rate, c.records_per_user_day);
+  }
+  std::remove(path.c_str());
+
+  const ShardedStreamStats& s = stats.value();
+  char json[1024];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"fleet_generate\",\"fleet\":\"%s\",\"machines\":%zu,"
+                "\"users_per_machine\":%d,\"hours\":%.2f,\"shards\":%d,\"threads\":%d,"
+                "\"hw_threads\":%d,\"records\":%llu,\"spill_bytes\":%llu,"
+                "\"generate_s\":%.3f,\"analyze_s\":%.3f,"
+                "\"peak_rss_generate_kb\":%ld,\"peak_rss_analyze_kb\":%ld,"
+                "\"min_records_per_user_day\":%.1f,\"max_records_per_user_day\":%.1f,"
+                "\"bands_ok\":%s}",
+                fleet.value().spec.c_str(), fleet.value().machines.size(), users, hours,
+                shards, threads, hw_threads,
+                static_cast<unsigned long long>(s.records_streamed),
+                static_cast<unsigned long long>(s.spill_bytes_written), generate_s,
+                analyze_s, peak_rss_generate_kb, peak_rss_analyze_kb, min_rate, max_rate,
+                bands_ok ? "true" : "false");
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen("BENCH_fleet_generate.json", "w")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+  if (!bands_ok) {
+    std::fprintf(stderr, "FAIL: Table I per-user activity bands violated\n");
+    return 1;
+  }
+  return 0;
+}

@@ -8,7 +8,7 @@ namespace {
 // Fans reconstruction callbacks out to every collector.
 class MuxSink : public ReconstructionSink {
  public:
-  explicit MuxSink(std::array<ReconstructionSink*, 5> sinks) : sinks_(sinks) {}
+  explicit MuxSink(std::array<ReconstructionSink*, 6> sinks) : sinks_(sinks) {}
 
   void OnTransfer(const Transfer& t) override {
     for (ReconstructionSink* s : sinks_) {
@@ -27,14 +27,16 @@ class MuxSink : public ReconstructionSink {
   }
 
  private:
-  std::array<ReconstructionSink*, 5> sinks_;
+  std::array<ReconstructionSink*, 6> sinks_;
 };
 
-// Bundles the five collectors plus their fan-out sink; both entry points
+// Bundles the six collectors plus their fan-out sink; both entry points
 // drive the same bundle, differing only in how records arrive.
 class CollectorSet {
  public:
-  CollectorSet() : mux_({&overall_, &activity_, &sequentiality_, &patterns_, &lifetimes_}) {}
+  CollectorSet()
+      : mux_({&overall_, &activity_, &per_user_, &sequentiality_, &patterns_,
+              &lifetimes_}) {}
 
   ReconstructionSink* sink() { return &mux_; }
 
@@ -42,6 +44,7 @@ class CollectorSet {
     TraceAnalysis analysis;
     analysis.overall = overall_.Take();
     analysis.activity = activity_.Take();
+    analysis.per_user = per_user_.Take();
     analysis.sequentiality = sequentiality_.Take();
     analysis.runs = patterns_.TakeRuns();
     analysis.file_sizes = patterns_.TakeFileSizes();
@@ -53,6 +56,7 @@ class CollectorSet {
  private:
   OverallStatsCollector overall_;
   ActivityCollector activity_;
+  PerUserActivityCollector per_user_;
   SequentialityCollector sequentiality_;
   PatternsCollector patterns_;
   LifetimeCollector lifetimes_;

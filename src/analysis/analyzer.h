@@ -8,6 +8,7 @@
 #include "src/analysis/lifetimes.h"
 #include "src/analysis/overall.h"
 #include "src/analysis/patterns.h"
+#include "src/analysis/per_user_activity.h"
 #include "src/analysis/sequentiality.h"
 #include "src/trace/trace.h"
 #include "src/trace/trace_source.h"
@@ -19,6 +20,7 @@ namespace bsdtrace {
 struct TraceAnalysis {
   OverallStats overall;            // Table III + §3.1 intervals
   ActivityStats activity;          // Table IV
+  PerUserActivityStats per_user;   // Table I per-user activity
   SequentialityStats sequentiality;  // Table V
   RunLengthStats runs;             // Figure 1
   FileSizeStats file_sizes;        // Figure 2

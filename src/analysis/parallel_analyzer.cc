@@ -10,6 +10,7 @@
 #include "src/analysis/lifetimes.h"
 #include "src/analysis/overall.h"
 #include "src/analysis/patterns.h"
+#include "src/analysis/per_user_activity.h"
 #include "src/analysis/sequentiality.h"
 #include "src/trace/reconstruct.h"
 
@@ -57,6 +58,7 @@ struct SegmentResult {
   OverallStats overall;
   std::unordered_map<OpenId, SimTime> pending_last_events;
   ActivitySegment activity;
+  PerUserSegment per_user;
   SequentialityStats sequentiality;
   RunLengthStats runs;
   FileSizeStats file_sizes;
@@ -69,10 +71,11 @@ SegmentResult RunSegment(TraceSource& cursor) {
   SegmentResult seg;
   OverallStatsCollector overall;
   ActivityCollector activity(/*segment_mode=*/true);
+  PerUserActivityCollector per_user(/*segment_mode=*/true);
   SequentialityCollector sequentiality;
   PatternsCollector patterns;
   LifetimeCollector lifetimes(/*segment_mode=*/true);
-  WorkerMux mux{&overall, &activity, &sequentiality, &patterns, &lifetimes};
+  WorkerMux mux{&overall, &activity, &per_user, &sequentiality, &patterns, &lifetimes};
   AccessReconstructor reconstructor(&mux);
 
   TraceRecord r;
@@ -92,6 +95,7 @@ SegmentResult RunSegment(TraceSource& cursor) {
   seg.overall = overall.Take();
   seg.pending_last_events = overall.TakePendingLastEvents();
   seg.activity = activity.TakeSegment();
+  seg.per_user = per_user.TakeSegment();
   seg.sequentiality = sequentiality.Take();
   seg.runs = patterns.TakeRuns();
   seg.file_sizes = patterns.TakeFileSizes();
@@ -114,11 +118,13 @@ class StitchSink : public ReconstructionSink {
  public:
   StitchSink(OverallStats* overall_extra, PatternsCollector* patterns,
              SequentialityCollector* sequentiality, ActivitySegment* activity,
+             PerUserSegment* per_user,
              std::unordered_map<FileId, CarriedIncarnation>* carried_live)
       : overall_extra_(overall_extra),
         patterns_(patterns),
         sequentiality_(sequentiality),
         activity_(activity),
+        per_user_(per_user),
         carried_live_(carried_live) {}
 
   void set_segment(LifetimeSegment* lifetimes) { lifetimes_ = lifetimes; }
@@ -135,6 +141,7 @@ class StitchSink : public ReconstructionSink {
     activity_->users_seen.insert(t.user_id);
     activity_->total_bytes += t.length;
     activity_->Touch(t.time, t.user_id, t.length);
+    per_user_->Touch(t.time, t.user_id, /*records=*/0, t.length);
     if (t.direction == TransferDirection::kWrite) {
       switch (tag_.zone) {
         case LifetimeOrphanTag::Zone::kPre: {
@@ -163,6 +170,7 @@ class StitchSink : public ReconstructionSink {
   PatternsCollector* patterns_;
   SequentialityCollector* sequentiality_;
   ActivitySegment* activity_;
+  PerUserSegment* per_user_;
   std::unordered_map<FileId, CarriedIncarnation>* carried_live_;
   LifetimeSegment* lifetimes_ = nullptr;
   LifetimeOrphanTag tag_;
@@ -184,11 +192,13 @@ TraceAnalysis Stitch(std::vector<SegmentResult>& segments) {
   PatternsCollector patterns;
   SequentialityCollector sequentiality;
   ActivitySegment activity;
+  PerUserSegment per_user;
   std::unordered_map<FileId, CarriedIncarnation> carried_live;
   std::unordered_map<OpenId, SimTime> carried_last_event;
   LifetimeStats lifetime_extra;
 
-  StitchSink sink(&overall_extra, &patterns, &sequentiality, &activity, &carried_live);
+  StitchSink sink(&overall_extra, &patterns, &sequentiality, &activity, &per_user,
+                  &carried_live);
   AccessReconstructor reconstructor(&sink);
 
   for (SegmentResult& seg : segments) {
@@ -215,6 +225,7 @@ TraceAnalysis Stitch(std::vector<SegmentResult>& segments) {
       reconstructor.Process(r);
       activity.users_seen.insert(user);
       activity.Touch(r.time, user, 0);
+      per_user.Touch(r.time, user, /*records=*/1, /*bytes=*/0);
     }
 
     // 2. Adopt this segment's boundary state: its pending opens become the
@@ -253,6 +264,7 @@ TraceAnalysis Stitch(std::vector<SegmentResult>& segments) {
     // 4. Merge the order-free partials.
     result.overall.Merge(seg.overall);
     activity.Merge(seg.activity);
+    per_user.Merge(seg.per_user);
     result.sequentiality.Merge(seg.sequentiality);
     result.runs.Merge(seg.runs);
     result.file_sizes.Merge(seg.file_sizes);
@@ -269,6 +281,7 @@ TraceAnalysis Stitch(std::vector<SegmentResult>& segments) {
   result.open_times.Merge(patterns.TakeOpenTimes());
   result.lifetimes.Merge(lifetime_extra);
   result.activity = activity.Finalize();
+  result.per_user = per_user.Finalize();
   return result;
 }
 
@@ -382,6 +395,15 @@ bool AnalysisBitIdentical(const TraceAnalysis& a, const TraceAnalysis& b) {
       a.activity.distinct_users != b.activity.distinct_users ||
       !IntervalIdentical(a.activity.ten_minute, b.activity.ten_minute) ||
       !IntervalIdentical(a.activity.ten_second, b.activity.ten_second)) {
+    return false;
+  }
+  if (a.per_user.duration.micros() != b.per_user.duration.micros() ||
+      a.per_user.days != b.per_user.days ||
+      a.per_user.total_records != b.per_user.total_records ||
+      a.per_user.total_bytes != b.per_user.total_bytes ||
+      a.per_user.users != b.per_user.users ||
+      !StatsIdentical(a.per_user.records_per_user_day, b.per_user.records_per_user_day) ||
+      !StatsIdentical(a.per_user.active_users_per_day, b.per_user.active_users_per_day)) {
     return false;
   }
   for (size_t i = 0; i < a.sequentiality.by_mode.size(); ++i) {

@@ -1,0 +1,174 @@
+#include "src/analysis/per_user_activity.h"
+
+#include <algorithm>
+
+namespace bsdtrace {
+
+namespace {
+
+int64_t DayIndex(SimTime t) { return t.micros() / Duration::Hours(24).micros(); }
+
+}  // namespace
+
+// -- PerUserSegment -----------------------------------------------------------
+
+void PerUserSegment::Touch(SimTime t, UserId user, uint64_t records, uint64_t bytes) {
+  PerUserTotals& totals = users[user];
+  totals.records += records;
+  totals.bytes += bytes;
+  daily_active[DayIndex(t)].insert(user);
+  if (t > last_time) {
+    last_time = t;
+  }
+}
+
+void PerUserSegment::Merge(const PerUserSegment& other) {
+  for (const auto& [user, theirs] : other.users) {
+    PerUserTotals& ours = users[user];
+    ours.records += theirs.records;
+    ours.bytes += theirs.bytes;
+  }
+  for (const auto& [day, active] : other.daily_active) {
+    daily_active[day].insert(active.begin(), active.end());
+  }
+  last_time = std::max(last_time, other.last_time);
+}
+
+PerUserActivityStats PerUserSegment::Finalize() const {
+  PerUserActivityStats stats;
+  stats.duration = last_time - SimTime::Origin();
+  stats.days = stats.duration.seconds() / Duration::Hours(24).seconds();
+  stats.users = users;
+  for (const auto& [user, totals] : users) {
+    stats.total_records += totals.records;
+    stats.total_bytes += totals.bytes;
+    if (stats.days > 0.0) {
+      stats.records_per_user_day.Add(static_cast<double>(totals.records) / stats.days);
+    }
+  }
+  // Days between the first and last touched day with no activity at all
+  // count as zero-active days, matching the Table IV gap-fill convention.
+  int64_t prev = -1;
+  bool first = true;
+  for (const auto& [day, active] : daily_active) {
+    if (!first) {
+      for (int64_t i = prev + 1; i < day; ++i) {
+        stats.active_users_per_day.Add(0.0);
+      }
+    }
+    stats.active_users_per_day.Add(static_cast<double>(active.size()));
+    prev = day;
+    first = false;
+  }
+  return stats;
+}
+
+// -- PerUserActivityCollector -------------------------------------------------
+
+PerUserActivityCollector::PerUserActivityCollector(bool segment_mode)
+    : segment_mode_(segment_mode) {}
+
+UserId PerUserActivityCollector::UserOf(const TraceRecord& r) {
+  switch (r.type) {
+    case EventType::kOpen:
+    case EventType::kCreate:
+      open_user_[r.open_id] = r.user_id;
+      return r.user_id;
+    case EventType::kSeek: {
+      auto it = open_user_.find(r.open_id);
+      return it != open_user_.end() ? it->second : r.user_id;
+    }
+    case EventType::kClose: {
+      auto it = open_user_.find(r.open_id);
+      if (it == open_user_.end()) {
+        return r.user_id;
+      }
+      const UserId user = it->second;
+      open_user_.erase(it);
+      return user;
+    }
+    default:
+      return r.user_id;
+  }
+}
+
+void PerUserActivityCollector::OnRecord(const TraceRecord& r) {
+  // Segment mode: a close/seek whose open lies before this segment has no
+  // user here; the stitcher replays the record with the carried open's user.
+  if (segment_mode_ && (r.type == EventType::kSeek || r.type == EventType::kClose) &&
+      open_user_.count(r.open_id) == 0) {
+    return;
+  }
+  segment_.Touch(r.time, UserOf(r), /*records=*/1, /*bytes=*/0);
+}
+
+void PerUserActivityCollector::OnTransfer(const Transfer& t) {
+  segment_.Touch(t.time, t.user_id, /*records=*/0, t.length);
+}
+
+PerUserActivityStats PerUserActivityCollector::Take() { return segment_.Finalize(); }
+
+PerUserSegment PerUserActivityCollector::TakeSegment() { return std::move(segment_); }
+
+// -- Table I band validation --------------------------------------------------
+
+const std::vector<TableIBand>& TableIBands() {
+  // Calibrated on the simulator at the paper populations (90/140/40 users):
+  // measured per-user rates across 6 h - 72 h durations, 1-8 shards, and
+  // 90-1000+ user populations sit at roughly 1600-2950 (A5), 1200-2300 (E3),
+  // and 1400-2750 (C4) records/user/day; the bands add ~2x margin on both
+  // sides so seed and duration mixes stay inside while an attribution or
+  // scaling regression (rates shifting with population) trips them.  Pinned
+  // at paper scale and at 1000+ users by the PerUserActivity property tests.
+  // Sanity anchor: the paper's Table I reports on the order of half a
+  // million records per machine-day, i.e. thousands of records per user-day.
+  static const std::vector<TableIBand> kBands = {
+      {.trace_name = "A5", .min_records_per_user_day = 700.0,
+       .max_records_per_user_day = 4500.0},
+      {.trace_name = "E3", .min_records_per_user_day = 500.0,
+       .max_records_per_user_day = 3500.0},
+      {.trace_name = "C4", .min_records_per_user_day = 600.0,
+       .max_records_per_user_day = 5500.0},
+  };
+  return kBands;
+}
+
+std::vector<ActivityBandCheck> CheckActivityBands(const TraceHeader& header,
+                                                  const PerUserActivityStats& stats) {
+  std::vector<ActivityBandCheck> checks;
+  if (stats.days * Duration::Hours(24).seconds() < Duration::Minutes(10).seconds()) {
+    return checks;  // too short for a meaningful rate
+  }
+  const std::vector<FleetInstanceTag> tags = ParseFleetTag(header.description);
+  for (size_t i = 0; i < tags.size(); ++i) {
+    const FleetInstanceTag& tag = tags[i];
+    ActivityBandCheck check;
+    check.instance = i;
+    check.trace_name = tag.trace_name;
+    check.user_population = tag.user_population;
+    for (const TableIBand& band : TableIBands()) {
+      if (band.trace_name == tag.trace_name) {
+        check.band = band;
+      }
+    }
+    // Human users only: the instance's daemon pseudo-users sit below
+    // FirstUser() and their activity scales with the machine, not the user.
+    uint64_t records = 0;
+    const auto begin = stats.users.lower_bound(tag.FirstUser());
+    const auto end = stats.users.upper_bound(tag.LastUser());
+    for (auto it = begin; it != end; ++it) {
+      records += it->second.records;
+    }
+    check.records_per_user_day =
+        tag.user_population > 0
+            ? static_cast<double>(records) / tag.user_population / stats.days
+            : 0.0;
+    check.ok = !check.band.trace_name.empty() &&
+               check.records_per_user_day >= check.band.min_records_per_user_day &&
+               check.records_per_user_day <= check.band.max_records_per_user_day;
+    checks.push_back(std::move(check));
+  }
+  return checks;
+}
+
+}  // namespace bsdtrace

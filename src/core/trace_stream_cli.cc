@@ -1,0 +1,320 @@
+#include "src/core/trace_stream_cli.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/per_user_activity.h"
+#include "src/core/experiments.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_source.h"
+#include "src/trace/validate.h"
+#include "src/workload/fleet.h"
+#include "src/workload/profile.h"
+#include "src/workload/sharded_generator.h"
+
+namespace bsdtrace {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: trace_stream generate <out.trc> [profile=A5] [hours=6] [shards=8]\n"
+      "                             [threads=0] [seed=19851201]\n"
+      "                             [--profile=SPEC] [--users=N] [--hours=H]\n"
+      "                             [--shards=S] [--threads=T] [--seed=X]\n"
+      "       trace_stream analyze  <in.trc> [--threads=N] [--check-bands]\n"
+      "       trace_stream info     <in.trc>\n"
+      "profile: A5 | E3 | C4 | a fleet spec like fleet:4xA5+2xE3+2xC4\n"
+      "--users=N population-scales every machine instance to N users\n");
+  return 2;
+}
+
+// Strict numeric parsers: the whole string must parse and land in range.
+// (The CLI used to run arguments through bare atof/atoi, which read
+// "8oops" as 8 and "oops" as 0 — silently generating the wrong trace.)
+
+bool ParseU64Arg(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || s[0] == '-') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseIntArg(const std::string& s, int min, int max, int* out) {
+  uint64_t v = 0;
+  if (!ParseU64Arg(s, &v) || v > static_cast<uint64_t>(max)) {
+    return false;
+  }
+  if (static_cast<int>(v) < min) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseHoursArg(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size() || !std::isfinite(v) || v <= 0.0 ||
+      v > 24.0 * 365.0) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+int BadArg(const char* what, const std::string& value) {
+  std::fprintf(stderr, "trace_stream: invalid %s \"%s\"\n", what, value.c_str());
+  return Usage();
+}
+
+// Returns the flag's value if `arg` is --name=value, nullptr otherwise.
+const char* FlagValue(const char* arg, const char* name) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, "--", 2) == 0 && std::strncmp(arg + 2, name, n) == 0 &&
+      arg[2 + n] == '=') {
+    return arg + 2 + n + 1;
+  }
+  return nullptr;
+}
+
+int Generate(int argc, const char* const* argv) {
+  std::string out_path;
+  std::string profile_spec = "A5";
+  double hours = 6.0;
+  int users = 0;
+  int shards = 8;
+  int threads = 0;
+  uint64_t seed = 19851201;
+
+  // Positionals in the legacy order first, then flags, so flags win.
+  std::vector<std::string> positional;
+  std::vector<const char*> flags;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flags.push_back(argv[i]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty() || positional.size() > 6) {
+    return Usage();
+  }
+  out_path = positional[0];
+  if (positional.size() > 1) {
+    profile_spec = positional[1];
+  }
+  if (positional.size() > 2 && !ParseHoursArg(positional[2], &hours)) {
+    return BadArg("hours", positional[2]);
+  }
+  if (positional.size() > 3 && !ParseIntArg(positional[3], 1, 4096, &shards)) {
+    return BadArg("shards", positional[3]);
+  }
+  if (positional.size() > 4 && !ParseIntArg(positional[4], 0, 4096, &threads)) {
+    return BadArg("threads", positional[4]);
+  }
+  if (positional.size() > 5 && !ParseU64Arg(positional[5], &seed)) {
+    return BadArg("seed", positional[5]);
+  }
+  for (const char* arg : flags) {
+    if (const char* v = FlagValue(arg, "profile")) {
+      profile_spec = v;
+    } else if (const char* v = FlagValue(arg, "users")) {
+      if (!ParseIntArg(v, 0, 1000000, &users)) {
+        return BadArg("--users", v);
+      }
+    } else if (const char* v = FlagValue(arg, "hours")) {
+      if (!ParseHoursArg(v, &hours)) {
+        return BadArg("--hours", v);
+      }
+    } else if (const char* v = FlagValue(arg, "shards")) {
+      if (!ParseIntArg(v, 1, 4096, &shards)) {
+        return BadArg("--shards", v);
+      }
+    } else if (const char* v = FlagValue(arg, "threads")) {
+      if (!ParseIntArg(v, 0, 4096, &threads)) {
+        return BadArg("--threads", v);
+      }
+    } else if (const char* v = FlagValue(arg, "seed")) {
+      if (!ParseU64Arg(v, &seed)) {
+        return BadArg("--seed", v);
+      }
+    } else {
+      std::fprintf(stderr, "trace_stream: unknown flag \"%s\"\n", arg);
+      return Usage();
+    }
+  }
+
+  StatusOr<FleetProfile> fleet = ParseFleetSpec(profile_spec, users);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "trace_stream: %s\n", fleet.status().message().c_str());
+    return Usage();
+  }
+
+  FleetGeneratorOptions options;
+  options.base.seed = seed;
+  options.base.duration = Duration::Hours(hours);
+  options.shards_per_machine = shards;
+  options.threads = threads;
+
+  auto stats = GenerateFleetToFile(fleet.value(), options, out_path);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n", stats.status().message().c_str());
+    return 1;
+  }
+  const ShardedStreamStats& s = stats.value();
+  std::printf("wrote %s: %llu records (%s)\n", out_path.c_str(),
+              static_cast<unsigned long long>(s.records_streamed),
+              s.header.description.c_str());
+  std::printf("spilled %.1f MB across %zu machine(s) x %d shards; fsck %s\n",
+              static_cast<double>(s.spill_bytes_written) / 1048576.0,
+              fleet.value().machines.size(), shards,
+              s.fsck.ok() ? "clean" : s.fsck.Summary().c_str());
+  return s.fsck.ok() ? 0 : 1;
+}
+
+// Prints the per-instance Table I verdicts; returns 0 only if every
+// instance's per-user rate sits inside its profile band.
+int ReportBands(const TraceHeader& header, const PerUserActivityStats& per_user) {
+  const std::vector<ActivityBandCheck> checks = CheckActivityBands(header, per_user);
+  if (checks.empty()) {
+    std::fprintf(stderr,
+                 "check-bands: trace carries no fleet tag (or is too short); "
+                 "generate it with this tool to tag it\n");
+    return 1;
+  }
+  std::printf("\nTable I per-user activity bands\n");
+  bool all_ok = true;
+  for (const ActivityBandCheck& c : checks) {
+    std::printf("  instance %zu %-3s %5d users  %8.1f records/user/day  band [%.0f, %.0f]  %s\n",
+                c.instance, c.trace_name.c_str(), c.user_population,
+                c.records_per_user_day, c.band.min_records_per_user_day,
+                c.band.max_records_per_user_day, c.ok ? "ok" : "FAIL");
+    all_ok = all_ok && c.ok;
+  }
+  return all_ok ? 0 : 1;
+}
+
+int Analyze(int argc, const char* const* argv) {
+  if (argc < 1) {
+    return Usage();
+  }
+  const std::string path = argv[0];
+  unsigned threads = 0;  // hardware concurrency
+  bool check_bands = false;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = FlagValue(argv[i], "threads")) {
+      int t = 0;
+      if (!ParseIntArg(v, 0, 4096, &t)) {
+        return BadArg("--threads", v);
+      }
+      threads = static_cast<unsigned>(t);
+    } else if (std::strcmp(argv[i], "--check-bands") == 0) {
+      check_bands = true;
+    } else {
+      return Usage();
+    }
+  }
+  auto analysis = AnalyzeTraceFile(path, threads);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analyze failed: %s\n", analysis.status().message().c_str());
+    return 1;
+  }
+  TraceFileSource source(path);  // header only, for the table label + fleet tag
+  const std::string label = source.status().ok() ? source.header().machine : path;
+  const std::vector<NamedAnalysis> named = {{label, &analysis.value()}};
+  std::fputs(RenderTable3(named).c_str(), stdout);
+  std::fputs(RenderTable4(named).c_str(), stdout);
+  std::fputs(RenderTable5(named).c_str(), stdout);
+  if (check_bands) {
+    if (!source.status().ok()) {
+      std::fprintf(stderr, "check-bands: cannot re-read header: %s\n",
+                   source.status().message().c_str());
+      return 1;
+    }
+    return ReportBands(source.header(), analysis.value().per_user);
+  }
+  return 0;
+}
+
+int Info(const char* path) {
+  TraceFileSource source(path);
+  if (!source.status().ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path, source.status().message().c_str());
+    return 1;
+  }
+  std::printf("machine:     %s\n", source.header().machine.c_str());
+  std::printf("description: %s\n", source.header().description.c_str());
+  if (source.size_hint() >= 0) {
+    std::printf("declared:    %lld records\n", static_cast<long long>(source.size_hint()));
+  } else {
+    std::printf("declared:    unknown (v1 or streamed file)\n");
+  }
+
+  // Full integrity pass: decodes every record, verifies v3 block checksums,
+  // and cross-checks the footer index against the blocks.
+  const TraceFileCheck check = CheckTraceFile(path);
+  std::printf("format:      v%d\n", check.version);
+  if (check.has_index) {
+    std::printf("index:       %llu blocks, %llu records indexed\n",
+                static_cast<unsigned long long>(check.index_entries),
+                static_cast<unsigned long long>(check.indexed_records));
+  } else if (check.version == 3) {
+    std::printf("index:       none (sequential-only v3 file)\n");
+  } else {
+    std::printf("index:       n/a (v%d has no block index)\n", check.version);
+  }
+  if (check.version == 3) {
+    std::printf("checksums:   %llu blocks %s\n",
+                static_cast<unsigned long long>(check.blocks_verified),
+                check.ok() ? "verified" : "scanned before failure");
+  }
+  if (!check.ok()) {
+    std::fprintf(stderr, "integrity check failed after %llu records: %s\n",
+                 static_cast<unsigned long long>(check.records),
+                 check.status.message().c_str());
+    return 1;
+  }
+  std::printf("records:     %llu\n", static_cast<unsigned long long>(check.records));
+  std::printf("span:        %.2f simulated hours\n",
+              (check.last_time - SimTime::Origin()).hours());
+  return 0;
+}
+
+}  // namespace
+
+int TraceStreamMain(int argc, const char* const* argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "generate") == 0) {
+    return Generate(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "analyze") == 0) {
+    return Analyze(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "info") == 0) {
+    return Info(argv[2]);
+  }
+  return Usage();
+}
+
+}  // namespace bsdtrace

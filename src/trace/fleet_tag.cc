@@ -1,0 +1,90 @@
+#include "src/trace/fleet_tag.h"
+
+#include <cstdlib>
+
+namespace bsdtrace {
+namespace {
+
+constexpr char kTagIntro[] = "; fleet ";
+constexpr size_t kTagIntroLen = sizeof(kTagIntro) - 1;
+
+// Parses a non-negative decimal integer spanning [pos, end) of `s` exactly.
+bool ParseUint(const std::string& s, size_t pos, size_t end, uint64_t* out) {
+  if (pos >= end) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = pos; i < end; ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(s[i] - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string AppendFleetTag(std::string description,
+                           const std::vector<FleetInstanceTag>& instances) {
+  if (instances.empty()) {
+    return description;
+  }
+  description += kTagIntro;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (i > 0) {
+      description += '+';
+    }
+    description += instances[i].trace_name;
+    description += ':';
+    description += std::to_string(instances[i].user_base);
+    description += ':';
+    description += std::to_string(instances[i].user_population);
+  }
+  return description;
+}
+
+std::vector<FleetInstanceTag> ParseFleetTag(const std::string& description) {
+  const size_t intro = description.rfind(kTagIntro);
+  if (intro == std::string::npos) {
+    return {};
+  }
+  std::vector<FleetInstanceTag> instances;
+  size_t pos = intro + kTagIntroLen;
+  while (pos < description.size()) {
+    size_t end = description.find('+', pos);
+    if (end == std::string::npos) {
+      end = description.size();
+    }
+    // One entry: name:base:population.
+    const size_t c1 = description.find(':', pos);
+    if (c1 == std::string::npos || c1 >= end) {
+      return {};
+    }
+    const size_t c2 = description.find(':', c1 + 1);
+    if (c2 == std::string::npos || c2 >= end) {
+      return {};
+    }
+    FleetInstanceTag tag;
+    tag.trace_name = description.substr(pos, c1 - pos);
+    uint64_t base = 0, population = 0;
+    if (tag.trace_name.empty() || !ParseUint(description, c1 + 1, c2, &base) ||
+        !ParseUint(description, c2 + 1, end, &population)) {
+      return {};
+    }
+    tag.user_base = static_cast<UserId>(base);
+    tag.user_population = static_cast<int>(population);
+    instances.push_back(std::move(tag));
+    pos = end + 1;
+    if (end == description.size()) {
+      break;
+    }
+    if (pos >= description.size()) {
+      return {};  // trailing '+' with no entry after it
+    }
+  }
+  return instances;
+}
+
+}  // namespace bsdtrace

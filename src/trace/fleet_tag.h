@@ -1,0 +1,61 @@
+// Per-instance machine identity inside a merged fleet trace.
+//
+// A fleet generation runs several simulated machines in one sharded run and
+// merges their records into a single v3 trace.  Record identity is kept
+// disjoint by construction (per-instance FileId/OpenId interleaving and a
+// per-instance UserId base), and the *mapping* from user-id ranges back to
+// constituent machine profiles is stamped into the trace header description
+// as a machine-parsable tag:
+//
+//     <free-form description>; fleet A5:0:1000+A5:2004:1000+E3:4008:1000
+//
+// Each entry is <trace_name>:<user_base>:<user_population>.  Instance users
+// occupy the id range [user_base, user_base + user_population + 2): ids
+// user_base and user_base+1 are the instance's network/printer daemons, and
+// its interactive users are user_base+2 .. user_base+user_population+1 —
+// the same "+2" convention the single-machine generator has always used.
+//
+// Keeping the tag inside the existing description string means the v3 file
+// format is unchanged: v1/v2/v3 readers are untouched, untagged traces parse
+// to an empty instance list, and analyzers that do not care about fleets see
+// a slightly longer description.  The Table I activity-band validator
+// (analysis/per_user_activity.h) uses the tag to check per-user records/day
+// separately for every constituent machine profile.
+
+#ifndef BSDTRACE_SRC_TRACE_FLEET_TAG_H_
+#define BSDTRACE_SRC_TRACE_FLEET_TAG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/types.h"
+
+namespace bsdtrace {
+
+struct FleetInstanceTag {
+  std::string trace_name;   // constituent profile, e.g. "A5"
+  UserId user_base = 0;     // first user id owned by the instance
+  int user_population = 0;  // interactive users (daemon ids excluded)
+
+  // Interactive users: [FirstUser(), LastUser()] inclusive.
+  UserId FirstUser() const { return user_base + 2; }
+  UserId LastUser() const {
+    return user_base + 1 + static_cast<UserId>(user_population > 0 ? user_population : 0);
+  }
+
+  bool operator==(const FleetInstanceTag&) const = default;
+};
+
+// Renders the tag suffix ("; fleet A5:0:90+...") and appends it to
+// `description`.  An empty instance list appends nothing.
+std::string AppendFleetTag(std::string description,
+                           const std::vector<FleetInstanceTag>& instances);
+
+// Extracts the instance list from a header description.  Returns an empty
+// vector when no well-formed tag is present (legacy single-machine traces).
+std::vector<FleetInstanceTag> ParseFleetTag(const std::string& description);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_FLEET_TAG_H_

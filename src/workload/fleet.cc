@@ -1,0 +1,99 @@
+#include "src/workload/fleet.h"
+
+namespace bsdtrace {
+namespace {
+
+// Splits "4xA5" into (4, "A5"); a bare "A5" is (1, "A5").  The count must be
+// all digits followed by a literal 'x'; profile names never start with a
+// digit, so the split is unambiguous.
+Status ParseGroup(const std::string& group, int* count, std::string* name) {
+  *count = 1;
+  *name = group;
+  size_t digits = 0;
+  while (digits < group.size() && group[digits] >= '0' && group[digits] <= '9') {
+    ++digits;
+  }
+  if (digits > 0 && digits < group.size() &&
+      (group[digits] == 'x' || group[digits] == 'X')) {
+    if (digits > 4) {
+      return Status::Error("fleet group \"" + group + "\": instance count too large");
+    }
+    *count = std::stoi(group.substr(0, digits));
+    *name = group.substr(digits + 1);
+    if (*count < 1) {
+      return Status::Error("fleet group \"" + group + "\": instance count must be >= 1");
+    }
+  }
+  if (name->empty()) {
+    return Status::Error("fleet group \"" + group + "\": missing profile name");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<FleetProfile> ParseFleetSpec(const std::string& spec, int users) {
+  std::string body = spec;
+  if (body.rfind("fleet:", 0) == 0) {
+    body = body.substr(6);
+  }
+  if (body.empty()) {
+    return Status::Error("empty fleet spec");
+  }
+
+  FleetProfile fleet;
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    size_t end = body.find('+', pos);
+    if (end == std::string::npos) {
+      end = body.size();
+    }
+    const std::string group = body.substr(pos, end - pos);
+    int count = 0;
+    std::string name;
+    if (Status st = ParseGroup(group, &count, &name); !st.ok()) {
+      return st;
+    }
+    StatusOr<MachineProfile> profile = ProfileByNameOrError(name);
+    if (!profile.ok()) {
+      return profile.status();
+    }
+    if (users > 0) {
+      profile.value().scale.users = users;
+    }
+    if (!fleet.spec.empty()) {
+      fleet.spec += '+';
+    }
+    fleet.spec += count > 1 ? std::to_string(count) + "x" + profile.value().trace_name
+                            : profile.value().trace_name;
+    for (int i = 0; i < count; ++i) {
+      fleet.machines.push_back(profile.value());
+    }
+    if (end == body.size()) {
+      break;
+    }
+    pos = end + 1;
+  }
+  if (fleet.machines.size() > 64) {
+    return Status::Error("fleet spec \"" + spec + "\": more than 64 machine instances");
+  }
+  return fleet;
+}
+
+std::vector<FleetInstanceTag> FleetLayout(const FleetProfile& fleet) {
+  std::vector<FleetInstanceTag> tags;
+  tags.reserve(fleet.machines.size());
+  UserId base = 0;
+  for (const MachineProfile& machine : fleet.machines) {
+    const MachineProfile resolved = ApplyPopulationScale(machine);
+    FleetInstanceTag tag;
+    tag.trace_name = resolved.trace_name;
+    tag.user_base = base;
+    tag.user_population = resolved.user_population;
+    base += static_cast<UserId>(resolved.user_population) + 2;
+    tags.push_back(std::move(tag));
+  }
+  return tags;
+}
+
+}  // namespace bsdtrace

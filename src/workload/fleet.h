@@ -1,0 +1,50 @@
+// Fleet profiles: several simulated machines generated as one trace.
+//
+// The paper traced three ~90-user VAX machines.  A FleetProfile scales that
+// out in both directions at once: each constituent MachineProfile can carry a
+// PopulationScale knob (thousands of users per machine), and the fleet runs
+// N machine instances — e.g. 4xA5 + 2xE3 + 2xC4 — in a single sharded
+// generation whose merged v3 trace keeps every instance's FileId/OpenId/
+// UserId ranges disjoint and records the instance -> user-range mapping as a
+// fleet tag in the header (trace/fleet_tag.h).
+//
+// Spec grammar (the CLI's --profile= argument):
+//     spec     := [ "fleet:" ] group ( "+" group )*
+//     group    := [ count "x" ] profile_name
+//     profile  := A5 | E3 | C4 (or machine names; see ProfileByNameOrError)
+// Examples: "A5", "fleet:4xA5+2xE3+2xC4", "2xE3+C4".
+
+#ifndef BSDTRACE_SRC_WORKLOAD_FLEET_H_
+#define BSDTRACE_SRC_WORKLOAD_FLEET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/fleet_tag.h"
+#include "src/util/status.h"
+#include "src/workload/profile.h"
+
+namespace bsdtrace {
+
+struct FleetProfile {
+  // Canonical spec, e.g. "4xA5+2xE3+2xC4" (no "fleet:" prefix).
+  std::string spec;
+  // One entry per machine instance, in spec order, scale knob still attached
+  // (the generator resolves it via ApplyPopulationScale).
+  std::vector<MachineProfile> machines;
+};
+
+// Parses a fleet spec (grammar above).  `users` > 0 sets every instance's
+// PopulationScale target.  Unknown profile names, zero counts, and malformed
+// groups are errors naming the offending group.
+StatusOr<FleetProfile> ParseFleetSpec(const std::string& spec, int users = 0);
+
+// The per-instance identity tags of a fleet: instance i owns user ids
+// [base_i, base_i + population_i + 2) where base_0 = 0 and bases accumulate
+// in spec order.  Population scaling is resolved first, so the tags describe
+// the users that actually appear in the trace.
+std::vector<FleetInstanceTag> FleetLayout(const FleetProfile& fleet);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_WORKLOAD_FLEET_H_

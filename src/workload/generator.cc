@@ -228,6 +228,10 @@ GenerationResult RunShard(const MachineProfile& profile, const GeneratorOptions&
                                        : Rng::Stream(options.seed, static_cast<uint64_t>(plan.shard_index));
 
   EventScheduler scheduler;
+  // Steady state keeps roughly one pending task per user (the next login or
+  // the session's next step) plus one per daemon host and the machine-wide
+  // timers; double the user count covers login-burst overlap.
+  scheduler.Reserve(2 * plan.users.size() + plan.daemon_hosts.size() + 8);
   GenState gs;
   gs.profile = &profile;
   gs.image = &image;
@@ -301,7 +305,10 @@ GenerationResult RunShard(const MachineProfile& profile, const GeneratorOptions&
 }  // namespace internal
 
 GenerationResult GenerateTrace(const MachineProfile& profile, const GeneratorOptions& options) {
-  return internal::RunShard(profile, options, internal::FullPlan(profile));
+  // Resolve any pending PopulationScale target first, so the serial path and
+  // every sharded/fleet path simulate the same resolved machine.
+  const MachineProfile resolved = ApplyPopulationScale(profile);
+  return internal::RunShard(resolved, options, internal::FullPlan(resolved));
 }
 
 Trace GenerateTraceOnly(const MachineProfile& profile, const GeneratorOptions& options) {

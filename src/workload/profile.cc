@@ -1,5 +1,8 @@
 #include "src/workload/profile.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace bsdtrace {
 
 MachineProfile ProfileA5() {
@@ -56,14 +59,50 @@ MachineProfile ProfileC4() {
   return p;
 }
 
-MachineProfile ProfileByName(const std::string& name) {
+MachineProfile ApplyPopulationScale(const MachineProfile& profile) {
+  if (profile.scale.users <= 0 || profile.scale.users == profile.user_population ||
+      profile.user_population <= 0) {
+    return profile;  // identity: keep unscaled traces byte-identical
+  }
+  MachineProfile scaled = profile;
+  const double factor = static_cast<double>(profile.scale.users) /
+                        static_cast<double>(profile.user_population);
+  scaled.user_population = profile.scale.users;
+  // Community-proportional knobs (see PopulationScale in the header).  The
+  // machine-wide arrival means shrink by the population factor so per-user
+  // delivery/cron rates are unchanged; floors keep the event loop sane when
+  // scaling *down* to a handful of users.
+  scaled.daemon_host_count = std::max(
+      1, static_cast<int>(std::lround(profile.daemon_host_count * factor)));
+  scaled.mail_delivery_mean =
+      Duration::Seconds(std::max(0.05, profile.mail_delivery_mean.seconds() / factor));
+  scaled.system_tick_mean =
+      Duration::Seconds(std::max(0.05, profile.system_tick_mean.seconds() / factor));
+  // Administrative databases (wtmp/acct, host tables) grow with the
+  // community; capped so a huge fleet instance still fits its simulated disk.
+  scaled.admin_file_size =
+      std::min(profile.admin_file_size * factor, 64.0 * (1 << 20));
+  scaled.scale.users = 0;  // resolved; applying again is the identity
+  return scaled;
+}
+
+StatusOr<MachineProfile> ProfileByNameOrError(const std::string& name) {
+  if (name == "A5" || name == "a5" || name == "ucbarpa") {
+    return ProfileA5();
+  }
   if (name == "E3" || name == "e3" || name == "ucbernie") {
     return ProfileE3();
   }
   if (name == "C4" || name == "c4" || name == "ucbcad") {
     return ProfileC4();
   }
-  return ProfileA5();
+  return Status::Error("unknown machine profile \"" + name +
+                       "\" (valid: A5/ucbarpa, E3/ucbernie, C4/ucbcad)");
+}
+
+MachineProfile ProfileByName(const std::string& name) {
+  StatusOr<MachineProfile> profile = ProfileByNameOrError(name);
+  return profile.ok() ? profile.value() : ProfileA5();
 }
 
 }  // namespace bsdtrace

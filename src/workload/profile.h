@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/util/sim_time.h"
+#include "src/util/status.h"
 
 namespace bsdtrace {
 
@@ -25,6 +26,24 @@ struct TaskMix {
   double format = 0;   // document formatting + print spool
   double admin = 0;    // large administrative database access
   double cad = 0;      // CAD simulate/inspect cycle
+};
+
+// Population-scaling knob: grows a profile's simulated community past the
+// paper's ~90-user machines (thousands of users per machine) while keeping
+// every per-user rate calibrated.  Applying the knob rescales the machine-
+// wide knobs that are proportional to community size:
+//   * user_population (and with it the materialized home directories),
+//   * daemon_host_count (a bigger community sits on a bigger local net),
+//   * mail_delivery_mean and system_tick_mean (machine-wide arrival
+//     processes whose rates are the sum of per-user rates: k times the
+//     users means k times the arrivals, i.e. mean inter-arrival / k),
+//   * admin_file_size (wtmp/acct-style databases grow with the community).
+// Per-user knobs (login rate, session length, think time, file sizes) are
+// untouched, which is exactly what makes the Table I per-user activity
+// bands scale-invariant.
+struct PopulationScale {
+  // Target user population; <= 0 keeps the profile's calibrated population.
+  int users = 0;
 };
 
 struct MachineProfile {
@@ -71,6 +90,12 @@ struct MachineProfile {
   // for stress runs and for matching the original machines' ~480K
   // records/day without retuning every task model.
   double intensity = 1.0;
+
+  // Population scaling (see PopulationScale above).  The generation entry
+  // points resolve the knob via ApplyPopulationScale before simulating, so
+  // setting `scale.users = 1000` on ProfileA5() yields a thousand-user
+  // ucbarpa whose per-user activity matches the calibrated 90-user machine.
+  PopulationScale scale;
 };
 
 // The three traced machines (paper Table III/IV calibration).
@@ -78,7 +103,19 @@ MachineProfile ProfileA5();
 MachineProfile ProfileE3();
 MachineProfile ProfileC4();
 
-// Looks up a profile by trace name ("A5", "E3", "C4"); A5 for unknown names.
+// Resolves the PopulationScale knob into a concrete profile (see
+// PopulationScale for what is rescaled).  Identity when the knob is unset or
+// names the profile's calibrated population, so unscaled traces stay
+// byte-identical to the historical generator.
+MachineProfile ApplyPopulationScale(const MachineProfile& profile);
+
+// Strict lookup by trace name or machine name ("A5"/"ucbarpa", "E3"/
+// "ucbernie", "C4"/"ucbcad").  Unknown names are an error that lists the
+// valid ones — a CLI typo must not silently fabricate A5 data.
+StatusOr<MachineProfile> ProfileByNameOrError(const std::string& name);
+
+// Lenient legacy lookup: A5 for unknown names.  Prefer ProfileByNameOrError
+// anywhere a user-supplied string reaches.
 MachineProfile ProfileByName(const std::string& name);
 
 }  // namespace bsdtrace

@@ -1,21 +1,21 @@
 #include "src/workload/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace bsdtrace {
 
 void EventScheduler::At(SimTime when, Task task) {
-  queue_.push(Entry{.when = when, .seq = next_seq_++, .task = std::move(task)});
+  heap_.push_back(Entry{.when = when, .seq = next_seq_++, .task = std::move(task)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 uint64_t EventScheduler::Run(SimTime end) {
   uint64_t executed = 0;
-  while (!queue_.empty() && queue_.top().when < end) {
-    // priority_queue::top() is const; the entry is about to be popped, so
-    // moving the closure out from under it is safe and avoids copying the
-    // captured task state on every dispatch.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
+  while (!heap_.empty() && heap_.front().when < end) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
     entry.task(entry.when);
     ++executed;
   }

@@ -12,25 +12,23 @@
 #include <utility>
 #include <vector>
 
+#include "src/trace/fleet_tag.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_merge.h"
 #include "src/trace/trace_source.h"
 
 namespace bsdtrace {
-namespace {
 
-namespace fs = std::filesystem;
+namespace internal {
 
-using internal::RunShard;
-using internal::ShardPlan;
-using internal::TraceDescription;
-
-// Round-robin partition: shard s owns users {u : u % S == s} and daemon
-// hosts {h : h % S == s}.  Machine-wide background activity (cron/syslog)
-// runs on shard 0 only; mail runs on every shard against its own users with
-// the inter-arrival mean stretched so the per-user delivery rate matches the
-// serial path.
-std::vector<ShardPlan> MakePlans(const MachineProfile& profile, int shard_count) {
+// Partition invariants are documented on the declaration (sharded_generator.h)
+// and pinned by the ShardPlan test.  In short: users AND daemon hosts are
+// round-robin partitions of their index spaces — the daemon fleet is spread
+// across shards, not pinned to shard 0 — while the machine-wide cron/syslog
+// tick runs on shard 0 only (it is a single process on the real machine; see
+// ROADMAP's cross-shard approximation note) and mail is delivered per shard
+// to the shard's own users at a compensated rate.
+std::vector<ShardPlan> MakeShardPlans(const MachineProfile& profile, int shard_count) {
   std::vector<ShardPlan> plans(static_cast<size_t>(shard_count));
   if (shard_count == 1) {
     // Exactly the serial plan, so the streaming engine at one shard spills
@@ -61,26 +59,59 @@ std::vector<ShardPlan> MakePlans(const MachineProfile& profile, int shard_count)
   return plans;
 }
 
-// Runs every shard plan on a small worker pool.  Workers claim shard indices
-// from an atomic counter, so which thread runs which shard is scheduling-
-// dependent — but `consume(s, result)` receives the shard index, and callers
-// write into per-shard slots (or files), so the overall output is not.
-// `consume` runs on the worker thread, concurrently for distinct shards.
-void RunShardsOnPool(const MachineProfile& profile, const GeneratorOptions& options,
-                     const std::vector<ShardPlan>& plans, int threads,
-                     const std::function<void(size_t, GenerationResult&&)>& consume) {
-  const int shard_count = static_cast<int>(plans.size());
+uint64_t FleetInstanceSeed(uint64_t seed, size_t instance) {
+  if (instance == 0) {
+    return seed;  // the one-machine fleet reproduces the single-machine stream
+  }
+  // SplitMix64 over (seed, instance): well-mixed, platform-independent, and
+  // constructible for any instance without deriving its predecessors.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(instance);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace internal
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using internal::FleetInstanceSeed;
+using internal::MakeShardPlans;
+using internal::RunShard;
+using internal::ShardPlan;
+using internal::TraceDescription;
+
+// One simulation the spill engine runs: a shard of some machine instance.
+// The single-machine path has one unit per shard of the one profile; the
+// fleet path concatenates every instance's shards in instance-major order
+// (which is also the merge tie-break order).
+struct SpillUnit {
+  const MachineProfile* profile = nullptr;
+  GeneratorOptions options;  // per-instance seed for fleets
+  ShardPlan plan;
+  size_t machine = 0;  // instance index within the fleet (0 for single runs)
+};
+
+// Runs every unit on a small worker pool.  Workers claim unit indices from an
+// atomic counter, so which thread runs which unit is scheduling-dependent —
+// but `consume(k, result)` receives the unit index, and callers write into
+// per-unit slots (or files), so the overall output is not.  `consume` runs on
+// the worker thread, concurrently for distinct units.
+void RunUnitsOnPool(const std::vector<SpillUnit>& units, int threads,
+                    const std::function<void(size_t, GenerationResult&&)>& consume) {
+  const size_t unit_count = units.size();
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
   }
-  threads = std::clamp(threads, 1, shard_count);
+  threads = std::clamp(threads, 1, static_cast<int>(std::max<size_t>(unit_count, 1)));
 
-  std::atomic<int> next_shard{0};
+  std::atomic<size_t> next_unit{0};
   const auto worker = [&]() {
-    for (int s = next_shard.fetch_add(1, std::memory_order_relaxed); s < shard_count;
-         s = next_shard.fetch_add(1, std::memory_order_relaxed)) {
-      consume(static_cast<size_t>(s),
-              RunShard(profile, options, plans[static_cast<size_t>(s)]));
+    for (size_t k = next_unit.fetch_add(1, std::memory_order_relaxed); k < unit_count;
+         k = next_unit.fetch_add(1, std::memory_order_relaxed)) {
+      consume(k, RunShard(*units[k].profile, units[k].options, units[k].plan));
     }
   };
   if (threads == 1) {
@@ -99,10 +130,10 @@ void RunShardsOnPool(const MachineProfile& profile, const GeneratorOptions& opti
 
 // Rewrites one record's shard-local ids into globally unique interleaved
 // ranges.  FileIds at or below the shared-image watermark name the shared
-// system tree and agree across replicas, so they pass through; ids above it
-// map to watermark + (id - watermark - 1) * S + s + 1, and OpenIds (always
-// shard-local, starting at 1) map to (id - 1) * S + s + 1.  Both maps are
-// the identity when S == 1.
+// system tree and agree in every replica of the SAME machine instance, so
+// they pass through; ids above it map to watermark + (id - watermark - 1) * S
+// + s + 1, and OpenIds (always shard-local, starting at 1) map to
+// (id - 1) * S + s + 1.  Both maps are the identity when S == 1.
 inline void RemapRecordIds(TraceRecord& r, FileId watermark, uint64_t shard,
                            uint64_t stride) {
   if (r.file_id > watermark) {
@@ -110,6 +141,36 @@ inline void RemapRecordIds(TraceRecord& r, FileId watermark, uint64_t shard,
   }
   if (r.open_id != kInvalidOpenId) {
     r.open_id = (r.open_id - 1) * stride + shard + 1;
+  }
+}
+
+// The full per-unit rewrite: the intra-instance interleave above, then —
+// for multi-machine fleets — the cross-instance interleave (machines share
+// no files, so EVERY id including the shared tree's is instance-local) and
+// the instance's user-id base.  Close/seek records carry no user id (the
+// opener's id is recovered from the open), so only user-bearing records are
+// offset; daemon activity (user ids 0 and 1) moves with the base too.
+struct UnitRemap {
+  FileId watermark = 0;
+  uint64_t shard = 0;
+  uint64_t stride = 1;
+  uint64_t machine = 0;
+  uint64_t machines = 1;
+  UserId user_base = 0;
+};
+
+inline void RemapUnitRecord(TraceRecord& r, const UnitRemap& u) {
+  RemapRecordIds(r, u.watermark, u.shard, u.stride);
+  if (u.machines > 1) {
+    if (r.file_id != kInvalidFileId) {
+      r.file_id = (r.file_id - 1) * u.machines + u.machine + 1;
+    }
+    if (r.open_id != kInvalidOpenId) {
+      r.open_id = (r.open_id - 1) * u.machines + u.machine + 1;
+    }
+  }
+  if (u.user_base != 0 && r.type != EventType::kClose && r.type != EventType::kSeek) {
+    r.user_id += u.user_base;
   }
 }
 
@@ -156,7 +217,7 @@ std::vector<TraceRecord> MergeShardRecords(std::vector<GenerationResult>& shards
     const std::vector<TraceRecord>& records = shards[s].trace.records();
     merged.push_back(records[next[s]]);
     if (++next[s] < records.size()) {
-      heap.push(Cursor{records[next[s]].time, s});
+      heap.push(Cursor{shards[s].trace.records()[next[s]].time, s});
     }
   }
   return merged;
@@ -257,8 +318,8 @@ class ScopedSpillDir {
     return Status::Ok();
   }
 
-  std::string ShardPath(size_t shard) const {
-    return dir_ + "/shard-" + std::to_string(shard) + ".trc";
+  std::string UnitPath(size_t unit) const {
+    return dir_ + "/shard-" + std::to_string(unit) + ".trc";
   }
 
  private:
@@ -271,96 +332,124 @@ class ScopedSpillDir {
   std::string dir_;
 };
 
-// Phase-1 output: per-shard spill files plus the folded non-trace stats.
-struct SpilledShards {
+// Phase-1 output: per-unit spill files plus the folded non-trace stats.
+struct SpilledUnits {
   ScopedSpillDir dir;
-  std::vector<uint64_t> shard_records;
+  std::vector<uint64_t> unit_records;
+  std::vector<UnitRemap> remaps;  // filled in once watermarks are known
   uint64_t total_records = 0;
   uint64_t spill_bytes = 0;
   GenerationResult stats;  // trace empty; counters/fsck/watermark folded
   TraceHeader header;
-  int shard_count = 1;
 };
 
-// Phase 1 of the streaming engine: simulate all shards on the pool, spilling
-// each shard's sorted records to its own file from inside the worker and
+// Phase 1 of the streaming engine: simulate all units on the pool, spilling
+// each unit's sorted records to its own file from inside the worker and
 // freeing them immediately — peak record memory is bounded by the `threads`
-// largest shards, not the whole trace.
-StatusOr<SpilledShards> SpillShards(const MachineProfile& profile,
-                                    const ShardedGeneratorOptions& options) {
-  const int population = std::max(profile.user_population, 1);
-  const int shard_count = std::clamp(options.shard_count, 1, population);
-  const std::vector<ShardPlan> plans = MakePlans(profile, shard_count);
-
-  SpilledShards spilled;
-  spilled.shard_count = shard_count;
-  spilled.header = MergedHeader(profile, options.base, shard_count);
-  if (Status st = spilled.dir.Create(options.spill_dir); !st.ok()) {
+// largest units, not the whole trace.  `remaps` carries every unit's rewrite
+// parameters except the watermark, which is only known after simulation and
+// is filled in here (with an every-replica-agrees consistency check per
+// machine instance).
+StatusOr<SpilledUnits> SpillAllUnits(const std::vector<SpillUnit>& units,
+                                     std::vector<UnitRemap> remaps, TraceHeader header,
+                                     int threads, const std::string& spill_dir) {
+  assert(units.size() == remaps.size());
+  SpilledUnits spilled;
+  spilled.header = std::move(header);
+  if (Status st = spilled.dir.Create(spill_dir); !st.ok()) {
     return st;
   }
 
-  const size_t n = static_cast<size_t>(shard_count);
-  std::vector<GenerationResult> slim(n);          // per-shard stats, records freed
-  std::vector<Status> shard_status(n, Status::Ok());
-  std::vector<uint64_t> shard_bytes(n, 0);
-  spilled.shard_records.assign(n, 0);
+  const size_t n = units.size();
+  std::vector<GenerationResult> slim(n);          // per-unit stats, records freed
+  std::vector<Status> unit_status(n, Status::Ok());
+  std::vector<uint64_t> unit_bytes(n, 0);
+  spilled.unit_records.assign(n, 0);
 
-  RunShardsOnPool(profile, options.base, plans, options.threads,
-                  [&](size_t s, GenerationResult&& result) {
-                    TraceFileWriter writer(spilled.dir.ShardPath(s),
-                                           result.trace.header(),
-                                           static_cast<int64_t>(result.trace.size()));
-                    for (const TraceRecord& r : result.trace.records()) {
-                      writer.Append(r);
-                    }
-                    shard_status[s] = writer.Finish();
-                    shard_bytes[s] = writer.bytes_written();
-                    spilled.shard_records[s] = writer.records_written();
-                    result.trace = Trace(result.trace.header());  // free the records now
-                    slim[s] = std::move(result);
-                  });
+  RunUnitsOnPool(units, threads, [&](size_t k, GenerationResult&& result) {
+    TraceFileWriter writer(spilled.dir.UnitPath(k), result.trace.header(),
+                           static_cast<int64_t>(result.trace.size()));
+    for (const TraceRecord& r : result.trace.records()) {
+      writer.Append(r);
+    }
+    unit_status[k] = writer.Finish();
+    unit_bytes[k] = writer.bytes_written();
+    spilled.unit_records[k] = writer.records_written();
+    result.trace = Trace(result.trace.header());  // free the records now
+    slim[k] = std::move(result);
+  });
 
-  for (size_t s = 0; s < n; ++s) {
-    if (!shard_status[s].ok()) {
-      return Status::Error("spill shard " + std::to_string(s) + ": " +
-                           shard_status[s].message());
+  for (size_t k = 0; k < n; ++k) {
+    if (!unit_status[k].ok()) {
+      return Status::Error("spill shard " + std::to_string(k) + ": " +
+                           unit_status[k].message());
     }
   }
 
-  // Every replica builds the shared tree from the same (profile, seed), so
-  // the watermarks must agree; disagreement is a simulator bug, not an I/O
-  // condition, but the streaming path diagnoses rather than asserts.
-  const FileId watermark = slim[0].shared_image_watermark;
-  for (const GenerationResult& shard : slim) {
-    if (shard.shared_image_watermark != watermark) {
-      return Status::Error("spill: shard watermarks disagree (simulator bug)");
+  // Every replica of one machine instance builds the shared tree from the
+  // same (profile, seed), so its units' watermarks must agree; disagreement
+  // is a simulator bug, not an I/O condition, but the streaming path
+  // diagnoses rather than asserts.  Different instances legitimately differ.
+  for (size_t k = 0; k < n; ++k) {
+    remaps[k].watermark = slim[k].shared_image_watermark;
+    for (size_t j = 0; j < k; ++j) {
+      if (units[j].machine == units[k].machine &&
+          slim[j].shared_image_watermark != slim[k].shared_image_watermark) {
+        return Status::Error("spill: shard watermarks disagree (simulator bug)");
+      }
     }
   }
-  spilled.stats.shared_image_watermark = watermark;
-  for (size_t s = 0; s < n; ++s) {
-    FoldInto(spilled.stats, slim[s], s);
-    spilled.total_records += spilled.shard_records[s];
-    spilled.spill_bytes += shard_bytes[s];
+  spilled.remaps = std::move(remaps);
+  // A single machine's watermark is meaningful fleet-wide only when there is
+  // a single machine.
+  const bool one_machine =
+      std::all_of(units.begin(), units.end(),
+                  [](const SpillUnit& u) { return u.machine == 0; });
+  spilled.stats.shared_image_watermark = one_machine ? slim[0].shared_image_watermark : 0;
+  for (size_t k = 0; k < n; ++k) {
+    FoldInto(spilled.stats, slim[k], k);
+    spilled.total_records += spilled.unit_records[k];
+    spilled.spill_bytes += unit_bytes[k];
   }
   FinishFragmentation(spilled.stats);
   return spilled;
 }
 
-// Phase 2: loser-tree merge over the spill-file cursors, remapping ids
-// record-by-record as they are pulled.  One record per shard in memory.
-StatusOr<ShardedStreamStats> MergeSpills(SpilledShards& spilled, TraceSink& sink) {
-  std::vector<std::unique_ptr<TraceSource>> inputs;
-  inputs.reserve(spilled.shard_records.size());
-  for (size_t s = 0; s < spilled.shard_records.size(); ++s) {
-    inputs.push_back(std::make_unique<TraceFileSource>(spilled.dir.ShardPath(s)));
+// Builds the single-machine unit list: one unit per shard of `profile`.
+std::vector<SpillUnit> SingleMachineUnits(const MachineProfile& profile,
+                                          const GeneratorOptions& options, int shard_count,
+                                          std::vector<UnitRemap>* remaps) {
+  const std::vector<ShardPlan> plans = MakeShardPlans(profile, shard_count);
+  std::vector<SpillUnit> units(plans.size());
+  remaps->assign(plans.size(), UnitRemap{});
+  for (size_t s = 0; s < plans.size(); ++s) {
+    units[s].profile = &profile;
+    units[s].options = options;
+    units[s].plan = plans[s];
+    units[s].machine = 0;
+    (*remaps)[s] = UnitRemap{.watermark = 0,  // filled in after simulation
+                             .shard = s,
+                             .stride = static_cast<uint64_t>(shard_count),
+                             .machine = 0,
+                             .machines = 1,
+                             .user_base = 0};
   }
-  const FileId watermark = spilled.stats.shared_image_watermark;
-  const uint64_t stride = static_cast<uint64_t>(spilled.shard_count);
-  MergingTraceSource merge(
-      std::move(inputs), spilled.header,
-      [watermark, stride](size_t shard, TraceRecord& r) {
-        RemapRecordIds(r, watermark, static_cast<uint64_t>(shard), stride);
-      });
+  return units;
+}
+
+// Phase 2: loser-tree merge over the spill-file cursors, remapping ids
+// record-by-record as they are pulled.  One record per unit in memory.
+StatusOr<ShardedStreamStats> MergeSpills(SpilledUnits& spilled, TraceSink& sink) {
+  std::vector<std::unique_ptr<TraceSource>> inputs;
+  inputs.reserve(spilled.unit_records.size());
+  for (size_t k = 0; k < spilled.unit_records.size(); ++k) {
+    inputs.push_back(std::make_unique<TraceFileSource>(spilled.dir.UnitPath(k)));
+  }
+  const std::vector<UnitRemap>& remaps = spilled.remaps;
+  MergingTraceSource merge(std::move(inputs), spilled.header,
+                           [&remaps](size_t unit, TraceRecord& r) {
+                             RemapUnitRecord(r, remaps[unit]);
+                           });
 
   uint64_t streamed = 0;
   TraceRecord r;
@@ -382,16 +471,96 @@ StatusOr<ShardedStreamStats> MergeSpills(SpilledShards& spilled, TraceSink& sink
   stats.fs_stats = spilled.stats.fs_stats;
   stats.fsck = std::move(spilled.stats.fsck);
   stats.tasks_executed = spilled.stats.tasks_executed;
-  stats.shared_image_watermark = watermark;
+  stats.shared_image_watermark = spilled.stats.shared_image_watermark;
   stats.records_streamed = streamed;
   stats.spill_bytes_written = spilled.spill_bytes;
   return stats;
 }
 
+StatusOr<SpilledUnits> SpillShards(const MachineProfile& raw_profile,
+                                   const ShardedGeneratorOptions& options) {
+  const MachineProfile profile = ApplyPopulationScale(raw_profile);
+  const int population = std::max(profile.user_population, 1);
+  const int shard_count = std::clamp(options.shard_count, 1, population);
+  std::vector<UnitRemap> remaps;
+  const std::vector<SpillUnit> units =
+      SingleMachineUnits(profile, options.base, shard_count, &remaps);
+  return SpillAllUnits(units, std::move(remaps),
+                       MergedHeader(profile, options.base, shard_count), options.threads,
+                       options.spill_dir);
+}
+
+// Fleet phase 0: resolve scaling, build every instance's shard units in
+// instance-major order (the merge tie-break order), derive per-instance
+// seeds, and stamp the fleet tag into the header.
+struct FleetPlan {
+  std::vector<MachineProfile> machines;  // resolved (scale applied)
+  std::vector<SpillUnit> units;
+  std::vector<UnitRemap> remaps;
+  TraceHeader header;
+};
+
+StatusOr<FleetPlan> PlanFleet(const FleetProfile& fleet, const FleetGeneratorOptions& options) {
+  if (fleet.machines.empty()) {
+    return Status::Error("fleet: no machine instances");
+  }
+  FleetPlan fp;
+  // units keep pointers into fp.machines; the reserve below plus vector move
+  // semantics (heap storage travels with the vector) keep them valid through
+  // the StatusOr return.
+  fp.machines.reserve(fleet.machines.size());
+  for (const MachineProfile& machine : fleet.machines) {
+    fp.machines.push_back(ApplyPopulationScale(machine));
+  }
+
+  const std::vector<FleetInstanceTag> tags = FleetLayout(fleet);
+  const uint64_t machines = static_cast<uint64_t>(fp.machines.size());
+  for (size_t i = 0; i < fp.machines.size(); ++i) {
+    const MachineProfile& machine = fp.machines[i];
+    const int population = std::max(machine.user_population, 1);
+    const int shard_count = std::clamp(options.shards_per_machine, 1, population);
+    GeneratorOptions instance_options = options.base;
+    instance_options.seed = FleetInstanceSeed(options.base.seed, i);
+    for (ShardPlan& shard : MakeShardPlans(machine, shard_count)) {
+      SpillUnit unit;
+      unit.profile = &fp.machines[i];
+      unit.options = instance_options;
+      unit.plan = std::move(shard);
+      unit.machine = i;
+      fp.remaps.push_back(UnitRemap{.watermark = 0,  // filled in after simulation
+                                    .shard = static_cast<uint64_t>(unit.plan.shard_index),
+                                    .stride = static_cast<uint64_t>(shard_count),
+                                    .machine = i,
+                                    .machines = machines,
+                                    .user_base = tags[i].user_base});
+      fp.units.push_back(std::move(unit));
+    }
+  }
+
+  fp.header.machine = "fleet:" + fleet.spec;
+  fp.header.description = "synthetic fleet " + fleet.spec + " trace, " +
+                          options.base.duration.ToString() + ", seed " +
+                          std::to_string(options.base.seed) + ", " +
+                          std::to_string(options.shards_per_machine) + " shards/machine";
+  fp.header.description = AppendFleetTag(std::move(fp.header.description), tags);
+  return std::move(fp);
+}
+
+StatusOr<SpilledUnits> SpillFleet(const FleetProfile& fleet,
+                                  const FleetGeneratorOptions& options) {
+  StatusOr<FleetPlan> plan = PlanFleet(fleet, options);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  return SpillAllUnits(plan.value().units, std::move(plan.value().remaps),
+                       std::move(plan.value().header), options.threads, options.spill_dir);
+}
+
 }  // namespace
 
-GenerationResult GenerateTraceSharded(const MachineProfile& profile,
+GenerationResult GenerateTraceSharded(const MachineProfile& raw_profile,
                                       const ShardedGeneratorOptions& options) {
+  const MachineProfile profile = ApplyPopulationScale(raw_profile);
   const int population = std::max(profile.user_population, 1);
   const int shard_count = std::clamp(options.shard_count, 1, population);
   if (shard_count == 1) {
@@ -399,12 +568,17 @@ GenerationResult GenerateTraceSharded(const MachineProfile& profile,
     return GenerateTrace(profile, options.base);
   }
 
-  const std::vector<ShardPlan> plans = MakePlans(profile, shard_count);
+  const std::vector<ShardPlan> plans = MakeShardPlans(profile, shard_count);
+  std::vector<SpillUnit> units(plans.size());
+  for (size_t s = 0; s < plans.size(); ++s) {
+    units[s].profile = &profile;
+    units[s].options = options.base;
+    units[s].plan = plans[s];
+  }
   std::vector<GenerationResult> shards(static_cast<size_t>(shard_count));
-  RunShardsOnPool(profile, options.base, plans, options.threads,
-                  [&shards](size_t s, GenerationResult&& result) {
-                    shards[s] = std::move(result);
-                  });
+  RunUnitsOnPool(units, options.threads, [&shards](size_t s, GenerationResult&& result) {
+    shards[s] = std::move(result);
+  });
 
   // Every replica builds the shared tree from the same (profile, seed), so
   // the watermarks must agree.
@@ -432,34 +606,31 @@ GenerationResult GenerateTraceSharded(const MachineProfile& profile,
 StatusOr<ShardedStreamStats> GenerateTraceShardedTo(const MachineProfile& profile,
                                                     const ShardedGeneratorOptions& options,
                                                     TraceSink& sink) {
-  StatusOr<SpilledShards> spilled = SpillShards(profile, options);
+  StatusOr<SpilledUnits> spilled = SpillShards(profile, options);
   if (!spilled.ok()) {
     return spilled.status();
   }
   return MergeSpills(spilled.value(), sink);
 }
 
-StatusOr<ShardedStreamStats> GenerateTraceShardedToFile(const MachineProfile& profile,
-                                                        const ShardedGeneratorOptions& options,
-                                                        const std::string& path) {
-  StatusOr<SpilledShards> spilled = SpillShards(profile, options);
-  if (!spilled.ok()) {
-    return spilled.status();
-  }
-  // The exact record count is known once the shards have spilled, so the
-  // final file's header declares it.  The file is written as format v3 —
-  // checksummed blocks plus the footer index — so the result is directly
-  // consumable by ParallelAnalyzeTrace; the bytes match SaveTrace of the
-  // in-memory path's trace with the same v3 options.  (The per-shard spill
-  // files above stay v2: they are private intermediates, merged and deleted
-  // before anyone seeks into them.)
-  TraceFileWriter writer(path, spilled.value().header,
-                         static_cast<int64_t>(spilled.value().total_records),
+namespace {
+
+// Shared tail of the ToFile variants: stream the merged spills into a v3
+// trace file with the exact record count stamped in the header.  The file is
+// format v3 — checksummed blocks plus the footer index — so the result is
+// directly consumable by ParallelAnalyzeTrace; the bytes match SaveTrace of
+// the in-memory path's trace with the same v3 options.  (The per-unit spill
+// files stay v2: they are private intermediates, merged and deleted before
+// anyone seeks into them.)
+StatusOr<ShardedStreamStats> MergeSpillsToFile(SpilledUnits& spilled,
+                                               const std::string& path) {
+  TraceFileWriter writer(path, spilled.header,
+                         static_cast<int64_t>(spilled.total_records),
                          TraceWriterOptions{.version = 3});
   if (!writer.status().ok()) {
     return writer.status();
   }
-  StatusOr<ShardedStreamStats> stats = MergeSpills(spilled.value(), writer);
+  StatusOr<ShardedStreamStats> stats = MergeSpills(spilled, writer);
   const Status finish = writer.Finish();
   if (!stats.ok()) {
     return stats.status();
@@ -468,6 +639,55 @@ StatusOr<ShardedStreamStats> GenerateTraceShardedToFile(const MachineProfile& pr
     return finish;
   }
   return stats;
+}
+
+}  // namespace
+
+StatusOr<ShardedStreamStats> GenerateTraceShardedToFile(const MachineProfile& profile,
+                                                        const ShardedGeneratorOptions& options,
+                                                        const std::string& path) {
+  StatusOr<SpilledUnits> spilled = SpillShards(profile, options);
+  if (!spilled.ok()) {
+    return spilled.status();
+  }
+  return MergeSpillsToFile(spilled.value(), path);
+}
+
+StatusOr<ShardedStreamStats> GenerateFleetTo(const FleetProfile& fleet,
+                                             const FleetGeneratorOptions& options,
+                                             TraceSink& sink) {
+  StatusOr<SpilledUnits> spilled = SpillFleet(fleet, options);
+  if (!spilled.ok()) {
+    return spilled.status();
+  }
+  return MergeSpills(spilled.value(), sink);
+}
+
+StatusOr<ShardedStreamStats> GenerateFleetToFile(const FleetProfile& fleet,
+                                                 const FleetGeneratorOptions& options,
+                                                 const std::string& path) {
+  StatusOr<SpilledUnits> spilled = SpillFleet(fleet, options);
+  if (!spilled.ok()) {
+    return spilled.status();
+  }
+  return MergeSpillsToFile(spilled.value(), path);
+}
+
+StatusOr<FleetGenerationResult> GenerateFleetTrace(const FleetProfile& fleet,
+                                                   const FleetGeneratorOptions& options) {
+  StatusOr<SpilledUnits> spilled = SpillFleet(fleet, options);
+  if (!spilled.ok()) {
+    return spilled.status();
+  }
+  FleetGenerationResult result;
+  result.trace = Trace(spilled.value().header);
+  result.trace.Reserve(spilled.value().total_records);
+  StatusOr<ShardedStreamStats> stats = MergeSpills(spilled.value(), result.trace);
+  if (!stats.ok()) {
+    return stats.status();
+  }
+  result.stats = std::move(stats).value();
+  return result;
 }
 
 }  // namespace bsdtrace

@@ -27,9 +27,11 @@
 #define BSDTRACE_SRC_WORKLOAD_SHARDED_GENERATOR_H_
 
 #include <string>
+#include <vector>
 
 #include "src/trace/trace.h"
 #include "src/util/status.h"
+#include "src/workload/fleet.h"
 #include "src/workload/generator.h"
 #include "src/workload/profile.h"
 
@@ -108,6 +110,84 @@ StatusOr<ShardedStreamStats> GenerateTraceShardedTo(const MachineProfile& profil
 StatusOr<ShardedStreamStats> GenerateTraceShardedToFile(const MachineProfile& profile,
                                                         const ShardedGeneratorOptions& options,
                                                         const std::string& path);
+
+// -- Fleet generation ---------------------------------------------------------
+//
+// Runs every machine instance of a FleetProfile (e.g. 4xA5 + 2xE3 + 2xC4,
+// each optionally population-scaled to thousands of users) as its own group
+// of shards in ONE sharded, spill-to-disk generation, and merges all groups
+// into a single time-ordered v3 trace.  Identity invariants of the merged
+// trace:
+//   * FileIds/OpenIds: shard-local ids are first interleaved within their
+//     instance (exactly the single-machine remap above), then instance-local
+//     ids are interleaved across the M instances — id -> (id-1)*M + i + 1 —
+//     so no id is ever shared between instances (separate machines share no
+//     files; there is no cross-instance watermark).
+//   * UserIds: instance i's ids are offset by base_i = sum of earlier
+//     instances' (population + 2), matching FleetLayout(); the mapping is
+//     stamped into the header description as a fleet tag (trace/fleet_tag.h)
+//     so analyzers can attribute per-user activity back to machine profiles.
+//   * Time/tie order: records merge by (time, instance-major unit index), so
+//     for a fixed (fleet, options) the output is byte-identical across runs
+//     and thread counts.  A fleet of ONE machine reproduces the exact record
+//     stream of GenerateTraceSharded{,ToFile} with the same options (only
+//     the header differs: fleet headers carry the tag).
+// Instances with the same profile are decorrelated by a per-instance seed
+// derived from options.base.seed (instance 0 keeps the base seed, which is
+// what makes the one-machine fleet reproduce the single-machine stream).
+struct FleetGeneratorOptions {
+  GeneratorOptions base;
+  // Shards per machine instance; clamped to [1, instance population].
+  int shards_per_machine = 1;
+  // Worker threads over ALL instances' shards; <= 0 means hardware
+  // concurrency.  Output-invariant.
+  int threads = 0;
+  // Spill directory, as in ShardedGeneratorOptions.
+  std::string spill_dir;
+};
+
+// Streams the merged fleet trace into `sink` / into a v3 file at `path`.
+// ShardedStreamStats.shared_image_watermark is 0 for fleets of more than one
+// machine (watermarks are per-instance and meaningless fleet-wide).
+StatusOr<ShardedStreamStats> GenerateFleetTo(const FleetProfile& fleet,
+                                             const FleetGeneratorOptions& options,
+                                             TraceSink& sink);
+StatusOr<ShardedStreamStats> GenerateFleetToFile(const FleetProfile& fleet,
+                                                 const FleetGeneratorOptions& options,
+                                                 const std::string& path);
+
+// In-memory convenience (tests, small runs): the merged trace plus stats.
+struct FleetGenerationResult {
+  Trace trace;
+  ShardedStreamStats stats;
+};
+StatusOr<FleetGenerationResult> GenerateFleetTrace(const FleetProfile& fleet,
+                                                   const FleetGeneratorOptions& options);
+
+namespace internal {
+
+// The per-shard partition the sharded engines run (exposed for tests).
+// Invariants, for plans = MakeShardPlans(profile, S):
+//   * users: round-robin by global index (shard s owns {u : u % S == s}),
+//     ascending within each shard; the shards partition [0, population).
+//   * daemon_hosts: the SAME round-robin split of [0, daemon_host_count) —
+//     the network daemon fleet is spread across shards, NOT pinned to shard
+//     0, so daemon load scales with the pool like everything else.
+//   * run_system_tick: true exactly for shard 0 (machine-wide cron/syslog is
+//     a single process on the real machine; see the ROADMAP note on
+//     cross-shard approximations).
+//   * run_mail/mail_scale: every shard with users delivers mail to its own
+//     users only, with the inter-arrival mean stretched by population/owned
+//     so the per-user delivery rate matches the serial path.
+// With S == 1 this is exactly FullPlan(profile).
+std::vector<ShardPlan> MakeShardPlans(const MachineProfile& profile, int shard_count);
+
+// Deterministic per-instance seed: instance 0 keeps `seed`; later instances
+// get an independent SplitMix64-derived stream so identical profiles in one
+// fleet do not replay identical traces.
+uint64_t FleetInstanceSeed(uint64_t seed, size_t instance);
+
+}  // namespace internal
 
 }  // namespace bsdtrace
 

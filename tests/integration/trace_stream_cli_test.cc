@@ -1,0 +1,146 @@
+// In-process tests of the trace_stream CLI (src/core/trace_stream_cli.h):
+// strict argument parsing (no silent atoi/atof coercion), profile-name
+// errors that teach the valid names, and the generate/analyze/info round
+// trip including the Table I --check-bands gate.
+
+#include "src/core/trace_stream_cli.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace_io.h"
+#include "tests/testing/trace_builder.h"
+
+namespace bsdtrace {
+namespace {
+
+int RunCli(const std::vector<std::string>& args) {
+  std::vector<const char*> argv = {"trace_stream"};
+  for (const std::string& a : args) {
+    argv.push_back(a.c_str());
+  }
+  return TraceStreamMain(static_cast<int>(argv.size()), argv.data());
+}
+
+// Runs the CLI with stderr captured; returns the exit code.
+int RunCaptured(const std::vector<std::string>& args, std::string* err) {
+  ::testing::internal::CaptureStderr();
+  const int rc = RunCli(args);
+  *err = ::testing::internal::GetCapturedStderr();
+  return rc;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f != nullptr) {
+    std::fclose(f);
+  }
+  return f != nullptr;
+}
+
+TEST(TraceStreamCli, NoArgumentsOrUnknownCommandPrintUsage) {
+  std::string err;
+  EXPECT_EQ(RunCaptured({}, &err), 2);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+  EXPECT_EQ(RunCaptured({"frobnicate", "x"}, &err), 2);
+}
+
+// The old CLI ran arguments through bare atof/atoi: "8oops" generated an
+// 8-hour trace and "oops" a zero-hour one.  Every malformed numeric must now
+// reject with usage, a non-zero exit, and no output file.
+TEST(TraceStreamCli, MalformedNumericArgumentsAreRejected) {
+  const std::string out = TempPath("cli_reject.trc");
+  std::string err;
+  const std::vector<std::vector<std::string>> bad = {
+      {"generate", out, "A5", "8oops"},          // trailing junk on hours
+      {"generate", out, "A5", "oops"},           // non-numeric hours
+      {"generate", out, "A5", "0"},              // zero duration
+      {"generate", out, "A5", "6", "0"},         // zero shards
+      {"generate", out, "A5", "6", "4", "-2"},   // negative threads
+      {"generate", out, "A5", "6", "4", "2", "12x"},  // junk seed
+      {"generate", out, "--hours=1e999"},        // overflow
+      {"generate", out, "--users=-5"},
+      {"generate", out, "--shards=99999"},       // above cap
+      {"generate", out, "--bogus=1"},            // unknown flag
+      {"analyze", out, "--threads=two"},
+  };
+  for (const std::vector<std::string>& args : bad) {
+    EXPECT_EQ(RunCaptured(args, &err), 2) << "accepted: " << args.back();
+    EXPECT_NE(err.find("usage:"), std::string::npos) << args.back();
+  }
+  EXPECT_FALSE(FileExists(out)) << "a rejected invocation wrote a trace";
+}
+
+// Satellite 1: an unknown profile must fail listing the valid names, not
+// silently fall back to A5.
+TEST(TraceStreamCli, UnknownProfileFailsListingValidNames) {
+  std::string err;
+  const int rc = RunCaptured({"generate", TempPath("cli_b9.trc"), "--profile=B9"}, &err);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.find("B9"), std::string::npos);
+  EXPECT_NE(err.find("A5"), std::string::npos);
+  EXPECT_NE(err.find("E3"), std::string::npos);
+  EXPECT_NE(err.find("C4"), std::string::npos);
+  EXPECT_FALSE(FileExists(TempPath("cli_b9.trc")));
+}
+
+TEST(TraceStreamCli, AnalyzeAndInfoFailCleanlyOnMissingFile) {
+  std::string err;
+  EXPECT_EQ(RunCaptured({"analyze", TempPath("no_such.trc")}, &err), 1);
+  EXPECT_EQ(RunCaptured({"info", TempPath("no_such.trc")}, &err), 1);
+}
+
+// The whole pipeline at paper scale: generate a fleet-tagged 6-hour A5,
+// inspect it, analyze it in parallel, and gate on the Table I bands.
+TEST(TraceStreamCli, GenerateAnalyzeInfoRoundTripWithBands) {
+  const std::string out = TempPath("cli_roundtrip.trc");
+  EXPECT_EQ(RunCli({"generate", out, "--profile=A5", "--hours=6", "--shards=4",
+                 "--threads=2", "--seed=20260806"}),
+            0);
+  ASSERT_TRUE(FileExists(out));
+  EXPECT_EQ(RunCli({"info", out}), 0);
+  EXPECT_EQ(RunCli({"analyze", out, "--threads=2"}), 0);
+  EXPECT_EQ(RunCli({"analyze", out, "--threads=2", "--check-bands"}), 0);
+}
+
+// Legacy traces carry no fleet tag, so --check-bands has nothing to
+// validate against and must say so with a non-zero exit.
+TEST(TraceStreamCli, CheckBandsFailsOnUntaggedTrace) {
+  TraceBuilder b;
+  for (int i = 0; i < 50; ++i) {
+    b.WholeRead(i * 60.0, i * 60.0 + 1200.0, /*oid=*/i + 1, /*file=*/100 + i,
+                /*size=*/4096, /*user=*/2);
+  }
+  const std::string path = TempPath("cli_untagged.trc");
+  ASSERT_TRUE(SaveTrace(path, b.Build()).ok());
+  std::string err;
+  EXPECT_EQ(RunCli({"analyze", path, "--threads=1"}), 0);
+  EXPECT_EQ(RunCaptured({"analyze", path, "--threads=1", "--check-bands"}, &err), 1);
+  EXPECT_NE(err.find("no fleet tag"), std::string::npos);
+}
+
+// Flags override the legacy positionals they duplicate.
+TEST(TraceStreamCli, FlagsWinOverPositionals) {
+  const std::string out = TempPath("cli_flags_win.trc");
+  EXPECT_EQ(RunCli({"generate", out, "A5", "6", "--hours=0.5", "--shards=2"}), 0);
+  ASSERT_TRUE(FileExists(out));
+  // If the positional 6 hours had won, info's span line would read ~6.00
+  // simulated hours; the half-hour flag run stays well under one hour.
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(RunCli({"info", out}), 0);
+  const std::string info = ::testing::internal::GetCapturedStdout();
+  const size_t span = info.find("span:");
+  ASSERT_NE(span, std::string::npos) << info;
+  EXPECT_NE(info.find("0.", span), std::string::npos) << info;
+  EXPECT_EQ(info.find("6.00 simulated hours"), std::string::npos) << info;
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -1,0 +1,62 @@
+#include "src/trace/fleet_tag.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace bsdtrace {
+namespace {
+
+TEST(FleetTag, AppendAndParseRoundTrip) {
+  const std::vector<FleetInstanceTag> tags = {
+      {.trace_name = "A5", .user_base = 0, .user_population = 90},
+      {.trace_name = "A5", .user_base = 92, .user_population = 90},
+      {.trace_name = "E3", .user_base = 184, .user_population = 1000},
+  };
+  const std::string tagged = AppendFleetTag("synthetic trace, 6h, seed 1", tags);
+  EXPECT_EQ(tagged,
+            "synthetic trace, 6h, seed 1; fleet A5:0:90+A5:92:90+E3:184:1000");
+  EXPECT_EQ(ParseFleetTag(tagged), tags);
+}
+
+TEST(FleetTag, EmptyInstanceListAppendsNothing) {
+  EXPECT_EQ(AppendFleetTag("desc", {}), "desc");
+}
+
+TEST(FleetTag, UntaggedDescriptionsParseEmpty) {
+  EXPECT_TRUE(ParseFleetTag("").empty());
+  EXPECT_TRUE(ParseFleetTag("synthetic A5 trace, 6h, seed 1").empty());
+  // Mentions fleets but carries no tag intro.
+  EXPECT_TRUE(ParseFleetTag("a fleet of machines").empty());
+}
+
+TEST(FleetTag, MalformedTagsParseEmpty) {
+  // Missing fields, non-numeric fields, empty names: all reject as a whole.
+  EXPECT_TRUE(ParseFleetTag("x; fleet A5").empty());
+  EXPECT_TRUE(ParseFleetTag("x; fleet A5:0").empty());
+  EXPECT_TRUE(ParseFleetTag("x; fleet A5:zero:90").empty());
+  EXPECT_TRUE(ParseFleetTag("x; fleet A5:0:ninety").empty());
+  EXPECT_TRUE(ParseFleetTag("x; fleet :0:90").empty());
+  EXPECT_TRUE(ParseFleetTag("x; fleet A5:0:90+").empty());
+  EXPECT_TRUE(ParseFleetTag("x; fleet A5:0:90+E3:2").empty());
+}
+
+// A description that itself contains "; fleet " earlier on: the parser keys
+// off the LAST occurrence, which is the one the generator appended.
+TEST(FleetTag, LastTagWins) {
+  const std::vector<FleetInstanceTag> tags = {
+      {.trace_name = "C4", .user_base = 0, .user_population = 40}};
+  const std::string tagged = AppendFleetTag("about; fleet nonsense here", tags);
+  EXPECT_EQ(ParseFleetTag(tagged), tags);
+}
+
+TEST(FleetTag, UserRangeConvention) {
+  const FleetInstanceTag tag{.trace_name = "A5", .user_base = 92, .user_population = 90};
+  // Daemons at base and base+1; humans are the next `population` ids.
+  EXPECT_EQ(tag.FirstUser(), 94u);
+  EXPECT_EQ(tag.LastUser(), 183u);
+}
+
+}  // namespace
+}  // namespace bsdtrace

@@ -122,7 +122,50 @@ TEST(ProfileByName, ResolvesAllNames) {
   EXPECT_EQ(ProfileByName("E3").machine, "ucbernie");
   EXPECT_EQ(ProfileByName("C4").machine, "ucbcad");
   EXPECT_EQ(ProfileByName("ucbcad").machine, "ucbcad");
+  // The lenient legacy wrapper still falls back to A5 (calibrate and the
+  // examples rely on it); user-facing entry points use the error-returning
+  // lookup below instead.
   EXPECT_EQ(ProfileByName("unknown").machine, "ucbarpa");
+}
+
+TEST(ProfileByNameOrError, UnknownNamesErrorListingValidOnes) {
+  EXPECT_TRUE(ProfileByNameOrError("a5").ok());
+  EXPECT_TRUE(ProfileByNameOrError("ucbernie").ok());
+  const auto bad = ProfileByNameOrError("B9");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("B9"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("A5"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("E3"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("C4"), std::string::npos);
+}
+
+TEST(PopulationScale, RescalesMachineWideKnobsOnly) {
+  MachineProfile profile = ProfileA5();
+  const MachineProfile base = profile;
+  profile.scale.users = base.user_population * 4;
+  const MachineProfile scaled = ApplyPopulationScale(profile);
+  EXPECT_EQ(scaled.user_population, base.user_population * 4);
+  // Machine-wide arrival means shrink by the factor so per-user rates hold;
+  // daemon fleet grows with the machine.
+  EXPECT_NEAR(scaled.mail_delivery_mean.seconds(),
+              base.mail_delivery_mean.seconds() / 4.0, 1e-9);
+  EXPECT_EQ(scaled.daemon_host_count, base.daemon_host_count * 4);
+  // Per-user behavior knobs are untouched.
+  EXPECT_EQ(scaled.intensity, base.intensity);
+  EXPECT_EQ(scaled.mix.compile, base.mix.compile);
+  // Resolved profiles are fixed points: applying again changes nothing.
+  const MachineProfile twice = ApplyPopulationScale(scaled);
+  EXPECT_EQ(twice.user_population, scaled.user_population);
+  EXPECT_EQ(twice.daemon_host_count, scaled.daemon_host_count);
+}
+
+TEST(PopulationScale, IdentityWhenUnsetOrEqual) {
+  const MachineProfile base = ProfileA5();
+  MachineProfile same = base;
+  same.scale.users = base.user_population;
+  EXPECT_EQ(ApplyPopulationScale(base).user_population, base.user_population);
+  EXPECT_EQ(ApplyPopulationScale(same).mail_delivery_mean.micros(),
+            base.mail_delivery_mean.micros());
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "src/workload/sharded_generator.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <string>
@@ -86,6 +87,43 @@ TEST(ShardedGenerator, ShardImagesStayConsistent) {
   EXPECT_TRUE(result.fsck.ok()) << result.fsck.Summary();
   EXPECT_GT(result.shared_image_watermark, 0u);
   EXPECT_GT(result.tasks_executed, 0u);
+}
+
+// The documented ShardPlan partition invariants (sharded_generator.h): users
+// AND daemon hosts are round-robin partitions of their index spaces — the
+// daemon fleet is spread across shards, not pinned to shard 0 — while the
+// machine-wide system tick runs on shard 0 only and every shard with users
+// delivers mail at a population/owned-compensated rate.
+TEST(ShardPlan, PartitionInvariants) {
+  const MachineProfile profile = ProfileA5();
+  for (int shard_count : {1, 2, 3, 8}) {
+    const std::vector<internal::ShardPlan> plans =
+        internal::MakeShardPlans(profile, shard_count);
+    ASSERT_EQ(plans.size(), static_cast<size_t>(shard_count));
+    std::set<int> users, hosts;
+    for (int s = 0; s < shard_count; ++s) {
+      const internal::ShardPlan& plan = plans[static_cast<size_t>(s)];
+      EXPECT_EQ(plan.shard_index, shard_count == 1 ? 0 : s);
+      EXPECT_TRUE(std::is_sorted(plan.users.begin(), plan.users.end()));
+      EXPECT_TRUE(std::is_sorted(plan.daemon_hosts.begin(), plan.daemon_hosts.end()));
+      for (int u : plan.users) {
+        EXPECT_EQ(u % shard_count, s) << "user " << u << " not round-robin";
+        EXPECT_TRUE(users.insert(u).second) << "user " << u << " owned twice";
+      }
+      for (int h : plan.daemon_hosts) {
+        EXPECT_EQ(h % shard_count, s) << "daemon host " << h << " not round-robin";
+        EXPECT_TRUE(hosts.insert(h).second) << "host " << h << " owned twice";
+      }
+      EXPECT_EQ(plan.run_system_tick, s == 0);
+      if (!plan.users.empty()) {
+        EXPECT_TRUE(plan.run_mail);
+        EXPECT_DOUBLE_EQ(plan.mail_scale * static_cast<double>(plan.users.size()),
+                         static_cast<double>(profile.user_population));
+      }
+    }
+    EXPECT_EQ(users.size(), static_cast<size_t>(profile.user_population));
+    EXPECT_EQ(hosts.size(), static_cast<size_t>(profile.daemon_host_count));
+  }
 }
 
 // Sharding partitions the same population, so aggregate activity should be

@@ -1,157 +1,6 @@
-// Streaming trace pipeline CLI: generate a trace straight to disk through
-// the spill-and-merge engine, analyze a trace file without loading it into
-// memory, or print a file's header.  The generate-to-file → analyze-from-file
-// recipe in EXPERIMENTS.md; also the CI low-memory smoke test's workhorse.
-//
-//   trace_stream generate <out.trc> [profile] [hours] [shards] [threads] [seed]
-//   trace_stream analyze  <in.trc> [--threads=N]
-//   trace_stream info     <in.trc>
-//
-// `analyze` runs the segmented parallel analyzer on v3 files with a block
-// index (bit-identical to the serial pass; --threads=1 forces serial, the
-// default 0 uses hardware concurrency).  `info` verifies every block
-// checksum and the footer index on the way through and exits non-zero on
-// corruption.
+// Streaming trace pipeline CLI; the implementation lives in
+// src/core/trace_stream_cli.{h,cc} so the CLI tests can drive it in-process.
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
+#include "src/core/trace_stream_cli.h"
 
-#include "src/analysis/analyzer.h"
-#include "src/core/experiments.h"
-#include "src/trace/trace_io.h"
-#include "src/trace/trace_source.h"
-#include "src/trace/validate.h"
-#include "src/workload/profile.h"
-#include "src/workload/sharded_generator.h"
-
-using namespace bsdtrace;
-
-namespace {
-
-int Usage() {
-  std::fprintf(stderr,
-               "usage: trace_stream generate <out.trc> [profile=A5] [hours=6] "
-               "[shards=8] [threads=0] [seed=19851201]\n"
-               "       trace_stream analyze  <in.trc> [--threads=N]\n"
-               "       trace_stream info     <in.trc>\n");
-  return 2;
-}
-
-int Generate(int argc, char** argv) {
-  if (argc < 1) {
-    return Usage();
-  }
-  const std::string out_path = argv[0];
-  ShardedGeneratorOptions options;
-  options.base.seed = 19851201;
-  options.base.duration = Duration::Hours(argc > 2 ? std::atof(argv[2]) : 6.0);
-  options.shard_count = argc > 3 ? std::atoi(argv[3]) : 8;
-  options.threads = argc > 4 ? std::atoi(argv[4]) : 0;
-  if (argc > 5) {
-    options.base.seed = std::strtoull(argv[5], nullptr, 10);
-  }
-  const MachineProfile profile = ProfileByName(argc > 1 ? argv[1] : "A5");
-
-  auto stats = GenerateTraceShardedToFile(profile, options, out_path);
-  if (!stats.ok()) {
-    std::fprintf(stderr, "generate failed: %s\n", stats.status().message().c_str());
-    return 1;
-  }
-  const ShardedStreamStats& s = stats.value();
-  std::printf("wrote %s: %llu records (%s)\n", out_path.c_str(),
-              static_cast<unsigned long long>(s.records_streamed),
-              s.header.description.c_str());
-  std::printf("spilled %.1f MB across %d shards; fsck %s\n",
-              static_cast<double>(s.spill_bytes_written) / 1048576.0, options.shard_count,
-              s.fsck.ok() ? "clean" : s.fsck.Summary().c_str());
-  return s.fsck.ok() ? 0 : 1;
-}
-
-int Analyze(int argc, char** argv) {
-  const char* path = argv[0];
-  unsigned threads = 0;  // hardware concurrency
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
-    } else {
-      return Usage();
-    }
-  }
-  auto analysis = AnalyzeTraceFile(path, threads);
-  if (!analysis.ok()) {
-    std::fprintf(stderr, "analyze failed: %s\n", analysis.status().message().c_str());
-    return 1;
-  }
-  TraceFileSource source(path);  // header only, for the table label
-  const std::string label = source.status().ok() ? source.header().machine : path;
-  const std::vector<NamedAnalysis> named = {{label, &analysis.value()}};
-  std::fputs(RenderTable3(named).c_str(), stdout);
-  std::fputs(RenderTable4(named).c_str(), stdout);
-  std::fputs(RenderTable5(named).c_str(), stdout);
-  return 0;
-}
-
-int Info(const char* path) {
-  TraceFileSource source(path);
-  if (!source.status().ok()) {
-    std::fprintf(stderr, "cannot read %s: %s\n", path, source.status().message().c_str());
-    return 1;
-  }
-  std::printf("machine:     %s\n", source.header().machine.c_str());
-  std::printf("description: %s\n", source.header().description.c_str());
-  if (source.size_hint() >= 0) {
-    std::printf("declared:    %lld records\n", static_cast<long long>(source.size_hint()));
-  } else {
-    std::printf("declared:    unknown (v1 or streamed file)\n");
-  }
-
-  // Full integrity pass: decodes every record, verifies v3 block checksums,
-  // and cross-checks the footer index against the blocks.
-  const TraceFileCheck check = CheckTraceFile(path);
-  std::printf("format:      v%d\n", check.version);
-  if (check.has_index) {
-    std::printf("index:       %llu blocks, %llu records indexed\n",
-                static_cast<unsigned long long>(check.index_entries),
-                static_cast<unsigned long long>(check.indexed_records));
-  } else if (check.version == 3) {
-    std::printf("index:       none (sequential-only v3 file)\n");
-  } else {
-    std::printf("index:       n/a (v%d has no block index)\n", check.version);
-  }
-  if (check.version == 3) {
-    std::printf("checksums:   %llu blocks %s\n",
-                static_cast<unsigned long long>(check.blocks_verified),
-                check.ok() ? "verified" : "scanned before failure");
-  }
-  if (!check.ok()) {
-    std::fprintf(stderr, "integrity check failed after %llu records: %s\n",
-                 static_cast<unsigned long long>(check.records),
-                 check.status.message().c_str());
-    return 1;
-  }
-  std::printf("records:     %llu\n", static_cast<unsigned long long>(check.records));
-  std::printf("span:        %.2f simulated hours\n",
-              (check.last_time - SimTime::Origin()).hours());
-  return 0;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 3) {
-    return Usage();
-  }
-  const char* cmd = argv[1];
-  if (std::strcmp(cmd, "generate") == 0) {
-    return Generate(argc - 2, argv + 2);
-  }
-  if (std::strcmp(cmd, "analyze") == 0) {
-    return Analyze(argc - 2, argv + 2);
-  }
-  if (std::strcmp(cmd, "info") == 0) {
-    return Info(argv[2]);
-  }
-  return Usage();
-}
+int main(int argc, char** argv) { return bsdtrace::TraceStreamMain(argc, argv); }
