@@ -1,7 +1,13 @@
 // Regenerates Figure 5 / Table VI (cache miss ratio vs. cache size and write
-// policy, 4 KB blocks, A5 trace) plus the §6.2 write-lifetime sidebar.
+// policy, 4 KB blocks, A5 trace) plus the §6.2 write-lifetime sidebar, via
+// the planned sweep engine: one Mattson stack-distance pass for the whole
+// size axis plus one fused replay per cache size, timed against the replayed
+// engine (one simulator run per config and per dense curve size).  The JSON
+// line carries `parity` (bit-identity of every overlapping cell — hard gate)
+// and `speedup` (gated at 3x, the ISSUE target for the default A5 sweep).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 
@@ -9,9 +15,14 @@ int main() {
   using namespace bsdtrace;
   PrintBanner("Figure 5 / Table VI — cache size and write policy", "Fig. 5, Table VI (§6.2)");
   const GenerationResult a5 = GenerateA5();
-  const auto points = RunCacheSweep(a5.trace, Fig5Configs());
+  std::vector<SweepPoint> points;
+  std::vector<SweepCurve> curves;
+  const int rc =
+      RunPlannedEngineBench("fig5_table6_cache", a5.trace, Fig5Configs(), 3.0, &points, &curves);
   std::printf("%s\n", RenderFigure5Table6(points).c_str());
   std::printf("%s\n", RenderWriteLifetimeSidebar(points).c_str());
+  std::printf("%s\n", RenderMissRatioCurves(curves).c_str());
   MaybeExportSweep("fig5_table6", points);
-  return 0;
+  MaybeExportCurves("fig5_curves", curves);
+  return rc;
 }

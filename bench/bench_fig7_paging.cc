@@ -1,7 +1,10 @@
 // Regenerates Figure 7 (miss ratios with program page-in approximated by a
-// whole-file read at each execve, A5 trace).
+// whole-file read at each execve, A5 trace) via the planned sweep engine:
+// one Mattson pass per page-in setting covers its whole size axis.  The
+// JSON line carries `parity` (bit-identity gate) and `speedup` (reported).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 
@@ -9,8 +12,13 @@ int main() {
   using namespace bsdtrace;
   PrintBanner("Figure 7 — simulated program page-in", "Fig. 7 (§6.4)");
   const GenerationResult a5 = GenerateA5();
-  const auto points = RunCacheSweep(a5.trace, Fig7Configs());
+  std::vector<SweepPoint> points;
+  std::vector<SweepCurve> curves;
+  const int rc =
+      RunPlannedEngineBench("fig7_paging", a5.trace, Fig7Configs(), 0.0, &points, &curves);
   std::printf("%s\n", RenderFigure7(points).c_str());
+  std::printf("%s\n", RenderMissRatioCurves(curves).c_str());
   MaybeExportSweep("fig7_paging", points);
-  return 0;
+  MaybeExportCurves("fig7_curves", curves);
+  return rc;
 }

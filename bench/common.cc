@@ -1,8 +1,12 @@
 #include "bench/common.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -115,6 +119,153 @@ GenerationResult GenerateA5() {
   GenerationResult r = LoadOrGenerateStandardTrace("A5");
   std::printf("generated %zu A5 trace records\n\n", r.trace.size());
   return r;
+}
+
+void MaybeExportCurves(const std::string& name, const std::vector<SweepCurve>& curves) {
+  const char* dir = std::getenv("BSDTRACE_CSV_DIR");
+  if (dir == nullptr) {
+    return;
+  }
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  const Status st = ExportCurveCsv(path, curves);
+  if (st.ok()) {
+    std::printf("exported %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "CSV export failed: %s\n", st.message().c_str());
+  }
+}
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+bool MetricsEqual(const CacheMetrics& a, const CacheMetrics& b) {
+  return a.logical_accesses == b.logical_accesses && a.read_accesses == b.read_accesses &&
+         a.write_accesses == b.write_accesses && a.metadata_accesses == b.metadata_accesses &&
+         a.disk_reads == b.disk_reads && a.disk_writes == b.disk_writes &&
+         a.dirty_discarded == b.dirty_discarded && a.evictions == b.evictions &&
+         a.residency_over_20min == b.residency_over_20min &&
+         a.residency_samples == b.residency_samples &&
+         a.residency_seconds.sum() == b.residency_seconds.sum() &&
+         a.residency_seconds.variance() == b.residency_seconds.variance();
+}
+
+// The per-size replays the old engine needs to match the planner's output:
+// the planner's Mattson pass yields the fetch-miss column at every curve
+// size for free, so the replayed baseline must pay one delayed-write replay
+// per (block size, page-in) family per curve size its configs do not cover.
+std::vector<CacheConfig> CurveFillConfigs(const std::vector<CacheConfig>& configs) {
+  std::map<std::pair<uint32_t, bool>, std::set<uint64_t>> family_sizes;
+  for (const CacheConfig& c : configs) {
+    if (c.replacement == ReplacementPolicy::kLru && !c.simulate_metadata) {
+      family_sizes[{c.block_size, c.simulate_execve_pagein}].insert(c.size_bytes);
+    }
+  }
+  std::vector<CacheConfig> extra;
+  for (const auto& [key, sizes] : family_sizes) {
+    for (const uint64_t size : SweepCurveSizes()) {
+      if (sizes.count(size) > 0) {
+        continue;
+      }
+      CacheConfig c;
+      c.size_bytes = size;
+      c.block_size = key.first;
+      c.policy = WritePolicy::kDelayedWrite;
+      c.simulate_execve_pagein = key.second;
+      extra.push_back(c);
+    }
+  }
+  return extra;
+}
+
+}  // namespace
+
+int RunPlannedEngineBench(const std::string& name, const Trace& trace,
+                          const std::vector<CacheConfig>& configs, double min_speedup,
+                          std::vector<SweepPoint>* points_out,
+                          std::vector<SweepCurve>* curves_out) {
+  const ReplayLog log = ReplayLog::Build(trace);
+  const std::vector<CacheConfig> extra = CurveFillConfigs(configs);
+  std::vector<CacheConfig> replay_configs = configs;
+  replay_configs.insert(replay_configs.end(), extra.begin(), extra.end());
+
+  // Min-of-N timing; the first iteration doubles as the warmup (the min
+  // discards its cold caches).  Both engines share the prebuilt log and run
+  // single-threaded, so the ratio is the algorithmic change alone.
+  constexpr int kReps = 3;
+  double replayed_s = 1e300;
+  double planned_s = 1e300;
+  std::vector<SweepPoint> replayed;
+  PlannedSweep planned;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    replayed = RunCacheSweep(log, replay_configs, /*threads=*/1);
+    replayed_s = std::min(replayed_s, SecondsSince(t0));
+    t0 = std::chrono::steady_clock::now();
+    planned = RunPlannedSweep(log, configs, {}, /*threads=*/1);
+    planned_s = std::min(planned_s, SecondsSince(t0));
+  }
+
+  // Bit-level parity: the planner's own cross-check, every per-config point,
+  // and every dense curve sample against its covering replay.
+  bool parity = planned.parity && planned.points.size() == configs.size() &&
+                replayed.size() == replay_configs.size();
+  for (size_t i = 0; parity && i < configs.size(); ++i) {
+    parity = MetricsEqual(planned.points[i].metrics, replayed[i].metrics);
+  }
+  for (size_t e = 0; parity && e < extra.size(); ++e) {
+    const CacheConfig& c = extra[e];
+    const SweepCurve* curve = nullptr;
+    for (const SweepCurve& candidate : planned.curves) {
+      if (candidate.block_size == c.block_size &&
+          candidate.simulate_execve_pagein == c.simulate_execve_pagein) {
+        curve = &candidate;
+      }
+    }
+    parity = curve != nullptr;
+    if (!parity) {
+      break;
+    }
+    const auto it = std::find(curve->size_bytes.begin(), curve->size_bytes.end(), c.size_bytes);
+    parity = it != curve->size_bytes.end() &&
+             curve->fetch_misses[static_cast<size_t>(it - curve->size_bytes.begin())] ==
+                 replayed[configs.size() + e].metrics.disk_reads;
+  }
+
+  const double speedup = planned_s > 0 ? replayed_s / planned_s : 0;
+  char json[640];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"%s\",\"records\":%zu,\"hours\":%.2f,\"configs\":%zu,"
+                "\"curve_fill_configs\":%zu,\"stack_passes\":%zu,\"fused_replays\":%zu,"
+                "\"replay_fallbacks\":%zu,\"replayed_sweep_s\":%.4f,\"planned_sweep_s\":%.4f,"
+                "\"speedup\":%.2f,\"min_speedup\":%.2f,\"parity\":%s}",
+                name.c_str(), trace.size(), StandardDuration().hours(), configs.size(),
+                extra.size(), planned.stack_passes, planned.fused_replays,
+                planned.replay_fallbacks, replayed_s, planned_s, speedup, min_speedup,
+                parity ? "true" : "false");
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen(("BENCH_" + name + ".json").c_str(), "w")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+
+  if (points_out != nullptr) {
+    *points_out = std::move(planned.points);
+  }
+  if (curves_out != nullptr) {
+    *curves_out = std::move(planned.curves);
+  }
+  if (!parity) {
+    std::fprintf(stderr, "FAIL: planned-sweep metrics diverge from the replayed engine\n");
+    return 1;
+  }
+  if (min_speedup > 0 && speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the %.2fx gate\n", speedup, min_speedup);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace bsdtrace

@@ -38,6 +38,21 @@ void PrintBanner(const std::string& what, const std::string& paper_ref);
 // If BSDTRACE_CSV_DIR is set, exports figure series / sweep data there.
 void MaybeExportFigures(const BenchTraces& traces);
 void MaybeExportSweep(const std::string& name, const std::vector<SweepPoint>& points);
+void MaybeExportCurves(const std::string& name, const std::vector<SweepCurve>& curves);
+
+// Times the replayed sweep engine (one CacheSimulator replay per config,
+// plus the extra delayed-write replays needed to cover every Mattson-curve
+// sample) against the planned engine (RunPlannedSweep) on a shared replay
+// log, verifies every overlapping cell is bit-identical, and emits one JSON
+// line (stdout + BENCH_<name>.json) with `parity` and `speedup` fields.
+// Both engines run single-threaded so the ratio isolates the algorithmic
+// change.  On success `points_out`/`curves_out` receive the planned results
+// for rendering.  Returns 0, or 1 when parity fails or the measured speedup
+// falls below `min_speedup` (pass 0 to report speedup without gating).
+int RunPlannedEngineBench(const std::string& name, const Trace& trace,
+                          const std::vector<CacheConfig>& configs, double min_speedup,
+                          std::vector<SweepPoint>* points_out,
+                          std::vector<SweepCurve>* curves_out);
 
 }  // namespace bsdtrace
 

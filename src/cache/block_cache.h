@@ -247,6 +247,18 @@ class BlockCache {
   uint64_t capacity() const { return capacity_; }
   uint64_t dirty_count() const { return dirty_count_; }
 
+  // Slot index of a resident entry (< capacity, stable while the block stays
+  // resident; slots are reused after eviction).  Lets callers keep per-slot
+  // side tables — FusedCacheSimulator's per-policy dirty masks index by it.
+  // Entry pointers handed out by Touch/Insert point at the first member of a
+  // slab node, so the slot is recoverable by pointer arithmetic.
+  int32_t SlotOf(const CacheEntry* entry) const {
+    return static_cast<int32_t>(reinterpret_cast<const Node*>(entry) - slab_.data());
+  }
+  int32_t SlotOf(CacheEntry* entry) {
+    return static_cast<int32_t>(reinterpret_cast<Node*>(entry) - slab_.data());
+  }
+
  private:
   static constexpr int32_t kNil = -1;
 
@@ -271,12 +283,6 @@ class BlockCache {
     map_.EraseCell(cell, [this](int32_t moved_slot, size_t new_cell) {
       At(moved_slot).entry.map_cell = static_cast<int32_t>(new_cell);
     });
-  }
-
-  // Entry pointers handed out by Touch/Insert point at the first member of a
-  // slab node, so the slot index is recoverable by pointer arithmetic.
-  int32_t SlotOf(CacheEntry* entry) {
-    return static_cast<int32_t>(reinterpret_cast<Node*>(entry) - slab_.data());
   }
 
   // Applies the replacement policy's on-access action to a resident slot.

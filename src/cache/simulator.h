@@ -181,6 +181,124 @@ class CacheSimulator final : public ReconstructionSink {
   bool finished_ = false;
 };
 
+// Simulates one cache under several write policies in a single replay.
+//
+// Write policy never changes which blocks are resident: residency evolves
+// through Touch/Insert/invalidate alone, so the access stream, hit/miss
+// outcomes, evictions, and residency statistics are common to every policy —
+// only disk *writes* (and dirty blocks discarded by invalidation) differ.
+// The fused simulator therefore runs the shared LRU cache once and derives
+// per-policy dirtiness from one per-slot last-write time, giving metrics
+// bit-identical to a CacheSimulator run per policy at a fraction of the
+// cost.  This is the sweep planner's replay workhorse: Fig. 5's four policy
+// curves cost one replay per cache size instead of four.
+//
+// Dirtiness needs no per-policy state: a delayed-write block is dirty iff
+// written since it was installed, and a flush-back block is dirty iff
+// written in the current flush epoch (every earlier epoch's flush cleaned
+// it).  Flush-back disk writes are counted when a block transitions
+// clean->dirty (into a pending counter folded in at the epoch boundary, and
+// reclassified if the block is evicted or invalidated first), so a flush
+// epoch costs O(1) instead of the O(resident blocks) scan a per-policy
+// dirty bit would force.  Metadata simulation is not supported (its i-node
+// dirtiness interleaves with data writes; use CacheSimulator per config).
+class FusedCacheSimulator final : public ReconstructionSink {
+ public:
+  // One fused lane: a write policy plus its flush interval (used when the
+  // policy is kFlushBack).
+  struct PolicyLane {
+    WritePolicy policy = WritePolicy::kDelayedWrite;
+    Duration flush_interval = Duration::Seconds(30);
+  };
+
+  // `base` supplies everything but the write policy (base.policy and
+  // base.flush_interval are ignored); base.simulate_metadata must be false.
+  // At most 8 lanes.
+  FusedCacheSimulator(const CacheConfig& base, const std::vector<PolicyLane>& lanes);
+
+  void ReserveFiles(size_t file_count);
+  // Same contract as CacheSimulator::SetExtentFeeds.
+  void SetExtentFeeds(const uint64_t* transfer_feed, const uint64_t* execve_feed) {
+    transfer_extent_feed_ = transfer_feed;
+    execve_extent_feed_ = execve_feed;
+  }
+
+  void OnTransfer(const Transfer& t) override {
+    const bool is_write = t.direction == TransferDirection::kWrite;
+    if (transfer_extent_feed_ != nullptr) {
+      const uint64_t extent = transfer_extent_feed_[transfer_feed_pos_++];
+      if (t.length > 0) {
+        AccessBlocks(t.time, t.file_id, t.offset, t.length, is_write, extent);
+      }
+    } else {
+      Access(t.time, t.file_id, t.offset, t.length, is_write);
+    }
+  }
+  void OnRecord(const TraceRecord& record) override;
+
+  void Finish();
+
+  // Metrics for lane `i`, assembled from the shared counters and the lane's
+  // write counters — bit-identical to CacheSimulator with the same config.
+  CacheMetrics LaneMetrics(size_t i) const;
+  size_t lane_count() const { return lanes_.size(); }
+
+ private:
+  void Access(SimTime now, FileId file, uint64_t offset, uint64_t length, bool is_write);
+  void AccessBlocks(SimTime now, FileId file, uint64_t offset, uint64_t length,
+                    bool is_write, uint64_t extent);
+  void AccessBlock(SimTime now, const BlockKey& key, bool is_write, bool whole_block,
+                   uint64_t known_extent);
+  // Flush epoch start for a kFlushBack lane: a block is dirty under that
+  // lane iff its last write is at or after this time.
+  SimTime EpochStart(size_t lane) const {
+    return next_flush_[lane] - lanes_[lane].flush_interval;
+  }
+  void AdvanceClock(SimTime now) {
+    if (now > now_) {
+      now_ = now;
+    }
+    for (const size_t lane : flush_lanes_) {
+      while (now_ >= next_flush_[lane]) {
+        // Everything dirtied this epoch and still resident flushes now.
+        lane_counters_[lane].disk_writes += fb_pending_[lane];
+        fb_pending_[lane] = 0;
+        next_flush_[lane] += lanes_[lane].flush_interval;
+      }
+    }
+  }
+  void InvalidateFrom(SimTime now, FileId file, uint64_t first_byte);
+  void RecordResidency(SimTime now, const CacheEntry& entry);
+
+  CacheConfig base_;
+  std::vector<PolicyLane> lanes_;
+  std::vector<size_t> flush_lanes_;  // indices of kFlushBack lanes
+  std::vector<size_t> delayed_lanes_;  // indices of kDelayedWrite lanes
+  BlockCache cache_;
+  CacheMetrics shared_;  // everything except disk_writes / dirty_discarded
+  struct LaneCounters {
+    uint64_t disk_writes = 0;
+    uint64_t dirty_discarded = 0;
+  };
+  std::vector<LaneCounters> lane_counters_;
+  std::vector<SimTime> next_flush_;
+  // Flush writes owed at the lane's next epoch boundary: one per resident
+  // block dirtied this epoch (decremented if the block is evicted or
+  // invalidated before the flush arrives).
+  std::vector<uint64_t> fb_pending_;
+  // Per-slot write state shared by every lane: whether the resident block
+  // has been written since install, and when it was last written.
+  std::vector<uint8_t> written_;
+  std::vector<SimTime> last_write_;
+  SimTime now_;
+  FlatMap<FileId, uint64_t, IdHash> known_extent_{kInvalidFileId};
+  const uint64_t* transfer_extent_feed_ = nullptr;
+  const uint64_t* execve_extent_feed_ = nullptr;
+  size_t transfer_feed_pos_ = 0;
+  size_t execve_feed_pos_ = 0;
+  bool finished_ = false;
+};
+
 }  // namespace bsdtrace
 
 #endif  // BSDTRACE_SRC_CACHE_SIMULATOR_H_

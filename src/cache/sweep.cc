@@ -1,7 +1,11 @@
 #include "src/cache/sweep.h"
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
+#include <map>
 #include <thread>
+#include <tuple>
 
 namespace bsdtrace {
 
@@ -134,6 +138,204 @@ std::vector<CacheConfig> Fig6Configs() {
     }
   }
   return configs;
+}
+
+std::vector<uint64_t> SweepCurveSizes() {
+  // Quarter-octave steps: the stack pass answers every capacity from one
+  // replay, so the sampled axis costs nothing extra — only table height.
+  return {256 * kKb,     320 * kKb,     390 * kKb,     448 * kKb, 512 * kKb,
+          640 * kKb,     768 * kKb,     896 * kKb,     1 * kMb,   5 * kMb / 4,
+          3 * kMb / 2,   7 * kMb / 4,   2 * kMb,       5 * kMb / 2,
+          3 * kMb,       7 * kMb / 2,   4 * kMb,       5 * kMb,   6 * kMb,
+          7 * kMb,       8 * kMb,       10 * kMb,      12 * kMb,  14 * kMb,
+          16 * kMb};
+}
+
+namespace {
+
+// Runs `work` items on `threads` workers with a work-stealing counter (same
+// discipline as RunCacheSweep: each item writes disjoint state; join is the
+// only synchronization).
+void RunWorkItems(std::vector<std::function<void()>>& work, unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(work.size()));
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= work.size()) {
+        return;
+      }
+      work[i]();
+    }
+  };
+  if (threads <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+uint64_t BlocksFor(uint64_t size_bytes, uint32_t block_size) {
+  return std::max<uint64_t>(1, size_bytes / block_size);
+}
+
+}  // namespace
+
+PlannedSweep RunPlannedSweep(const ReplayLog& log, const std::vector<CacheConfig>& configs,
+                             std::vector<uint64_t> curve_sizes, unsigned threads) {
+  PlannedSweep result;
+  result.points.resize(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    result.points[i].config = configs[i];
+  }
+  if (configs.empty()) {
+    return result;
+  }
+  if (curve_sizes.empty()) {
+    curve_sizes = SweepCurveSizes();
+  }
+
+  // Partition by shared cache state: configs that differ only in write
+  // policy replay once, fused.  Metadata configs fall back (the fused cache
+  // cannot share i-node dirtiness across policies).
+  struct FusedGroup {
+    std::vector<size_t> members;  // config indices, <= 8 (lane-mask width)
+  };
+  std::map<std::tuple<uint64_t, uint32_t, int, bool>, std::vector<size_t>> by_cache;
+  std::vector<size_t> fallbacks;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const CacheConfig& c = configs[i];
+    if (c.simulate_metadata) {
+      fallbacks.push_back(i);
+      continue;
+    }
+    by_cache[{c.size_bytes, c.block_size, static_cast<int>(c.replacement),
+              c.simulate_execve_pagein}]
+        .push_back(i);
+  }
+  std::vector<FusedGroup> fused_groups;
+  for (auto& [key, members] : by_cache) {
+    for (size_t at = 0; at < members.size(); at += 8) {
+      FusedGroup g;
+      g.members.assign(members.begin() + static_cast<ptrdiff_t>(at),
+                       members.begin() + static_cast<ptrdiff_t>(std::min(at + 8, members.size())));
+      fused_groups.push_back(std::move(g));
+    }
+  }
+
+  // One Mattson pass per (block size, page-in) family of LRU configs: the
+  // whole size axis of that family from a single pass.
+  struct MattsonGroup {
+    uint32_t block_size = 4096;
+    bool pagein = false;
+    std::vector<size_t> members;
+  };
+  std::map<std::pair<uint32_t, bool>, std::vector<size_t>> by_family;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const CacheConfig& c = configs[i];
+    if (c.replacement == ReplacementPolicy::kLru && !c.simulate_metadata) {
+      by_family[{c.block_size, c.simulate_execve_pagein}].push_back(i);
+    }
+  }
+  std::vector<MattsonGroup> mattson_groups;
+  for (auto& [key, members] : by_family) {
+    mattson_groups.push_back({key.first, key.second, std::move(members)});
+  }
+  result.curves.resize(mattson_groups.size());
+  result.stack_passes = mattson_groups.size();
+  result.fused_replays = fused_groups.size();
+  result.replay_fallbacks = fallbacks.size();
+
+  std::vector<std::function<void()>> work;
+  work.reserve(mattson_groups.size() + fused_groups.size() + fallbacks.size());
+  // Mattson passes first: they are the largest indivisible items, so an
+  // early start minimizes the parallel makespan.
+  for (size_t g = 0; g < mattson_groups.size(); ++g) {
+    work.push_back([&, g]() {
+      const MattsonGroup& group = mattson_groups[g];
+      StackDistanceAnalyzer::Options opt;
+      opt.simulate_execve_pagein = group.pagein;
+      StackDistanceAnalyzer analyzer(group.block_size, opt);
+      analyzer.SetExtentFeeds(group.pagein ? log.transfer_extents_pagein().data()
+                                           : log.transfer_extents().data(),
+                              log.execve_extents().data());
+      log.ReplayDataEventsInto(analyzer);
+      SweepCurve& curve = result.curves[g];
+      curve.block_size = group.block_size;
+      curve.simulate_execve_pagein = group.pagein;
+      curve.profile = analyzer.Take();
+      curve.size_bytes = curve_sizes;
+      for (const size_t i : group.members) {
+        curve.size_bytes.push_back(configs[i].size_bytes);
+      }
+      std::sort(curve.size_bytes.begin(), curve.size_bytes.end());
+      curve.size_bytes.erase(std::unique(curve.size_bytes.begin(), curve.size_bytes.end()),
+                             curve.size_bytes.end());
+      curve.fetch_misses.reserve(curve.size_bytes.size());
+      curve.fetch_miss_ratios.reserve(curve.size_bytes.size());
+      for (const uint64_t size : curve.size_bytes) {
+        const uint64_t blocks = BlocksFor(size, group.block_size);
+        curve.fetch_misses.push_back(curve.profile.FetchMissesAt(blocks));
+        curve.fetch_miss_ratios.push_back(curve.profile.FetchMissRatioAt(blocks));
+      }
+    });
+  }
+  for (const FusedGroup& group : fused_groups) {
+    work.push_back([&, &members = group.members]() {
+      CacheConfig base = configs[members.front()];
+      std::vector<FusedCacheSimulator::PolicyLane> lanes;
+      lanes.reserve(members.size());
+      for (const size_t i : members) {
+        lanes.push_back({configs[i].policy, configs[i].flush_interval});
+      }
+      FusedCacheSimulator sim(base, lanes);
+      sim.SetExtentFeeds(base.simulate_execve_pagein
+                             ? log.transfer_extents_pagein().data()
+                             : log.transfer_extents().data(),
+                         log.execve_extents().data());
+      sim.ReserveFiles(log.distinct_files());
+      log.ReplayDataEventsInto(sim);
+      sim.Finish();
+      for (size_t j = 0; j < members.size(); ++j) {
+        result.points[members[j]].metrics = sim.LaneMetrics(j);
+      }
+    });
+  }
+  for (const size_t i : fallbacks) {
+    work.push_back([&, i]() { result.points[i].metrics = SimulateCache(log, configs[i]); });
+  }
+  RunWorkItems(work, threads);
+
+  // Engine cross-check: the single-pass curve must reproduce every replayed
+  // fetch-miss cell bit-for-bit.
+  for (size_t g = 0; g < mattson_groups.size(); ++g) {
+    const SweepCurve& curve = result.curves[g];
+    for (const size_t i : mattson_groups[g].members) {
+      if (curve.profile.FetchMissesAt(configs[i].block_count()) !=
+          result.points[i].metrics.disk_reads) {
+        result.parity = false;
+      }
+    }
+  }
+  return result;
+}
+
+PlannedSweep RunPlannedSweep(const Trace& trace, const std::vector<CacheConfig>& configs,
+                             std::vector<uint64_t> curve_sizes, unsigned threads) {
+  if (configs.empty()) {
+    return {};
+  }
+  return RunPlannedSweep(ReplayLog::Build(trace), configs, std::move(curve_sizes), threads);
 }
 
 std::vector<CacheConfig> Fig7Configs() {

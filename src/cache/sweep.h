@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/cache/simulator.h"
+#include "src/cache/stack_distance.h"
 #include "src/trace/replay_log.h"
 #include "src/trace/trace.h"
 
@@ -51,6 +52,66 @@ std::vector<CacheConfig> Fig5Configs();
 std::vector<CacheConfig> Fig6Configs();
 // Fig. 7: cache size sweep with and without execve page-in.
 std::vector<CacheConfig> Fig7Configs();
+
+// --- Planned sweeps: Mattson curves + fused replays ------------------------
+//
+// RunPlannedSweep computes the same per-config metrics as RunCacheSweep but
+// restructures the work (ISSUE: collapse the Fig. 5-7 size axis):
+//
+//   * configs identical up to write policy share ONE replay through a
+//     FusedCacheSimulator (Fig. 5's four policy columns per cache size);
+//   * each (block size, page-in) family of LRU configs additionally gets one
+//     exact stack-distance pass (stack_distance.h), yielding the fetch-miss/
+//     miss-ratio column for EVERY cache size — the dense curve axis — from a
+//     single pass instead of one replay per size;
+//   * configs the fast paths cannot serve (metadata simulation) fall back to
+//     per-config replays.
+//
+// `points` is bit-identical to RunCacheSweep(log, configs) in input order.
+// `parity` cross-checks the two engines where they overlap: for every LRU
+// non-metadata config, the Mattson curve's FetchMissesAt(block_count) must
+// equal the replayed disk_reads exactly; benches gate on it.
+
+// The dense cache-size axis sampled by every Mattson curve (25 sizes in
+// quarter-octave steps from 256 KB to 16 MB, a superset of the paper's
+// Fig. 5 points — dense sampling is free: the stack pass answers every
+// capacity from one replay).
+std::vector<uint64_t> SweepCurveSizes();
+
+// One single-pass miss-ratio curve: all capacities of one (block size,
+// page-in) family.
+struct SweepCurve {
+  uint32_t block_size = 4096;
+  bool simulate_execve_pagein = false;
+  // Sampled sizes (sorted; the requested curve sizes plus every member
+  // config's size) and the exact fetch-miss column at each.
+  std::vector<uint64_t> size_bytes;
+  std::vector<uint64_t> fetch_misses;
+  std::vector<double> fetch_miss_ratios;
+  // The full profile: FetchMissesAt/MissesAt answer any capacity, not just
+  // the sampled ones.
+  StackDistanceProfile profile;
+};
+
+struct PlannedSweep {
+  std::vector<SweepPoint> points;  // one per input config, input order
+  std::vector<SweepCurve> curves;  // one per (block size, page-in) LRU family
+  // True iff every Mattson fetch-miss prediction matched the replayed
+  // disk_reads bit-for-bit (see above).
+  bool parity = true;
+  size_t stack_passes = 0;
+  size_t fused_replays = 0;
+  size_t replay_fallbacks = 0;
+};
+
+// Plans and runs the sweep on a prebuilt log, in parallel across `threads`
+// workers (0 = hardware concurrency).  `curve_sizes` empty = SweepCurveSizes().
+PlannedSweep RunPlannedSweep(const ReplayLog& log, const std::vector<CacheConfig>& configs,
+                             std::vector<uint64_t> curve_sizes = {}, unsigned threads = 0);
+
+// Convenience: builds the ReplayLog (billed at next event) and plans it.
+PlannedSweep RunPlannedSweep(const Trace& trace, const std::vector<CacheConfig>& configs,
+                             std::vector<uint64_t> curve_sizes = {}, unsigned threads = 0);
 
 }  // namespace bsdtrace
 

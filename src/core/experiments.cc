@@ -113,9 +113,18 @@ StatusOr<TraceAnalysis> AnalyzeTraceFile(const std::string& path, unsigned threa
 StandardSweeps RunStandardSweeps(const Trace& trace, unsigned threads) {
   const ReplayLog log = ReplayLog::Build(trace);
   StandardSweeps sweeps;
-  sweeps.fig5 = RunCacheSweep(log, Fig5Configs(), threads);
-  sweeps.fig6 = RunCacheSweep(log, Fig6Configs(), threads);
-  sweeps.fig7 = RunCacheSweep(log, Fig7Configs(), threads);
+  auto take = [&sweeps](PlannedSweep&& planned, std::vector<SweepPoint>& points,
+                        std::vector<SweepCurve>& curves) {
+    points = std::move(planned.points);
+    curves = std::move(planned.curves);
+    sweeps.parity = sweeps.parity && planned.parity;
+    sweeps.stack_passes += planned.stack_passes;
+    sweeps.fused_replays += planned.fused_replays;
+    sweeps.replay_fallbacks += planned.replay_fallbacks;
+  };
+  take(RunPlannedSweep(log, Fig5Configs(), {}, threads), sweeps.fig5, sweeps.fig5_curves);
+  take(RunPlannedSweep(log, Fig6Configs(), {}, threads), sweeps.fig6, sweeps.fig6_curves);
+  take(RunPlannedSweep(log, Fig7Configs(), {}, threads), sweeps.fig7, sweeps.fig7_curves);
   return sweeps;
 }
 
@@ -580,6 +589,44 @@ std::string RenderWriteLifetimeSidebar(const std::vector<SweepPoint>& fig5_point
   return out.str();
 }
 
+std::string RenderMissRatioCurves(const std::vector<SweepCurve>& curves) {
+  if (curves.empty()) {
+    return "";
+  }
+  // Rows = cache size; one fetch-miss-ratio column per curve.  Every column
+  // comes from ONE stack-distance pass (no per-size replay).
+  std::map<uint64_t, std::map<size_t, size_t>> grid;  // size -> curve -> index
+  for (size_t c = 0; c < curves.size(); ++c) {
+    for (size_t i = 0; i < curves[c].size_bytes.size(); ++i) {
+      grid[curves[c].size_bytes[i]][c] = i;
+    }
+  }
+  std::vector<std::string> header = {"Cache Size"};
+  for (const SweepCurve& curve : curves) {
+    std::string label = FormatBytes(curve.block_size) + " blocks";
+    if (curve.simulate_execve_pagein) {
+      label += " +pagein";
+    }
+    header.push_back(std::move(label));
+  }
+  TextTable table(header);
+  for (const auto& [size, row] : grid) {
+    std::vector<std::string> cells = {FormatBytes(static_cast<double>(size))};
+    for (size_t c = 0; c < curves.size(); ++c) {
+      auto it = row.find(c);
+      cells.push_back(it != row.end()
+                          ? FormatPercent(curves[c].fetch_miss_ratios[it->second])
+                          : "-");
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::ostringstream out;
+  out << table.Render(
+      "Single-pass Mattson curves: exact read-miss (fetch) ratio at every cache size, "
+      "one stack-distance pass per column.");
+  return out.str();
+}
+
 std::string RenderTable1(const TraceAnalysis& analysis, const std::vector<SweepPoint>& fig5_points,
                          const std::vector<SweepPoint>& fig6_points) {
   std::ostringstream out;
@@ -738,6 +785,27 @@ Status ExportSweepCsv(const std::string& path, const std::vector<SweepPoint>& po
                   Cell(static_cast<int64_t>(p.metrics.disk_reads)),
                   Cell(static_cast<int64_t>(p.metrics.disk_writes)),
                   Cell(p.metrics.MissRatio(), 5)});
+  }
+  return Status::Ok();
+}
+
+Status ExportCurveCsv(const std::string& path, const std::vector<SweepCurve>& curves) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  CsvWriter csv(out);
+  csv.WriteRow({"block_bytes", "pagein", "cache_bytes", "fetch_accesses", "fetch_misses",
+                "fetch_miss_ratio"});
+  for (const SweepCurve& curve : curves) {
+    for (size_t i = 0; i < curve.size_bytes.size(); ++i) {
+      csv.WriteRow({Cell(static_cast<int64_t>(curve.block_size)),
+                    curve.simulate_execve_pagein ? "1" : "0",
+                    Cell(static_cast<int64_t>(curve.size_bytes[i])),
+                    Cell(static_cast<int64_t>(curve.profile.fetch_accesses())),
+                    Cell(static_cast<int64_t>(curve.fetch_misses[i])),
+                    Cell(curve.fetch_miss_ratios[i], 5)});
+    }
   }
   return Status::Ok();
 }

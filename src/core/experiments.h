@@ -63,11 +63,26 @@ std::string RenderFigure4(const std::vector<NamedAnalysis>& traces);
 
 // All three §6 sweeps (Figs. 5-7) computed from ONE reconstruction of the
 // trace: the replay log is built once and shared by every configuration and
-// every figure (the two-phase engine; see DESIGN.md).
+// every figure, and each figure runs through the sweep planner
+// (RunPlannedSweep) — fused write-policy replays plus one exact Mattson
+// stack-distance pass per (block size, page-in) family, which yields the
+// dense miss-ratio curves below as a by-product (see DESIGN.md §12).
 struct StandardSweeps {
   std::vector<SweepPoint> fig5;  // Fig. 5 / Table VI points
   std::vector<SweepPoint> fig6;  // Fig. 6 / Table VII points
   std::vector<SweepPoint> fig7;  // Fig. 7 points
+  // Single-pass fetch-miss curves: fig5_curves holds the 4 KB family (the
+  // collapsed Fig. 5 size axis), fig6_curves one curve per block size,
+  // fig7_curves the page-in on/off pair.
+  std::vector<SweepCurve> fig5_curves;
+  std::vector<SweepCurve> fig6_curves;
+  std::vector<SweepCurve> fig7_curves;
+  // True iff every Mattson prediction matched its replayed config
+  // bit-for-bit (AND of the three planned sweeps' parity flags).
+  bool parity = true;
+  size_t stack_passes = 0;
+  size_t fused_replays = 0;
+  size_t replay_fallbacks = 0;
 };
 StandardSweeps RunStandardSweeps(const Trace& trace, unsigned threads = 0);
 
@@ -83,6 +98,10 @@ std::string RenderFigure6Table7(const std::vector<SweepPoint>& points);
 std::string RenderFigure7(const std::vector<SweepPoint>& points);
 // §6.2 sidebar: cache residency and discarded-write statistics.
 std::string RenderWriteLifetimeSidebar(const std::vector<SweepPoint>& fig5_points);
+// Single-pass Mattson curves: the dense fetch-miss-ratio column of every
+// curve, one table row per sampled cache size (the Fig. 5 size axis at 13
+// points from one pass instead of one replay per size).
+std::string RenderMissRatioCurves(const std::vector<SweepCurve>& curves);
 
 // Table I: the headline summary, derived from an analysis plus both sweeps.
 std::string RenderTable1(const TraceAnalysis& analysis,
@@ -98,6 +117,9 @@ std::string RenderTable1(const TraceAnalysis& analysis,
 Status ExportFigureCsvs(const std::string& dir, const std::vector<NamedAnalysis>& traces);
 // Writes a cache sweep as CSV (config axes + metrics), e.g. fig5.csv.
 Status ExportSweepCsv(const std::string& path, const std::vector<SweepPoint>& points);
+// Writes the single-pass miss-ratio curves as CSV: one row per
+// (curve, cache size) with the exact fetch-miss column.
+Status ExportCurveCsv(const std::string& path, const std::vector<SweepCurve>& curves);
 
 }  // namespace bsdtrace
 

@@ -29,9 +29,12 @@ int Usage() {
       "                             [--profile=SPEC] [--users=N] [--hours=H]\n"
       "                             [--shards=S] [--threads=T] [--seed=X]\n"
       "       trace_stream analyze  <in.trc> [--threads=N] [--check-bands]\n"
+      "                             [--sweep=fig5|fig6|fig7]\n"
       "       trace_stream info     <in.trc>\n"
       "profile: A5 | E3 | C4 | a fleet spec like fleet:4xA5+2xE3+2xC4\n"
-      "--users=N population-scales every machine instance to N users\n");
+      "--users=N population-scales every machine instance to N users\n"
+      "--sweep runs the planned §6 cache sweep (fused replays + one-pass\n"
+      "Mattson curves) instead of the §5 analysis tables\n");
   return 2;
 }
 
@@ -219,6 +222,7 @@ int Analyze(int argc, const char* const* argv) {
   const std::string path = argv[0];
   unsigned threads = 0;  // hardware concurrency
   bool check_bands = false;
+  std::string sweep;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = FlagValue(argv[i], "threads")) {
       int t = 0;
@@ -226,11 +230,42 @@ int Analyze(int argc, const char* const* argv) {
         return BadArg("--threads", v);
       }
       threads = static_cast<unsigned>(t);
+    } else if (const char* v = FlagValue(argv[i], "sweep")) {
+      sweep = v;
+      if (sweep != "fig5" && sweep != "fig6" && sweep != "fig7") {
+        return BadArg("--sweep", v);
+      }
     } else if (std::strcmp(argv[i], "--check-bands") == 0) {
       check_bands = true;
     } else {
       return Usage();
     }
+  }
+  if (!sweep.empty()) {
+    // The cache sweep replays reconstructed transfers, so it needs the
+    // records in memory (the §5 tables stream instead).
+    StatusOr<Trace> trace = LoadTrace(path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                   trace.status().message().c_str());
+      return 1;
+    }
+    const std::vector<CacheConfig> configs =
+        sweep == "fig5" ? Fig5Configs() : sweep == "fig6" ? Fig6Configs() : Fig7Configs();
+    const PlannedSweep planned = RunPlannedSweep(trace.value(), configs, {}, threads);
+    if (sweep == "fig5") {
+      std::fputs(RenderFigure5Table6(planned.points).c_str(), stdout);
+    } else if (sweep == "fig6") {
+      std::fputs(RenderFigure6Table7(planned.points).c_str(), stdout);
+    } else {
+      std::fputs(RenderFigure7(planned.points).c_str(), stdout);
+    }
+    std::fputs(RenderMissRatioCurves(planned.curves).c_str(), stdout);
+    std::printf("planned sweep: %zu stack pass(es), %zu fused replay(s), %zu fallback(s); "
+                "parity %s\n",
+                planned.stack_passes, planned.fused_replays, planned.replay_fallbacks,
+                planned.parity ? "ok" : "FAIL");
+    return planned.parity ? 0 : 1;
   }
   auto analysis = AnalyzeTraceFile(path, threads);
   if (!analysis.ok()) {

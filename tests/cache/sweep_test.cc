@@ -1,9 +1,15 @@
 #include "src/cache/sweep.h"
 
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "src/util/rng.h"
+#include "src/workload/fleet.h"
+#include "src/workload/generator.h"
+#include "src/workload/profile.h"
+#include "src/workload/sharded_generator.h"
 #include "tests/testing/trace_builder.h"
 
 namespace bsdtrace {
@@ -76,6 +82,189 @@ TEST(Fig7Configs, PairsPageinOnOff) {
 
 TEST(RunCacheSweep, EmptyConfigList) {
   EXPECT_TRUE(RunCacheSweep(SmallTrace(), {}).empty());
+}
+
+// --- Planned sweep (Mattson + fused replay) --------------------------------
+
+// Bit-level CacheMetrics equality, floating-point residency stats included:
+// the planned engines must perform the identical Add() sequence.
+void ExpectIdentical(const CacheMetrics& a, const CacheMetrics& b, const std::string& label) {
+  EXPECT_EQ(a.logical_accesses, b.logical_accesses) << label;
+  EXPECT_EQ(a.read_accesses, b.read_accesses) << label;
+  EXPECT_EQ(a.write_accesses, b.write_accesses) << label;
+  EXPECT_EQ(a.metadata_accesses, b.metadata_accesses) << label;
+  EXPECT_EQ(a.disk_reads, b.disk_reads) << label;
+  EXPECT_EQ(a.disk_writes, b.disk_writes) << label;
+  EXPECT_EQ(a.dirty_discarded, b.dirty_discarded) << label;
+  EXPECT_EQ(a.evictions, b.evictions) << label;
+  EXPECT_EQ(a.residency_over_20min, b.residency_over_20min) << label;
+  EXPECT_EQ(a.residency_samples, b.residency_samples) << label;
+  EXPECT_EQ(a.residency_seconds.count(), b.residency_seconds.count()) << label;
+  EXPECT_EQ(a.residency_seconds.sum(), b.residency_seconds.sum()) << label;
+  EXPECT_EQ(a.residency_seconds.variance(), b.residency_seconds.variance()) << label;
+  EXPECT_EQ(a.residency_seconds.min(), b.residency_seconds.min()) << label;
+  EXPECT_EQ(a.residency_seconds.max(), b.residency_seconds.max()) << label;
+}
+
+// Invalidation- and write-heavy builder trace (unlinks, truncates, whole-file
+// overwrites, partial writes, reads) — the hard case for both fast paths.
+Trace MixedTrace(uint64_t seed, int ops = 800) {
+  Rng rng(seed);
+  TraceBuilder b;
+  double t = 1;
+  OpenId oid = 1;
+  for (int i = 0; i < ops; ++i) {
+    const FileId file = static_cast<FileId>(rng.UniformInt(1, 25));
+    const int kind = rng.UniformInt(0, 9);
+    if (kind == 0) {
+      b.Unlink(t, file);
+    } else if (kind == 1) {
+      b.Truncate(t, file, static_cast<uint64_t>(rng.UniformInt(0, 30000)));
+    } else if (kind <= 3) {
+      b.WholeWrite(t, t + 0.1, oid++, file, static_cast<uint64_t>(rng.UniformInt(1, 50000)));
+    } else if (kind == 4) {
+      const uint64_t offset = static_cast<uint64_t>(rng.UniformInt(0, 60000));
+      const uint64_t len = static_cast<uint64_t>(rng.UniformInt(1, 16000));
+      b.Open(t, oid, file, offset + len, AccessMode::kWriteOnly, 1, offset);
+      b.Close(t + 0.1, oid, file, offset + len, offset + len);
+      ++oid;
+    } else if (kind == 5) {
+      b.Execve(t, file, static_cast<uint64_t>(rng.UniformInt(0, 20000)));
+    } else {
+      b.WholeRead(t, t + 0.1, oid++, file, static_cast<uint64_t>(rng.UniformInt(1, 60000)));
+    }
+    t += 20;  // spread across flush epochs
+  }
+  return b.Build();
+}
+
+std::vector<CacheConfig> AllFigureConfigs() {
+  std::vector<CacheConfig> configs = Fig5Configs();
+  for (const CacheConfig& c : Fig6Configs()) {
+    configs.push_back(c);
+  }
+  for (const CacheConfig& c : Fig7Configs()) {
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+void ExpectPlannedMatchesReplayed(const Trace& trace, const std::vector<CacheConfig>& configs,
+                                  unsigned threads) {
+  const ReplayLog log = ReplayLog::Build(trace);
+  const std::vector<SweepPoint> replayed = RunCacheSweep(log, configs, threads);
+  const PlannedSweep planned = RunPlannedSweep(log, configs, {}, threads);
+  EXPECT_TRUE(planned.parity);
+  ASSERT_EQ(planned.points.size(), replayed.size());
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    ExpectIdentical(planned.points[i].metrics, replayed[i].metrics,
+                    configs[i].ToString() + " threads=" + std::to_string(threads));
+  }
+}
+
+TEST(PlannedSweep, MattsonFusedSweepBitIdenticalToReplayedSweep) {
+  const Trace trace = MixedTrace(191);
+  for (const unsigned threads : {1u, 8u}) {
+    ExpectPlannedMatchesReplayed(trace, AllFigureConfigs(), threads);
+  }
+}
+
+TEST(PlannedSweep, FusedSimulatorMatchesPerConfigSimulators) {
+  const Trace trace = MixedTrace(733);
+  const ReplayLog log = ReplayLog::Build(trace);
+  CacheConfig base;
+  base.size_bytes = 2 << 20;
+  base.block_size = 4096;
+  const std::vector<FusedCacheSimulator::PolicyLane> lanes = {
+      {WritePolicy::kWriteThrough, Duration::Seconds(30)},
+      {WritePolicy::kFlushBack, Duration::Seconds(30)},
+      {WritePolicy::kFlushBack, Duration::Minutes(5)},
+      {WritePolicy::kDelayedWrite, Duration::Seconds(30)},
+  };
+  FusedCacheSimulator fused(base, lanes);
+  fused.SetExtentFeeds(log.transfer_extents().data(), log.execve_extents().data());
+  fused.ReserveFiles(log.distinct_files());
+  log.ReplayDataEventsInto(fused);
+  fused.Finish();
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    CacheConfig c = base;
+    c.policy = lanes[i].policy;
+    c.flush_interval = lanes[i].flush_interval;
+    ExpectIdentical(fused.LaneMetrics(i), SimulateCache(log, c),
+                    "lane " + std::to_string(i) + " " + c.ToString());
+  }
+}
+
+TEST(PlannedSweep, MetadataConfigsFallBackToPerConfigReplay) {
+  const Trace trace = MixedTrace(47, 300);
+  std::vector<CacheConfig> configs = Fig5Configs();
+  CacheConfig meta;
+  meta.size_bytes = 1 << 20;
+  meta.simulate_metadata = true;
+  configs.push_back(meta);
+  const ReplayLog log = ReplayLog::Build(trace);
+  const PlannedSweep planned = RunPlannedSweep(log, configs);
+  EXPECT_EQ(planned.replay_fallbacks, 1u);
+  EXPECT_EQ(planned.fused_replays, 6u);   // one per Fig. 5 cache size
+  EXPECT_EQ(planned.stack_passes, 1u);    // one (4 KB, no page-in) family
+  EXPECT_TRUE(planned.parity);
+  ExpectIdentical(planned.points.back().metrics, SimulateCache(log, meta), "metadata fallback");
+}
+
+TEST(PlannedSweep, CurvesCoverRequestedAndConfigSizes) {
+  const Trace trace = MixedTrace(59, 300);
+  const PlannedSweep planned = RunPlannedSweep(trace, Fig5Configs());
+  ASSERT_EQ(planned.curves.size(), 1u);
+  const SweepCurve& curve = planned.curves.front();
+  EXPECT_EQ(curve.block_size, 4096u);
+  // The requested dense axis plus every Fig. 5 size, deduplicated and sorted.
+  const std::vector<uint64_t> dense = SweepCurveSizes();
+  std::set<uint64_t> expected(dense.begin(), dense.end());
+  for (const CacheConfig& c : Fig5Configs()) {
+    expected.insert(c.size_bytes);
+  }
+  EXPECT_EQ(std::vector<uint64_t>(expected.begin(), expected.end()), curve.size_bytes);
+  ASSERT_EQ(curve.fetch_misses.size(), curve.size_bytes.size());
+  // Fetch misses fall (weakly) as the cache grows.
+  for (size_t i = 1; i < curve.fetch_misses.size(); ++i) {
+    EXPECT_LE(curve.fetch_misses[i], curve.fetch_misses[i - 1]) << i;
+  }
+}
+
+TEST(PlannedSweep, EmptyConfigList) {
+  EXPECT_TRUE(RunPlannedSweep(SmallTrace(), {}).points.empty());
+}
+
+// Property tests on generated workloads (ISSUE 6 satellite): the planned
+// engine must match the replayed sweep on the paper's machine profiles and a
+// mixed fleet, serial and threaded.
+class PlannedSweepProfiles : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PlannedSweepProfiles, MatchesReplayedSweepOnGeneratedTrace) {
+  GeneratorOptions options;
+  options.duration = Duration::Minutes(12);
+  options.seed = 8806;
+  const Trace trace = GenerateTraceOnly(ProfileByName(GetParam()), options);
+  for (const unsigned threads : {1u, 4u}) {
+    ExpectPlannedMatchesReplayed(trace, AllFigureConfigs(), threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, PlannedSweepProfiles, ::testing::Values("A5", "E3", "C4"));
+
+TEST(PlannedSweep, MatchesReplayedSweepOnFleetTrace) {
+  auto fleet = ParseFleetSpec("2xA5+1xE3");
+  ASSERT_TRUE(fleet.ok()) << fleet.status().message();
+  FleetGeneratorOptions options;
+  options.base.duration = Duration::Minutes(8);
+  options.base.seed = 2207;
+  options.shards_per_machine = 2;
+  options.threads = 2;
+  auto result = GenerateFleetTrace(fleet.value(), options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  for (const unsigned threads : {1u, 4u}) {
+    ExpectPlannedMatchesReplayed(result.value().trace, Fig5Configs(), threads);
+  }
 }
 
 }  // namespace

@@ -142,5 +142,30 @@ TEST(TraceStreamCli, FlagsWinOverPositionals) {
   EXPECT_EQ(info.find("6.00 simulated hours"), std::string::npos) << info;
 }
 
+// --sweep must reject unknown figure names during flag parsing, before the
+// trace file is ever touched.
+TEST(TraceStreamCli, SweepRejectsUnknownFigure) {
+  std::string err;
+  EXPECT_EQ(RunCaptured({"analyze", TempPath("cli_sweep_bad.trc"), "--sweep=fig8"}, &err), 2);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+  EXPECT_EQ(RunCaptured({"analyze", TempPath("cli_sweep_bad.trc"), "--sweep="}, &err), 2);
+}
+
+// analyze --sweep=fig5 runs the planned §6 sweep: the Table VI block, the
+// single-pass Mattson curve table, and the parity verdict of the internal
+// engine cross-check (the exit code gates on it).
+TEST(TraceStreamCli, SweepFig5PrintsTableAndCurves) {
+  const std::string out = TempPath("cli_sweep.trc");
+  ASSERT_EQ(RunCli({"generate", out, "--profile=A5", "--hours=1", "--shards=2",
+                    "--threads=2", "--seed=20260809"}),
+            0);
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(RunCli({"analyze", out, "--sweep=fig5", "--threads=2"}), 0);
+  const std::string text = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(text.find("Table VI / Figure 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("Single-pass Mattson curves"), std::string::npos) << text;
+  EXPECT_NE(text.find("parity ok"), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace bsdtrace
