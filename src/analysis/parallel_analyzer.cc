@@ -285,27 +285,35 @@ TraceAnalysis Stitch(std::vector<SegmentResult>& segments) {
   return result;
 }
 
+// Segments below this record count are not worth a worker: the stitch pass
+// and collector setup cost more than the records.  CarveIndex coalesces the
+// footer's blocks until each segment clears it.
+constexpr uint64_t kMinSegmentRecords = 8192;
+
 }  // namespace
 
-StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable,
-                                             unsigned threads) {
-  if (!seekable.status().ok()) {
-    return seekable.status();
-  }
-  const std::vector<TraceBlockIndexEntry>& index = seekable.index();
-  if (threads <= 1 || index.size() < 2) {
-    TraceFileSource source(seekable.path());
-    return AnalyzeTrace(source);
-  }
+namespace internal {
 
-  // Carve the blocks into at most `threads` contiguous ranges, balanced by
-  // record count.
-  const uint64_t total = seekable.indexed_records();
+std::vector<std::pair<size_t, size_t>> CarveIndex(
+    const std::vector<TraceBlockIndexEntry>& index, unsigned threads, uint64_t min_records) {
   std::vector<std::pair<size_t, size_t>> ranges;  // (first_block, block_count)
+  if (index.empty()) {
+    return ranges;
+  }
+  uint64_t total = 0;
+  for (const TraceBlockIndexEntry& entry : index) {
+    total += entry.record_count;
+  }
+  // The segment coalescer: cap the segment count so every segment (except
+  // possibly the last) clears min_records, then balance by record count.
+  uint64_t segments = threads;
+  if (min_records > 0) {
+    segments = std::min<uint64_t>(segments, std::max<uint64_t>(total / min_records, 1));
+  }
   size_t first = 0;
   uint64_t remaining = total;
-  for (unsigned s = 0; s < threads && first < index.size(); ++s) {
-    const uint64_t want = (remaining + (threads - s) - 1) / (threads - s);
+  for (uint64_t s = 0; s < segments && first < index.size(); ++s) {
+    const uint64_t want = (remaining + (segments - s) - 1) / (segments - s);
     size_t last = first;
     uint64_t got = 0;
     while (last < index.size() && (got < want || last == first)) {
@@ -318,6 +326,24 @@ StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable
   }
   if (first < index.size()) {
     ranges.back().second += index.size() - first;
+  }
+  return ranges;
+}
+
+}  // namespace internal
+
+StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable,
+                                             unsigned threads) {
+  if (!seekable.status().ok()) {
+    return seekable.status();
+  }
+  const std::vector<TraceBlockIndexEntry>& index = seekable.index();
+  std::vector<std::pair<size_t, size_t>> ranges =
+      threads <= 1 ? std::vector<std::pair<size_t, size_t>>{}
+                   : internal::CarveIndex(index, threads, kMinSegmentRecords);
+  if (ranges.size() < 2) {
+    TraceFileSource source(seekable.path());
+    return AnalyzeTrace(source);
   }
 
   std::vector<SegmentResult> segments(ranges.size());

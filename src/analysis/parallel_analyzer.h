@@ -20,6 +20,8 @@
 #define BSDTRACE_SRC_ANALYSIS_PARALLEL_ANALYZER_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/analysis/analyzer.h"
 #include "src/trace/trace_source.h"
@@ -29,11 +31,27 @@ namespace bsdtrace {
 
 // Analyzes the trace with up to `threads` workers.  Falls back to the serial
 // streaming pass — same results by construction — when threads <= 1, the
-// file has no block index (v1/v2, or v3 written without one), or the index
-// is too small to split.  I/O or corruption errors surface as a Status.
+// file has no block index (v1/v2, or v3/v4 written without one), or the
+// index holds too few records to be worth splitting.  I/O or corruption
+// errors surface as a Status.
 StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable,
                                              unsigned threads);
 StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const std::string& path, unsigned threads);
+
+namespace internal {
+
+// Carves the footer index into at most `threads` contiguous (first_block,
+// block_count) ranges balanced by record count, coalescing tiny blocks: no
+// range is created for fewer than `min_records` records (except when the
+// whole trace is smaller), so a trace written with a small block target —
+// many near-empty footer entries — yields a few substantial segments instead
+// of degenerating to per-block workers.  Segment boundaries affect only load
+// balance, never results: the stitcher is carve-agnostic.  Exposed for
+// tests; ParallelAnalyzeTrace uses it with its default minimum.
+std::vector<std::pair<size_t, size_t>> CarveIndex(
+    const std::vector<TraceBlockIndexEntry>& index, unsigned threads, uint64_t min_records);
+
+}  // namespace internal
 
 // Exact (bitwise) equality of two analyses — the parity check used by tests
 // and bench_micro_analyze.  Every scalar, counter, Welford accumulator, and

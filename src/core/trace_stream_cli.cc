@@ -28,11 +28,15 @@ int Usage() {
       "                             [threads=0] [seed=19851201]\n"
       "                             [--profile=SPEC] [--users=N] [--hours=H]\n"
       "                             [--shards=S] [--threads=T] [--seed=X]\n"
+      "                             [--compress=none|lz] [--wave-users=N]\n"
       "       trace_stream analyze  <in.trc> [--threads=N] [--check-bands]\n"
       "                             [--sweep=fig5|fig6|fig7]\n"
       "       trace_stream info     <in.trc>\n"
       "profile: A5 | E3 | C4 | a fleet spec like fleet:4xA5+2xE3+2xC4\n"
       "--users=N population-scales every machine instance to N users\n"
+      "--compress=lz writes compressed v4 blocks (default none: v3 bytes)\n"
+      "--wave-users=N generates the fleet in bounded-memory waves of at most\n"
+      "N (scaled) users each; the record stream is wave-invariant\n"
       "--sweep runs the planned §6 cache sweep (fused replays + one-pass\n"
       "Mattson curves) instead of the §5 analysis tables\n");
   return 2;
@@ -105,7 +109,9 @@ int Generate(int argc, const char* const* argv) {
   int users = 0;
   int shards = 8;
   int threads = 0;
+  int wave_users = 0;
   uint64_t seed = 19851201;
+  std::string compress = "none";
 
   // Positionals in the legacy order first, then flags, so flags win.
   std::vector<std::string> positional;
@@ -159,6 +165,15 @@ int Generate(int argc, const char* const* argv) {
       if (!ParseU64Arg(v, &seed)) {
         return BadArg("--seed", v);
       }
+    } else if (const char* v = FlagValue(arg, "compress")) {
+      compress = v;
+      if (compress != "none" && compress != "lz") {
+        return BadArg("--compress", v);
+      }
+    } else if (const char* v = FlagValue(arg, "wave-users")) {
+      if (!ParseIntArg(v, 0, 100000000, &wave_users)) {
+        return BadArg("--wave-users", v);
+      }
     } else {
       std::fprintf(stderr, "trace_stream: unknown flag \"%s\"\n", arg);
       return Usage();
@@ -176,6 +191,10 @@ int Generate(int argc, const char* const* argv) {
   options.base.duration = Duration::Hours(hours);
   options.shards_per_machine = shards;
   options.threads = threads;
+  options.wave_users = wave_users;
+  if (compress == "lz") {
+    options.file_options.version = 4;  // codec defaults to lz in v4
+  }
 
   auto stats = GenerateFleetToFile(fleet.value(), options, out_path);
   if (!stats.ok()) {
@@ -186,9 +205,10 @@ int Generate(int argc, const char* const* argv) {
   std::printf("wrote %s: %llu records (%s)\n", out_path.c_str(),
               static_cast<unsigned long long>(s.records_streamed),
               s.header.description.c_str());
-  std::printf("spilled %.1f MB across %zu machine(s) x %d shards; fsck %s\n",
+  std::printf("spilled %.1f MB across %zu machine(s) x %d shards in %llu wave(s); fsck %s\n",
               static_cast<double>(s.spill_bytes_written) / 1048576.0,
               fleet.value().machines.size(), shards,
+              static_cast<unsigned long long>(s.waves),
               s.fsck.ok() ? "clean" : s.fsck.Summary().c_str());
   return s.fsck.ok() ? 0 : 1;
 }
@@ -311,15 +331,25 @@ int Info(const char* path) {
     std::printf("index:       %llu blocks, %llu records indexed\n",
                 static_cast<unsigned long long>(check.index_entries),
                 static_cast<unsigned long long>(check.indexed_records));
-  } else if (check.version == 3) {
-    std::printf("index:       none (sequential-only v3 file)\n");
+  } else if (check.version >= 3) {
+    std::printf("index:       none (sequential-only v%d file)\n", check.version);
   } else {
     std::printf("index:       n/a (v%d has no block index)\n", check.version);
   }
-  if (check.version == 3) {
+  if (check.version >= 3) {
     std::printf("checksums:   %llu blocks %s\n",
                 static_cast<unsigned long long>(check.blocks_verified),
                 check.ok() ? "verified" : "scanned before failure");
+  }
+  if (check.version >= 4) {
+    std::printf("codec:       %s\n", check.codec.c_str());
+    std::printf("compressed:  %llu bytes stored / %llu bytes raw (%.2fx)\n",
+                static_cast<unsigned long long>(check.payload_stored_bytes),
+                static_cast<unsigned long long>(check.payload_raw_bytes),
+                check.payload_stored_bytes > 0
+                    ? static_cast<double>(check.payload_raw_bytes) /
+                          static_cast<double>(check.payload_stored_bytes)
+                    : 1.0);
   }
   if (!check.ok()) {
     std::fprintf(stderr, "integrity check failed after %llu records: %s\n",

@@ -5,6 +5,7 @@
 //   trace_stream generate <out.trc> [profile] [hours] [shards] [threads] [seed]
 //                         [--profile=SPEC] [--users=N] [--hours=H]
 //                         [--shards=S] [--threads=T] [--seed=X]
+//                         [--compress=none|lz] [--wave-users=N]
 //   trace_stream analyze  <in.trc> [--threads=N] [--check-bands]
 //   trace_stream info     <in.trc>
 //

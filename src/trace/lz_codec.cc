@@ -1,0 +1,362 @@
+#include "src/trace/lz_codec.h"
+
+#include <cstring>
+#include <memory>
+
+namespace bsdtrace {
+namespace {
+
+// -- Adaptive binary range coder ----------------------------------------------
+//
+// The classic carry-propagating range coder: 11-bit probabilities adapted
+// with a shift-by-5 move, 24-bit renormalization.  Encoder and decoder
+// renormalize under the same condition after every bit, so they consume /
+// produce bytes in lockstep — a property LzDecompress relies on to detect
+// trailing garbage exactly.
+
+constexpr uint32_t kProbBits = 11;
+constexpr uint16_t kProbInit = 1u << (kProbBits - 1);
+constexpr uint32_t kMoveBits = 4;
+constexpr uint32_t kTopValue = 1u << 24;
+
+class RangeEncoder {
+ public:
+  RangeEncoder(uint8_t* out, size_t capacity) : out_(out), capacity_(capacity) {}
+
+  void EncodeBit(uint16_t* prob, uint32_t bit) {
+    const uint32_t bound = (range_ >> kProbBits) * *prob;
+    if (bit == 0) {
+      range_ = bound;
+      *prob = static_cast<uint16_t>(*prob + (((1u << kProbBits) - *prob) >> kMoveBits));
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      *prob = static_cast<uint16_t>(*prob - (*prob >> kMoveBits));
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      ShiftLow();
+    }
+  }
+
+  // `bits` equiprobable bits, MSB first (offset payload bits).
+  void EncodeDirect(uint32_t value, int bits) {
+    for (int i = bits - 1; i >= 0; --i) {
+      range_ >>= 1;
+      if ((value >> i) & 1u) {
+        low_ += range_;
+      }
+      while (range_ < kTopValue) {
+        range_ <<= 8;
+        ShiftLow();
+      }
+    }
+  }
+
+  // Flushes the remaining low bytes and returns the total output size.
+  size_t Finish() {
+    for (int i = 0; i < 5; ++i) {
+      ShiftLow();
+    }
+    return pos_;
+  }
+
+ private:
+  void ShiftLow() {
+    if (static_cast<uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      uint8_t byte = cache_;
+      do {
+        Put(static_cast<uint8_t>(byte + (low_ >> 32)));
+        byte = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00FFFFFFu) << 8;
+  }
+
+  void Put(uint8_t b) {
+    if (pos_ < capacity_) {
+      out_[pos_] = b;
+    }
+    ++pos_;  // past-capacity writes are counted, not stored (caller falls back)
+  }
+
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint8_t cache_ = 0;
+  uint64_t cache_size_ = 1;
+  uint8_t* out_;
+  size_t capacity_;
+  size_t pos_ = 0;
+};
+
+class RangeDecoder {
+ public:
+  RangeDecoder(const uint8_t* src, size_t src_len) : p_(src), end_(src + src_len) {
+    Byte();  // the encoder's first shifted byte is always 0
+    for (int i = 0; i < 4; ++i) {
+      code_ = (code_ << 8) | Byte();
+    }
+  }
+
+  uint32_t DecodeBit(uint16_t* prob) {
+    const uint32_t bound = (range_ >> kProbBits) * *prob;
+    uint32_t bit;
+    if (code_ < bound) {
+      range_ = bound;
+      *prob = static_cast<uint16_t>(*prob + (((1u << kProbBits) - *prob) >> kMoveBits));
+      bit = 0;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      *prob = static_cast<uint16_t>(*prob - (*prob >> kMoveBits));
+      bit = 1;
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | Byte();
+    }
+    return bit;
+  }
+
+  uint32_t DecodeDirect(int bits) {
+    uint32_t value = 0;
+    for (int i = 0; i < bits; ++i) {
+      range_ >>= 1;
+      uint32_t bit = 0;
+      if (code_ >= range_) {
+        code_ -= range_;
+        bit = 1;
+      }
+      value = (value << 1) | bit;
+      while (range_ < kTopValue) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | Byte();
+      }
+    }
+    return value;
+  }
+
+  bool overran() const { return overran_; }
+  bool Exhausted() const { return p_ == end_; }
+
+ private:
+  uint8_t Byte() {
+    if (p_ == end_) {
+      overran_ = true;
+      return 0;
+    }
+    return *p_++;
+  }
+
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool overran_ = false;
+};
+
+// -- Symbol models ------------------------------------------------------------
+
+// Offsets are split LZMA-style into a slot (coded through a bit tree) and
+// slot/2-1 direct bits: slot 0..3 IS offset-1; above that the slot holds the
+// top two bits and their position.
+inline uint32_t PosSlot(uint32_t d) {  // d = offset - 1
+  if (d < 4) {
+    return d;
+  }
+  int log = 31 - __builtin_clz(d);
+  return static_cast<uint32_t>((log << 1) | ((d >> (log - 1)) & 1));
+}
+
+struct LzModels {
+  uint16_t is_match[2];          // context: previous symbol was a match
+  uint16_t literal[256][256];    // [previous output byte][bit-tree node]
+  uint16_t length[256];          // bit tree over match length - kLzMinMatch
+  uint16_t slot[64];             // bit tree over the offset's position slot
+
+  void Init() {
+    // One memset-style fill; kProbInit in both bytes of a uint16 would not
+    // hold, so fill explicitly (a few hundred KB, once per block).
+    is_match[0] = is_match[1] = kProbInit;
+    uint16_t* flat = &literal[0][0];
+    for (size_t i = 0; i < 256 * 256; ++i) {
+      flat[i] = kProbInit;
+    }
+    for (size_t i = 0; i < 256; ++i) {
+      length[i] = kProbInit;
+    }
+    for (size_t i = 0; i < 64; ++i) {
+      slot[i] = kProbInit;
+    }
+  }
+};
+
+template <size_t kBits, typename Coder, size_t N>
+uint32_t DecodeTree(Coder& dec, uint16_t (&probs)[N]) {
+  static_assert((1u << kBits) <= N);
+  uint32_t node = 1;
+  for (size_t i = 0; i < kBits; ++i) {
+    node = (node << 1) | dec.DecodeBit(&probs[node]);
+  }
+  return node - (1u << kBits);
+}
+
+template <size_t kBits, size_t N>
+void EncodeTree(RangeEncoder& enc, uint16_t (&probs)[N], uint32_t value) {
+  static_assert((1u << kBits) <= N);
+  uint32_t node = 1;
+  for (size_t i = kBits; i-- > 0;) {
+    const uint32_t bit = (value >> i) & 1u;
+    enc.EncodeBit(&probs[node], bit);
+    node = (node << 1) | bit;
+  }
+}
+
+// -- Greedy LZ77 parse --------------------------------------------------------
+//
+// Single-probe hash table over 4-byte prefixes, LZ4-style: one candidate per
+// bucket, newest position wins.  kHashBits trades table size (128 KB of
+// uint32s) against collision rate on ~256 KB blocks.
+constexpr int kHashBits = 15;
+constexpr uint32_t kNoPos = 0xFFFFFFFFu;
+
+// Minimum match length the parser will accept (before offset-cost bumps).
+// See the comment at the acceptance check below.
+constexpr size_t kLzMatchAccept = 32;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Hash4(const uint8_t* p) {
+  return (Load32(p) * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+const char* TraceCodecName(uint8_t codec) {
+  switch (codec) {
+    case static_cast<uint8_t>(TraceCodec::kNone):
+      return "none";
+    case static_cast<uint8_t>(TraceCodec::kLz):
+      return "lz";
+    default:
+      return "unknown";
+  }
+}
+
+size_t LzMaxCompressedSize(size_t n) {
+  // A maximally anti-adaptive literal costs under 8 coded bits of 6.05 bits
+  // each (the probability clamp), i.e. < 7 output bytes per input byte.
+  // Block writers fall back to kNone long before this bound matters; it
+  // only sizes scratch buffers.
+  return 8 * n + 64;
+}
+
+size_t LzCompress(const uint8_t* src, size_t n, uint8_t* dst) {
+  static thread_local uint32_t table[1u << kHashBits];
+  std::memset(table, 0xFF, sizeof(table));
+  auto models = std::make_unique<LzModels>();
+  models->Init();
+
+  RangeEncoder enc(dst, LzMaxCompressedSize(n));
+  uint32_t prev_match = 0;
+  uint8_t prev_byte = 0;
+  size_t ip = 0;
+  const size_t match_limit = n >= kLzMinMatch ? n - kLzMinMatch + 1 : 0;
+  while (ip < n) {
+    size_t len = 0;
+    size_t cand = 0;
+    if (ip < match_limit) {
+      const uint32_t h = Hash4(src + ip);
+      const uint32_t c = table[h];
+      table[h] = static_cast<uint32_t>(ip);
+      if (c != kNoPos && Load32(src + c) == Load32(src + ip)) {
+        cand = c;
+        len = kLzMinMatch;
+        while (len < kLzMaxMatch && ip + len < n && src[cand + len] == src[ip + len]) {
+          ++len;
+        }
+        // On v4's low-entropy columnar payloads the order-1 literal model
+        // routinely beats short matches: a match costs ~17 coded bits while
+        // the literals it replaces cost ~3 bits each, so emitting it skews
+        // the models and loses overall (measured: accept-all matches coded
+        // 15% larger than literal-only).  Only long matches — where the
+        // per-byte cost amortizes and real repetition exists — pay off.
+        const size_t offset = ip - cand;
+        if (len < kLzMatchAccept + 2 * (offset >= (1u << 12)) + 2 * (offset >= (1u << 18))) {
+          len = 0;
+        }
+      }
+    }
+    if (len == 0) {
+      enc.EncodeBit(&models->is_match[prev_match], 0);
+      EncodeTree<8>(enc, models->literal[prev_byte], src[ip]);
+      prev_byte = src[ip];
+      prev_match = 0;
+      ++ip;
+      continue;
+    }
+    enc.EncodeBit(&models->is_match[prev_match], 1);
+    EncodeTree<8>(enc, models->length, static_cast<uint32_t>(len - kLzMinMatch));
+    const uint32_t d = static_cast<uint32_t>(ip - cand) - 1;
+    const uint32_t slot = PosSlot(d);
+    EncodeTree<6>(enc, models->slot, slot);
+    if (slot >= 4) {
+      const int direct = static_cast<int>(slot >> 1) - 1;
+      enc.EncodeDirect(d & ((1u << direct) - 1u), direct);
+    }
+    ip += len;
+    prev_byte = src[ip - 1];
+    prev_match = 1;
+  }
+  return enc.Finish();
+}
+
+bool LzDecompress(const uint8_t* src, size_t src_len, uint8_t* dst, size_t dst_len) {
+  auto models = std::make_unique<LzModels>();
+  models->Init();
+  RangeDecoder dec(src, src_len);
+
+  uint32_t prev_match = 0;
+  uint8_t prev_byte = 0;
+  size_t op = 0;
+  while (op < dst_len) {
+    if (dec.overran()) {
+      return false;
+    }
+    if (dec.DecodeBit(&models->is_match[prev_match]) == 0) {
+      const uint32_t sym = DecodeTree<8>(dec, models->literal[prev_byte]);
+      dst[op++] = static_cast<uint8_t>(sym);
+      prev_byte = static_cast<uint8_t>(sym);
+      prev_match = 0;
+      continue;
+    }
+    const size_t len = kLzMinMatch + DecodeTree<8>(dec, models->length);
+    const uint32_t slot = DecodeTree<6>(dec, models->slot);
+    uint32_t d = slot;
+    if (slot >= 4) {
+      const int direct = static_cast<int>(slot >> 1) - 1;
+      d = ((2u | (slot & 1u)) << direct) | dec.DecodeDirect(direct);
+    }
+    const size_t offset = static_cast<size_t>(d) + 1;
+    if (offset > op || len > dst_len - op) {
+      return false;
+    }
+    for (size_t i = 0; i < len; ++i) {  // may overlap: front to back
+      dst[op + i] = dst[op + i - offset];
+    }
+    op += len;
+    prev_byte = dst[op - 1];
+    prev_match = 1;
+  }
+  // Lockstep renormalization: a well-formed stream is consumed exactly, so
+  // unread bytes are trailing garbage and a read past the end is truncation.
+  return !dec.overran() && dec.Exhausted();
+}
+
+}  // namespace bsdtrace

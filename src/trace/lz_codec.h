@@ -1,0 +1,72 @@
+// Dependency-free LZ codec for trace format v4 block payloads.
+//
+// The container bakes no third-party compressor into the on-disk format:
+// blocks carry a codec id (TraceCodec), and this translation unit provides
+// the one non-trivial codec — a greedy LZ77 parse whose output (literals,
+// match lengths, match offsets) is entropy-coded with an adaptive binary
+// range coder, in the LZMA spirit but a fraction of the size.  Plain
+// byte-aligned LZ77 was measured at ~1.25x on v4's columnar payloads: the
+// streams are varint residuals with little exact repetition but very low
+// byte entropy (a handful of distinct time deltas, heavily skewed id
+// residuals), which is exactly what adaptive probability modelling
+// compresses and token-aligned LZ cannot.  Compression is deterministic:
+// the same input bytes always produce the same output bytes, which is what
+// keeps v4 files byte-reproducible across runs and thread counts.
+//
+// Coded symbol stream (until `dst_len` output bytes are produced):
+//   bit   is_match (context: whether the previous symbol was a match)
+//   literal:  8 bits MSB-first through a 256-entry bit tree whose context
+//             is the previous output byte (order-1 literal model)
+//   match:    length - kLzMinMatch as 8 bits through a bit tree (matches
+//             are capped at kLzMaxMatch), then the offset as a 6-bit
+//             position-slot tree plus direct bits, LZMA's distance split.
+//             The parser only emits long matches (>= ~32 bytes): on the
+//             skewed v4 streams the adaptive literal model beats short
+//             matches, which exist mostly by collision, not by structure
+//
+// The decoder is fully bounds-checked and fails cleanly on any malformed
+// stream (truncation, offsets into the void, trailing garbage); it never
+// reads past `src + src_len` nor writes past `dst + dst_len`.  Encoder and
+// decoder renormalize in lockstep, so a valid stream is consumed exactly.
+
+#ifndef BSDTRACE_SRC_TRACE_LZ_CODEC_H_
+#define BSDTRACE_SRC_TRACE_LZ_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bsdtrace {
+
+// Codec id stored in every v4 block header.  Values are part of the binary
+// format; do not renumber.
+enum class TraceCodec : uint8_t {
+  kNone = 0,  // payload stored as-is
+  kLz = 1,    // this file's range-coded LZ stream
+};
+
+// Human-readable codec name ("none", "lz", or "codec<N>" for unknown ids).
+const char* TraceCodecName(uint8_t codec);
+
+inline constexpr size_t kLzMinMatch = 4;
+inline constexpr size_t kLzMaxMatch = kLzMinMatch + 255;  // 8-bit length tree
+
+// Worst-case compressed size for `n` input bytes.  An adversarial
+// (anti-adaptive) input can cost several coded bits per literal bit, so the
+// bound is a multiple of n, not n plus a constant; block writers compare
+// against the raw size and fall back to TraceCodec::kNone, so the bound
+// only sizes scratch buffers.
+size_t LzMaxCompressedSize(size_t n);
+
+// Compresses src[0, n) into dst (which must hold LzMaxCompressedSize(n)
+// bytes) and returns the number of bytes written.  n == 0 yields the empty
+// coder flush (a few bytes), never 0.
+size_t LzCompress(const uint8_t* src, size_t n, uint8_t* dst);
+
+// Decompresses src[0, src_len) into exactly dst_len output bytes.  Returns
+// false — without writing past dst + dst_len — if the stream is malformed,
+// truncated, carries trailing garbage, or decodes to any other length.
+bool LzDecompress(const uint8_t* src, size_t src_len, uint8_t* dst, size_t dst_len);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_LZ_CODEC_H_

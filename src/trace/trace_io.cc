@@ -11,6 +11,7 @@
 
 #include "src/trace/crc32c.h"
 #include "src/trace/io_buffer.h"
+#include "src/trace/lz_codec.h"
 #include "src/trace/trace_source.h"
 
 namespace bsdtrace {
@@ -19,6 +20,7 @@ namespace {
 constexpr char kMagicV1[8] = {'B', 'S', 'D', 'T', 'R', 'C', '1', '\n'};
 constexpr char kMagicV2[8] = {'B', 'S', 'D', 'T', 'R', 'C', '2', '\n'};
 constexpr char kMagicV3[8] = {'B', 'S', 'D', 'T', 'R', 'C', '3', '\n'};
+constexpr char kMagicV4[8] = {'B', 'S', 'D', 'T', 'R', 'C', '4', '\n'};
 constexpr uint8_t kEndSentinel = 0;
 constexpr uint8_t kBlockMarker = 1;
 constexpr int64_t kMicrosPerHour = int64_t{3'600} * 1'000'000;
@@ -79,6 +81,32 @@ struct PtrSource {
   const uint8_t* p;
   int get() { return *p++; }
   bool read(void* out, size_t n) {
+    std::memcpy(out, p, n);
+    p += n;
+    return true;
+  }
+};
+
+// Append-to-vector sink for the v4 per-field stream buffers.
+struct VecSink {
+  std::vector<uint8_t>& out;
+  void put(uint8_t b) { out.push_back(b); }
+  void write(const void* p, size_t n) {
+    const uint8_t* src = static_cast<const uint8_t*>(p);
+    out.insert(out.end(), src, src + n);
+  }
+};
+
+// Bounds-checked memory source for v4 block payloads (decompressed bytes are
+// untrusted even after the CRC: the checksum covers the stored bytes).
+struct ByteCursor {
+  const uint8_t* p = nullptr;
+  const uint8_t* end = nullptr;
+  int get() { return p < end ? *p++ : -1; }
+  bool read(void* out, size_t n) {
+    if (static_cast<size_t>(end - p) < n) {
+      return false;
+    }
     std::memcpy(out, p, n);
     p += n;
     return true;
@@ -298,7 +326,7 @@ uint32_t ReadFixed32(const uint8_t* p) {
 template <typename Sink>
 void EncodeHeader(Sink& out, const TraceHeader& header, int64_t expected_records,
                   int version = 2) {
-  out.write(version == 3 ? kMagicV3 : kMagicV2, sizeof(kMagicV2));
+  out.write(version == 4 ? kMagicV4 : (version == 3 ? kMagicV3 : kMagicV2), sizeof(kMagicV2));
   PutString(out, header.machine);
   PutString(out, header.description);
   // N+1 so that 0 can mean "count unknown" (streamed traces).
@@ -306,7 +334,7 @@ void EncodeHeader(Sink& out, const TraceHeader& header, int64_t expected_records
 }
 
 // Parses the magic + header; returns false with *error set on failure.
-// *declared stays -1 for v1 files or unknown counts; *version gets 1..3.
+// *declared stays -1 for v1 files or unknown counts; *version gets 1..4.
 template <typename Source>
 bool DecodeHeader(Source& in, TraceHeader* header, int64_t* declared, int* version,
                   const char** error) {
@@ -315,11 +343,12 @@ bool DecodeHeader(Source& in, TraceHeader* header, int64_t* declared, int* versi
   const bool v1 = got_magic && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
   const bool v2 = got_magic && std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
   const bool v3 = got_magic && std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0;
-  if (!v1 && !v2 && !v3) {
+  const bool v4 = got_magic && std::memcmp(magic, kMagicV4, sizeof(kMagicV4)) == 0;
+  if (!v1 && !v2 && !v3 && !v4) {
     *error = "bad magic: not a bsdtrace binary trace";
     return false;
   }
-  *version = v1 ? 1 : (v2 ? 2 : 3);
+  *version = v1 ? 1 : (v2 ? 2 : (v3 ? 3 : 4));
   if (!GetString(in, &header->machine) || !GetString(in, &header->description)) {
     *error = "truncated trace header";
     return false;
@@ -376,9 +405,9 @@ BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
     return;
   }
   if (version >= 3) {
-    // The iostream reader has no block/checksum support; v3 files go through
-    // TraceFileReader (LoadTrace and TraceFileSource both do).
-    status_ = Status::Error("v3 trace: use the file reader (checksummed blocks)");
+    // The iostream reader has no block/checksum support; v3/v4 files go
+    // through TraceFileReader (LoadTrace and TraceFileSource both do).
+    status_ = Status::Error("v3/v4 trace: use the file reader (checksummed blocks)");
     done_ = true;
   }
 }
@@ -412,7 +441,7 @@ TraceFileWriter::TraceFileWriter(const std::string& path, const TraceHeader& hea
 TraceFileWriter::TraceFileWriter(const std::string& path, const TraceHeader& header,
                                  int64_t expected_records, const TraceWriterOptions& options)
     : out_(path), options_(options) {
-  assert(options_.version == 2 || options_.version == 3);
+  assert(options_.version >= 2 && options_.version <= 4);
   if (!out_.ok()) {
     return;
   }
@@ -427,6 +456,10 @@ TraceFileWriter::~TraceFileWriter() { Finish(); }
 
 void TraceFileWriter::Append(const TraceRecord& r) {
   assert(!finished_);
+  if (options_.version == 4) {
+    AppendV4(r);
+    return;
+  }
   if (options_.version == 3) {
     // Close the block at the size target or when the record crosses a
     // simulated-hour boundary, so the footer doubles as an hour index.  The
@@ -477,10 +510,262 @@ void TraceFileWriter::FlushBlock() {
   block_records_ = 0;
 }
 
+size_t TraceFileWriter::V4FieldStreams::payload_size() const {
+  return types.size() + times.size() + open_ids.size() + file_ids.size() + user_ids.size() +
+         flags.size() + sizes.size() + positions.size() + seek_froms.size() + seek_tos.size();
+}
+
+void TraceFileWriter::V4FieldStreams::Clear() {
+  types.clear();
+  times.clear();
+  open_ids.clear();
+  file_ids.clear();
+  user_ids.clear();
+  flags.clear();
+  sizes.clear();
+  positions.clear();
+  seek_froms.clear();
+  seek_tos.clear();
+  prev_open_id = 0;
+  open_table.clear();
+  open_lru.clear();
+  file_mtf.clear();
+  user_mtf.clear();
+  file_size.clear();
+}
+
+namespace {
+
+// Zigzag delta against the stream's previous value, in uint64 arithmetic so
+// wraparound is well-defined for any field values.
+void PutDelta(std::vector<uint8_t>& stream, uint64_t* prev, uint64_t value) {
+  VecSink sink{stream};
+  PutVarint(sink, ZigZagEncode(static_cast<int64_t>(value - *prev)));
+  *prev = value;
+}
+
+// Zigzag-coded residual against a predicted value (uint64 wraparound).
+void PutResidual(std::vector<uint8_t>& stream, uint64_t value, uint64_t predicted) {
+  VecSink sink{stream};
+  PutVarint(sink, ZigZagEncode(static_cast<int64_t>(value - predicted)));
+}
+
+void PutRaw(std::vector<uint8_t>& stream, uint64_t value) {
+  VecSink sink{stream};
+  PutVarint(sink, value);
+}
+
+// File and user ids are Zipfian references, not random-walk values, so they
+// are coded through a block-local move-to-front list: rank+1 for a value on
+// the list (which then moves to the front), 0 followed by the full value for
+// one that is not (which is inserted at the front).  The list is capped so a
+// pathological id stream cannot make lookups quadratic in the block size.
+constexpr size_t kV4MtfCap = 4096;
+
+void PutMtf(std::vector<uint8_t>& stream, std::vector<uint64_t>* mtf, uint64_t value) {
+  auto it = std::find(mtf->begin(), mtf->end(), value);
+  if (it != mtf->end()) {
+    PutRaw(stream, static_cast<uint64_t>(it - mtf->begin()) + 1);
+    mtf->erase(it);
+  } else {
+    PutRaw(stream, 0);
+    PutRaw(stream, value);
+    if (mtf->size() >= kV4MtfCap) {
+      mtf->pop_back();
+    }
+  }
+  mtf->insert(mtf->begin(), value);
+}
+
+// v4 close/seek prediction flags (see the trace_io.h format comment).  A
+// close or seek is "in table" only when its open id maps to an open from
+// this block AND the record's file id agrees — so omitting the file id
+// rewrites nothing, and round-trips are exact for arbitrary (even invalid)
+// record sequences.
+constexpr uint8_t kV4InTable = 1u << 0;
+constexpr uint8_t kV4PosEqSize = 1u << 1;   // close: position == size
+constexpr uint8_t kV4SizeEqOpen = 1u << 2;  // close: size == open's size
+constexpr uint8_t kV4FromEqPos = 1u << 1;   // seek: from == table position
+
+}  // namespace
+
+void TraceFileWriter::AppendV4(const TraceRecord& r) {
+  // Same block-close rule as v3 (size target or simulated-hour boundary,
+  // decided before the record is added), so v4 output stays a pure function
+  // of the record stream — byte-deterministic across runs and thread counts.
+  const int64_t hour = r.time.micros() / kMicrosPerHour;
+  if (block_records_ > 0 &&
+      (v4_.payload_size() >= options_.block_target_bytes || hour != block_first_hour_)) {
+    FlushBlockV4();
+  }
+  if (block_records_ == 0) {
+    block_first_hour_ = hour;
+    block_start_time_us_ = r.time.micros();
+    prev_time_us_ = 0;  // per-block bases: blocks decode independently
+    v4_.Clear();
+  }
+  const bool has_mode = r.type == EventType::kOpen || r.type == EventType::kCreate;
+  v4_.types.push_back(static_cast<uint8_t>(r.type) |
+                      (has_mode ? static_cast<uint8_t>(r.mode) << 3 : 0));
+  {
+    VecSink sink{v4_.times};
+    PutVarint(sink, ZigZagEncode(r.time.micros() - prev_time_us_));
+    prev_time_us_ = r.time.micros();
+  }
+  // Size of a file reference: residual against the file's last size seen in
+  // this block (files rarely change size between references).
+  auto put_size = [&](uint64_t file_id, uint64_t size) {
+    auto fs = v4_.file_size.find(file_id);
+    PutResidual(v4_.sizes, size, fs == v4_.file_size.end() ? 0 : fs->second);
+    v4_.file_size[file_id] = size;
+  };
+  switch (r.type) {
+    case EventType::kOpen:
+    case EventType::kCreate: {
+      PutDelta(v4_.open_ids, &v4_.prev_open_id, r.open_id);
+      PutMtf(v4_.file_ids, &v4_.file_mtf, r.file_id);
+      PutMtf(v4_.user_ids, &v4_.user_mtf, r.user_id);
+      put_size(r.file_id, r.size);
+      PutRaw(v4_.positions, r.position);
+      // The LRU list mirrors the table's key set exactly; a re-used open id
+      // replaces its old entry in both.
+      if (v4_.open_table.count(r.open_id) != 0) {
+        v4_.open_lru.erase(std::find(v4_.open_lru.begin(), v4_.open_lru.end(), r.open_id));
+      }
+      v4_.open_table[r.open_id] = {r.file_id, r.size, r.position};
+      v4_.open_lru.insert(v4_.open_lru.begin(), r.open_id);
+      break;
+    }
+    case EventType::kClose: {
+      auto it = v4_.open_table.find(r.open_id);
+      const bool in_table = it != v4_.open_table.end() && it->second.file_id == r.file_id;
+      const bool pos_eq = r.position == r.size;
+      const bool size_eq = in_table && r.size == it->second.size;
+      v4_.flags.push_back(static_cast<uint8_t>((in_table ? kV4InTable : 0) |
+                                               (pos_eq ? kV4PosEqSize : 0) |
+                                               (size_eq ? kV4SizeEqOpen : 0)));
+      if (in_table) {
+        auto lru = std::find(v4_.open_lru.begin(), v4_.open_lru.end(), r.open_id);
+        PutRaw(v4_.open_ids, static_cast<uint64_t>(lru - v4_.open_lru.begin()));
+        v4_.open_lru.erase(lru);
+      } else {
+        PutDelta(v4_.open_ids, &v4_.prev_open_id, r.open_id);
+        PutMtf(v4_.file_ids, &v4_.file_mtf, r.file_id);
+      }
+      if (!size_eq) {
+        if (in_table) {
+          PutResidual(v4_.sizes, r.size, it->second.size);
+        } else {
+          PutRaw(v4_.sizes, r.size);
+        }
+      }
+      if (!pos_eq) {
+        PutResidual(v4_.positions, r.position, r.size);
+      }
+      if (in_table) {
+        v4_.open_table.erase(it);
+        v4_.file_size[r.file_id] = r.size;
+      }
+      break;
+    }
+    case EventType::kSeek: {
+      auto it = v4_.open_table.find(r.open_id);
+      const bool in_table = it != v4_.open_table.end() && it->second.file_id == r.file_id;
+      const bool from_eq = in_table && r.seek_from == it->second.position;
+      v4_.flags.push_back(static_cast<uint8_t>((in_table ? kV4InTable : 0) |
+                                               (from_eq ? kV4FromEqPos : 0)));
+      if (in_table) {
+        auto lru = std::find(v4_.open_lru.begin(), v4_.open_lru.end(), r.open_id);
+        const uint64_t rank = static_cast<uint64_t>(lru - v4_.open_lru.begin());
+        PutRaw(v4_.open_ids, rank);
+        v4_.open_lru.erase(lru);
+        v4_.open_lru.insert(v4_.open_lru.begin(), r.open_id);
+      } else {
+        PutDelta(v4_.open_ids, &v4_.prev_open_id, r.open_id);
+        PutMtf(v4_.file_ids, &v4_.file_mtf, r.file_id);
+      }
+      if (!from_eq) {
+        if (in_table) {
+          PutResidual(v4_.seek_froms, r.seek_from, it->second.position);
+        } else {
+          PutRaw(v4_.seek_froms, r.seek_from);
+        }
+      }
+      PutResidual(v4_.seek_tos, r.seek_to, r.seek_from);
+      if (in_table) {
+        it->second.position = r.seek_to;
+      }
+      break;
+    }
+    case EventType::kUnlink:
+      PutMtf(v4_.file_ids, &v4_.file_mtf, r.file_id);
+      PutMtf(v4_.user_ids, &v4_.user_mtf, r.user_id);
+      break;
+    case EventType::kTruncate:
+    case EventType::kExecve:
+      PutMtf(v4_.file_ids, &v4_.file_mtf, r.file_id);
+      PutMtf(v4_.user_ids, &v4_.user_mtf, r.user_id);
+      put_size(r.file_id, r.size);
+      break;
+  }
+  ++block_records_;
+  ++records_written_;
+}
+
+void TraceFileWriter::FlushBlockV4() {
+  if (block_records_ == 0) {
+    return;
+  }
+  // Assemble the raw payload: the type stream (its length is the block's
+  // record count, already in the header), then each field stream
+  // length-prefixed, in fixed order.
+  v4_raw_.clear();
+  VecSink raw{v4_raw_};
+  raw.write(v4_.types.data(), v4_.types.size());
+  for (const std::vector<uint8_t>* s :
+       {&v4_.times, &v4_.open_ids, &v4_.file_ids, &v4_.user_ids, &v4_.flags, &v4_.sizes,
+        &v4_.positions, &v4_.seek_froms, &v4_.seek_tos}) {
+    PutVarint(raw, s->size());
+    raw.write(s->data(), s->size());
+  }
+  uint8_t codec = static_cast<uint8_t>(options_.codec);
+  const uint8_t* stored = v4_raw_.data();
+  size_t stored_len = v4_raw_.size();
+  if (options_.codec == TraceCodec::kLz) {
+    v4_stored_.resize(LzMaxCompressedSize(v4_raw_.size()));
+    const size_t n = LzCompress(v4_raw_.data(), v4_raw_.size(), v4_stored_.data());
+    if (n < v4_raw_.size()) {
+      stored = v4_stored_.data();
+      stored_len = n;
+    } else {
+      codec = static_cast<uint8_t>(TraceCodec::kNone);  // incompressible block
+    }
+  }
+  index_.push_back(TraceBlockIndexEntry{
+      .offset = out_.bytes_written(),
+      .record_count = block_records_,
+      .start_time = SimTime::FromMicros(block_start_time_us_)});
+  BufferedSink sink{out_};
+  sink.put(kBlockMarker);
+  PutVarint(sink, block_records_);
+  PutVarint(sink, v4_raw_.size());
+  sink.put(codec);
+  PutVarint(sink, stored_len);
+  PutFixed32(sink, Crc32c(stored, stored_len));
+  out_.Write(stored, stored_len);
+  payload_raw_bytes_ += v4_raw_.size();
+  payload_stored_bytes_ += stored_len;
+  block_records_ = 0;
+}
+
 Status TraceFileWriter::Finish() {
   if (!finished_) {
-    if (options_.version == 3) {
-      FlushBlock();
+    if (options_.version >= 3) {
+      if (options_.version == 4) {
+        FlushBlockV4();
+      } else {
+        FlushBlock();
+      }
       out_.PutByte(kEndSentinel);
       if (options_.write_index) {
         const uint64_t footer_offset = out_.bytes_written();
@@ -533,8 +818,8 @@ Status TraceFileReader::SeekToBlock(uint64_t offset, uint64_t block_count) {
   if (!status_.ok()) {
     return status_;
   }
-  if (version_ != 3) {
-    status_ = Status::Error("SeekToBlock requires a v3 trace");
+  if (version_ < 3) {
+    status_ = Status::Error("SeekToBlock requires a v3/v4 trace");
     done_ = true;
     return status_;
   }
@@ -547,6 +832,8 @@ Status TraceFileReader::SeekToBlock(uint64_t offset, uint64_t block_count) {
   done_ = false;
   block_remaining_ = 0;
   scratch_active_ = false;
+  v4_records_.clear();
+  v4_next_ = 0;
   blocks_limited_ = true;
   blocks_left_ = block_count;
   return Status::Ok();
@@ -645,14 +932,369 @@ bool TraceFileReader::NextV3(TraceRecord* record) {
       scratch_active_ = true;
     }
     ++blocks_verified_;
+    payload_stored_bytes_ += payload_len;  // v3 stores payloads raw
+    payload_raw_bytes_ += payload_len;
     block_remaining_ = record_count;
     prev_time_us_ = 0;  // per-block time-delta base
+  }
+}
+
+namespace {
+
+// Decodes one v4 block's raw (decompressed) payload into records.  Fully
+// bounds-checked: the CRC covered the stored bytes, so everything here is
+// still untrusted.  Returns false on any malformed layout — wrong stream
+// lengths, bad types, truncated varints, or streams not consumed exactly.
+bool DecodeBlockV4(const uint8_t* raw, size_t raw_len, uint64_t record_count,
+                   std::vector<TraceRecord>* out) {
+  if (record_count > raw_len) {
+    return false;  // the type stream alone needs one byte per record
+  }
+  const uint8_t* const end = raw + raw_len;
+  const uint8_t* const types = raw;
+  ByteCursor layout{raw + record_count, end};
+  // Field streams in the fixed writer order: times, open_ids, file_ids,
+  // user_ids, flags, sizes, positions, seek_froms, seek_tos.
+  ByteCursor streams[9];
+  for (ByteCursor& stream : streams) {
+    uint64_t len = 0;
+    if (!GetVarint(layout, &len) || len > static_cast<size_t>(layout.end - layout.p)) {
+      return false;
+    }
+    stream = ByteCursor{layout.p, layout.p + len};
+    layout.p += len;
+  }
+  if (layout.p != end) {
+    return false;  // trailing bytes after the last stream
+  }
+  ByteCursor& times = streams[0];
+  ByteCursor& open_ids = streams[1];
+  ByteCursor& file_ids = streams[2];
+  ByteCursor& user_ids = streams[3];
+  ByteCursor& flags = streams[4];
+  ByteCursor& sizes = streams[5];
+  ByteCursor& positions = streams[6];
+  ByteCursor& seek_froms = streams[7];
+  ByteCursor& seek_tos = streams[8];
+  uint64_t prev_time = 0, prev_open = 0;
+  auto delta = [](ByteCursor& c, uint64_t* prev, uint64_t* value) {
+    uint64_t z = 0;
+    if (!GetVarint(c, &z)) {
+      return false;
+    }
+    *prev += static_cast<uint64_t>(ZigZagDecode(z));
+    *value = *prev;
+    return true;
+  };
+  auto residual = [](ByteCursor& c, uint64_t predicted, uint64_t* value) {
+    uint64_t z = 0;
+    if (!GetVarint(c, &z)) {
+      return false;
+    }
+    *value = predicted + static_cast<uint64_t>(ZigZagDecode(z));
+    return true;
+  };
+  // Mirrors of the writer's block-local prediction state (see trace_io.h):
+  // the open table + its LRU list, the file/user MTF lists, the size map.
+  struct OpenInfo {
+    uint64_t file_id = 0;
+    uint64_t size = 0;
+    uint64_t position = 0;
+  };
+  std::unordered_map<uint64_t, OpenInfo> open_table;
+  std::vector<uint64_t> open_lru;
+  std::vector<uint64_t> file_mtf, user_mtf;
+  std::unordered_map<uint64_t, uint64_t> file_size;
+  auto mtf_get = [](ByteCursor& c, std::vector<uint64_t>* mtf, uint64_t* value) {
+    uint64_t v = 0;
+    if (!GetVarint(c, &v)) {
+      return false;
+    }
+    if (v == 0) {
+      if (!GetVarint(c, value)) {
+        return false;
+      }
+      if (mtf->size() >= kV4MtfCap) {
+        mtf->pop_back();
+      }
+    } else {
+      if (v > mtf->size()) {
+        return false;
+      }
+      *value = (*mtf)[v - 1];
+      mtf->erase(mtf->begin() + static_cast<ptrdiff_t>(v - 1));
+    }
+    mtf->insert(mtf->begin(), *value);
+    return true;
+  };
+  auto size_get = [&](ByteCursor& c, uint64_t file_id, uint64_t* value) {
+    auto fs = file_size.find(file_id);
+    if (!residual(c, fs == file_size.end() ? 0 : fs->second, value)) {
+      return false;
+    }
+    file_size[file_id] = *value;
+    return true;
+  };
+  out->reserve(out->size() + static_cast<size_t>(std::min<uint64_t>(record_count, 1u << 20)));
+  for (uint64_t i = 0; i < record_count; ++i) {
+    const uint8_t type_byte = types[i] & 0x07;
+    const uint8_t mode_bits = types[i] >> 3;
+    if (type_byte < 1 || type_byte > 7) {
+      return false;
+    }
+    TraceRecord r;
+    r.type = static_cast<EventType>(type_byte);
+    const bool has_mode = r.type == EventType::kOpen || r.type == EventType::kCreate;
+    if (has_mode ? mode_bits > 2 : mode_bits != 0) {
+      return false;  // non-canonical type byte
+    }
+    uint64_t v = 0;
+    if (!delta(times, &prev_time, &v)) {
+      return false;
+    }
+    r.time = SimTime::FromMicros(static_cast<int64_t>(prev_time));
+    switch (r.type) {
+      case EventType::kOpen:
+      case EventType::kCreate: {
+        uint64_t user = 0;
+        if (!delta(open_ids, &prev_open, &r.open_id) ||
+            !mtf_get(file_ids, &file_mtf, &r.file_id) || !mtf_get(user_ids, &user_mtf, &user) ||
+            !size_get(sizes, r.file_id, &r.size) || !GetVarint(positions, &r.position)) {
+          return false;
+        }
+        r.user_id = static_cast<UserId>(user);
+        r.mode = static_cast<AccessMode>(mode_bits);
+        if (open_table.count(r.open_id) != 0) {
+          open_lru.erase(std::find(open_lru.begin(), open_lru.end(), r.open_id));
+        }
+        open_table[r.open_id] = {r.file_id, r.size, r.position};
+        open_lru.insert(open_lru.begin(), r.open_id);
+        break;
+      }
+      case EventType::kClose: {
+        const int f = flags.get();
+        if (f < 0 || (f & ~(kV4InTable | kV4PosEqSize | kV4SizeEqOpen)) != 0) {
+          return false;
+        }
+        auto it = open_table.end();
+        if (f & kV4InTable) {
+          uint64_t rank = 0;
+          if (!GetVarint(open_ids, &rank) || rank >= open_lru.size()) {
+            return false;
+          }
+          r.open_id = open_lru[rank];
+          it = open_table.find(r.open_id);
+          if (it == open_table.end()) {
+            return false;  // unreachable: the LRU list mirrors the table keys
+          }
+          r.file_id = it->second.file_id;
+          open_lru.erase(open_lru.begin() + static_cast<ptrdiff_t>(rank));
+        } else if (!delta(open_ids, &prev_open, &r.open_id) ||
+                   !mtf_get(file_ids, &file_mtf, &r.file_id)) {
+          return false;
+        }
+        if (f & kV4SizeEqOpen) {
+          if ((f & kV4InTable) == 0) {
+            return false;
+          }
+          r.size = it->second.size;
+        } else if (f & kV4InTable) {
+          if (!residual(sizes, it->second.size, &r.size)) {
+            return false;
+          }
+        } else if (!GetVarint(sizes, &r.size)) {
+          return false;
+        }
+        if (f & kV4PosEqSize) {
+          r.position = r.size;
+        } else if (!residual(positions, r.size, &r.position)) {
+          return false;
+        }
+        if (f & kV4InTable) {
+          open_table.erase(it);
+          file_size[r.file_id] = r.size;
+        }
+        break;
+      }
+      case EventType::kSeek: {
+        const int f = flags.get();
+        if (f < 0 || (f & ~(kV4InTable | kV4FromEqPos)) != 0) {
+          return false;
+        }
+        auto it = open_table.end();
+        if (f & kV4InTable) {
+          uint64_t rank = 0;
+          if (!GetVarint(open_ids, &rank) || rank >= open_lru.size()) {
+            return false;
+          }
+          r.open_id = open_lru[rank];
+          it = open_table.find(r.open_id);
+          if (it == open_table.end()) {
+            return false;  // unreachable: the LRU list mirrors the table keys
+          }
+          r.file_id = it->second.file_id;
+          open_lru.erase(open_lru.begin() + static_cast<ptrdiff_t>(rank));
+          open_lru.insert(open_lru.begin(), r.open_id);
+        } else if (!delta(open_ids, &prev_open, &r.open_id) ||
+                   !mtf_get(file_ids, &file_mtf, &r.file_id)) {
+          return false;
+        }
+        if (f & kV4FromEqPos) {
+          if ((f & kV4InTable) == 0) {
+            return false;
+          }
+          r.seek_from = it->second.position;
+        } else if (f & kV4InTable) {
+          if (!residual(seek_froms, it->second.position, &r.seek_from)) {
+            return false;
+          }
+        } else if (!GetVarint(seek_froms, &r.seek_from)) {
+          return false;
+        }
+        if (!residual(seek_tos, r.seek_from, &r.seek_to)) {
+          return false;
+        }
+        if (f & kV4InTable) {
+          it->second.position = r.seek_to;
+        }
+        break;
+      }
+      case EventType::kUnlink: {
+        uint64_t user = 0;
+        if (!mtf_get(file_ids, &file_mtf, &r.file_id) || !mtf_get(user_ids, &user_mtf, &user)) {
+          return false;
+        }
+        r.user_id = static_cast<UserId>(user);
+        break;
+      }
+      case EventType::kTruncate:
+      case EventType::kExecve: {
+        uint64_t user = 0;
+        if (!mtf_get(file_ids, &file_mtf, &r.file_id) || !mtf_get(user_ids, &user_mtf, &user) ||
+            !size_get(sizes, r.file_id, &r.size)) {
+          return false;
+        }
+        r.user_id = static_cast<UserId>(user);
+        break;
+      }
+    }
+    out->push_back(r);
+  }
+  // Every stream must be consumed exactly; leftovers mean the block header
+  // lied about the record count or the payload was tampered with.
+  for (const ByteCursor& stream : streams) {
+    if (stream.p != stream.end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// One v4 record: serves from the current block's decoded records, entering
+// (CRC-verifying, decompressing, decoding) the next block when drained.
+bool TraceFileReader::NextV4(TraceRecord* record) {
+  while (true) {
+    if (v4_next_ < v4_records_.size()) {
+      *record = v4_records_[v4_next_++];
+      return true;
+    }
+    v4_records_.clear();
+    v4_next_ = 0;
+    // Between blocks: enforce the cursor budget, then enter the next block.
+    if (blocks_limited_ && blocks_left_ == 0) {
+      done_ = true;
+      return false;
+    }
+    const int marker = in_.GetByte();
+    if (marker < 0) {
+      return FailCorrupt("unexpected end of file (missing end sentinel)");
+    }
+    if (marker == kEndSentinel) {
+      done_ = true;  // the footer index (if any) is not part of the stream
+      return false;
+    }
+    if (marker != kBlockMarker) {
+      return FailCorrupt("corrupt v4 trace: bad block marker");
+    }
+    if (blocks_limited_) {
+      --blocks_left_;
+    }
+    BufferedSource header_source{in_};
+    uint64_t record_count = 0;
+    uint64_t raw_len = 0;
+    uint64_t stored_len = 0;
+    if (!GetVarint(header_source, &record_count) || !GetVarint(header_source, &raw_len)) {
+      return FailCorrupt("truncated v4 block header");
+    }
+    const int codec_byte = in_.GetByte();
+    uint8_t crc_bytes[4];
+    if (codec_byte < 0 || !GetVarint(header_source, &stored_len) ||
+        !in_.Read(crc_bytes, sizeof(crc_bytes))) {
+      return FailCorrupt("truncated v4 block header");
+    }
+    if (record_count == 0 || raw_len == 0 || raw_len > kMaxBlockPayload || stored_len == 0 ||
+        stored_len > kMaxBlockPayload || record_count > raw_len) {
+      return FailCorrupt("corrupt v4 block header");
+    }
+    if (codec_byte != static_cast<int>(TraceCodec::kNone) &&
+        codec_byte != static_cast<int>(TraceCodec::kLz)) {
+      return FailCorrupt("v4 block: unknown codec id");
+    }
+    const uint32_t expected_crc = ReadFixed32(crc_bytes);
+    const uint8_t* stored = nullptr;
+    bool advance_after_decode = false;
+    if (in_.mapped()) {
+      size_t available = 0;
+      const uint8_t* window = in_.Contiguous(1, &available);  // mapped: whole rest
+      if (window == nullptr || available < stored_len) {
+        return FailCorrupt("truncated v4 block payload");
+      }
+      stored = window;
+      advance_after_decode = true;
+    } else {
+      v4_stored_scratch_.resize(stored_len);
+      if (!in_.Read(v4_stored_scratch_.data(), stored_len)) {
+        return FailCorrupt("truncated v4 block payload");
+      }
+      stored = v4_stored_scratch_.data();
+    }
+    if (Crc32c(stored, stored_len) != expected_crc) {
+      return FailCorrupt("v4 block checksum mismatch (corrupt trace)");
+    }
+    const uint8_t* raw = stored;
+    if (codec_byte == static_cast<int>(TraceCodec::kNone)) {
+      if (stored_len != raw_len) {
+        return FailCorrupt("v4 block: decompressed size disagrees with header");
+      }
+    } else {
+      scratch_.resize(raw_len);
+      if (!LzDecompress(stored, stored_len, scratch_.data(), raw_len)) {
+        return FailCorrupt("v4 block: decompressed size disagrees with header");
+      }
+      raw = scratch_.data();
+    }
+    if (!DecodeBlockV4(raw, raw_len, record_count, &v4_records_)) {
+      v4_records_.clear();  // no partial records from a malformed block
+      return FailCorrupt("corrupt v4 block: record decode failed after checksum");
+    }
+    if (advance_after_decode) {
+      in_.Advance(stored_len);
+    }
+    ++blocks_verified_;
+    codecs_seen_ |= 1u << codec_byte;
+    payload_stored_bytes_ += stored_len;
+    payload_raw_bytes_ += raw_len;
   }
 }
 
 bool TraceFileReader::Next(TraceRecord* record) {
   if (done_) {
     return false;
+  }
+  if (version_ == 4) {
+    return NextV4(record);
   }
   if (version_ == 3) {
     return NextV3(record);
@@ -935,12 +1577,15 @@ StatusOr<Trace> LoadTrace(const std::string& path) {
   // The declared count is advisory and untrusted: clamp it to the file size
   // (records encode to >= 4 bytes, so more records than bytes means a corrupt
   // or hostile header) so the pre-sizing below cannot allocate unboundedly.
+  // v4 files are compressed, so a record can occupy under a byte on disk;
+  // allow 4 records per byte before distrusting the header.
   int64_t declared = reader.declared_record_count();
   if (declared > 0) {
     std::error_code ec;
     const uint64_t bytes = std::filesystem::file_size(path, ec);
     if (!ec) {
-      declared = std::min(declared, static_cast<int64_t>(bytes));
+      const uint64_t per_byte = reader.version() >= 4 ? 4 : 1;
+      declared = std::min(declared, static_cast<int64_t>(bytes * per_byte));
     }
   }
   if (declared > 0) {

@@ -35,14 +35,16 @@ TraceFileSource::TraceFileSource(const std::string& path) : reader_(path) {
   if (size_hint_ < 0) {
     return;  // v1 file or streamed-unknown count
   }
-  // Clamp a lying v2 header: every record encodes to at least 4 bytes, so a
-  // count beyond the file size is impossible.  The count is advisory (readers
-  // always run to the end sentinel), so clamping keeps the stream readable
-  // while making reserve(size_hint()) safe.
+  // Clamp a lying header: every v1-v3 record encodes to at least 4 bytes, so
+  // a count beyond the file size is impossible; v4 blocks are compressed, so
+  // allow 4 records per on-disk byte before distrusting the count.  The
+  // count is advisory (readers always run to the end sentinel), so clamping
+  // keeps the stream readable while making reserve(size_hint()) safe.
   std::error_code ec;
   const uint64_t bytes = std::filesystem::file_size(path, ec);
-  if (!ec && size_hint_ > static_cast<int64_t>(bytes)) {
-    size_hint_ = static_cast<int64_t>(bytes);
+  const uint64_t per_byte = reader_.version() >= 4 ? 4 : 1;
+  if (!ec && size_hint_ > static_cast<int64_t>(bytes * per_byte)) {
+    size_hint_ = static_cast<int64_t>(bytes * per_byte);
   }
 }
 
@@ -59,7 +61,7 @@ SeekableTraceSource::SeekableTraceSource(const std::string& path) : path_(path) 
   header_ = probe.header();
   version_ = probe.version();
   declared_ = probe.declared_record_count();
-  if (version_ != 3) {
+  if (version_ < 3) {
     return;  // readable, but not seekable
   }
 

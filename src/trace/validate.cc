@@ -146,6 +146,24 @@ TraceFileCheck CheckTraceFile(const std::string& path) {
     check.last_time = record.time;
   }
   check.blocks_verified = reader.blocks_verified();
+  check.payload_stored_bytes = reader.payload_stored_bytes();
+  check.payload_raw_bytes = reader.payload_raw_bytes();
+  if (reader.version() >= 4) {
+    switch (reader.codecs_seen()) {
+      case 1u << static_cast<int>(TraceCodec::kNone):
+        check.codec = "none";
+        break;
+      case 1u << static_cast<int>(TraceCodec::kLz):
+        check.codec = "lz";
+        break;
+      case 0:
+        check.codec = "none";  // empty v4 file: no blocks at all
+        break;
+      default:
+        check.codec = "mixed";
+        break;
+    }
+  }
   if (!reader.status().ok()) {
     check.status = reader.status();
     return check;

@@ -42,21 +42,30 @@ struct ValidationResult {
 ValidationResult ValidateTrace(const Trace& trace, size_t max_issues = 20);
 
 // File-level integrity check over a binary trace file.  Decodes every record
-// through the checksumming reader (v3 block CRC32Cs are verified as each
-// block is entered) and cross-checks the declared header count and, when a
-// footer index is present, the index's block/record totals against what the
-// blocks actually hold.  A flipped byte, truncated file, or index that
+// through the checksumming reader (v3/v4 block CRC32Cs are verified as each
+// block is entered; v4 blocks are additionally decompressed and size-checked
+// against their headers) and cross-checks the declared header count and,
+// when a footer index is present, the index's block/record totals against
+// what the blocks actually hold.  A flipped byte, truncated file, a v4 block
+// whose decompressed size disagrees with its header, or an index that
 // disagrees with the data all surface in `status`; the counters describe how
 // far the scan got.
 struct TraceFileCheck {
   Status status = Status::Ok();  // first corruption or I/O error, if any
-  int version = 0;               // format version (1, 2, or 3)
+  int version = 0;               // format version (1 through 4)
   uint64_t records = 0;          // records successfully decoded
-  uint64_t blocks_verified = 0;  // v3 blocks whose checksum was verified
-  bool has_index = false;        // v3 footer index present
+  uint64_t blocks_verified = 0;  // v3/v4 blocks whose checksum was verified
+  bool has_index = false;        // v3/v4 footer index present
   uint64_t index_entries = 0;    // blocks listed in the footer index
   uint64_t indexed_records = 0;  // record total the footer index claims
   SimTime last_time;             // time of the last decoded record
+  // Payload accounting across verified blocks: bytes as stored on disk
+  // (compressed for v4 LZ blocks) and after decompression; equal for v3.
+  // `codec` names the block codecs seen: "none", "lz", "mixed" (a v4 file
+  // whose incompressible blocks fell back to stored), or "-" for v1-v3.
+  uint64_t payload_stored_bytes = 0;
+  uint64_t payload_raw_bytes = 0;
+  std::string codec = "-";
 
   bool ok() const { return status.ok(); }
 };

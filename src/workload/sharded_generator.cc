@@ -71,6 +71,32 @@ uint64_t FleetInstanceSeed(uint64_t seed, size_t instance) {
   return z ^ (z >> 31);
 }
 
+std::vector<std::pair<size_t, size_t>> PlanWaves(const std::vector<int>& populations,
+                                                 int wave_users) {
+  std::vector<std::pair<size_t, size_t>> waves;
+  const size_t n = populations.size();
+  if (n == 0) {
+    return waves;
+  }
+  if (wave_users <= 0) {
+    waves.emplace_back(0, n);
+    return waves;
+  }
+  size_t begin = 0;
+  int64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t pop = std::max(populations[i], 1);
+    if (i > begin && sum + pop > wave_users) {
+      waves.emplace_back(begin, i);
+      begin = i;
+      sum = 0;
+    }
+    sum += pop;
+  }
+  waves.emplace_back(begin, n);
+  return waves;
+}
+
 }  // namespace internal
 
 namespace {
@@ -546,16 +572,6 @@ StatusOr<FleetPlan> PlanFleet(const FleetProfile& fleet, const FleetGeneratorOpt
   return std::move(fp);
 }
 
-StatusOr<SpilledUnits> SpillFleet(const FleetProfile& fleet,
-                                  const FleetGeneratorOptions& options) {
-  StatusOr<FleetPlan> plan = PlanFleet(fleet, options);
-  if (!plan.ok()) {
-    return plan.status();
-  }
-  return SpillAllUnits(plan.value().units, std::move(plan.value().remaps),
-                       std::move(plan.value().header), options.threads, options.spill_dir);
-}
-
 }  // namespace
 
 GenerationResult GenerateTraceSharded(const MachineProfile& raw_profile,
@@ -615,18 +631,17 @@ StatusOr<ShardedStreamStats> GenerateTraceShardedTo(const MachineProfile& profil
 
 namespace {
 
-// Shared tail of the ToFile variants: stream the merged spills into a v3
-// trace file with the exact record count stamped in the header.  The file is
-// format v3 — checksummed blocks plus the footer index — so the result is
-// directly consumable by ParallelAnalyzeTrace; the bytes match SaveTrace of
-// the in-memory path's trace with the same v3 options.  (The per-unit spill
-// files stay v2: they are private intermediates, merged and deleted before
-// anyone seeks into them.)
-StatusOr<ShardedStreamStats> MergeSpillsToFile(SpilledUnits& spilled,
-                                               const std::string& path) {
+// Shared tail of the ToFile variants: stream the merged spills into a trace
+// file with the exact record count stamped in the header.  The default
+// options write format v3 — checksummed blocks plus the footer index — so
+// the result is directly consumable by ParallelAnalyzeTrace; the bytes match
+// SaveTrace of the in-memory path's trace with the same options.  (The
+// per-unit spill files stay v2: they are private intermediates, merged and
+// deleted before anyone seeks into them.)
+StatusOr<ShardedStreamStats> MergeSpillsToFile(SpilledUnits& spilled, const std::string& path,
+                                               const TraceWriterOptions& file_options) {
   TraceFileWriter writer(path, spilled.header,
-                         static_cast<int64_t>(spilled.total_records),
-                         TraceWriterOptions{.version = 3});
+                         static_cast<int64_t>(spilled.total_records), file_options);
   if (!writer.status().ok()) {
     return writer.status();
   }
@@ -641,6 +656,154 @@ StatusOr<ShardedStreamStats> MergeSpillsToFile(SpilledUnits& spilled,
   return stats;
 }
 
+// Fold one wave's generation stats into the running fleet totals.
+void FoldWaveStats(ShardedStreamStats& total, GenerationResult& folded,
+                   const SpilledUnits& wave, size_t wave_index) {
+  GenerationResult wave_stats = wave.stats;
+  FoldInto(folded, wave_stats, wave_index);
+  total.spill_bytes_written += wave.spill_bytes;
+}
+
+// Fleet-of-fleets wave engine: each wave spills and merges its contiguous
+// instance range — with the GLOBAL remap parameters, so wave output is
+// exactly the corresponding slice of the single-wave stream — into a
+// compressed v4 wave shard file; the shards then k-way merge into the final
+// sink/file.  The wave shard merge needs no rewrite (ids are already
+// global), and its (time, wave index) tie-break equals the single-wave
+// (time, instance-major unit index) tie-break because waves are contiguous
+// instance ranges.  Per-unit spill files are deleted after each wave, so
+// peak disk is one wave's raw spills plus the compressed shards.
+StatusOr<ShardedStreamStats> RunFleetWaves(FleetPlan& fp,
+                                           const std::vector<std::pair<size_t, size_t>>& waves,
+                                           const FleetGeneratorOptions& options, TraceSink* sink,
+                                           const std::string* path) {
+  ScopedSpillDir wave_dir;
+  if (Status st = wave_dir.Create(options.spill_dir); !st.ok()) {
+    return st;
+  }
+
+  ShardedStreamStats total;
+  total.header = fp.header;
+  total.waves = waves.size();
+  GenerationResult folded;
+  uint64_t total_records = 0;
+  const TraceWriterOptions wave_options{.version = 4};
+
+  for (size_t w = 0; w < waves.size(); ++w) {
+    const auto [first, last] = waves[w];
+    std::vector<SpillUnit> wave_units;
+    std::vector<UnitRemap> wave_remaps;
+    for (size_t k = 0; k < fp.units.size(); ++k) {
+      if (fp.units[k].machine >= first && fp.units[k].machine < last) {
+        wave_units.push_back(fp.units[k]);
+        wave_remaps.push_back(fp.remaps[k]);
+      }
+    }
+    StatusOr<SpilledUnits> spilled = SpillAllUnits(wave_units, std::move(wave_remaps),
+                                                   fp.header, options.threads,
+                                                   options.spill_dir);
+    if (!spilled.ok()) {
+      return spilled.status();
+    }
+    TraceFileWriter writer(wave_dir.UnitPath(w), fp.header,
+                           static_cast<int64_t>(spilled.value().total_records), wave_options);
+    if (!writer.status().ok()) {
+      return writer.status();
+    }
+    StatusOr<ShardedStreamStats> merged = MergeSpills(spilled.value(), writer);
+    const Status finish = writer.Finish();
+    if (!merged.ok()) {
+      return merged.status();
+    }
+    if (!finish.ok()) {
+      return finish;
+    }
+    FoldWaveStats(total, folded, spilled.value(), w);
+    total.wave_bytes_written += writer.bytes_written();
+    total_records += spilled.value().total_records;
+    // spilled's ScopedSpillDir dies here: the wave's raw spill files go away
+    // before the next wave simulates.
+  }
+
+  FinishFragmentation(folded);
+  total.kernel_counters = folded.kernel_counters;
+  total.fs_stats = folded.fs_stats;
+  total.fsck = std::move(folded.fsck);
+  total.tasks_executed = folded.tasks_executed;
+  total.shared_image_watermark = 0;  // multi-wave implies multiple machines
+
+  std::vector<std::unique_ptr<TraceSource>> inputs;
+  inputs.reserve(waves.size());
+  for (size_t w = 0; w < waves.size(); ++w) {
+    inputs.push_back(std::make_unique<TraceFileSource>(wave_dir.UnitPath(w)));
+  }
+  MergingTraceSource merge(std::move(inputs), fp.header);
+
+  uint64_t streamed = 0;
+  Status write_status = Status::Ok();
+  if (path != nullptr) {
+    TraceFileWriter writer(*path, fp.header, static_cast<int64_t>(total_records),
+                           options.file_options);
+    if (!writer.status().ok()) {
+      return writer.status();
+    }
+    TraceRecord r;
+    while (merge.Next(&r)) {
+      writer.Append(r);
+      ++streamed;
+    }
+    write_status = writer.Finish();
+  } else {
+    TraceRecord r;
+    while (merge.Next(&r)) {
+      sink->Append(r);
+      ++streamed;
+    }
+  }
+  if (!merge.status().ok()) {
+    return merge.status();
+  }
+  if (!write_status.ok()) {
+    return write_status;
+  }
+  if (streamed != total_records) {
+    return Status::Error("wave merge produced " + std::to_string(streamed) + " of " +
+                         std::to_string(total_records) + " expected records");
+  }
+  total.records_streamed = streamed;
+  return total;
+}
+
+// Common fleet driver: plan once, pick single-wave (the historical path,
+// byte-for-byte) or the wave engine.
+StatusOr<ShardedStreamStats> GenerateFleetCommon(const FleetProfile& fleet,
+                                                 const FleetGeneratorOptions& options,
+                                                 TraceSink* sink, const std::string* path) {
+  StatusOr<FleetPlan> plan = PlanFleet(fleet, options);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  FleetPlan& fp = plan.value();
+  std::vector<int> populations;
+  populations.reserve(fp.machines.size());
+  for (const MachineProfile& machine : fp.machines) {
+    populations.push_back(machine.user_population);
+  }
+  const std::vector<std::pair<size_t, size_t>> waves =
+      internal::PlanWaves(populations, options.wave_users);
+  if (waves.size() > 1) {
+    return RunFleetWaves(fp, waves, options, sink, path);
+  }
+  StatusOr<SpilledUnits> spilled =
+      SpillAllUnits(fp.units, std::move(fp.remaps), std::move(fp.header), options.threads,
+                    options.spill_dir);
+  if (!spilled.ok()) {
+    return spilled.status();
+  }
+  return path != nullptr ? MergeSpillsToFile(spilled.value(), *path, options.file_options)
+                         : MergeSpills(spilled.value(), *sink);
+}
+
 }  // namespace
 
 StatusOr<ShardedStreamStats> GenerateTraceShardedToFile(const MachineProfile& profile,
@@ -650,43 +813,30 @@ StatusOr<ShardedStreamStats> GenerateTraceShardedToFile(const MachineProfile& pr
   if (!spilled.ok()) {
     return spilled.status();
   }
-  return MergeSpillsToFile(spilled.value(), path);
+  return MergeSpillsToFile(spilled.value(), path, options.file_options);
 }
 
 StatusOr<ShardedStreamStats> GenerateFleetTo(const FleetProfile& fleet,
                                              const FleetGeneratorOptions& options,
                                              TraceSink& sink) {
-  StatusOr<SpilledUnits> spilled = SpillFleet(fleet, options);
-  if (!spilled.ok()) {
-    return spilled.status();
-  }
-  return MergeSpills(spilled.value(), sink);
+  return GenerateFleetCommon(fleet, options, &sink, nullptr);
 }
 
 StatusOr<ShardedStreamStats> GenerateFleetToFile(const FleetProfile& fleet,
                                                  const FleetGeneratorOptions& options,
                                                  const std::string& path) {
-  StatusOr<SpilledUnits> spilled = SpillFleet(fleet, options);
-  if (!spilled.ok()) {
-    return spilled.status();
-  }
-  return MergeSpillsToFile(spilled.value(), path);
+  return GenerateFleetCommon(fleet, options, nullptr, &path);
 }
 
 StatusOr<FleetGenerationResult> GenerateFleetTrace(const FleetProfile& fleet,
                                                    const FleetGeneratorOptions& options) {
-  StatusOr<SpilledUnits> spilled = SpillFleet(fleet, options);
-  if (!spilled.ok()) {
-    return spilled.status();
-  }
   FleetGenerationResult result;
-  result.trace = Trace(spilled.value().header);
-  result.trace.Reserve(spilled.value().total_records);
-  StatusOr<ShardedStreamStats> stats = MergeSpills(spilled.value(), result.trace);
+  StatusOr<ShardedStreamStats> stats = GenerateFleetCommon(fleet, options, &result.trace, nullptr);
   if (!stats.ok()) {
     return stats.status();
   }
   result.stats = std::move(stats).value();
+  result.trace.header() = result.stats.header;
   return result;
 }
 

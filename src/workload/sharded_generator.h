@@ -27,9 +27,11 @@
 #define BSDTRACE_SRC_WORKLOAD_SHARDED_GENERATOR_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/trace/trace.h"
+#include "src/trace/trace_io.h"
 #include "src/util/status.h"
 #include "src/workload/fleet.h"
 #include "src/workload/generator.h"
@@ -50,6 +52,9 @@ struct ShardedGeneratorOptions {
   // files live in a private subdirectory that is removed when generation
   // finishes, successfully or not.
   std::string spill_dir;
+  // Format of the file GenerateTraceShardedToFile writes: v3 (the default)
+  // keeps the historical bytes; {.version = 4} compresses block payloads.
+  TraceWriterOptions file_options{.version = 3};
 };
 
 // Generates a trace with the population split across shards.  See the
@@ -94,6 +99,11 @@ struct ShardedStreamStats {
   uint64_t records_streamed = 0;
   // Total bytes of per-shard spill files written (and deleted) on the way.
   uint64_t spill_bytes_written = 0;
+  // Fleet wave generation only: how many waves ran and the total bytes of
+  // the intermediate compressed v4 wave shard files (1 / 0 when the whole
+  // fleet fit in one wave and no wave shards were written).
+  uint64_t waves = 1;
+  uint64_t wave_bytes_written = 0;
 };
 
 // Streams the merged trace into `sink` (which sees Append per record, in
@@ -144,6 +154,19 @@ struct FleetGeneratorOptions {
   int threads = 0;
   // Spill directory, as in ShardedGeneratorOptions.
   std::string spill_dir;
+  // Fleet-of-fleets wave generation: when > 0, the instances are grouped
+  // into contiguous waves whose summed (population-scaled) user counts stay
+  // at or below this bound (every wave holds at least one instance).  Each
+  // wave runs as its own bounded spill-and-merge generation whose output is
+  // written to a compressed v4 wave shard file; the wave shards are then
+  // k-way merged — ties breaking by wave index, which equals the global
+  // instance-major unit order — into the final stream.  Output-invariant:
+  // the record stream (and the ToFile variant's bytes) is identical to a
+  // single-wave run.  <= 0 (the default) disables waving.
+  int wave_users = 0;
+  // Format of the file GenerateFleetToFile writes: v3 (the default) keeps
+  // the historical bytes; {.version = 4} compresses block payloads.
+  TraceWriterOptions file_options{.version = 3};
 };
 
 // Streams the merged fleet trace into `sink` / into a v3 file at `path`.
@@ -186,6 +209,15 @@ std::vector<ShardPlan> MakeShardPlans(const MachineProfile& profile, int shard_c
 // get an independent SplitMix64-derived stream so identical profiles in one
 // fleet do not replay identical traces.
 uint64_t FleetInstanceSeed(uint64_t seed, size_t instance);
+
+// Greedy contiguous wave grouping (exposed for tests): instance i joins the
+// current wave while the wave's summed population stays within
+// `wave_users`; a wave never splits an instance, so an instance larger than
+// the bound gets a wave of its own.  Returns [begin, end) instance-index
+// pairs that partition [0, populations.size()) in order; wave_users <= 0
+// yields one wave covering everything.
+std::vector<std::pair<size_t, size_t>> PlanWaves(const std::vector<int>& populations,
+                                                 int wave_users);
 
 }  // namespace internal
 

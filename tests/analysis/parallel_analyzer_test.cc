@@ -184,5 +184,72 @@ TEST(ParallelAnalyzer, CorruptBlockSurfacesThroughWorkers) {
   EXPECT_FALSE(result.ok());
 }
 
+// -- Segment carving ----------------------------------------------------------
+
+std::vector<TraceBlockIndexEntry> UniformIndex(size_t blocks, uint64_t records_each) {
+  std::vector<TraceBlockIndexEntry> index(blocks);
+  for (size_t i = 0; i < blocks; ++i) {
+    index[i] = {.offset = i * 1000, .record_count = records_each};
+  }
+  return index;
+}
+
+void ExpectPartition(const std::vector<std::pair<size_t, size_t>>& ranges, size_t blocks) {
+  size_t next = 0;
+  for (const auto& [first, count] : ranges) {
+    EXPECT_EQ(first, next);
+    EXPECT_GT(count, 0u) << "empty segment";
+    next = first + count;
+  }
+  EXPECT_EQ(next, blocks) << "segments do not cover the index";
+}
+
+TEST(CarveIndex, EmptyIndexYieldsNoRanges) {
+  EXPECT_TRUE(internal::CarveIndex({}, 8, 8192).empty());
+}
+
+TEST(CarveIndex, TinyBlocksCoalesceIntoOneSegment) {
+  // 100 blocks of 10 records: far below min_records even in aggregate, so
+  // the carve must refuse to fan out (the caller then runs serially).
+  const auto ranges = internal::CarveIndex(UniformIndex(100, 10), 8, 8192);
+  ASSERT_EQ(ranges.size(), 1u);
+  ExpectPartition(ranges, 100);
+}
+
+TEST(CarveIndex, SegmentCountIsBoundedByRecordsOverMin) {
+  // 40 blocks x 1000 records = 40k records; min 8192 allows at most 4
+  // segments even with 8 threads — and every segment clears the minimum.
+  const auto index = UniformIndex(40, 1000);
+  const auto ranges = internal::CarveIndex(index, 8, 8192);
+  ASSERT_EQ(ranges.size(), 4u);
+  ExpectPartition(ranges, index.size());
+  for (const auto& [first, count] : ranges) {
+    uint64_t records = 0;
+    for (size_t b = first; b < first + count; ++b) {
+      records += index[b].record_count;
+    }
+    EXPECT_GE(records, 8192u);
+  }
+}
+
+TEST(CarveIndex, ZeroMinDisablesCoalescing) {
+  const auto ranges = internal::CarveIndex(UniformIndex(16, 1), 4, 0);
+  ASSERT_EQ(ranges.size(), 4u);
+  ExpectPartition(ranges, 16);
+}
+
+TEST(CarveIndex, UnevenBlocksStillPartition) {
+  std::vector<TraceBlockIndexEntry> index;
+  for (uint64_t i = 0; i < 30; ++i) {
+    index.push_back({.offset = i * 100, .record_count = (i % 7 == 0) ? 20'000u : 3u});
+  }
+  for (const unsigned threads : {2u, 4u, 8u, 16u}) {
+    const auto ranges = internal::CarveIndex(index, threads, 8192);
+    ASSERT_FALSE(ranges.empty());
+    EXPECT_LE(ranges.size(), threads);
+    ExpectPartition(ranges, index.size());
+  }
+}
+
 }  // namespace
 }  // namespace bsdtrace
