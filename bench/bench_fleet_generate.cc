@@ -192,8 +192,11 @@ int main() {
   // peak counter re-armed.
   ResetPeakRss();
   const auto an_t0 = std::chrono::steady_clock::now();
-  auto analysis = ParallelAnalyzeTrace(path, threads > 0 ? static_cast<unsigned>(threads)
-                                                         : std::thread::hardware_concurrency());
+  AnalyzeOptions analyze_options;
+  analyze_options.path = path;
+  analyze_options.threads =
+      threads > 0 ? static_cast<unsigned>(threads) : std::thread::hardware_concurrency();
+  auto analysis = Analyze(analyze_options);
   const double analyze_s = SecondsSince(an_t0);
   if (!analysis.ok()) {
     std::fprintf(stderr, "analysis failed: %s\n", analysis.status().message().c_str());

@@ -1,0 +1,209 @@
+// Live-pipeline bench: the `trace_stream serve` data path — generator
+// records pushed through a TraceRing to a RollingAnalyzer publishing hourly
+// snapshots — timed end to end, with the correctness gates that make the
+// numbers trustworthy.  Emits one machine-readable JSON line plus a
+// BENCH_live_serve.json file: streamed records/sec, ring drop counters and
+// occupancy high-water mark, and the wall-clock latency of each snapshot
+// publish (the pause the consumer thread takes to finalize a prefix).
+//
+// Hard gates (non-zero exit):
+//   * every published snapshot must be bit-identical to a batch Analyze of
+//     exactly the records before its boundary, and the final live result
+//     bit-identical to the batch analysis of the whole trace;
+//   * the default-capacity blocking ring must deliver every record — zero
+//     drops of either kind.
+//
+// Overrides: BSDTRACE_PROFILE (machine profile, default A5), BSDTRACE_USERS
+// (0 = calibrated), BSDTRACE_HOURS (simulated, default 6), BSDTRACE_SEED,
+// BSDTRACE_CAPACITY (ring slots, default 1<<14).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/parallel_analyzer.h"
+#include "src/analysis/rolling_analyzer.h"
+#include "src/trace/trace_ring.h"
+#include "src/workload/fleet.h"
+#include "src/workload/sharded_generator.h"
+
+namespace bsdtrace {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Batch analysis of the records strictly before `boundary` — the reference
+// each live snapshot is gated against.
+TraceAnalysis BatchPrefix(const Trace& trace, SimTime boundary) {
+  Trace prefix(trace.header());
+  for (const TraceRecord& r : trace.records()) {
+    if (r.time < boundary) {
+      prefix.Append(r);
+    }
+  }
+  AnalyzeOptions options;
+  options.trace = &prefix;
+  return Analyze(options).value();
+}
+
+}  // namespace
+}  // namespace bsdtrace
+
+int main() {
+  using namespace bsdtrace;
+  std::string profile_name = "A5";
+  int users = 0;  // calibrated population
+  double hours = 6.0;
+  uint64_t seed = 19851201;
+  size_t capacity = 1 << 14;
+  if (const char* env = std::getenv("BSDTRACE_PROFILE")) {
+    profile_name = env;
+  }
+  if (const char* env = std::getenv("BSDTRACE_USERS")) {
+    users = std::max(0, std::atoi(env));
+  }
+  if (const char* env = std::getenv("BSDTRACE_HOURS")) {
+    hours = std::max(0.01, std::atof(env));
+  }
+  if (const char* env = std::getenv("BSDTRACE_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("BSDTRACE_CAPACITY")) {
+    capacity = static_cast<size_t>(std::max(2L, std::atol(env)));
+  }
+
+  // Same input shape as `trace_stream serve`: a fleet spec, population-scaled.
+  auto fleet = ParseFleetSpec(profile_name, users);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "bad fleet spec: %s\n", fleet.status().message().c_str());
+    return 1;
+  }
+  FleetGeneratorOptions gen;
+  gen.base.duration = Duration::Hours(hours);
+  gen.base.seed = seed;
+  std::printf("bench_live_serve: fleet %s, %.2f simulated hours, seed %llu, ring capacity %zu\n",
+              fleet.value().spec.c_str(), hours, static_cast<unsigned long long>(seed),
+              static_cast<size_t>(capacity));
+
+  // The trace is pre-generated so the timed phase measures the live pipeline
+  // (ring transport + rolling analysis), not the generator.
+  auto generated = GenerateFleetTrace(fleet.value(), gen);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n", generated.status().message().c_str());
+    return 1;
+  }
+  const Trace& trace = generated.value().trace;
+  std::printf("  %zu records to stream\n", trace.size());
+
+  TraceRingOptions ring_options;
+  ring_options.capacity = capacity;
+  TraceRing ring(trace.header(), ring_options);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread producer([&]() {
+    RingTraceSink sink(&ring);
+    for (const TraceRecord& r : trace.records()) {
+      sink.Append(r);
+    }
+    ring.Close();
+  });
+
+  // The consumer drives the RollingAnalyzer directly (rather than through
+  // RollingAnalyze) so each boundary-crossing Process call — the one that
+  // finalizes and publishes a snapshot — can be timed individually.
+  std::vector<SimTime> boundaries;
+  std::vector<TraceAnalysis> snapshots;
+  std::vector<double> snapshot_ms;
+  RollingAnalyzer rolling(Duration::Hours(1), [&](const TraceAnalysis& snapshot, SimTime boundary) {
+    snapshots.push_back(snapshot);
+    boundaries.push_back(boundary);
+  });
+  RingTraceSource source(&ring);
+  TraceRecord record;
+  uint64_t published = 0;
+  while (source.Next(&record)) {
+    const auto p0 = std::chrono::steady_clock::now();
+    rolling.Process(record);
+    if (snapshots.size() != published) {  // this Process crossed >= 1 boundary
+      snapshot_ms.push_back(SecondsSince(p0) * 1e3);
+      published = snapshots.size();
+    }
+  }
+  const TraceAnalysis live = rolling.Finish();
+  producer.join();
+  const double stream_s = SecondsSince(t0);
+
+  const TraceRingStats stats = ring.stats();
+  const double records_per_sec = stream_s > 0 ? static_cast<double>(trace.size()) / stream_s : 0.0;
+  double max_ms = 0.0, sum_ms = 0.0;
+  for (double ms : snapshot_ms) {
+    max_ms = std::max(max_ms, ms);
+    sum_ms += ms;
+  }
+  const double mean_ms = snapshot_ms.empty() ? 0.0 : sum_ms / static_cast<double>(snapshot_ms.size());
+  std::printf("  streamed in %.3f s (%.0f records/s), %zu snapshot(s): publish mean %.2f ms max %.2f ms\n",
+              stream_s, records_per_sec, snapshots.size(), mean_ms, max_ms);
+  std::printf("  ring: produced %llu consumed %llu dropped %llu max occupancy %llu/%zu\n",
+              static_cast<unsigned long long>(stats.produced),
+              static_cast<unsigned long long>(stats.consumed),
+              static_cast<unsigned long long>(stats.dropped()),
+              static_cast<unsigned long long>(stats.max_occupancy), ring.capacity());
+
+  // Gate 1: rolling-vs-batch bit-identity at every boundary and at the end.
+  bool parity_ok = true;
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    if (!AnalysisBitIdentical(snapshots[i], BatchPrefix(trace, boundaries[i]))) {
+      std::fprintf(stderr, "FAIL: snapshot at +%.2fh diverges from its batch prefix\n",
+                   (boundaries[i] - SimTime::Origin()).hours());
+      parity_ok = false;
+    }
+  }
+  AnalyzeOptions batch_options;
+  batch_options.trace = &trace;
+  if (!AnalysisBitIdentical(live, Analyze(batch_options).value())) {
+    std::fprintf(stderr, "FAIL: final live analysis diverges from batch\n");
+    parity_ok = false;
+  }
+
+  // Gate 2: the blocking ring loses nothing.
+  const bool lossless = stats.dropped() == 0 && stats.produced == trace.size() &&
+                        stats.consumed == trace.size();
+
+  char json[768];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"live_serve\",\"profile\":\"%s\",\"users\":%d,\"hours\":%.2f,"
+                "\"capacity\":%zu,\"records\":%zu,\"stream_s\":%.3f,\"records_per_sec\":%.0f,"
+                "\"snapshots\":%zu,\"snapshot_publish_mean_ms\":%.3f,"
+                "\"snapshot_publish_max_ms\":%.3f,\"dropped_oldest\":%llu,"
+                "\"dropped_timeout\":%llu,\"max_occupancy\":%llu,"
+                "\"parity_ok\":%s,\"lossless\":%s}",
+                profile_name.c_str(), users, hours, ring.capacity(), trace.size(), stream_s,
+                records_per_sec, snapshots.size(), mean_ms, max_ms,
+                static_cast<unsigned long long>(stats.dropped_oldest),
+                static_cast<unsigned long long>(stats.dropped_timeout),
+                static_cast<unsigned long long>(stats.max_occupancy),
+                parity_ok ? "true" : "false", lossless ? "true" : "false");
+  std::printf("%s\n", json);
+  if (std::FILE* f = std::fopen("BENCH_live_serve.json", "w")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
+
+  bool failed = false;
+  if (!parity_ok) {
+    std::fprintf(stderr, "FAIL: live snapshots are not bit-identical to batch analysis\n");
+    failed = true;
+  }
+  if (!lossless) {
+    std::fprintf(stderr, "FAIL: blocking ring dropped records at default capacity\n");
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -69,7 +69,9 @@ int main() {
   for (int rep = -1; rep < kReps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     TraceFileSource source(path);
-    auto result = AnalyzeTrace(source);
+    AnalyzeOptions serial_options;
+    serial_options.source = &source;
+    auto result = Analyze(serial_options);
     if (!result.ok()) {
       std::fprintf(stderr, "serial analysis failed: %s\n", result.status().message().c_str());
       return 1;
@@ -87,7 +89,10 @@ int main() {
   for (int i = 0; i < 3; ++i) {
     for (int rep = -1; rep < kReps; ++rep) {
       const auto t0 = std::chrono::steady_clock::now();
-      auto result = ParallelAnalyzeTrace(path, thread_counts[i]);
+      AnalyzeOptions parallel_options;
+      parallel_options.path = path;
+      parallel_options.threads = thread_counts[i];
+      auto result = Analyze(parallel_options);
       if (!result.ok()) {
         std::fprintf(stderr, "parallel analysis (%u threads) failed: %s\n", thread_counts[i],
                      result.status().message().c_str());

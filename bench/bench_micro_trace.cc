@@ -65,8 +65,10 @@ BENCHMARK(BM_BinaryDecode)->Unit(benchmark::kMillisecond);
 
 void BM_AnalyzeTrace(benchmark::State& state) {
   const Trace& trace = SharedTrace();
+  AnalyzeOptions options;
+  options.trace = &trace;
   for (auto _ : state) {
-    const TraceAnalysis a = AnalyzeTrace(trace);
+    const TraceAnalysis a = Analyze(options).value();
     benchmark::DoNotOptimize(a.overall.total_records);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *

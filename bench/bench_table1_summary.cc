@@ -9,7 +9,9 @@ int main() {
   using namespace bsdtrace;
   PrintBanner("Table I — selected results", "Table I");
   const GenerationResult a5 = GenerateA5();
-  const TraceAnalysis analysis = AnalyzeTrace(a5.trace);
+  AnalyzeOptions analyze_options;
+  analyze_options.trace = &a5.trace;
+  const TraceAnalysis analysis = Analyze(analyze_options).value();
   // One reconstruction shared by both sweeps (two-phase engine).
   const StandardSweeps sweeps = RunStandardSweeps(a5.trace);
   std::printf("%s\n", RenderTable1(analysis, sweeps.fig5, sweeps.fig6).c_str());

@@ -82,9 +82,14 @@ BenchTraces GenerateAllTraces() {
   t.c4 = LoadOrGenerateStandardTrace("C4");
   std::printf("generated %zu (A5) / %zu (E3) / %zu (C4) trace records\n\n",
               t.a5.trace.size(), t.e3.trace.size(), t.c4.trace.size());
-  t.a5_analysis = AnalyzeTrace(t.a5.trace);
-  t.e3_analysis = AnalyzeTrace(t.e3.trace);
-  t.c4_analysis = AnalyzeTrace(t.c4.trace);
+  auto analyze = [](const Trace& trace) {
+    AnalyzeOptions options;
+    options.trace = &trace;
+    return Analyze(options).value();
+  };
+  t.a5_analysis = analyze(t.a5.trace);
+  t.e3_analysis = analyze(t.e3.trace);
+  t.c4_analysis = analyze(t.c4.trace);
   return t;
 }
 

@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
   GeneratorOptions options;
   options.duration = Duration::Hours(hours);
   const Trace trace = GenerateTraceOnly(ProfileByName(name), options);
-  const TraceAnalysis analysis = AnalyzeTrace(trace);
+  AnalyzeOptions analyze_options;
+  analyze_options.trace = &trace;
+  const TraceAnalysis analysis = Analyze(analyze_options).value();
 
   std::cout << RenderTable4({{name, &analysis}}) << "\n";
 

@@ -40,7 +40,9 @@ int main(int argc, char** argv) {
   }
 
   // Section 5: how the file system is used.
-  const TraceAnalysis analysis = AnalyzeTrace(trace);
+  AnalyzeOptions analyze_options;
+  analyze_options.trace = &trace;
+  const TraceAnalysis analysis = Analyze(analyze_options).value();
   const std::vector<NamedAnalysis> named = {{name, &analysis}};
   std::cout << RenderTable3(named) << "\n";
   std::cout << RenderTable5(named) << "\n";

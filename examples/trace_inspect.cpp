@@ -78,7 +78,9 @@ int CmdSummary(const std::string& path) {
   if (!trace.ok()) {
     return 1;
   }
-  const TraceAnalysis analysis = AnalyzeTrace(trace.value());
+  AnalyzeOptions analyze_options;
+  analyze_options.trace = &trace.value();
+  const TraceAnalysis analysis = Analyze(analyze_options).value();
   const std::vector<NamedAnalysis> named = {{trace.value().header().machine, &analysis}};
   std::cout << RenderTable3(named) << "\n" << RenderTable5(named) << "\n"
             << RenderEventIntervals(named);

@@ -43,7 +43,9 @@ int main(int argc, char** argv) {
   for (const Window& w : windows) {
     const Trace slice = SliceByTime(trace, SimTime::FromSeconds(w.start_h * 3600),
                                     SimTime::FromSeconds((w.start_h + 1) * 3600));
-    const TraceAnalysis a = AnalyzeTrace(slice);
+    AnalyzeOptions analyze_options;
+    analyze_options.trace = &slice;
+    const TraceAnalysis a = Analyze(analyze_options).value();
     when.AddRow({w.label, Cell(static_cast<int64_t>(slice.size())),
                  FormatBytes(static_cast<double>(a.overall.bytes_transferred)),
                  Cell(static_cast<int64_t>(a.activity.distinct_users))});

@@ -30,8 +30,8 @@ class MuxSink : public ReconstructionSink {
   std::array<ReconstructionSink*, 6> sinks_;
 };
 
-// Bundles the six collectors plus their fan-out sink; both entry points
-// drive the same bundle, differing only in how records arrive.
+// Bundles the six collectors plus their fan-out sink; both serial entry
+// points drive the same bundle, differing only in how records arrive.
 class CollectorSet {
  public:
   CollectorSet()
@@ -65,19 +65,47 @@ class CollectorSet {
 
 }  // namespace
 
-TraceAnalysis AnalyzeTrace(const Trace& trace) {
+const char* AnalyzeModeName(AnalyzeMode mode) {
+  switch (mode) {
+    case AnalyzeMode::kSerial:
+      return "serial";
+    case AnalyzeMode::kParallel:
+      return "parallel";
+    case AnalyzeMode::kLive:
+      return "live";
+  }
+  return "?";
+}
+
+namespace internal {
+
+TraceAnalysis SerialAnalyze(const Trace& trace) {
   CollectorSet collectors;
   Reconstruct(trace, collectors.sink());
   return collectors.Take();
 }
 
-StatusOr<TraceAnalysis> AnalyzeTrace(TraceSource& source) {
+StatusOr<TraceAnalysis> SerialAnalyze(TraceSource& source) {
   CollectorSet collectors;
   const Status status = Reconstruct(source, collectors.sink());
   if (!status.ok()) {
     return status;
   }
   return collectors.Take();
+}
+
+}  // namespace internal
+
+TraceAnalysis AnalyzeTrace(const Trace& trace) {
+  AnalyzeOptions options;
+  options.trace = &trace;
+  return std::move(Analyze(options)).value();
+}
+
+StatusOr<TraceAnalysis> AnalyzeTrace(TraceSource& source) {
+  AnalyzeOptions options;
+  options.source = &source;
+  return Analyze(options);
 }
 
 }  // namespace bsdtrace

@@ -2,288 +2,13 @@
 
 #include <atomic>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
-#include "src/analysis/activity.h"
-#include "src/analysis/lifetimes.h"
-#include "src/analysis/overall.h"
-#include "src/analysis/patterns.h"
-#include "src/analysis/per_user_activity.h"
-#include "src/analysis/sequentiality.h"
-#include "src/trace/reconstruct.h"
+#include "src/analysis/segment_stitcher.h"
 
 namespace bsdtrace {
 namespace {
-
-// Fans reconstruction callbacks out to the worker's collectors (the same
-// shape as the serial analyzer's mux, local to this translation unit).
-class WorkerMux : public ReconstructionSink {
- public:
-  WorkerMux(std::initializer_list<ReconstructionSink*> sinks) : sinks_(sinks) {}
-
-  void OnTransfer(const Transfer& t) override {
-    for (ReconstructionSink* s : sinks_) {
-      s->OnTransfer(t);
-    }
-  }
-  void OnAccess(const AccessSummary& a) override {
-    for (ReconstructionSink* s : sinks_) {
-      s->OnAccess(a);
-    }
-  }
-  void OnRecord(const TraceRecord& r) override {
-    for (ReconstructionSink* s : sinks_) {
-      s->OnRecord(r);
-    }
-  }
-
- private:
-  std::vector<ReconstructionSink*> sinks_;
-};
-
-// A record the worker could not interpret (its open lies in an earlier
-// segment), plus the lifetime zone its eventual write transfer lands in.
-struct OrphanRecord {
-  TraceRecord record;
-  LifetimeOrphanTag tag;
-};
-
-// Everything one worker hands to the stitcher.
-struct SegmentResult {
-  Status status = Status::Ok();
-  std::vector<OrphanRecord> orphans;
-  std::unordered_map<OpenId, AccessReconstructor::OpenState> open_states;
-  OverallStats overall;
-  std::unordered_map<OpenId, SimTime> pending_last_events;
-  ActivitySegment activity;
-  PerUserSegment per_user;
-  SequentialityStats sequentiality;
-  RunLengthStats runs;
-  FileSizeStats file_sizes;
-  OpenTimeStats open_times;
-  LifetimeSegment lifetimes;
-};
-
-// One full collector pass over a single segment.
-SegmentResult RunSegment(TraceSource& cursor) {
-  SegmentResult seg;
-  OverallStatsCollector overall;
-  ActivityCollector activity(/*segment_mode=*/true);
-  PerUserActivityCollector per_user(/*segment_mode=*/true);
-  SequentialityCollector sequentiality;
-  PatternsCollector patterns;
-  LifetimeCollector lifetimes(/*segment_mode=*/true);
-  WorkerMux mux{&overall, &activity, &per_user, &sequentiality, &patterns, &lifetimes};
-  AccessReconstructor reconstructor(&mux);
-
-  TraceRecord r;
-  uint64_t orphans_seen = 0;
-  while (cursor.Next(&r)) {
-    reconstructor.Process(r);
-    if (reconstructor.orphan_events() != orphans_seen) {
-      orphans_seen = reconstructor.orphan_events();
-      seg.orphans.push_back(OrphanRecord{r, lifetimes.TagOrphanTransfer(r.file_id)});
-    }
-  }
-  if (!cursor.status().ok()) {
-    seg.status = cursor.status();
-    return seg;
-  }
-  seg.open_states = reconstructor.TakeOpenStates();
-  seg.overall = overall.Take();
-  seg.pending_last_events = overall.TakePendingLastEvents();
-  seg.activity = activity.TakeSegment();
-  seg.per_user = per_user.TakeSegment();
-  seg.sequentiality = sequentiality.Take();
-  seg.runs = patterns.TakeRuns();
-  seg.file_sizes = patterns.TakeFileSizes();
-  seg.open_times = patterns.TakeOpenTimes();
-  seg.lifetimes = lifetimes.TakeSegment();
-  return seg;
-}
-
-// An incarnation alive across a segment boundary.
-struct CarriedIncarnation {
-  SimTime birth;
-  uint64_t bytes = 0;
-};
-
-// Receives the carried reconstructor's output while the stitcher replays
-// orphan records.  Record-level bookkeeping (event counts, activity touches,
-// inter-event samples) is handled by the stitch loop itself — the workers
-// already counted the records — so OnRecord is deliberately a no-op.
-class StitchSink : public ReconstructionSink {
- public:
-  StitchSink(OverallStats* overall_extra, PatternsCollector* patterns,
-             SequentialityCollector* sequentiality, ActivitySegment* activity,
-             PerUserSegment* per_user,
-             std::unordered_map<FileId, CarriedIncarnation>* carried_live)
-      : overall_extra_(overall_extra),
-        patterns_(patterns),
-        sequentiality_(sequentiality),
-        activity_(activity),
-        per_user_(per_user),
-        carried_live_(carried_live) {}
-
-  void set_segment(LifetimeSegment* lifetimes) { lifetimes_ = lifetimes; }
-  void set_tag(LifetimeOrphanTag tag) { tag_ = tag; }
-
-  void OnTransfer(const Transfer& t) override {
-    overall_extra_->bytes_transferred += t.length;
-    if (t.direction == TransferDirection::kRead) {
-      overall_extra_->bytes_read += t.length;
-    } else {
-      overall_extra_->bytes_written += t.length;
-    }
-    patterns_->OnTransfer(t);
-    activity_->users_seen.insert(t.user_id);
-    activity_->total_bytes += t.length;
-    activity_->Touch(t.time, t.user_id, t.length);
-    per_user_->Touch(t.time, t.user_id, /*records=*/0, t.length);
-    if (t.direction == TransferDirection::kWrite) {
-      switch (tag_.zone) {
-        case LifetimeOrphanTag::Zone::kPre: {
-          auto it = carried_live_->find(t.file_id);
-          if (it != carried_live_->end()) {
-            it->second.bytes += t.length;
-          }
-          break;
-        }
-        case LifetimeOrphanTag::Zone::kSlot:
-          lifetimes_->slots[tag_.slot].bytes += t.length;
-          break;
-        case LifetimeOrphanTag::Zone::kDead:
-          break;  // a kill preceded the transfer; the bytes are dropped
-      }
-    }
-  }
-
-  void OnAccess(const AccessSummary& a) override {
-    sequentiality_->OnAccess(a);
-    patterns_->OnAccess(a);
-  }
-
- private:
-  OverallStats* overall_extra_;
-  PatternsCollector* patterns_;
-  SequentialityCollector* sequentiality_;
-  ActivitySegment* activity_;
-  PerUserSegment* per_user_;
-  std::unordered_map<FileId, CarriedIncarnation>* carried_live_;
-  LifetimeSegment* lifetimes_ = nullptr;
-  LifetimeOrphanTag tag_;
-};
-
-void EmitLifetimeSample(LifetimeStats* stats, SimTime birth, SimTime death,
-                        uint64_t bytes) {
-  const double lifetime = (death - birth).seconds();
-  stats->by_files.Add(lifetime);
-  if (bytes > 0) {
-    stats->by_bytes.Add(lifetime, static_cast<double>(bytes));
-  }
-  stats->observed_deaths += 1;
-}
-
-TraceAnalysis Stitch(std::vector<SegmentResult>& segments) {
-  TraceAnalysis result;
-  OverallStats overall_extra;  // stitch-side bytes + inter-event samples
-  PatternsCollector patterns;
-  SequentialityCollector sequentiality;
-  ActivitySegment activity;
-  PerUserSegment per_user;
-  std::unordered_map<FileId, CarriedIncarnation> carried_live;
-  std::unordered_map<OpenId, SimTime> carried_last_event;
-  LifetimeStats lifetime_extra;
-
-  StitchSink sink(&overall_extra, &patterns, &sequentiality, &activity, &per_user,
-                  &carried_live);
-  AccessReconstructor reconstructor(&sink);
-
-  for (SegmentResult& seg : segments) {
-    sink.set_segment(&seg.lifetimes);
-    // 1. Replay the records whose open lies in an earlier segment.  The
-    // carried reconstructor emits their transfers and access summaries; the
-    // loop itself restores the record-level effects the worker had to skip:
-    // the inter-event interval sample and the activity touch (both need the
-    // opening user / previous event time, known only here).
-    for (const OrphanRecord& orphan : seg.orphans) {
-      const TraceRecord& r = orphan.record;
-      const AccessReconstructor::OpenState* open = reconstructor.FindOpen(r.open_id);
-      const UserId user = open != nullptr ? open->summary.user_id : r.user_id;
-      auto last = carried_last_event.find(r.open_id);
-      if (last != carried_last_event.end()) {
-        overall_extra.inter_event_interval_seconds.Add((r.time - last->second).seconds());
-        if (r.type == EventType::kSeek) {
-          last->second = r.time;
-        } else {
-          carried_last_event.erase(last);
-        }
-      }
-      sink.set_tag(orphan.tag);
-      reconstructor.Process(r);
-      activity.users_seen.insert(user);
-      activity.Touch(r.time, user, 0);
-      per_user.Touch(r.time, user, /*records=*/1, /*bytes=*/0);
-    }
-
-    // 2. Adopt this segment's boundary state: its pending opens become the
-    // carried opens for later segments.
-    reconstructor.AdoptOpenStates(std::move(seg.open_states));
-    for (const auto& [open_id, time] : seg.pending_last_events) {
-      carried_last_event.insert_or_assign(open_id, time);
-    }
-
-    // 3. Lifetime boundary processing (orphan bytes are already routed).
-    // Pre-event bytes feed the carried incarnation; the segment's first
-    // birth-or-death event kills it; marked completed slots emit now that
-    // their byte counts are final; exit-live slots become carried.
-    for (const LifetimeSegment::FileBoundary& fb : seg.lifetimes.files) {
-      auto it = carried_live.find(fb.file);
-      if (it != carried_live.end()) {
-        it->second.bytes += fb.pre_bytes;
-        if (fb.has_event) {
-          EmitLifetimeSample(&lifetime_extra, it->second.birth, fb.first_event_time,
-                             it->second.bytes);
-          carried_live.erase(it);
-        }
-      }
-      if (fb.exit_slot >= 0) {
-        const LifetimeSegment::Slot& slot =
-            seg.lifetimes.slots[static_cast<size_t>(fb.exit_slot)];
-        carried_live[fb.file] = CarriedIncarnation{slot.birth, slot.bytes};
-      }
-    }
-    for (const LifetimeSegment::Slot& slot : seg.lifetimes.slots) {
-      if (slot.dead && slot.marked) {
-        EmitLifetimeSample(&lifetime_extra, slot.birth, slot.death, slot.bytes);
-      }
-    }
-
-    // 4. Merge the order-free partials.
-    result.overall.Merge(seg.overall);
-    activity.Merge(seg.activity);
-    per_user.Merge(seg.per_user);
-    result.sequentiality.Merge(seg.sequentiality);
-    result.runs.Merge(seg.runs);
-    result.file_sizes.Merge(seg.file_sizes);
-    result.open_times.Merge(seg.open_times);
-    result.lifetimes.Merge(seg.lifetimes.local);
-  }
-
-  // Incarnations still alive at the end of the trace are right-censored and
-  // dropped, exactly as the streaming collector drops its live_ map.
-  result.overall.Merge(overall_extra);
-  result.sequentiality.Merge(sequentiality.Take());
-  result.runs.Merge(patterns.TakeRuns());
-  result.file_sizes.Merge(patterns.TakeFileSizes());
-  result.open_times.Merge(patterns.TakeOpenTimes());
-  result.lifetimes.Merge(lifetime_extra);
-  result.activity = activity.Finalize();
-  result.per_user = per_user.Finalize();
-  return result;
-}
 
 // Segments below this record count are not worth a worker: the stitch pass
 // and collector setup cost more than the records.  CarveIndex coalesces the
@@ -330,20 +55,19 @@ std::vector<std::pair<size_t, size_t>> CarveIndex(
   return ranges;
 }
 
-}  // namespace internal
-
-StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable,
-                                             unsigned threads) {
+StatusOr<TraceAnalysis> SegmentedAnalyze(const SeekableTraceSource& seekable,
+                                         unsigned threads) {
   if (!seekable.status().ok()) {
     return seekable.status();
   }
   const std::vector<TraceBlockIndexEntry>& index = seekable.index();
   std::vector<std::pair<size_t, size_t>> ranges =
       threads <= 1 ? std::vector<std::pair<size_t, size_t>>{}
-                   : internal::CarveIndex(index, threads, kMinSegmentRecords);
+                   : CarveIndex(index, threads, kMinSegmentRecords);
   if (ranges.size() < 2) {
+    // Not worth segmenting: run — and report — the serial streaming pass.
     TraceFileSource source(seekable.path());
-    return AnalyzeTrace(source);
+    return SerialAnalyze(source);
   }
 
   std::vector<SegmentResult> segments(ranges.size());
@@ -368,12 +92,33 @@ StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable
       return seg.status;
     }
   }
-  return Stitch(segments);
+
+  SegmentStitcher stitcher;
+  for (SegmentResult& seg : segments) {
+    stitcher.Add(std::move(seg));
+  }
+  TraceAnalysis result = stitcher.Finish();
+  result.mode = AnalyzeMode::kParallel;
+  result.threads_used = static_cast<unsigned>(pool);
+  result.segments_used = ranges.size();
+  return result;
+}
+
+}  // namespace internal
+
+StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable,
+                                             unsigned threads) {
+  AnalyzeOptions options;
+  options.seekable = &seekable;
+  options.threads = threads;
+  return Analyze(options);
 }
 
 StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const std::string& path, unsigned threads) {
-  SeekableTraceSource seekable(path);
-  return ParallelAnalyzeTrace(seekable, threads);
+  AnalyzeOptions options;
+  options.path = path;
+  options.threads = threads;
+  return Analyze(options);
 }
 
 namespace {

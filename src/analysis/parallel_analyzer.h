@@ -2,15 +2,12 @@
 //
 // The trace is carved at block boundaries (the v3 footer index) into one
 // contiguous segment per worker.  Each worker runs the full collector set
-// over its segment in isolation, exporting (a) order-free partial statistics
-// and (b) boundary state: opens still pending at the segment's end, plus the
-// records it could not interpret because their open lies in an earlier
-// segment ("orphans" — a close or seek whose open straddles the boundary).
-// A serial stitch pass then walks the segments in time order, replaying each
-// segment's orphans against the open state carried from earlier segments,
-// and merges the partials.
+// over its segment in isolation (SegmentCollector), and a serial stitch pass
+// (SegmentStitcher) walks the segments in time order, replaying boundary
+// orphans and merging the partials — see segment_stitcher.h, which both
+// this engine and the rolling live analyzer share.
 //
-// The result is bit-identical to the serial AnalyzeTrace: every counter is
+// The result is bit-identical to the serial analyzer: every counter is
 // exact integer arithmetic, every CDF is canonicalized over its sample
 // multiset (WeightedCdf), and the one order-sensitive reduction — Table IV's
 // Welford accumulators — is rebuilt by replaying the merged per-interval
@@ -29,13 +26,10 @@
 
 namespace bsdtrace {
 
-// Analyzes the trace with up to `threads` workers.  Falls back to the serial
-// streaming pass — same results by construction — when threads <= 1, the
-// file has no block index (v1/v2, or v3/v4 written without one), or the
-// index holds too few records to be worth splitting.  I/O or corruption
-// errors surface as a Status.
+// Deprecated: use Analyze({.seekable = &seekable, .threads = threads}).
 StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable,
                                              unsigned threads);
+// Deprecated: use Analyze({.path = path, .threads = threads}).
 StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const std::string& path, unsigned threads);
 
 namespace internal {
@@ -47,15 +41,25 @@ namespace internal {
 // many near-empty footer entries — yields a few substantial segments instead
 // of degenerating to per-block workers.  Segment boundaries affect only load
 // balance, never results: the stitcher is carve-agnostic.  Exposed for
-// tests; ParallelAnalyzeTrace uses it with its default minimum.
+// tests; the segmented engine uses it with its default minimum.
 std::vector<std::pair<size_t, size_t>> CarveIndex(
     const std::vector<TraceBlockIndexEntry>& index, unsigned threads, uint64_t min_records);
+
+// The segmented engine behind Analyze() for indexed on-disk traces.  Falls
+// back to the serial streaming pass — same results by construction — when
+// threads <= 1, the file has no block index (v1/v2, or v3/v4 written
+// without one), or the index holds too few records to be worth splitting;
+// the analysis reports which engine actually ran (TraceAnalysis::mode).
+StatusOr<TraceAnalysis> SegmentedAnalyze(const SeekableTraceSource& seekable,
+                                         unsigned threads);
 
 }  // namespace internal
 
 // Exact (bitwise) equality of two analyses — the parity check used by tests
 // and bench_micro_analyze.  Every scalar, counter, Welford accumulator, and
-// CDF sample multiset must match exactly.
+// CDF sample multiset must match exactly.  Execution metadata (mode, thread
+// and segment counts, band verdicts) is deliberately ignored: the guarantee
+// is that every engine computes the same statistics.
 bool AnalysisBitIdentical(const TraceAnalysis& a, const TraceAnalysis& b);
 
 }  // namespace bsdtrace

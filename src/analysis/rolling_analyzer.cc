@@ -1,0 +1,63 @@
+#include "src/analysis/rolling_analyzer.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bsdtrace {
+
+RollingAnalyzer::RollingAnalyzer(Duration interval, SnapshotCallback callback)
+    : interval_(interval),
+      callback_(std::move(callback)),
+      next_boundary_(SimTime::Origin() + interval),
+      segment_(new SegmentCollector()) {
+  assert(interval.micros() > 0);
+}
+
+void RollingAnalyzer::CloseSegment() {
+  stitcher_.Add(segment_->Take());
+  segment_ = std::make_unique<SegmentCollector>();
+}
+
+void RollingAnalyzer::Process(const TraceRecord& record) {
+  if (record.time >= next_boundary_) {
+    // The records seen so far all precede the boundary; close their segment
+    // once, then publish a snapshot per crossed boundary (idle intervals
+    // re-publish the same prefix).
+    CloseSegment();
+    TraceAnalysis snapshot = stitcher_.Snapshot();
+    snapshot.mode = AnalyzeMode::kLive;
+    snapshot.segments_used = stitcher_.segments();
+    while (record.time >= next_boundary_) {
+      ++snapshots_;
+      if (callback_) {
+        callback_(snapshot, next_boundary_);
+      }
+      next_boundary_ += interval_;
+    }
+  }
+  segment_->Process(record);
+  ++records_;
+}
+
+TraceAnalysis RollingAnalyzer::Finish() {
+  stitcher_.Add(segment_->Take());
+  TraceAnalysis result = stitcher_.Finish();
+  result.mode = AnalyzeMode::kLive;
+  result.segments_used = stitcher_.segments();
+  return result;
+}
+
+StatusOr<TraceAnalysis> RollingAnalyze(TraceSource& source, Duration interval,
+                                       RollingAnalyzer::SnapshotCallback callback) {
+  RollingAnalyzer rolling(interval, std::move(callback));
+  TraceRecord record;
+  while (source.Next(&record)) {
+    rolling.Process(record);
+  }
+  if (!source.status().ok()) {
+    return source.status();
+  }
+  return rolling.Finish();
+}
+
+}  // namespace bsdtrace

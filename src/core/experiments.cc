@@ -6,9 +6,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
-#include <thread>
 
-#include "src/analysis/parallel_analyzer.h"
 #include "src/util/csv.h"
 #include "src/util/plot.h"
 #include "src/util/table.h"
@@ -99,15 +97,13 @@ GenerationResult GenerateStandardTrace(const std::string& name) {
 }
 
 StatusOr<TraceAnalysis> AnalyzeTraceFile(const std::string& path, unsigned threads) {
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) {
-      threads = 1;
-    }
-  }
-  // ParallelAnalyzeTrace falls back to the serial streaming pass on its own
-  // when the file has no usable block index or threads <= 1.
-  return ParallelAnalyzeTrace(path, threads);
+  // Analyze() resolves threads == 0 to hardware concurrency and falls back to
+  // the serial streaming pass on its own when the file has no usable block
+  // index or threads <= 1; the result reports which engine ran (::mode).
+  AnalyzeOptions options;
+  options.path = path;
+  options.threads = threads;
+  return Analyze(options);
 }
 
 StandardSweeps RunStandardSweeps(const Trace& trace, unsigned threads) {

@@ -1,17 +1,27 @@
 #include "src/core/trace_stream_cli.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/parallel_analyzer.h"
 #include "src/analysis/per_user_activity.h"
+#include "src/analysis/rolling_analyzer.h"
 #include "src/core/experiments.h"
 #include "src/trace/trace_io.h"
+#include "src/trace/trace_ring.h"
 #include "src/trace/trace_source.h"
 #include "src/trace/validate.h"
 #include "src/workload/fleet.h"
@@ -31,6 +41,11 @@ int Usage() {
       "                             [--compress=none|lz] [--wave-users=N]\n"
       "       trace_stream analyze  <in.trc> [--threads=N] [--check-bands]\n"
       "                             [--sweep=fig5|fig6|fig7]\n"
+      "       trace_stream serve    [--profile=SPEC] [--users=N] [--hours=H]\n"
+      "                             [--shards=S] [--threads=T] [--seed=X]\n"
+      "                             [--analyzers=K] [--capacity=C]\n"
+      "                             [--policy=block|drop-oldest]\n"
+      "                             [--snapshot-hours=H] [--check-bands]\n"
       "       trace_stream info     <in.trc>\n"
       "profile: A5 | E3 | C4 | a fleet spec like fleet:4xA5+2xE3+2xC4\n"
       "--users=N population-scales every machine instance to N users\n"
@@ -38,7 +53,11 @@ int Usage() {
       "--wave-users=N generates the fleet in bounded-memory waves of at most\n"
       "N (scaled) users each; the record stream is wave-invariant\n"
       "--sweep runs the planned §6 cache sweep (fused replays + one-pass\n"
-      "Mattson curves) instead of the §5 analysis tables\n");
+      "Mattson curves) instead of the §5 analysis tables\n"
+      "serve streams the generator through an in-memory ring to K rolling\n"
+      "analyzers (no file in between), publishing a snapshot every\n"
+      "--snapshot-hours of simulated time; SIGINT/SIGTERM shut it down\n"
+      "cleanly\n");
   return 2;
 }
 
@@ -92,107 +111,200 @@ int BadArg(const char* what, const std::string& value) {
   return Usage();
 }
 
-// Returns the flag's value if `arg` is --name=value, nullptr otherwise.
-const char* FlagValue(const char* arg, const char* name) {
-  const size_t n = std::strlen(name);
-  if (std::strncmp(arg, "--", 2) == 0 && std::strncmp(arg + 2, name, n) == 0 &&
-      arg[2 + n] == '=') {
-    return arg + 2 + n + 1;
-  }
-  return nullptr;
-}
+// -- The one flag table -------------------------------------------------------
+//
+// Every flag any subcommand accepts is defined exactly once here: name,
+// whether it takes a =value, and how it parses into CliOptions.  A
+// subcommand declares its surface as a list of names (ParseFlags); there are
+// no per-subcommand parser copies, so --seed means the same thing — same
+// syntax, same range, same strictness — everywhere it is accepted.
 
-int Generate(int argc, const char* const* argv) {
-  std::string out_path;
-  std::string profile_spec = "A5";
+struct CliOptions {
+  std::string profile = "A5";
+  int users = 0;  // 0: keep each profile's native population
   double hours = 6.0;
-  int users = 0;
   int shards = 8;
-  int threads = 0;
+  int threads = 0;  // 0: hardware concurrency
   int wave_users = 0;
   uint64_t seed = 19851201;
   std::string compress = "none";
+  bool check_bands = false;
+  std::string sweep;
+  // serve only
+  int analyzers = 1;
+  int capacity = 1 << 14;
+  std::string policy = "block";
+  double snapshot_hours = 1.0;
+};
 
-  // Positionals in the legacy order first, then flags, so flags win.
-  std::vector<std::string> positional;
-  std::vector<const char*> flags;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
-      flags.push_back(argv[i]);
-    } else {
-      positional.push_back(argv[i]);
-    }
-  }
-  if (positional.empty() || positional.size() > 6) {
-    return Usage();
-  }
-  out_path = positional[0];
-  if (positional.size() > 1) {
-    profile_spec = positional[1];
-  }
-  if (positional.size() > 2 && !ParseHoursArg(positional[2], &hours)) {
-    return BadArg("hours", positional[2]);
-  }
-  if (positional.size() > 3 && !ParseIntArg(positional[3], 1, 4096, &shards)) {
-    return BadArg("shards", positional[3]);
-  }
-  if (positional.size() > 4 && !ParseIntArg(positional[4], 0, 4096, &threads)) {
-    return BadArg("threads", positional[4]);
-  }
-  if (positional.size() > 5 && !ParseU64Arg(positional[5], &seed)) {
-    return BadArg("seed", positional[5]);
-  }
+struct FlagSpec {
+  const char* name;
+  bool takes_value;
+  // Returns false if the value is invalid (the caller reports it).
+  std::function<bool(CliOptions*, const std::string&)> parse;
+};
+
+const std::vector<FlagSpec>& FlagTable() {
+  static const std::vector<FlagSpec>* table = new std::vector<FlagSpec>{
+      {"profile", true,
+       [](CliOptions* o, const std::string& v) {
+         o->profile = v;
+         return !v.empty();
+       }},
+      {"users", true,
+       [](CliOptions* o, const std::string& v) {
+         return ParseIntArg(v, 0, 1000000, &o->users);
+       }},
+      {"hours", true,
+       [](CliOptions* o, const std::string& v) { return ParseHoursArg(v, &o->hours); }},
+      {"shards", true,
+       [](CliOptions* o, const std::string& v) { return ParseIntArg(v, 1, 4096, &o->shards); }},
+      {"threads", true,
+       [](CliOptions* o, const std::string& v) { return ParseIntArg(v, 0, 4096, &o->threads); }},
+      {"seed", true,
+       [](CliOptions* o, const std::string& v) { return ParseU64Arg(v, &o->seed); }},
+      {"compress", true,
+       [](CliOptions* o, const std::string& v) {
+         o->compress = v;
+         return v == "none" || v == "lz";
+       }},
+      {"wave-users", true,
+       [](CliOptions* o, const std::string& v) {
+         return ParseIntArg(v, 0, 100000000, &o->wave_users);
+       }},
+      {"check-bands", false,
+       [](CliOptions* o, const std::string&) {
+         o->check_bands = true;
+         return true;
+       }},
+      {"sweep", true,
+       [](CliOptions* o, const std::string& v) {
+         o->sweep = v;
+         return v == "fig5" || v == "fig6" || v == "fig7";
+       }},
+      {"analyzers", true,
+       [](CliOptions* o, const std::string& v) { return ParseIntArg(v, 1, 64, &o->analyzers); }},
+      {"capacity", true,
+       [](CliOptions* o, const std::string& v) {
+         return ParseIntArg(v, 2, 1 << 24, &o->capacity);
+       }},
+      {"policy", true,
+       [](CliOptions* o, const std::string& v) {
+         o->policy = v;
+         return v == "block" || v == "drop-oldest";
+       }},
+      {"snapshot-hours", true,
+       [](CliOptions* o, const std::string& v) {
+         return ParseHoursArg(v, &o->snapshot_hours);
+       }},
+  };
+  return *table;
+}
+
+// Parses every --flag argument against the table, restricted to `allowed`
+// (the subcommand's surface).  Returns 0 on success, a Usage() exit code
+// otherwise.  Non-flag arguments are the caller's positionals.
+int ParseFlags(const std::vector<const char*>& flags,
+               std::initializer_list<const char*> allowed, CliOptions* out) {
   for (const char* arg : flags) {
-    if (const char* v = FlagValue(arg, "profile")) {
-      profile_spec = v;
-    } else if (const char* v = FlagValue(arg, "users")) {
-      if (!ParseIntArg(v, 0, 1000000, &users)) {
-        return BadArg("--users", v);
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "trace_stream: expected a --flag, got \"%s\"\n", arg);
+      return Usage();
+    }
+    const char* body = arg + 2;
+    const char* eq = std::strchr(body, '=');
+    const std::string name = eq != nullptr ? std::string(body, eq) : std::string(body);
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& s : FlagTable()) {
+      if (name == s.name) {
+        spec = &s;
+        break;
       }
-    } else if (const char* v = FlagValue(arg, "hours")) {
-      if (!ParseHoursArg(v, &hours)) {
-        return BadArg("--hours", v);
+    }
+    bool in_surface = false;
+    for (const char* a : allowed) {
+      if (name == a) {
+        in_surface = true;
+        break;
       }
-    } else if (const char* v = FlagValue(arg, "shards")) {
-      if (!ParseIntArg(v, 1, 4096, &shards)) {
-        return BadArg("--shards", v);
-      }
-    } else if (const char* v = FlagValue(arg, "threads")) {
-      if (!ParseIntArg(v, 0, 4096, &threads)) {
-        return BadArg("--threads", v);
-      }
-    } else if (const char* v = FlagValue(arg, "seed")) {
-      if (!ParseU64Arg(v, &seed)) {
-        return BadArg("--seed", v);
-      }
-    } else if (const char* v = FlagValue(arg, "compress")) {
-      compress = v;
-      if (compress != "none" && compress != "lz") {
-        return BadArg("--compress", v);
-      }
-    } else if (const char* v = FlagValue(arg, "wave-users")) {
-      if (!ParseIntArg(v, 0, 100000000, &wave_users)) {
-        return BadArg("--wave-users", v);
-      }
-    } else {
+    }
+    if (spec == nullptr || !in_surface) {
       std::fprintf(stderr, "trace_stream: unknown flag \"%s\"\n", arg);
       return Usage();
     }
+    if (spec->takes_value != (eq != nullptr)) {
+      std::fprintf(stderr, "trace_stream: flag \"--%s\" %s a value\n", spec->name,
+                   spec->takes_value ? "requires" : "does not take");
+      return Usage();
+    }
+    const std::string value = eq != nullptr ? std::string(eq + 1) : std::string();
+    if (!spec->parse(out, value)) {
+      return BadArg(("--" + name).c_str(), value);
+    }
+  }
+  return 0;
+}
+
+// Splits argv into positionals and flag arguments (anything led by "--").
+void SplitArgs(int argc, const char* const* argv, std::vector<std::string>* positional,
+               std::vector<const char*>* flags) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flags->push_back(argv[i]);
+    } else {
+      positional->push_back(argv[i]);
+    }
+  }
+}
+
+// -- generate -----------------------------------------------------------------
+
+int CmdGenerate(int argc, const char* const* argv) {
+  CliOptions opt;
+  std::vector<std::string> positional;
+  std::vector<const char*> flags;
+  SplitArgs(argc, argv, &positional, &flags);
+  if (positional.empty() || positional.size() > 6) {
+    return Usage();
+  }
+  // Positionals in the legacy order first, then flags, so flags win.
+  const std::string out_path = positional[0];
+  if (positional.size() > 1) {
+    opt.profile = positional[1];
+  }
+  if (positional.size() > 2 && !ParseHoursArg(positional[2], &opt.hours)) {
+    return BadArg("hours", positional[2]);
+  }
+  if (positional.size() > 3 && !ParseIntArg(positional[3], 1, 4096, &opt.shards)) {
+    return BadArg("shards", positional[3]);
+  }
+  if (positional.size() > 4 && !ParseIntArg(positional[4], 0, 4096, &opt.threads)) {
+    return BadArg("threads", positional[4]);
+  }
+  if (positional.size() > 5 && !ParseU64Arg(positional[5], &opt.seed)) {
+    return BadArg("seed", positional[5]);
+  }
+  if (const int rc = ParseFlags(flags,
+                                {"profile", "users", "hours", "shards", "threads", "seed",
+                                 "compress", "wave-users"},
+                                &opt);
+      rc != 0) {
+    return rc;
   }
 
-  StatusOr<FleetProfile> fleet = ParseFleetSpec(profile_spec, users);
+  StatusOr<FleetProfile> fleet = ParseFleetSpec(opt.profile, opt.users);
   if (!fleet.ok()) {
     std::fprintf(stderr, "trace_stream: %s\n", fleet.status().message().c_str());
     return Usage();
   }
 
   FleetGeneratorOptions options;
-  options.base.seed = seed;
-  options.base.duration = Duration::Hours(hours);
-  options.shards_per_machine = shards;
-  options.threads = threads;
-  options.wave_users = wave_users;
-  if (compress == "lz") {
+  options.base.seed = opt.seed;
+  options.base.duration = Duration::Hours(opt.hours);
+  options.shards_per_machine = opt.shards;
+  options.threads = opt.threads;
+  options.wave_users = opt.wave_users;
+  if (opt.compress == "lz") {
     options.file_options.version = 4;  // codec defaults to lz in v4
   }
 
@@ -207,16 +319,17 @@ int Generate(int argc, const char* const* argv) {
               s.header.description.c_str());
   std::printf("spilled %.1f MB across %zu machine(s) x %d shards in %llu wave(s); fsck %s\n",
               static_cast<double>(s.spill_bytes_written) / 1048576.0,
-              fleet.value().machines.size(), shards,
+              fleet.value().machines.size(), opt.shards,
               static_cast<unsigned long long>(s.waves),
               s.fsck.ok() ? "clean" : s.fsck.Summary().c_str());
   return s.fsck.ok() ? 0 : 1;
 }
 
+// -- analyze ------------------------------------------------------------------
+
 // Prints the per-instance Table I verdicts; returns 0 only if every
 // instance's per-user rate sits inside its profile band.
-int ReportBands(const TraceHeader& header, const PerUserActivityStats& per_user) {
-  const std::vector<ActivityBandCheck> checks = CheckActivityBands(header, per_user);
+int ReportBands(const std::vector<ActivityBandCheck>& checks) {
   if (checks.empty()) {
     std::fprintf(stderr,
                  "check-bands: trace carries no fleet tag (or is too short); "
@@ -235,33 +348,19 @@ int ReportBands(const TraceHeader& header, const PerUserActivityStats& per_user)
   return all_ok ? 0 : 1;
 }
 
-int Analyze(int argc, const char* const* argv) {
-  if (argc < 1) {
+int CmdAnalyze(int argc, const char* const* argv) {
+  CliOptions opt;
+  std::vector<std::string> positional;
+  std::vector<const char*> flags;
+  SplitArgs(argc, argv, &positional, &flags);
+  if (positional.size() != 1) {
     return Usage();
   }
-  const std::string path = argv[0];
-  unsigned threads = 0;  // hardware concurrency
-  bool check_bands = false;
-  std::string sweep;
-  for (int i = 1; i < argc; ++i) {
-    if (const char* v = FlagValue(argv[i], "threads")) {
-      int t = 0;
-      if (!ParseIntArg(v, 0, 4096, &t)) {
-        return BadArg("--threads", v);
-      }
-      threads = static_cast<unsigned>(t);
-    } else if (const char* v = FlagValue(argv[i], "sweep")) {
-      sweep = v;
-      if (sweep != "fig5" && sweep != "fig6" && sweep != "fig7") {
-        return BadArg("--sweep", v);
-      }
-    } else if (std::strcmp(argv[i], "--check-bands") == 0) {
-      check_bands = true;
-    } else {
-      return Usage();
-    }
+  const std::string path = positional[0];
+  if (const int rc = ParseFlags(flags, {"threads", "check-bands", "sweep"}, &opt); rc != 0) {
+    return rc;
   }
-  if (!sweep.empty()) {
+  if (!opt.sweep.empty()) {
     // The cache sweep replays reconstructed transfers, so it needs the
     // records in memory (the §5 tables stream instead).
     StatusOr<Trace> trace = LoadTrace(path);
@@ -270,12 +369,14 @@ int Analyze(int argc, const char* const* argv) {
                    trace.status().message().c_str());
       return 1;
     }
-    const std::vector<CacheConfig> configs =
-        sweep == "fig5" ? Fig5Configs() : sweep == "fig6" ? Fig6Configs() : Fig7Configs();
-    const PlannedSweep planned = RunPlannedSweep(trace.value(), configs, {}, threads);
-    if (sweep == "fig5") {
+    const std::vector<CacheConfig> configs = opt.sweep == "fig5"   ? Fig5Configs()
+                                             : opt.sweep == "fig6" ? Fig6Configs()
+                                                                   : Fig7Configs();
+    const PlannedSweep planned = RunPlannedSweep(trace.value(), configs, {},
+                                                 static_cast<unsigned>(opt.threads));
+    if (opt.sweep == "fig5") {
       std::fputs(RenderFigure5Table6(planned.points).c_str(), stdout);
-    } else if (sweep == "fig6") {
+    } else if (opt.sweep == "fig6") {
       std::fputs(RenderFigure6Table7(planned.points).c_str(), stdout);
     } else {
       std::fputs(RenderFigure7(planned.points).c_str(), stdout);
@@ -287,29 +388,229 @@ int Analyze(int argc, const char* const* argv) {
                 planned.parity ? "ok" : "FAIL");
     return planned.parity ? 0 : 1;
   }
-  auto analysis = AnalyzeTraceFile(path, threads);
+
+  AnalyzeOptions analyze_options;
+  analyze_options.path = path;
+  analyze_options.threads = static_cast<unsigned>(opt.threads);
+  analyze_options.check_bands = opt.check_bands;
+  auto analysis = Analyze(analyze_options);
   if (!analysis.ok()) {
     std::fprintf(stderr, "analyze failed: %s\n", analysis.status().message().c_str());
     return 1;
   }
-  TraceFileSource source(path);  // header only, for the table label + fleet tag
+  const TraceAnalysis& a = analysis.value();
+  TraceFileSource source(path);  // header only, for the table label
   const std::string label = source.status().ok() ? source.header().machine : path;
-  const std::vector<NamedAnalysis> named = {{label, &analysis.value()}};
+  const std::vector<NamedAnalysis> named = {{label, &a}};
   std::fputs(RenderTable3(named).c_str(), stdout);
   std::fputs(RenderTable4(named).c_str(), stdout);
   std::fputs(RenderTable5(named).c_str(), stdout);
-  if (check_bands) {
-    if (!source.status().ok()) {
-      std::fprintf(stderr, "check-bands: cannot re-read header: %s\n",
-                   source.status().message().c_str());
-      return 1;
-    }
-    return ReportBands(source.header(), analysis.value().per_user);
+  // Which engine actually ran: a serial fallback (no block index, one
+  // thread) is a fact worth surfacing, not a silent substitution.
+  std::printf("analysis engine: %s (%u thread(s), %zu segment(s))\n", AnalyzeModeName(a.mode),
+              a.threads_used, a.segments_used);
+  if (opt.check_bands) {
+    return ReportBands(a.band_checks);
   }
   return 0;
 }
 
-int Info(const char* path) {
+// -- serve --------------------------------------------------------------------
+
+// SIGINT/SIGTERM request a clean shutdown: the fan-out sink starts
+// discarding, the rings close, the analyzers finish their prefix.
+// Written by the signal handler on whichever thread takes the signal, read
+// by the generator thread: must be a lock-free atomic, not sig_atomic_t
+// (which is only async-signal-safe within a single thread).
+std::atomic<bool> g_stop{false};
+void HandleStopSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+// Fans the generator's record stream out to every analyzer's ring.  After a
+// stop signal it discards instead (counting what it threw away), so the
+// generator drains quickly without blocking on rings nobody empties.
+class FanoutRingSink : public TraceSink {
+ public:
+  explicit FanoutRingSink(std::vector<std::unique_ptr<TraceRing>>* rings) : rings_(rings) {}
+
+  void Append(const TraceRecord& record) override {
+    if (g_stop.load(std::memory_order_relaxed)) {
+      ++discarded_after_stop_;
+      return;
+    }
+    for (const std::unique_ptr<TraceRing>& ring : *rings_) {
+      ring->Push(record);
+    }
+  }
+
+  uint64_t discarded_after_stop() const { return discarded_after_stop_; }
+
+ private:
+  std::vector<std::unique_ptr<TraceRing>>* rings_;
+  uint64_t discarded_after_stop_ = 0;
+};
+
+int CmdServe(int argc, const char* const* argv) {
+  CliOptions opt;
+  std::vector<std::string> positional;
+  std::vector<const char*> flags;
+  SplitArgs(argc, argv, &positional, &flags);
+  if (!positional.empty()) {
+    return Usage();
+  }
+  if (const int rc = ParseFlags(flags,
+                                {"profile", "users", "hours", "shards", "threads", "seed",
+                                 "analyzers", "capacity", "policy", "snapshot-hours",
+                                 "check-bands"},
+                                &opt);
+      rc != 0) {
+    return rc;
+  }
+
+  StatusOr<FleetProfile> fleet = ParseFleetSpec(opt.profile, opt.users);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "trace_stream: %s\n", fleet.status().message().c_str());
+    return Usage();
+  }
+
+  FleetGeneratorOptions gen_options;
+  gen_options.base.seed = opt.seed;
+  gen_options.base.duration = Duration::Hours(opt.hours);
+  gen_options.shards_per_machine = opt.shards;
+  gen_options.threads = opt.threads;
+
+  TraceRingOptions ring_options;
+  ring_options.capacity = static_cast<size_t>(opt.capacity);
+  ring_options.policy = opt.policy == "drop-oldest" ? RingOverflowPolicy::kDropOldest
+                                                    : RingOverflowPolicy::kBlock;
+
+  // One ring per analyzer; each analyzer sees the full stream, so their
+  // results must agree bit-for-bit when nothing was dropped.
+  const TraceHeader header = FleetTraceHeader(fleet.value(), gen_options);
+  std::vector<std::unique_ptr<TraceRing>> rings;
+  for (int i = 0; i < opt.analyzers; ++i) {
+    rings.push_back(std::make_unique<TraceRing>(header, ring_options));
+  }
+  FanoutRingSink sink(&rings);
+
+  g_stop.store(false, std::memory_order_relaxed);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  std::printf("serving %s: %.1f simulated hours, %d analyzer(s), ring capacity %zu (%s), "
+              "snapshot every %.2fh\n",
+              fleet.value().spec.c_str(), opt.hours, opt.analyzers, rings[0]->capacity(),
+              opt.policy.c_str(), opt.snapshot_hours);
+  std::fflush(stdout);
+
+  // Generator thread: the sharded fleet generation streams its time-ordered
+  // merge into the fan-out sink — no intermediate file.
+  StatusOr<ShardedStreamStats> gen_result = Status::Error("generator did not run");
+  std::thread generator([&]() {
+    gen_result = GenerateFleetTo(fleet.value(), gen_options, sink);
+    for (const std::unique_ptr<TraceRing>& ring : rings) {
+      ring->Close();
+    }
+  });
+
+  // Analyzer threads: each drains its ring through a rolling analyzer.
+  // Analyzer 0 narrates its snapshots; the rest run silently and serve as
+  // the live parity check.
+  std::mutex print_mu;
+  std::vector<StatusOr<TraceAnalysis>> results(static_cast<size_t>(opt.analyzers),
+                                               Status::Error("analyzer did not run"));
+  std::vector<uint64_t> snapshot_counts(static_cast<size_t>(opt.analyzers), 0);
+  std::vector<std::thread> analyzers;
+  for (int i = 0; i < opt.analyzers; ++i) {
+    analyzers.emplace_back([&, i]() {
+      RingTraceSource source(rings[static_cast<size_t>(i)].get());
+      RollingAnalyzer::SnapshotCallback callback;
+      if (i == 0) {
+        callback = [&](const TraceAnalysis& snapshot, SimTime boundary) {
+          const TraceRingStats ring_stats = rings[0]->stats();
+          std::lock_guard<std::mutex> lock(print_mu);
+          std::printf("snapshot +%5.2fh  %9llu records  %4zu users  %8.0f bytes/s  "
+                      "ring occ %llu/%zu drops %llu\n",
+                      (boundary - SimTime::Origin()).hours(),
+                      static_cast<unsigned long long>(snapshot.overall.total_records),
+                      snapshot.per_user.users.size(), snapshot.activity.average_throughput,
+                      static_cast<unsigned long long>(ring_stats.produced -
+                                                      ring_stats.consumed -
+                                                      ring_stats.dropped_oldest),
+                      ring_stats.capacity,
+                      static_cast<unsigned long long>(ring_stats.dropped()));
+          std::fflush(stdout);
+        };
+      }
+      RollingAnalyzer rolling(Duration::Hours(opt.snapshot_hours), std::move(callback));
+      TraceRecord record;
+      while (source.Next(&record)) {
+        rolling.Process(record);
+      }
+      snapshot_counts[static_cast<size_t>(i)] = rolling.snapshots_published();
+      results[static_cast<size_t>(i)] = rolling.Finish();
+    });
+  }
+
+  generator.join();
+  for (std::thread& t : analyzers) {
+    t.join();
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const bool stopped = g_stop.load(std::memory_order_relaxed);
+  if (!stopped && !gen_result.ok()) {
+    std::fprintf(stderr, "serve: generation failed: %s\n",
+                 gen_result.status().message().c_str());
+    return 1;
+  }
+
+  uint64_t total_drops = 0;
+  for (size_t i = 0; i < rings.size(); ++i) {
+    const TraceRingStats s = rings[i]->stats();
+    total_drops += s.dropped();
+    std::printf("ring[%zu]: produced %llu consumed %llu dropped %llu max occupancy %llu/%zu\n",
+                i, static_cast<unsigned long long>(s.produced),
+                static_cast<unsigned long long>(s.consumed),
+                static_cast<unsigned long long>(s.dropped()),
+                static_cast<unsigned long long>(s.max_occupancy), s.capacity);
+  }
+
+  const TraceAnalysis& a = results[0].value();
+  // With zero drops every analyzer consumed the identical stream; their
+  // analyses must agree bit-for-bit — the live end of the parity gate.
+  bool parity = true;
+  if (total_drops == 0) {
+    for (size_t i = 1; i < results.size(); ++i) {
+      parity = parity && AnalysisBitIdentical(a, results[i].value());
+    }
+  }
+
+  const std::vector<NamedAnalysis> named = {{header.machine, &a}};
+  std::fputs(RenderTable3(named).c_str(), stdout);
+  std::fputs(RenderTable4(named).c_str(), stdout);
+  std::printf("analysis engine: %s (%zu segment(s), %llu snapshot(s))\n",
+              AnalyzeModeName(a.mode), a.segments_used,
+              static_cast<unsigned long long>(snapshot_counts[0]));
+  if (results.size() > 1 && total_drops == 0) {
+    std::printf("analyzer parity: %s across %zu analyzers\n", parity ? "ok" : "FAIL",
+                results.size());
+  }
+  std::printf("shutdown: %s (%llu record(s) discarded after stop)\n",
+              stopped ? "signal" : "end of stream",
+              static_cast<unsigned long long>(sink.discarded_after_stop()));
+
+  int rc = parity ? 0 : 1;
+  if (opt.check_bands && !stopped) {
+    const int band_rc = ReportBands(CheckActivityBands(header, a.per_user));
+    rc = rc != 0 ? rc : band_rc;
+  }
+  return rc;
+}
+
+// -- info ---------------------------------------------------------------------
+
+int CmdInfo(const char* path) {
   TraceFileSource source(path);
   if (!source.status().ok()) {
     std::fprintf(stderr, "cannot read %s: %s\n", path, source.status().message().c_str());
@@ -366,18 +667,24 @@ int Info(const char* path) {
 }  // namespace
 
 int TraceStreamMain(int argc, const char* const* argv) {
-  if (argc < 3) {
+  if (argc < 2) {
     return Usage();
   }
   const char* cmd = argv[1];
+  if (std::strcmp(cmd, "serve") == 0) {
+    return CmdServe(argc - 2, argv + 2);
+  }
+  if (argc < 3) {
+    return Usage();
+  }
   if (std::strcmp(cmd, "generate") == 0) {
-    return Generate(argc - 2, argv + 2);
+    return CmdGenerate(argc - 2, argv + 2);
   }
   if (std::strcmp(cmd, "analyze") == 0) {
-    return Analyze(argc - 2, argv + 2);
+    return CmdAnalyze(argc - 2, argv + 2);
   }
   if (std::strcmp(cmd, "info") == 0) {
-    return Info(argv[2]);
+    return CmdInfo(argv[2]);
   }
   return Usage();
 }

@@ -1,0 +1,107 @@
+#include "src/trace/trace_ring.h"
+
+#include <utility>
+
+namespace bsdtrace {
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 2;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(TraceHeader header, TraceRingOptions options)
+    : header_(std::move(header)),
+      policy_(options.policy),
+      push_timeout_(options.push_timeout),
+      slots_(RoundUpPowerOfTwo(options.capacity)) {
+  mask_ = slots_.size() - 1;
+}
+
+bool TraceRing::Push(const TraceRecord& record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) {
+    ++dropped_timeout_;
+    return false;
+  }
+  if (produce_ - consume_ == slots_.size()) {
+    if (policy_ == RingOverflowPolicy::kDropOldest) {
+      // Overwrite the oldest unconsumed slot: advance the consumer past it.
+      ++consume_;
+      ++dropped_oldest_;
+    } else {
+      auto have_space = [this] {
+        return closed_ || produce_ - consume_ < slots_.size();
+      };
+      if (push_timeout_.count() > 0) {
+        if (!not_full_.wait_for(lock, push_timeout_, have_space)) {
+          ++dropped_timeout_;
+          return false;
+        }
+      } else {
+        not_full_.wait(lock, have_space);
+      }
+      if (closed_) {
+        ++dropped_timeout_;
+        return false;
+      }
+    }
+  }
+  slots_[produce_ & mask_] = record;
+  ++produce_;
+  const uint64_t occupancy = produce_ - consume_;
+  if (occupancy > max_occupancy_) {
+    max_occupancy_ = occupancy;
+  }
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+void TraceRing::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool TraceRing::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+bool TraceRing::Pop(TraceRecord* record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || produce_ != consume_; });
+  if (produce_ == consume_) {
+    return false;  // closed and drained
+  }
+  *record = slots_[consume_ & mask_];
+  ++consume_;
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+TraceRingStats TraceRing::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceRingStats s;
+  s.capacity = slots_.size();
+  // consume_ advances once per record handed to the consumer AND once per
+  // drop-oldest overwrite, so the consumer-visible count subtracts the drops.
+  s.produced = produce_;
+  s.consumed = consume_ - dropped_oldest_;
+  s.dropped_oldest = dropped_oldest_;
+  s.dropped_timeout = dropped_timeout_;
+  s.max_occupancy = max_occupancy_;
+  return s;
+}
+
+}  // namespace bsdtrace

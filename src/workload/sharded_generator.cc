@@ -563,16 +563,22 @@ StatusOr<FleetPlan> PlanFleet(const FleetProfile& fleet, const FleetGeneratorOpt
     }
   }
 
-  fp.header.machine = "fleet:" + fleet.spec;
-  fp.header.description = "synthetic fleet " + fleet.spec + " trace, " +
-                          options.base.duration.ToString() + ", seed " +
-                          std::to_string(options.base.seed) + ", " +
-                          std::to_string(options.shards_per_machine) + " shards/machine";
-  fp.header.description = AppendFleetTag(std::move(fp.header.description), tags);
-  return std::move(fp);
+  fp.header = FleetTraceHeader(fleet, options);
+  return fp;
 }
 
 }  // namespace
+
+TraceHeader FleetTraceHeader(const FleetProfile& fleet, const FleetGeneratorOptions& options) {
+  TraceHeader header;
+  header.machine = "fleet:" + fleet.spec;
+  header.description = "synthetic fleet " + fleet.spec + " trace, " +
+                       options.base.duration.ToString() + ", seed " +
+                       std::to_string(options.base.seed) + ", " +
+                       std::to_string(options.shards_per_machine) + " shards/machine";
+  header.description = AppendFleetTag(std::move(header.description), FleetLayout(fleet));
+  return header;
+}
 
 GenerationResult GenerateTraceSharded(const MachineProfile& raw_profile,
                                       const ShardedGeneratorOptions& options) {

@@ -169,6 +169,12 @@ struct FleetGeneratorOptions {
   TraceWriterOptions file_options{.version = 3};
 };
 
+// The header GenerateFleetTo stamps on the merged stream (machine name,
+// description, fleet tag), computable without running the generation.  The
+// live service (`trace_stream serve`) uses it to label its rings before the
+// generator thread starts.
+TraceHeader FleetTraceHeader(const FleetProfile& fleet, const FleetGeneratorOptions& options);
+
 // Streams the merged fleet trace into `sink` / into a v3 file at `path`.
 // ShardedStreamStats.shared_image_watermark is 0 for fleets of more than one
 // machine (watermarks are per-instance and meaningless fleet-wide).

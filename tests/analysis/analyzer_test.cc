@@ -8,6 +8,7 @@
 
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_source.h"
+#include "tests/testing/analyze_helpers.h"
 #include "tests/testing/trace_builder.h"
 
 namespace bsdtrace {
@@ -19,7 +20,7 @@ TEST(AnalyzeTrace, SinglePassPopulatesAllSections) {
   b.WholeWrite(3, 4, 2, 11, 2048, 6);
   b.Unlink(30, 11, 6);
   b.Execve(31, 12, 10000, 5);
-  const TraceAnalysis a = AnalyzeTrace(b.Build());
+  const TraceAnalysis a = AnalyzeForTest(b.Build());
 
   EXPECT_EQ(a.overall.total_records, 6u);
   EXPECT_EQ(a.overall.bytes_transferred, 6144u);
@@ -33,7 +34,7 @@ TEST(AnalyzeTrace, SinglePassPopulatesAllSections) {
 }
 
 TEST(AnalyzeTrace, EmptyTraceSafe) {
-  const TraceAnalysis a = AnalyzeTrace(Trace{});
+  const TraceAnalysis a = AnalyzeForTest(Trace{});
   EXPECT_EQ(a.overall.total_records, 0u);
   EXPECT_EQ(a.activity.distinct_users, 0u);
   EXPECT_TRUE(a.open_times.seconds.empty());
@@ -46,7 +47,7 @@ TEST(AnalyzeTrace, ConsistencyBetweenCollectors) {
     b.WholeRead(t, t + 0.5, oid, 10 + oid, 1000 * oid);
     t += 1;
   }
-  const TraceAnalysis a = AnalyzeTrace(b.Build());
+  const TraceAnalysis a = AnalyzeForTest(b.Build());
   // Bytes seen by overall == bytes classified by sequentiality.
   EXPECT_EQ(a.overall.bytes_transferred, a.sequentiality.Total().bytes);
   // Every access produced a run (whole-file reads are single runs).
@@ -66,11 +67,13 @@ TEST(AnalyzeTrace, StreamingSourceMatchesInMemory) {
   }
   b.Unlink(t + 1, 101, 1);
   const Trace trace = b.Build();
-  const TraceAnalysis direct = AnalyzeTrace(trace);
+  const TraceAnalysis direct = AnalyzeForTest(trace);
 
   // Through an in-memory source...
   TraceVectorSource vector_source(trace);
-  auto streamed = AnalyzeTrace(vector_source);
+  AnalyzeOptions stream_options;
+  stream_options.source = &vector_source;
+  auto streamed = Analyze(stream_options);
   ASSERT_TRUE(streamed.ok()) << streamed.status().message();
 
   // ...and through a real file, the full generate-to-file → analyze-from-file
@@ -80,7 +83,9 @@ TEST(AnalyzeTrace, StreamingSourceMatchesInMemory) {
                                .string();
   ASSERT_TRUE(SaveTrace(path, trace).ok());
   TraceFileSource file_source(path);
-  auto from_file = AnalyzeTrace(file_source);
+  AnalyzeOptions file_options;
+  file_options.source = &file_source;
+  auto from_file = Analyze(file_options);
   std::remove(path.c_str());
   ASSERT_TRUE(from_file.ok()) << from_file.status().message();
 
@@ -98,7 +103,9 @@ TEST(AnalyzeTrace, StreamingSourceMatchesInMemory) {
 
 TEST(AnalyzeTrace, SourceErrorPropagates) {
   TraceFileSource missing("/nonexistent/bsdtrace-analyzer-missing.trc");
-  auto analysis = AnalyzeTrace(missing);
+  AnalyzeOptions options;
+  options.source = &missing;
+  auto analysis = Analyze(options);
   EXPECT_FALSE(analysis.ok());
 }
 

@@ -1,9 +1,10 @@
-// Parallel-analysis parity: ParallelAnalyzeTrace must reproduce the serial
-// AnalyzeTrace bit for bit — every counter, CDF sample, and Welford
-// accumulator — for hand-built boundary-straddling traces and for the three
-// standard generated workloads at 1, 2, and 8 threads.
+// Parallel-analysis parity: Analyze() over a seekable path must reproduce
+// the serial streaming engine bit for bit — every counter, CDF sample, and
+// Welford accumulator — for hand-built boundary-straddling traces and for
+// the three standard generated workloads at 1, 2, and 8 threads.
 
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -30,14 +31,20 @@ TraceAnalysis SaveAndAnalyzeSerial(const Trace& trace, const std::string& path,
   options.block_target_bytes = block_target;
   EXPECT_TRUE(SaveTrace(path, trace, options).ok());
   TraceFileSource source(path);
-  auto serial = AnalyzeTrace(source);
+  AnalyzeOptions serial_options;
+  serial_options.source = &source;
+  auto serial = Analyze(serial_options);
   EXPECT_TRUE(serial.ok()) << serial.status().message();
-  return serial.value();
+  EXPECT_EQ(serial.value().mode, AnalyzeMode::kSerial);
+  return std::move(serial).value();
 }
 
 void ExpectParity(const TraceAnalysis& serial, const std::string& path,
                   unsigned threads) {
-  auto parallel = ParallelAnalyzeTrace(path, threads);
+  AnalyzeOptions options;
+  options.path = path;
+  options.threads = threads;
+  auto parallel = Analyze(options);
   ASSERT_TRUE(parallel.ok()) << parallel.status().message();
   const TraceAnalysis& p = parallel.value();
   // Spot-check a few fields with readable failure output before the full
@@ -146,15 +153,25 @@ TEST(ParallelAnalyzer, V2FileFallsBackToSerial) {
   const std::string path = TempPath("parallel_v2.trc");
   ASSERT_TRUE(SaveTrace(path, trace).ok());
   TraceFileSource source(path);
-  auto serial = AnalyzeTrace(source);
+  AnalyzeOptions serial_options;
+  serial_options.source = &source;
+  auto serial = Analyze(serial_options);
   ASSERT_TRUE(serial.ok());
-  auto parallel = ParallelAnalyzeTrace(path, 8);
+  AnalyzeOptions options;
+  options.path = path;
+  options.threads = 8;
+  auto parallel = Analyze(options);
   ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+  // No block index: the engine must fall back to — and report — serial.
+  EXPECT_EQ(parallel.value().mode, AnalyzeMode::kSerial);
   EXPECT_TRUE(AnalysisBitIdentical(serial.value(), parallel.value()));
 }
 
 TEST(ParallelAnalyzer, MissingFileIsAnError) {
-  auto result = ParallelAnalyzeTrace(TempPath("does_not_exist.trc"), 4);
+  AnalyzeOptions options;
+  options.path = TempPath("does_not_exist.trc");
+  options.threads = 4;
+  auto result = Analyze(options);
   EXPECT_FALSE(result.ok());
 }
 
@@ -180,7 +197,10 @@ TEST(ParallelAnalyzer, CorruptBlockSurfacesThroughWorkers) {
     std::fputc(c ^ 0x20, f);
     std::fclose(f);
   }
-  auto result = ParallelAnalyzeTrace(path, 8);
+  AnalyzeOptions analyze_options;
+  analyze_options.path = path;
+  analyze_options.threads = 8;
+  auto result = Analyze(analyze_options);
   EXPECT_FALSE(result.ok());
 }
 

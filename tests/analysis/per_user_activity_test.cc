@@ -15,6 +15,7 @@
 #include "src/trace/trace_source.h"
 #include "src/workload/fleet.h"
 #include "src/workload/sharded_generator.h"
+#include "tests/testing/analyze_helpers.h"
 #include "tests/testing/trace_builder.h"
 
 namespace bsdtrace {
@@ -31,7 +32,7 @@ TEST(PerUserActivity, AttributesClosesSeeksAndBytesToOpeningUser) {
   b.Close(3.0, /*oid=*/1, /*file=*/100, /*final_position=*/1024, /*size_at_close=*/4096);
   b.WholeWrite(4.0, 5.0, /*oid=*/2, /*file=*/101, /*size=*/2048, /*user=*/9);
   b.Execve(6.0, /*file=*/102, /*size=*/512, /*user=*/7);
-  const TraceAnalysis analysis = AnalyzeTrace(b.Build());
+  const TraceAnalysis analysis = AnalyzeForTest(b.Build());
   const PerUserActivityStats& per_user = analysis.per_user;
 
   ASSERT_EQ(per_user.users.size(), 2u);
@@ -114,13 +115,18 @@ TEST(PerUserActivity, FleetSerialAndParallelAnalysesBitIdentical) {
   ASSERT_TRUE(SaveTrace(path, generated.value().trace, writer).ok());
 
   TraceFileSource source(path);
-  auto serial = AnalyzeTrace(source);
+  AnalyzeOptions serial_options;
+  serial_options.source = &source;
+  auto serial = Analyze(serial_options);
   ASSERT_TRUE(serial.ok()) << serial.status().message();
   // A 40-minute trace sees only a handful of logins per machine, but each
   // instance's daemon pseudo-users plus at least a few humans show up.
   EXPECT_GT(serial.value().per_user.users.size(), 4u);
   for (unsigned threads : {2u, 8u}) {
-    auto parallel = ParallelAnalyzeTrace(path, threads);
+    AnalyzeOptions parallel_options;
+    parallel_options.path = path;
+    parallel_options.threads = threads;
+    auto parallel = Analyze(parallel_options);
     ASSERT_TRUE(parallel.ok()) << parallel.status().message();
     EXPECT_EQ(serial.value().per_user.total_records,
               parallel.value().per_user.total_records);
@@ -181,7 +187,7 @@ TEST(TableIBandProperty, HoldsAtPaperScaleAndAtThousandUsers) {
       options.threads = 2;
       auto result = GenerateFleetTrace(fleet.value(), options);
       ASSERT_TRUE(result.ok()) << result.status().message();
-      const TraceAnalysis analysis = AnalyzeTrace(result.value().trace);
+      const TraceAnalysis analysis = AnalyzeForTest(result.value().trace);
       const std::vector<ActivityBandCheck> checks =
           CheckActivityBands(result.value().trace.header(), analysis.per_user);
       ASSERT_EQ(checks.size(), 1u) << name;

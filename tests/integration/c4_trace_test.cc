@@ -6,6 +6,7 @@
 #include "src/analysis/analyzer.h"
 #include "src/trace/validate.h"
 #include "src/workload/generator.h"
+#include "tests/testing/analyze_helpers.h"
 
 namespace bsdtrace {
 namespace {
@@ -16,8 +17,8 @@ class C4TraceTest : public ::testing::Test {
     GeneratorOptions options;
     options.duration = Duration::Hours(6);
     options.seed = 404;
-    c4_ = new TraceAnalysis(AnalyzeTrace(GenerateTraceOnly(ProfileC4(), options)));
-    a5_ = new TraceAnalysis(AnalyzeTrace(GenerateTraceOnly(ProfileA5(), options)));
+    c4_ = new TraceAnalysis(AnalyzeForTest(GenerateTraceOnly(ProfileC4(), options)));
+    a5_ = new TraceAnalysis(AnalyzeForTest(GenerateTraceOnly(ProfileA5(), options)));
   }
   static void TearDownTestSuite() {
     delete c4_;

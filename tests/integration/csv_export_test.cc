@@ -14,6 +14,7 @@
 
 #include "src/analysis/analyzer.h"
 #include "src/core/experiments.h"
+#include "tests/testing/analyze_helpers.h"
 #include "src/workload/generator.h"
 #include "src/workload/profile.h"
 
@@ -46,7 +47,7 @@ class CsvExportTest : public ::testing::Test {
     GeneratorOptions options;
     options.duration = Duration::Minutes(20);
     options.seed = 424242;
-    analysis_ = new TraceAnalysis(AnalyzeTrace(GenerateTraceOnly(ProfileA5(), options)));
+    analysis_ = new TraceAnalysis(AnalyzeForTest(GenerateTraceOnly(ProfileA5(), options)));
   }
   static void TearDownTestSuite() {
     delete analysis_;

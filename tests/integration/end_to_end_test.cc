@@ -11,6 +11,7 @@
 #include "src/trace/trace_io.h"
 #include "src/trace/validate.h"
 #include "src/workload/generator.h"
+#include "tests/testing/analyze_helpers.h"
 
 namespace bsdtrace {
 namespace {
@@ -22,7 +23,7 @@ class EndToEndTest : public ::testing::Test {
     options.duration = Duration::Hours(6);
     options.seed = 1985;
     result_ = new GenerationResult(GenerateTrace(ProfileA5(), options));
-    analysis_ = new TraceAnalysis(AnalyzeTrace(result_->trace));
+    analysis_ = new TraceAnalysis(AnalyzeForTest(result_->trace));
   }
   static void TearDownTestSuite() {
     delete analysis_;

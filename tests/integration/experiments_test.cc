@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/experiments.h"
+#include "tests/testing/analyze_helpers.h"
 
 namespace bsdtrace {
 namespace {
@@ -17,7 +18,7 @@ class ExperimentsTest : public ::testing::Test {
     options.duration = Duration::Hours(2);
     options.seed = 11;
     result_ = new GenerationResult(GenerateTrace(ProfileA5(), options));
-    analysis_ = new TraceAnalysis(AnalyzeTrace(result_->trace));
+    analysis_ = new TraceAnalysis(AnalyzeForTest(result_->trace));
   }
   static void TearDownTestSuite() {
     delete analysis_;

@@ -6,6 +6,7 @@
 
 #include "src/analysis/analyzer.h"
 #include "src/trace/validate.h"
+#include "tests/testing/analyze_helpers.h"
 #include "src/workload/generator.h"
 
 namespace bsdtrace {
@@ -20,7 +21,7 @@ class SeedStability : public ::testing::TestWithParam<uint64_t> {
     const Trace trace = GenerateTraceOnly(ProfileA5(), options);
     const ValidationResult v = ValidateTrace(trace);
     EXPECT_TRUE(v.ok()) << v.Summary();
-    return AnalyzeTrace(trace);
+    return AnalyzeForTest(trace);
   }
 };
 

@@ -1,0 +1,21 @@
+// Test helper: one-line front-door analysis for tests that just need the
+// Section-5 statistics of a trace they built or generated in memory.
+
+#ifndef BSDTRACE_TESTS_TESTING_ANALYZE_HELPERS_H_
+#define BSDTRACE_TESTS_TESTING_ANALYZE_HELPERS_H_
+
+#include "src/analysis/analyzer.h"
+
+namespace bsdtrace {
+
+// Batch analysis of an in-memory trace through the Analyze() front door
+// (which cannot fail for the in-memory serial engine).
+inline TraceAnalysis AnalyzeForTest(const Trace& trace) {
+  AnalyzeOptions options;
+  options.trace = &trace;
+  return Analyze(options).value();
+}
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_TESTS_TESTING_ANALYZE_HELPERS_H_

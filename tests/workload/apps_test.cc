@@ -9,6 +9,7 @@
 #include "src/trace/validate.h"
 #include "src/workload/generator.h"
 #include "src/workload/system_image.h"
+#include "tests/testing/analyze_helpers.h"
 
 namespace bsdtrace {
 namespace {
@@ -42,7 +43,7 @@ class AppsTest : public ::testing::Test {
     std::stable_sort(
         trace_.records().begin(), trace_.records().end(),
         [](const TraceRecord& a, const TraceRecord& b) { return a.time < b.time; });
-    return AnalyzeTrace(trace_);
+    return AnalyzeForTest(trace_);
   }
 
   uint64_t Count(EventType type) {

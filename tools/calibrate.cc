@@ -41,7 +41,9 @@ int main(int argc, char** argv) {
            top[i].first / 1048576.0, sink.size_at_close[top[i].second],
            sink.accesses[top[i].second]);
   }
-  auto a = AnalyzeTrace(result.trace);
+  AnalyzeOptions analyze_options;
+  analyze_options.trace = &result.trace;
+  const TraceAnalysis a = Analyze(analyze_options).value();
   printf("\nrecords=%lu opens=%lu\n", a.overall.total_records, a.overall.Count(EventType::kOpen));
   printf("mix: create %.1f%% open %.1f%% seek %.1f%% unlink %.1f%% exec %.1f%%\n",
          100*a.overall.Fraction(EventType::kCreate), 100*a.overall.Fraction(EventType::kOpen),
