@@ -120,6 +120,20 @@ void MaybeExportSweep(const std::string& name, const std::vector<SweepPoint>& po
   }
 }
 
+void MaybeExportHierarchy(const std::string& name, const std::vector<HierarchyPoint>& points) {
+  const char* dir = std::getenv("BSDTRACE_CSV_DIR");
+  if (dir == nullptr) {
+    return;
+  }
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  const Status st = ExportHierarchyCsv(path, points);
+  if (st.ok()) {
+    std::printf("exported %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "CSV export failed: %s\n", st.message().c_str());
+  }
+}
+
 GenerationResult GenerateA5() {
   GenerationResult r = LoadOrGenerateStandardTrace("A5");
   std::printf("generated %zu A5 trace records\n\n", r.trace.size());

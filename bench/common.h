@@ -39,6 +39,7 @@ void PrintBanner(const std::string& what, const std::string& paper_ref);
 void MaybeExportFigures(const BenchTraces& traces);
 void MaybeExportSweep(const std::string& name, const std::vector<SweepPoint>& points);
 void MaybeExportCurves(const std::string& name, const std::vector<SweepCurve>& curves);
+void MaybeExportHierarchy(const std::string& name, const std::vector<HierarchyPoint>& points);
 
 // Times the replayed sweep engine (one CacheSimulator replay per config,
 // plus the extra delayed-write replays needed to cover every Mattson-curve

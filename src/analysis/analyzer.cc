@@ -96,16 +96,4 @@ StatusOr<TraceAnalysis> SerialAnalyze(TraceSource& source) {
 
 }  // namespace internal
 
-TraceAnalysis AnalyzeTrace(const Trace& trace) {
-  AnalyzeOptions options;
-  options.trace = &trace;
-  return std::move(Analyze(options)).value();
-}
-
-StatusOr<TraceAnalysis> AnalyzeTrace(TraceSource& source) {
-  AnalyzeOptions options;
-  options.source = &source;
-  return Analyze(options);
-}
-
 }  // namespace bsdtrace

@@ -105,17 +105,15 @@ struct AnalyzeOptions {
 // no/ambiguous input, or an I/O failure from the underlying source —
 // surface as a Status.  Results are bit-identical across every execution
 // mode for the same records.
+//
+// This is the one analysis entry point (the legacy AnalyzeTrace /
+// ParallelAnalyzeTrace wrappers are gone); the historical call shapes map
+// onto options directly:
+//   in-memory trace     Analyze({.trace = &trace})
+//   streaming source    Analyze({.source = &source})
+//   seekable + threads  Analyze({.seekable = &seekable, .threads = N})
+//   file path + threads Analyze({.path = path, .threads = N})
 StatusOr<TraceAnalysis> Analyze(const AnalyzeOptions& options);
-
-// -- Deprecated shims ---------------------------------------------------
-// Thin wrappers over Analyze(), kept for source compatibility; new code
-// should call Analyze() directly.
-
-// Deprecated: use Analyze({.trace = &trace}).
-TraceAnalysis AnalyzeTrace(const Trace& trace);
-
-// Deprecated: use Analyze({.source = &source}).
-StatusOr<TraceAnalysis> AnalyzeTrace(TraceSource& source);
 
 namespace internal {
 

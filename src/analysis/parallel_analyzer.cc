@@ -106,21 +106,6 @@ StatusOr<TraceAnalysis> SegmentedAnalyze(const SeekableTraceSource& seekable,
 
 }  // namespace internal
 
-StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable,
-                                             unsigned threads) {
-  AnalyzeOptions options;
-  options.seekable = &seekable;
-  options.threads = threads;
-  return Analyze(options);
-}
-
-StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const std::string& path, unsigned threads) {
-  AnalyzeOptions options;
-  options.path = path;
-  options.threads = threads;
-  return Analyze(options);
-}
-
 namespace {
 
 bool CdfIdentical(const WeightedCdf& a, const WeightedCdf& b) {

@@ -26,12 +26,6 @@
 
 namespace bsdtrace {
 
-// Deprecated: use Analyze({.seekable = &seekable, .threads = threads}).
-StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const SeekableTraceSource& seekable,
-                                             unsigned threads);
-// Deprecated: use Analyze({.path = path, .threads = threads}).
-StatusOr<TraceAnalysis> ParallelAnalyzeTrace(const std::string& path, unsigned threads);
-
 namespace internal {
 
 // Carves the footer index into at most `threads` contiguous (first_block,

@@ -10,7 +10,7 @@
 // open state carried from earlier segments and merging the partials.
 //
 // Two consumers drive it:
-//   * ParallelAnalyzeTrace carves an on-disk trace into per-worker segments
+//   * Analyze's parallel engine carves an on-disk trace into per-worker segments
 //     and stitches them after the workers join (parallel_analyzer.cc).
 //   * RollingAnalyzer closes one segment per simulated hour of a LIVE stream
 //     and stitches incrementally; Snapshot() publishes the prefix analysis

@@ -1,0 +1,263 @@
+// One level of a disk-block cache hierarchy (paper §6 core, §7 topology).
+//
+// CacheLevel is the reusable heart of the cache simulators: the slab
+// BlockCache plus everything the paper's §6 policies decide per block —
+// write policy (write-through / flush-back(T) / delayed-write), miss-fetch
+// elision for whole-block overwrites and blocks beyond the file's known
+// extent, invalidation that discards dirty blocks without a disk write, and
+// residency accounting.  What happens BELOW the level on a miss fetch or a
+// write-back is a compile-time policy:
+//
+//   * DiskBelow — the terminal level: fetches and write-backs are disk I/Os
+//     and are already counted in this level's own metrics.  CacheSimulator
+//     (simulator.h) is exactly CacheLevel<DiskBelow> plus trace plumbing —
+//     the single-level §6 simulator, bit-identical to the pre-split code.
+//   * A forwarding policy (hierarchy.h's ServerLink) — fetches and
+//     write-backs become block accesses on a lower CacheLevel, which is how
+//     the §7 client/server hierarchy stacks levels.
+//
+// The hooks are called at the three points where the single-level simulator
+// counts disk traffic: OnFetch where a miss reads disk, OnWriteBack where a
+// write-through write, a dirty eviction, or a flush-scan write hits disk.
+// Invalidation deliberately has no hook: dirty blocks of deleted files
+// vanish without traffic at ANY level (the effect that makes large
+// delayed-write caches absorb most writes entirely); lower levels are
+// instead invalidated explicitly by the hierarchy driver.
+//
+// The template (rather than a virtual interface) keeps the hot path free of
+// indirect calls: with DiskBelow the hooks compile to nothing and the code
+// is the pre-split single-level simulator, instruction for instruction.
+
+#ifndef BSDTRACE_SRC_CACHE_CACHE_LEVEL_H_
+#define BSDTRACE_SRC_CACHE_CACHE_LEVEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "src/cache/block_cache.h"
+#include "src/util/sim_time.h"
+#include "src/util/stats.h"
+
+namespace bsdtrace {
+
+enum class WritePolicy : uint8_t {
+  kWriteThrough,
+  kFlushBack,     // requires flush_interval
+  kDelayedWrite,
+};
+
+const char* WritePolicyName(WritePolicy policy);
+
+struct CacheConfig {
+  uint64_t size_bytes = 400 << 10;  // the UNIX-typical "about 400 kbytes"
+  uint32_t block_size = 4096;
+  WritePolicy policy = WritePolicy::kDelayedWrite;
+  Duration flush_interval = Duration::Seconds(30);
+  // Replacement policy (the paper used LRU; alternatives for ablations).
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  // Fig. 7: treat each execve as a whole-file read of the program file.
+  bool simulate_execve_pagein = false;
+  // §8 extension: inject i-node and directory block accesses for each open,
+  // write-close, and unlink (the "I/O for things other than file data" the
+  // paper estimates could exceed file-data I/O).  See simulator.cc for the
+  // approximation.  Only CacheSimulator honors it.
+  bool simulate_metadata = false;
+
+  uint64_t block_count() const { return std::max<uint64_t>(1, size_bytes / block_size); }
+  std::string ToString() const;
+};
+
+struct CacheMetrics {
+  uint64_t logical_accesses = 0;  // block accesses presented to the cache
+  uint64_t read_accesses = 0;
+  uint64_t write_accesses = 0;
+
+  uint64_t metadata_accesses = 0;  // i-node/directory accesses (if simulated)
+
+  uint64_t disk_reads = 0;        // miss fetches (from below, for a stacked level)
+  uint64_t disk_writes = 0;       // write-through/flush/eviction write-backs
+  uint64_t dirty_discarded = 0;   // dirty blocks dropped by delete/overwrite
+  uint64_t evictions = 0;
+
+  // Residency: time between a block entering the cache and leaving it
+  // (evicted, invalidated, or still resident at end of trace).
+  RunningStats residency_seconds;
+  uint64_t residency_over_20min = 0;
+  uint64_t residency_samples = 0;
+
+  uint64_t DiskIos() const { return disk_reads + disk_writes; }
+  double MissRatio() const {
+    return logical_accesses > 0
+               ? static_cast<double>(DiskIos()) / static_cast<double>(logical_accesses)
+               : 0.0;
+  }
+};
+
+// The terminal below-policy: misses and write-backs go to disk, which the
+// level's own disk_reads/disk_writes counters already record.
+struct DiskBelow {
+  void OnFetch(SimTime, const BlockKey&) {}
+  void OnWriteBack(SimTime, const BlockKey&) {}
+};
+
+// One cache level.  The caller (CacheSimulator, HierarchySimulator) owns the
+// trace semantics — known-extent tracking, feed consumption, which records
+// invalidate — and drives the level through AccessBlocks/AccessBlock/
+// Invalidate/AdvanceClock; the level owns the per-block policy mechanics.
+template <typename Below = DiskBelow>
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheConfig& config, Below below = Below{})
+      : config_(config),
+        cache_(config.block_count(), config.replacement),
+        below_(below) {
+    next_flush_ = SimTime::Origin() + config_.flush_interval;
+  }
+
+  // Advances the simulation clock and runs any flush-back scans that come
+  // due.  Inline: runs on every access/record, and is almost always just the
+  // two compares.
+  void AdvanceClock(SimTime now) {
+    if (now > now_) {
+      now_ = now;
+    }
+    if (config_.policy != WritePolicy::kFlushBack) {
+      return;
+    }
+    while (now_ >= next_flush_) {
+      FlushScan();
+      next_flush_ += config_.flush_interval;
+    }
+  }
+
+  // One block access.  `known_extent` is the caller's one-per-transfer read
+  // of its extent table (0 when the file has none; metadata blocks pass a
+  // huge constant); `whole_block` marks a write covering the full block.
+  // Does NOT advance the clock — callers do, once per transfer.
+  void AccessBlock(SimTime now, const BlockKey& key, bool is_write, bool whole_block,
+                   uint64_t known_extent) {
+    metrics_.logical_accesses += 1;
+    if (is_write) {
+      metrics_.write_accesses += 1;
+    } else {
+      metrics_.read_accesses += 1;
+    }
+
+    CacheEntry* entry = cache_.Touch(key);
+    if (entry == nullptr) {
+      // Miss.  A fetch is needed unless this access overwrites the whole
+      // block, or the block lies beyond any data the file is known to have.
+      const uint64_t block_start = key.index * config_.block_size;
+      const bool beyond_known_data = block_start >= known_extent;
+      if (!(is_write && (whole_block || beyond_known_data))) {
+        metrics_.disk_reads += 1;
+        below_.OnFetch(now, key);
+      }
+      entry = cache_.Insert(key, now, [this, now](const CacheEntry& victim) {
+        metrics_.evictions += 1;
+        RecordResidency(now, victim);
+        if (victim.dirty) {
+          metrics_.disk_writes += 1;  // delayed/flush-back eviction write-back
+          below_.OnWriteBack(now, victim.key);
+        }
+      });
+      cache_.Retouch(entry);  // same policy action the hit path's Touch applies
+    }
+
+    if (is_write) {
+      if (config_.policy == WritePolicy::kWriteThrough) {
+        metrics_.disk_writes += 1;  // every modification goes below
+        below_.OnWriteBack(now, key);
+        // The cached copy stays clean: the level below is up to date.
+        if (entry->dirty) {
+          cache_.MarkClean(entry);
+        }
+      } else if (!entry->dirty) {
+        cache_.MarkDirty(entry);
+        entry->dirtied = now;
+      }
+    }
+  }
+
+  // The block-splitting loop shared by every driver; `extent` is the file's
+  // known extent however obtained.  Requires length > 0.
+  void AccessBlocks(SimTime now, FileId file, uint64_t offset, uint64_t length,
+                    bool is_write, uint64_t extent) {
+    AdvanceClock(now);
+    const uint32_t bs = config_.block_size;
+    const uint64_t first = offset / bs;
+    const uint64_t last = (offset + length - 1) / bs;
+    for (uint64_t b = first; b <= last; ++b) {
+      const uint64_t block_start = b * bs;
+      const uint64_t block_end = block_start + bs;
+      const bool whole_block = is_write && offset <= block_start && offset + length >= block_end;
+      AccessBlock(now, BlockKey{.file = file, .index = b}, is_write, whole_block, extent);
+    }
+  }
+
+  // Drops every cached block of `file` from byte `first_byte` up (whole
+  // blocks only).  Dirty blocks are discarded, never written — at this level
+  // or below.  Extent-table bookkeeping stays with the caller.
+  void Invalidate(SimTime now, FileId file, uint64_t first_byte) {
+    AdvanceClock(now);
+    const uint64_t first_block =
+        (first_byte + config_.block_size - 1) / config_.block_size;  // whole blocks only
+    cache_.RemoveFileBlocks(file, first_block, [this, now](const CacheEntry& dropped) {
+      RecordResidency(now, dropped);
+      if (dropped.dirty) {
+        metrics_.dirty_discarded += 1;  // never reaches disk
+      }
+    });
+  }
+
+  // Finalizes residency statistics for blocks still cached.  Dirty blocks
+  // still in the cache are NOT charged as write-backs (the trace simply
+  // ended; the paper's metric does likewise).
+  void Finish() {
+    if (finished_) {
+      return;
+    }
+    finished_ = true;
+    cache_.ForEach([this](CacheEntry& entry) { RecordResidency(now_, entry); });
+  }
+
+  const CacheConfig& config() const { return config_; }
+  const CacheMetrics& metrics() const { return metrics_; }
+  CacheMetrics& mutable_metrics() { return metrics_; }
+  Below& below() { return below_; }
+  SimTime now() const { return now_; }
+
+ private:
+  void FlushScan() {
+    // O(dirty blocks): walks the cache's intrusive dirty chain, not the
+    // whole cache.  The scan semantically runs at the epoch boundary, so
+    // write-backs are forwarded below at that time, not at now_.
+    const SimTime flush_time = next_flush_;
+    cache_.DrainDirty([this, flush_time](CacheEntry& entry) {
+      metrics_.disk_writes += 1;
+      below_.OnWriteBack(flush_time, entry.key);
+    });
+  }
+
+  void RecordResidency(SimTime now, const CacheEntry& entry) {
+    const double seconds = (now - entry.loaded).seconds();
+    metrics_.residency_seconds.Add(seconds);
+    metrics_.residency_samples += 1;
+    if (seconds > 20.0 * 60.0) {
+      metrics_.residency_over_20min += 1;
+    }
+  }
+
+  CacheConfig config_;
+  BlockCache cache_;
+  CacheMetrics metrics_;
+  SimTime now_;
+  SimTime next_flush_;
+  Below below_;
+  bool finished_ = false;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_CACHE_CACHE_LEVEL_H_

@@ -34,74 +34,14 @@ std::string CacheConfig::ToString() const {
   return out;
 }
 
-CacheSimulator::CacheSimulator(const CacheConfig& config)
-    : config_(config), cache_(config.block_count(), config.replacement) {
-  next_flush_ = SimTime::Origin() + config_.flush_interval;
-}
+CacheSimulator::CacheSimulator(const CacheConfig& config) : level_(config) {}
 
 void CacheSimulator::ReserveFiles(size_t file_count) {
   if (transfer_extent_feed_ == nullptr) {
     known_extent_.Reserve(file_count);
   }
-  if (config_.simulate_metadata) {
+  if (config().simulate_metadata) {
     meta_dirty_.reserve(file_count);
-  }
-}
-
-void CacheSimulator::RecordResidency(SimTime now, const CacheEntry& entry) {
-  const double seconds = (now - entry.loaded).seconds();
-  metrics_.residency_seconds.Add(seconds);
-  metrics_.residency_samples += 1;
-  if (seconds > 20.0 * 60.0) {
-    metrics_.residency_over_20min += 1;
-  }
-}
-
-void CacheSimulator::FlushScan() {
-  // O(dirty blocks): walks the cache's intrusive dirty chain, not the whole
-  // cache.
-  cache_.DrainDirty([this](CacheEntry&) { metrics_.disk_writes += 1; });
-}
-
-void CacheSimulator::AccessBlock(SimTime now, const BlockKey& key, bool is_write,
-                                 bool whole_block, uint64_t known_extent) {
-  metrics_.logical_accesses += 1;
-  if (is_write) {
-    metrics_.write_accesses += 1;
-  } else {
-    metrics_.read_accesses += 1;
-  }
-
-  CacheEntry* entry = cache_.Touch(key);
-  if (entry == nullptr) {
-    // Miss.  A disk read is needed unless this access overwrites the whole
-    // block, or the block lies beyond any data the file is known to have.
-    const uint64_t block_start = key.index * config_.block_size;
-    const bool beyond_known_data = block_start >= known_extent;
-    if (!(is_write && (whole_block || beyond_known_data))) {
-      metrics_.disk_reads += 1;
-    }
-    entry = cache_.Insert(key, now, [this, now](const CacheEntry& victim) {
-      metrics_.evictions += 1;
-      RecordResidency(now, victim);
-      if (victim.dirty) {
-        metrics_.disk_writes += 1;  // delayed/flush-back eviction write-back
-      }
-    });
-    cache_.Retouch(entry);  // same policy action the hit path's Touch applies
-  }
-
-  if (is_write) {
-    if (config_.policy == WritePolicy::kWriteThrough) {
-      metrics_.disk_writes += 1;  // every modification goes to disk
-      // The cached copy stays clean: disk is up to date.
-      if (entry->dirty) {
-        cache_.MarkClean(entry);
-      }
-    } else if (!entry->dirty) {
-      cache_.MarkDirty(entry);
-      entry->dirtied = now;
-    }
   }
 }
 
@@ -114,27 +54,13 @@ void CacheSimulator::Access(SimTime now, FileId file, uint64_t offset, uint64_t 
   // table is untouched, so every block sees the same value ("no entry" reads
   // as extent 0 — every block is then beyond known data, as before).
   uint64_t* ext = known_extent_.Find(file);
-  AccessBlocks(now, file, offset, length, is_write, ext != nullptr ? *ext : 0);
+  level_.AccessBlocks(now, file, offset, length, is_write, ext != nullptr ? *ext : 0);
   // Reads prove the data existed; writes create it: either way the file now
   // extends at least this far.
   if (ext != nullptr) {
     *ext = std::max(*ext, offset + length);
   } else {
     known_extent_[file] = offset + length;
-  }
-}
-
-void CacheSimulator::AccessBlocks(SimTime now, FileId file, uint64_t offset,
-                                  uint64_t length, bool is_write, uint64_t extent) {
-  AdvanceClock(now);
-  const uint32_t bs = config_.block_size;
-  const uint64_t first = offset / bs;
-  const uint64_t last = (offset + length - 1) / bs;
-  for (uint64_t b = first; b <= last; ++b) {
-    const uint64_t block_start = b * bs;
-    const uint64_t block_end = block_start + bs;
-    const bool whole_block = is_write && offset <= block_start && offset + length >= block_end;
-    AccessBlock(now, BlockKey{.file = file, .index = b}, is_write, whole_block, extent);
   }
 }
 
@@ -157,24 +83,16 @@ constexpr uint64_t kMetadataExtent = UINT64_MAX / 2;
 }  // namespace
 
 void CacheSimulator::MetadataAccess(SimTime now, FileId file, bool is_write) {
-  AdvanceClock(now);
-  metrics_.metadata_accesses += 2;
-  AccessBlock(now, BlockKey{.file = kInodeTableFile, .index = file / kInodesPerBlock},
-              is_write, false, kMetadataExtent);
-  AccessBlock(now, BlockKey{.file = kDirectoryFile, .index = file / kDirEntriesPerBlock},
-              is_write, false, kMetadataExtent);
+  level_.AdvanceClock(now);
+  level_.mutable_metrics().metadata_accesses += 2;
+  level_.AccessBlock(now, BlockKey{.file = kInodeTableFile, .index = file / kInodesPerBlock},
+                     is_write, false, kMetadataExtent);
+  level_.AccessBlock(now, BlockKey{.file = kDirectoryFile, .index = file / kDirEntriesPerBlock},
+                     is_write, false, kMetadataExtent);
 }
 
 void CacheSimulator::InvalidateFrom(SimTime now, FileId file, uint64_t first_byte) {
-  AdvanceClock(now);
-  const uint64_t first_block =
-      (first_byte + config_.block_size - 1) / config_.block_size;  // whole blocks only
-  cache_.RemoveFileBlocks(file, first_block, [this, now](const CacheEntry& dropped) {
-    RecordResidency(now, dropped);
-    if (dropped.dirty) {
-      metrics_.dirty_discarded += 1;  // never reaches disk
-    }
-  });
+  level_.Invalidate(now, file, first_byte);
   if (transfer_extent_feed_ != nullptr) {
     return;  // extent trajectory is precomputed in the feeds
   }
@@ -188,7 +106,7 @@ void CacheSimulator::InvalidateFrom(SimTime now, FileId file, uint64_t first_byt
 }
 
 void CacheSimulator::OnRecord(const TraceRecord& r) {
-  if (config_.simulate_metadata) {
+  if (config().simulate_metadata) {
     switch (r.type) {
       case EventType::kOpen:
         MetadataAccess(r.time, r.file_id, /*is_write=*/false);
@@ -199,10 +117,10 @@ void CacheSimulator::OnRecord(const TraceRecord& r) {
       case EventType::kClose:
         if (meta_dirty_.erase(r.file_id) > 0) {
           // The i-node's size/mtime must reach disk eventually.
-          metrics_.metadata_accesses += 1;
-          AccessBlock(r.time, BlockKey{.file = kInodeTableFile,
-                                       .index = r.file_id / kInodesPerBlock},
-                      /*is_write=*/true, false, kMetadataExtent);
+          level_.mutable_metrics().metadata_accesses += 1;
+          level_.AccessBlock(r.time, BlockKey{.file = kInodeTableFile,
+                                              .index = r.file_id / kInodesPerBlock},
+                             /*is_write=*/true, false, kMetadataExtent);
         }
         break;
       case EventType::kUnlink:
@@ -230,28 +148,18 @@ void CacheSimulator::OnRecord(const TraceRecord& r) {
       if (execve_extent_feed_ != nullptr) {
         if (r.size > 0) {
           const uint64_t extent = execve_extent_feed_[execve_feed_pos_++];
-          if (config_.simulate_execve_pagein) {
-            AccessBlocks(r.time, r.file_id, 0, r.size, /*is_write=*/false, extent);
+          if (config().simulate_execve_pagein) {
+            level_.AccessBlocks(r.time, r.file_id, 0, r.size, /*is_write=*/false, extent);
           }
         }
-      } else if (config_.simulate_execve_pagein && r.size > 0) {
+      } else if (config().simulate_execve_pagein && r.size > 0) {
         Access(r.time, r.file_id, 0, r.size, /*is_write=*/false);
       }
       break;
     default:
-      AdvanceClock(r.time);
+      level_.AdvanceClock(r.time);
       break;
   }
-}
-
-void CacheSimulator::Finish() {
-  if (finished_) {
-    return;
-  }
-  finished_ = true;
-  // Blocks still resident contribute right-censored residency samples; dirty
-  // ones are not charged as disk writes (see header comment).
-  cache_.ForEach([this](CacheEntry& entry) { RecordResidency(now_, entry); });
 }
 
 // ---------------------------------------------------------------------------

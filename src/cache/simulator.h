@@ -16,6 +16,12 @@
 // large delayed-write caches absorb most writes entirely.
 //
 // The principal metric is the miss ratio: disk I/Os per logical block access.
+//
+// The per-block mechanics live in CacheLevel (cache_level.h), the reusable
+// level the §7 client/server hierarchy stacks (hierarchy.h).  CacheSimulator
+// is the one-level instantiation — CacheLevel<DiskBelow> plus the trace
+// semantics: known-extent tracking (table or precomputed feeds), which
+// records invalidate, execve page-in, and the §8 metadata approximation.
 
 #ifndef BSDTRACE_SRC_CACHE_SIMULATOR_H_
 #define BSDTRACE_SRC_CACHE_SIMULATOR_H_
@@ -24,64 +30,12 @@
 #include <unordered_set>
 
 #include "src/cache/block_cache.h"
+#include "src/cache/cache_level.h"
 #include "src/util/flat_map.h"
 #include "src/trace/reconstruct.h"
 #include "src/util/stats.h"
 
 namespace bsdtrace {
-
-enum class WritePolicy : uint8_t {
-  kWriteThrough,
-  kFlushBack,     // requires flush_interval
-  kDelayedWrite,
-};
-
-const char* WritePolicyName(WritePolicy policy);
-
-struct CacheConfig {
-  uint64_t size_bytes = 400 << 10;  // the UNIX-typical "about 400 kbytes"
-  uint32_t block_size = 4096;
-  WritePolicy policy = WritePolicy::kDelayedWrite;
-  Duration flush_interval = Duration::Seconds(30);
-  // Replacement policy (the paper used LRU; alternatives for ablations).
-  ReplacementPolicy replacement = ReplacementPolicy::kLru;
-  // Fig. 7: treat each execve as a whole-file read of the program file.
-  bool simulate_execve_pagein = false;
-  // §8 extension: inject i-node and directory block accesses for each open,
-  // write-close, and unlink (the "I/O for things other than file data" the
-  // paper estimates could exceed file-data I/O).  See simulator.cc for the
-  // approximation.
-  bool simulate_metadata = false;
-
-  uint64_t block_count() const { return std::max<uint64_t>(1, size_bytes / block_size); }
-  std::string ToString() const;
-};
-
-struct CacheMetrics {
-  uint64_t logical_accesses = 0;  // block accesses presented to the cache
-  uint64_t read_accesses = 0;
-  uint64_t write_accesses = 0;
-
-  uint64_t metadata_accesses = 0;  // i-node/directory accesses (if simulated)
-
-  uint64_t disk_reads = 0;        // miss fetches
-  uint64_t disk_writes = 0;       // write-through/flush/eviction write-backs
-  uint64_t dirty_discarded = 0;   // dirty blocks dropped by delete/overwrite
-  uint64_t evictions = 0;
-
-  // Residency: time between a block entering the cache and leaving it
-  // (evicted, invalidated, or still resident at end of trace).
-  RunningStats residency_seconds;
-  uint64_t residency_over_20min = 0;
-  uint64_t residency_samples = 0;
-
-  uint64_t DiskIos() const { return disk_reads + disk_writes; }
-  double MissRatio() const {
-    return logical_accesses > 0
-               ? static_cast<double>(DiskIos()) / static_cast<double>(logical_accesses)
-               : 0.0;
-  }
-};
 
 // `final` so that statically-typed drivers (ReplayLog::ReplayInto) call the
 // sink methods without virtual dispatch.
@@ -114,12 +68,12 @@ class CacheSimulator final : public ReconstructionSink {
       // zero-length transfers Access() would ignore.
       const uint64_t extent = transfer_extent_feed_[transfer_feed_pos_++];
       if (t.length > 0) {
-        AccessBlocks(t.time, t.file_id, t.offset, t.length, is_write, extent);
+        level_.AccessBlocks(t.time, t.file_id, t.offset, t.length, is_write, extent);
       }
     } else {
       Access(t.time, t.file_id, t.offset, t.length, is_write);
     }
-    if (config_.simulate_metadata && is_write) {
+    if (config().simulate_metadata && is_write) {
       meta_dirty_.insert(t.file_id);
     }
   }
@@ -128,47 +82,21 @@ class CacheSimulator final : public ReconstructionSink {
   // Finalizes residency statistics for blocks still cached.  Dirty blocks
   // still in the cache are NOT charged as disk writes (the trace simply
   // ended; the paper's metric does likewise).
-  void Finish();
+  void Finish() { level_.Finish(); }
 
-  const CacheMetrics& metrics() const { return metrics_; }
-  const CacheConfig& config() const { return config_; }
+  const CacheMetrics& metrics() const { return level_.metrics(); }
+  const CacheConfig& config() const { return level_.config(); }
 
  private:
   // Extent-table-maintaining path (direct simulation).
   void Access(SimTime now, FileId file, uint64_t offset, uint64_t length, bool is_write);
-  // The block-splitting loop shared by both paths; `extent` is the file's
-  // known extent however obtained.  Requires length > 0.
-  void AccessBlocks(SimTime now, FileId file, uint64_t offset, uint64_t length,
-                    bool is_write, uint64_t extent);
   // Injects the i-node/directory accesses implied by a namespace operation.
   void MetadataAccess(SimTime now, FileId file, bool is_write);
-  // `known_extent` is the caller's one-per-transfer read of known_extent_
-  // (0 when the file has none; metadata blocks pass a huge constant).
-  void AccessBlock(SimTime now, const BlockKey& key, bool is_write, bool whole_block,
-                   uint64_t known_extent);
-  void FlushScan();
-  // Inline: runs on every access/record, and is almost always just the
-  // two compares.
-  void AdvanceClock(SimTime now) {
-    if (now > now_) {
-      now_ = now;
-    }
-    if (config_.policy != WritePolicy::kFlushBack) {
-      return;
-    }
-    while (now_ >= next_flush_) {
-      FlushScan();
-      next_flush_ += config_.flush_interval;
-    }
-  }
+  // Drops cached blocks via the level, then updates the extent table (a
+  // no-op when feeds carry the precomputed trajectory).
   void InvalidateFrom(SimTime now, FileId file, uint64_t first_byte);
-  void RecordResidency(SimTime now, const CacheEntry& entry);
 
-  CacheConfig config_;
-  BlockCache cache_;
-  CacheMetrics metrics_;
-  SimTime now_;
-  SimTime next_flush_;
+  CacheLevel<DiskBelow> level_;
   // Highest data offset seen per file: writes beyond it fetch nothing.
   // Unused (empty) when extent feeds are set.
   FlatMap<FileId, uint64_t, IdHash> known_extent_{kInvalidFileId};
@@ -178,7 +106,6 @@ class CacheSimulator final : public ReconstructionSink {
   size_t execve_feed_pos_ = 0;
   // Files with writes since their last close (i-node must be rewritten).
   std::unordered_set<FileId> meta_dirty_;
-  bool finished_ = false;
 };
 
 // Simulates one cache under several write policies in a single replay.

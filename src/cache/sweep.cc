@@ -338,6 +338,158 @@ PlannedSweep RunPlannedSweep(const Trace& trace, const std::vector<CacheConfig>&
   return RunPlannedSweep(ReplayLog::Build(trace), configs, std::move(curve_sizes), threads);
 }
 
+bool CacheMetricsBitIdentical(const CacheMetrics& a, const CacheMetrics& b) {
+  return a.logical_accesses == b.logical_accesses && a.read_accesses == b.read_accesses &&
+         a.write_accesses == b.write_accesses && a.metadata_accesses == b.metadata_accesses &&
+         a.disk_reads == b.disk_reads && a.disk_writes == b.disk_writes &&
+         a.dirty_discarded == b.dirty_discarded && a.evictions == b.evictions &&
+         a.residency_over_20min == b.residency_over_20min &&
+         a.residency_samples == b.residency_samples &&
+         a.residency_seconds.sum() == b.residency_seconds.sum() &&
+         a.residency_seconds.variance() == b.residency_seconds.variance();
+}
+
+std::vector<HierarchyConfig> HierarchySweepConfigs() {
+  const uint64_t client_sizes[] = {0, 256 * kKb, 1 * kMb, 4 * kMb};
+  const uint64_t server_sizes[] = {1 * kMb, 2 * kMb, 4 * kMb, 8 * kMb, 16 * kMb};
+  std::vector<HierarchyConfig> configs;
+  for (uint64_t client : client_sizes) {
+    for (uint64_t server : server_sizes) {
+      for (int p = 0; p < 3; ++p) {
+        HierarchyConfig h;
+        h.client.size_bytes = client;
+        h.server.size_bytes = server;
+        h.server.policy = WritePolicy::kDelayedWrite;
+        h.client.policy = WritePolicy::kDelayedWrite;
+        // The swept policy lands on the clients; with no client layer it
+        // falls through to the server (the single-level baseline).
+        CacheConfig& swept = client > 0 ? h.client : h.server;
+        switch (p) {
+          case 0:
+            swept.policy = WritePolicy::kWriteThrough;
+            break;
+          case 1:
+            swept.policy = WritePolicy::kFlushBack;
+            swept.flush_interval = Duration::Seconds(30);
+            break;
+          default:
+            swept.policy = WritePolicy::kDelayedWrite;
+            break;
+        }
+        configs.push_back(h);
+      }
+    }
+  }
+  return configs;
+}
+
+HierarchySweepResult RunHierarchySweep(const ReplayLog& log,
+                                       const std::vector<HierarchyConfig>& configs,
+                                       unsigned threads) {
+  HierarchySweepResult result;
+  result.points.resize(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    result.points[i].config = configs[i];
+  }
+  if (configs.empty()) {
+    return result;
+  }
+
+  // Client-0 rows are single-level server replays: fuse rows sharing server
+  // cache state into multi-lane simulators, exactly like RunPlannedSweep.
+  std::map<std::tuple<uint64_t, uint32_t, int, bool>, std::vector<size_t>> by_server;
+  std::vector<size_t> hierarchy_rows;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const HierarchyConfig& h = configs[i];
+    if (h.has_clients()) {
+      hierarchy_rows.push_back(i);
+    } else {
+      by_server[{h.server.size_bytes, h.server.block_size,
+                 static_cast<int>(h.server.replacement), h.server.simulate_execve_pagein}]
+          .push_back(i);
+    }
+  }
+  struct FusedGroup {
+    std::vector<size_t> members;
+  };
+  std::vector<FusedGroup> fused_groups;
+  for (auto& [key, members] : by_server) {
+    for (size_t at = 0; at < members.size(); at += 8) {
+      FusedGroup g;
+      g.members.assign(members.begin() + static_cast<ptrdiff_t>(at),
+                       members.begin() + static_cast<ptrdiff_t>(std::min(at + 8, members.size())));
+      fused_groups.push_back(std::move(g));
+    }
+  }
+  result.fused_replays = fused_groups.size();
+  result.hierarchy_replays = hierarchy_rows.size();
+
+  // One degenerate-hierarchy parity replay per fused group, compared against
+  // the group's first lane after the join.
+  std::vector<uint8_t> group_parity(fused_groups.size(), 1);
+  std::vector<CacheMetrics> parity_metrics(fused_groups.size());
+
+  std::vector<std::function<void()>> work;
+  work.reserve(hierarchy_rows.size() + 2 * fused_groups.size());
+  // Hierarchy replays first: each is a full two-level replay, the largest
+  // indivisible items.
+  for (const size_t i : hierarchy_rows) {
+    work.push_back([&, i]() { result.points[i].metrics = SimulateHierarchy(log, configs[i]); });
+  }
+  for (size_t g = 0; g < fused_groups.size(); ++g) {
+    work.push_back([&, g]() {
+      const std::vector<size_t>& members = fused_groups[g].members;
+      CacheConfig base = configs[members.front()].server;
+      std::vector<FusedCacheSimulator::PolicyLane> lanes;
+      lanes.reserve(members.size());
+      for (const size_t i : members) {
+        lanes.push_back({configs[i].server.policy, configs[i].server.flush_interval});
+      }
+      FusedCacheSimulator sim(base, lanes);
+      sim.SetExtentFeeds(base.simulate_execve_pagein
+                             ? log.transfer_extents_pagein().data()
+                             : log.transfer_extents().data(),
+                         log.execve_extents().data());
+      sim.ReserveFiles(log.distinct_files());
+      log.ReplayDataEventsInto(sim);
+      sim.Finish();
+      for (size_t j = 0; j < members.size(); ++j) {
+        HierarchyMetrics& m = result.points[members[j]].metrics;
+        m.client_count = 0;
+        m.server = sim.LaneMetrics(j);
+      }
+    });
+    work.push_back([&, g]() {
+      // Cross-engine gate: the degenerate hierarchy must reproduce the
+      // fused lane bit-for-bit.  Runs as its own work item so it overlaps
+      // the fused replay; the comparison happens after the join.
+      const size_t i = fused_groups[g].members.front();
+      const HierarchyMetrics check = SimulateHierarchy(log, configs[i]);
+      group_parity[g] = static_cast<uint8_t>(check.client_count == 0 ? 1 : 0);
+      parity_metrics[g] = check.server;
+    });
+  }
+  RunWorkItems(work, threads);
+
+  for (size_t g = 0; g < fused_groups.size(); ++g) {
+    const size_t i = fused_groups[g].members.front();
+    if (group_parity[g] == 0 ||
+        !CacheMetricsBitIdentical(parity_metrics[g], result.points[i].metrics.server)) {
+      result.parity = false;
+    }
+  }
+  return result;
+}
+
+HierarchySweepResult RunHierarchySweep(const Trace& trace,
+                                       const std::vector<HierarchyConfig>& configs,
+                                       unsigned threads) {
+  if (configs.empty()) {
+    return {};
+  }
+  return RunHierarchySweep(ReplayLog::Build(trace), configs, threads);
+}
+
 std::vector<CacheConfig> Fig7Configs() {
   const uint64_t sizes[] = {390 * kKb, 1 * kMb, 2 * kMb, 4 * kMb, 8 * kMb, 16 * kMb};
   std::vector<CacheConfig> configs;

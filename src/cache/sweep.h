@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "src/cache/hierarchy.h"
 #include "src/cache/simulator.h"
 #include "src/cache/stack_distance.h"
 #include "src/trace/replay_log.h"
@@ -112,6 +113,55 @@ PlannedSweep RunPlannedSweep(const ReplayLog& log, const std::vector<CacheConfig
 // Convenience: builds the ReplayLog (billed at next event) and plans it.
 PlannedSweep RunPlannedSweep(const Trace& trace, const std::vector<CacheConfig>& configs,
                              std::vector<uint64_t> curve_sizes = {}, unsigned threads = 0);
+
+// --- Hierarchy sweeps (§7): client size x server size x write policy -------
+//
+// RunHierarchySweep extends the planner to two-level topologies
+// (hierarchy.h).  Rows with a client layer each cost one full hierarchy
+// replay; rows with client size 0 collapse to single-level server replays,
+// which the planner serves through fused multi-lane simulators exactly as
+// RunPlannedSweep does — the client layer "permitting" fusion because the
+// degenerate topology IS the single-level simulator.  For each fused group,
+// one representative row is additionally replayed through the degenerate
+// HierarchySimulator and compared bit-for-bit against the fused lane —
+// the cross-engine `parity` flag bench_hier_cache gates on.
+
+struct HierarchyPoint {
+  HierarchyConfig config;
+  HierarchyMetrics metrics;
+};
+
+struct HierarchySweepResult {
+  std::vector<HierarchyPoint> points;  // one per input config, input order
+  // Every client-0 fused lane matched its degenerate hierarchy replay
+  // bit-for-bit (CacheMetricsBitIdentical on the server metrics).
+  bool parity = true;
+  size_t fused_replays = 0;      // fused single-level replays (client-0 rows)
+  size_t hierarchy_replays = 0;  // full two-level replays
+};
+
+// Exact bit-level comparison of every counter including the residency
+// moments (the cross-engine parity currency).
+bool CacheMetricsBitIdentical(const CacheMetrics& a, const CacheMetrics& b);
+
+// The default §7 grid: client sizes {0, 256 KB, 1 MB, 4 MB} x server sizes
+// {1, 2, 4, 8, 16 MB} x write policies {write-through, flush-back(30s),
+// delayed-write}.  The policy applies to the clients (the open question is
+// what policy client caches should run); the server runs delayed-write.
+// Client-0 rows apply the policy to the server instead — the single-level
+// baseline column of the figure.
+std::vector<HierarchyConfig> HierarchySweepConfigs();
+
+// Runs the hierarchy plan on a prebuilt log across `threads` workers
+// (0 = hardware concurrency).
+HierarchySweepResult RunHierarchySweep(const ReplayLog& log,
+                                       const std::vector<HierarchyConfig>& configs,
+                                       unsigned threads = 0);
+
+// Convenience: builds the ReplayLog (billed at next event) and runs it.
+HierarchySweepResult RunHierarchySweep(const Trace& trace,
+                                       const std::vector<HierarchyConfig>& configs,
+                                       unsigned threads = 0);
 
 }  // namespace bsdtrace
 

@@ -623,6 +623,76 @@ std::string RenderMissRatioCurves(const std::vector<SweepCurve>& curves) {
   return out.str();
 }
 
+std::string RenderHierarchySweep(const HierarchySweepResult& result) {
+  if (result.points.empty()) {
+    return "";
+  }
+  // One table per client write policy: rows = server size, columns = client
+  // size, cells = global miss ratio (disk I/Os per logical access at the top
+  // of the hierarchy).  Client-0 columns carry the policy on the server — the
+  // single-level baseline the client columns are read against.
+  std::map<PolicyKey, std::map<uint64_t, std::map<uint64_t, const HierarchyPoint*>>> grids;
+  std::map<uint64_t, bool> client_sizes;
+  for (const HierarchyPoint& p : result.points) {
+    const CacheConfig& policy_holder = p.config.has_clients() ? p.config.client : p.config.server;
+    grids[KeyOf(policy_holder)][p.config.server.size_bytes][p.config.client.size_bytes] = &p;
+    client_sizes[p.config.client.size_bytes] = true;
+  }
+
+  std::ostringstream out;
+  for (const auto& [key, grid] : grids) {
+    std::vector<std::string> header = {"Server Size"};
+    for (const auto& [client, unused] : client_sizes) {
+      header.push_back(client == 0 ? "No Client" : FormatBytes(static_cast<double>(client)) +
+                                                       " client");
+    }
+    TextTable table(header);
+    for (const auto& [server, row] : grid) {
+      std::vector<std::string> cells = {FormatBytes(static_cast<double>(server))};
+      for (const auto& [client, unused] : client_sizes) {
+        auto it = row.find(client);
+        cells.push_back(it != row.end() ? FormatPercent(it->second->metrics.GlobalMissRatio())
+                                        : "-");
+      }
+      table.AddRow(std::move(cells));
+    }
+    out << table.Render("Hierarchy sweep (§7): global miss ratio, client policy = " +
+                        PolicyLabel(key) + " (server delayed-write).");
+    out << "\n";
+  }
+
+  // Plot the delayed-write grid (the recommended client policy) over the
+  // server-size axis, one series per client size.
+  auto plotted = grids.find(PolicyKey{WritePolicy::kDelayedWrite, 0});
+  if (plotted == grids.end()) {
+    plotted = grids.begin();
+  }
+  AsciiPlot plot("Hierarchy: global miss ratio vs. server size, client policy = " +
+                     PolicyLabel(plotted->first),
+                 "server size (MB)", "global miss ratio (%)");
+  plot.SetXLog2(true);
+  const char markers[] = {'0', 'a', 'b', 'c', 'd', 'e'};
+  int m = 0;
+  for (const auto& [client, unused] : client_sizes) {
+    PlotSeries series;
+    series.name = client == 0 ? "no client" : FormatBytes(static_cast<double>(client)) + " client";
+    series.marker = markers[m++ % 6];
+    for (const auto& [server, row] : plotted->second) {
+      auto it = row.find(client);
+      if (it != row.end()) {
+        series.xs.push_back(static_cast<double>(server) / kMb);
+        series.ys.push_back(100.0 * it->second->metrics.GlobalMissRatio());
+      }
+    }
+    plot.AddSeries(std::move(series));
+  }
+  out << plot.Render();
+  out << "hierarchy sweep: " << result.fused_replays << " fused replay(s), "
+      << result.hierarchy_replays << " hierarchy replay(s); client-0 parity "
+      << (result.parity ? "OK" : "FAILED") << "\n";
+  return out.str();
+}
+
 std::string RenderTable1(const TraceAnalysis& analysis, const std::vector<SweepPoint>& fig5_points,
                          const std::vector<SweepPoint>& fig6_points) {
   std::ostringstream out;
@@ -802,6 +872,35 @@ Status ExportCurveCsv(const std::string& path, const std::vector<SweepCurve>& cu
                     Cell(static_cast<int64_t>(curve.fetch_misses[i])),
                     Cell(curve.fetch_miss_ratios[i], 5)});
     }
+  }
+  return Status::Ok();
+}
+
+Status ExportHierarchyCsv(const std::string& path, const std::vector<HierarchyPoint>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error("cannot open for writing: " + path);
+  }
+  CsvWriter csv(out);
+  csv.WriteRow({"client_bytes", "server_bytes", "block_bytes", "client_policy", "server_policy",
+                "clients", "logical_accesses", "client_disk_reads", "client_disk_writes",
+                "server_accesses", "disk_reads", "disk_writes", "client_hit_ratio",
+                "global_miss_ratio"});
+  for (const HierarchyPoint& p : points) {
+    csv.WriteRow({Cell(static_cast<int64_t>(p.config.client.size_bytes)),
+                  Cell(static_cast<int64_t>(p.config.server.size_bytes)),
+                  Cell(static_cast<int64_t>(p.config.server.block_size)),
+                  p.config.has_clients() ? WritePolicyName(p.config.client.policy) : "-",
+                  WritePolicyName(p.config.server.policy),
+                  Cell(static_cast<int64_t>(p.metrics.client_count)),
+                  Cell(static_cast<int64_t>(p.metrics.LogicalAccesses())),
+                  Cell(static_cast<int64_t>(p.metrics.client_total.disk_reads)),
+                  Cell(static_cast<int64_t>(p.metrics.client_total.disk_writes)),
+                  Cell(static_cast<int64_t>(p.metrics.server.logical_accesses)),
+                  Cell(static_cast<int64_t>(p.metrics.server.disk_reads)),
+                  Cell(static_cast<int64_t>(p.metrics.server.disk_writes)),
+                  Cell(p.metrics.ClientHitRatio(), 5),
+                  Cell(p.metrics.GlobalMissRatio(), 5)});
   }
   return Status::Ok();
 }

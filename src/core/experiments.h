@@ -103,6 +103,12 @@ std::string RenderWriteLifetimeSidebar(const std::vector<SweepPoint>& fig5_point
 // points from one pass instead of one replay per size).
 std::string RenderMissRatioCurves(const std::vector<SweepCurve>& curves);
 
+// §7 hierarchy figure: global miss ratio (disk I/Os per logical access at
+// the top of the hierarchy) vs. client size x server size x client write
+// policy, one table per policy plus a plot over the server-size axis
+// (points from HierarchySweepConfigs() via RunHierarchySweep).
+std::string RenderHierarchySweep(const HierarchySweepResult& result);
+
 // Table I: the headline summary, derived from an analysis plus both sweeps.
 std::string RenderTable1(const TraceAnalysis& analysis,
                          const std::vector<SweepPoint>& fig5_points,
@@ -120,6 +126,9 @@ Status ExportSweepCsv(const std::string& path, const std::vector<SweepPoint>& po
 // Writes the single-pass miss-ratio curves as CSV: one row per
 // (curve, cache size) with the exact fetch-miss column.
 Status ExportCurveCsv(const std::string& path, const std::vector<SweepCurve>& curves);
+// Writes a hierarchy sweep as CSV: one row per (client size, server size,
+// policy) point with per-level traffic and the global miss ratio.
+Status ExportHierarchyCsv(const std::string& path, const std::vector<HierarchyPoint>& points);
 
 }  // namespace bsdtrace
 

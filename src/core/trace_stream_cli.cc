@@ -8,7 +8,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
-#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,35 +30,10 @@
 namespace bsdtrace {
 namespace {
 
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: trace_stream generate <out.trc> [profile=A5] [hours=6] [shards=8]\n"
-      "                             [threads=0] [seed=19851201]\n"
-      "                             [--profile=SPEC] [--users=N] [--hours=H]\n"
-      "                             [--shards=S] [--threads=T] [--seed=X]\n"
-      "                             [--compress=none|lz] [--wave-users=N]\n"
-      "       trace_stream analyze  <in.trc> [--threads=N] [--check-bands]\n"
-      "                             [--sweep=fig5|fig6|fig7]\n"
-      "       trace_stream serve    [--profile=SPEC] [--users=N] [--hours=H]\n"
-      "                             [--shards=S] [--threads=T] [--seed=X]\n"
-      "                             [--analyzers=K] [--capacity=C]\n"
-      "                             [--policy=block|drop-oldest]\n"
-      "                             [--snapshot-hours=H] [--check-bands]\n"
-      "       trace_stream info     <in.trc>\n"
-      "profile: A5 | E3 | C4 | a fleet spec like fleet:4xA5+2xE3+2xC4\n"
-      "--users=N population-scales every machine instance to N users\n"
-      "--compress=lz writes compressed v4 blocks (default none: v3 bytes)\n"
-      "--wave-users=N generates the fleet in bounded-memory waves of at most\n"
-      "N (scaled) users each; the record stream is wave-invariant\n"
-      "--sweep runs the planned §6 cache sweep (fused replays + one-pass\n"
-      "Mattson curves) instead of the §5 analysis tables\n"
-      "serve streams the generator through an in-memory ring to K rolling\n"
-      "analyzers (no file in between), publishing a snapshot every\n"
-      "--snapshot-hours of simulated time; SIGINT/SIGTERM shut it down\n"
-      "cleanly\n");
-  return 2;
-}
+// Rendered from the subcommand registry + flag table below: every usage and
+// help line is generated, so a new flag shows up everywhere by being added
+// to the table once.
+int Usage();
 
 // Strict numeric parsers: the whole string must parse and land in range.
 // (The CLI used to run arguments through bare atof/atoi, which read
@@ -140,60 +114,68 @@ struct CliOptions {
 struct FlagSpec {
   const char* name;
   bool takes_value;
+  const char* value_hint;  // shown as --name=<hint> in usage; "" when flag-only
+  const char* help;        // one-line description for --help
   // Returns false if the value is invalid (the caller reports it).
   std::function<bool(CliOptions*, const std::string&)> parse;
 };
 
 const std::vector<FlagSpec>& FlagTable() {
   static const std::vector<FlagSpec>* table = new std::vector<FlagSpec>{
-      {"profile", true,
+      {"profile", true, "SPEC",
+       "machine profile: A5 | E3 | C4 | a fleet spec like fleet:4xA5+2xE3+2xC4",
        [](CliOptions* o, const std::string& v) {
          o->profile = v;
          return !v.empty();
        }},
-      {"users", true,
+      {"users", true, "N", "population-scale every machine instance to N users (0: native)",
        [](CliOptions* o, const std::string& v) {
          return ParseIntArg(v, 0, 1000000, &o->users);
        }},
-      {"hours", true,
+      {"hours", true, "H", "simulated trace duration in hours",
        [](CliOptions* o, const std::string& v) { return ParseHoursArg(v, &o->hours); }},
-      {"shards", true,
+      {"shards", true, "S", "generator shards per machine instance",
        [](CliOptions* o, const std::string& v) { return ParseIntArg(v, 1, 4096, &o->shards); }},
-      {"threads", true,
+      {"threads", true, "T", "worker threads (0: hardware concurrency)",
        [](CliOptions* o, const std::string& v) { return ParseIntArg(v, 0, 4096, &o->threads); }},
-      {"seed", true,
+      {"seed", true, "X", "generation seed (deterministic per seed)",
        [](CliOptions* o, const std::string& v) { return ParseU64Arg(v, &o->seed); }},
-      {"compress", true,
+      {"compress", true, "none|lz", "lz writes compressed v4 blocks (default none: v3 bytes)",
        [](CliOptions* o, const std::string& v) {
          o->compress = v;
          return v == "none" || v == "lz";
        }},
-      {"wave-users", true,
+      {"wave-users", true, "N",
+       "generate the fleet in bounded-memory waves of at most N scaled users "
+       "(stream is wave-invariant)",
        [](CliOptions* o, const std::string& v) {
          return ParseIntArg(v, 0, 100000000, &o->wave_users);
        }},
-      {"check-bands", false,
+      {"check-bands", false, "", "gate on the Table I per-user activity bands",
        [](CliOptions* o, const std::string&) {
          o->check_bands = true;
          return true;
        }},
-      {"sweep", true,
+      {"sweep", true, "fig5|fig6|fig7|hier",
+       "run a planned cache sweep instead of the §5 tables: the §6 figures "
+       "(fused replays + one-pass Mattson curves) or the §7 client/server "
+       "hierarchy grid",
        [](CliOptions* o, const std::string& v) {
          o->sweep = v;
-         return v == "fig5" || v == "fig6" || v == "fig7";
+         return v == "fig5" || v == "fig6" || v == "fig7" || v == "hier";
        }},
-      {"analyzers", true,
+      {"analyzers", true, "K", "rolling analyzers fed from the ring",
        [](CliOptions* o, const std::string& v) { return ParseIntArg(v, 1, 64, &o->analyzers); }},
-      {"capacity", true,
+      {"capacity", true, "C", "ring capacity in records",
        [](CliOptions* o, const std::string& v) {
          return ParseIntArg(v, 2, 1 << 24, &o->capacity);
        }},
-      {"policy", true,
+      {"policy", true, "block|drop-oldest", "ring overflow policy",
        [](CliOptions* o, const std::string& v) {
          o->policy = v;
          return v == "block" || v == "drop-oldest";
        }},
-      {"snapshot-hours", true,
+      {"snapshot-hours", true, "H", "publish a rolling snapshot every H simulated hours",
        [](CliOptions* o, const std::string& v) {
          return ParseHoursArg(v, &o->snapshot_hours);
        }},
@@ -201,45 +183,189 @@ const std::vector<FlagSpec>& FlagTable() {
   return *table;
 }
 
-// Parses every --flag argument against the table, restricted to `allowed`
-// (the subcommand's surface).  Returns 0 on success, a Usage() exit code
-// otherwise.  Non-flag arguments are the caller's positionals.
-int ParseFlags(const std::vector<const char*>& flags,
-               std::initializer_list<const char*> allowed, CliOptions* out) {
+const FlagSpec* FindFlag(const std::string& name) {
+  for (const FlagSpec& s : FlagTable()) {
+    if (name == s.name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+// -- The subcommand registry --------------------------------------------------
+//
+// One entry per subcommand: its positional synopsis and its flag surface
+// (names into the flag table).  Usage, --help, and wrong-flag errors are all
+// rendered from here, so the listed surface IS the accepted surface.
+
+struct SubcommandSpec {
+  const char* name;
+  const char* positionals;
+  const char* blurb;  // one-line summary for --help
+  std::vector<const char*> flags;
+};
+
+const std::vector<SubcommandSpec>& Subcommands() {
+  static const std::vector<SubcommandSpec>* subs = new std::vector<SubcommandSpec>{
+      {"generate", "<out.trc> [profile=A5] [hours=6] [shards=8] [threads=0] [seed=19851201]",
+       "generate a trace file (sharded, merged in time order)",
+       {"profile", "users", "hours", "shards", "threads", "seed", "compress", "wave-users"}},
+      {"analyze", "<in.trc>",
+       "render the §5 analysis tables, or a cache sweep with --sweep",
+       {"threads", "check-bands", "sweep"}},
+      {"serve", "",
+       "stream the generator through in-memory rings to rolling analyzers",
+       {"profile", "users", "hours", "shards", "threads", "seed", "analyzers", "capacity",
+        "policy", "snapshot-hours", "check-bands"}},
+      {"info", "<in.trc>", "print header, format, and integrity information", {}},
+  };
+  return *subs;
+}
+
+const SubcommandSpec* FindSubcommand(const std::string& name) {
+  for (const SubcommandSpec& s : Subcommands()) {
+    if (name == s.name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::string FlagSynopsis(const FlagSpec& f) {
+  std::string out = "[--";
+  out += f.name;
+  if (f.takes_value) {
+    out += "=";
+    out += f.value_hint;
+  }
+  out += "]";
+  return out;
+}
+
+// The wrapped "trace_stream <cmd> <positionals> [flags...]" block, flag list
+// generated from the table.
+void PrintSubcommandUsage(std::FILE* out, const SubcommandSpec& sub, const char* lead) {
+  std::string line = std::string(lead) + "trace_stream " + sub.name;
+  if (sub.positionals[0] != '\0') {
+    line += " ";
+    line += sub.positionals;
+  }
+  const std::string indent(std::strlen(lead) + std::strlen("trace_stream ") +
+                               std::strlen(sub.name) + 1,
+                           ' ');
+  for (const char* name : sub.flags) {
+    const FlagSpec* spec = FindFlag(name);
+    const std::string synopsis = FlagSynopsis(*spec);
+    if (line.size() + 1 + synopsis.size() > 78) {
+      std::fprintf(out, "%s\n", line.c_str());
+      line = indent + synopsis;
+    } else {
+      line += " " + synopsis;
+    }
+  }
+  std::fprintf(out, "%s\n", line.c_str());
+}
+
+int Usage() {
+  std::fprintf(stderr, "usage:\n");
+  for (const SubcommandSpec& sub : Subcommands()) {
+    PrintSubcommandUsage(stderr, sub, "  ");
+  }
+  std::fprintf(stderr, "run \"trace_stream <command> --help\" for per-flag descriptions\n");
+  return 2;
+}
+
+// Wrong flag / bad value inside a subcommand: name the subcommand and show
+// ITS usage line, not the whole wall.
+int UsageFor(const SubcommandSpec& sub) {
+  std::fprintf(stderr, "usage:\n");
+  PrintSubcommandUsage(stderr, sub, "  ");
+  return 2;
+}
+
+// Full per-subcommand help (stdout, exit 0): the flag list with the table's
+// help strings.
+int HelpFor(const SubcommandSpec& sub) {
+  std::printf("trace_stream %s — %s\n", sub.name, sub.blurb);
+  PrintSubcommandUsage(stdout, sub, "usage: ");
+  if (!sub.flags.empty()) {
+    std::printf("flags:\n");
+    for (const char* name : sub.flags) {
+      const FlagSpec* spec = FindFlag(name);
+      std::string synopsis = "--" + std::string(spec->name);
+      if (spec->takes_value) {
+        synopsis += "=" + std::string(spec->value_hint);
+      }
+      std::printf("  %-28s %s\n", synopsis.c_str(), spec->help);
+    }
+  }
+  return 0;
+}
+
+int HelpMain() {
+  std::printf("usage:\n");
+  for (const SubcommandSpec& sub : Subcommands()) {
+    PrintSubcommandUsage(stdout, sub, "  ");
+  }
+  std::printf("commands:\n");
+  for (const SubcommandSpec& sub : Subcommands()) {
+    std::printf("  %-9s %s\n", sub.name, sub.blurb);
+  }
+  std::printf("run \"trace_stream <command> --help\" for per-flag descriptions\n");
+  return 0;
+}
+
+bool WantsHelp(const std::vector<const char*>& flags) {
+  for (const char* arg : flags) {
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses every --flag argument against the table, restricted to the
+// subcommand's registered surface.  Returns 0 on success, a usage exit code
+// otherwise; every error names the subcommand it happened in.  Non-flag
+// arguments are the caller's positionals.
+int ParseFlags(const SubcommandSpec& sub, const std::vector<const char*>& flags,
+               CliOptions* out) {
   for (const char* arg : flags) {
     if (std::strncmp(arg, "--", 2) != 0) {
-      std::fprintf(stderr, "trace_stream: expected a --flag, got \"%s\"\n", arg);
-      return Usage();
+      std::fprintf(stderr, "trace_stream %s: expected a --flag, got \"%s\"\n", sub.name, arg);
+      return UsageFor(sub);
     }
     const char* body = arg + 2;
     const char* eq = std::strchr(body, '=');
     const std::string name = eq != nullptr ? std::string(body, eq) : std::string(body);
-    const FlagSpec* spec = nullptr;
-    for (const FlagSpec& s : FlagTable()) {
-      if (name == s.name) {
-        spec = &s;
-        break;
-      }
-    }
+    const FlagSpec* spec = FindFlag(name);
     bool in_surface = false;
-    for (const char* a : allowed) {
+    for (const char* a : sub.flags) {
       if (name == a) {
         in_surface = true;
         break;
       }
     }
     if (spec == nullptr || !in_surface) {
-      std::fprintf(stderr, "trace_stream: unknown flag \"%s\"\n", arg);
-      return Usage();
+      if (spec != nullptr) {
+        // Known flag, wrong subcommand: say which subcommand rejected it.
+        std::fprintf(stderr, "trace_stream %s: flag \"%s\" is not accepted by %s\n", sub.name,
+                     arg, sub.name);
+      } else {
+        std::fprintf(stderr, "trace_stream %s: unknown flag \"%s\"\n", sub.name, arg);
+      }
+      return UsageFor(sub);
     }
     if (spec->takes_value != (eq != nullptr)) {
-      std::fprintf(stderr, "trace_stream: flag \"--%s\" %s a value\n", spec->name,
+      std::fprintf(stderr, "trace_stream %s: flag \"--%s\" %s a value\n", sub.name, spec->name,
                    spec->takes_value ? "requires" : "does not take");
-      return Usage();
+      return UsageFor(sub);
     }
     const std::string value = eq != nullptr ? std::string(eq + 1) : std::string();
     if (!spec->parse(out, value)) {
-      return BadArg(("--" + name).c_str(), value);
+      std::fprintf(stderr, "trace_stream %s: invalid --%s \"%s\"\n", sub.name, name.c_str(),
+                   value.c_str());
+      return UsageFor(sub);
     }
   }
   return 0;
@@ -260,12 +386,16 @@ void SplitArgs(int argc, const char* const* argv, std::vector<std::string>* posi
 // -- generate -----------------------------------------------------------------
 
 int CmdGenerate(int argc, const char* const* argv) {
+  const SubcommandSpec& sub = *FindSubcommand("generate");
   CliOptions opt;
   std::vector<std::string> positional;
   std::vector<const char*> flags;
   SplitArgs(argc, argv, &positional, &flags);
+  if (WantsHelp(flags)) {
+    return HelpFor(sub);
+  }
   if (positional.empty() || positional.size() > 6) {
-    return Usage();
+    return UsageFor(sub);
   }
   // Positionals in the legacy order first, then flags, so flags win.
   const std::string out_path = positional[0];
@@ -284,11 +414,7 @@ int CmdGenerate(int argc, const char* const* argv) {
   if (positional.size() > 5 && !ParseU64Arg(positional[5], &opt.seed)) {
     return BadArg("seed", positional[5]);
   }
-  if (const int rc = ParseFlags(flags,
-                                {"profile", "users", "hours", "shards", "threads", "seed",
-                                 "compress", "wave-users"},
-                                &opt);
-      rc != 0) {
+  if (const int rc = ParseFlags(sub, flags, &opt); rc != 0) {
     return rc;
   }
 
@@ -349,15 +475,19 @@ int ReportBands(const std::vector<ActivityBandCheck>& checks) {
 }
 
 int CmdAnalyze(int argc, const char* const* argv) {
+  const SubcommandSpec& sub = *FindSubcommand("analyze");
   CliOptions opt;
   std::vector<std::string> positional;
   std::vector<const char*> flags;
   SplitArgs(argc, argv, &positional, &flags);
+  if (WantsHelp(flags)) {
+    return HelpFor(sub);
+  }
   if (positional.size() != 1) {
-    return Usage();
+    return UsageFor(sub);
   }
   const std::string path = positional[0];
-  if (const int rc = ParseFlags(flags, {"threads", "check-bands", "sweep"}, &opt); rc != 0) {
+  if (const int rc = ParseFlags(sub, flags, &opt); rc != 0) {
     return rc;
   }
   if (!opt.sweep.empty()) {
@@ -368,6 +498,14 @@ int CmdAnalyze(int argc, const char* const* argv) {
       std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
                    trace.status().message().c_str());
       return 1;
+    }
+    if (opt.sweep == "hier") {
+      // §7: client size x server size x client write policy, client-0 rows
+      // served by fused single-level replays with a cross-engine parity gate.
+      const HierarchySweepResult result = RunHierarchySweep(
+          trace.value(), HierarchySweepConfigs(), static_cast<unsigned>(opt.threads));
+      std::fputs(RenderHierarchySweep(result).c_str(), stdout);
+      return result.parity ? 0 : 1;
     }
     const std::vector<CacheConfig> configs = opt.sweep == "fig5"   ? Fig5Configs()
                                              : opt.sweep == "fig6" ? Fig6Configs()
@@ -450,19 +588,18 @@ class FanoutRingSink : public TraceSink {
 };
 
 int CmdServe(int argc, const char* const* argv) {
+  const SubcommandSpec& sub = *FindSubcommand("serve");
   CliOptions opt;
   std::vector<std::string> positional;
   std::vector<const char*> flags;
   SplitArgs(argc, argv, &positional, &flags);
-  if (!positional.empty()) {
-    return Usage();
+  if (WantsHelp(flags)) {
+    return HelpFor(sub);
   }
-  if (const int rc = ParseFlags(flags,
-                                {"profile", "users", "hours", "shards", "threads", "seed",
-                                 "analyzers", "capacity", "policy", "snapshot-hours",
-                                 "check-bands"},
-                                &opt);
-      rc != 0) {
+  if (!positional.empty()) {
+    return UsageFor(sub);
+  }
+  if (const int rc = ParseFlags(sub, flags, &opt); rc != 0) {
     return rc;
   }
 
@@ -671,11 +808,17 @@ int TraceStreamMain(int argc, const char* const* argv) {
     return Usage();
   }
   const char* cmd = argv[1];
+  if (std::strcmp(cmd, "help") == 0 || std::strcmp(cmd, "--help") == 0 ||
+      std::strcmp(cmd, "-h") == 0) {
+    return argc >= 3 && FindSubcommand(argv[2]) != nullptr ? HelpFor(*FindSubcommand(argv[2]))
+                                                           : HelpMain();
+  }
   if (std::strcmp(cmd, "serve") == 0) {
     return CmdServe(argc - 2, argv + 2);
   }
   if (argc < 3) {
-    return Usage();
+    const SubcommandSpec* sub = FindSubcommand(cmd);
+    return sub != nullptr ? UsageFor(*sub) : Usage();
   }
   if (std::strcmp(cmd, "generate") == 0) {
     return CmdGenerate(argc - 2, argv + 2);
@@ -684,6 +827,9 @@ int TraceStreamMain(int argc, const char* const* argv) {
     return CmdAnalyze(argc - 2, argv + 2);
   }
   if (std::strcmp(cmd, "info") == 0) {
+    if (std::strcmp(argv[2], "--help") == 0 || std::strcmp(argv[2], "-h") == 0) {
+      return HelpFor(*FindSubcommand("info"));
+    }
     return CmdInfo(argv[2]);
   }
   return Usage();

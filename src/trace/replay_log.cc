@@ -8,11 +8,61 @@
 namespace bsdtrace {
 namespace {
 
+// Maps acting user ids to fleet instances via the header tag's user ranges.
+// Instance i owns [user_base, user_base + user_population + 2) — the two
+// daemon ids plus the interactive users (see fleet_tag.h).  Users outside
+// every range (and all users of untagged traces) attribute to instance 0.
+class InstanceAttributor {
+ public:
+  explicit InstanceAttributor(const std::vector<FleetInstanceTag>& tags) {
+    ranges_.reserve(tags.size());
+    for (size_t i = 0; i < tags.size(); ++i) {
+      const UserId first = tags[i].user_base;
+      const UserId last =
+          tags[i].user_base + 1 +
+          static_cast<UserId>(tags[i].user_population > 0 ? tags[i].user_population : 0);
+      ranges_.push_back({first, last, static_cast<uint16_t>(i)});
+    }
+    std::sort(ranges_.begin(), ranges_.end(),
+              [](const Range& a, const Range& b) { return a.first < b.first; });
+  }
+
+  uint16_t InstanceOf(UserId user) const {
+    if (ranges_.empty()) {
+      return 0;
+    }
+    // Last range starting at or before `user`.
+    size_t lo = 0, hi = ranges_.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (ranges_[mid].first <= user) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == 0) {
+      return 0;
+    }
+    const Range& r = ranges_[lo - 1];
+    return user <= r.last ? r.instance : 0;
+  }
+
+ private:
+  struct Range {
+    UserId first = 0;
+    UserId last = 0;
+    uint16_t instance = 0;
+  };
+  std::vector<Range> ranges_;
+};
+
 // Records the reconstructor's output stream as packed events, preserving the
 // exact OnTransfer/OnRecord interleaving so replay reproduces it verbatim.
 class RecordingSink : public ReconstructionSink {
  public:
-  explicit RecordingSink(std::vector<ReplayEvent>* events) : events_(events) {}
+  RecordingSink(std::vector<ReplayEvent>* events, const InstanceAttributor* attributor)
+      : events_(events), attributor_(attributor) {}
 
   void OnTransfer(const Transfer& t) override {
     ReplayEvent e;
@@ -23,6 +73,7 @@ class RecordingSink : public ReconstructionSink {
     e.kind = t.direction == TransferDirection::kWrite
                  ? ReplayEvent::Kind::kWriteTransfer
                  : ReplayEvent::Kind::kReadTransfer;
+    e.instance = attributor_->InstanceOf(t.user_id);
     events_->push_back(e);
     ++transfer_count;
   }
@@ -33,6 +84,10 @@ class RecordingSink : public ReconstructionSink {
     e.file = r.file_id;
     e.length = r.size;
     e.kind = static_cast<ReplayEvent::Kind>(static_cast<uint8_t>(r.type) + 1);
+    // close/seek records carry no user id and attribute to instance 0; they
+    // are clock-only for every instance-aware sink, so the attribution is
+    // irrelevant (and they are elided from the data-event stream anyway).
+    e.instance = attributor_->InstanceOf(r.user_id);
     events_->push_back(e);
   }
 
@@ -40,6 +95,7 @@ class RecordingSink : public ReconstructionSink {
 
  private:
   std::vector<ReplayEvent>* events_;
+  const InstanceAttributor* attributor_;
 };
 
 }  // namespace
@@ -47,10 +103,12 @@ class RecordingSink : public ReconstructionSink {
 ReplayLog ReplayLog::Build(const Trace& trace, BillingPolicy billing) {
   ReplayLog log;
   log.billing_ = billing;
+  log.fleet_ = ParseFleetTag(trace.header().description);
+  const InstanceAttributor attributor(log.fleet_);
   // Every record yields one record event; transfers add at most one more per
   // seek/close, so 2x is a safe upper bound that avoids regrowth.
   log.events_.reserve(trace.size() * 2);
-  RecordingSink sink(&log.events_);
+  RecordingSink sink(&log.events_, &attributor);
   AccessReconstructor reconstructor(&sink, billing);
   for (const TraceRecord& r : trace.records()) {
     reconstructor.Process(r);
@@ -70,12 +128,14 @@ StatusOr<ReplayLog> ReplayLog::Build(TraceSource& source, BillingPolicy billing)
   }
   ReplayLog log;
   log.billing_ = billing;
+  log.fleet_ = ParseFleetTag(source.header().description);
+  const InstanceAttributor attributor(log.fleet_);
   if (source.size_hint() > 0) {
     // The hint is clamped by the source to what its backing store could
     // plausibly hold, so a lying header cannot drive an unbounded reserve.
     log.events_.reserve(static_cast<size_t>(source.size_hint()) * 2);
   }
-  RecordingSink sink(&log.events_);
+  RecordingSink sink(&log.events_, &attributor);
   AccessReconstructor reconstructor(&sink, billing);
   // Records stream from the source straight into the reconstructor — the
   // full Trace is never materialized, so building a log from an on-disk

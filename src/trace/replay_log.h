@@ -26,10 +26,12 @@
 #ifndef BSDTRACE_SRC_TRACE_REPLAY_LOG_H_
 #define BSDTRACE_SRC_TRACE_REPLAY_LOG_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/trace/fleet_tag.h"
 #include "src/trace/reconstruct.h"
 #include "src/trace/trace.h"
 #include "src/util/status.h"
@@ -37,7 +39,8 @@
 namespace bsdtrace {
 
 // One packed replay event: either a reconstructed transfer or a raw trace
-// record, discriminated by `kind`.  40 bytes, no pointers, no allocation.
+// record, discriminated by `kind`.  40 bytes, no pointers, no allocation
+// (`instance` sits in what was padding after `kind`).
 struct ReplayEvent {
   // Transfer kinds first; record kinds mirror EventType (same order).
   enum class Kind : uint8_t {
@@ -57,6 +60,10 @@ struct ReplayEvent {
   uint64_t offset = 0;  // transfers only
   uint64_t length = 0;  // transfer length, or record `size` payload
   Kind kind = Kind::kOpen;
+  // Fleet instance the event belongs to, attributed from the v3/v4 fleet tag
+  // in the trace header via the acting user id (0 for untagged traces).  The
+  // §7 hierarchy simulator routes each event to that instance's client cache.
+  uint16_t instance = 0;
 
   bool is_transfer() const {
     return kind == Kind::kReadTransfer || kind == Kind::kWriteTransfer;
@@ -127,6 +134,29 @@ class ReplayLog {
     }
   }
 
+  // The instance-attributed variant of ReplayDataEventsInto: same stream,
+  // same elisions, but each event is delivered with the fleet instance it
+  // was attributed to (`OnTransferFrom(instance, t)` / `OnRecordFrom(
+  // instance, r)`).  The synthetic clock tail is delivered as instance 0 —
+  // it exists only to advance clocks.  Untagged traces attribute everything
+  // to instance 0.
+  template <typename Sink>
+  void ReplayDataEventsWithInstancesInto(Sink& sink) const {
+    for (const ReplayEvent& e : data_events_) {
+      if (e.is_transfer()) {
+        sink.OnTransferFrom(e.instance, UnpackTransfer(e));
+      } else {
+        sink.OnRecordFrom(e.instance, UnpackRecord(e));
+      }
+    }
+    if (has_clock_tail_) {
+      TraceRecord r;
+      r.type = EventType::kSeek;
+      r.time = clock_tail_time_;
+      sink.OnRecordFrom(static_cast<uint16_t>(0), r);
+    }
+  }
+
   // Virtual-dispatch convenience for heterogeneous sinks.
   void Replay(ReconstructionSink* sink) const { ReplayInto(*sink); }
 
@@ -142,6 +172,11 @@ class ReplayLog {
   // Number of distinct file ids appearing in the log; sized-reserve hint for
   // per-file hash tables in replay consumers.
   size_t distinct_files() const { return distinct_files_; }
+  // Fleet instances parsed from the trace header (empty for untagged
+  // traces) and the number of instances events are attributed to (>= 1:
+  // untagged traces have the single implicit instance 0).
+  const std::vector<FleetInstanceTag>& fleet() const { return fleet_; }
+  size_t instance_count() const { return std::max<size_t>(1, fleet_.size()); }
 
   // Known-extent feeds: the highest data offset previously seen for the
   // accessed file, precomputed per transfer (and per nonempty execve) in
@@ -186,6 +221,7 @@ class ReplayLog {
   void BuildDerivedStreams();
 
   BillingPolicy billing_ = BillingPolicy::kAtNextEvent;
+  std::vector<FleetInstanceTag> fleet_;
   std::vector<ReplayEvent> events_;
   // Dense copy of the non-elidable events (see ReplayDataEventsInto) in
   // stream order: replays stream it sequentially with no indirection.

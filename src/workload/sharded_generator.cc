@@ -640,7 +640,7 @@ namespace {
 // Shared tail of the ToFile variants: stream the merged spills into a trace
 // file with the exact record count stamped in the header.  The default
 // options write format v3 — checksummed blocks plus the footer index — so
-// the result is directly consumable by ParallelAnalyzeTrace; the bytes match
+// the result is directly consumable by the parallel Analyze engine; the bytes match
 // SaveTrace of the in-memory path's trace with the same options.  (The
 // per-unit spill files stay v2: they are private intermediates, merged and
 // deleted before anyone seeks into them.)

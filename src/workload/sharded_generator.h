@@ -82,7 +82,7 @@ GenerationResult GenerateTraceSharded(const MachineProfile& profile,
 // byte for byte, for every shard_count and threads value (pinned by
 // ShardedStream tests and the bench_micro_generate gate).  ToFile writes
 // trace format v3 (checksummed blocks + footer index) so the output feeds
-// ParallelAnalyzeTrace directly; the v3 framing is a deterministic function
+// the parallel Analyze engine directly; the v3 framing is a deterministic function
 // of the record stream, so byte-identity is preserved.
 
 // Everything GenerateTraceSharded reports except the record vector, plus

@@ -166,15 +166,5 @@ TEST(AnalyzeApi, CheckBandsFillsVerdictsForFleetTraces) {
   EXPECT_TRUE(unchecked.value().bands_ok());
 }
 
-TEST(AnalyzeApi, DeprecatedShimsStillRoute) {
-  // The four legacy entry points are one-line shims over Analyze(); they
-  // must keep returning the same statistics while they exist.
-  const Trace trace = SmallTrace();
-  AnalyzeOptions options;
-  options.trace = &trace;
-  const TraceAnalysis via_front_door = Analyze(options).value();
-  EXPECT_TRUE(AnalysisBitIdentical(via_front_door, AnalyzeTrace(trace)));
-}
-
 }  // namespace
 }  // namespace bsdtrace

@@ -167,5 +167,67 @@ TEST(TraceStreamCli, SweepFig5PrintsTableAndCurves) {
   EXPECT_NE(text.find("parity ok"), std::string::npos) << text;
 }
 
+// --help output is generated from the one flag table: each subcommand lists
+// exactly its registered surface, with the value hints.
+TEST(TraceStreamCli, HelpListsPerSubcommandFlagsFromTheTable) {
+  std::string err;
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(RunCli({"--help"}), 0);
+  const std::string all = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(all.find("usage:"), std::string::npos);
+  EXPECT_NE(all.find("generate"), std::string::npos);
+  EXPECT_NE(all.find("--wave-users=N"), std::string::npos);
+  EXPECT_NE(all.find("--sweep=fig5|fig6|fig7|hier"), std::string::npos);
+
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(RunCli({"analyze", "--help"}), 0);
+  const std::string analyze = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(analyze.find("--threads=T"), std::string::npos);
+  EXPECT_NE(analyze.find("--check-bands"), std::string::npos);
+  EXPECT_NE(analyze.find("--sweep="), std::string::npos);
+  // analyze does not accept generate's flags, so its help must not list them.
+  EXPECT_EQ(analyze.find("--wave-users"), std::string::npos) << analyze;
+
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(RunCli({"help", "serve"}), 0);
+  const std::string serve = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(serve.find("--snapshot-hours=H"), std::string::npos);
+  EXPECT_EQ(serve.find("--sweep"), std::string::npos) << serve;
+}
+
+// Wrong-flag errors name the subcommand they happened in, and a known flag
+// used on the wrong subcommand is distinguished from a typo.
+TEST(TraceStreamCli, FlagErrorsNameTheSubcommand) {
+  std::string err;
+  EXPECT_EQ(RunCaptured({"analyze", "x.trc", "--bogus=1"}, &err), 2);
+  EXPECT_NE(err.find("trace_stream analyze: unknown flag \"--bogus=1\""), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+
+  // --wave-users exists, but only generate accepts it.
+  EXPECT_EQ(RunCaptured({"analyze", "x.trc", "--wave-users=5"}, &err), 2);
+  EXPECT_NE(err.find("trace_stream analyze"), std::string::npos) << err;
+  EXPECT_NE(err.find("not accepted"), std::string::npos) << err;
+
+  EXPECT_EQ(RunCaptured({"generate", "x.trc", "--hours=oops"}, &err), 2);
+  EXPECT_NE(err.find("trace_stream generate: invalid --hours \"oops\""), std::string::npos)
+      << err;
+}
+
+// analyze --sweep=hier runs the §7 client/server hierarchy grid and gates on
+// the fused-vs-hierarchy parity verdict.
+TEST(TraceStreamCli, SweepHierPrintsHierarchyFigure) {
+  const std::string out = TempPath("cli_sweep_hier.trc");
+  ASSERT_EQ(RunCli({"generate", out, "--profile=A5", "--hours=1", "--shards=2",
+                    "--threads=2", "--seed=20260809"}),
+            0);
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(RunCli({"analyze", out, "--sweep=hier", "--threads=2"}), 0);
+  const std::string text = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(text.find("Hierarchy sweep"), std::string::npos) << text;
+  EXPECT_NE(text.find("Delayed Write"), std::string::npos) << text;
+  EXPECT_NE(text.find("client-0 parity OK"), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace bsdtrace
