@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -19,10 +21,13 @@
 #include "src/analysis/per_user_activity.h"
 #include "src/analysis/rolling_analyzer.h"
 #include "src/core/experiments.h"
+#include "src/trace/import/strace_import.h"
+#include "src/trace/import/text_import.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_ring.h"
 #include "src/trace/trace_source.h"
 #include "src/trace/validate.h"
+#include "src/util/parse.h"
 #include "src/workload/fleet.h"
 #include "src/workload/profile.h"
 #include "src/workload/sharded_generator.h"
@@ -36,33 +41,15 @@ namespace {
 int Usage();
 
 // Strict numeric parsers: the whole string must parse and land in range.
-// (The CLI used to run arguments through bare atof/atoi, which read
-// "8oops" as 8 and "oops" as 0 — silently generating the wrong trace.)
+// All integer flags route through the one checked parser in src/util/parse.h
+// (sign, overflow, and trailing garbage all reject — the CLI used to run
+// arguments through bare strtoull/atoi, which wrapped "18446744073709551616"
+// and read "8oops" as 8, silently generating the wrong trace).
 
-bool ParseU64Arg(const std::string& s, uint64_t* out) {
-  if (s.empty()) {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size() || s[0] == '-') {
-    return false;
-  }
-  *out = static_cast<uint64_t>(v);
-  return true;
-}
+bool ParseU64Arg(const std::string& s, uint64_t* out) { return ParseUint64(s, out); }
 
 bool ParseIntArg(const std::string& s, int min, int max, int* out) {
-  uint64_t v = 0;
-  if (!ParseU64Arg(s, &v) || v > static_cast<uint64_t>(max)) {
-    return false;
-  }
-  if (static_cast<int>(v) < min) {
-    return false;
-  }
-  *out = static_cast<int>(v);
-  return true;
+  return ParseInt32InRange(s, min, max, out);
 }
 
 bool ParseHoursArg(const std::string& s, double* out) {
@@ -104,6 +91,10 @@ struct CliOptions {
   std::string compress = "none";
   bool check_bands = false;
   std::string sweep;
+  // import/export only
+  std::string format = "bsdtxt";
+  std::string out;  // export destination; empty: stdout
+  bool no_validate = false;
   // serve only
   int analyzers = 1;
   int capacity = 1 << 14;
@@ -179,6 +170,24 @@ const std::vector<FlagSpec>& FlagTable() {
        [](CliOptions* o, const std::string& v) {
          return ParseHoursArg(v, &o->snapshot_hours);
        }},
+      {"format", true, "bsdtxt|strace",
+       "input log format: bsdtxt (this tool's text export) or a raw "
+       "`strace -f -ttt` syscall log",
+       [](CliOptions* o, const std::string& v) {
+         o->format = v;
+         return v == "bsdtxt" || v == "strace";
+       }},
+      {"out", true, "PATH", "write the text export to PATH instead of stdout",
+       [](CliOptions* o, const std::string& v) {
+         o->out = v;
+         return !v.empty();
+       }},
+      {"no-validate", false, "",
+       "skip the structural validator on the imported records (write as-is)",
+       [](CliOptions* o, const std::string&) {
+         o->no_validate = true;
+         return true;
+       }},
   };
   return *table;
 }
@@ -217,6 +226,10 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "stream the generator through in-memory rings to rolling analyzers",
        {"profile", "users", "hours", "shards", "threads", "seed", "analyzers", "capacity",
         "policy", "snapshot-hours", "check-bands"}},
+      {"import", "<in.log> <out.trc>",
+       "convert a foreign text log (bsdtxt or strace) to a binary trace",
+       {"format", "compress", "no-validate"}},
+      {"export", "<in.trc>", "render a binary trace as bsdtxt text", {"out"}},
       {"info", "<in.trc>", "print header, format, and integrity information", {}},
   };
   return *subs;
@@ -745,6 +758,139 @@ int CmdServe(int argc, const char* const* argv) {
   return rc;
 }
 
+// -- import / export ----------------------------------------------------------
+
+// Converts a foreign text log into a binary v4 trace.  Records are
+// materialized (both importers produce line numbers alongside), validated
+// against the structural invariants by default, and written compressed.
+int CmdImport(int argc, const char* const* argv) {
+  const SubcommandSpec& sub = *FindSubcommand("import");
+  CliOptions opt;
+  opt.compress = "lz";  // imports default to compressed v4 blocks
+  std::vector<std::string> positional;
+  std::vector<const char*> flags;
+  SplitArgs(argc, argv, &positional, &flags);
+  if (WantsHelp(flags)) {
+    return HelpFor(sub);
+  }
+  if (positional.size() != 2) {
+    return UsageFor(sub);
+  }
+  if (const int rc = ParseFlags(sub, flags, &opt); rc != 0) {
+    return rc;
+  }
+  const std::string& in_path = positional[0];
+  const std::string& out_path = positional[1];
+
+  Trace trace;
+  std::vector<uint64_t> lines;
+  if (opt.format == "strace") {
+    StatusOr<StraceImportResult> imported = ImportStraceLog(in_path);
+    if (!imported.ok()) {
+      std::fprintf(stderr, "import failed: %s\n", imported.status().message().c_str());
+      return 1;
+    }
+    StraceImportResult& r = imported.value();
+    const StraceImportStats& st = r.stats;
+    std::printf("strace: %llu line(s) -> %llu record(s) from %llu pid(s), %llu file(s); "
+                "%llu synthesized open(s), %llu failed call(s) skipped, %llu resumed "
+                "join(s)\n",
+                static_cast<unsigned long long>(st.lines),
+                static_cast<unsigned long long>(st.records),
+                static_cast<unsigned long long>(st.pids),
+                static_cast<unsigned long long>(st.files),
+                static_cast<unsigned long long>(st.synthesized_opens),
+                static_cast<unsigned long long>(st.failed_calls),
+                static_cast<unsigned long long>(st.resumed_joined));
+    trace = std::move(r.trace);
+    lines = std::move(r.record_lines);
+  } else {
+    TextTraceSource source(in_path);
+    trace = Trace(source.header());
+    TraceRecord record{};
+    while (source.Next(&record)) {
+      trace.Append(record);
+    }
+    if (!source.status().ok()) {
+      std::fprintf(stderr, "import failed: %s\n", source.status().message().c_str());
+      return 1;
+    }
+    lines = source.record_lines();
+  }
+
+  if (!opt.no_validate) {
+    ValidateTraceOptions voptions;
+    voptions.line_numbers = &lines;
+    voptions.render_records = true;
+    const ValidationResult v = ValidateTrace(trace, voptions);
+    for (const std::string& w : v.warnings) {
+      std::fprintf(stderr, "import warning: %s\n", w.c_str());
+    }
+    if (!v.ok()) {
+      for (const std::string& e : v.errors) {
+        std::fprintf(stderr, "import error: %s\n", e.c_str());
+      }
+      std::fprintf(stderr, "import: %zu structural error(s); fix the log or pass "
+                   "--no-validate to write it anyway\n", v.errors.size());
+      return 1;
+    }
+  }
+
+  TraceWriterOptions options;
+  options.version = 4;
+  options.codec = opt.compress == "lz" ? TraceCodec::kLz : TraceCodec::kNone;
+  const Status s = SaveTrace(out_path, trace, options);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(), s.message().c_str());
+    return 1;
+  }
+  std::printf("imported %s: %llu record(s) -> %s (v4, %s)\n", in_path.c_str(),
+              static_cast<unsigned long long>(trace.size()), out_path.c_str(),
+              opt.compress.c_str());
+  return 0;
+}
+
+// Streams a binary trace out as bsdtxt text — the exact ToString rendering
+// ParseTraceRecord accepts, so export | import is the identity.
+int CmdExport(int argc, const char* const* argv) {
+  const SubcommandSpec& sub = *FindSubcommand("export");
+  CliOptions opt;
+  std::vector<std::string> positional;
+  std::vector<const char*> flags;
+  SplitArgs(argc, argv, &positional, &flags);
+  if (WantsHelp(flags)) {
+    return HelpFor(sub);
+  }
+  if (positional.size() != 1) {
+    return UsageFor(sub);
+  }
+  if (const int rc = ParseFlags(sub, flags, &opt); rc != 0) {
+    return rc;
+  }
+  TraceFileSource source(positional[0]);
+  if (!source.status().ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", positional[0].c_str(),
+                 source.status().message().c_str());
+    return 1;
+  }
+  Status s = Status::Ok();
+  if (!opt.out.empty()) {
+    std::ofstream out(opt.out);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+      return 1;
+    }
+    s = WriteTextTrace(out, source);
+  } else {
+    s = WriteTextTrace(std::cout, source);
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 // -- info ---------------------------------------------------------------------
 
 int CmdInfo(const char* path) {
@@ -825,6 +971,12 @@ int TraceStreamMain(int argc, const char* const* argv) {
   }
   if (std::strcmp(cmd, "analyze") == 0) {
     return CmdAnalyze(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "import") == 0) {
+    return CmdImport(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "export") == 0) {
+    return CmdExport(argc - 2, argv + 2);
   }
   if (std::strcmp(cmd, "info") == 0) {
     if (std::strcmp(argv[2], "--help") == 0 || std::strcmp(argv[2], "-h") == 0) {

@@ -7,7 +7,16 @@
 //                         [--shards=S] [--threads=T] [--seed=X]
 //                         [--compress=none|lz] [--wave-users=N]
 //   trace_stream analyze  <in.trc> [--threads=N] [--check-bands]
+//   trace_stream import   <in.log> <out.trc> [--format=bsdtxt|strace]
+//                         [--compress=none|lz] [--no-validate]
+//   trace_stream export   <in.trc> [--out=PATH]
 //   trace_stream info     <in.trc>
+//
+// `import` converts a foreign text log — this tool's own bsdtxt export or a
+// raw `strace -f -ttt` syscall log — into a binary v4 trace, running the
+// structural validator by default so a corrupt log fails with per-line
+// diagnostics instead of skewing every downstream analysis.  `export`
+// renders a binary trace as bsdtxt; export | import is the identity.
 //
 // `generate` accepts a machine profile name (A5/E3/C4) or a fleet spec
 // ("fleet:4xA5+2xE3+2xC4"; workload/fleet.h) and always generates through

@@ -1,0 +1,672 @@
+#include "src/trace/import/strace_import.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/parse.h"
+
+namespace bsdtrace {
+namespace {
+
+// One open file description.  dup'd fds share a single entry (shared_ptr);
+// the kClose is billed when the last duplicate goes away.
+struct OpenEntry {
+  OpenId open_id = kInvalidOpenId;
+  FileId file_id = kInvalidFileId;
+  uint64_t position = 0;  // synthesized from read/write return values
+  uint64_t size = 0;      // largest size observed while open
+};
+
+using FdTable = std::unordered_map<int64_t, std::shared_ptr<OpenEntry>>;
+
+std::string_view TrimLeft(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  return s;
+}
+
+std::string_view TrimRight(std::string_view s) {
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool HasFlag(std::string_view flags, std::string_view name) {
+  // Flag tokens are separated by '|'; a plain substring search would let
+  // O_RDONLY match inside a hypothetical longer name, so check boundaries.
+  size_t at = 0;
+  while ((at = flags.find(name, at)) != std::string_view::npos) {
+    const bool left_ok = at == 0 || flags[at - 1] == '|';
+    const size_t end = at + name.size();
+    const bool right_ok = end == flags.size() || flags[end] == '|' || flags[end] == ',';
+    if (left_ok && right_ok) {
+      return true;
+    }
+    at = end;
+  }
+  return false;
+}
+
+class StraceParser {
+ public:
+  explicit StraceParser(std::istream& in) : in_(in) {}
+
+  StatusOr<StraceImportResult> Run() {
+    std::string raw;
+    while (std::getline(in_, raw)) {
+      ++line_no_;
+      ++stats_.lines;
+      std::string_view line = TrimRight(TrimLeft(raw));
+      if (line.empty()) {
+        continue;
+      }
+      Status s = ParseLine(line);
+      if (!s.ok()) {
+        return Status::Error("line " + std::to_string(line_no_) + ": " + s.message() +
+                             " [" + std::string(line) + "]");
+      }
+    }
+    return Finish();
+  }
+
+ private:
+  // ---- line layer ------------------------------------------------------
+
+  Status ParseLine(std::string_view line) {
+    int64_t pid = 0;
+    if (!ParsePidPrefix(&line, &pid)) {
+      return Status::Error("unrecognized pid prefix");
+    }
+    line = TrimLeft(line);
+
+    // -ttt timestamp: epoch seconds with a fractional part.
+    const size_t ts_end = line.find(' ');
+    if (ts_end == std::string_view::npos) {
+      return Status::Error("missing timestamp or event");
+    }
+    int64_t us = 0;
+    if (!ParseSecondsToMicros(line.substr(0, ts_end), &us)) {
+      return Status::Error("bad -ttt timestamp \"" + std::string(line.substr(0, ts_end)) + "\"");
+    }
+    std::string_view rest = TrimLeft(line.substr(ts_end + 1));
+
+    if (rest.substr(0, 3) == "+++" || rest.substr(0, 3) == "---") {
+      ++stats_.ignored_lines;  // process exit / signal delivery
+      return Status::Ok();
+    }
+
+    // `<... name resumed> tail` completes a per-pid pending prefix.
+    if (rest.substr(0, 5) == "<... ") {
+      const size_t mark = rest.find("resumed>");
+      if (mark == std::string_view::npos) {
+        return Status::Error("malformed resumed marker");
+      }
+      auto it = pending_.find(pid);
+      if (it == pending_.end()) {
+        return Status::Error("resumed call with no matching <unfinished ...>");
+      }
+      std::string joined = it->second + std::string(TrimLeft(rest.substr(mark + 8)));
+      pending_.erase(it);
+      ++stats_.resumed_joined;
+      return ParseSyscall(pid, us, joined);
+    }
+
+    // `name(args... <unfinished ...>` stashes the prefix until resumed.
+    if (rest.size() >= 16 && rest.substr(rest.size() - 16) == "<unfinished ...>") {
+      if (pending_.count(pid) != 0) {
+        return Status::Error("two unfinished calls pending for pid " + std::to_string(pid));
+      }
+      pending_[pid] = std::string(TrimRight(rest.substr(0, rest.size() - 16)));
+      return Status::Ok();
+    }
+
+    return ParseSyscall(pid, us, rest);
+  }
+
+  // Accepts "[pid N] ", "N " (strace -f -o output), or no prefix.  A leading
+  // all-digit token is a pid; a token containing '.' is the timestamp.
+  bool ParsePidPrefix(std::string_view* line, int64_t* pid) {
+    std::string_view s = *line;
+    if (s.substr(0, 4) == "[pid") {
+      s.remove_prefix(4);
+      s = TrimLeft(s);
+      const size_t close = s.find(']');
+      uint64_t v = 0;
+      if (close == std::string_view::npos || !ParseUint64(s.substr(0, close), &v)) {
+        return false;
+      }
+      *pid = static_cast<int64_t>(v);
+      *line = s.substr(close + 1);
+      return true;
+    }
+    const size_t sp = s.find(' ');
+    if (sp != std::string_view::npos) {
+      uint64_t v = 0;
+      if (ParseUint64(s.substr(0, sp), &v)) {
+        *pid = static_cast<int64_t>(v);
+        *line = s.substr(sp + 1);
+        return true;
+      }
+    }
+    *pid = 0;  // single-process log: no prefix
+    return true;
+  }
+
+  // ---- syscall layer ---------------------------------------------------
+
+  Status ParseSyscall(int64_t pid, int64_t us, std::string_view text) {
+    // name(args) = ret [note]
+    size_t i = 0;
+    while (i < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_')) {
+      ++i;
+    }
+    if (i == 0 || i >= text.size() || text[i] != '(') {
+      return Status::Error("unrecognized event");
+    }
+    const std::string_view name = text.substr(0, i);
+
+    // Walk the argument list with string/bracket awareness: commas inside
+    // quoted data, array or struct arguments must not split arguments, and
+    // ')' inside them must not end the list.
+    std::vector<std::string_view> args;
+    size_t arg_start = i + 1;
+    int depth = 0;
+    bool in_str = false;
+    size_t close = std::string_view::npos;
+    for (size_t j = i + 1; j < text.size(); ++j) {
+      const char c = text[j];
+      if (in_str) {
+        if (c == '\\') {
+          ++j;
+        } else if (c == '"') {
+          in_str = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_str = true;
+      } else if (c == '(' || c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ']' || c == '}') {
+        --depth;
+      } else if (c == ')') {
+        if (depth == 0) {
+          close = j;
+          break;
+        }
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        args.push_back(TrimLeft(TrimRight(text.substr(arg_start, j - arg_start))));
+        arg_start = j + 1;
+      }
+    }
+    if (close == std::string_view::npos) {
+      return Status::Error("unterminated argument list");
+    }
+    std::string_view last = TrimLeft(TrimRight(text.substr(arg_start, close - arg_start)));
+    if (!last.empty()) {
+      args.push_back(last);
+    }
+
+    // " = ret"
+    std::string_view tail = TrimLeft(text.substr(close + 1));
+    if (tail.empty() || tail[0] != '=') {
+      return Status::Error("missing return value");
+    }
+    tail = TrimLeft(tail.substr(1));
+    const size_t ret_end = tail.find(' ');
+    const std::string_view ret_tok =
+        ret_end == std::string_view::npos ? tail : tail.substr(0, ret_end);
+    if (ret_tok == "?") {
+      ++stats_.ignored_lines;  // call interrupted by process death
+      return Status::Ok();
+    }
+    if (!ret_tok.empty() && ret_tok[0] == '-') {
+      ++stats_.failed_calls;  // failed syscall: no Table-II event happened
+      return Status::Ok();
+    }
+    uint64_t ret = 0;
+    if (!ParseUint64(ret_tok, &ret)) {
+      return Status::Error("bad return value \"" + std::string(ret_tok) + "\"");
+    }
+
+    return Dispatch(pid, us, name, args, ret);
+  }
+
+  Status Dispatch(int64_t pid, int64_t us, std::string_view name,
+                  const std::vector<std::string_view>& args, uint64_t ret) {
+    if (name == "open" || name == "openat" || name == "creat") {
+      return DoOpen(pid, us, name, args, ret);
+    }
+    if (name == "close") {
+      return DoClose(pid, us, args);
+    }
+    if (name == "read" || name == "write" || name == "pread64" || name == "pwrite64") {
+      return DoTransfer(pid, us, name, args, ret);
+    }
+    if (name == "lseek") {
+      return DoSeek(pid, us, args, ret);
+    }
+    if (name == "unlink" || name == "unlinkat") {
+      return DoUnlink(pid, us, name, args);
+    }
+    if (name == "truncate" || name == "ftruncate") {
+      return DoTruncate(pid, us, name, args);
+    }
+    if (name == "execve") {
+      return DoExecve(pid, us, args);
+    }
+    if (name == "dup" || name == "dup2" || name == "dup3") {
+      return DoDup(pid, us, args, ret);
+    }
+    ++stats_.ignored_lines;  // untracked syscall (well-formed, just not ours)
+    return Status::Ok();
+  }
+
+  // ---- syscall handlers ------------------------------------------------
+
+  Status DoOpen(int64_t pid, int64_t us, std::string_view name,
+                const std::vector<std::string_view>& args, uint64_t ret) {
+    const bool is_openat = name == "openat";
+    const bool is_creat = name == "creat";
+    const size_t path_arg = is_openat ? 1 : 0;
+    if (args.size() <= path_arg) {
+      return Status::Error("missing path argument");
+    }
+    std::string path;
+    if (!UnquotePath(args[path_arg], &path)) {
+      return Status::Error("bad path argument \"" + std::string(args[path_arg]) + "\"");
+    }
+    std::string_view flags;
+    if (!is_creat) {
+      const size_t flag_arg = path_arg + 1;
+      if (args.size() <= flag_arg) {
+        return Status::Error("missing flags argument");
+      }
+      flags = args[flag_arg];
+    }
+
+    AccessMode mode = AccessMode::kReadOnly;
+    bool writable = is_creat;
+    if (is_creat || HasFlag(flags, "O_WRONLY")) {
+      mode = AccessMode::kWriteOnly;
+      writable = true;
+    } else if (HasFlag(flags, "O_RDWR")) {
+      mode = AccessMode::kReadWrite;
+      writable = true;
+    }
+
+    const bool known = paths_.count(path) != 0;
+    // A create is a call that makes the data anew: creat(), open with
+    // O_TRUNC and write access, or O_CREAT of a path this log has not seen.
+    const bool create = is_creat || (writable && HasFlag(flags, "O_TRUNC")) ||
+                        (HasFlag(flags, "O_CREAT") && !known);
+
+    const FileId file = InternPath(path);
+    uint64_t size = 0;
+    if (create) {
+      sizes_[file] = 0;
+    } else {
+      auto it = sizes_.find(file);
+      size = it == sizes_.end() ? 0 : it->second;
+    }
+
+    auto entry = std::make_shared<OpenEntry>();
+    entry->open_id = next_open_id_++;
+    entry->file_id = file;
+    entry->size = size;
+    entry->position = (!create && HasFlag(flags, "O_APPEND")) ? size : 0;
+
+    // The kernel hands out the lowest free fd; if our table still has this
+    // fd, we missed its close (untraced path) — retire the stale entry so
+    // the stream stays structurally valid.
+    FdTable& table = fds_[pid];
+    auto stale = table.find(static_cast<int64_t>(ret));
+    if (stale != table.end()) {
+      ReleaseFd(table, stale, us);
+    }
+    table[static_cast<int64_t>(ret)] = entry;
+
+    const SimTime t = SimTime::FromMicros(us);
+    const UserId user = static_cast<UserId>(pid);
+    if (create) {
+      Emit(MakeCreate(t, entry->open_id, file, user, mode));
+    } else {
+      Emit(MakeOpen(t, entry->open_id, file, user, mode, size, entry->position));
+    }
+    return Status::Ok();
+  }
+
+  Status DoClose(int64_t pid, int64_t us, const std::vector<std::string_view>& args) {
+    int64_t fd = 0;
+    if (args.empty() || !ParseFd(args[0], &fd)) {
+      return Status::Error("bad fd argument");
+    }
+    if (fd < 3) {
+      ++stats_.ignored_lines;  // stdio fds are ttys/pipes, not files
+      return Status::Ok();
+    }
+    FdTable& table = fds_[pid];
+    auto it = table.find(fd);
+    if (it == table.end()) {
+      // Closing an fd we never saw opened: synthesize the open so the
+      // close has a mate, then retire it immediately.
+      SynthesizeOpen(pid, us, fd);
+      it = table.find(fd);
+    }
+    ReleaseFd(table, it, us);
+    return Status::Ok();
+  }
+
+  Status DoTransfer(int64_t pid, int64_t us, std::string_view name,
+                    const std::vector<std::string_view>& args, uint64_t ret) {
+    int64_t fd = 0;
+    if (args.empty() || !ParseFd(args[0], &fd)) {
+      return Status::Error("bad fd argument");
+    }
+    std::shared_ptr<OpenEntry> entry = LookupFd(pid, us, fd);
+    if (entry == nullptr) {
+      return Status::Ok();  // stdio fd
+    }
+    // pread/pwrite do not move the file offset; plain read/write advance it
+    // by the transfer size (the paper's implicit-sequentiality rule).
+    const bool positional = name == "pread64" || name == "pwrite64";
+    const bool is_write = name == "write" || name == "pwrite64";
+    if (!positional) {
+      entry->position += ret;
+    }
+    if (is_write) {
+      uint64_t end = positional ? 0 : entry->position;
+      if (positional && args.size() >= 4) {
+        uint64_t off = 0;
+        if (ParseUint64(args[3], &off)) {
+          end = off + ret;
+        }
+      }
+      entry->size = std::max(entry->size, end);
+    }
+    return Status::Ok();
+  }
+
+  Status DoSeek(int64_t pid, int64_t us, const std::vector<std::string_view>& args,
+                uint64_t ret) {
+    int64_t fd = 0;
+    if (args.empty() || !ParseFd(args[0], &fd)) {
+      return Status::Error("bad fd argument");
+    }
+    std::shared_ptr<OpenEntry> entry = LookupFd(pid, us, fd);
+    if (entry == nullptr) {
+      return Status::Ok();
+    }
+    // lseek returns the resulting absolute offset.  Only an actual
+    // reposition is a Table-II event — the paper's tracer did not log
+    // null seeks (e.g. lseek(fd, 0, SEEK_CUR) to tell the position).
+    if (ret != entry->position) {
+      Emit(MakeSeek(SimTime::FromMicros(us), entry->open_id, entry->file_id,
+                    entry->position, ret));
+      entry->position = ret;
+    }
+    return Status::Ok();
+  }
+
+  Status DoUnlink(int64_t pid, int64_t us, std::string_view name,
+                  const std::vector<std::string_view>& args) {
+    const size_t path_arg = name == "unlinkat" ? 1 : 0;
+    if (args.size() <= path_arg) {
+      return Status::Error("missing path argument");
+    }
+    std::string path;
+    if (!UnquotePath(args[path_arg], &path)) {
+      return Status::Error("bad path argument \"" + std::string(args[path_arg]) + "\"");
+    }
+    const FileId file = InternPath(path);
+    Emit(MakeUnlink(SimTime::FromMicros(us), file, static_cast<UserId>(pid)));
+    // The name is gone: a later create of the same path is a new file
+    // (fresh i-number), so retire the interning entry.
+    paths_.erase(path);
+    sizes_.erase(file);
+    return Status::Ok();
+  }
+
+  Status DoTruncate(int64_t pid, int64_t us, std::string_view name,
+                    const std::vector<std::string_view>& args) {
+    if (args.size() < 2) {
+      return Status::Error("missing length argument");
+    }
+    uint64_t len = 0;
+    if (!ParseUint64(args[1], &len)) {
+      return Status::Error("bad length argument \"" + std::string(args[1]) + "\"");
+    }
+    FileId file = kInvalidFileId;
+    if (name == "ftruncate") {
+      int64_t fd = 0;
+      if (!ParseFd(args[0], &fd)) {
+        return Status::Error("bad fd argument");
+      }
+      std::shared_ptr<OpenEntry> entry = LookupFd(pid, us, fd);
+      if (entry == nullptr) {
+        return Status::Ok();
+      }
+      entry->size = len;
+      file = entry->file_id;
+    } else {
+      std::string path;
+      if (!UnquotePath(args[0], &path)) {
+        return Status::Error("bad path argument \"" + std::string(args[0]) + "\"");
+      }
+      file = InternPath(path);
+      sizes_[file] = len;
+    }
+    Emit(MakeTruncate(SimTime::FromMicros(us), file, static_cast<UserId>(pid), len));
+    return Status::Ok();
+  }
+
+  Status DoExecve(int64_t pid, int64_t us, const std::vector<std::string_view>& args) {
+    if (args.empty()) {
+      return Status::Error("missing path argument");
+    }
+    std::string path;
+    if (!UnquotePath(args[0], &path)) {
+      return Status::Error("bad path argument \"" + std::string(args[0]) + "\"");
+    }
+    const FileId file = InternPath(path);
+    auto it = sizes_.find(file);
+    const uint64_t size = it == sizes_.end() ? 0 : it->second;
+    Emit(MakeExecve(SimTime::FromMicros(us), file, static_cast<UserId>(pid), size));
+    return Status::Ok();
+  }
+
+  Status DoDup(int64_t pid, int64_t us, const std::vector<std::string_view>& args,
+               uint64_t ret) {
+    int64_t oldfd = 0;
+    if (args.empty() || !ParseFd(args[0], &oldfd)) {
+      return Status::Error("bad fd argument");
+    }
+    std::shared_ptr<OpenEntry> entry = LookupFd(pid, us, oldfd);
+    FdTable& table = fds_[pid];
+    // dup2/dup3 silently close an already-open newfd; bill that close.
+    auto stale = table.find(static_cast<int64_t>(ret));
+    if (stale != table.end() && stale->second != entry) {
+      ReleaseFd(table, stale, us);
+    }
+    if (entry != nullptr && static_cast<int64_t>(ret) >= 3) {
+      table[static_cast<int64_t>(ret)] = entry;  // shares the open entry
+    }
+    return Status::Ok();
+  }
+
+  // ---- fd/file bookkeeping --------------------------------------------
+
+  FileId InternPath(const std::string& path) {
+    auto [it, inserted] = paths_.try_emplace(path, next_file_id_);
+    if (inserted) {
+      ++next_file_id_;
+    }
+    return it->second;
+  }
+
+  // fd >= 3 the log never opened (inherited, or opened before attach):
+  // synthesize a plain read-write open of a fresh anonymous file so every
+  // later event on the fd has a structurally valid mate.
+  std::shared_ptr<OpenEntry> SynthesizeOpen(int64_t pid, int64_t us, int64_t fd) {
+    auto entry = std::make_shared<OpenEntry>();
+    entry->open_id = next_open_id_++;
+    entry->file_id = next_file_id_++;
+    fds_[pid][fd] = entry;
+    ++stats_.synthesized_opens;
+    Emit(MakeOpen(SimTime::FromMicros(us), entry->open_id, entry->file_id,
+                  static_cast<UserId>(pid), AccessMode::kReadWrite, 0, 0));
+    return entry;
+  }
+
+  std::shared_ptr<OpenEntry> LookupFd(int64_t pid, int64_t us, int64_t fd) {
+    if (fd < 3) {
+      return nullptr;
+    }
+    FdTable& table = fds_[pid];
+    auto it = table.find(fd);
+    if (it != table.end()) {
+      return it->second;
+    }
+    return SynthesizeOpen(pid, us, fd);
+  }
+
+  // Drops one fd reference; bills the kClose when the last duplicate goes.
+  void ReleaseFd(FdTable& table, FdTable::iterator it, int64_t us) {
+    std::shared_ptr<OpenEntry> entry = it->second;
+    table.erase(it);
+    // Any other fd (in any pid) still holding the entry?
+    if (entry.use_count() > 1) {
+      return;
+    }
+    const uint64_t size = std::max(entry->size, entry->position);
+    Emit(MakeClose(SimTime::FromMicros(us), entry->open_id, entry->file_id,
+                   entry->position, size));
+    sizes_[entry->file_id] = std::max(sizes_[entry->file_id], size);
+  }
+
+  // ---- small token parsers --------------------------------------------
+
+  // Leading decimal digits; tolerates strace -y decorations ("3</tmp/x>").
+  static bool ParseFd(std::string_view arg, int64_t* fd) {
+    size_t i = 0;
+    while (i < arg.size() && std::isdigit(static_cast<unsigned char>(arg[i]))) {
+      ++i;
+    }
+    uint64_t v = 0;
+    if (i == 0 || !ParseUint64(arg.substr(0, i), &v) || v > INT64_MAX) {
+      return false;
+    }
+    if (i != arg.size() && arg[i] != '<') {
+      return false;
+    }
+    *fd = static_cast<int64_t>(v);
+    return true;
+  }
+
+  // `"escaped\tpath"` possibly followed by `...` (strace -s truncation).
+  // The raw escaped text is kept as the interning key — consistency is all
+  // that matters, the path never leaves the importer.
+  static bool UnquotePath(std::string_view arg, std::string* out) {
+    if (arg.size() < 2 || arg[0] != '"') {
+      return false;
+    }
+    for (size_t i = 1; i < arg.size(); ++i) {
+      if (arg[i] == '\\') {
+        ++i;
+        continue;
+      }
+      if (arg[i] == '"') {
+        std::string_view tail = arg.substr(i + 1);
+        if (!tail.empty() && tail != "...") {
+          return false;
+        }
+        *out = std::string(arg.substr(1, i - 1));
+        if (!tail.empty()) {
+          *out += "...";  // truncated: keep the marker in the key
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- assembly --------------------------------------------------------
+
+  void Emit(const TraceRecord& record) {
+    emitted_.push_back({record, line_no_});
+  }
+
+  StatusOr<StraceImportResult> Finish() {
+    StraceImportResult result;
+    result.trace.header().machine = "strace";
+    result.trace.header().description = "imported from strace -f -ttt log";
+
+    if (!emitted_.empty()) {
+      // Rebase so the first event is t=0, then sort: resumed-call joins are
+      // billed at their completion time, which can land out of order with
+      // other pids' lines.
+      int64_t min_us = emitted_.front().first.time.micros();
+      for (const auto& [r, line] : emitted_) {
+        min_us = std::min(min_us, r.time.micros());
+      }
+      for (auto& [r, line] : emitted_) {
+        r.time = SimTime::FromMicros(r.time.micros() - min_us);
+      }
+      std::stable_sort(emitted_.begin(), emitted_.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first.time < b.first.time;
+                       });
+    }
+    result.record_lines.reserve(emitted_.size());
+    result.trace.Reserve(emitted_.size());
+    for (const auto& [r, line] : emitted_) {
+      result.trace.Append(r);
+      result.record_lines.push_back(line);
+    }
+    stats_.records = emitted_.size();
+    stats_.pids = fds_.size();
+    stats_.files = next_file_id_ - 1;
+    result.stats = stats_;
+    return result;
+  }
+
+  std::istream& in_;
+  uint64_t line_no_ = 0;
+  StraceImportStats stats_;
+
+  std::vector<std::pair<TraceRecord, uint64_t>> emitted_;
+  std::unordered_map<int64_t, FdTable> fds_;            // pid -> fd table
+  std::unordered_map<int64_t, std::string> pending_;    // pid -> unfinished prefix
+  std::unordered_map<std::string, FileId> paths_;       // live path -> id
+  std::unordered_map<FileId, uint64_t> sizes_;          // last known size
+  OpenId next_open_id_ = 1;
+  FileId next_file_id_ = 1;
+};
+
+}  // namespace
+
+StatusOr<StraceImportResult> ImportStraceLog(std::istream& in) {
+  return StraceParser(in).Run();
+}
+
+StatusOr<StraceImportResult> ImportStraceLog(const std::string& path) {
+  if (path == "-") {
+    return ImportStraceLog(std::cin);
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::Error("cannot open strace log " + path);
+  }
+  return ImportStraceLog(in);
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,124 @@
+// strace → Table-II adapter: converts the output of
+//
+//   strace -f -ttt -e trace=open,openat,creat,close,lseek,read,write,
+//          unlink,truncate,ftruncate,execve  (one -e list; wrapped here)
+//
+// into the repo's Table-II trace schema, so a real syscall log can feed the
+// same Analyze / replay-log / sweep machinery as a generated trace.
+//
+// Mapping (one Table-II record per completed syscall, billed as the paper's
+// kernel tracer would have billed it):
+//
+//   open/openat   kOpen   oid = fresh per successful open (never recycled),
+//                         file = interned path, user = pid, mode from the
+//                         O_* access flags, size = last known size of the
+//                         path (0 if never seen), pos = size if O_APPEND
+//                         else 0.  An open with O_CREAT of an unknown path,
+//                         or with O_TRUNC and write access, is a kCreate.
+//   creat         kCreate (write-only open that truncates)
+//   read/write    no record — Table II has no per-transfer events.  The
+//                 return value advances the fd's synthesized position
+//                 (implicit sequentiality); writes extending past the
+//                 tracked size grow it.
+//   lseek         kSeek(from = synthesized position, to = return value),
+//                 emitted only when the call actually repositions
+//                 (ret != current position), matching the paper's tracer
+//                 which logged only real repositions.
+//   close         kClose(pos = synthesized position, size = max(tracked
+//                 size, position)) — sizes are billed at close, as in the
+//                 paper.  Emitted when the last duplicate of the open is
+//                 closed (dup/dup2/dup3 share one open entry).
+//   unlink(at)    kUnlink; the path's FileId is retired (a later create of
+//                 the same name is a new file, like a fresh i-number).
+//   truncate      kTruncate(len); ftruncate maps through the fd's file.
+//   execve        kExecve(size = last known size of the image).
+//
+// Process model: `-f` interleaves pids; each pid has its own fd table and
+// UserId = pid (strace does not report uids).  An operation on an fd >= 3
+// this log never saw opened (inherited across an untraced fork, or opened
+// before attach) synthesizes a plain kOpen at that instant so the stream
+// stays structurally valid; fds 0-2 are assumed to be ttys/pipes and are
+// ignored.  `<unfinished ...>` / `<... resumed>` pairs are joined per pid
+// and billed at the resumed line's timestamp.
+//
+// Failed calls (`= -1 E...`), detached calls (`= ?`), signal (`--- ... ---`)
+// and exit (`+++ ... +++`) lines are skipped; anything else that does not
+// parse as an strace event is a hard error naming the line, so a truncated
+// or corrupted log fails loudly instead of importing partially.
+//
+// Timestamps are -ttt epoch seconds; the import rebases them so the first
+// event is t = 0 and stably sorts the result (resumed-call joining can emit
+// slightly out of order).
+
+#ifndef BSDTRACE_SRC_TRACE_IMPORT_STRACE_IMPORT_H_
+#define BSDTRACE_SRC_TRACE_IMPORT_STRACE_IMPORT_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/trace/trace_source.h"
+#include "src/util/status.h"
+
+namespace bsdtrace {
+
+struct StraceImportStats {
+  uint64_t lines = 0;             // lines read
+  uint64_t records = 0;           // Table-II records emitted
+  uint64_t failed_calls = 0;      // syscalls returning -1 (skipped)
+  uint64_t ignored_lines = 0;     // signals, exits, untracked syscalls
+  uint64_t synthesized_opens = 0; // fds first seen mid-stream (fd >= 3)
+  uint64_t resumed_joined = 0;    // <unfinished ...>/<... resumed> pairs
+  uint64_t pids = 0;              // distinct pids seen
+  uint64_t files = 0;             // distinct FileIds assigned
+};
+
+struct StraceImportResult {
+  Trace trace;
+  // Source line of each record, parallel to trace.records() — feed to
+  // ValidateTraceOptions::line_numbers.
+  std::vector<uint64_t> record_lines;
+  StraceImportStats stats;
+};
+
+// Parses a whole strace log.  The result is materialized (the log must be
+// time-rebased and sorted before it is a valid stream), so this is intended
+// for logs that fit in memory — the use case is importing a captured
+// session, not a firehose.
+StatusOr<StraceImportResult> ImportStraceLog(std::istream& in);
+StatusOr<StraceImportResult> ImportStraceLog(const std::string& path);  // "-" = stdin
+
+// TraceSource over an imported log, so the importer plugs into
+// Analyze({.source = ...}) and SaveTrace like any other stream.
+class StraceTraceSource : public TraceSource {
+ public:
+  explicit StraceTraceSource(StraceImportResult result)
+      : result_(std::move(result)) {}
+  // Import failure: a source that yields nothing but the sticky error.
+  explicit StraceTraceSource(Status status) : status_(std::move(status)) {}
+
+  const TraceHeader& header() const override { return result_.trace.header(); }
+  bool Next(TraceRecord* record) override {
+    if (!status_.ok() || next_ >= result_.trace.size()) {
+      return false;
+    }
+    *record = result_.trace.records()[next_++];
+    return true;
+  }
+  Status status() const override { return status_; }
+  int64_t size_hint() const override {
+    return static_cast<int64_t>(result_.trace.size());
+  }
+
+  const StraceImportResult& result() const { return result_; }
+
+ private:
+  StraceImportResult result_;
+  Status status_ = Status::Ok();
+  size_t next_ = 0;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_IMPORT_STRACE_IMPORT_H_

@@ -1,0 +1,107 @@
+#include "src/trace/import/text_import.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "src/trace/record.h"
+
+namespace bsdtrace {
+
+TextTraceSource::TextTraceSource(const std::string& path) {
+  if (path == "-") {
+    in_ = &std::cin;
+  } else {
+    owned_ = std::make_unique<std::ifstream>(path);
+    if (!owned_->is_open()) {
+      status_ = Status::Error("cannot open text trace " + path);
+      in_ = owned_.get();
+      return;
+    }
+    in_ = owned_.get();
+  }
+  ReadHeader();
+}
+
+TextTraceSource::TextTraceSource(std::istream& in) : in_(&in) { ReadHeader(); }
+
+bool TextTraceSource::NextLine(std::string* line) {
+  if (!std::getline(*in_, *line)) {
+    return false;
+  }
+  ++line_number_;
+  if (!line->empty() && line->back() == '\r') {
+    line->pop_back();
+  }
+  return true;
+}
+
+void TextTraceSource::ReadHeader() {
+  // Consume leading comments and blanks; the first record line is stashed
+  // for the first Next() call.
+  std::string line;
+  while (NextLine(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      std::istringstream hdr(line.substr(1));
+      std::string key;
+      hdr >> key;
+      if (key == "machine") {
+        hdr >> header_.machine;
+      } else if (key == "description") {
+        std::string rest;
+        std::getline(hdr, rest);
+        if (!rest.empty() && rest[0] == ' ') {
+          rest.erase(0, 1);
+        }
+        header_.description = rest;
+      }
+      continue;
+    }
+    pending_valid_ = true;
+    pending_line_ = line;
+    pending_line_no_ = line_number_;
+    return;
+  }
+}
+
+bool TextTraceSource::Next(TraceRecord* record) {
+  if (!status_.ok()) {
+    return false;
+  }
+  std::string line;
+  uint64_t line_no = 0;
+  for (;;) {
+    if (pending_valid_) {
+      line = std::move(pending_line_);
+      line_no = pending_line_no_;
+      pending_valid_ = false;
+    } else {
+      if (!NextLine(&line)) {
+        return false;
+      }
+      line_no = line_number_;
+      if (line.empty() || line[0] == '#') {
+        continue;
+      }
+    }
+    StatusOr<TraceRecord> parsed = ParseTraceRecord(line);
+    if (!parsed.ok()) {
+      status_ = Status::Error("line " + std::to_string(line_no) + ": " +
+                              parsed.status().message());
+      return false;
+    }
+    if (!record_lines_.empty() && parsed.value().time < prev_time_) {
+      status_ = Status::Error("line " + std::to_string(line_no) +
+                              ": time moves backwards [" + parsed.value().ToString() + "]");
+      return false;
+    }
+    prev_time_ = parsed.value().time;
+    *record = parsed.value();
+    record_lines_.push_back(line_no);
+    return true;
+  }
+}
+
+}  // namespace bsdtrace

@@ -1,0 +1,68 @@
+// Streaming import of `bsdtxt` text traces — the line-oriented text format
+// defined by TraceRecord::ToString / ParseTraceRecord (record.h):
+//
+//   # machine <name>             optional header comments; other "#" lines
+//   # description <text>         are ignored
+//   <record line>                one ParseTraceRecord line per record
+//
+// Blank lines are skipped and CRLF endings are tolerated anywhere.  Header
+// comments must appear before the first record: header() is served before
+// any record is pulled, so "# machine"/"# description" lines after the
+// first record are skipped as plain comments.
+//
+// TextTraceSource is a true streaming TraceSource: one line is in flight at
+// a time, so `trace_stream import` and Analyze({.source = ...}) handle
+// arbitrarily large text logs in bounded memory.  It also enforces the
+// TraceSource time-ordering contract as it reads — a record whose timestamp
+// moves backwards fails with its line number rather than silently feeding
+// unsorted data to an analyzer.
+
+#ifndef BSDTRACE_SRC_TRACE_IMPORT_TEXT_IMPORT_H_
+#define BSDTRACE_SRC_TRACE_IMPORT_TEXT_IMPORT_H_
+
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_source.h"
+
+namespace bsdtrace {
+
+class TextTraceSource : public TraceSource {
+ public:
+  // Reads from a file path ("-" means stdin) or a caller-owned stream.
+  explicit TextTraceSource(const std::string& path);
+  explicit TextTraceSource(std::istream& in);
+
+  const TraceHeader& header() const override { return header_; }
+  bool Next(TraceRecord* record) override;
+  Status status() const override { return status_; }
+
+  // Source line (1-based) of the record most recently returned by Next().
+  uint64_t line_number() const { return line_number_; }
+  // Source line of every record returned so far, in order.  Feed this to
+  // ValidateTraceOptions::line_numbers so validation errors cite the text
+  // file's lines.
+  const std::vector<uint64_t>& record_lines() const { return record_lines_; }
+
+ private:
+  void ReadHeader();
+  bool NextLine(std::string* line);
+
+  std::unique_ptr<std::ifstream> owned_;
+  std::istream* in_;
+  TraceHeader header_;
+  Status status_ = Status::Ok();
+  SimTime prev_time_;
+  uint64_t line_number_ = 0;   // lines consumed so far
+  std::vector<uint64_t> record_lines_;
+  bool pending_valid_ = false;  // a record line read while scanning the header
+  std::string pending_line_;
+  uint64_t pending_line_no_ = 0;
+};
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_TRACE_IMPORT_TEXT_IMPORT_H_

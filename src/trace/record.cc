@@ -2,6 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <vector>
+
+#include "src/util/parse.h"
 
 namespace bsdtrace {
 
@@ -37,44 +40,206 @@ const char* EventTypeName(EventType type) {
   return "?";
 }
 
+namespace {
+
+// Renders microseconds as fixed-point seconds with 6 fractional digits.
+// Integer arithmetic throughout: "%.6f" of micros/1e6 misrounds once the
+// double's representation error reaches half a microsecond, which would
+// break the Parse(ToString()) round-trip on large timestamps.
+void FormatTime(int64_t us, char* buf, size_t len) {
+  const char* sign = "";
+  uint64_t mag = static_cast<uint64_t>(us);
+  if (us < 0) {
+    sign = "-";
+    mag = 0 - mag;  // two's complement negate; correct even for INT64_MIN
+  }
+  std::snprintf(buf, len, "%s%" PRIu64 ".%06" PRIu64, sign, mag / 1000000, mag % 1000000);
+}
+
+}  // namespace
+
 std::string TraceRecord::ToString() const {
+  char ts[32];
+  FormatTime(time.micros(), ts, sizeof(ts));
   char buf[256];
   switch (type) {
     case EventType::kOpen:
     case EventType::kCreate:
       std::snprintf(buf, sizeof(buf),
-                    "%.6f\t%s\toid=%" PRIu64 "\tfile=%" PRIu64 "\tuser=%u\tmode=%s\tsize=%" PRIu64
+                    "%s\t%s\toid=%" PRIu64 "\tfile=%" PRIu64 "\tuser=%u\tmode=%s\tsize=%" PRIu64
                     "\tpos=%" PRIu64,
-                    time.seconds(), EventTypeName(type), open_id, file_id, user_id,
-                    AccessModeName(mode), size, position);
+                    ts, EventTypeName(type), open_id, file_id, user_id, AccessModeName(mode),
+                    size, position);
       break;
     case EventType::kClose:
       std::snprintf(buf, sizeof(buf),
-                    "%.6f\tclose\toid=%" PRIu64 "\tfile=%" PRIu64 "\tpos=%" PRIu64
+                    "%s\tclose\toid=%" PRIu64 "\tfile=%" PRIu64 "\tpos=%" PRIu64
                     "\tsize=%" PRIu64,
-                    time.seconds(), open_id, file_id, position, size);
+                    ts, open_id, file_id, position, size);
       break;
     case EventType::kSeek:
       std::snprintf(buf, sizeof(buf),
-                    "%.6f\tseek\toid=%" PRIu64 "\tfile=%" PRIu64 "\tfrom=%" PRIu64
+                    "%s\tseek\toid=%" PRIu64 "\tfile=%" PRIu64 "\tfrom=%" PRIu64
                     "\tto=%" PRIu64,
-                    time.seconds(), open_id, file_id, seek_from, seek_to);
+                    ts, open_id, file_id, seek_from, seek_to);
       break;
     case EventType::kUnlink:
-      std::snprintf(buf, sizeof(buf), "%.6f\tunlink\tfile=%" PRIu64 "\tuser=%u", time.seconds(),
-                    file_id, user_id);
+      std::snprintf(buf, sizeof(buf), "%s\tunlink\tfile=%" PRIu64 "\tuser=%u", ts, file_id,
+                    user_id);
       break;
     case EventType::kTruncate:
-      std::snprintf(buf, sizeof(buf),
-                    "%.6f\ttruncate\tfile=%" PRIu64 "\tuser=%u\tlen=%" PRIu64, time.seconds(),
-                    file_id, user_id, size);
+      std::snprintf(buf, sizeof(buf), "%s\ttruncate\tfile=%" PRIu64 "\tuser=%u\tlen=%" PRIu64,
+                    ts, file_id, user_id, size);
       break;
     case EventType::kExecve:
-      std::snprintf(buf, sizeof(buf), "%.6f\texecve\tfile=%" PRIu64 "\tuser=%u\tsize=%" PRIu64,
-                    time.seconds(), file_id, user_id, size);
+      std::snprintf(buf, sizeof(buf), "%s\texecve\tfile=%" PRIu64 "\tuser=%u\tsize=%" PRIu64,
+                    ts, file_id, user_id, size);
       break;
   }
   return buf;
+}
+
+namespace {
+
+// Splits a record line on runs of tabs/spaces.  ToString emits single tabs;
+// accepting space runs too makes hand-written fixtures pleasant without
+// introducing ambiguity (no field value contains whitespace).
+std::vector<std::string_view> SplitRecordLine(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == '\t' || line[i] == ' ')) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < line.size() && line[i] != '\t' && line[i] != ' ') {
+      ++i;
+    }
+    if (i > start) {
+      tokens.push_back(line.substr(start, i - start));
+    }
+  }
+  return tokens;
+}
+
+// "key=value" with a strict decimal uint64 value.
+bool ParseKeyedUint(std::string_view token, std::string_view key, uint64_t* out) {
+  if (token.size() <= key.size() + 1 || token.substr(0, key.size()) != key ||
+      token[key.size()] != '=') {
+    return false;
+  }
+  return ParseUint64(token.substr(key.size() + 1), out);
+}
+
+bool ParseKeyedMode(std::string_view token, AccessMode* out) {
+  if (token == "mode=r") {
+    *out = AccessMode::kReadOnly;
+  } else if (token == "mode=w") {
+    *out = AccessMode::kWriteOnly;
+  } else if (token == "mode=rw") {
+    *out = AccessMode::kReadWrite;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<TraceRecord> ParseTraceRecord(std::string_view line) {
+  const std::vector<std::string_view> tokens = SplitRecordLine(line);
+  if (tokens.size() < 2) {
+    return Status::Error("too few fields");
+  }
+  TraceRecord r;
+  int64_t us = 0;
+  if (!ParseSecondsToMicros(tokens[0], &us)) {
+    return Status::Error("bad timestamp \"" + std::string(tokens[0]) + "\"");
+  }
+  r.time = SimTime::FromMicros(us);
+
+  const std::string_view type = tokens[1];
+  // Exact field count per type, checked up front so a failed take always
+  // points at a genuinely malformed token rather than a missing one.
+  auto expect_count = [&](size_t n) -> bool { return tokens.size() == n; };
+  size_t next = 2;
+  auto take = [&](std::string_view key, uint64_t* out) -> bool {
+    return next < tokens.size() && ParseKeyedUint(tokens[next++], key, out);
+  };
+  auto field_error = [&]() -> Status {
+    return Status::Error("bad or misplaced field \"" + std::string(tokens[next - 1]) + "\"");
+  };
+  auto count_error = [&](size_t n) -> Status {
+    return Status::Error("expected " + std::to_string(n) + " fields for " + std::string(type) +
+                         ", got " + std::to_string(tokens.size()));
+  };
+  uint64_t user = 0;
+
+  if (type == "open" || type == "create") {
+    if (!expect_count(8)) {
+      return count_error(8);
+    }
+    r.type = type == "open" ? EventType::kOpen : EventType::kCreate;
+    if (!take("oid", &r.open_id) || !take("file", &r.file_id) || !take("user", &user)) {
+      return field_error();
+    }
+    if (next >= tokens.size() || !ParseKeyedMode(tokens[next++], &r.mode)) {
+      return Status::Error("bad or missing mode field");
+    }
+    if (!take("size", &r.size) || !take("pos", &r.position)) {
+      return field_error();
+    }
+  } else if (type == "close") {
+    if (!expect_count(6)) {
+      return count_error(6);
+    }
+    r.type = EventType::kClose;
+    if (!take("oid", &r.open_id) || !take("file", &r.file_id) || !take("pos", &r.position) ||
+        !take("size", &r.size)) {
+      return field_error();
+    }
+  } else if (type == "seek") {
+    if (!expect_count(6)) {
+      return count_error(6);
+    }
+    r.type = EventType::kSeek;
+    if (!take("oid", &r.open_id) || !take("file", &r.file_id) || !take("from", &r.seek_from) ||
+        !take("to", &r.seek_to)) {
+      return field_error();
+    }
+  } else if (type == "unlink") {
+    if (!expect_count(4)) {
+      return count_error(4);
+    }
+    r.type = EventType::kUnlink;
+    if (!take("file", &r.file_id) || !take("user", &user)) {
+      return field_error();
+    }
+  } else if (type == "truncate") {
+    if (!expect_count(5)) {
+      return count_error(5);
+    }
+    r.type = EventType::kTruncate;
+    if (!take("file", &r.file_id) || !take("user", &user) || !take("len", &r.size)) {
+      return field_error();
+    }
+  } else if (type == "execve") {
+    if (!expect_count(5)) {
+      return count_error(5);
+    }
+    r.type = EventType::kExecve;
+    if (!take("file", &r.file_id) || !take("user", &user) || !take("size", &r.size)) {
+      return field_error();
+    }
+  } else {
+    return Status::Error("unknown event type \"" + std::string(type) + "\"");
+  }
+
+  if (user > 0xFFFFFFFFull) {
+    return Status::Error("user id overflows 32 bits");
+  }
+  r.user_id = static_cast<UserId>(user);
+  return r;
 }
 
 TraceRecord MakeOpen(SimTime t, OpenId open_id, FileId file, UserId user, AccessMode mode,

@@ -20,9 +20,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/trace/types.h"
 #include "src/util/sim_time.h"
+#include "src/util/status.h"
 
 namespace bsdtrace {
 
@@ -69,9 +71,41 @@ struct TraceRecord {
 
   bool operator==(const TraceRecord&) const = default;
 
-  // One-line human-readable rendering (the text trace format).
+  // One-line rendering; the record line of the `bsdtxt` text trace format.
+  // The rendering is exact: timestamps are printed from the integer
+  // microsecond count (never through a double), and every field the record's
+  // type carries is emitted, so ParseTraceRecord(ToString()) == *this for
+  // any record that follows the per-type field conventions (the ones the
+  // factories below enforce and ValidateTrace checks).  Fields a type does
+  // not carry (e.g. user on close/seek) are not printed and parse back as
+  // their zero defaults.
   std::string ToString() const;
 };
+
+// Parses one bsdtxt record line — the inverse of TraceRecord::ToString and
+// the normative grammar for the text trace format:
+//
+//   <time> <type> <key>=<value> ...
+//
+// where <time> is non-negative fixed-point seconds with at most 6 fractional
+// digits and fields are separated by runs of tabs or spaces (ToString emits
+// single tabs).  The per-type field lists, in order:
+//
+//   open     oid= file= user= mode= size= pos=
+//   create   oid= file= user= mode= size= pos=
+//   close    oid= file= pos= size=
+//   seek     oid= file= from= to=
+//   unlink   file= user=
+//   truncate file= user= len=
+//   execve   file= user= size=
+//
+// mode is r | w | rw; every other value is a plain decimal uint64 (user fits
+// in 32 bits).  Parsing is strict: unknown types or keys, missing or
+// out-of-order fields, trailing garbage, signs, hex, scientific notation,
+// and overflowing values are all errors.  Line-level concerns (comments,
+// blank lines, the "# machine" header) belong to the readers in
+// trace_io.h / import/text_import.h, not here.
+StatusOr<TraceRecord> ParseTraceRecord(std::string_view line);
 
 // Factory helpers enforcing per-type field conventions.
 TraceRecord MakeOpen(SimTime t, OpenId open_id, FileId file, UserId user, AccessMode mode,

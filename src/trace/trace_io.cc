@@ -1366,43 +1366,15 @@ Status WriteTextTrace(std::ostream& out, const Trace& trace) {
   return WriteTextTrace(out, source);
 }
 
-namespace {
-
-// Parses "key=value" tokens from a text trace line after time and type.
-bool ParseField(const std::string& token, const char* key, uint64_t* out) {
-  const size_t klen = std::strlen(key);
-  if (token.size() <= klen + 1 || token.compare(0, klen, key) != 0 || token[klen] != '=') {
-    return false;
-  }
-  char* end = nullptr;
-  *out = std::strtoull(token.c_str() + klen + 1, &end, 10);
-  return end != nullptr && *end == '\0';
-}
-
-bool ParseModeField(const std::string& token, AccessMode* out) {
-  if (token == "mode=r") {
-    *out = AccessMode::kReadOnly;
-    return true;
-  }
-  if (token == "mode=w") {
-    *out = AccessMode::kWriteOnly;
-    return true;
-  }
-  if (token == "mode=rw") {
-    *out = AccessMode::kReadWrite;
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
-
 StatusOr<Trace> ReadTextTrace(std::istream& in) {
   Trace trace;
   std::string line;
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // tolerate CRLF logs
+    }
     if (line.empty()) {
       continue;
     }
@@ -1422,77 +1394,14 @@ StatusOr<Trace> ReadTextTrace(std::istream& in) {
       }
       continue;
     }
-    std::istringstream ls(line);
-    std::string tok;
-    std::vector<std::string> tokens;
-    while (std::getline(ls, tok, '\t')) {
-      tokens.push_back(tok);
+    // Record lines go through the strict bsdtxt grammar (record.h); the old
+    // in-file parser accepted signs, wrapping values, and trailing garbage.
+    StatusOr<TraceRecord> record = ParseTraceRecord(line);
+    if (!record.ok()) {
+      return Status::Error("line " + std::to_string(line_no) + ": " +
+                           record.status().message());
     }
-    auto err = [&](const char* what) {
-      return Status::Error("line " + std::to_string(line_no) + ": " + what);
-    };
-    if (tokens.size() < 2) {
-      return err("too few fields");
-    }
-    char* end = nullptr;
-    const double t = std::strtod(tokens[0].c_str(), &end);
-    if (end == nullptr || *end != '\0') {
-      return err("bad timestamp");
-    }
-    TraceRecord r;
-    r.time = SimTime::FromSeconds(t);
-    const std::string& type = tokens[1];
-    uint64_t u64 = 0;
-    auto field = [&](size_t i, const char* key, uint64_t* out) {
-      return i < tokens.size() && ParseField(tokens[i], key, out);
-    };
-    if (type == "open" || type == "create") {
-      r.type = (type == "open") ? EventType::kOpen : EventType::kCreate;
-      if (!field(2, "oid", &r.open_id) || !field(3, "file", &r.file_id) ||
-          !field(4, "user", &u64)) {
-        return err("bad open fields");
-      }
-      r.user_id = static_cast<UserId>(u64);
-      if (tokens.size() < 8 || !ParseModeField(tokens[5], &r.mode) ||
-          !ParseField(tokens[6], "size", &r.size) || !ParseField(tokens[7], "pos", &r.position)) {
-        return err("bad open mode/size/pos");
-      }
-    } else if (type == "close") {
-      r.type = EventType::kClose;
-      if (!field(2, "oid", &r.open_id) || !field(3, "file", &r.file_id) ||
-          !field(4, "pos", &r.position) || !field(5, "size", &r.size)) {
-        return err("bad close fields");
-      }
-    } else if (type == "seek") {
-      r.type = EventType::kSeek;
-      if (!field(2, "oid", &r.open_id) || !field(3, "file", &r.file_id) ||
-          !field(4, "from", &r.seek_from) || !field(5, "to", &r.seek_to)) {
-        return err("bad seek fields");
-      }
-    } else if (type == "unlink") {
-      r.type = EventType::kUnlink;
-      if (!field(2, "file", &r.file_id) || !field(3, "user", &u64)) {
-        return err("bad unlink fields");
-      }
-      r.user_id = static_cast<UserId>(u64);
-    } else if (type == "truncate") {
-      r.type = EventType::kTruncate;
-      if (!field(2, "file", &r.file_id) || !field(3, "user", &u64) ||
-          !field(4, "len", &r.size)) {
-        return err("bad truncate fields");
-      }
-      r.user_id = static_cast<UserId>(u64);
-    } else if (type == "execve") {
-      r.type = EventType::kExecve;
-      if (!field(2, "file", &r.file_id) || !field(3, "user", &u64) ||
-          !field(4, "size", &r.size)) {
-        return err("bad execve fields");
-      }
-      r.user_id = static_cast<UserId>(u64);
-    } else {
-      return err("unknown event type");
-    }
-    trace.Append(r);
+    trace.Append(record.value());
   }
   return trace;
 }

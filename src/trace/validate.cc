@@ -2,6 +2,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_source.h"
@@ -27,18 +28,44 @@ std::string ValidationResult::Summary() const {
   return out;
 }
 
-ValidationResult ValidateTrace(const Trace& trace, size_t max_issues) {
+ValidationResult ValidateTrace(const Trace& trace, const ValidateTraceOptions& options) {
   ValidationResult result;
   result.records = trace.size();
 
   std::unordered_map<OpenId, OpenState> open_files;
+  // Ids whose close has been seen.  Needed to (a) reject id recycling — an
+  // open id is like an i-number, assigned once per trace — and (b) tell a
+  // close/seek on a stale id ("already closed") apart from one on an id the
+  // trace never opened, which matters when debugging an importer's fd table.
+  std::unordered_set<OpenId> closed_ids;
   SimTime prev_time = SimTime::Origin();
   uint64_t index = 0;
 
   auto error = [&](const std::string& msg) {
-    if (result.errors.size() < max_issues) {
-      result.errors.push_back("record " + std::to_string(index) + ": " + msg);
+    if (result.errors.size() >= options.max_issues) {
+      return;
     }
+    const bool have_line =
+        options.line_numbers != nullptr && index < options.line_numbers->size();
+    std::string where = have_line ? "line " + std::to_string((*options.line_numbers)[index])
+                                  : "record " + std::to_string(index);
+    std::string text = std::move(where) + ": " + msg;
+    if (options.render_records) {
+      text += " [" + trace.records()[index].ToString() + "]";
+    }
+    result.errors.push_back(std::move(text));
+  };
+
+  // Resolves an open id for a close/seek, reporting the precise failure.
+  auto find_open = [&](OpenId id, const char* what) {
+    auto it = open_files.find(id);
+    if (it == open_files.end()) {
+      const char* why = closed_ids.count(id) != 0 ? " that was already closed"
+                                                  : " that was never opened";
+      error(std::string(what) + " on open id " + std::to_string(id) + why +
+            " (not open)");
+    }
+    return it;
   };
 
   for (const TraceRecord& r : trace.records()) {
@@ -52,6 +79,10 @@ ValidationResult ValidateTrace(const Trace& trace, size_t max_issues) {
       case EventType::kCreate: {
         if (r.open_id == kInvalidOpenId) {
           error("open with invalid open id 0");
+          break;
+        }
+        if (closed_ids.count(r.open_id) != 0) {
+          error("open id " + std::to_string(r.open_id) + " reused after close");
           break;
         }
         auto [it, inserted] = open_files.try_emplace(r.open_id);
@@ -70,24 +101,24 @@ ValidationResult ValidateTrace(const Trace& trace, size_t max_issues) {
         break;
       }
       case EventType::kSeek: {
-        auto it = open_files.find(r.open_id);
+        auto it = find_open(r.open_id, "seek");
         if (it == open_files.end()) {
-          error("seek on open id " + std::to_string(r.open_id) + " that is not open");
           break;
         }
         if (it->second.file_id != r.file_id) {
           error("seek file id does not match the open");
         }
         if (r.seek_from < it->second.position) {
-          error("seek 'from' position behind the last known position (non-sequential gap)");
+          error("seek 'from' position " + std::to_string(r.seek_from) +
+                " behind the tracked position " + std::to_string(it->second.position) +
+                " (positions only advance between repositions)");
         }
         it->second.position = r.seek_to;
         break;
       }
       case EventType::kClose: {
-        auto it = open_files.find(r.open_id);
+        auto it = find_open(r.open_id, "close");
         if (it == open_files.end()) {
-          error("close on open id " + std::to_string(r.open_id) + " that is not open");
           break;
         }
         if (it->second.file_id != r.file_id) {
@@ -100,6 +131,7 @@ ValidationResult ValidateTrace(const Trace& trace, size_t max_issues) {
           error("close size smaller than final position");
         }
         open_files.erase(it);
+        closed_ids.insert(r.open_id);
         break;
       }
       case EventType::kUnlink:
@@ -118,6 +150,12 @@ ValidationResult ValidateTrace(const Trace& trace, size_t max_issues) {
                               " file(s) still open when the trace ends");
   }
   return result;
+}
+
+ValidationResult ValidateTrace(const Trace& trace, size_t max_issues) {
+  ValidateTraceOptions options;
+  options.max_issues = max_issues;
+  return ValidateTrace(trace, options);
 }
 
 TraceFileCheck CheckTraceFile(const std::string& path) {

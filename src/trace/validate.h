@@ -31,14 +31,33 @@ struct ValidationResult {
   std::string Summary() const;
 };
 
+struct ValidateTraceOptions {
+  // Caps the number of reported issues to keep output bounded.
+  size_t max_issues = 20;
+  // When set, one source line number per record (same length as the trace;
+  // the text importers produce it): diagnostics say "line 17" instead of
+  // "record 4", which is what a user staring at a foreign log needs.
+  const std::vector<uint64_t>* line_numbers = nullptr;
+  // Append the offending record's ToString() rendering to each error.
+  bool render_records = false;
+};
+
 // Validates structural invariants:
 //  * record times are non-decreasing;
-//  * open ids are unique and referenced only while open;
+//  * open ids are unique for the life of the trace: never reused while
+//    open NOR after their close (the paper's open ids are like i-numbers —
+//    assigned once, never recycled);
+//  * close/seek reference an id that is currently open — a never-opened or
+//    already-closed id is rejected, with the two cases distinguished in the
+//    message;
 //  * seek/close carry the file id of the matching open;
-//  * access positions never move backward except via an explicit seek;
+//  * access positions never move backward except via an explicit seek: a
+//    seek whose `from` is behind the tracked position (open position, or the
+//    last seek's `to`) contradicts the implicit-sequentiality convention
+//    (reads/writes only advance the position);
 //  * close size is at least the final position;
 //  * field conventions hold (e.g. create has size 0 and position 0).
-// Caps the number of reported issues to keep output bounded.
+ValidationResult ValidateTrace(const Trace& trace, const ValidateTraceOptions& options);
 ValidationResult ValidateTrace(const Trace& trace, size_t max_issues = 20);
 
 // File-level integrity check over a binary trace file.  Decodes every record

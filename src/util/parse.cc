@@ -1,0 +1,75 @@
+#include "src/util/parse.h"
+
+#include <limits>
+
+namespace bsdtrace {
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseUint64InRange(std::string_view s, uint64_t min, uint64_t max, uint64_t* out) {
+  uint64_t v = 0;
+  if (!ParseUint64(s, &v) || v < min || v > max) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseInt32InRange(std::string_view s, int min, int max, int* out) {
+  if (min < 0 || max < min) {
+    return false;
+  }
+  uint64_t v = 0;
+  if (!ParseUint64InRange(s, static_cast<uint64_t>(min), static_cast<uint64_t>(max), &v)) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseSecondsToMicros(std::string_view s, int64_t* out_us) {
+  const size_t dot = s.find('.');
+  const std::string_view whole = dot == std::string_view::npos ? s : s.substr(0, dot);
+  uint64_t secs = 0;
+  if (!ParseUint64(whole, &secs)) {
+    return false;
+  }
+  uint64_t frac_us = 0;
+  if (dot != std::string_view::npos) {
+    const std::string_view frac = s.substr(dot + 1);
+    if (frac.empty() || frac.size() > 6) {
+      return false;
+    }
+    if (!ParseUint64(frac, &frac_us)) {
+      return false;
+    }
+    for (size_t i = frac.size(); i < 6; ++i) {
+      frac_us *= 10;  // "1.5" means 500000 us, not 5
+    }
+  }
+  constexpr uint64_t kMaxUs = static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  if (secs > kMaxUs / 1000000 || secs * 1000000 > kMaxUs - frac_us) {
+    return false;
+  }
+  *out_us = static_cast<int64_t>(secs * 1000000 + frac_us);
+  return true;
+}
+
+}  // namespace bsdtrace

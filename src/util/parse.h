@@ -1,0 +1,41 @@
+// Strict numeric parsing shared by every untrusted-input surface: the
+// trace_stream flag table, the bsdtxt text-trace parser, and the strace
+// importer.
+//
+// The C library parsers these replace are all footguns for validation:
+// strtoull accepts leading whitespace, a '+' or '-' sign (negative values
+// wrap to huge unsigned ones), and "0x" prefixes; atoi reads "8oops" as 8.
+// Everything here is digit-by-digit with an explicit overflow check, so a
+// value either parses exactly or is rejected — no silent wrapping, no
+// trailing garbage, no locale dependence.
+
+#ifndef BSDTRACE_SRC_UTIL_PARSE_H_
+#define BSDTRACE_SRC_UTIL_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace bsdtrace {
+
+// Parses a non-negative decimal integer.  The whole string must be digits
+// ('0'..'9'); an empty string, any sign, whitespace, hex prefix, or value
+// above UINT64_MAX rejects.  Returns true and sets *out on success.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+// ParseUint64 plus an inclusive range check.
+bool ParseUint64InRange(std::string_view s, uint64_t min, uint64_t max, uint64_t* out);
+
+// Range-checked int convenience (flag values like --threads).  min may be 0
+// or positive; negative minima make no sense for an unsigned surface.
+bool ParseInt32InRange(std::string_view s, int min, int max, int* out);
+
+// Parses a non-negative fixed-point seconds value "S" or "S.F" (1 to 6
+// fractional digits, e.g. a bsdtxt or strace -ttt timestamp) into
+// microseconds.  Scientific notation, hex floats, inf/nan, signs, and more
+// than 6 fractional digits (which could not round-trip at microsecond
+// resolution) all reject, as does a value that overflows int64 microseconds.
+bool ParseSecondsToMicros(std::string_view s, int64_t* out_us);
+
+}  // namespace bsdtrace
+
+#endif  // BSDTRACE_SRC_UTIL_PARSE_H_

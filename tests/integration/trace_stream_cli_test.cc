@@ -6,6 +6,8 @@
 #include "src/core/trace_stream_cli.h"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -227,6 +229,130 @@ TEST(TraceStreamCli, SweepHierPrintsHierarchyFigure) {
   EXPECT_NE(text.find("Hierarchy sweep"), std::string::npos) << text;
   EXPECT_NE(text.find("Delayed Write"), std::string::npos) << text;
   EXPECT_NE(text.find("client-0 parity OK"), std::string::npos) << text;
+}
+
+// -- import / export ----------------------------------------------------------
+
+// generate → export → import → export must reproduce the text byte for byte
+// (the bsdtxt round-trip), and both binaries must analyze identically.
+TEST(TraceStreamCli, ExportImportRoundTripsTextAndAnalysis) {
+  const std::string trc = TempPath("cli_roundtrip.trc");
+  const std::string txt = TempPath("cli_roundtrip.txt");
+  const std::string trc2 = TempPath("cli_roundtrip2.trc");
+  const std::string txt2 = TempPath("cli_roundtrip2.txt");
+  ASSERT_EQ(RunCli({"generate", trc, "--profile=A5", "--hours=0.2", "--shards=2",
+                    "--threads=2", "--seed=11"}),
+            0);
+  ASSERT_EQ(RunCli({"export", trc, "--out=" + txt}), 0);
+  ASSERT_EQ(RunCli({"import", txt, trc2}), 0);
+  ASSERT_EQ(RunCli({"export", trc2, "--out=" + txt2}), 0);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string text = slurp(txt);
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text, slurp(txt2));
+
+  // The analysis tables of the original and the re-imported trace agree
+  // exactly (the engine line may differ: v3 vs re-imported v4 block layout).
+  const auto analyze = [&](const std::string& path) {
+    ::testing::internal::CaptureStdout();
+    EXPECT_EQ(RunCli({"analyze", path, "--threads=1"}), 0);
+    std::string out = ::testing::internal::GetCapturedStdout();
+    const size_t engine = out.find("analysis engine:");
+    return engine == std::string::npos ? out : out.substr(0, engine);
+  };
+  EXPECT_EQ(analyze(trc), analyze(trc2));
+
+  // The header's fleet tag survives the text round trip: the band gate still
+  // finds and reports the tagged instance (a 0.2h trace sits below the band,
+  // so the verdict is FAIL on both files — what matters is the tag is there).
+  std::string err;
+  EXPECT_EQ(RunCaptured({"analyze", trc2, "--threads=1", "--check-bands"}, &err), 1);
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(RunCli({"analyze", trc2, "--threads=1", "--check-bands"}), 1);
+  const std::string bands = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(bands.find("instance 0 A5"), std::string::npos) << bands;
+  EXPECT_EQ(err.find("no fleet tag"), std::string::npos) << err;
+}
+
+// Imported traces run the hardened validator by default; --no-validate
+// writes the stream anyway.
+TEST(TraceStreamCli, ImportValidatesByDefault) {
+  const std::string txt = TempPath("cli_invalid.txt");
+  const std::string trc = TempPath("cli_invalid.trc");
+  std::remove(trc.c_str());  // a prior run's --no-validate output may linger
+  {
+    std::ofstream out(txt);
+    out << "# machine hand\n"
+        << "0.000000\topen\toid=1\tfile=2\tuser=3\tmode=r\tsize=10\tpos=0\n"
+        << "1.000000\tclose\toid=9\tfile=2\tpos=10\tsize=10\n";  // unknown id
+  }
+  std::string err;
+  EXPECT_EQ(RunCaptured({"import", txt, trc}, &err), 1);
+  EXPECT_NE(err.find("import error"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;       // source line cited
+  EXPECT_NE(err.find("never opened"), std::string::npos) << err;
+  EXPECT_NE(err.find("close\toid=9"), std::string::npos) << err;  // rendered record
+  EXPECT_FALSE(FileExists(trc));
+
+  EXPECT_EQ(RunCaptured({"import", txt, trc, "--no-validate"}, &err), 0);
+  EXPECT_TRUE(FileExists(trc));
+  EXPECT_EQ(RunCli({"info", trc}), 0);
+}
+
+TEST(TraceStreamCli, ImportRejectsGarbageWithLineNumber) {
+  const std::string txt = TempPath("cli_garbage.txt");
+  const std::string trc = TempPath("cli_garbage.trc");
+  std::remove(trc.c_str());
+  {
+    std::ofstream out(txt);
+    out << "0.000000\tunlink\tfile=1\tuser=0\n"
+        << "not a record at all\n";
+  }
+  std::string err;
+  EXPECT_EQ(RunCaptured({"import", txt, trc}, &err), 1);
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_FALSE(FileExists(trc));
+}
+
+// A small inline strace log drives the adapter end to end through the CLI:
+// import (validated), then the standard analysis.
+TEST(TraceStreamCli, ImportStraceLogAndAnalyze) {
+  const std::string log = TempPath("cli_strace.log");
+  const std::string trc = TempPath("cli_strace.trc");
+  {
+    std::ofstream out(log);
+    out << "100.000001 open(\"/etc/passwd\", O_RDONLY) = 3\n"
+        << "100.000002 read(3, \"root\", 4096) = 2048\n"
+        << "100.000003 close(3) = 0\n"
+        << "100.000004 creat(\"/tmp/out\", 0644) = 3\n"
+        << "100.000005 write(3, \"x\", 512) = 512\n"
+        << "100.000006 close(3) = 0\n"
+        << "100.000007 unlink(\"/tmp/out\") = 0\n";
+  }
+  ASSERT_EQ(RunCli({"import", log, trc, "--format=strace"}), 0);
+  EXPECT_EQ(RunCli({"info", trc}), 0);
+  EXPECT_EQ(RunCli({"analyze", trc, "--threads=1"}), 0);
+}
+
+TEST(TraceStreamCli, ImportExportUsageErrors) {
+  std::string err;
+  // Wrong arity and unknown format are usage errors (exit 2).
+  EXPECT_EQ(RunCaptured({"import", "only_one_arg"}, &err), 2);
+  EXPECT_EQ(RunCaptured({"import", "a", "b", "--format=xml"}, &err), 2);
+  EXPECT_NE(err.find("invalid --format"), std::string::npos) << err;
+  EXPECT_EQ(RunCaptured({"export", "a", "b"}, &err), 2);
+  // export does not take import's flags.
+  EXPECT_EQ(RunCaptured({"export", "a.trc", "--format=strace"}, &err), 2);
+  EXPECT_NE(err.find("not accepted"), std::string::npos) << err;
+  // Missing input is a runtime failure (exit 1), not usage.
+  EXPECT_EQ(RunCaptured({"import", TempPath("no_such.txt"), TempPath("x.trc")}, &err), 1);
+  EXPECT_EQ(RunCaptured({"export", TempPath("no_such.trc")}, &err), 1);
 }
 
 }  // namespace

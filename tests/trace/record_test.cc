@@ -1,6 +1,11 @@
 #include "src/trace/record.h"
 
+#include <limits>
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "src/util/rng.h"
 
 namespace bsdtrace {
 namespace {
@@ -76,6 +81,91 @@ TEST(TraceRecord, ToStringIncludesTypeAndIds) {
   EXPECT_NE(s.find("oid=2"), std::string::npos);
   EXPECT_NE(s.find("file=3"), std::string::npos);
   EXPECT_NE(s.find("mode=r"), std::string::npos);
+}
+
+// The round-trip property that defines the bsdtxt text format: for every
+// event type and arbitrary field values, Parse(ToString(r)) == r.  Exercised
+// with the varint-boundary extremes the binary property tests use, plus
+// timestamps where "%.6f"-style double formatting used to misround.
+TEST(ParseTraceRecord, RoundTripsEveryEventTypeWithExtremeValues) {
+  const uint64_t kValues[] = {0, 1, 127, 128, (1ull << 56) - 1, 1ull << 56,
+                              std::numeric_limits<uint64_t>::max()};
+  const int64_t kTimes[] = {0, 7, 999999, 1'000'000, 1'723'190'000'000'100,
+                            std::numeric_limits<int64_t>::max()};
+  Rng rng(19851201);
+  const auto value = [&]() { return kValues[rng.UniformInt(0, 6)]; };
+  const auto user = [&]() { return static_cast<UserId>(rng.UniformInt(0, 0xFFFFFFFFll)); };
+  const auto mode = [&]() { return static_cast<AccessMode>(rng.UniformInt(0, 2)); };
+  for (int i = 0; i < 500; ++i) {
+    const SimTime t = SimTime::FromMicros(kTimes[rng.UniformInt(0, 5)]);
+    TraceRecord r;
+    switch (rng.UniformInt(1, 7)) {
+      case 1:
+        r = MakeOpen(t, value(), value(), user(), mode(), value(), value());
+        break;
+      case 2:
+        r = MakeCreate(t, value(), value(), user(), mode());
+        break;
+      case 3:
+        r = MakeClose(t, value(), value(), value(), value());
+        break;
+      case 4:
+        r = MakeSeek(t, value(), value(), value(), value());
+        break;
+      case 5:
+        r = MakeUnlink(t, value(), user());
+        break;
+      case 6:
+        r = MakeTruncate(t, value(), user(), value());
+        break;
+      default:
+        r = MakeExecve(t, value(), user(), value());
+        break;
+    }
+    const std::string line = r.ToString();
+    const StatusOr<TraceRecord> back = ParseTraceRecord(line);
+    ASSERT_TRUE(back.ok()) << line << ": " << back.status().message();
+    EXPECT_TRUE(back.value() == r) << line;
+    // And the rendering itself is a fixed point.
+    EXPECT_EQ(back.value().ToString(), line);
+  }
+}
+
+TEST(ParseTraceRecord, AcceptsSpaceRunsAsSeparators) {
+  const StatusOr<TraceRecord> r =
+      ParseTraceRecord("1.5   open  oid=1 file=2\t user=3  mode=rw size=10 pos=0");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().time.micros(), 1'500'000);
+  EXPECT_EQ(r.value().mode, AccessMode::kReadWrite);
+}
+
+TEST(ParseTraceRecord, RejectsMalformedLines) {
+  const char* kBad[] = {
+      "",
+      "0.5",                                                        // no type
+      "0.5 frobnicate file=1 user=2",                               // unknown type
+      "oops open oid=1 file=2 user=3 mode=r size=10 pos=0",         // bad time
+      "-1.0 unlink file=1 user=2",                                  // signed time
+      "0.5 open oid=1 file=2 user=3 mode=r size=10",                // missing field
+      "0.5 open oid=1 file=2 user=3 mode=r size=10 pos=0 extra=1",  // trailing field
+      "0.5 open oid=1 file=2 user=3 mode=q size=10 pos=0",          // bad mode
+      "0.5 open oid=1 file=2 user=3 mode=r size=0x10 pos=0",        // hex value
+      "0.5 open oid=-1 file=2 user=3 mode=r size=10 pos=0",         // signed value
+      "0.5 open oid=1 file=2 user=4294967296 mode=r size=10 pos=0",  // user overflow
+      "0.5 close oid=1 file=2 from=0 to=5",                          // seek keys on close
+      "0.5 seek oid=1 file=2 from=0 to=18446744073709551616",        // overflow
+  };
+  for (const char* line : kBad) {
+    EXPECT_FALSE(ParseTraceRecord(line).ok()) << "accepted: " << line;
+  }
+}
+
+TEST(ParseTraceRecord, ErrorsNameTheOffendingToken) {
+  const StatusOr<TraceRecord> r =
+      ParseTraceRecord("0.5 open oid=1 file=2 user=zork mode=r size=10 pos=0");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("user=zork"), std::string::npos)
+      << r.status().message();
 }
 
 TEST(TraceRecord, ToStringForEveryType) {

@@ -206,6 +206,61 @@ TEST(CheckTraceFile, FlippedByteIsReported) {
   std::remove(path.c_str());
 }
 
+// -- hardened structural checks (importer support) ---------------------------
+
+TEST(ValidateTrace, DetectsOpenIdReuseAfterClose) {
+  const Trace t = TraceBuilder()
+                      .Open(1, 7, 10, 100)
+                      .Close(2, 7, 10, 100, 100)
+                      .Open(3, 7, 11, 100)  // id 7 recycled: i-numbers never are
+                      .Build();
+  const ValidationResult r = ValidateTrace(t);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].find("reused after close"), std::string::npos) << r.errors[0];
+}
+
+TEST(ValidateTrace, DistinguishesAlreadyClosedFromNeverOpened) {
+  const Trace t = TraceBuilder()
+                      .Open(1, 7, 10, 100)
+                      .Close(2, 7, 10, 100, 100)
+                      .Close(3, 7, 10, 100, 100)  // stale id
+                      .Seek(4, 9, 10, 0, 5)       // unknown id
+                      .Build();
+  const ValidationResult r = ValidateTrace(t);
+  ASSERT_EQ(r.errors.size(), 2u);
+  EXPECT_NE(r.errors[0].find("already closed"), std::string::npos) << r.errors[0];
+  EXPECT_NE(r.errors[1].find("never opened"), std::string::npos) << r.errors[1];
+}
+
+TEST(ValidateTrace, LineNumbersAndRenderedRecordsInDiagnostics) {
+  const Trace t = TraceBuilder()
+                      .Open(1, 7, 10, 100)
+                      .Close(2, 9, 10, 100, 100)  // wrong id
+                      .Build();
+  const std::vector<uint64_t> lines = {12, 57};
+  ValidateTraceOptions options;
+  options.line_numbers = &lines;
+  options.render_records = true;
+  const ValidationResult r = ValidateTrace(t, options);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].find("line 57"), std::string::npos) << r.errors[0];
+  // The offending record's ToString rendering rides along.
+  EXPECT_NE(r.errors[0].find("close\toid=9"), std::string::npos) << r.errors[0];
+}
+
+TEST(ValidateTrace, SeekFromBehindTrackedPositionNamesBothPositions) {
+  const Trace t = TraceBuilder()
+                      .Open(1, 1, 10, 4096)
+                      .Seek(2, 1, 10, 1000, 2000)
+                      .Seek(3, 1, 10, 1500, 0)  // 1500 < tracked 2000
+                      .Close(4, 1, 10, 4096, 4096)
+                      .Build();
+  const ValidationResult r = ValidateTrace(t);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].find("1500"), std::string::npos) << r.errors[0];
+  EXPECT_NE(r.errors[0].find("2000"), std::string::npos) << r.errors[0];
+}
+
 TEST(CheckTraceFile, MissingFileIsAnError) {
   EXPECT_FALSE(CheckTraceFile(::testing::TempDir() + "/no_such_trace.trc").ok());
 }

@@ -1,0 +1,97 @@
+// The strict numeric parsers back every untrusted-input surface (CLI flags,
+// bsdtxt, strace logs), so the rejection cases matter as much as the happy
+// path: signs, overflow, trailing garbage, and hex must all refuse.
+
+#include "src/util/parse.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace bsdtrace {
+namespace {
+
+TEST(ParseUint64, AcceptsPlainDecimal) {
+  uint64_t v = 1;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("42", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));  // UINT64_MAX
+  EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+  EXPECT_TRUE(ParseUint64("007", &v));  // leading zeros are still decimal
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(ParseUint64, RejectsEverythingElse) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));   // strtoull would wrap this
+  EXPECT_FALSE(ParseUint64("+1", &v));
+  EXPECT_FALSE(ParseUint64(" 1", &v));
+  EXPECT_FALSE(ParseUint64("1 ", &v));
+  EXPECT_FALSE(ParseUint64("8oops", &v));  // atoi would read 8
+  EXPECT_FALSE(ParseUint64("0x10", &v));
+  EXPECT_FALSE(ParseUint64("1e3", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // UINT64_MAX + 1
+  EXPECT_FALSE(ParseUint64("99999999999999999999", &v));
+}
+
+TEST(ParseUint64InRange, InclusiveBounds) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64InRange("5", 5, 10, &v));
+  EXPECT_TRUE(ParseUint64InRange("10", 5, 10, &v));
+  EXPECT_FALSE(ParseUint64InRange("4", 5, 10, &v));
+  EXPECT_FALSE(ParseUint64InRange("11", 5, 10, &v));
+}
+
+TEST(ParseInt32InRange, RangeAndOverflow) {
+  int v = 0;
+  EXPECT_TRUE(ParseInt32InRange("0", 0, 4096, &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt32InRange("4096", 0, 4096, &v));
+  EXPECT_EQ(v, 4096);
+  EXPECT_FALSE(ParseInt32InRange("4097", 0, 4096, &v));
+  EXPECT_FALSE(ParseInt32InRange("-1", 0, 4096, &v));
+  // Far beyond int: must reject, not wrap to a small int.
+  EXPECT_FALSE(ParseInt32InRange("4294967297", 0, 1 << 30, &v));
+}
+
+TEST(ParseSecondsToMicros, ExactFixedPoint) {
+  int64_t us = -1;
+  EXPECT_TRUE(ParseSecondsToMicros("0.000000", &us));
+  EXPECT_EQ(us, 0);
+  EXPECT_TRUE(ParseSecondsToMicros("1.5", &us));
+  EXPECT_EQ(us, 1'500'000);
+  EXPECT_TRUE(ParseSecondsToMicros("0.000007", &us));  // %.6f+atof loses this
+  EXPECT_EQ(us, 7);
+  EXPECT_TRUE(ParseSecondsToMicros("1723190000.000100", &us));  // strace -ttt epoch
+  EXPECT_EQ(us, 1'723'190'000'000'100);
+  EXPECT_TRUE(ParseSecondsToMicros("42", &us));  // integer seconds allowed
+  EXPECT_EQ(us, 42'000'000);
+}
+
+TEST(ParseSecondsToMicros, RejectsNonFixedPointForms) {
+  int64_t us = 0;
+  EXPECT_FALSE(ParseSecondsToMicros("", &us));
+  EXPECT_FALSE(ParseSecondsToMicros(".5", &us));
+  EXPECT_FALSE(ParseSecondsToMicros("1.", &us));
+  EXPECT_FALSE(ParseSecondsToMicros("-1.0", &us));
+  EXPECT_FALSE(ParseSecondsToMicros("1.0000007", &us));  // 7 fractional digits
+  EXPECT_FALSE(ParseSecondsToMicros("1e3", &us));
+  EXPECT_FALSE(ParseSecondsToMicros("nan", &us));
+  EXPECT_FALSE(ParseSecondsToMicros("1.2.3", &us));
+  // Overflows int64 microseconds.
+  EXPECT_FALSE(ParseSecondsToMicros("9223372036854.775808", &us));
+}
+
+TEST(ParseSecondsToMicros, MaxValueRoundTrips) {
+  int64_t us = 0;
+  EXPECT_TRUE(ParseSecondsToMicros("9223372036854.775807", &us));
+  EXPECT_EQ(us, std::numeric_limits<int64_t>::max());
+}
+
+}  // namespace
+}  // namespace bsdtrace
